@@ -1,0 +1,83 @@
+// common.hpp — shared scaffolding for the experiment drivers.
+//
+// Every bench binary reproduces one table or figure of the paper: it sweeps
+// the figure's x-axis, runs the simulation for each series, and prints the
+// series as an aligned table (or CSV with --csv). EXPERIMENTS.md records the
+// expected shapes next to the paper's.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace affinity::bench {
+
+/// Flags shared by all experiment drivers.
+struct CommonFlags {
+  const int& procs;
+  const int& streams;
+  const double& lock_overhead;
+  const double& critical_section;
+  const std::uint64_t& seed;
+  const bool& csv;
+  const bool& fast;
+
+  static CommonFlags declare(Cli& cli) {
+    return CommonFlags{
+        cli.flag<int>("procs", 8, "number of processors"),
+        cli.flag<int>("streams", 16, "number of concurrent streams"),
+        cli.flag<double>("lock-overhead", 20.0, "per-packet lock overhead under Locking (us)"),
+        cli.flag<double>("critical-section", 8.0, "serialized critical section (us)"),
+        cli.flag<std::uint64_t>("seed", 1, "simulation seed"),
+        cli.flag<bool>("csv", false, "emit CSV instead of an aligned table"),
+        cli.flag<bool>("fast", false, "short windows (CI smoke run)"),
+    };
+  }
+
+  [[nodiscard]] SimConfig makeConfig() const {
+    SimConfig c = defaultSimConfig();
+    c.num_procs = static_cast<unsigned>(procs);
+    c.lock_overhead_us = lock_overhead;
+    c.critical_section_us = critical_section;
+    c.seed = seed;
+    c.warmup_us = fast ? 50'000.0 : 200'000.0;
+    c.measure_us = fast ? 300'000.0 : 2'000'000.0;
+    return c;
+  }
+
+  /// makeConfig() with the measurement window sized for the sweep point's
+  /// rate, so light-load points still complete enough packets.
+  [[nodiscard]] SimConfig makeConfigFor(double rate_per_us) const {
+    SimConfig c = makeConfig();
+    setAutoWindow(c, rate_per_us, fast ? 15'000 : 80'000);
+    return c;
+  }
+};
+
+/// Standard arrival-rate sweep (packets/µs). With 8 processors and a warm
+/// service time of ~136 µs the no-overhead capacity is ~0.059 pkts/µs; the
+/// sweep spans light load to near saturation.
+inline std::vector<double> rateSweep(bool fast) {
+  if (fast) return {0.005, 0.015, 0.03};
+  return {0.002, 0.005, 0.008, 0.012, 0.016, 0.020, 0.025, 0.030,
+          0.035, 0.038, 0.040, 0.042, 0.044};
+}
+
+/// Rate sweep extended down to very light load (hundreds of packets per
+/// second), where the IPS policy crossover lives: concentrating stacks (MRU)
+/// keeps the shared protocol text warm while everything else has decayed.
+inline std::vector<double> rateSweepWithLowEnd(bool fast) {
+  if (fast) return {0.0005, 0.005, 0.03};
+  std::vector<double> rates{0.0002, 0.0005, 0.001};
+  for (double r : rateSweep(false)) rates.push_back(r);
+  return rates;
+}
+
+/// Converts packets/µs to the paper's natural packets/s axis label value.
+inline double perSecond(double per_us) { return per_us * 1e6; }
+
+}  // namespace affinity::bench

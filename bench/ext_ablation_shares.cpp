@@ -1,0 +1,71 @@
+// Ablation: the per-level footprint decomposition is load-bearing
+// (DESIGN.md §2). This bench sweeps the code share of the L2 transient —
+// holding totals fixed — and shows the IPS low-rate policy crossover
+// (MRU vs Wired) appear as code becomes the dominant L2 component, and the
+// high-rate stream-affinity benefit under Locking shrink as the stream
+// share is diluted.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace affinity;
+using namespace affinity::bench;
+
+namespace {
+
+ExecTimeModel modelWithL2CodeShare(double l2_code) {
+  FootprintShares s;  // L1 shares stay at the defaults
+  s.l2_code = l2_code;
+  const double rest = 1.0 - l2_code;
+  s.l2_shared = rest * (0.15 / 0.35);
+  s.l2_stream = rest * (0.20 / 0.35);
+  return ExecTimeModel(FlushModel(MachineParams::sgiChallenge(), SstParams::mvsWorkload()),
+                       ReloadParams::measuredUdpReceive(), s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("ext_ablation_shares", "sensitivity of the policy crossovers to the L2 code share");
+  const auto flags = CommonFlags::declare(cli);
+  const double& low_rate = cli.flag<double>("low-rate", 0.0005, "low-rate probe (pkts/us)");
+  const double& high_rate = cli.flag<double>("high-rate", 0.035, "high-rate probe (pkts/us)");
+  cli.parse(argc, argv);
+
+  std::printf(
+      "# Ablation — L2 transient share of the shared code; L1 shares fixed.\n"
+      "# ips_mru_adv: IPS Wired-vs-MRU delay gap at %.0f pkts/s (positive = MRU wins,\n"
+      "#              the paper's low-rate finding; needs a code-heavy L2 share).\n"
+      "# lock_aff_red: %% delay reduction of StreamMRU vs FCFS at %.0f pkts/s.\n",
+      perSecond(low_rate), perSecond(high_rate));
+  TableWriter t({"l2_code_share", "ips_mru_adv_us", "lock_aff_red_pct"}, flags.csv, 2);
+  const std::vector<double> shares =
+      flags.fast ? std::vector<double>{0.2, 0.65} : std::vector<double>{0.1, 0.3, 0.5, 0.65, 0.8};
+  for (double share : shares) {
+    const ExecTimeModel model = modelWithL2CodeShare(share);
+    t.beginRow();
+    t.add(share);
+    {
+      SimConfig c = flags.makeConfigFor(low_rate);
+      c.policy.paradigm = Paradigm::kIps;
+      const auto streams = makePoissonStreams(static_cast<std::size_t>(flags.streams), low_rate);
+      c.policy.ips = IpsPolicy::kWired;
+      const RunMetrics wired = runOnce(c, model, streams);
+      c.policy.ips = IpsPolicy::kMru;
+      const RunMetrics mru = runOnce(c, model, streams);
+      t.add(wired.mean_delay_us - mru.mean_delay_us);
+    }
+    {
+      SimConfig c = flags.makeConfigFor(high_rate);
+      c.policy.paradigm = Paradigm::kLocking;
+      const auto streams = makePoissonStreams(static_cast<std::size_t>(flags.streams), high_rate);
+      c.policy.locking = LockingPolicy::kFcfs;
+      const RunMetrics fcfs = runOnce(c, model, streams);
+      c.policy.locking = LockingPolicy::kStreamMru;
+      const RunMetrics aff = runOnce(c, model, streams);
+      t.add(reductionPercent(fcfs.mean_delay_us, aff.mean_delay_us));
+    }
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Analytic model vs simulation (the paper's §3 combines both): compares the
+// closed-form predictor's mean delay against the discrete-event simulator
+// for the main policies across the arrival-rate sweep, reporting the
+// relative error. The predictor is what a capacity planner would use when a
+// full simulation is too slow.
+#include <cmath>
+#include <cstdio>
+
+#include "analytic/predictor.hpp"
+#include "bench/common.hpp"
+
+using namespace affinity;
+using namespace affinity::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("ext_analytic_vs_sim", "closed-form predictor vs discrete-event simulation");
+  const auto flags = CommonFlags::declare(cli);
+  cli.parse(argc, argv);
+
+  const auto model = ExecTimeModel::standard();
+  std::printf("# analytic (A) vs simulated (S) mean delay, us; err = (A-S)/S\n");
+  TableWriter t({"rate_pkts_per_s", "MRU_sim", "MRU_ana", "MRU_err%", "IPSWired_sim",
+                 "IPSWired_ana", "IPSWired_err%"},
+                flags.csv, 1);
+  for (double rate : rateSweep(flags.fast)) {
+    PredictorInput in;
+    in.num_procs = static_cast<unsigned>(flags.procs);
+    in.num_streams = static_cast<unsigned>(flags.streams);
+    in.rate_per_us = rate;
+    in.lock_overhead_us = flags.lock_overhead;
+    in.critical_section_us = flags.critical_section;
+
+    const auto streams = makePoissonStreams(static_cast<std::size_t>(flags.streams), rate);
+
+    SimConfig c = flags.makeConfigFor(rate);
+    c.policy.paradigm = Paradigm::kLocking;
+    c.policy.locking = LockingPolicy::kMru;
+    const RunMetrics sim_mru = runOnce(c, model, streams);
+    const Prediction ana_mru = predictLocking(model, LockingPolicy::kMru, in);
+
+    c.policy.paradigm = Paradigm::kIps;
+    c.policy.ips = IpsPolicy::kWired;
+    const RunMetrics sim_ips = runOnce(c, model, streams);
+    const Prediction ana_ips = predictIps(model, IpsPolicy::kWired, in);
+
+    t.beginRow();
+    t.add(perSecond(rate));
+    const auto emit = [&t](const RunMetrics& s, const Prediction& a) {
+      if (s.saturated || !a.stable) {
+        t.addText(s.saturated ? "sat" : "-");
+        t.addText(a.stable ? "-" : "unstable");
+        t.addText("-");
+        return;
+      }
+      t.add(s.mean_delay_us);
+      t.add(a.delay_us);
+      t.add(100.0 * (a.delay_us - s.mean_delay_us) / s.mean_delay_us);
+    };
+    emit(sim_mru, ana_mru);
+    emit(sim_ips, ana_ips);
+  }
+  t.print();
+  return 0;
+}

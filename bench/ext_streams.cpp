@@ -1,0 +1,44 @@
+// Stream-population sweep: mean delay vs the number of concurrent streams at
+// a fixed aggregate rate. More streams dilute per-stream warmth (each
+// stream's state is referenced more rarely and competes for cache), so
+// stream-affinity policies lose their edge gradually while the no-affinity
+// baseline is flat-to-worse throughout — the "supporting many concurrent
+// streams" axis of the abstract.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace affinity;
+using namespace affinity::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("ext_streams", "delay vs number of concurrent streams at fixed rate");
+  const auto flags = CommonFlags::declare(cli);
+  const double& rate = cli.flag<double>("rate", 0.02, "aggregate packet rate (pkts/us)");
+  cli.parse(argc, argv);
+
+  const auto model = ExecTimeModel::standard();
+  std::printf("# stream population sweep — rate %.0f pkts/s, %d procs\n", perSecond(rate),
+              flags.procs);
+  TableWriter t({"streams", "FCFS", "MRU", "StreamMRU", "IPS_Wired"}, flags.csv, 1);
+  const std::vector<int> counts = flags.fast ? std::vector<int>{8, 64}
+                                             : std::vector<int>{4, 8, 16, 32, 64, 128};
+  for (int n : counts) {
+    const auto streams = makePoissonStreams(static_cast<std::size_t>(n), rate);
+    t.beginRow();
+    t.add(n);
+    for (LockingPolicy p :
+         {LockingPolicy::kFcfs, LockingPolicy::kMru, LockingPolicy::kStreamMru}) {
+      SimConfig c = flags.makeConfigFor(rate);
+      c.policy.paradigm = Paradigm::kLocking;
+      c.policy.locking = p;
+      t.add(runOnce(c, model, streams).mean_delay_us);
+    }
+    SimConfig c = flags.makeConfigFor(rate);
+    c.policy.paradigm = Paradigm::kIps;
+    c.policy.ips = IpsPolicy::kWired;
+    t.add(runOnce(c, model, streams).mean_delay_us);
+  }
+  t.print();
+  return 0;
+}

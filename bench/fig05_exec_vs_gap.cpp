@@ -1,0 +1,27 @@
+// Figure 5 [reconstructed]: packet execution time t(x) as a function of the
+// intervening non-protocol execution time x — the reload-transient
+// interpolation between t_warm and t_cold = 284.3 µs.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace affinity;
+
+int main(int argc, char** argv) {
+  Cli cli("fig05_exec_vs_gap", "packet execution time vs intervening non-protocol time");
+  const bool& csv = cli.flag<bool>("csv", false, "emit CSV");
+  cli.parse(argc, argv);
+
+  const auto model = ExecTimeModel::standard();
+  std::printf("# Figure 5 — t(x) = t_warm + F1(x) dL1 + F2(x) dL2; t_warm=%.1f t_cold=%.1f\n",
+              model.tWarm(), model.tCold());
+  TableWriter t({"x_us", "exec_us", "frac_of_transient"}, csv, 2);
+  const double transient = model.tCold() - model.tWarm();
+  for (double x : {0.0, 10.0, 50.0, 100.0, 250.0, 500.0, 1'000.0, 2'500.0, 5'000.0, 10'000.0,
+                   50'000.0, 100'000.0, 500'000.0, 2'000'000.0}) {
+    const double exec = model.serviceTime({x, x, x});
+    t.addRow({x, exec, (exec - model.tWarm()) / transient});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 7 [reconstructed axes]: marginal contributions of the individual
+// affinity policies under Locking — adds StreamMRU (MRU plus stream-to-
+// processor affinity) between plain MRU and Wired-Streams, at two stream
+// populations. Shows how much of the benefit comes from thread/processor
+// affinity (code + shared data) vs stream wiring (per-stream state).
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace affinity;
+using namespace affinity::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("fig07_locking_marginal", "Locking: marginal contribution of each affinity policy");
+  const auto flags = CommonFlags::declare(cli);
+  const int& streams_hi = cli.flag<int>("streams-hi", 64, "large stream population");
+  cli.parse(argc, argv);
+
+  const auto model = ExecTimeModel::standard();
+  for (int nstreams : {flags.streams, streams_hi}) {
+    std::printf("# Figure 7 — Locking, %d procs, %d streams\n", flags.procs, nstreams);
+    TableWriter t({"rate_pkts_per_s", "FCFS", "MRU", "StreamMRU", "WiredStreams"}, flags.csv, 1);
+    for (double rate : rateSweep(flags.fast)) {
+      const auto streams = makePoissonStreams(static_cast<std::size_t>(nstreams), rate);
+      t.beginRow();
+      t.add(perSecond(rate));
+      for (LockingPolicy p : {LockingPolicy::kFcfs, LockingPolicy::kMru,
+                              LockingPolicy::kStreamMru, LockingPolicy::kWiredStreams}) {
+        SimConfig c = flags.makeConfigFor(rate);
+        c.policy.paradigm = Paradigm::kLocking;
+        c.policy.locking = p;
+        const RunMetrics m = runOnce(c, model, streams);
+        t.add(m.mean_delay_us);
+      }
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 9 [reconstructed]: the paradigms head to head — best Locking policy
+// vs best IPS policy: delay across the rate sweep, plus maximum throughput
+// capacity under a delay bound. Expected shape (abstract): IPS delivers much
+// lower message latency and significantly higher message throughput
+// capacity.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace affinity;
+using namespace affinity::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("fig09_locking_vs_ips", "Locking-best vs IPS-best: delay and capacity");
+  const auto flags = CommonFlags::declare(cli);
+  const double& bound = cli.flag<double>("delay-bound", 1'000.0, "capacity delay bound (us)");
+  cli.parse(argc, argv);
+
+  const auto model = ExecTimeModel::standard();
+  SimConfig locking = flags.makeConfig();
+  locking.policy.paradigm = Paradigm::kLocking;
+  locking.policy.locking = LockingPolicy::kMru;
+  SimConfig ips = flags.makeConfig();
+  ips.policy.paradigm = Paradigm::kIps;
+  ips.policy.ips = IpsPolicy::kWired;
+
+  std::printf("# Figure 9 — Locking/MRU vs IPS/Wired, %d procs, %d streams\n", flags.procs,
+              flags.streams);
+  TableWriter t({"rate_pkts_per_s", "Locking_MRU", "IPS_Wired"}, flags.csv, 1);
+  for (double rate : rateSweep(flags.fast)) {
+    const auto streams = makePoissonStreams(static_cast<std::size_t>(flags.streams), rate);
+    t.beginRow();
+    t.add(perSecond(rate));
+    t.add(runOnce(locking, model, streams).mean_delay_us);
+    t.add(runOnce(ips, model, streams).mean_delay_us);
+  }
+  t.print();
+
+  // Capacity under the delay bound.
+  const std::size_t ns = static_cast<std::size_t>(flags.streams);
+  const auto make = [ns](double rate) { return makePoissonStreams(ns, rate); };
+  SimConfig fast_locking = locking, fast_ips = ips;
+  fast_locking.measure_us = fast_ips.measure_us = flags.fast ? 200'000.0 : 800'000.0;
+  const auto cap_l = findMaxRate(fast_locking, model, make, 0.002, 0.08, bound, 10);
+  const auto cap_i = findMaxRate(fast_ips, model, make, 0.002, 0.08, bound, 10);
+  std::printf("\n# maximum throughput capacity (mean delay <= %.0f us)\n", bound);
+  TableWriter cap({"paradigm", "capacity_pkts_per_s", "mean_delay_at_cap_us"}, flags.csv, 1);
+  cap.beginRow();
+  cap.addText("Locking/MRU");
+  cap.add(perSecond(cap_l.max_rate_per_us));
+  cap.add(cap_l.at_max.mean_delay_us);
+  cap.beginRow();
+  cap.addText("IPS/Wired");
+  cap.add(perSecond(cap_i.max_rate_per_us));
+  cap.add(cap_i.at_max.mean_delay_us);
+  cap.print();
+  return 0;
+}

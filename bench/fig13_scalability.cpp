@@ -1,0 +1,45 @@
+// Intra-stream scalability (abstract / §5): the maximum sustainable
+// throughput of a SINGLE stream as processors are added. Expected shape:
+// Locking scales with N (any processor can take the next packet); IPS is
+// capped near one processor's service rate regardless of N.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace affinity;
+using namespace affinity::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("fig13_scalability", "single-stream max throughput vs processor count");
+  const auto flags = CommonFlags::declare(cli);
+  const double& bound = cli.flag<double>("delay-bound", 2'000.0, "capacity delay bound (us)");
+  cli.parse(argc, argv);
+
+  const auto model = ExecTimeModel::standard();
+  const auto make = [](double rate) { return makePoissonStreams(1, rate); };
+
+  std::printf("# Intra-stream scalability — one stream, capacity under %.0f us mean delay\n",
+              bound);
+  TableWriter t({"procs", "Locking_MRU_pkts_per_s", "IPS_Wired_pkts_per_s", "speedup_ratio"},
+                flags.csv, 1);
+  const std::vector<int> procs = flags.fast ? std::vector<int>{1, 4, 8}
+                                            : std::vector<int>{1, 2, 4, 6, 8};
+  for (int n : procs) {
+    SimConfig locking = flags.makeConfig();
+    locking.num_procs = static_cast<unsigned>(n);
+    locking.policy.paradigm = Paradigm::kLocking;
+    locking.policy.locking = LockingPolicy::kMru;
+    locking.measure_us = flags.fast ? 200'000.0 : 600'000.0;
+    SimConfig ips = locking;
+    ips.policy.paradigm = Paradigm::kIps;
+    ips.policy.ips = IpsPolicy::kWired;
+
+    const auto cap_l = findMaxRate(locking, model, make, 0.001, 0.09, bound, 10);
+    const auto cap_i = findMaxRate(ips, model, make, 0.001, 0.09, bound, 10);
+    t.addRow({static_cast<double>(n), perSecond(cap_l.max_rate_per_us),
+              perSecond(cap_i.max_rate_per_us),
+              cap_l.max_rate_per_us / std::max(cap_i.max_rate_per_us, 1e-9)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// stream_capacity_planning — a capacity-planning scenario.
+//
+// A host must serve N concurrent clients (think: the NFS/visualization
+// servers of the paper's era), each sending 1,200 packets/s, with mean
+// protocol delay under 600 us. How many clients can each configuration
+// carry, and what should the operator deploy?
+//
+//   $ ./stream_capacity_planning [--procs 8] [--per-stream-rate 0.0012]
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "util/cli.hpp"
+
+using namespace affinity;
+
+namespace {
+
+int capacityInStreams(SimConfig config, const ExecTimeModel& model, double per_stream_rate,
+                      double bound) {
+  int lo = 0, hi = 129;
+  while (hi - lo > 1) {
+    const int mid = (lo + hi) / 2;
+    const RunMetrics m = runOnce(
+        config, model, makePoissonStreams(static_cast<std::size_t>(mid), per_stream_rate * mid));
+    ((!m.saturated && m.mean_delay_us <= bound) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("stream_capacity_planning", "how many client streams can the host carry?");
+  const int& procs = cli.flag<int>("procs", 8, "processors");
+  const double& rate = cli.flag<double>("per-stream-rate", 0.0012, "per-client rate (pkts/us)");
+  const double& bound = cli.flag<double>("delay-bound", 600.0, "mean delay bound (us)");
+  cli.parse(argc, argv);
+
+  const auto model = ExecTimeModel::standard();
+  SimConfig config = defaultSimConfig();
+  config.num_procs = static_cast<unsigned>(procs);
+  config.measure_us = 600'000.0;
+
+  std::printf("capacity planning: %d processors, %.0f pkts/s per client, delay bound %.0f us\n\n",
+              procs, rate * 1e6, bound);
+
+  struct Option {
+    const char* label;
+    Paradigm paradigm;
+    LockingPolicy locking;
+    IpsPolicy ips;
+  };
+  const Option options[] = {
+      {"Locking, no affinity (FCFS)", Paradigm::kLocking, LockingPolicy::kFcfs, IpsPolicy::kWired},
+      {"Locking, MRU affinity", Paradigm::kLocking, LockingPolicy::kMru, IpsPolicy::kWired},
+      {"Locking, streams wired", Paradigm::kLocking, LockingPolicy::kWiredStreams,
+       IpsPolicy::kWired},
+      {"IPS, stacks wired", Paradigm::kIps, LockingPolicy::kMru, IpsPolicy::kWired},
+  };
+
+  int best = -1;
+  const char* best_label = "";
+  for (const Option& o : options) {
+    config.policy.paradigm = o.paradigm;
+    config.policy.locking = o.locking;
+    config.policy.ips = o.ips;
+    const int n = capacityInStreams(config, model, rate, bound);
+    std::printf("  %-32s %3d clients (%.0f pkts/s aggregate)\n", o.label, n, n * rate * 1e6);
+    if (n > best) {
+      best = n;
+      best_label = o.label;
+    }
+  }
+  std::printf("\nrecommendation: \"%s\" carries the most clients (%d).\n", best_label, best);
+  return 0;
+}

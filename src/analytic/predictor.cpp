@@ -1,0 +1,237 @@
+#include "analytic/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "analytic/queueing.hpp"
+#include "util/check.hpp"
+
+namespace affinity {
+
+namespace {
+
+/// Per-component affinity profile at a given operating point: probability
+/// the component is cold because it last lived on another processor, and
+/// the mean age when it is on the right processor.
+struct ComponentProfile {
+  double p_cold = 0.0;
+  double gap_us = 0.0;
+};
+
+/// E[F(age)] under the two-point approximation: migrated => fully flushed;
+/// resident => flushed according to the mean gap. (F is concave, so using
+/// the mean gap is slightly optimistic; the validation bench quantifies it.)
+double expectedFlush(const FlushModel& fm, bool l2, const ComponentProfile& c) {
+  const double f = l2 ? fm.f2(c.gap_us) : fm.f1(c.gap_us);
+  return c.p_cold + (1.0 - c.p_cold) * f;
+}
+
+/// Mean service time for component profiles (code, shared, stream).
+double meanService(const ExecTimeModel& model, const ComponentProfile& code,
+                   const ComponentProfile& shared, const ComponentProfile& stream) {
+  const FootprintShares& g = model.shares();
+  const FlushModel& fm = model.flush();
+  const double l1 = g.l1_code * expectedFlush(fm, false, code) +
+                    g.l1_shared * expectedFlush(fm, false, shared) +
+                    g.l1_stream * expectedFlush(fm, false, stream);
+  const double l2 = g.l2_code * expectedFlush(fm, true, code) +
+                    g.l2_shared * expectedFlush(fm, true, shared) +
+                    g.l2_stream * expectedFlush(fm, true, stream);
+  return model.tWarm() + l1 * model.reloadParams().dl1_us + l2 * model.reloadParams().dl2_us;
+}
+
+/// Squared coefficient of variation of service from the dominant variance
+/// source: the stream/stack migration coin-flip between a "resident" and a
+/// "migrated" service time.
+double serviceCv2(const ExecTimeModel& model, const ComponentProfile& code,
+                  const ComponentProfile& shared, ComponentProfile stream, double s_mean) {
+  ComponentProfile hot = stream;
+  hot.p_cold = 0.0;
+  ComponentProfile cold = stream;
+  cold.p_cold = 1.0;
+  const double s_hot = meanService(model, code, shared, hot);
+  const double s_cold = meanService(model, code, shared, cold);
+  const double p = stream.p_cold;
+  const double var = p * (1.0 - p) * (s_cold - s_hot) * (s_cold - s_hot);
+  return s_mean > 0.0 ? var / (s_mean * s_mean) : 0.0;
+}
+
+double positiveGap(double cycle_us, double service_us) {
+  const double gap = cycle_us - service_us;
+  return gap > 1.0 ? gap : 1.0;
+}
+
+/// Builds the component profiles for a Locking policy at service estimate s.
+void lockingProfiles(LockingPolicy policy, const PredictorInput& in, double s,
+                     ComponentProfile& code, ComponentProfile& shared,
+                     ComponentProfile& stream) {
+  const double n = in.num_procs;
+  const double lam = in.rate_per_us;
+  const double streams = in.num_streams;
+  // Processors the policy actually uses at this load: concentrating policies
+  // pack work onto ~(offered load + 1) processors.
+  const double busy = std::min(n, lam * s);
+  const double m = (policy == LockingPolicy::kFcfs) ? n : std::min(n, busy + 1.0);
+
+  code.p_cold = 0.0;
+  code.gap_us = positiveGap(m / lam, s);  // protocol visits each used proc at rate lam/m
+  shared.p_cold = 1.0 - 1.0 / m;          // last packet was on another used proc
+  shared.gap_us = positiveGap(m / lam, s);
+  stream.gap_us = positiveGap(streams / lam, s);  // the stream's own interarrival
+  switch (policy) {
+    case LockingPolicy::kFcfs:
+      stream.p_cold = 1.0 - 1.0 / n;
+      break;
+    case LockingPolicy::kMru:
+      stream.p_cold = 1.0 - 1.0 / m;
+      break;
+    case LockingPolicy::kStreamMru:
+      // The queue scan and idle preference find the stream's home processor
+      // most of the time (empirically ~0.85 across loads in the simulator).
+      stream.p_cold = 0.15;
+      break;
+    case LockingPolicy::kWiredStreams:
+      stream.p_cold = 0.0;
+      // Each processor only sees its own streams: protocol visit rate lam/n.
+      code.gap_us = positiveGap(n / lam, s);
+      shared.gap_us = positiveGap(n / lam, s);
+      break;
+  }
+}
+
+/// Component profiles for an IPS policy. The shared+stream components are
+/// keyed by the stack.
+void ipsProfiles(IpsPolicy policy, const PredictorInput& in, unsigned stacks, double s,
+                 ComponentProfile& code, ComponentProfile& stack) {
+  const double n = in.num_procs;
+  const double lam = in.rate_per_us;
+  const double k = stacks;
+  const double busy = std::min(n, lam * s);
+  const double m = std::min(n, busy + 1.0);
+  stack.gap_us = positiveGap(k / lam, s);  // per-stack packet interarrival
+  switch (policy) {
+    case IpsPolicy::kRandom:
+      code.gap_us = positiveGap(n / lam, s);
+      stack.p_cold = 1.0 - 1.0 / n;
+      break;
+    case IpsPolicy::kMru:
+      // Concentration keeps code warm; stacks mostly stick to their last
+      // processor (they migrate when it is busy and another is idle — a
+      // mid-load phenomenon).
+      code.gap_us = positiveGap(m / lam, s);
+      stack.p_cold = (1.0 - 1.0 / m) * std::min(1.0, 2.0 * (busy / n) * (1.0 - busy / n));
+      break;
+    case IpsPolicy::kWired:
+      code.gap_us = positiveGap(n / lam, s);  // each proc sees only its stacks
+      stack.p_cold = 0.0;
+      break;
+  }
+  code.p_cold = 0.0;
+}
+
+}  // namespace
+
+Prediction predictLocking(const ExecTimeModel& model, LockingPolicy policy,
+                          const PredictorInput& in) {
+  AFF_CHECK(in.rate_per_us > 0.0 && in.num_procs >= 1 && in.num_streams >= 1);
+  ComponentProfile code, shared, stream;
+  double s = model.tWarm() + in.lock_overhead_us + in.fixed_overhead_us;
+  for (int iter = 0; iter < 60; ++iter) {
+    lockingProfiles(policy, in, s, code, shared, stream);
+    const double next =
+        meanService(model, code, shared, stream) + in.lock_overhead_us + in.fixed_overhead_us;
+    s = 0.5 * (s + next);
+  }
+
+  Prediction p;
+  p.service_us = s;
+  const double cs2 = serviceCv2(model, code, shared, stream, s);
+
+  // Capacity: saturated service (back-to-back execution, gaps -> 0).
+  ComponentProfile c0 = code, sh0 = shared, st0 = stream;
+  c0.gap_us = sh0.gap_us = 1.0;
+  st0.gap_us = positiveGap(static_cast<double>(in.num_streams) / in.rate_per_us, s);
+  const double s_sat =
+      meanService(model, c0, sh0, st0) + in.lock_overhead_us + in.fixed_overhead_us;
+  p.capacity_per_us = static_cast<double>(in.num_procs) / s_sat;
+  if (in.critical_section_us > 0.0)
+    p.capacity_per_us = std::min(p.capacity_per_us, 1.0 / in.critical_section_us);
+
+  // Busy-period service time: packets that actually queue are served
+  // back-to-back, so the caches are much warmer than the long-run mean —
+  // using the mean service in the wait formula would overstate congestion
+  // (the system is self-stabilizing). Approximate busy-period gaps by the
+  // service time itself.
+  ComponentProfile cb = code, shb = shared, stb = stream;
+  cb.gap_us = shb.gap_us = stb.gap_us = s;
+  const double s_busy =
+      meanService(model, cb, shb, stb) + in.lock_overhead_us + in.fixed_overhead_us;
+
+  // Queueing: pooled M/G/c for the work-conserving policies; partitioned
+  // per-processor M/G/1 for wired streams.
+  if (policy == LockingPolicy::kWiredStreams) {
+    const double lam_per = in.rate_per_us / in.num_procs;
+    p.wait_us = allenCunneenMeanWait(1, lam_per, s_busy, 1.0, cs2);
+  } else {
+    p.wait_us = allenCunneenMeanWait(in.num_procs, in.rate_per_us, s_busy, 1.0, cs2);
+  }
+  // Lock contention: the shared critical section behaves as an M/D/1 server.
+  const double rho_lock = in.rate_per_us * in.critical_section_us;
+  const double lock_wait =
+      rho_lock < 1.0 ? md1MeanWait(in.rate_per_us, in.critical_section_us) : 1e9;
+
+  p.utilization = std::min(1.0, in.rate_per_us * s / in.num_procs);
+  p.stable = in.rate_per_us < p.capacity_per_us && std::isfinite(p.wait_us);
+  p.delay_us = p.stable ? s + p.wait_us + lock_wait
+                        : std::numeric_limits<double>::infinity();
+  return p;
+}
+
+Prediction predictIps(const ExecTimeModel& model, IpsPolicy policy, const PredictorInput& in) {
+  AFF_CHECK(in.rate_per_us > 0.0 && in.num_procs >= 1);
+  const unsigned stacks = in.ips_stacks != 0 ? in.ips_stacks : in.num_procs;
+  ComponentProfile code, stack;
+  double s = model.tWarm() + in.fixed_overhead_us;
+  for (int iter = 0; iter < 60; ++iter) {
+    ipsProfiles(policy, in, stacks, s, code, stack);
+    const double next = meanService(model, code, stack, stack) + in.fixed_overhead_us;
+    s = 0.5 * (s + next);
+  }
+
+  Prediction p;
+  p.service_us = s;
+  const double cs2 = serviceCv2(model, code, stack, stack, s);
+
+  // Capacity: limited by stacks (serial contexts) and by processors.
+  ComponentProfile c0 = code, st0 = stack;
+  c0.gap_us = 1.0;
+  st0.gap_us = positiveGap(static_cast<double>(stacks) / in.rate_per_us, s);
+  const double s_sat = meanService(model, c0, st0, st0) + in.fixed_overhead_us;
+  p.capacity_per_us =
+      std::min<double>(stacks, in.num_procs) / s_sat;
+
+  // Busy-period service: queued packets of a stack run back-to-back on one
+  // processor, so their stack state (and the code) is warm — see the
+  // Locking predictor for why the wait formula must use this, not the mean.
+  ComponentProfile cb = code, stb = stack;
+  cb.gap_us = stb.gap_us = s;
+  stb.p_cold = 0.0;  // within a busy period the stack does not migrate
+  const double s_busy = meanService(model, cb, stb, stb) + in.fixed_overhead_us;
+
+  // Queueing: a packet waits for its (serial) stack — per-stack M/G/1 — and,
+  // when stacks outnumber processors, also for a processor. Take the larger
+  // of the two bottlenecks.
+  const double lam_per_stack = in.rate_per_us / stacks;
+  const double stack_wait = allenCunneenMeanWait(1, lam_per_stack, s_busy, 1.0, cs2);
+  const double proc_wait =
+      allenCunneenMeanWait(in.num_procs, in.rate_per_us, s_busy, 1.0, cs2);
+  p.wait_us = std::max(stack_wait, proc_wait);
+
+  p.utilization = std::min(1.0, in.rate_per_us * s / in.num_procs);
+  p.stable = in.rate_per_us < p.capacity_per_us && std::isfinite(p.wait_us);
+  p.delay_us = p.stable ? s + p.wait_us : std::numeric_limits<double>::infinity();
+  return p;
+}
+
+}  // namespace affinity

@@ -1,0 +1,44 @@
+#include "analytic/queueing.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+double erlangC(unsigned c, double offered_load) {
+  AFF_CHECK(c >= 1);
+  const double a = offered_load;
+  if (a <= 0.0) return 0.0;
+  if (a >= static_cast<double>(c)) return 1.0;
+  // Erlang-B recurrence: B(0) = 1; B(k) = a B(k-1) / (k + a B(k-1)).
+  double b = 1.0;
+  for (unsigned k = 1; k <= c; ++k) b = a * b / (static_cast<double>(k) + a * b);
+  const double rho = a / static_cast<double>(c);
+  return b / (1.0 - rho + rho * b);
+}
+
+double mmcMeanWait(unsigned c, double lambda, double service_us) {
+  AFF_CHECK(lambda >= 0.0 && service_us > 0.0);
+  const double a = lambda * service_us;  // offered load in Erlangs
+  const double rho = a / static_cast<double>(c);
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  const double pw = erlangC(c, a);
+  return pw * service_us / (static_cast<double>(c) * (1.0 - rho));
+}
+
+double md1MeanWait(double lambda, double service_us) {
+  AFF_CHECK(lambda >= 0.0 && service_us > 0.0);
+  const double rho = lambda * service_us;
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  return rho * service_us / (2.0 * (1.0 - rho));
+}
+
+double allenCunneenMeanWait(unsigned c, double lambda, double service_us, double ca2,
+                            double cs2) {
+  const double w = mmcMeanWait(c, lambda, service_us);
+  return 0.5 * (ca2 + cs2) * w;
+}
+
+}  // namespace affinity

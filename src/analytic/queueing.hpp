@@ -1,0 +1,32 @@
+// queueing.hpp — closed-form queueing results used by the analytic
+// performance predictor and by the tests that validate the simulator.
+//
+// The paper's methodology combines simulation with "a variety of
+// queueing-theoretic techniques" (it cites Squillante & Lazowska's use of
+// them); this module provides the standard toolbox: Erlang-C, M/M/c, M/D/1,
+// and the Allen–Cunneen approximation for M/G/c.
+#pragma once
+
+namespace affinity {
+
+/// Erlang-C: probability an arrival must wait in an M/M/c queue with
+/// utilization rho = lambda*s/c (< 1). Computed with the numerically stable
+/// recurrence on the Erlang-B blocking probability.
+double erlangC(unsigned c, double offered_load);
+
+/// Mean waiting time (queue only) in M/M/c; `service_us` is the mean service
+/// time, `lambda` in customers/µs. Returns +inf at or above saturation.
+double mmcMeanWait(unsigned c, double lambda, double service_us);
+
+/// Mean waiting time in M/D/1 (Pollaczek–Khinchine with zero service
+/// variance): Wq = rho * s / (2 (1 - rho)).
+double md1MeanWait(double lambda, double service_us);
+
+/// Allen–Cunneen approximation for the mean wait of M/G/c:
+///   Wq ≈ (Ca² + Cs²)/2 · Wq(M/M/c)
+/// with Ca² the squared coefficient of variation of inter-arrival times
+/// (1 for Poisson) and Cs² that of service times.
+double allenCunneenMeanWait(unsigned c, double lambda, double service_us, double ca2,
+                            double cs2);
+
+}  // namespace affinity

@@ -1,0 +1,42 @@
+#include "cache/exec_time.hpp"
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+ExecTimeModel::ExecTimeModel(FlushModel flush, ReloadParams reload, FootprintShares shares)
+    : flush_(flush), reload_(reload), shares_(shares) {
+  AFF_CHECK(shares_.valid());
+  AFF_CHECK(reload_.t_warm_us > 0.0 && reload_.dl1_us >= 0.0 && reload_.dl2_us >= 0.0);
+}
+
+double ExecTimeModel::reload(double age_us) const noexcept {
+  if (age_us <= 0.0) return 0.0;
+  if (age_us == kColdAge) return reload_.dl1_us + reload_.dl2_us;
+  return flush_.f1(age_us) * reload_.dl1_us + flush_.f2(age_us) * reload_.dl2_us;
+}
+
+namespace {
+inline double flushAt(const FlushModel& fm, double age_us, bool l2) noexcept {
+  if (age_us <= 0.0) return 0.0;
+  if (age_us == kColdAge) return 1.0;
+  return l2 ? fm.f2(age_us) : fm.f1(age_us);
+}
+}  // namespace
+
+ExecTimeModel::ServiceParts ExecTimeModel::serviceParts(
+    const CacheStateAges& ages) const noexcept {
+  const double l1 = shares_.l1_code * flushAt(flush_, ages.code, false) +
+                    shares_.l1_shared * flushAt(flush_, ages.shared, false) +
+                    shares_.l1_stream * flushAt(flush_, ages.stream, false);
+  const double l2 = shares_.l2_code * flushAt(flush_, ages.code, true) +
+                    shares_.l2_shared * flushAt(flush_, ages.shared, true) +
+                    shares_.l2_stream * flushAt(flush_, ages.stream, true);
+  return ServiceParts{reload_.t_warm_us, l1 * reload_.dl1_us, l2 * reload_.dl2_us};
+}
+
+double ExecTimeModel::serviceTime(const CacheStateAges& ages) const noexcept {
+  return serviceParts(ages).total();
+}
+
+}  // namespace affinity

@@ -1,0 +1,31 @@
+#include "cache/footprint.hpp"
+
+#include <cmath>
+
+namespace affinity {
+
+double uniqueLines(const SstParams& p, double refs, double line_bytes) noexcept {
+  if (refs <= 1.0) return refs > 0.0 ? refs : 0.0;
+  const double logL = std::log10(line_bytes);
+  const double logR = std::log10(refs);
+  // u = W * L^a * R^b * 10^(log_d * logL * logR)
+  const double log_u = std::log10(p.W) + p.a * logL + p.b * logR + p.log_d * logL * logR;
+  const double u = std::pow(10.0, log_u);
+  return u > refs ? refs : u;
+}
+
+double refsForUniqueLines(const SstParams& p, double lines, double line_bytes) noexcept {
+  if (lines <= 0.0) return 0.0;
+  double lo = 1.0, hi = 1.0;
+  while (uniqueLines(p, hi, line_bytes) < lines && hi < 1e18) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (uniqueLines(p, mid, line_bytes) < lines)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace affinity

@@ -1,0 +1,3 @@
+#include "cache/machine.hpp"
+
+// Header-only data; this translation unit anchors the library.

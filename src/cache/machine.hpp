@@ -1,0 +1,52 @@
+// machine.hpp — cache-hierarchy geometry and processor parameters.
+//
+// Defaults model the paper's platform: an SGI Challenge XL with 100 MHz MIPS
+// R4400 processors — split 16 KB direct-mapped L1 I/D caches and a 1 MB
+// direct-mapped unified L2 with 128-byte lines.
+#pragma once
+
+#include <cstdint>
+
+namespace affinity {
+
+/// Geometry of one cache level.
+struct CacheLevelParams {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t line_bytes = 0;
+  std::uint32_t associativity = 1;
+
+  /// Number of sets (size / (line * assoc)).
+  [[nodiscard]] std::uint64_t sets() const noexcept {
+    return size_bytes / (static_cast<std::uint64_t>(line_bytes) * associativity);
+  }
+  [[nodiscard]] std::uint64_t lines() const noexcept { return size_bytes / line_bytes; }
+};
+
+/// Processor + memory-hierarchy parameters used by both the analytic model
+/// and the trace-driven cache simulator.
+struct MachineParams {
+  double clock_hz = 100e6;         ///< processor clock
+  double cycles_per_ref = 5.0;     ///< paper's m: average cycles per memory reference
+  CacheLevelParams l1i{16 * 1024, 32, 1};
+  CacheLevelParams l1d{16 * 1024, 32, 1};
+  CacheLevelParams l2{1024 * 1024, 128, 1};
+  /// Fraction of the reference stream that is instruction fetches; the paper
+  /// assumes an approximately even I/D split (citing Hill & Smith).
+  double ifetch_fraction = 0.5;
+  /// Miss penalties used by the trace-driven simulator (cycles per line).
+  double l1_miss_cycles = 12.0;  ///< L1 miss filled from L2
+  double l2_miss_cycles = 85.0;  ///< L2 miss filled from memory (Challenge bus)
+  /// Extra cycles to fetch a line dirty in another processor's cache
+  /// (cache-to-cache intervention on the Challenge's POWERpath-2 bus).
+  double intervention_cycles = 140.0;
+
+  /// References issued per microsecond of execution: f_clk / (m * 1e6).
+  [[nodiscard]] double refsPerMicrosecond() const noexcept {
+    return clock_hz / (cycles_per_ref * 1e6);
+  }
+
+  /// The paper's platform (SGI Challenge XL, MIPS R4400 @ 100 MHz).
+  static MachineParams sgiChallenge() noexcept { return MachineParams{}; }
+};
+
+}  // namespace affinity

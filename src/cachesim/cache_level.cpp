@@ -1,0 +1,106 @@
+#include "cachesim/cache_level.hpp"
+
+namespace affinity {
+
+CacheLevel::CacheLevel(CacheLevelParams params)
+    : params_(params),
+      sets_(params.sets()),
+      ways_(params.associativity),
+      lines_(sets_ * ways_) {
+  AFF_CHECK(params_.size_bytes > 0 && params_.line_bytes > 0);
+  AFF_CHECK(params_.associativity >= 1);
+  AFF_CHECK((params_.line_bytes & (params_.line_bytes - 1)) == 0);
+  AFF_CHECK(sets_ > 0);
+  AFF_CHECK((sets_ & (sets_ - 1)) == 0);
+  line_shift_ = 0;
+  while ((1u << line_shift_) < params_.line_bytes) ++line_shift_;
+}
+
+CacheLevel::Result CacheLevel::access(std::uint64_t addr, bool is_write) {
+  ++stats_.accesses;
+  const std::uint64_t tag = addr >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(tag & (sets_ - 1));
+  Line* base = &lines_[set * ways_];
+  // LRU: stamp via monotone counter.
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      l.lru = ++lru_clock_;
+      l.dirty = l.dirty || is_write;
+      return Result{true, false, 0};
+    }
+  }
+  ++stats_.misses;
+  // Victim: invalid way if any, else LRU.
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& l = base[w];
+    if (!l.valid) {
+      victim = &l;
+      break;
+    }
+    if (l.lru < victim->lru) victim = &l;
+  }
+  Result r{false, false, 0};
+  if (victim->valid) {
+    ++stats_.evictions;
+    r.evicted_valid = true;
+    r.evicted_line_addr = victim->tag << line_shift_;
+    if (victim->dirty) ++stats_.writebacks;
+  }
+  victim->valid = true;
+  victim->dirty = is_write;
+  victim->tag = tag;
+  victim->lru = ++lru_clock_;
+  return r;
+}
+
+bool CacheLevel::contains(std::uint64_t addr) const noexcept {
+  const std::uint64_t tag = addr >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(tag & (sets_ - 1));
+  const Line* base = &lines_[set * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+bool CacheLevel::invalidate(std::uint64_t addr) noexcept {
+  const std::uint64_t tag = addr >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(tag & (sets_ - 1));
+  Line* base = &lines_[set * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      l.valid = false;
+      l.dirty = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CacheLevel::flushAll() noexcept {
+  for (Line& l : lines_) {
+    l.valid = false;
+    l.dirty = false;
+  }
+}
+
+std::uint64_t CacheLevel::residentLineCount() const noexcept {
+  std::uint64_t n = 0;
+  for (const Line& l : lines_)
+    if (l.valid) ++n;
+  return n;
+}
+
+std::uint64_t CacheLevel::residentWithin(std::uint64_t lo, std::uint64_t hi) const noexcept {
+  std::uint64_t n = 0;
+  for (const Line& l : lines_) {
+    if (!l.valid) continue;
+    const std::uint64_t a = l.tag << line_shift_;
+    if (a >= lo && a < hi) ++n;
+  }
+  return n;
+}
+
+}  // namespace affinity

@@ -1,0 +1,83 @@
+// cache_level.hpp — one set-associative, write-back, LRU cache level.
+//
+// Addresses are byte addresses; the cache operates at line granularity.
+// Set count and line size must be powers of two (true of the modeled
+// hardware and asserted at construction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/machine.hpp"
+#include "util/check.hpp"
+
+namespace affinity {
+
+/// A single cache array with LRU replacement and write-back dirty tracking.
+class CacheLevel {
+ public:
+  struct Stats {
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+
+    [[nodiscard]] double missRate() const noexcept {
+      return accesses ? static_cast<double>(misses) / static_cast<double>(accesses) : 0.0;
+    }
+  };
+
+  /// Outcome of one access.
+  struct Result {
+    bool hit = false;
+    bool evicted_valid = false;          ///< a valid line was displaced
+    std::uint64_t evicted_line_addr = 0; ///< line address of the victim (if any)
+  };
+
+  explicit CacheLevel(CacheLevelParams params);
+
+  /// Performs a read (`is_write == false`) or write access; allocates on
+  /// miss (write-allocate).
+  Result access(std::uint64_t addr, bool is_write);
+
+  /// True if the line containing `addr` is resident.
+  [[nodiscard]] bool contains(std::uint64_t addr) const noexcept;
+
+  /// Removes the line containing `addr` if resident; returns whether it was.
+  bool invalidate(std::uint64_t addr) noexcept;
+
+  /// Invalidates the whole array (models a cache flush).
+  void flushAll() noexcept;
+
+  /// Number of valid lines (diagnostics / tests).
+  [[nodiscard]] std::uint64_t residentLineCount() const noexcept;
+
+  /// Number of valid lines whose address is in [lo, hi) — used by the
+  /// measurement harness to observe how much of a footprint survives.
+  [[nodiscard]] std::uint64_t residentWithin(std::uint64_t lo, std::uint64_t hi) const noexcept;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void resetStats() noexcept { stats_ = Stats{}; }
+  [[nodiscard]] const CacheLevelParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint64_t lineAddr(std::uint64_t addr) const noexcept {
+    return addr >> line_shift_ << line_shift_;
+  }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheLevelParams params_;
+  std::uint64_t sets_;
+  std::uint32_t ways_;
+  std::vector<Line> lines_;  // [set][way] flattened
+  std::uint32_t line_shift_ = 0;
+  std::uint64_t lru_clock_ = 0;
+  Stats stats_;
+};
+
+}  // namespace affinity

@@ -1,0 +1,41 @@
+#include "cachesim/coherence.hpp"
+
+namespace affinity {
+
+CoherentSystem::CoherentSystem(const MachineParams& machine, unsigned num_procs)
+    : machine_(machine) {
+  AFF_CHECK(num_procs >= 1 && num_procs <= 32);
+  procs_.reserve(num_procs);
+  for (unsigned i = 0; i < num_procs; ++i) procs_.push_back(std::make_unique<Hierarchy>(machine));
+  line_mask_ = ~static_cast<std::uint64_t>(machine.l2.line_bytes - 1);
+}
+
+Hierarchy::Outcome CoherentSystem::access(unsigned proc, std::uint64_t addr, RefKind kind) {
+  AFF_DCHECK(proc < procs_.size());
+  const std::uint64_t line = addr & line_mask_;
+  LineState& st = directory_[line];
+  const bool external_dirty = st.dirty_owner >= 0 && st.dirty_owner != static_cast<int>(proc);
+  if (external_dirty) ++interventions_;
+
+  const auto out = procs_[proc]->access(addr, kind, external_dirty);
+
+  const std::uint32_t self_bit = 1u << proc;
+  if (kind == RefKind::kStore) {
+    // Invalidate all remote copies.
+    std::uint32_t remote = st.present_mask & ~self_bit;
+    for (unsigned j = 0; remote != 0; ++j, remote >>= 1) {
+      if (remote & 1u) {
+        procs_[j]->invalidateLine(line);
+        ++invalidations_;
+      }
+    }
+    st.present_mask = self_bit;
+    st.dirty_owner = static_cast<int>(proc);
+  } else {
+    if (external_dirty) st.dirty_owner = -1;  // owner downgraded to shared
+    st.present_mask |= self_bit;
+  }
+  return out;
+}
+
+}  // namespace affinity

@@ -1,0 +1,54 @@
+// coherence.hpp — multiple processors' hierarchies with write-invalidate
+// coherence at L2-line granularity.
+//
+// A line directory tracks which processors may cache each L2 line and which
+// (if any) holds it dirty. Stores invalidate remote copies; loads of a
+// remotely-dirty line pay the cache-to-cache intervention penalty and
+// downgrade the owner to shared. The directory is a *superset*
+// approximation: silent local evictions do not notify it, so a remote
+// "present" bit may be stale — this only causes harmless extra invalidate
+// probes and slightly pessimistic intervention charging, and keeps the
+// simulator simple (the Challenge's snoopy bus has no directory either).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cachesim/hierarchy.hpp"
+
+namespace affinity {
+
+/// P coherent cache hierarchies over a shared memory.
+class CoherentSystem {
+ public:
+  CoherentSystem(const MachineParams& machine, unsigned num_procs);
+
+  /// One reference by processor `proc`; returns its cost in cycles.
+  Hierarchy::Outcome access(unsigned proc, std::uint64_t addr, RefKind kind);
+
+  [[nodiscard]] unsigned numProcs() const noexcept { return static_cast<unsigned>(procs_.size()); }
+  [[nodiscard]] Hierarchy& proc(unsigned i) noexcept { return *procs_[i]; }
+  [[nodiscard]] const Hierarchy& proc(unsigned i) const noexcept { return *procs_[i]; }
+
+  /// Number of invalidation messages sent so far (diagnostic).
+  [[nodiscard]] std::uint64_t invalidationsSent() const noexcept { return invalidations_; }
+  /// Number of cache-to-cache interventions (dirty-remote fills).
+  [[nodiscard]] std::uint64_t interventions() const noexcept { return interventions_; }
+
+ private:
+  struct LineState {
+    std::uint32_t present_mask = 0;  ///< processors that may cache the line
+    int dirty_owner = -1;            ///< processor holding it modified, or -1
+  };
+
+  MachineParams machine_;
+  std::vector<std::unique_ptr<Hierarchy>> procs_;
+  std::unordered_map<std::uint64_t, LineState> directory_;
+  std::uint64_t line_mask_;
+  std::uint64_t invalidations_ = 0;
+  std::uint64_t interventions_ = 0;
+};
+
+}  // namespace affinity

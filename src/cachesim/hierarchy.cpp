@@ -1,0 +1,68 @@
+#include "cachesim/hierarchy.hpp"
+
+namespace affinity {
+
+Hierarchy::Hierarchy(const MachineParams& machine)
+    : machine_(machine), l1i_(machine.l1i), l1d_(machine.l1d), l2_(machine.l2) {}
+
+Hierarchy::Outcome Hierarchy::access(std::uint64_t addr, RefKind kind, bool external_dirty) {
+  Outcome out;
+  out.cycles = machine_.cycles_per_ref;
+  CacheLevel& l1 = (kind == RefKind::kIFetch) ? l1i_ : l1d_;
+  const bool is_write = kind == RefKind::kStore;
+  const auto r1 = l1.access(addr, is_write);
+  if (r1.hit) return out;
+  out.l1_miss = true;
+  out.cycles += machine_.l1_miss_cycles;
+  const auto r2 = l2_.access(addr, is_write);
+  if (!r2.hit) {
+    out.l2_miss = true;
+    out.cycles += external_dirty ? machine_.intervention_cycles : machine_.l2_miss_cycles;
+    if (r2.evicted_valid) {
+      // Enforce inclusion: every L1 line covered by the evicted (wider) L2
+      // line leaves the L1s too.
+      const std::uint64_t lo = r2.evicted_line_addr;
+      for (std::uint64_t a = lo; a < lo + machine_.l2.line_bytes;
+           a += machine_.l1d.line_bytes) {
+        l1i_.invalidate(a);
+        l1d_.invalidate(a);
+      }
+    }
+  }
+  return out;
+}
+
+void Hierarchy::invalidateLine(std::uint64_t addr) noexcept {
+  // L2 lines are wider than L1 lines; invalidate every L1 line covered by
+  // the L2 line.
+  const std::uint64_t l2_line = l2_.lineAddr(addr);
+  const std::uint32_t l1_line = machine_.l1d.line_bytes;
+  for (std::uint64_t a = l2_line; a < l2_line + machine_.l2.line_bytes; a += l1_line) {
+    l1i_.invalidate(a);
+    l1d_.invalidate(a);
+  }
+  l2_.invalidate(l2_line);
+}
+
+void Hierarchy::invalidateL1Line(std::uint64_t addr) noexcept {
+  l1i_.invalidate(addr);
+  l1d_.invalidate(addr);
+}
+
+void Hierarchy::flushL1() noexcept {
+  l1i_.flushAll();
+  l1d_.flushAll();
+}
+
+void Hierarchy::flushAll() noexcept {
+  flushL1();
+  l2_.flushAll();
+}
+
+void Hierarchy::resetStats() noexcept {
+  l1i_.resetStats();
+  l1d_.resetStats();
+  l2_.resetStats();
+}
+
+}  // namespace affinity

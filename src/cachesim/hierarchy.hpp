@@ -1,0 +1,73 @@
+// hierarchy.hpp — one processor's two-level cache hierarchy.
+//
+// Split L1 I/D over a unified L2, mirroring the R4400/Challenge arrangement.
+// Inclusion is enforced (an L2 eviction back-invalidates the L1s) so that
+// invalidating a line at L2 is sufficient for coherence.
+//
+// The hierarchy charges cycles per access: cycles_per_ref for the access
+// itself (pipeline + L1 hit), plus the L1 and L2 miss penalties from
+// MachineParams. Writebacks are not separately charged (the Challenge's
+// writeback buffers mostly hide them; constant costs would not change any
+// comparison in the study).
+#pragma once
+
+#include <cstdint>
+
+#include "cachesim/cache_level.hpp"
+
+namespace affinity {
+
+/// Kind of memory reference.
+enum class RefKind : std::uint8_t { kIFetch, kLoad, kStore };
+
+/// One processor's L1I + L1D + unified L2.
+class Hierarchy {
+ public:
+  explicit Hierarchy(const MachineParams& machine);
+
+  /// Result of one reference.
+  struct Outcome {
+    double cycles = 0.0;
+    bool l1_miss = false;
+    bool l2_miss = false;
+  };
+
+  /// Performs one reference and returns its cost. `external_dirty` should be
+  /// true when coherence knows another processor holds the line dirty (adds
+  /// the intervention penalty on an L2 miss; the coherence layer decides).
+  Outcome access(std::uint64_t addr, RefKind kind, bool external_dirty = false);
+
+  /// Coherence back-invalidate of one line (and its L1 copies).
+  void invalidateLine(std::uint64_t addr) noexcept;
+
+  /// Invalidates one L1-sized line in the L1 caches only (L2 copy kept) —
+  /// used by the measurement harness to cool a region at L1 granularity.
+  void invalidateL1Line(std::uint64_t addr) noexcept;
+
+  /// Flushes L1 caches only (measurement harness: "L1 cold, L2 warm").
+  void flushL1() noexcept;
+
+  /// Flushes the whole hierarchy ("everything cold").
+  void flushAll() noexcept;
+
+  [[nodiscard]] const CacheLevel& l1i() const noexcept { return l1i_; }
+  [[nodiscard]] const CacheLevel& l1d() const noexcept { return l1d_; }
+  [[nodiscard]] const CacheLevel& l2() const noexcept { return l2_; }
+  [[nodiscard]] CacheLevel& l2() noexcept { return l2_; }
+  [[nodiscard]] const MachineParams& machine() const noexcept { return machine_; }
+
+  void resetStats() noexcept;
+
+  /// Converts an access cost in cycles to microseconds at the machine clock.
+  [[nodiscard]] double cyclesToUs(double cycles) const noexcept {
+    return cycles / machine_.clock_hz * 1e6;
+  }
+
+ private:
+  MachineParams machine_;
+  CacheLevel l1i_;
+  CacheLevel l1d_;
+  CacheLevel l2_;
+};
+
+}  // namespace affinity

@@ -1,0 +1,106 @@
+// measurement.hpp — the paper's §4 experiments, replayed on the simulated
+// memory hierarchy.
+//
+// The paper parameterizes its analytic model with packet execution times
+// measured on the SGI Challenge under controlled cache states:
+//
+//   t_warm    — protocol footprint resident in L1 and L2
+//   t_l1cold  — footprint evicted from L1 but resident in L2
+//   t_cold    — footprint resident in neither (paper: 284.3 µs)
+//
+// and isolates the individual components of affinity-based overhead by
+// selectively invalidating one region (code / shared data / stream state)
+// at a time. This harness reproduces that methodology against `cachesim`,
+// yielding the ReloadParams and FootprintShares consumed by ExecTimeModel.
+#pragma once
+
+#include "cache/exec_time.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "cachesim/trace.hpp"
+
+namespace affinity {
+
+/// Output of the measurement experiments.
+struct MeasuredParams {
+  ReloadParams reload;
+  FootprintShares shares;
+  double t_warm_us = 0.0;
+  double t_l1cold_us = 0.0;
+  double t_cold_us = 0.0;
+  /// Per-component penalties over t_warm (µs): `l1` from invalidating the
+  /// region in L1 only; `full` from invalidating it at both levels. The L2
+  /// contribution is full - l1.
+  struct ComponentPenalty {
+    double l1_us = 0.0;
+    double full_us = 0.0;
+    [[nodiscard]] double l2_us() const noexcept { return full_us - l1_us; }
+  };
+  ComponentPenalty code;
+  ComponentPenalty shared;
+  ComponentPenalty stream;
+};
+
+/// Runs controlled cache-state experiments on one simulated hierarchy.
+class MeasurementHarness {
+ public:
+  MeasurementHarness(MachineParams machine, ProtocolLayout layout, ProtocolTraceParams params,
+                     std::uint64_t seed = 42);
+
+  /// Full experiment suite: warm / L1-cold / cold plus per-component
+  /// selective invalidation.
+  [[nodiscard]] MeasuredParams measure() const;
+
+  /// Packet execution time after the caches aged under `x_us` microseconds
+  /// of background (non-protocol) activity. Used to validate the analytic
+  /// F1/F2 interpolation against direct simulation.
+  [[nodiscard]] double measureAged(double x_us) const;
+
+  /// Fractions of the warmed protocol footprint displaced from L1D and L2
+  /// after `x_us` of background activity (direct observation, for comparing
+  /// with FlushModel::f1/f2).
+  struct DisplacedFractions {
+    double l1 = 0.0;
+    double l2 = 0.0;
+  };
+  [[nodiscard]] DisplacedFractions displacedAfter(double x_us) const;
+
+  /// Stream-migration experiment on the coherent multiprocessor: processor 0
+  /// processes a stream's packets (warming and *dirtying* its state), then
+  /// the next packet of the same stream executes on processor 1. Validates
+  /// the simulation model's assumption that a migrated component is at least
+  /// fully cold (write-invalidate plus cache-to-cache intervention costs).
+  struct MigrationTimes {
+    double t_same_proc_us = 0.0;   ///< next packet stays on processor 0
+    double t_other_proc_us = 0.0;  ///< next packet migrates to processor 1
+    double t_cold_us = 0.0;        ///< reference: nothing cached anywhere
+  };
+  [[nodiscard]] MigrationTimes measureMigration() const;
+
+  [[nodiscard]] const ProtocolTraceGenerator& generator() const noexcept { return gen_; }
+  [[nodiscard]] const MachineParams& machine() const noexcept { return machine_; }
+
+ private:
+  /// Replays `trace` on `h`, returning execution time in µs.
+  double replay(Hierarchy& h, const std::vector<MemRef>& trace) const;
+  /// Warms `h`: replays the warm packet and the measured packet's protocol
+  /// footprint, then re-cools the measured packet's buffer (fresh DMA data).
+  void warm(Hierarchy& h) const;
+  /// Invalidates every line of [lo, lo+bytes) in `h` (both levels).
+  static void invalidateRegion(Hierarchy& h, std::uint64_t lo, std::uint64_t bytes);
+  /// Invalidates every L1 line of [lo, lo+bytes), leaving L2 copies.
+  static void invalidateRegionL1(Hierarchy& h, std::uint64_t lo, std::uint64_t bytes);
+  /// Penalty over t_warm from cooling one region at L1 only and at both
+  /// levels (two separate experiments).
+  MeasuredParams::ComponentPenalty measureComponent(std::uint64_t lo, std::uint64_t bytes,
+                                                    double t_warm_us) const;
+  /// Runs background references worth `x_us` of execution on `h`.
+  void ageWith(Hierarchy& h, double x_us, Rng& rng) const;
+
+  MachineParams machine_;
+  ProtocolTraceGenerator gen_;
+  std::vector<MemRef> warm_trace_;     ///< packet used for warming (slot 0)
+  std::vector<MemRef> measure_trace_;  ///< packet used for timing (slot 1)
+  std::uint64_t seed_;
+};
+
+}  // namespace affinity

@@ -1,0 +1,138 @@
+#include "cachesim/trace.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+std::uint32_t ProtocolTraceGenerator::refsPerPacket() const noexcept {
+  std::uint32_t n = 0;
+  for (unsigned l = 0; l < 3; ++l) n += params_.ifetch_per_layer[l] + params_.data_per_layer[l];
+  return n;
+}
+
+void ProtocolTraceGenerator::layerTrace(unsigned layer, std::uint64_t stream,
+                                        std::uint64_t pkt_seq, Rng& rng,
+                                        std::vector<MemRef>& out) const {
+  // Each layer owns a third of the code segment and of the shared data.
+  const std::uint64_t code_seg = layout_.code_bytes / 3;
+  const std::uint64_t code_lo = layout_.code_base + layer * code_seg;
+  const std::uint64_t shared_seg = layout_.shared_bytes / 3;
+  const std::uint64_t shared_lo = layout_.shared_base + layer * shared_seg;
+  const std::uint64_t stream_lo = layout_.streamBase(stream);
+  const std::uint64_t pkt_lo = layout_.pktBase(pkt_seq);
+
+  const std::uint32_t n_ifetch = params_.ifetch_per_layer[layer];
+  const std::uint32_t n_data = params_.data_per_layer[layer];
+
+  // Interleave: basic blocks of sequential ifetches with data references
+  // sprinkled between them. The code walk restarts from pseudo-random block
+  // starts to model loops/branches while covering most of the segment.
+  std::uint32_t emitted_i = 0;
+  std::uint32_t emitted_d = 0;
+  std::uint64_t pc = code_lo;
+  std::uint32_t header_refs = std::min<std::uint32_t>(n_data / 8 + 2, n_data);
+
+  while (emitted_i < n_ifetch || emitted_d < n_data) {
+    // One basic block: 6..18 instructions.
+    const std::uint32_t block = 6 + static_cast<std::uint32_t>(rng.uniform_u64(13));
+    for (std::uint32_t k = 0; k < block && emitted_i < n_ifetch; ++k) {
+      out.push_back(MemRef{pc, RefKind::kIFetch});
+      pc += 4;
+      if (pc >= code_lo + code_seg) pc = code_lo;
+      ++emitted_i;
+    }
+    // Branch: mostly forward/backward within the segment (loops reuse code).
+    if (rng.bernoulli(0.35)) pc = code_lo + (rng.uniform_u64(code_seg / 64) * 64);
+
+    // Data references for this block.
+    const std::uint32_t d = std::min<std::uint32_t>(1 + static_cast<std::uint32_t>(rng.uniform_u64(4)),
+                                                    n_data - emitted_d);
+    for (std::uint32_t k = 0; k < d; ++k) {
+      const bool is_store = rng.bernoulli(params_.store_fraction);
+      const RefKind kind = is_store ? RefKind::kStore : RefKind::kLoad;
+      std::uint64_t addr;
+      if (header_refs > 0) {
+        // Header examination: sequential loads at the front of the packet.
+        addr = pkt_lo + (n_data / 8 + 2 - header_refs) * 8;
+        out.push_back(MemRef{addr, RefKind::kLoad});
+        --header_refs;
+        ++emitted_d;
+        continue;
+      }
+      if (rng.bernoulli(params_.stream_fraction[layer])) {
+        // PCB / session / socket-buffer access: wide (the session structure,
+        // reassembly map and socket buffer are all touched per packet), with
+        // a hot-field bias toward the front.
+        const std::uint64_t span = rng.bernoulli(0.5) ? layout_.stream_bytes_each / 2
+                                                      : layout_.stream_bytes_each;
+        addr = stream_lo + (rng.uniform_u64(span / 8) * 8);
+      } else {
+        // Shared structures (demux hash heads, driver queue, counters) are
+        // hot and concentrated: most probes hit the same few lines.
+        const std::uint64_t span =
+            rng.bernoulli(0.7) ? shared_seg / 4 : shared_seg;
+        addr = shared_lo + (rng.uniform_u64(span / 8) * 8);
+      }
+      out.push_back(MemRef{addr, kind});
+      ++emitted_d;
+    }
+    if (emitted_i >= n_ifetch && emitted_d < n_data) {
+      // Drain remaining data refs without code.
+      continue;
+    }
+  }
+}
+
+void ProtocolTraceGenerator::receivePacket(std::uint64_t stream, std::uint64_t pkt_seq, Rng& rng,
+                                           std::vector<MemRef>& out) const {
+  out.reserve(out.size() + refsPerPacket());
+  for (unsigned layer = 0; layer < 3; ++layer) layerTrace(layer, stream, pkt_seq, rng, out);
+}
+
+void ProtocolTraceGenerator::touchPayload(std::uint64_t stream, std::uint64_t pkt_seq,
+                                          std::uint32_t payload_bytes,
+                                          std::vector<MemRef>& out) const {
+  const std::uint64_t pkt_lo = layout_.pktBase(pkt_seq);
+  const std::uint64_t buf_lo = layout_.streamBase(stream) + layout_.stream_bytes_each / 2;
+  const std::uint32_t n = payload_bytes / 8;  // one dword per 8 bytes
+  out.reserve(out.size() + 2ull * n);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    out.push_back(MemRef{pkt_lo + 8ull * k, RefKind::kLoad});
+    out.push_back(MemRef{buf_lo + 8ull * (k % (layout_.stream_bytes_each / 16)), RefKind::kStore});
+  }
+}
+
+void BackgroundTraceGenerator::generate(std::uint64_t n, Rng& rng, std::vector<MemRef>& out) {
+  out.reserve(out.size() + n);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    std::uint64_t offset;
+    const double u = rng.uniform();
+    if (u < 0.20) {
+      // Sequential drift (new data): strong spatial locality.
+      frontier_ = (frontier_ + 8) % ws_bytes_;
+      offset = frontier_;
+    } else if (u < 0.72) {
+      // Tight temporal reuse of the recent past (within ~96 KB behind the
+      // frontier) — the dominant component, as in the SST fit's strong
+      // temporal-locality exponent.
+      const std::uint64_t window = std::min<std::uint64_t>(ws_bytes_, 96ull << 10);
+      const std::uint64_t back = rng.uniform_u64(window / 8) * 8;
+      offset = (frontier_ + ws_bytes_ - back) % ws_bytes_;
+    } else if (u < 0.94) {
+      // Medium-range reuse (sub-MB): inter-task working sets.
+      const std::uint64_t window = std::min<std::uint64_t>(ws_bytes_, 768ull << 10);
+      const std::uint64_t back = rng.uniform_u64(window / 8) * 8;
+      offset = (frontier_ + ws_bytes_ - back) % ws_bytes_;
+    } else {
+      // Long-range reuse across the whole working set.
+      offset = rng.uniform_u64(ws_bytes_ / 8) * 8;
+    }
+    const RefKind kind = (u < 0.55) ? (rng.bernoulli(0.3) ? RefKind::kStore : RefKind::kLoad)
+                                    : RefKind::kIFetch;
+    out.push_back(MemRef{base_ + offset, kind});
+  }
+}
+
+}  // namespace affinity

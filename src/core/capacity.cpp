@@ -1,0 +1,53 @@
+#include "core/capacity.hpp"
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+namespace {
+bool feasible(const SimConfig& base, const ExecTimeModel& model,
+              const StreamSetFactory& make_streams, double rate, double delay_bound_us,
+              RunMetrics& out) {
+  ProtocolSim sim(base, model, make_streams(rate));
+  out = sim.run();
+  return !out.saturated && out.mean_delay_us <= delay_bound_us && out.completed > 0;
+}
+}  // namespace
+
+CapacityResult findMaxRate(const SimConfig& base, const ExecTimeModel& model,
+                           const StreamSetFactory& make_streams, double lo_rate,
+                           double hi_rate, double delay_bound_us, int iters) {
+  AFF_CHECK(lo_rate > 0.0 && hi_rate > lo_rate);
+  CapacityResult result;
+  RunMetrics metrics;
+
+  if (!feasible(base, model, make_streams, lo_rate, delay_bound_us, metrics)) {
+    // Even the lower bound is infeasible; report it as the (degenerate) max.
+    result.max_rate_per_us = 0.0;
+    result.at_max = metrics;
+    return result;
+  }
+  result.max_rate_per_us = lo_rate;
+  result.at_max = metrics;
+
+  if (feasible(base, model, make_streams, hi_rate, delay_bound_us, metrics)) {
+    result.max_rate_per_us = hi_rate;
+    result.at_max = metrics;
+    return result;  // everything in range is feasible
+  }
+
+  double lo = lo_rate, hi = hi_rate;
+  for (int i = 0; i < iters; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(base, model, make_streams, mid, delay_bound_us, metrics)) {
+      lo = mid;
+      result.max_rate_per_us = mid;
+      result.at_max = metrics;
+    } else {
+      hi = mid;
+    }
+  }
+  return result;
+}
+
+}  // namespace affinity

@@ -1,0 +1,30 @@
+// capacity.hpp — maximum-throughput search.
+//
+// The paper reports "maximum throughput capacity": the highest offered load
+// a configuration sustains (stable queues, acceptable delay). We binary
+// search the arrival rate for the largest value that is neither saturated
+// nor above a mean-delay bound.
+#pragma once
+
+#include <functional>
+
+#include "core/protocol_sim.hpp"
+
+namespace affinity {
+
+/// Builds the stream set for a given aggregate rate (packets/µs).
+using StreamSetFactory = std::function<StreamSet(double rate_per_us)>;
+
+struct CapacityResult {
+  double max_rate_per_us = 0.0;  ///< highest feasible aggregate rate found
+  RunMetrics at_max;             ///< metrics at that rate
+};
+
+/// Binary searches [lo_rate, hi_rate] for the maximum feasible rate. A rate
+/// is feasible when the run is not saturated and mean delay <= bound.
+/// `iters` bisection steps (the result rate is within (hi-lo)/2^iters).
+CapacityResult findMaxRate(const SimConfig& base, const ExecTimeModel& model,
+                           const StreamSetFactory& make_streams, double lo_rate,
+                           double hi_rate, double delay_bound_us, int iters = 12);
+
+}  // namespace affinity

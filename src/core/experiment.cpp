@@ -1,0 +1,45 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+namespace affinity {
+
+SimConfig defaultSimConfig() {
+  SimConfig c;
+  c.num_procs = 8;
+  c.policy.paradigm = Paradigm::kLocking;
+  c.policy.locking = LockingPolicy::kMru;
+  return c;
+}
+
+void setAutoWindow(SimConfig& config, double rate_per_us, std::uint64_t target_packets) {
+  const double window = static_cast<double>(target_packets) / std::max(rate_per_us, 1e-9);
+  config.measure_us = std::max(window, 500'000.0);
+  config.warmup_us = std::max(0.15 * config.measure_us, 100'000.0);
+}
+
+RunMetrics runOnce(const SimConfig& config, const ExecTimeModel& model,
+                   const StreamSet& streams) {
+  ProtocolSim sim(config, model, streams);
+  return sim.run();
+}
+
+double reductionPercent(double baseline, double improved) noexcept {
+  if (baseline <= 0.0) return 0.0;
+  return 100.0 * (baseline - improved) / baseline;
+}
+
+RunMetrics runUntilConfident(SimConfig config, const ExecTimeModel& model,
+                             const StreamSet& streams, double target_fraction,
+                             int max_doublings) {
+  RunMetrics m = runOnce(config, model, streams);
+  for (int i = 0; i < max_doublings; ++i) {
+    if (m.saturated || m.completed == 0) return m;
+    if (m.ci95_delay_us <= target_fraction * m.mean_delay_us) return m;
+    config.measure_us *= 2.0;
+    m = runOnce(config, model, streams);
+  }
+  return m;
+}
+
+}  // namespace affinity

@@ -1,0 +1,35 @@
+// experiment.hpp — conveniences shared by the bench drivers and examples.
+#pragma once
+
+#include "core/capacity.hpp"
+#include "core/protocol_sim.hpp"
+
+namespace affinity {
+
+/// The study's standard configuration: 8 processors (the Challenge XL),
+/// Locking/MRU, measured-model defaults for lock costs.
+SimConfig defaultSimConfig();
+
+/// Sizes warmup/measurement windows so roughly `target_packets` complete in
+/// the window at the given aggregate rate (bounded below for stability).
+void setAutoWindow(SimConfig& config, double rate_per_us,
+                   std::uint64_t target_packets = 150'000);
+
+/// One run.
+RunMetrics runOnce(const SimConfig& config, const ExecTimeModel& model,
+                   const StreamSet& streams);
+
+/// Percentage reduction of `improved` relative to `baseline` (positive =
+/// improvement).
+double reductionPercent(double baseline, double improved) noexcept;
+
+/// Sequential run-length control: reruns the simulation with doubled
+/// measurement windows until the 95% batch-means half-width on mean delay is
+/// below `target_fraction` of the mean (or `max_doublings` is reached, or
+/// the run saturates — saturated runs return immediately since their delay
+/// is a transient). Returns the final run's metrics.
+RunMetrics runUntilConfident(SimConfig config, const ExecTimeModel& model,
+                             const StreamSet& streams, double target_fraction = 0.05,
+                             int max_doublings = 4);
+
+}  // namespace affinity

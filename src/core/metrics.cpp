@@ -1,0 +1,3 @@
+#include "core/metrics.hpp"
+
+// Aggregate-only header; this translation unit anchors the library.

@@ -1,0 +1,41 @@
+// metrics.hpp — outputs of one simulation run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace affinity {
+
+/// Steady-state performance metrics (collected after warmup).
+struct RunMetrics {
+  // Packet delay = completion − arrival (queueing + service), µs.
+  double mean_delay_us = 0.0;
+  double p50_delay_us = 0.0;
+  double p95_delay_us = 0.0;
+  double p99_delay_us = 0.0;
+  double ci95_delay_us = 0.0;  ///< batch-means 95% half-width on the mean
+
+  double mean_service_us = 0.0;  ///< execution time only (cache effects + overheads)
+  double mean_lock_wait_us = 0.0;
+
+  double offered_rate_per_us = 0.0;    ///< configured aggregate arrival rate
+  double throughput_per_us = 0.0;      ///< completions per µs in the window
+  double utilization = 0.0;            ///< mean busy processors / N
+  double mean_queue_len = 0.0;         ///< time-averaged waiting packets
+
+  std::uint64_t arrived = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t backlog_end = 0;  ///< packets waiting or in service at the end
+
+  /// True when the offered load exceeded capacity (backlog grew through the
+  /// measurement window); delay numbers are then transient artifacts.
+  bool saturated = false;
+
+  /// Adaptive hybrid: number of stream reclassifications performed.
+  std::uint64_t reclassifications = 0;
+
+  /// Mean delay per stream (same order as the StreamSet), if requested.
+  std::vector<double> per_stream_mean_delay_us;
+};
+
+}  // namespace affinity

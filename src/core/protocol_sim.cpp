@@ -1,0 +1,456 @@
+#include "core/protocol_sim.hpp"
+
+#include <algorithm>
+
+namespace affinity {
+
+ProtocolSim::ProtocolSim(SimConfig config, const ExecTimeModel& model, const StreamSet& streams)
+    : config_(config),
+      model_(model),
+      streams_(streams.clone()),
+      affinity_(config.num_procs, streams.count(), config.effectiveStacks()),
+      dispatch_rng_(Rng(config.seed).split(0xd15c)),
+      proc_idle_(config.num_procs, 1),
+      idle_count_(config.num_procs),
+      wired_queues_(config.num_procs),
+      stack_queues_(config.effectiveStacks()),
+      stack_busy_(config.effectiveStacks(), 0),
+      stack_waiting_(config.effectiveStacks(), 0),
+      stacks_by_proc_(config.num_procs) {
+  AFF_CHECK(config_.num_procs >= 1);
+  AFF_CHECK(!streams_.streams.empty());
+  const auto num_streams = static_cast<std::uint32_t>(streams_.count());
+  Rng seeder(config_.seed);
+  stream_rngs_.reserve(num_streams);
+  for (std::uint32_t s = 0; s < num_streams; ++s) stream_rngs_.push_back(seeder.split(s + 1));
+
+  uses_locking_.assign(num_streams, 0);
+  switch (config_.policy.paradigm) {
+    case Paradigm::kLocking:
+      std::fill(uses_locking_.begin(), uses_locking_.end(), 1);
+      break;
+    case Paradigm::kIps:
+      break;
+    case Paradigm::kHybrid:
+      for (std::uint32_t s : config_.policy.hybrid_locking_streams)
+        if (s < num_streams) uses_locking_[s] = 1;
+      break;
+  }
+
+  const unsigned stacks = config_.effectiveStacks();
+  for (std::uint32_t k = 0; k < stacks; ++k)
+    stacks_by_proc_[k % config_.num_procs].push_back(k);
+
+  if (config_.per_stream_stats) per_stream_delay_.resize(num_streams);
+}
+
+bool ProtocolSim::usesLocking(std::uint32_t stream) const noexcept {
+  return uses_locking_[stream] != 0;
+}
+
+std::uint32_t ProtocolSim::stackOf(std::uint32_t stream) const noexcept {
+  return stream % config_.effectiveStacks();
+}
+
+std::uint64_t ProtocolSim::backlogNow() const noexcept {
+  return queued_count_ + (config_.num_procs - idle_count_);
+}
+
+void ProtocolSim::recordQueueChange() noexcept {
+  queue_len_.set(sim_.now(), static_cast<double>(queued_count_));
+}
+
+void ProtocolSim::scheduleArrivals(std::uint32_t stream) {
+  const auto a = streams_.streams[stream]->next(stream_rngs_[stream]);
+  const double t = sim_.now() + a.gap_us;
+  if (t > end_time_) return;
+  sim_.schedule(t, [this, stream, batch = a.batch] {
+    if (config_.adaptive_hybrid) {
+      window_arrivals_[stream] += batch;
+      if (batch > window_max_batch_[stream]) window_max_batch_[stream] = batch;
+      const double now = sim_.now();
+      if (last_arrival_time_[stream] >= 0.0 &&
+          now - last_arrival_time_[stream] <= config_.adapt_cluster_gap_us)
+        ++window_clustered_[stream];
+      window_clustered_[stream] += batch - 1;  // co-arrivals are clustered
+      last_arrival_time_[stream] = now;
+    }
+    for (std::uint32_t k = 0; k < batch; ++k) arrivePacket(stream);
+    scheduleArrivals(stream);
+  });
+}
+
+int ProtocolSim::mruIdleProc() const noexcept {
+  int best = -1;
+  double best_time = -kColdAge;
+  for (unsigned p = 0; p < config_.num_procs; ++p) {
+    if (!proc_idle_[p]) continue;
+    const double t = affinity_.lastProtocolTime(p);
+    if (best < 0 || t > best_time) {
+      best = static_cast<int>(p);
+      best_time = t;
+    }
+  }
+  return best;
+}
+
+int ProtocolSim::randomIdleProc() {
+  if (idle_count_ == 0) return -1;
+  std::uint64_t pick = dispatch_rng_.uniform_u64(idle_count_);
+  for (unsigned p = 0; p < config_.num_procs; ++p) {
+    if (!proc_idle_[p]) continue;
+    if (pick == 0) return static_cast<int>(p);
+    --pick;
+  }
+  return -1;  // unreachable
+}
+
+int ProtocolSim::chooseIdleForLocking(std::uint32_t stream) {
+  if (idle_count_ == 0) return -1;
+  switch (config_.policy.locking) {
+    case LockingPolicy::kFcfs:
+      return randomIdleProc();
+    case LockingPolicy::kMru:
+      return mruIdleProc();
+    case LockingPolicy::kStreamMru: {
+      const int lp = affinity_.lastProcOfStream(stream);
+      if (lp >= 0 && proc_idle_[lp]) return lp;
+      return mruIdleProc();
+    }
+    case LockingPolicy::kWiredStreams:
+      break;  // handled by the caller (per-processor queues)
+  }
+  return -1;
+}
+
+int ProtocolSim::chooseIdleForStack(std::uint32_t stack) {
+  switch (config_.policy.ips) {
+    case IpsPolicy::kWired: {
+      const unsigned p = stack % config_.num_procs;
+      return proc_idle_[p] ? static_cast<int>(p) : -1;
+    }
+    case IpsPolicy::kRandom:
+      return randomIdleProc();
+    case IpsPolicy::kMru: {
+      if (idle_count_ == 0) return -1;
+      const int lp = affinity_.lastProcOfStack(stack);
+      if (lp >= 0 && proc_idle_[lp]) return lp;
+      return mruIdleProc();
+    }
+  }
+  return -1;
+}
+
+void ProtocolSim::arrivePacket(std::uint32_t stream) {
+  ++arrived_;
+  const Job job{stream, sim_.now()};
+  if (usesLocking(stream)) {
+    if (config_.policy.locking == LockingPolicy::kWiredStreams) {
+      const unsigned p = stream % config_.num_procs;
+      if (proc_idle_[p]) {
+        startService(p, job);
+      } else {
+        wired_queues_[p].push_back(job);
+        ++queued_count_;
+        recordQueueChange();
+      }
+      return;
+    }
+    const int p = chooseIdleForLocking(stream);
+    if (p >= 0) {
+      startService(static_cast<unsigned>(p), job);
+    } else {
+      global_queue_.push_back(job);
+      ++queued_count_;
+      recordQueueChange();
+    }
+    return;
+  }
+  const std::uint32_t k = stackOf(stream);
+  stack_queues_[k].push_back(job);
+  ++queued_count_;
+  recordQueueChange();
+  tryDispatchStack(k);
+}
+
+void ProtocolSim::markStackRunnable(std::uint32_t stack) {
+  if (config_.policy.ips == IpsPolicy::kWired) return;  // found via stacks_by_proc_
+  if (stack_waiting_[stack]) return;
+  runnable_stacks_.push_back(stack);
+  stack_waiting_[stack] = 1;
+}
+
+bool ProtocolSim::takeFromRunnable(std::uint32_t stack) {
+  if (!stack_waiting_[stack]) return false;
+  auto it = std::find(runnable_stacks_.begin(), runnable_stacks_.end(), stack);
+  AFF_DCHECK(it != runnable_stacks_.end());
+  runnable_stacks_.erase(it);
+  stack_waiting_[stack] = 0;
+  return true;
+}
+
+void ProtocolSim::tryDispatchStack(std::uint32_t stack) {
+  if (stack_busy_[stack] || stack_queues_[stack].empty()) return;
+  const int p = chooseIdleForStack(stack);
+  if (p < 0) {
+    markStackRunnable(stack);
+    return;
+  }
+  takeFromRunnable(stack);
+  const Job job = stack_queues_[stack].front();
+  stack_queues_[stack].pop_front();
+  --queued_count_;
+  recordQueueChange();
+  startService(static_cast<unsigned>(p), job);
+}
+
+void ProtocolSim::startService(unsigned proc, const Job& job) {
+  AFF_DCHECK(proc_idle_[proc]);
+  const double now = sim_.now();
+  const bool locking = usesLocking(job.stream);
+  CacheStateAges ages;
+  std::uint32_t stack = AffinityState::kNoStack;
+  if (locking) {
+    ages.code = affinity_.codeAge(proc, now);
+    ages.shared = affinity_.sharedAge(proc, now);
+    ages.stream = affinity_.streamAge(proc, job.stream, now);
+  } else {
+    stack = stackOf(job.stream);
+    const double a = affinity_.stackAge(proc, stack, now);
+    ages.code = affinity_.codeAge(proc, now);
+    ages.shared = a;  // stack-private data: shared + stream components
+    ages.stream = a;
+    stack_busy_[stack] = 1;
+  }
+  const auto parts = model_.serviceParts(ages);
+  double exec = parts.total() + config_.fixed_overhead_us;
+  double lock_wait = 0.0;
+  if (locking) {
+    exec += config_.lock_overhead_us;
+    lock_wait = std::max(0.0, lock_free_at_ - now);
+    lock_free_at_ = now + lock_wait + config_.critical_section_us;
+  }
+  if (config_.bus_occupancy_fraction > 0.0 && parts.l2 > 0.0) {
+    // The L2-reload portion occupies the shared memory bus; queue behind
+    // other processors' in-flight reloads.
+    const double bus_time = config_.bus_occupancy_fraction * parts.l2;
+    const double bus_wait = std::max(0.0, bus_free_at_ - now);
+    bus_free_at_ = now + bus_wait + bus_time;
+    lock_wait += bus_wait;  // accounted with the other stall time
+  }
+  proc_idle_[proc] = 0;
+  --idle_count_;
+  busy_procs_.adjust(now, +1.0);
+  if (config_.observer != nullptr)
+    config_.observer->onServiceStart(proc, job.stream, stack, now, lock_wait + exec);
+  sim_.scheduleAfter(lock_wait + exec, [this, proc, job, lock_wait, exec] {
+    onComplete(proc, job, lock_wait, exec);
+  });
+}
+
+void ProtocolSim::feedProcessor(unsigned proc) {
+  AFF_DCHECK(proc_idle_[proc]);
+  // Candidate Locking job.
+  std::deque<Job>* lock_queue = nullptr;
+  std::size_t lock_index = 0;
+  if (config_.policy.locking == LockingPolicy::kWiredStreams) {
+    if (!wired_queues_[proc].empty()) lock_queue = &wired_queues_[proc];
+  } else if (!global_queue_.empty()) {
+    lock_queue = &global_queue_;
+    if (config_.policy.locking == LockingPolicy::kStreamMru) {
+      // Per-processor thread pools (paper footnote 7): a freed processor
+      // prefers a waiting packet whose stream last executed here, so stream
+      // affinity survives high load. Bounded scan keeps dispatch O(1)-ish
+      // and limits reordering.
+      const std::size_t depth = std::min<std::size_t>(global_queue_.size(), 64);
+      for (std::size_t i = 0; i < depth; ++i) {
+        if (affinity_.lastProcOfStream((*lock_queue)[i].stream) == static_cast<int>(proc)) {
+          lock_index = i;
+          break;
+        }
+      }
+    }
+  }
+
+  // Candidate IPS stack for this processor.
+  int stack = -1;
+  if (config_.policy.ips == IpsPolicy::kWired) {
+    double oldest = 0.0;
+    for (std::uint32_t k : stacks_by_proc_[proc]) {
+      if (stack_busy_[k] || stack_queues_[k].empty()) continue;
+      const double head = stack_queues_[k].front().arrival_us;
+      if (stack < 0 || head < oldest) {
+        stack = static_cast<int>(k);
+        oldest = head;
+      }
+    }
+  } else {
+    // Prefer a runnable stack with affinity for this processor (MRU), else
+    // the longest-waiting runnable stack.
+    if (config_.policy.ips == IpsPolicy::kMru) {
+      for (std::uint32_t k : runnable_stacks_) {
+        if (!stack_busy_[k] && !stack_queues_[k].empty() &&
+            affinity_.lastProcOfStack(k) == static_cast<int>(proc)) {
+          stack = static_cast<int>(k);
+          break;
+        }
+      }
+    }
+    if (stack < 0) {
+      for (std::uint32_t k : runnable_stacks_) {
+        if (!stack_busy_[k] && !stack_queues_[k].empty()) {
+          stack = static_cast<int>(k);
+          break;
+        }
+      }
+    }
+  }
+
+  if (lock_queue == nullptr && stack < 0) return;
+  // Hybrid fairness: serve whichever candidate's head arrived first.
+  bool take_locking = lock_queue != nullptr;
+  if (lock_queue != nullptr && stack >= 0) {
+    take_locking =
+        (*lock_queue)[lock_index].arrival_us <= stack_queues_[stack].front().arrival_us;
+  }
+  if (take_locking) {
+    const Job job = (*lock_queue)[lock_index];
+    lock_queue->erase(lock_queue->begin() + static_cast<std::ptrdiff_t>(lock_index));
+    --queued_count_;
+    recordQueueChange();
+    startService(proc, job);
+  } else {
+    const auto k = static_cast<std::uint32_t>(stack);
+    takeFromRunnable(k);
+    const Job job = stack_queues_[k].front();
+    stack_queues_[k].pop_front();
+    --queued_count_;
+    recordQueueChange();
+    startService(proc, job);
+  }
+}
+
+void ProtocolSim::onComplete(unsigned proc, const Job& job, double lock_wait, double exec) {
+  const double now = sim_.now();
+  const bool locking = usesLocking(job.stream);
+  const std::uint32_t stack = locking ? AffinityState::kNoStack : stackOf(job.stream);
+  affinity_.onComplete(proc, job.stream, stack, now);
+  if (config_.observer != nullptr) config_.observer->onServiceEnd(proc, job.stream, stack, now);
+  ++completed_total_;
+
+  if (inMeasureWindow()) {
+    const double delay = now - job.arrival_us;
+    delay_.add(delay);
+    delay_batches_.add(delay);
+    delay_hist_.add(delay);
+    service_.add(exec);
+    lock_wait_.add(lock_wait);
+    ++completed_;
+    if (config_.per_stream_stats) per_stream_delay_[job.stream].add(delay);
+  }
+
+  if (stack != AffinityState::kNoStack) {
+    stack_busy_[stack] = 0;
+    if (!stack_queues_[stack].empty()) markStackRunnable(stack);
+  }
+  proc_idle_[proc] = 1;
+  ++idle_count_;
+  busy_procs_.adjust(now, -1.0);
+  feedProcessor(proc);
+  if (stack != AffinityState::kNoStack) tryDispatchStack(stack);
+}
+
+void ProtocolSim::adaptStreams() {
+  const double interval = config_.adapt_interval_us;
+  for (std::uint32_t s = 0; s < uses_locking_.size(); ++s) {
+    const double rate = static_cast<double>(window_arrivals_[s]) / interval;
+    const bool clustered =
+        window_arrivals_[s] >= 8 &&
+        static_cast<double>(window_clustered_[s]) >
+            config_.adapt_cluster_fraction * static_cast<double>(window_arrivals_[s]);
+    const bool hot = rate > config_.adapt_rate_threshold_per_us ||
+                     window_max_batch_[s] >= config_.adapt_batch_threshold || clustered;
+    if (hot) {
+      quiet_windows_[s] = 0;
+      if (!uses_locking_[s]) {
+        uses_locking_[s] = 1;
+        ++reclassifications_;
+        // Packets already queued on the old side complete there; new
+        // arrivals take the new route (a live-reconfiguration transient).
+      }
+    } else if (uses_locking_[s]) {
+      // Demote only after a sustained quiet spell (hysteresis): bursty
+      // streams are quiet between bursts.
+      if (++quiet_windows_[s] >= config_.adapt_demote_windows) {
+        uses_locking_[s] = 0;
+        quiet_windows_[s] = 0;
+        ++reclassifications_;
+      }
+    }
+    window_arrivals_[s] = 0;
+    window_max_batch_[s] = 0;
+    window_clustered_[s] = 0;
+  }
+  if (sim_.now() + interval <= end_time_)
+    sim_.scheduleAfter(interval, [this] { adaptStreams(); });
+}
+
+RunMetrics ProtocolSim::run() {
+  AFF_CHECK(!ran_);
+  ran_ = true;
+  end_time_ = config_.warmup_us + config_.measure_us;
+  busy_procs_.set(0.0, 0.0);
+  queue_len_.set(0.0, 0.0);
+
+  if (config_.adaptive_hybrid) {
+    AFF_CHECK(config_.policy.paradigm == Paradigm::kHybrid);
+    window_arrivals_.assign(streams_.count(), 0);
+    window_max_batch_.assign(streams_.count(), 0);
+    quiet_windows_.assign(streams_.count(), 0);
+    window_clustered_.assign(streams_.count(), 0);
+    last_arrival_time_.assign(streams_.count(), -1.0);
+    sim_.scheduleAfter(config_.adapt_interval_us, [this] { adaptStreams(); });
+  }
+
+  for (std::uint32_t s = 0; s < streams_.count(); ++s) scheduleArrivals(s);
+  sim_.schedule(config_.warmup_us, [this] {
+    busy_procs_.resetAt(sim_.now());
+    queue_len_.resetAt(sim_.now());
+  });
+  const double mid = config_.warmup_us + config_.measure_us * 0.5;
+  sim_.schedule(mid, [this] { backlog_mid_ = backlogNow(); });
+
+  sim_.runUntil(end_time_);
+
+  // Conservation: every arrived packet is either done or still in the system.
+  AFF_CHECK(arrived_ == completed_total_ + backlogNow());
+
+  RunMetrics m;
+  m.mean_delay_us = delay_.mean();
+  m.p50_delay_us = delay_hist_.quantile(0.50);
+  m.p95_delay_us = delay_hist_.quantile(0.95);
+  m.p99_delay_us = delay_hist_.quantile(0.99);
+  m.ci95_delay_us = delay_batches_.halfWidth(0.95);
+  m.mean_service_us = service_.mean();
+  m.mean_lock_wait_us = lock_wait_.mean();
+  m.offered_rate_per_us = streams_.totalRatePerUs();
+  m.throughput_per_us = static_cast<double>(completed_) / config_.measure_us;
+  m.utilization = busy_procs_.average(end_time_) / config_.num_procs;
+  m.mean_queue_len = queue_len_.average(end_time_);
+  m.arrived = arrived_;
+  m.completed = completed_;
+  m.backlog_end = backlogNow();
+  m.reclassifications = reclassifications_;
+  // Saturated: the backlog kept growing through the second half of the
+  // window (allowing for stochastic noise around a modest level).
+  const std::uint64_t floor = 6ull * config_.num_procs;
+  m.saturated = m.backlog_end > floor && backlog_mid_ > config_.num_procs &&
+                2 * m.backlog_end > 3 * backlog_mid_;  // grew >= 1.5x since midpoint
+  if (config_.per_stream_stats) {
+    m.per_stream_mean_delay_us.reserve(per_stream_delay_.size());
+    for (const auto& s : per_stream_delay_) m.per_stream_mean_delay_us.push_back(s.mean());
+  }
+  return m;
+}
+
+}  // namespace affinity

@@ -1,0 +1,159 @@
+#include "core/scenario.hpp"
+
+#include <sstream>
+
+#include "core/experiment.hpp"
+
+#include "workload/trace_io.hpp"
+
+namespace affinity {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+bool parsePolicy(const ConfigFile& cfg, SimConfig& out, std::string* error) {
+  const std::string paradigm = cfg.getString("policy.paradigm", "locking");
+  if (paradigm == "locking") {
+    out.policy.paradigm = Paradigm::kLocking;
+  } else if (paradigm == "ips") {
+    out.policy.paradigm = Paradigm::kIps;
+  } else if (paradigm == "hybrid") {
+    out.policy.paradigm = Paradigm::kHybrid;
+  } else {
+    return fail(error, "unknown policy.paradigm '" + paradigm + "'");
+  }
+
+  const std::string locking = cfg.getString("policy.locking", "mru");
+  if (locking == "fcfs") {
+    out.policy.locking = LockingPolicy::kFcfs;
+  } else if (locking == "mru") {
+    out.policy.locking = LockingPolicy::kMru;
+  } else if (locking == "stream-mru") {
+    out.policy.locking = LockingPolicy::kStreamMru;
+  } else if (locking == "wired-streams") {
+    out.policy.locking = LockingPolicy::kWiredStreams;
+  } else {
+    return fail(error, "unknown policy.locking '" + locking + "'");
+  }
+
+  const std::string ips = cfg.getString("policy.ips", "wired");
+  if (ips == "random") {
+    out.policy.ips = IpsPolicy::kRandom;
+  } else if (ips == "mru") {
+    out.policy.ips = IpsPolicy::kMru;
+  } else if (ips == "wired") {
+    out.policy.ips = IpsPolicy::kWired;
+  } else {
+    return fail(error, "unknown policy.ips '" + ips + "'");
+  }
+
+  out.policy.ips_stacks = static_cast<unsigned>(cfg.getInt("policy.stacks", 0));
+  out.adaptive_hybrid = cfg.getBool("policy.adaptive", false);
+
+  const std::string hybrid_list = cfg.getString("policy.hybrid_locking_streams", "");
+  if (!hybrid_list.empty()) {
+    std::stringstream ss(hybrid_list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      try {
+        out.policy.hybrid_locking_streams.push_back(
+            static_cast<std::uint32_t>(std::stoul(item)));
+      } catch (...) {
+        return fail(error, "bad stream id '" + item + "' in hybrid_locking_streams");
+      }
+    }
+  }
+  return true;
+}
+
+bool parseModel(const ConfigFile& cfg, ExecTimeModel& out, std::string* error) {
+  const std::string profile = cfg.getString("model.profile", "udp-receive");
+  ReloadParams reload;
+  FootprintShares shares;  // receive-path defaults
+  if (profile == "udp-receive") {
+    reload = ReloadParams::measuredUdpReceive();
+  } else if (profile == "udp-send") {
+    reload = ReloadParams::measuredUdpSend();
+  } else if (profile == "tcp-receive") {
+    reload = ReloadParams::measuredTcpReceive();
+  } else {
+    return fail(error, "unknown model.profile '" + profile + "'");
+  }
+  reload.t_warm_us = cfg.getDouble("model.t_warm_us", reload.t_warm_us);
+  reload.dl1_us = cfg.getDouble("model.dl1_us", reload.dl1_us);
+  reload.dl2_us = cfg.getDouble("model.dl2_us", reload.dl2_us);
+  out = ExecTimeModel(FlushModel(MachineParams::sgiChallenge(), SstParams::mvsWorkload()),
+                      reload, shares);
+  return true;
+}
+
+bool parseWorkload(const ConfigFile& cfg, StreamSet& out, std::string* error) {
+  const std::string type = cfg.getString("workload.type", "poisson");
+  const auto streams = static_cast<std::size_t>(cfg.getInt("workload.streams", 16));
+  const double rate = cfg.getDouble("workload.rate_pkts_per_s", 12'000.0) / 1e6;
+  if (type != "trace" && (rate <= 0.0 || streams == 0))
+    return fail(error, "workload rate and streams must be positive");
+
+  if (type == "poisson") {
+    out = makePoissonStreams(streams, rate);
+  } else if (type == "batch") {
+    out = makeBatchStreams(streams, rate, cfg.getDouble("workload.batch", 8.0),
+                           cfg.getBool("workload.geometric", false));
+  } else if (type == "train") {
+    out = makeTrainStreams(streams, rate, cfg.getDouble("workload.train_len", 8.0),
+                           cfg.getDouble("workload.intercar_gap_us", 30.0));
+  } else if (type == "hotcold") {
+    const auto hot = static_cast<std::size_t>(cfg.getInt("workload.hot", 2));
+    if (hot == 0 || hot >= streams) return fail(error, "workload.hot must be in (0, streams)");
+    out = makeHotColdStreams(hot, streams - hot, rate,
+                             cfg.getDouble("workload.hot_share", 0.5));
+  } else if (type == "trace") {
+    const std::string path = cfg.getString("workload.trace_file", "");
+    if (path.empty()) return fail(error, "workload.type=trace requires workload.trace_file");
+    std::string read_error;
+    const auto records = readArrivalTrace(path, &read_error);
+    if (records.empty()) return fail(error, "trace: " + read_error);
+    out = makeTraceStreams(records);
+  } else {
+    return fail(error, "unknown workload.type '" + type + "'");
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Scenario> buildScenario(const ConfigFile& cfg, std::string* error) {
+  Scenario s;
+  s.config = defaultSimConfig();
+  s.config.num_procs = static_cast<unsigned>(cfg.getInt("machine.processors", 8));
+  if (s.config.num_procs == 0 || s.config.num_procs > 64) {
+    if (error) *error = "machine.processors out of range";
+    return std::nullopt;
+  }
+  s.config.lock_overhead_us = cfg.getDouble("machine.lock_overhead_us", 20.0);
+  s.config.critical_section_us = cfg.getDouble("machine.critical_section_us", 8.0);
+  s.config.bus_occupancy_fraction = cfg.getDouble("machine.bus_occupancy", 0.0);
+
+  if (!parseModel(cfg, s.model, error)) return std::nullopt;
+  if (!parseWorkload(cfg, s.streams, error)) return std::nullopt;
+  if (!parsePolicy(cfg, s.config, error)) return std::nullopt;
+
+  s.config.seed = static_cast<std::uint64_t>(cfg.getInt("run.seed", 1));
+  s.config.warmup_us = cfg.getDouble("run.warmup_us", 200'000.0);
+  s.config.measure_us = cfg.getDouble("run.measure_us", 2'000'000.0);
+  s.config.fixed_overhead_us = cfg.getDouble("run.v_us", 0.0);
+  s.config.per_stream_stats = cfg.getBool("run.per_stream", false);
+  s.run_until_confident = cfg.getBool("run.confident", false);
+
+  if (s.config.adaptive_hybrid && s.config.policy.paradigm != Paradigm::kHybrid) {
+    if (error) *error = "policy.adaptive requires policy.paradigm = hybrid";
+    return std::nullopt;
+  }
+  return s;
+}
+
+}  // namespace affinity

@@ -1,0 +1,43 @@
+// scenario.hpp — build a complete experiment from a configuration file.
+//
+// A scenario file describes machine, model, workload, policy and run
+// control; `buildScenario` turns it into the objects the simulator needs.
+// This makes experiments reproducible artifacts (see scenarios/*.ini and
+// tools/affinity_sim).
+//
+// Schema (all keys optional; defaults = the paper's standard setup):
+//
+//   [machine]  processors, lock_overhead_us, critical_section_us,
+//              bus_occupancy
+//   [model]    profile = udp-receive | udp-send | tcp-receive;
+//              t_warm_us / dl1_us / dl2_us overrides
+//   [workload] type = poisson | batch | train | hotcold | trace;
+//              streams, rate_pkts_per_s, batch, geometric, train_len,
+//              intercar_gap_us, hot, hot_share, trace_file
+//   [policy]   paradigm = locking | ips | hybrid; locking = fcfs | mru |
+//              stream-mru | wired-streams; ips = random | mru | wired;
+//              stacks, adaptive, hybrid_locking_streams = 0,1,2
+//   [run]      seed, warmup_us, measure_us, v_us, per_stream, confident
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/protocol_sim.hpp"
+#include "util/config.hpp"
+
+namespace affinity {
+
+/// Everything needed to run one configured experiment.
+struct Scenario {
+  SimConfig config;
+  ExecTimeModel model = ExecTimeModel::standard();
+  StreamSet streams;
+  bool run_until_confident = false;
+};
+
+/// Builds a scenario; nullopt (with `error`) for semantically invalid
+/// configurations (unknown enum values, missing trace file, bad rates).
+std::optional<Scenario> buildScenario(const ConfigFile& cfg, std::string* error = nullptr);
+
+}  // namespace affinity

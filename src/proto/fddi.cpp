@@ -1,0 +1,30 @@
+#include "proto/fddi.hpp"
+
+namespace affinity {
+
+bool FddiLayer::receive(Packet& pkt, ReceiveContext& ctx) {
+  ++stats_.frames;
+  const auto header = FddiHeader::decode(pkt.bytes());
+  if (!header) {
+    ++stats_.dropped_malformed;
+    ctx.drop = DropReason::kFddiMalformed;
+    return false;
+  }
+  const bool group = (header->dst[0] & 0x01) != 0;  // multicast/broadcast bit
+  if (!group && header->dst != local_) {
+    ++stats_.dropped_wrong_dest;
+    ctx.drop = DropReason::kFddiWrongDest;
+    return false;
+  }
+  if (header->ethertype != FddiHeader::kEtherTypeIpv4) {
+    ++stats_.dropped_not_ip;
+    ctx.drop = DropReason::kFddiNotIp;
+    return false;
+  }
+  pkt.pull(FddiHeader::kSize);
+  if (!above_->receive(pkt, ctx)) return false;
+  ++stats_.delivered;
+  return true;
+}
+
+}  // namespace affinity

@@ -1,0 +1,35 @@
+// fddi.hpp — FDDI MAC/LLC receive layer.
+#pragma once
+
+#include "proto/headers.hpp"
+#include "proto/layer.hpp"
+
+namespace affinity {
+
+/// Validates the FDDI + LLC/SNAP header, filters on destination address
+/// (unicast-to-us or group bit), and hands IPv4 payloads upward.
+class FddiLayer final : public ProtocolLayer {
+ public:
+  struct Stats {
+    std::uint64_t frames = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_malformed = 0;
+    std::uint64_t dropped_wrong_dest = 0;
+    std::uint64_t dropped_not_ip = 0;
+  };
+
+  /// `local` is this host's MAC; `above` receives IPv4 payloads (not owned).
+  FddiLayer(MacAddr local, ProtocolLayer* above) noexcept : local_(local), above_(above) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "fddi"; }
+  bool receive(Packet& pkt, ReceiveContext& ctx) override;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  MacAddr local_;
+  ProtocolLayer* above_;
+  Stats stats_;
+};
+
+}  // namespace affinity

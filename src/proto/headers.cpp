@@ -1,0 +1,148 @@
+#include "proto/headers.hpp"
+
+#include "proto/checksum.hpp"
+#include "util/check.hpp"
+
+namespace affinity {
+
+std::uint16_t readBe16(std::span<const std::uint8_t> in, std::size_t off) noexcept {
+  return static_cast<std::uint16_t>((in[off] << 8) | in[off + 1]);
+}
+
+std::uint32_t readBe32(std::span<const std::uint8_t> in, std::size_t off) noexcept {
+  return (static_cast<std::uint32_t>(in[off]) << 24) |
+         (static_cast<std::uint32_t>(in[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(in[off + 2]) << 8) | in[off + 3];
+}
+
+void writeBe16(std::span<std::uint8_t> out, std::size_t off, std::uint16_t v) noexcept {
+  out[off] = static_cast<std::uint8_t>(v >> 8);
+  out[off + 1] = static_cast<std::uint8_t>(v);
+}
+
+void writeBe32(std::span<std::uint8_t> out, std::size_t off, std::uint32_t v) noexcept {
+  out[off] = static_cast<std::uint8_t>(v >> 24);
+  out[off + 1] = static_cast<std::uint8_t>(v >> 16);
+  out[off + 2] = static_cast<std::uint8_t>(v >> 8);
+  out[off + 3] = static_cast<std::uint8_t>(v);
+}
+
+namespace {
+constexpr std::uint8_t kSnapDsap = 0xaa;
+constexpr std::uint8_t kSnapSsap = 0xaa;
+constexpr std::uint8_t kSnapControl = 0x03;
+}  // namespace
+
+void FddiHeader::encode(std::span<std::uint8_t> out) const noexcept {
+  AFF_DCHECK(out.size() >= kSize);
+  out[0] = frame_control;
+  for (int i = 0; i < 6; ++i) out[1 + i] = dst[i];
+  for (int i = 0; i < 6; ++i) out[7 + i] = src[i];
+  out[13] = kSnapDsap;
+  out[14] = kSnapSsap;
+  out[15] = kSnapControl;
+  out[16] = out[17] = out[18] = 0;  // OUI = 00-00-00 (encapsulated ethernet)
+  writeBe16(out, 19, ethertype);
+}
+
+std::optional<FddiHeader> FddiHeader::decode(std::span<const std::uint8_t> in) noexcept {
+  if (in.size() < kSize) return std::nullopt;
+  if (in[13] != kSnapDsap || in[14] != kSnapSsap || in[15] != kSnapControl) return std::nullopt;
+  FddiHeader h;
+  h.frame_control = in[0];
+  for (int i = 0; i < 6; ++i) h.dst[i] = in[1 + i];
+  for (int i = 0; i < 6; ++i) h.src[i] = in[7 + i];
+  h.ethertype = readBe16(in, 19);
+  return h;
+}
+
+void Ipv4Header::encode(std::span<std::uint8_t> out) const noexcept {
+  AFF_DCHECK(out.size() >= headerBytes());
+  out[0] = static_cast<std::uint8_t>((version << 4) | ihl);
+  out[1] = tos;
+  writeBe16(out, 2, total_length);
+  writeBe16(out, 4, identification);
+  writeBe16(out, 6,
+            static_cast<std::uint16_t>((static_cast<std::uint16_t>(flags) << 13) |
+                                       (fragment_offset & 0x1fff)));
+  out[8] = ttl;
+  out[9] = protocol;
+  writeBe16(out, 10, 0);  // checksum computed below
+  writeBe32(out, 12, src);
+  writeBe32(out, 16, dst);
+  for (std::size_t i = kMinSize; i < headerBytes(); ++i) out[i] = 0;  // options zeroed
+  const std::uint16_t ck = internetChecksum(out.first(headerBytes()));
+  writeBe16(out, 10, ck);
+}
+
+std::optional<Ipv4Header> Ipv4Header::decode(std::span<const std::uint8_t> in) noexcept {
+  if (in.size() < kMinSize) return std::nullopt;
+  Ipv4Header h;
+  h.version = in[0] >> 4;
+  h.ihl = in[0] & 0x0f;
+  if (h.ihl < 5) return std::nullopt;
+  if (in.size() < h.headerBytes()) return std::nullopt;
+  h.tos = in[1];
+  h.total_length = readBe16(in, 2);
+  h.identification = readBe16(in, 4);
+  const std::uint16_t ff = readBe16(in, 6);
+  h.flags = static_cast<std::uint8_t>(ff >> 13);
+  h.fragment_offset = ff & 0x1fff;
+  h.ttl = in[8];
+  h.protocol = in[9];
+  h.checksum = readBe16(in, 10);
+  h.src = readBe32(in, 12);
+  h.dst = readBe32(in, 16);
+  return h;
+}
+
+void TcpHeader::encode(std::span<std::uint8_t> out) const noexcept {
+  AFF_DCHECK(out.size() >= headerBytes());
+  writeBe16(out, 0, src_port);
+  writeBe16(out, 2, dst_port);
+  writeBe32(out, 4, seq);
+  writeBe32(out, 8, ack);
+  out[12] = static_cast<std::uint8_t>(data_offset << 4);
+  out[13] = flags;
+  writeBe16(out, 14, window);
+  writeBe16(out, 16, checksum);
+  writeBe16(out, 18, urgent);
+  for (std::size_t i = kMinSize; i < headerBytes(); ++i) out[i] = 0;  // options zeroed
+}
+
+std::optional<TcpHeader> TcpHeader::decode(std::span<const std::uint8_t> in) noexcept {
+  if (in.size() < kMinSize) return std::nullopt;
+  TcpHeader h;
+  h.src_port = readBe16(in, 0);
+  h.dst_port = readBe16(in, 2);
+  h.seq = readBe32(in, 4);
+  h.ack = readBe32(in, 8);
+  h.data_offset = in[12] >> 4;
+  if (h.data_offset < 5) return std::nullopt;
+  if (in.size() < h.headerBytes()) return std::nullopt;
+  h.flags = in[13] & 0x3f;
+  h.window = readBe16(in, 14);
+  h.checksum = readBe16(in, 16);
+  h.urgent = readBe16(in, 18);
+  return h;
+}
+
+void UdpHeader::encode(std::span<std::uint8_t> out) const noexcept {
+  AFF_DCHECK(out.size() >= kSize);
+  writeBe16(out, 0, src_port);
+  writeBe16(out, 2, dst_port);
+  writeBe16(out, 4, length);
+  writeBe16(out, 6, checksum);
+}
+
+std::optional<UdpHeader> UdpHeader::decode(std::span<const std::uint8_t> in) noexcept {
+  if (in.size() < kSize) return std::nullopt;
+  UdpHeader h;
+  h.src_port = readBe16(in, 0);
+  h.dst_port = readBe16(in, 2);
+  h.length = readBe16(in, 4);
+  h.checksum = readBe16(in, 6);
+  return h;
+}
+
+}  // namespace affinity

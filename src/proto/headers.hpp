@@ -1,0 +1,117 @@
+// headers.hpp — wire-format codecs for the FDDI / IPv4 / UDP headers.
+//
+// Headers are encoded/decoded explicitly byte-by-byte (network byte order)
+// rather than by struct punning, so the code is endian- and
+// alignment-independent.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace affinity {
+
+/// 48-bit MAC address.
+using MacAddr = std::array<std::uint8_t, 6>;
+
+/// FDDI MAC + LLC/SNAP header as used for IP over FDDI (RFC 1188):
+/// FC (1) | dst (6) | src (6) | LLC DSAP/SSAP/ctl (3) | SNAP OUI (3) |
+/// ethertype (2)  — 21 bytes total.
+struct FddiHeader {
+  static constexpr std::size_t kSize = 21;
+  static constexpr std::uint8_t kFrameControlLlc = 0x50;  ///< async LLC frame
+  static constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+  std::uint8_t frame_control = kFrameControlLlc;
+  MacAddr dst{};
+  MacAddr src{};
+  std::uint16_t ethertype = kEtherTypeIpv4;
+
+  /// Writes the header into `out` (size >= kSize).
+  void encode(std::span<std::uint8_t> out) const noexcept;
+  /// Parses; nullopt if `in` is short or LLC/SNAP is malformed.
+  static std::optional<FddiHeader> decode(std::span<const std::uint8_t> in) noexcept;
+};
+
+/// IPv4 header (no options on the fast path; options are parsed but sent to
+/// the slow path by the IP layer).
+struct Ipv4Header {
+  static constexpr std::size_t kMinSize = 20;
+  static constexpr std::uint8_t kProtoUdp = 17;
+
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;  ///< header length in 32-bit words
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  std::uint8_t flags = 0;           ///< bit1 = DF, bit0(of 3) = MF
+  std::uint16_t fragment_offset = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kProtoUdp;
+  std::uint16_t checksum = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+
+  [[nodiscard]] std::size_t headerBytes() const noexcept { return ihl * 4u; }
+  [[nodiscard]] bool moreFragments() const noexcept { return flags & 0x1; }
+  [[nodiscard]] bool isFragment() const noexcept {
+    return moreFragments() || fragment_offset != 0;
+  }
+
+  /// Writes the header (with correct checksum) into `out`
+  /// (size >= headerBytes()).
+  void encode(std::span<std::uint8_t> out) const noexcept;
+  /// Parses without verifying the checksum (the IP layer verifies).
+  static std::optional<Ipv4Header> decode(std::span<const std::uint8_t> in) noexcept;
+};
+
+/// TCP header (options parsed over, not interpreted — the receive fast path
+/// of the era predates SACK).
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+  static constexpr std::uint8_t kProtoTcp = 6;
+
+  static constexpr std::uint8_t kFlagFin = 0x01;
+  static constexpr std::uint8_t kFlagSyn = 0x02;
+  static constexpr std::uint8_t kFlagRst = 0x04;
+  static constexpr std::uint8_t kFlagPsh = 0x08;
+  static constexpr std::uint8_t kFlagAck = 0x10;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;  ///< header length in 32-bit words
+  std::uint8_t flags = 0;
+  std::uint16_t window = 8192;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent = 0;
+
+  [[nodiscard]] std::size_t headerBytes() const noexcept { return data_offset * 4u; }
+  [[nodiscard]] bool has(std::uint8_t flag) const noexcept { return (flags & flag) != 0; }
+
+  void encode(std::span<std::uint8_t> out) const noexcept;
+  static std::optional<TcpHeader> decode(std::span<const std::uint8_t> in) noexcept;
+};
+
+/// UDP header.
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;    ///< header + payload
+  std::uint16_t checksum = 0;  ///< 0 = not computed (legal for IPv4 UDP)
+
+  void encode(std::span<std::uint8_t> out) const noexcept;
+  static std::optional<UdpHeader> decode(std::span<const std::uint8_t> in) noexcept;
+};
+
+// Big-endian field access helpers shared by the codecs (and tests).
+std::uint16_t readBe16(std::span<const std::uint8_t> in, std::size_t off) noexcept;
+std::uint32_t readBe32(std::span<const std::uint8_t> in, std::size_t off) noexcept;
+void writeBe16(std::span<std::uint8_t> out, std::size_t off, std::uint16_t v) noexcept;
+void writeBe32(std::span<std::uint8_t> out, std::size_t off, std::uint32_t v) noexcept;
+
+}  // namespace affinity

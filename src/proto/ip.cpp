@@ -1,0 +1,56 @@
+#include "proto/ip.hpp"
+
+#include "proto/checksum.hpp"
+
+namespace affinity {
+
+bool Ipv4Layer::receive(Packet& pkt, ReceiveContext& ctx) {
+  ++stats_.datagrams;
+  const auto header = Ipv4Header::decode(pkt.bytes());
+  if (!header || header->version != 4) {
+    ++stats_.dropped_malformed;
+    ctx.drop = DropReason::kIpMalformed;
+    return false;
+  }
+  if (header->total_length < header->headerBytes() || header->total_length > pkt.size()) {
+    ++stats_.dropped_length;
+    ctx.drop = DropReason::kIpBadLength;
+    return false;
+  }
+  if (verify_checksum_ && !checksumValid(pkt.bytes().first(header->headerBytes()))) {
+    ++stats_.dropped_checksum;
+    ctx.drop = DropReason::kIpBadChecksum;
+    return false;
+  }
+  if (header->ttl == 0) {
+    ++stats_.dropped_ttl;
+    ctx.drop = DropReason::kIpTtlExpired;
+    return false;
+  }
+  if (header->isFragment()) {
+    ++stats_.dropped_fragment;
+    ctx.drop = DropReason::kIpFragment;
+    return false;
+  }
+  if (local_ != 0 && header->dst != local_) {
+    // Not for us and we do not forward; treat as malformed destination.
+    ++stats_.dropped_malformed;
+    ctx.drop = DropReason::kIpMalformed;
+    return false;
+  }
+  ProtocolLayer* above = upper_[header->protocol];
+  if (above == nullptr) {
+    ++stats_.dropped_not_udp;
+    ctx.drop = DropReason::kIpNotUdp;
+    return false;
+  }
+  ctx.src_addr = header->src;
+  // Strip header and any link padding past total_length.
+  pkt.truncate(header->total_length);
+  pkt.pull(header->headerBytes());
+  if (!above->receive(pkt, ctx)) return false;
+  ++stats_.delivered;
+  return true;
+}
+
+}  // namespace affinity

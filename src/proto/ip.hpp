@@ -1,0 +1,52 @@
+// ip.hpp — IPv4 receive layer (host fast path).
+#pragma once
+
+#include "proto/headers.hpp"
+#include "proto/layer.hpp"
+
+namespace affinity {
+
+/// Validates the IPv4 header (checksum, version, length, TTL), rejects
+/// fragments to the slow path (counted, dropped here — the paper's fast
+/// path excludes reassembly), and demuxes by protocol number to registered
+/// upper layers (UDP by default; TCP registrable).
+class Ipv4Layer final : public ProtocolLayer {
+ public:
+  struct Stats {
+    std::uint64_t datagrams = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_malformed = 0;
+    std::uint64_t dropped_checksum = 0;
+    std::uint64_t dropped_ttl = 0;
+    std::uint64_t dropped_fragment = 0;
+    std::uint64_t dropped_not_udp = 0;  ///< no upper layer for the protocol
+    std::uint64_t dropped_length = 0;
+  };
+
+  /// `local` is this host's address (0 accepts any); `above` gets protocol
+  /// 17 (UDP) datagrams (not owned; may be nullptr). `verify_checksum` can
+  /// be disabled to model interfaces that checksum in firmware (paper §4
+  /// footnote on SGI NFS).
+  Ipv4Layer(std::uint32_t local, ProtocolLayer* above, bool verify_checksum = true) noexcept
+      : local_(local), verify_checksum_(verify_checksum) {
+    if (above != nullptr) registerProtocol(Ipv4Header::kProtoUdp, above);
+  }
+
+  /// Registers (or replaces) the upper layer for an IP protocol number.
+  void registerProtocol(std::uint8_t protocol, ProtocolLayer* layer) noexcept {
+    upper_[protocol] = layer;
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "ip"; }
+  bool receive(Packet& pkt, ReceiveContext& ctx) override;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  std::uint32_t local_;
+  bool verify_checksum_;
+  ProtocolLayer* upper_[256] = {};
+  Stats stats_;
+};
+
+}  // namespace affinity

@@ -1,0 +1,29 @@
+#include "proto/layer.hpp"
+
+namespace affinity {
+
+const char* dropReasonName(DropReason r) noexcept {
+  switch (r) {
+    case DropReason::kNone: return "none";
+    case DropReason::kFddiMalformed: return "fddi-malformed";
+    case DropReason::kFddiWrongDest: return "fddi-wrong-dest";
+    case DropReason::kFddiNotIp: return "fddi-not-ip";
+    case DropReason::kIpMalformed: return "ip-malformed";
+    case DropReason::kIpBadChecksum: return "ip-bad-checksum";
+    case DropReason::kIpTtlExpired: return "ip-ttl-expired";
+    case DropReason::kIpFragment: return "ip-fragment";
+    case DropReason::kIpNotUdp: return "ip-not-udp";
+    case DropReason::kIpBadLength: return "ip-bad-length";
+    case DropReason::kUdpMalformed: return "udp-malformed";
+    case DropReason::kUdpBadChecksum: return "udp-bad-checksum";
+    case DropReason::kUdpNoSession: return "udp-no-session";
+    case DropReason::kSessionFull: return "session-full";
+    case DropReason::kTcpMalformed: return "tcp-malformed";
+    case DropReason::kTcpBadChecksum: return "tcp-bad-checksum";
+    case DropReason::kTcpNoListener: return "tcp-no-listener";
+    case DropReason::kTcpBadState: return "tcp-bad-state";
+  }
+  return "unknown";
+}
+
+}  // namespace affinity

@@ -1,0 +1,64 @@
+// layer.hpp — the protocol-layer framework (x-kernel style).
+//
+// Layers form a receive chain; each pulls its header off the Packet and
+// either hands the rest up or drops with a reason. The framework is
+// deliberately minimal: the paper's parallelism is *message-level* (a packet
+// traverses the whole stack on one processor in one thread), so no
+// layer-to-layer queueing exists.
+#pragma once
+
+#include <cstdint>
+
+#include "proto/packet.hpp"
+
+namespace affinity {
+
+/// Why a packet did not reach a session.
+enum class DropReason : std::uint8_t {
+  kNone = 0,
+  kFddiMalformed,
+  kFddiWrongDest,
+  kFddiNotIp,
+  kIpMalformed,
+  kIpBadChecksum,
+  kIpTtlExpired,
+  kIpFragment,   ///< fragments take the slow path; the fast path counts+drops
+  kIpNotUdp,
+  kIpBadLength,
+  kUdpMalformed,
+  kUdpBadChecksum,
+  kUdpNoSession,
+  kSessionFull,
+  kTcpMalformed,
+  kTcpBadChecksum,
+  kTcpNoListener,
+  kTcpBadState,
+};
+
+/// Human-readable name of a drop reason.
+const char* dropReasonName(DropReason r) noexcept;
+
+/// Per-receive bookkeeping threaded through the layers.
+struct ReceiveContext {
+  DropReason drop = DropReason::kNone;
+  std::uint16_t dst_port = 0;   ///< filled by UDP on successful demux
+  std::uint32_t src_addr = 0;   ///< filled by IP
+  std::uint16_t payload_bytes = 0;
+
+  [[nodiscard]] bool dropped() const noexcept { return drop != DropReason::kNone; }
+};
+
+/// Interface every layer implements.
+class ProtocolLayer {
+ public:
+  virtual ~ProtocolLayer() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Processes the packet (cursor at this layer's header). Returns true if
+  /// the packet was accepted (delivered or passed up); on false, ctx.drop
+  /// says why.
+  virtual bool receive(Packet& pkt, ReceiveContext& ctx) = 0;
+};
+
+}  // namespace affinity

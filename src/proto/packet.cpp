@@ -1,0 +1,46 @@
+#include "proto/packet.hpp"
+
+namespace affinity {
+
+Packet Packet::withHeadroom(std::size_t headroom) {
+  Packet p;
+  p.data_.resize(headroom);
+  p.begin_ = headroom;
+  return p;
+}
+
+Packet Packet::fromFrame(std::span<const std::uint8_t> frame) {
+  Packet p;
+  p.data_.assign(frame.begin(), frame.end());
+  p.begin_ = 0;
+  return p;
+}
+
+std::span<const std::uint8_t> Packet::pull(std::size_t n) {
+  AFF_CHECK(n <= size());
+  std::span<const std::uint8_t> header{data_.data() + begin_, n};
+  begin_ += n;
+  return header;
+}
+
+std::span<std::uint8_t> Packet::push(std::size_t n) {
+  if (n > begin_) {
+    // Not enough headroom: shift the contents right.
+    const std::size_t need = n - begin_;
+    data_.insert(data_.begin(), need, 0);
+    begin_ += need;
+  }
+  begin_ -= n;
+  return {data_.data() + begin_, n};
+}
+
+void Packet::append(std::span<const std::uint8_t> payload) {
+  data_.insert(data_.end(), payload.begin(), payload.end());
+}
+
+void Packet::truncate(std::size_t n) {
+  AFF_CHECK(n <= size());
+  data_.resize(begin_ + n);
+}
+
+}  // namespace affinity

@@ -1,0 +1,66 @@
+// packet.hpp — message buffers for the protocol stack.
+//
+// A Packet owns a flat byte buffer and maintains an x-kernel-style header
+// window: layers *pull* their header off the front on receive and *push*
+// headers onto the front on send, without copying payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+/// A network message with pull/push header cursor semantics.
+class Packet {
+ public:
+  Packet() = default;
+
+  /// Creates a packet with `headroom` reserved bytes before an empty body
+  /// (send path: payload appended, then headers pushed into headroom).
+  static Packet withHeadroom(std::size_t headroom);
+
+  /// Creates a packet holding a received frame (cursor at byte 0).
+  static Packet fromFrame(std::span<const std::uint8_t> frame);
+
+  /// Bytes remaining from the cursor to the end (header + payload on
+  /// receive; payload on send before pushes).
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size() - begin_; }
+
+  /// Read-only view from the cursor.
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return {data_.data() + begin_, size()};
+  }
+
+  /// Mutable view from the cursor.
+  [[nodiscard]] std::span<std::uint8_t> mutableBytes() noexcept {
+    return {data_.data() + begin_, size()};
+  }
+
+  /// Pulls `n` bytes off the front (receive-side header strip). Returns the
+  /// view of the pulled header. Requires n <= size().
+  std::span<const std::uint8_t> pull(std::size_t n);
+
+  /// Pushes `n` bytes onto the front (send-side header prepend); returns a
+  /// mutable view of the new header. Grows the buffer if headroom is short.
+  std::span<std::uint8_t> push(std::size_t n);
+
+  /// Appends payload bytes at the tail.
+  void append(std::span<const std::uint8_t> payload);
+
+  /// Truncates the packet to `n` bytes from the cursor (drops trailing
+  /// padding, e.g. after IP total-length is known). Requires n <= size().
+  void truncate(std::size_t n);
+
+  /// Restores the cursor to byte 0 (whole frame visible again).
+  void resetCursor() noexcept { begin_ = 0; }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::size_t begin_ = 0;  ///< cursor: index of first visible byte
+};
+
+}  // namespace affinity

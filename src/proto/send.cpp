@@ -1,0 +1,65 @@
+#include "proto/send.hpp"
+
+#include "proto/checksum.hpp"
+#include "util/check.hpp"
+
+namespace affinity {
+
+void pushUdp(Packet& pkt, const SendContext& ctx) {
+  const std::size_t udp_len = UdpHeader::kSize + pkt.size();
+  AFF_CHECK(udp_len <= 0xffff);
+  auto header = pkt.push(UdpHeader::kSize);
+  UdpHeader h;
+  h.src_port = ctx.src_port;
+  h.dst_port = ctx.dst_port;
+  h.length = static_cast<std::uint16_t>(udp_len);
+  h.checksum = 0;
+  h.encode(header);
+  if (ctx.udp_checksum) {
+    ChecksumAccumulator acc;
+    acc.addWord(static_cast<std::uint16_t>(ctx.src_ip >> 16));
+    acc.addWord(static_cast<std::uint16_t>(ctx.src_ip));
+    acc.addWord(static_cast<std::uint16_t>(ctx.dst_ip >> 16));
+    acc.addWord(static_cast<std::uint16_t>(ctx.dst_ip));
+    acc.addWord(Ipv4Header::kProtoUdp);
+    acc.addWord(h.length);
+    acc.add(pkt.bytes());  // header now included: cursor is at the UDP header
+    std::uint16_t ck = acc.finish();
+    if (ck == 0) ck = 0xffff;  // RFC 768: 0 on the wire means "no checksum"
+    writeBe16(pkt.mutableBytes(), 6, ck);
+  }
+}
+
+void pushIp(Packet& pkt, const SendContext& ctx) {
+  const std::size_t total = Ipv4Header::kMinSize + pkt.size();
+  AFF_CHECK(total <= 0xffff);
+  auto header = pkt.push(Ipv4Header::kMinSize);
+  Ipv4Header h;
+  h.total_length = static_cast<std::uint16_t>(total);
+  h.identification = ctx.ip_id;
+  h.ttl = ctx.ttl;
+  h.src = ctx.src_ip;
+  h.dst = ctx.dst_ip;
+  h.encode(header);  // encode() computes the header checksum
+}
+
+void pushFddi(Packet& pkt, const SendContext& ctx) {
+  auto header = pkt.push(FddiHeader::kSize);
+  FddiHeader h;
+  h.src = ctx.src_mac;
+  h.dst = ctx.dst_mac;
+  h.encode(header);
+}
+
+Packet UdpSendPath::send(std::span<const std::uint8_t> payload, const SendContext& ctx) {
+  Packet pkt = Packet::withHeadroom(FddiHeader::kSize + Ipv4Header::kMinSize + UdpHeader::kSize);
+  pkt.append(payload);
+  pushUdp(pkt, ctx);
+  pushIp(pkt, ctx);
+  pushFddi(pkt, ctx);
+  ++stats_.datagrams;
+  stats_.payload_bytes += payload.size();
+  return pkt;
+}
+
+}  // namespace affinity

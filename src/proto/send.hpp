@@ -1,0 +1,58 @@
+// send.hpp — the send-side UDP/IP/FDDI path (paper extension i).
+//
+// Send-side processing builds the frame by *pushing* headers onto the front
+// of the packet, layer by layer (the x-kernel's push path), the mirror image
+// of the receive side's pulls. Each push function is a real layer
+// implementation: it fills its wire header (checksums included) in place.
+#pragma once
+
+#include <cstdint>
+
+#include "proto/headers.hpp"
+#include "proto/packet.hpp"
+
+namespace affinity {
+
+/// Addressing for one outgoing datagram.
+struct SendContext {
+  MacAddr src_mac{};
+  MacAddr dst_mac{};
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t ttl = 64;
+  std::uint16_t ip_id = 0;
+  bool udp_checksum = true;
+};
+
+/// UDP layer push: prepends the UDP header over the current payload and
+/// (optionally) computes the checksum with the IPv4 pseudo-header.
+void pushUdp(Packet& pkt, const SendContext& ctx);
+
+/// IPv4 layer push: prepends a 20-byte header (checksum computed) over the
+/// current UDP datagram.
+void pushIp(Packet& pkt, const SendContext& ctx);
+
+/// FDDI MAC/LLC push: prepends the 21-byte FDDI + SNAP header.
+void pushFddi(Packet& pkt, const SendContext& ctx);
+
+/// Full send path with per-datagram statistics; produces frames the receive
+/// stack accepts.
+class UdpSendPath {
+ public:
+  struct Stats {
+    std::uint64_t datagrams = 0;
+    std::uint64_t payload_bytes = 0;
+  };
+
+  /// Builds a complete frame carrying `payload`.
+  Packet send(std::span<const std::uint8_t> payload, const SendContext& ctx);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  Stats stats_;
+};
+
+}  // namespace affinity

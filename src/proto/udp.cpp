@@ -1,0 +1,81 @@
+#include "proto/udp.hpp"
+
+#include "proto/checksum.hpp"
+
+namespace affinity {
+
+bool UdpSession::deliver(std::span<const std::uint8_t> payload) {
+  if (queue_.size() >= capacity_) {
+    ++overflow_;
+    return false;
+  }
+  queue_.emplace_back(payload.begin(), payload.end());
+  ++delivered_;
+  bytes_ += payload.size();
+  return true;
+}
+
+bool UdpSession::read(std::vector<std::uint8_t>& out) {
+  if (queue_.empty()) return false;
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+UdpSession& UdpLayer::open(std::uint16_t port, std::size_t queue_capacity) {
+  auto [it, inserted] = sessions_.insert_or_assign(port, UdpSession(port, queue_capacity));
+  (void)inserted;
+  return it->second;
+}
+
+bool UdpLayer::close(std::uint16_t port) { return sessions_.erase(port) == 1; }
+
+UdpSession* UdpLayer::find(std::uint16_t port) noexcept {
+  auto it = sessions_.find(port);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+bool UdpLayer::receive(Packet& pkt, ReceiveContext& ctx) {
+  ++stats_.datagrams;
+  const auto header = UdpHeader::decode(pkt.bytes());
+  if (!header || header->length < UdpHeader::kSize || header->length > pkt.size()) {
+    ++stats_.dropped_malformed;
+    ctx.drop = DropReason::kUdpMalformed;
+    return false;
+  }
+  if (verify_checksum_ && header->checksum != 0) {
+    // Pseudo-header: src, dst, zero|proto, udp length.
+    ChecksumAccumulator acc;
+    acc.addWord(static_cast<std::uint16_t>(ctx.src_addr >> 16));
+    acc.addWord(static_cast<std::uint16_t>(ctx.src_addr));
+    acc.addWord(static_cast<std::uint16_t>(local_addr_ >> 16));
+    acc.addWord(static_cast<std::uint16_t>(local_addr_));
+    acc.addWord(Ipv4Header::kProtoUdp);
+    acc.addWord(header->length);
+    acc.add(pkt.bytes().first(header->length));
+    if (acc.finish() != 0) {
+      ++stats_.dropped_checksum;
+      ctx.drop = DropReason::kUdpBadChecksum;
+      return false;
+    }
+  }
+  UdpSession* session = find(header->dst_port);
+  if (session == nullptr) {
+    ++stats_.dropped_no_session;
+    ctx.drop = DropReason::kUdpNoSession;
+    return false;
+  }
+  pkt.truncate(header->length);
+  pkt.pull(UdpHeader::kSize);
+  if (!session->deliver(pkt.bytes())) {
+    ++stats_.dropped_session_full;
+    ctx.drop = DropReason::kSessionFull;
+    return false;
+  }
+  ctx.dst_port = header->dst_port;
+  ctx.payload_bytes = static_cast<std::uint16_t>(pkt.size());
+  ++stats_.delivered;
+  return true;
+}
+
+}  // namespace affinity

@@ -1,0 +1,79 @@
+// udp.hpp — UDP receive layer with port demux and per-session delivery.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/headers.hpp"
+#include "proto/layer.hpp"
+
+namespace affinity {
+
+/// One open UDP endpoint (the PCB + socket receive queue). This is the
+/// per-stream state whose cache affinity the paper's policies manage.
+class UdpSession {
+ public:
+  explicit UdpSession(std::uint16_t port, std::size_t queue_capacity = 64)
+      : port_(port), capacity_(queue_capacity) {}
+
+  /// Enqueues a received payload; false if the socket buffer is full.
+  bool deliver(std::span<const std::uint8_t> payload);
+
+  /// Dequeues the oldest datagram into `out`; false if empty.
+  bool read(std::vector<std::uint8_t>& out);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t deliveredCount() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t overflowCount() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t bytesDelivered() const noexcept { return bytes_; }
+
+ private:
+  std::uint16_t port_;
+  std::size_t capacity_;
+  std::deque<std::vector<std::uint8_t>> queue_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// UDP layer: optional checksum verification (with IPv4 pseudo-header) and
+/// port demux into sessions.
+class UdpLayer final : public ProtocolLayer {
+ public:
+  struct Stats {
+    std::uint64_t datagrams = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_malformed = 0;
+    std::uint64_t dropped_checksum = 0;
+    std::uint64_t dropped_no_session = 0;
+    std::uint64_t dropped_session_full = 0;
+  };
+
+  explicit UdpLayer(std::uint32_t local_addr, bool verify_checksum = true) noexcept
+      : local_addr_(local_addr), verify_checksum_(verify_checksum) {}
+
+  /// Opens a session on `port` (replaces any existing one). Returns it.
+  UdpSession& open(std::uint16_t port, std::size_t queue_capacity = 64);
+
+  /// Closes the session on `port`; true if one existed.
+  bool close(std::uint16_t port);
+
+  [[nodiscard]] UdpSession* find(std::uint16_t port) noexcept;
+  [[nodiscard]] std::size_t sessionCount() const noexcept { return sessions_.size(); }
+
+  [[nodiscard]] const char* name() const noexcept override { return "udp"; }
+  bool receive(Packet& pkt, ReceiveContext& ctx) override;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  std::uint32_t local_addr_;
+  bool verify_checksum_;
+  std::unordered_map<std::uint16_t, UdpSession> sessions_;
+  Stats stats_;
+};
+
+}  // namespace affinity

@@ -1,0 +1,133 @@
+#include "runtime/dispatch_engine.hpp"
+
+#include <thread>
+
+namespace affinity {
+
+const char* dispatchPolicyName(DispatchPolicy p) noexcept {
+  switch (p) {
+    case DispatchPolicy::kRoundRobin: return "RoundRobin";
+    case DispatchPolicy::kMruWorker: return "MRUWorker";
+    case DispatchPolicy::kStreamHash: return "StreamHash";
+  }
+  return "?";
+}
+
+DispatchEngine::DispatchEngine(unsigned workers, DispatchPolicy policy, HostConfig host,
+                               std::size_t ring_capacity)
+    : workers_(workers), policy_(policy), stack_(host), per_worker_(workers) {
+  AFF_CHECK(workers >= 1);
+  for (auto& pw : per_worker_) pw.ring = std::make_unique<SpscRing<WorkItem>>(ring_capacity);
+}
+
+void DispatchEngine::openPort(std::uint16_t port, std::size_t session_queue) {
+  AFF_CHECK(!started_);
+  stack_.open(port, session_queue);
+}
+
+void DispatchEngine::start() {
+  AFF_CHECK(!started_);
+  started_ = true;
+  intake_open_.store(true, std::memory_order_release);
+  pool_.start(workers_, [this](unsigned w, std::stop_token st) {
+    PerWorker& pw = per_worker_[w];
+    WorkItem item;
+    for (;;) {
+      if (pw.ring->tryPop(item)) {
+        ReceiveContext ctx;
+        {
+          std::lock_guard lock(stack_mu_);
+          ctx = stack_.receiveFrame(item.frame);
+        }
+        pw.processed.fetch_add(1, std::memory_order_relaxed);
+        if (!ctx.dropped()) pw.delivered.fetch_add(1, std::memory_order_relaxed);
+        pw.latency.record(item.enqueue_tp);
+        continue;
+      }
+      if (st.stop_requested() && !intake_open_.load(std::memory_order_acquire) &&
+          pw.ring->empty())
+        return;
+      std::this_thread::yield();
+    }
+  });
+}
+
+unsigned DispatchEngine::route(std::uint32_t stream) {
+  switch (policy_) {
+    case DispatchPolicy::kRoundRobin: {
+      const unsigned w = rr_next_;
+      rr_next_ = (rr_next_ + 1) % workers_;
+      return w;
+    }
+    case DispatchPolicy::kMruWorker:
+      // Stay with the most recent worker; its queue depth regulates via the
+      // full-ring fallback in submit().
+      return mru_last_;
+    case DispatchPolicy::kStreamHash:
+      return stream % workers_;
+  }
+  return 0;
+}
+
+bool DispatchEngine::submit(WorkItem item) {
+  if (!intake_open_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  item.enqueue_tp = std::chrono::steady_clock::now();
+  unsigned w = route(item.stream);
+  // MRU spill: if the preferred worker's ring is full, advance to the next
+  // (the paper's MRU falls back to the next-most-recent processor).
+  for (unsigned attempts = 0;; ++attempts) {
+    if (per_worker_[w].ring->tryPush(item)) {
+      mru_last_ = w;
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (policy_ == DispatchPolicy::kStreamHash) {
+      // Wired: never migrate; wait for the ring to drain.
+      if (!intake_open_.load(std::memory_order_acquire)) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    w = (w + 1) % workers_;
+    if (attempts >= workers_) std::this_thread::yield();
+    if (!intake_open_.load(std::memory_order_acquire)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+}
+
+void DispatchEngine::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  intake_open_.store(false, std::memory_order_release);
+  pool_.stopAndJoin();
+}
+
+EngineStats DispatchEngine::stats() const {
+  EngineStats s;
+  s.submitted = submitted_.load();
+  s.rejected = rejected_.load();
+  s.per_worker_processed.reserve(workers_);
+  Histogram merged(0.05, 8, 32);
+  for (const auto& pw : per_worker_) {
+    const std::uint64_t p = pw.processed.load();
+    s.processed += p;
+    s.delivered += pw.delivered.load();
+    s.per_worker_processed.push_back(p);
+    merged.merge(pw.latency.histogram());
+  }
+  if (merged.count() > 0) {
+    s.latency_mean_us = merged.mean();
+    s.latency_p50_us = merged.quantile(0.50);
+    s.latency_p99_us = merged.quantile(0.99);
+  }
+  return s;
+}
+
+}  // namespace affinity

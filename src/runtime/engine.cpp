@@ -1,0 +1,168 @@
+#include "runtime/engine.hpp"
+
+#include <chrono>
+
+namespace affinity {
+
+// ---------------------------------------------------------------- Locking --
+
+LockingEngine::LockingEngine(unsigned workers, HostConfig host, std::size_t queue_capacity)
+    : workers_(workers),
+      stack_(host),
+      queue_(queue_capacity),
+      per_worker_(workers, 0),
+      per_worker_lat_(workers) {
+  AFF_CHECK(workers >= 1);
+}
+
+void LockingEngine::openPort(std::uint16_t port, std::size_t session_queue) {
+  AFF_CHECK(!started_);
+  stack_.open(port, session_queue);
+}
+
+void LockingEngine::start() {
+  AFF_CHECK(!started_);
+  started_ = true;
+  pool_.start(workers_, [this](unsigned w, std::stop_token) {
+    // Workers exit when the queue closes and drains; the stop token is not
+    // consulted so no enqueued frame is abandoned.
+    while (auto item = queue_.pop()) {
+      ReceiveContext ctx;
+      {
+        std::lock_guard lock(stack_mu_);
+        ctx = stack_.receiveFrame(item->frame);
+      }
+      processed_.fetch_add(1, std::memory_order_relaxed);
+      if (!ctx.dropped()) delivered_.fetch_add(1, std::memory_order_relaxed);
+      ++per_worker_[w];
+      per_worker_lat_[w].record(item->enqueue_tp);
+    }
+  });
+}
+
+bool LockingEngine::submit(WorkItem item) {
+  if (stopped_) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  item.enqueue_tp = std::chrono::steady_clock::now();
+  if (!queue_.push(std::move(item))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void LockingEngine::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  queue_.close();
+  pool_.stopAndJoin();
+}
+
+EngineStats LockingEngine::stats() const {
+  EngineStats s;
+  s.submitted = submitted_.load();
+  s.rejected = rejected_.load();
+  s.processed = processed_.load();
+  s.delivered = delivered_.load();
+  s.per_worker_processed = per_worker_;
+  Histogram merged(0.05, 8, 32);
+  for (const auto& lat : per_worker_lat_) merged.merge(lat.histogram());
+  if (merged.count() > 0) {
+    s.latency_mean_us = merged.mean();
+    s.latency_p50_us = merged.quantile(0.50);
+    s.latency_p99_us = merged.quantile(0.99);
+  }
+  return s;
+}
+
+// -------------------------------------------------------------------- IPS --
+
+IpsEngine::IpsEngine(unsigned workers, HostConfig host, std::size_t ring_capacity)
+    : workers_(workers), per_worker_(workers) {
+  AFF_CHECK(workers >= 1);
+  for (auto& pw : per_worker_) {
+    pw.stack = std::make_unique<ProtocolStack>(host);
+    pw.ring = std::make_unique<SpscRing<WorkItem>>(ring_capacity);
+  }
+}
+
+void IpsEngine::openPort(std::uint16_t port, std::size_t session_queue) {
+  AFF_CHECK(!started_);
+  for (auto& pw : per_worker_) pw.stack->open(port, session_queue);
+}
+
+void IpsEngine::start() {
+  AFF_CHECK(!started_);
+  started_ = true;
+  intake_open_.store(true, std::memory_order_release);
+  pool_.start(workers_, [this](unsigned w, std::stop_token st) {
+    PerWorker& pw = per_worker_[w];
+    WorkItem item;
+    for (;;) {
+      if (pw.ring->tryPop(item)) {
+        const ReceiveContext ctx = pw.stack->receiveFrame(item.frame);
+        pw.processed.fetch_add(1, std::memory_order_relaxed);
+        if (!ctx.dropped()) pw.delivered.fetch_add(1, std::memory_order_relaxed);
+        pw.latency.record(item.enqueue_tp);
+        continue;
+      }
+      if (st.stop_requested() && !intake_open_.load(std::memory_order_acquire) &&
+          pw.ring->empty())
+        return;
+      std::this_thread::yield();
+    }
+  });
+}
+
+bool IpsEngine::submit(WorkItem item) {
+  if (!intake_open_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  item.enqueue_tp = std::chrono::steady_clock::now();
+  PerWorker& pw = per_worker_[workerOf(item.stream)];
+  // Spin with backoff while the worker's ring is full (bounded wait: the
+  // worker drains at protocol-processing speed).
+  for (int spin = 0; !pw.ring->tryPush(item); ++spin) {
+    if (!intake_open_.load(std::memory_order_acquire)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (spin > 64) std::this_thread::yield();
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void IpsEngine::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  intake_open_.store(false, std::memory_order_release);
+  pool_.stopAndJoin();
+}
+
+EngineStats IpsEngine::stats() const {
+  EngineStats s;
+  s.submitted = submitted_.load();
+  s.rejected = rejected_.load();
+  s.per_worker_processed.reserve(workers_);
+  Histogram merged(0.05, 8, 32);
+  for (const auto& pw : per_worker_) {
+    const std::uint64_t p = pw.processed.load();
+    s.processed += p;
+    s.delivered += pw.delivered.load();
+    s.per_worker_processed.push_back(p);
+    merged.merge(pw.latency.histogram());
+  }
+  if (merged.count() > 0) {
+    s.latency_mean_us = merged.mean();
+    s.latency_p50_us = merged.quantile(0.50);
+    s.latency_p99_us = merged.quantile(0.99);
+  }
+  return s;
+}
+
+}  // namespace affinity

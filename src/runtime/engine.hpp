@@ -1,0 +1,144 @@
+// engine.hpp — real-thread packet-processing engines.
+//
+// The simulation (src/core) is the source of the paper's numbers; these
+// engines execute the *actual* protocol stack (src/proto) on real threads,
+// demonstrating the two parallelization paradigms as running code:
+//
+//  * LockingEngine — one shared ProtocolStack guarded by a mutex; workers
+//    pull frames from a shared queue (any packet on any worker).
+//  * IpsEngine — one private ProtocolStack per worker; frames are routed to
+//    a worker by stream hash over SPSC rings (no locks on the fast path,
+//    maximal affinity, per-stream serialization — exactly IPS's trade).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "proto/stack.hpp"
+#include "runtime/queues.hpp"
+#include "runtime/worker_pool.hpp"
+#include "stats/histogram.hpp"
+
+namespace affinity {
+
+/// Counters common to both engines.
+struct EngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;   ///< submit() failed (queue full / stopped)
+  std::uint64_t processed = 0;  ///< frames run through a stack
+  std::uint64_t delivered = 0;  ///< frames that reached a session
+  std::vector<std::uint64_t> per_worker_processed;
+  // End-to-end latency (submit to completed processing), µs. Zero when no
+  // frame has completed.
+  double latency_mean_us = 0.0;
+  double latency_p50_us = 0.0;
+  double latency_p99_us = 0.0;
+};
+
+/// A frame plus its routing hint.
+struct WorkItem {
+  std::vector<std::uint8_t> frame;
+  std::uint32_t stream = 0;
+  /// Stamped by submit(); used for end-to-end latency.
+  std::chrono::steady_clock::time_point enqueue_tp{};
+};
+
+/// Per-worker latency recorder (owned by exactly one worker thread while
+/// the engine runs; merged by stats() after workers quiesce).
+class LatencyRecorder {
+ public:
+  LatencyRecorder() : hist_(0.05, 8, 32) {}
+
+  void record(std::chrono::steady_clock::time_point enqueue_tp) {
+    const auto now = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(now - enqueue_tp).count();
+    hist_.add(us);
+  }
+
+  [[nodiscard]] const Histogram& histogram() const noexcept { return hist_; }
+
+ private:
+  Histogram hist_;
+};
+
+/// Shared-stack (Locking) engine.
+class LockingEngine {
+ public:
+  LockingEngine(unsigned workers, HostConfig host, std::size_t queue_capacity = 1024);
+  ~LockingEngine() { stop(); }
+
+  /// Opens a UDP port on the shared stack (call before start()).
+  void openPort(std::uint16_t port, std::size_t session_queue = 1024);
+
+  void start();
+
+  /// Enqueues a frame (blocking when the queue is full). False once stopped.
+  bool submit(WorkItem item);
+
+  /// Closes the intake, drains in-flight work, joins workers (idempotent).
+  void stop();
+
+  [[nodiscard]] EngineStats stats() const;
+
+ private:
+  unsigned workers_;
+  ProtocolStack stack_;
+  std::mutex stack_mu_;
+  MpmcQueue<WorkItem> queue_;
+  WorkerPool pool_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::vector<std::uint64_t> per_worker_;       // written by owning worker only
+  std::vector<LatencyRecorder> per_worker_lat_; // written by owning worker only
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+/// Independent-stacks (IPS) engine: stack-per-worker, hash routing.
+class IpsEngine {
+ public:
+  IpsEngine(unsigned workers, HostConfig host, std::size_t ring_capacity = 1024);
+  ~IpsEngine() { stop(); }
+
+  /// Opens a UDP port on every worker's stack (call before start()).
+  void openPort(std::uint16_t port, std::size_t session_queue = 1024);
+
+  void start();
+
+  /// Routes the frame to worker (stream % workers). Spins briefly if that
+  /// worker's ring is full; false once stopped.
+  bool submit(WorkItem item);
+
+  void stop();
+
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] unsigned workerOf(std::uint32_t stream) const noexcept {
+    return stream % workers_;
+  }
+
+ private:
+  struct PerWorker {
+    std::unique_ptr<ProtocolStack> stack;
+    std::unique_ptr<SpscRing<WorkItem>> ring;
+    std::atomic<std::uint64_t> processed{0};
+    std::atomic<std::uint64_t> delivered{0};
+    LatencyRecorder latency;
+  };
+
+  unsigned workers_;
+  std::vector<PerWorker> per_worker_;
+  WorkerPool pool_;
+  std::atomic<bool> intake_open_{false};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace affinity

@@ -1,0 +1,3 @@
+#include "runtime/queues.hpp"
+
+// Template-only header; this translation unit anchors the library.

@@ -1,0 +1,46 @@
+#include "runtime/worker_pool.hpp"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+bool pinThisThread(unsigned cpu) noexcept {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % availableCpus(), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+unsigned availableCpus() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void WorkerPool::start(unsigned count, Body body, bool pin) {
+  AFF_CHECK(threads_.empty());
+  AFF_CHECK(count >= 1);
+  threads_.reserve(count);
+  for (unsigned w = 0; w < count; ++w) {
+    threads_.emplace_back([w, body, pin](std::stop_token st) {
+      if (pin) pinThisThread(w);
+      body(w, st);
+    });
+  }
+}
+
+void WorkerPool::stopAndJoin() {
+  for (auto& t : threads_) t.request_stop();
+  threads_.clear();  // jthread joins on destruction
+}
+
+}  // namespace affinity

@@ -1,0 +1,43 @@
+// worker_pool.hpp — thread pinning and a generic pinned worker pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stop_token>
+#include <thread>
+#include <vector>
+
+namespace affinity {
+
+/// Pins the calling thread to `cpu` (mod hardware concurrency). Returns
+/// false if the platform refuses (the engines then run unpinned — correct,
+/// just without placement control; inevitable on single-CPU machines).
+bool pinThisThread(unsigned cpu) noexcept;
+
+/// Number of CPUs the process may run on.
+unsigned availableCpus() noexcept;
+
+/// A set of jthreads, each pinned to a CPU (round-robin over available
+/// CPUs) and running `body(worker_index, stop_token)`.
+class WorkerPool {
+ public:
+  using Body = std::function<void(unsigned worker, std::stop_token st)>;
+
+  WorkerPool() = default;
+  ~WorkerPool() { stopAndJoin(); }
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Launches `count` workers. May be called once.
+  void start(unsigned count, Body body, bool pin = true);
+
+  /// Requests stop and joins all workers (idempotent).
+  void stopAndJoin();
+
+  [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(threads_.size()); }
+
+ private:
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace affinity

@@ -1,0 +1,63 @@
+#include "sched/affinity_state.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+AffinityState::AffinityState(unsigned num_procs, std::size_t num_streams, unsigned num_stacks)
+    : code_last_(num_procs, -std::numeric_limits<double>::infinity()),
+      stream_last_(num_streams),
+      stack_last_(num_stacks) {
+  AFF_CHECK(num_procs >= 1);
+}
+
+double AffinityState::codeAge(unsigned proc, double now) const noexcept {
+  AFF_DCHECK(proc < code_last_.size());
+  const double last = code_last_[proc];
+  if (last == -std::numeric_limits<double>::infinity()) return kColdAge;
+  const double age = now - last;
+  return age > 0.0 ? age : 0.0;
+}
+
+double AffinityState::sharedAge(unsigned proc, double now) const noexcept {
+  return ageOf(shared_last_, proc, now);
+}
+
+double AffinityState::streamAge(unsigned proc, std::uint32_t stream, double now) const noexcept {
+  AFF_DCHECK(stream < stream_last_.size());
+  return ageOf(stream_last_[stream], proc, now);
+}
+
+double AffinityState::stackAge(unsigned proc, std::uint32_t stack, double now) const noexcept {
+  AFF_DCHECK(stack < stack_last_.size());
+  return ageOf(stack_last_[stack], proc, now);
+}
+
+int AffinityState::lastProcOfStream(std::uint32_t stream) const noexcept {
+  AFF_DCHECK(stream < stream_last_.size());
+  return stream_last_[stream].proc;
+}
+
+int AffinityState::lastProcOfStack(std::uint32_t stack) const noexcept {
+  AFF_DCHECK(stack < stack_last_.size());
+  return stack_last_[stack].proc;
+}
+
+double AffinityState::lastProtocolTime(unsigned proc) const noexcept {
+  AFF_DCHECK(proc < code_last_.size());
+  return code_last_[proc];
+}
+
+void AffinityState::onComplete(unsigned proc, std::uint32_t stream, std::uint32_t stack,
+                               double now) noexcept {
+  AFF_DCHECK(proc < code_last_.size());
+  code_last_[proc] = now;
+  shared_last_ = LastTouch{static_cast<int>(proc), now};
+  if (stream < stream_last_.size()) stream_last_[stream] = LastTouch{static_cast<int>(proc), now};
+  if (stack != kNoStack && stack < stack_last_.size())
+    stack_last_[stack] = LastTouch{static_cast<int>(proc), now};
+}
+
+}  // namespace affinity

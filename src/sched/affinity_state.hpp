@@ -1,0 +1,82 @@
+// affinity_state.hpp — last-touch bookkeeping behind the affinity policies.
+//
+// Tracks, per footprint component, where and when it was last resident:
+//   * code        — per processor: when protocol code last executed there
+//   * shared data — (Locking) the single shared instance: last processor +
+//                   time (a packet on any other processor invalidates it)
+//   * stream      — per stream: last processor + time
+//   * stack       — per IPS stack: last processor + time
+//
+// Ages returned are "µs since last resident on this processor", or kColdAge
+// when the component was last used elsewhere (coherence makes remote copies
+// useless) or never used.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/exec_time.hpp"
+
+namespace affinity {
+
+/// Last-touch tables for every footprint component.
+class AffinityState {
+ public:
+  AffinityState(unsigned num_procs, std::size_t num_streams, unsigned num_stacks);
+
+  // --- ages at the moment a packet would begin service ---------------------
+
+  /// Age of the protocol code+ro-data on `proc` (kColdAge if protocol never
+  /// ran there).
+  [[nodiscard]] double codeAge(unsigned proc, double now) const noexcept;
+
+  /// Age of the Locking shared writable data on `proc`.
+  [[nodiscard]] double sharedAge(unsigned proc, double now) const noexcept;
+
+  /// Age of `stream`'s state on `proc`.
+  [[nodiscard]] double streamAge(unsigned proc, std::uint32_t stream, double now) const noexcept;
+
+  /// Age of IPS `stack`'s private data on `proc`.
+  [[nodiscard]] double stackAge(unsigned proc, std::uint32_t stack, double now) const noexcept;
+
+  // --- last-location queries used by the policies ---------------------------
+
+  /// Processor `stream` last completed on, or -1.
+  [[nodiscard]] int lastProcOfStream(std::uint32_t stream) const noexcept;
+  /// Processor `stack` last completed on, or -1.
+  [[nodiscard]] int lastProcOfStack(std::uint32_t stack) const noexcept;
+  /// Time protocol code last finished on `proc` (-inf if never).
+  [[nodiscard]] double lastProtocolTime(unsigned proc) const noexcept;
+
+  // --- updates --------------------------------------------------------------
+
+  /// Records completion of a packet of `stream` (and `stack`; pass
+  /// kNoStack under pure Locking) on `proc` at time `now`.
+  void onComplete(unsigned proc, std::uint32_t stream, std::uint32_t stack,
+                  double now) noexcept;
+
+  static constexpr std::uint32_t kNoStack = 0xffffffff;
+
+  [[nodiscard]] unsigned numProcs() const noexcept {
+    return static_cast<unsigned>(code_last_.size());
+  }
+
+ private:
+  struct LastTouch {
+    int proc = -1;
+    double time = 0.0;
+  };
+
+  static double ageOf(const LastTouch& lt, unsigned proc, double now) noexcept {
+    if (lt.proc != static_cast<int>(proc)) return kColdAge;
+    const double age = now - lt.time;
+    return age > 0.0 ? age : 0.0;
+  }
+
+  std::vector<double> code_last_;  ///< per processor; -inf if never
+  LastTouch shared_last_;          ///< Locking shared data
+  std::vector<LastTouch> stream_last_;
+  std::vector<LastTouch> stack_last_;
+};
+
+}  // namespace affinity

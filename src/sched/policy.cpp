@@ -1,0 +1,55 @@
+#include "sched/policy.hpp"
+
+namespace affinity {
+
+const char* paradigmName(Paradigm p) noexcept {
+  switch (p) {
+    case Paradigm::kLocking: return "Locking";
+    case Paradigm::kIps: return "IPS";
+    case Paradigm::kHybrid: return "Hybrid";
+  }
+  return "?";
+}
+
+const char* lockingPolicyName(LockingPolicy p) noexcept {
+  switch (p) {
+    case LockingPolicy::kFcfs: return "FCFS";
+    case LockingPolicy::kMru: return "MRU";
+    case LockingPolicy::kStreamMru: return "StreamMRU";
+    case LockingPolicy::kWiredStreams: return "WiredStreams";
+  }
+  return "?";
+}
+
+const char* ipsPolicyName(IpsPolicy p) noexcept {
+  switch (p) {
+    case IpsPolicy::kRandom: return "Random";
+    case IpsPolicy::kMru: return "MRU";
+    case IpsPolicy::kWired: return "Wired";
+  }
+  return "?";
+}
+
+std::string PolicyConfig::describe() const {
+  std::string s = paradigmName(paradigm);
+  switch (paradigm) {
+    case Paradigm::kLocking:
+      s += "/";
+      s += lockingPolicyName(locking);
+      break;
+    case Paradigm::kIps:
+      s += "/";
+      s += ipsPolicyName(ips);
+      break;
+    case Paradigm::kHybrid:
+      s += "(";
+      s += lockingPolicyName(locking);
+      s += "+";
+      s += ipsPolicyName(ips);
+      s += ")";
+      break;
+  }
+  return s;
+}
+
+}  // namespace affinity

@@ -1,0 +1,50 @@
+// policy.hpp — the parallelization paradigms and affinity scheduling
+// policies evaluated by the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace affinity {
+
+/// How protocol processing is parallelized (paper §1).
+enum class Paradigm : std::uint8_t {
+  kLocking,  ///< one shared stack, lock-protected; any packet on any processor
+  kIps,      ///< independent protocol stacks; streams statically mapped to stacks
+  kHybrid,   ///< per-stream choice: designated streams use Locking, rest IPS
+};
+
+/// Scheduling policy under Locking.
+enum class LockingPolicy : std::uint8_t {
+  kFcfs,         ///< no affinity: global FIFO, arbitrary idle processor
+  kMru,          ///< most-recently-protocol-active idle processor
+  kStreamMru,    ///< prefer the idle processor this stream last used, then MRU
+  kWiredStreams, ///< streams hashed to processors; packets queue only there
+};
+
+/// Scheduling policy under IPS.
+enum class IpsPolicy : std::uint8_t {
+  kRandom,  ///< no affinity: runnable stack on an arbitrary idle processor
+  kMru,     ///< stack prefers its last processor, then the MRU-protocol one
+  kWired,   ///< stack k wired to processor k mod N
+};
+
+/// Complete policy selection for one simulation run.
+struct PolicyConfig {
+  Paradigm paradigm = Paradigm::kLocking;
+  LockingPolicy locking = LockingPolicy::kMru;
+  IpsPolicy ips = IpsPolicy::kWired;
+  /// Number of independent stacks under IPS/Hybrid (0 = one per processor).
+  unsigned ips_stacks = 0;
+  /// Hybrid: stream ids processed via the Locking stack (all others IPS).
+  std::vector<std::uint32_t> hybrid_locking_streams;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+const char* paradigmName(Paradigm p) noexcept;
+const char* lockingPolicyName(LockingPolicy p) noexcept;
+const char* ipsPolicyName(IpsPolicy p) noexcept;
+
+}  // namespace affinity

@@ -1,0 +1,74 @@
+#include "sim/simulator.hpp"
+
+namespace affinity {
+
+EventHandle Simulator::schedule(SimTime at, std::function<void()> fn) {
+  AFF_CHECK(at >= now_);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq, std::move(fn)});
+  pending_.insert(seq);
+  return EventHandle(seq);
+}
+
+bool Simulator::cancel(EventHandle h) noexcept {
+  if (!h.valid()) return false;
+  return pending_.erase(h.id_) == 1;  // heap entry is skipped lazily on pop
+}
+
+bool Simulator::popNext(Entry& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; the element is immediately popped, so
+    // moving out of it is safe.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    if (pending_.erase(top.seq) == 0) {
+      heap_.pop();  // was cancelled
+      continue;
+    }
+    out = std::move(top);
+    heap_.pop();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::peekTime(SimTime& at) {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (pending_.count(top.seq) == 0) {
+      heap_.pop();
+      continue;
+    }
+    at = top.at;
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Entry e;
+  if (!popNext(e)) return false;
+  AFF_DCHECK(e.at >= now_);
+  now_ = e.at;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+std::uint64_t Simulator::runUntil(SimTime until) {
+  std::uint64_t ran = 0;
+  SimTime at;
+  while (peekTime(at) && at <= until) {
+    step();
+    ++ran;
+  }
+  if (now_ < until) now_ = until;
+  return ran;
+}
+
+std::uint64_t Simulator::runAll() {
+  std::uint64_t ran = 0;
+  while (step()) ++ran;
+  return ran;
+}
+
+}  // namespace affinity

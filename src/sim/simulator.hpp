@@ -1,0 +1,109 @@
+// simulator.hpp — discrete-event simulation kernel.
+//
+// A single-threaded event calendar: events are (time, callback) pairs,
+// executed in nondecreasing time order with FIFO tie-breaking (events
+// scheduled earlier at the same timestamp run first — this makes simulation
+// runs fully deterministic for a given seed). Cancellation is lazy: a
+// cancelled event stays in the heap but is skipped when popped.
+//
+// Time is a double in *microseconds* throughout this codebase: the paper's
+// packet service times are hundreds of microseconds, so µs keeps the
+// magnitudes readable and well within double precision for runs of many
+// simulated seconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+/// Simulated time in microseconds.
+using SimTime = double;
+
+/// Handle for cancelling a scheduled event. Default-constructed handles are
+/// inert (cancel() on them is a no-op).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) noexcept : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// The event calendar. Not thread-safe (the paper's model is a sequential
+/// simulation of a parallel machine; real parallelism lives in src/runtime).
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (>= now()). Returns a
+  /// handle usable with cancel().
+  EventHandle schedule(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` (>= 0) after now().
+  EventHandle scheduleAfter(SimTime delay, std::function<void()> fn) {
+    return schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns true if the event was pending (and is
+  /// now guaranteed not to run), false if it already ran, was already
+  /// cancelled, or the handle is inert.
+  bool cancel(EventHandle h) noexcept;
+
+  /// Runs events with timestamp <= `until`; afterwards the clock reads
+  /// exactly `until` (even if the queue drained early). Returns the number
+  /// of events executed.
+  std::uint64_t runUntil(SimTime until);
+
+  /// Runs all events to quiescence.
+  std::uint64_t runAll();
+
+  /// Executes at most one event. Returns false if none pending.
+  bool step();
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pendingCount() const noexcept { return pending_.size(); }
+
+  /// Total events executed so far.
+  [[nodiscard]] std::uint64_t executedCount() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tie-break and cancellation id
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops the earliest non-cancelled entry; false if none.
+  bool popNext(Entry& out);
+  /// Time of the earliest non-cancelled entry; discards cancelled prefix.
+  bool peekTime(SimTime& at);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> pending_;  // seqs of live events
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace affinity

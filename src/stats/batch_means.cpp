@@ -1,0 +1,78 @@
+#include "stats/batch_means.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+namespace {
+// t critical values, two-sided, levels 0.90 / 0.95 / 0.99, dof 1..30.
+constexpr double kT90[30] = {6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860,
+                             1.833, 1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746,
+                             1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711,
+                             1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+constexpr double kT95[30] = {12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+                             2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+                             2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+                             2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+constexpr double kT99[30] = {63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355,
+                             3.250,  3.169, 3.106, 3.055, 3.012, 2.977, 2.947, 2.921,
+                             2.898,  2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797,
+                             2.787,  2.779, 2.771, 2.763, 2.756, 2.750};
+}  // namespace
+
+double studentTCritical(std::uint64_t dof, double level) noexcept {
+  if (dof == 0) return std::numeric_limits<double>::infinity();
+  const double* table = kT95;
+  double z = 1.960;
+  if (level == 0.90) {
+    table = kT90;
+    z = 1.645;
+  } else if (level == 0.99) {
+    table = kT99;
+    z = 2.576;
+  }
+  if (dof <= 30) return table[dof - 1];
+  return z;
+}
+
+BatchMeans::BatchMeans(std::uint64_t batch_size) : batch_size_(batch_size) {
+  AFF_CHECK(batch_size > 0);
+}
+
+void BatchMeans::add(double x) noexcept {
+  batch_sum_ += x;
+  if (++in_batch_ == batch_size_) {
+    batches_.push_back(batch_sum_ / static_cast<double>(batch_size_));
+    batch_sum_ = 0.0;
+    in_batch_ = 0;
+  }
+}
+
+double BatchMeans::mean() const noexcept {
+  // Include the partial batch so mean() matches the plain sample mean.
+  double sum = batch_sum_;
+  std::uint64_t n = in_batch_;
+  for (double b : batches_) {
+    sum += b * static_cast<double>(batch_size_);
+    n += batch_size_;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double BatchMeans::halfWidth(double level) const noexcept {
+  const std::size_t k = batches_.size();
+  if (k < 2) return std::numeric_limits<double>::infinity();
+  double mean = 0.0;
+  for (double b : batches_) mean += b;
+  mean /= static_cast<double>(k);
+  double ss = 0.0;
+  for (double b : batches_) ss += (b - mean) * (b - mean);
+  const double var = ss / static_cast<double>(k - 1);
+  const double t = studentTCritical(k - 1, level);
+  return t * std::sqrt(var / static_cast<double>(k));
+}
+
+}  // namespace affinity

@@ -1,0 +1,42 @@
+// batch_means.hpp — confidence intervals for steady-state simulation output.
+//
+// Observations from one simulation run are autocorrelated, so a naive
+// t-interval on per-packet delays is too narrow. The method of batch means
+// groups consecutive observations into batches large enough that batch
+// averages are approximately independent, then forms a t-interval over the
+// batch averages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace affinity {
+
+/// Fixed-batch-size batch-means estimator.
+class BatchMeans {
+ public:
+  /// `batch_size` consecutive observations form one batch.
+  explicit BatchMeans(std::uint64_t batch_size);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t batchCount() const noexcept { return static_cast<std::uint64_t>(batches_.size()); }
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Half-width of the two-sided confidence interval over batch means at the
+  /// given level (0.90, 0.95, or 0.99; others fall back to 0.95). Returns
+  /// +inf with fewer than 2 complete batches.
+  [[nodiscard]] double halfWidth(double level = 0.95) const noexcept;
+
+ private:
+  std::uint64_t batch_size_;
+  std::uint64_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  std::vector<double> batches_;
+};
+
+/// Two-sided Student-t critical value t_{dof, (1+level)/2}; tabulated for
+/// small dof, normal approximation above. Exposed for tests.
+double studentTCritical(std::uint64_t dof, double level) noexcept;
+
+}  // namespace affinity

@@ -1,0 +1,69 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+Histogram::Histogram(double min_value, int decades, int buckets_per_decade)
+    : min_value_(min_value),
+      log_min_(std::log10(min_value)),
+      inv_log_step_(buckets_per_decade),
+      log_step_(1.0 / buckets_per_decade),
+      buckets_(static_cast<std::size_t>(decades) * buckets_per_decade, 0) {
+  AFF_CHECK(min_value > 0.0);
+  AFF_CHECK(decades > 0 && buckets_per_decade > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  sum_ += x;
+  if (!(x >= min_value_)) {  // also catches NaN
+    ++underflow_;
+    return;
+  }
+  const double pos = (std::log10(x) - log_min_) * inv_log_step_;
+  const auto idx = static_cast<std::size_t>(pos);
+  if (idx >= buckets_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++buckets_[idx];
+}
+
+void Histogram::merge(const Histogram& other) {
+  AFF_CHECK(buckets_.size() == other.buckets_.size());
+  AFF_CHECK(min_value_ == other.min_value_ && log_step_ == other.log_step_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double Histogram::bucketLow(std::size_t i) const noexcept {
+  return std::pow(10.0, log_min_ + static_cast<double>(i) * log_step_);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return min_value_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = cum + static_cast<double>(buckets_[i]);
+    if (target <= next && buckets_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(buckets_[i]);
+      const double lo = bucketLow(i);
+      const double hi = bucketLow(i + 1);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  return bucketLow(buckets_.size());  // all remaining mass is overflow
+}
+
+}  // namespace affinity

@@ -1,0 +1,31 @@
+// check.hpp — lightweight precondition / invariant checking.
+//
+// AFF_CHECK is always on (it guards logic errors whose cost is negligible
+// next to simulation work); AFF_DCHECK compiles away in NDEBUG builds and is
+// used on hot paths (event queue, cache sets).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace affinity {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace affinity
+
+#define AFF_CHECK(expr)                                         \
+  do {                                                          \
+    if (!(expr)) ::affinity::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define AFF_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define AFF_DCHECK(expr) AFF_CHECK(expr)
+#endif

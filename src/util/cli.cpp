@@ -1,0 +1,121 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+namespace affinity {
+
+namespace cli_detail {
+
+namespace {
+template <typename T>
+bool from_chars_all(std::string_view text, T& out) {
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc() && ptr == end;
+}
+}  // namespace
+
+bool parse_value(std::string_view text, int& out) { return from_chars_all(text, out); }
+bool parse_value(std::string_view text, std::int64_t& out) { return from_chars_all(text, out); }
+bool parse_value(std::string_view text, std::uint64_t& out) { return from_chars_all(text, out); }
+
+bool parse_value(std::string_view text, double& out) {
+  // std::from_chars for double is available in libstdc++ 11+.
+  return from_chars_all(text, out);
+}
+
+bool parse_value(std::string_view text, bool& out) {
+  if (text == "true" || text == "1" || text.empty()) {
+    out = true;
+    return true;
+  }
+  if (text == "false" || text == "0") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+bool parse_value(std::string_view text, std::string& out) {
+  out.assign(text);
+  return true;
+}
+
+std::string repr(int v) { return std::to_string(v); }
+std::string repr(std::int64_t v) { return std::to_string(v); }
+std::string repr(std::uint64_t v) { return std::to_string(v); }
+std::string repr(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+std::string repr(bool v) { return v ? "true" : "false"; }
+std::string repr(const std::string& v) { return v; }
+
+}  // namespace cli_detail
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+bool Cli::provided(std::string_view name) const {
+  auto it = flags_.find(name);
+  return it != flags_.end() && it->second.was_provided;
+}
+
+void Cli::usage_and_exit(int code) const {
+  std::FILE* out = code == 0 ? stdout : stderr;
+  std::fprintf(out, "%s — %s\n\nflags:\n", program_.c_str(), description_.c_str());
+  for (const auto& [name, f] : flags_) {
+    std::fprintf(out, "  --%-20s %s (default: %s)\n", name.c_str(), f.help.c_str(),
+                 f.default_repr.c_str());
+  }
+  std::exit(code);
+}
+
+void Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage_and_exit(0);
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      std::fprintf(stderr, "%s: unexpected argument '%s'\n", program_.c_str(), argv[i]);
+      usage_and_exit(2);
+    }
+    arg.remove_prefix(2);
+    std::string_view name = arg;
+    std::optional<std::string_view> value;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "%s: unknown flag '--%.*s'\n", program_.c_str(),
+                   static_cast<int>(name.size()), name.data());
+      usage_and_exit(2);
+    }
+    Flag& f = it->second;
+    if (!value) {
+      if (f.is_bool) {
+        value = "";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "%s: flag '--%.*s' needs a value\n", program_.c_str(),
+                     static_cast<int>(name.size()), name.data());
+        usage_and_exit(2);
+      }
+    }
+    if (!f.parse_into(f.storage, *value)) {
+      std::fprintf(stderr, "%s: bad value '%.*s' for flag '--%.*s'\n", program_.c_str(),
+                   static_cast<int>(value->size()), value->data(),
+                   static_cast<int>(name.size()), name.data());
+      usage_and_exit(2);
+    }
+    f.was_provided = true;
+  }
+}
+
+}  // namespace affinity

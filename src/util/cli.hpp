@@ -1,0 +1,93 @@
+// cli.hpp — minimal command-line flag parsing for bench and example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name`. Every bench
+// binary declares its flags up front so `--help` can print them; unknown
+// flags are an error (catches typos in sweep scripts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace affinity {
+
+/// Declarative flag set. Usage:
+///   Cli cli("fig06_locking_delay", "Locking: mean delay vs arrival rate");
+///   auto& procs = cli.flag<int>("procs", 8, "number of processors");
+///   cli.parse(argc, argv);   // exits on --help or parse error
+///   use(*procs);
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Declares a flag with a default; returns a stable reference to the
+  /// parsed value (filled in by parse()).
+  template <typename T>
+  const T& flag(std::string name, T default_value, std::string help);
+
+  /// Parses argv. On `--help` prints usage and exits(0); on error prints a
+  /// message and exits(2).
+  void parse(int argc, char** argv);
+
+  /// True if the flag was explicitly provided on the command line.
+  [[nodiscard]] bool provided(std::string_view name) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string default_repr;
+    // Parses `text` into the bound storage; returns false on bad syntax.
+    bool (*parse_into)(void* storage, std::string_view text);
+    void* storage;
+    bool is_bool;
+    bool was_provided = false;
+  };
+
+  [[noreturn]] void usage_and_exit(int code) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag, std::less<>> flags_;
+  // Owned storage for flag values; deque-like stability via unique_ptr.
+  std::vector<std::unique_ptr<void, void (*)(void*)>> storage_;
+};
+
+// --- implementation details -------------------------------------------------
+
+namespace cli_detail {
+bool parse_value(std::string_view text, int& out);
+bool parse_value(std::string_view text, std::int64_t& out);
+bool parse_value(std::string_view text, std::uint64_t& out);
+bool parse_value(std::string_view text, double& out);
+bool parse_value(std::string_view text, bool& out);
+bool parse_value(std::string_view text, std::string& out);
+std::string repr(int v);
+std::string repr(std::int64_t v);
+std::string repr(std::uint64_t v);
+std::string repr(double v);
+std::string repr(bool v);
+std::string repr(const std::string& v);
+}  // namespace cli_detail
+
+template <typename T>
+const T& Cli::flag(std::string name, T default_value, std::string help) {
+  auto* value = new T(std::move(default_value));
+  storage_.emplace_back(value, [](void* p) { delete static_cast<T*>(p); });
+  Flag f{
+      std::move(help),
+      cli_detail::repr(*value),
+      [](void* storage, std::string_view text) {
+        return cli_detail::parse_value(text, *static_cast<T*>(storage));
+      },
+      value,
+      std::is_same_v<T, bool>,
+  };
+  flags_.emplace(std::move(name), std::move(f));
+  return *value;
+}
+
+}  // namespace affinity

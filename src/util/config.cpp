@@ -1,0 +1,119 @@
+#include "util/config.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace affinity {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+[[noreturn]] void badValue(const std::string& key, const std::string& value, const char* type) {
+  std::fprintf(stderr, "config: key '%s' has value '%s', expected %s\n", key.c_str(),
+               value.c_str(), type);
+  std::exit(2);
+}
+
+}  // namespace
+
+std::optional<ConfigFile> ConfigFile::parse(std::string_view text, std::string* error) {
+  ConfigFile cfg;
+  std::string section;
+  int lineno = 0;
+  while (!text.empty()) {
+    const std::size_t nl = text.find('\n');
+    std::string_view line = text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+    ++lineno;
+    line = trim(line);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        if (error) *error = "bad section header at line " + std::to_string(lineno);
+        return std::nullopt;
+      }
+      section.assign(trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      if (error) *error = "missing '=' at line " + std::to_string(lineno);
+      return std::nullopt;
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      if (error) *error = "empty key at line " + std::to_string(lineno);
+      return std::nullopt;
+    }
+    std::string full = section.empty() ? std::string(key) : section + "." + std::string(key);
+    cfg.values_[std::move(full)] = std::string(value);
+  }
+  return cfg;
+}
+
+std::optional<ConfigFile> ConfigFile::load(const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parse(text, error);
+}
+
+std::string ConfigFile::getString(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double ConfigFile::getDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  double v = 0.0;
+  const char* end = it->second.data() + it->second.size();
+  auto [ptr, ec] = std::from_chars(it->second.data(), end, v);
+  if (ec != std::errc() || ptr != end) badValue(key, it->second, "a number");
+  return v;
+}
+
+std::int64_t ConfigFile::getInt(const std::string& key, std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::int64_t v = 0;
+  const char* end = it->second.data() + it->second.size();
+  auto [ptr, ec] = std::from_chars(it->second.data(), end, v);
+  if (ec != std::errc() || ptr != end) badValue(key, it->second, "an integer");
+  return v;
+}
+
+bool ConfigFile::getBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (it->second == "true" || it->second == "1" || it->second == "yes") return true;
+  if (it->second == "false" || it->second == "0" || it->second == "no") return false;
+  badValue(key, it->second, "a boolean");
+}
+
+std::map<std::string, std::string> ConfigFile::section(const std::string& name) const {
+  std::map<std::string, std::string> out;
+  const std::string prefix = name + ".";
+  for (const auto& [k, v] : values_) {
+    if (k.rfind(prefix, 0) == 0) out.emplace(k.substr(prefix.size()), v);
+  }
+  return out;
+}
+
+}  // namespace affinity

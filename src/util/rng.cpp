@@ -1,0 +1,128 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+  // xoshiro must not start from the all-zero state; splitmix64 of any seed
+  // cannot produce four zero words, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::split(std::uint64_t stream_index) const noexcept {
+  // Mix parent seed and stream index through splitmix64 twice to decorrelate
+  // adjacent stream indices.
+  std::uint64_t sm = seed_ ^ (0xa0761d6478bd642fULL * (stream_index + 1));
+  std::uint64_t derived = splitmix64(sm);
+  derived ^= splitmix64(sm);
+  return Rng(derived);
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits into [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) noexcept {
+  AFF_DCHECK(n > 0);
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double rate) noexcept {
+  AFF_DCHECK(rate > 0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);  // avoid log(0)
+  return -std::log(u) / rate;
+}
+
+double Rng::normal() noexcept {
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+std::uint64_t Rng::geometric(double p) noexcept {
+  AFF_DCHECK(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 1;
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return 1 + static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  AFF_DCHECK(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's product-of-uniforms method.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double prod = uniform();
+    while (prod > limit) {
+      ++k;
+      prod *= uniform();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction is adequate for the
+  // large-mean batch sizes used by the workload generators.
+  const double x = mean + std::sqrt(mean) * normal() + 0.5;
+  return x < 0.0 ? 0 : static_cast<std::uint64_t>(x);
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+}  // namespace affinity

@@ -1,0 +1,75 @@
+// rng.hpp — deterministic pseudo-random number generation for simulation.
+//
+// The simulator needs (1) reproducible runs given a seed, (2) cheap
+// independent sub-streams so that, e.g., each traffic stream's arrival
+// process has its own generator and adding a policy does not perturb the
+// sampled workload. We use xoshiro256++ seeded via splitmix64; sub-streams
+// are derived with the generator's long-jump-free `split()` (splitmix of the
+// parent seed and a stream index), which is adequate for statistically
+// independent simulation streams.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace affinity {
+
+/// splitmix64 step: used for seeding and stream derivation.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256++ engine. Satisfies UniformRandomBitGenerator so it can be
+/// used with <random> distributions, though we provide the distributions we
+/// need directly (they are guaranteed stable across platforms, unlike
+/// libstdc++'s).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 uniform random bits.
+  result_type operator()() noexcept;
+
+  /// Derives an independent generator for sub-stream `stream_index`.
+  /// Deterministic in (parent seed, stream_index); derived streams do not
+  /// consume randomness from the parent.
+  [[nodiscard]] Rng split(std::uint64_t stream_index) const noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's method
+  /// (unbiased, no modulo on the fast path).
+  std::uint64_t uniform_u64(std::uint64_t n) noexcept;
+
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate) noexcept;
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() noexcept;
+
+  /// Geometric number of trials >= 1 with success probability p in (0, 1].
+  std::uint64_t geometric(double p) noexcept;
+
+  /// Poisson with the given mean (>= 0). Exact for small means (Knuth),
+  /// PTRS rejection for large.
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p) noexcept;
+
+ private:
+  std::uint64_t seed_;  // retained so split() can derive children
+  std::uint64_t s_[4];
+};
+
+}  // namespace affinity

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+TableWriter::TableWriter(std::vector<std::string> columns, bool csv, int precision)
+    : columns_(std::move(columns)), csv_(csv), precision_(precision) {
+  AFF_CHECK(!columns_.empty());
+}
+
+void TableWriter::beginRow() { rows_.emplace_back(); }
+
+void TableWriter::add(double value) {
+  AFF_CHECK(!rows_.empty());
+  rows_.back().push_back(format(value));
+}
+
+void TableWriter::addText(std::string text) {
+  AFF_CHECK(!rows_.empty());
+  rows_.back().push_back(std::move(text));
+}
+
+void TableWriter::addRow(const std::vector<double>& values) {
+  beginRow();
+  for (double v : values) add(v);
+}
+
+std::string TableWriter::format(double v) const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision_, v);
+  return buf;
+}
+
+void TableWriter::print(std::FILE* out) const {
+  if (csv_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+      std::fprintf(out, "%s%s", columns_[c].c_str(), c + 1 < columns_.size() ? "," : "\n");
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c)
+        std::fprintf(out, "%s%s", row[c].c_str(), c + 1 < row.size() ? "," : "\n");
+    }
+    return;
+  }
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    std::fprintf(out, "%-*s%s", static_cast<int>(width[c]), columns_[c].c_str(),
+                 c + 1 < columns_.size() ? "  " : "\n");
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    std::fprintf(out, "%s%s", std::string(width[c], '-').c_str(),
+                 c + 1 < columns_.size() ? "  " : "\n");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      std::fprintf(out, "%-*s%s", static_cast<int>(c < width.size() ? width[c] : 0),
+                   row[c].c_str(), c + 1 < row.size() ? "  " : "\n");
+  }
+}
+
+}  // namespace affinity

@@ -1,0 +1,48 @@
+// table.hpp — aligned text / CSV output for benchmark result series.
+//
+// Every bench binary reports the rows/series of one paper table or figure.
+// TableWriter renders them as an aligned text table on stdout (human use)
+// or as CSV (for plotting), selected at construction.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace affinity {
+
+/// Accumulates rows of (string|double) cells under named columns and renders
+/// them aligned or as CSV. Doubles are formatted with a per-table precision.
+class TableWriter {
+ public:
+  /// `csv` selects CSV output; `precision` is digits after the decimal point
+  /// for numeric cells.
+  explicit TableWriter(std::vector<std::string> columns, bool csv = false,
+                       int precision = 3);
+
+  /// Starts a new row; cells are appended with add()/addText().
+  void beginRow();
+  /// Appends a numeric cell to the current row.
+  void add(double value);
+  /// Appends a text cell to the current row.
+  void addText(std::string text);
+
+  /// Convenience: append a full numeric row.
+  void addRow(const std::vector<double>& values);
+
+  /// Renders the table to `out` (default stdout).
+  void print(std::FILE* out = stdout) const;
+
+  /// Number of completed data rows.
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::string format(double v) const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  bool csv_;
+  int precision_;
+};
+
+}  // namespace affinity

@@ -1,0 +1,97 @@
+#include "workload/arrivals.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+PoissonArrivals::PoissonArrivals(double rate_per_us) : rate_(rate_per_us) {
+  AFF_CHECK(rate_ > 0.0);
+}
+
+ArrivalProcess::Arrival PoissonArrivals::next(Rng& rng) {
+  return Arrival{rng.exponential(rate_), 1};
+}
+
+BatchPoissonArrivals::BatchPoissonArrivals(double packet_rate_per_us, double batch_mean,
+                                           bool geometric)
+    : packet_rate_(packet_rate_per_us), batch_mean_(batch_mean), geometric_(geometric) {
+  AFF_CHECK(packet_rate_ > 0.0);
+  AFF_CHECK(batch_mean_ >= 1.0);
+}
+
+ArrivalProcess::Arrival BatchPoissonArrivals::next(Rng& rng) {
+  const double event_rate = packet_rate_ / batch_mean_;
+  Arrival a;
+  a.gap_us = rng.exponential(event_rate);
+  if (geometric_) {
+    a.batch = static_cast<std::uint32_t>(rng.geometric(1.0 / batch_mean_));
+  } else {
+    // Fixed size, rounded stochastically so non-integer means stay unbiased.
+    const double floor_size = std::floor(batch_mean_);
+    const double frac = batch_mean_ - floor_size;
+    a.batch = static_cast<std::uint32_t>(floor_size) + (rng.bernoulli(frac) ? 1u : 0u);
+    if (a.batch == 0) a.batch = 1;
+  }
+  return a;
+}
+
+PacketTrainArrivals::PacketTrainArrivals(double packet_rate_per_us, double train_len_mean,
+                                         double intercar_gap_us)
+    : packet_rate_(packet_rate_per_us),
+      train_len_mean_(train_len_mean),
+      intercar_gap_us_(intercar_gap_us) {
+  AFF_CHECK(packet_rate_ > 0.0);
+  AFF_CHECK(train_len_mean_ >= 1.0);
+  AFF_CHECK(intercar_gap_us_ >= 0.0);
+  // Solve the train (locomotive) rate so the long-run packet rate matches:
+  // each train carries train_len_mean packets on average. The inter-train
+  // gap is measured from the last car, so the cycle time is
+  // E[exp] + (mean_len - 1) * intercar; we keep the packet rate exact by
+  // choosing the exponential's rate accordingly.
+  const double cycle_needed = train_len_mean_ / packet_rate_;
+  const double intra = (train_len_mean_ - 1.0) * intercar_gap_us_;
+  const double exp_mean = cycle_needed - intra;
+  AFF_CHECK(exp_mean > 0.0);  // offered rate must be feasible given the gaps
+  train_rate_ = 1.0 / exp_mean;
+}
+
+ArrivalProcess::Arrival PacketTrainArrivals::next(Rng& rng) {
+  Arrival a;
+  if (cars_left_ > 0) {
+    --cars_left_;
+    a.gap_us = intercar_gap_us_;
+    a.batch = 1;
+    return a;
+  }
+  a.gap_us = rng.exponential(train_rate_);
+  a.batch = 1;
+  const auto len = static_cast<std::uint32_t>(rng.geometric(1.0 / train_len_mean_));
+  cars_left_ = len - 1;  // this arrival is the locomotive
+  return a;
+}
+
+PhaseSwitchArrivals::PhaseSwitchArrivals(std::unique_ptr<ArrivalProcess> before,
+                                         std::unique_ptr<ArrivalProcess> after,
+                                         double switch_time_us)
+    : before_(std::move(before)), after_(std::move(after)), switch_time_us_(switch_time_us) {
+  AFF_CHECK(before_ != nullptr && after_ != nullptr);
+  AFF_CHECK(switch_time_us_ >= 0.0);
+}
+
+ArrivalProcess::Arrival PhaseSwitchArrivals::next(Rng& rng) {
+  ArrivalProcess& phase = elapsed_us_ < switch_time_us_ ? *before_ : *after_;
+  const Arrival a = phase.next(rng);
+  elapsed_us_ += a.gap_us;
+  return a;
+}
+
+std::unique_ptr<ArrivalProcess> PhaseSwitchArrivals::clone() const {
+  auto copy = std::make_unique<PhaseSwitchArrivals>(before_->clone(), after_->clone(),
+                                                    switch_time_us_);
+  copy->elapsed_us_ = elapsed_us_;
+  return copy;
+}
+
+}  // namespace affinity

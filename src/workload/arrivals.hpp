@@ -1,0 +1,115 @@
+// arrivals.hpp — per-stream packet arrival processes.
+//
+// The paper's baseline workload is Poisson arrivals per stream; its
+// burstiness results batch arrivals within a stream; and extension (ii)
+// uses the Packet-Train model of Jain & Routhier [9]: trains (bursts of
+// back-to-back packets) arrive at Poisson epochs, with a geometric number
+// of cars per train and a small fixed inter-car gap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace affinity {
+
+/// Generates one stream's arrival epochs. next() is called repeatedly; each
+/// call yields the gap to the next arrival event and how many packets land
+/// at that event (batch size; 1 for simple processes).
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  struct Arrival {
+    double gap_us = 0.0;      ///< time from the previous event
+    std::uint32_t batch = 1;  ///< packets arriving together
+  };
+
+  virtual Arrival next(Rng& rng) = 0;
+
+  /// Long-run mean packet rate (packets per µs).
+  [[nodiscard]] virtual double meanRatePerUs() const noexcept = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<ArrivalProcess> clone() const = 0;
+};
+
+/// Poisson arrivals of single packets.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate_per_us);
+
+  Arrival next(Rng& rng) override;
+  [[nodiscard]] double meanRatePerUs() const noexcept override { return rate_; }
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override {
+    return std::make_unique<PoissonArrivals>(*this);
+  }
+
+ private:
+  double rate_;
+};
+
+/// Batch-Poisson: batches arrive at Poisson epochs; batch size is either
+/// fixed or geometric with the given mean. Packet rate = batch_rate · mean.
+class BatchPoissonArrivals final : public ArrivalProcess {
+ public:
+  /// `packet_rate_per_us` is the *packet* rate; the batch (event) rate is
+  /// packet_rate / batch_mean.
+  BatchPoissonArrivals(double packet_rate_per_us, double batch_mean, bool geometric);
+
+  Arrival next(Rng& rng) override;
+  [[nodiscard]] double meanRatePerUs() const noexcept override { return packet_rate_; }
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override {
+    return std::make_unique<BatchPoissonArrivals>(*this);
+  }
+
+ private:
+  double packet_rate_;
+  double batch_mean_;
+  bool geometric_;
+};
+
+/// Jain–Routhier packet trains: train inter-arrival is exponential; a train
+/// carries a geometric number of cars (mean `train_len_mean`, >= 1); cars
+/// are spaced `intercar_gap_us` apart.
+class PacketTrainArrivals final : public ArrivalProcess {
+ public:
+  PacketTrainArrivals(double packet_rate_per_us, double train_len_mean, double intercar_gap_us);
+
+  Arrival next(Rng& rng) override;
+  [[nodiscard]] double meanRatePerUs() const noexcept override { return packet_rate_; }
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override {
+    return std::make_unique<PacketTrainArrivals>(*this);
+  }
+
+ private:
+  double packet_rate_;
+  double train_len_mean_;
+  double intercar_gap_us_;
+  double train_rate_;           ///< trains per µs
+  std::uint32_t cars_left_ = 0; ///< cars remaining in the current train
+};
+
+/// Non-stationary wrapper: behaves like `before` until `switch_time_us` of
+/// cumulative arrival time has elapsed, then like `after`. Used to exercise
+/// adaptive policies (a stream that turns hot/bursty mid-run).
+class PhaseSwitchArrivals final : public ArrivalProcess {
+ public:
+  PhaseSwitchArrivals(std::unique_ptr<ArrivalProcess> before,
+                      std::unique_ptr<ArrivalProcess> after, double switch_time_us);
+
+  Arrival next(Rng& rng) override;
+  /// Long-run rate is the `after` phase's (the one that persists).
+  [[nodiscard]] double meanRatePerUs() const noexcept override {
+    return after_->meanRatePerUs();
+  }
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override;
+
+ private:
+  std::unique_ptr<ArrivalProcess> before_;
+  std::unique_ptr<ArrivalProcess> after_;
+  double switch_time_us_;
+  double elapsed_us_ = 0.0;
+};
+
+}  // namespace affinity

@@ -1,0 +1,65 @@
+#include "workload/stream_set.hpp"
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+double StreamSet::totalRatePerUs() const noexcept {
+  double sum = 0.0;
+  for (const auto& s : streams) sum += s->meanRatePerUs();
+  return sum;
+}
+
+StreamSet StreamSet::clone() const {
+  StreamSet out;
+  out.streams.reserve(streams.size());
+  for (const auto& s : streams) out.streams.push_back(s->clone());
+  return out;
+}
+
+StreamSet makePoissonStreams(std::size_t count, double total_rate_per_us) {
+  AFF_CHECK(count > 0);
+  StreamSet set;
+  const double per = total_rate_per_us / static_cast<double>(count);
+  for (std::size_t i = 0; i < count; ++i)
+    set.streams.push_back(std::make_unique<PoissonArrivals>(per));
+  return set;
+}
+
+StreamSet makeBatchStreams(std::size_t count, double total_rate_per_us, double batch_mean,
+                           bool geometric) {
+  AFF_CHECK(count > 0);
+  StreamSet set;
+  const double per = total_rate_per_us / static_cast<double>(count);
+  for (std::size_t i = 0; i < count; ++i)
+    set.streams.push_back(std::make_unique<BatchPoissonArrivals>(per, batch_mean, geometric));
+  return set;
+}
+
+StreamSet makeTrainStreams(std::size_t count, double total_rate_per_us, double train_len_mean,
+                           double intercar_gap_us) {
+  AFF_CHECK(count > 0);
+  StreamSet set;
+  const double per = total_rate_per_us / static_cast<double>(count);
+  for (std::size_t i = 0; i < count; ++i)
+    set.streams.push_back(
+        std::make_unique<PacketTrainArrivals>(per, train_len_mean, intercar_gap_us));
+  return set;
+}
+
+StreamSet makeHotColdStreams(std::size_t hot_count, std::size_t cold_count,
+                             double total_rate_per_us, double hot_share) {
+  AFF_CHECK(hot_count > 0 && cold_count > 0);
+  AFF_CHECK(hot_share > 0.0 && hot_share < 1.0);
+  StreamSet set;
+  const double hot_per = total_rate_per_us * hot_share / static_cast<double>(hot_count);
+  const double cold_per =
+      total_rate_per_us * (1.0 - hot_share) / static_cast<double>(cold_count);
+  for (std::size_t i = 0; i < hot_count; ++i)
+    set.streams.push_back(std::make_unique<PoissonArrivals>(hot_per));
+  for (std::size_t i = 0; i < cold_count; ++i)
+    set.streams.push_back(std::make_unique<PoissonArrivals>(cold_per));
+  return set;
+}
+
+}  // namespace affinity

@@ -1,0 +1,44 @@
+// stream_set.hpp — collections of concurrent streams.
+//
+// A StreamSet owns one arrival process per stream. Builders cover the
+// paper's scenarios: homogeneous Poisson streams, bursty (batch) streams,
+// packet-train streams, and heterogeneous mixes (a few hot streams over a
+// background population).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "workload/arrivals.hpp"
+
+namespace affinity {
+
+/// Owning set of per-stream arrival processes.
+struct StreamSet {
+  std::vector<std::unique_ptr<ArrivalProcess>> streams;
+
+  [[nodiscard]] std::size_t count() const noexcept { return streams.size(); }
+
+  /// Aggregate mean packet rate (packets/µs).
+  [[nodiscard]] double totalRatePerUs() const noexcept;
+
+  [[nodiscard]] StreamSet clone() const;
+};
+
+/// `count` identical Poisson streams sharing `total_rate_per_us` equally.
+StreamSet makePoissonStreams(std::size_t count, double total_rate_per_us);
+
+/// `count` identical batch-Poisson streams (burstiness experiments).
+StreamSet makeBatchStreams(std::size_t count, double total_rate_per_us, double batch_mean,
+                           bool geometric = false);
+
+/// `count` identical packet-train streams (extension ii).
+StreamSet makeTrainStreams(std::size_t count, double total_rate_per_us, double train_len_mean,
+                           double intercar_gap_us);
+
+/// Heterogeneous mix: `hot_count` streams carry `hot_share` of the total
+/// rate; the remaining streams split the rest (hybrid-policy experiments).
+StreamSet makeHotColdStreams(std::size_t hot_count, std::size_t cold_count,
+                             double total_rate_per_us, double hot_share);
+
+}  // namespace affinity

@@ -1,0 +1,129 @@
+#include "workload/trace_io.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+std::vector<ArrivalRecord> recordArrivals(const StreamSet& set, double duration_us,
+                                          std::uint64_t seed) {
+  std::vector<ArrivalRecord> out;
+  StreamSet copy = set.clone();
+  Rng seeder(seed);
+  for (std::uint32_t s = 0; s < copy.count(); ++s) {
+    Rng rng = seeder.split(s + 1);
+    double t = 0.0;
+    for (;;) {
+      const auto a = copy.streams[s]->next(rng);
+      t += a.gap_us;
+      if (t >= duration_us) break;
+      for (std::uint32_t k = 0; k < a.batch; ++k) out.push_back(ArrivalRecord{t, s});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ArrivalRecord& a, const ArrivalRecord& b) { return a.time_us < b.time_us; });
+  return out;
+}
+
+bool writeArrivalTrace(const std::string& path, const std::vector<ArrivalRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "# affinity-sched arrival trace: <time_us> <stream>\n");
+  for (const ArrivalRecord& r : records) std::fprintf(f, "%.6f %" PRIu32 "\n", r.time_us, r.stream);
+  return std::fclose(f) == 0;
+}
+
+std::vector<ArrivalRecord> readArrivalTrace(const std::string& path, std::string* error) {
+  std::vector<ArrivalRecord> out;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    if (error) *error = "cannot open " + path;
+    return out;
+  }
+  char line[256];
+  int lineno = 0;
+  double prev = -1.0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    ++lineno;
+    if (line[0] == '#' || line[0] == '\n') continue;
+    double t = 0.0;
+    std::uint32_t s = 0;
+    if (std::sscanf(line, "%lf %" SCNu32, &t, &s) != 2 || t < prev) {
+      if (error) *error = "bad record at line " + std::to_string(lineno);
+      out.clear();
+      std::fclose(f);
+      return out;
+    }
+    prev = t;
+    out.push_back(ArrivalRecord{t, s});
+  }
+  std::fclose(f);
+  return out;
+}
+
+TraceArrivals::TraceArrivals(std::vector<double> gaps, std::vector<std::uint32_t> batches,
+                             double duration_us)
+    : gaps_(std::move(gaps)), batches_(std::move(batches)), duration_us_(duration_us) {
+  AFF_CHECK(gaps_.size() == batches_.size());
+  total_packets_ = 0;
+  for (std::uint32_t b : batches_) total_packets_ += b;
+}
+
+ArrivalProcess::Arrival TraceArrivals::next(Rng&) {
+  if (pos_ >= gaps_.size()) {
+    // Recording exhausted: never fires again.
+    return Arrival{std::numeric_limits<double>::infinity(), 0};
+  }
+  const Arrival a{gaps_[pos_], batches_[pos_]};
+  ++pos_;
+  return a;
+}
+
+double TraceArrivals::meanRatePerUs() const noexcept {
+  if (duration_us_ <= 0.0) return 0.0;
+  return static_cast<double>(total_packets_) / duration_us_;
+}
+
+std::unique_ptr<ArrivalProcess> TraceArrivals::clone() const {
+  auto copy = std::make_unique<TraceArrivals>(gaps_, batches_, duration_us_);
+  copy->pos_ = pos_;
+  return copy;
+}
+
+StreamSet makeTraceStreams(const std::vector<ArrivalRecord>& records, double duration_us) {
+  std::uint32_t max_stream = 0;
+  double last_time = 0.0;
+  for (const ArrivalRecord& r : records) {
+    max_stream = std::max(max_stream, r.stream);
+    last_time = std::max(last_time, r.time_us);
+  }
+  if (duration_us <= 0.0) duration_us = last_time > 0.0 ? last_time : 1.0;
+  const std::size_t n = records.empty() ? 1 : max_stream + 1;
+
+  std::vector<std::vector<double>> gaps(n);
+  std::vector<std::vector<std::uint32_t>> batches(n);
+  std::vector<double> last(n, 0.0);
+  for (const ArrivalRecord& r : records) {
+    auto& g = gaps[r.stream];
+    auto& b = batches[r.stream];
+    if (!g.empty() && r.time_us == last[r.stream]) {
+      ++b.back();  // batch: same timestamp
+      continue;
+    }
+    g.push_back(r.time_us - last[r.stream]);
+    b.push_back(1);
+    last[r.stream] = r.time_us;
+  }
+
+  StreamSet set;
+  for (std::size_t s = 0; s < n; ++s)
+    set.streams.push_back(
+        std::make_unique<TraceArrivals>(std::move(gaps[s]), std::move(batches[s]), duration_us));
+  return set;
+}
+
+}  // namespace affinity

@@ -1,0 +1,66 @@
+// trace_io.hpp — record and replay arrival traces.
+//
+// The paper's workloads are synthetic (its in-memory drivers replayed
+// generated arrivals); real deployments have measured traces (cf. Gusella's
+// Ethernet measurements the paper cites for packet-size context). This
+// module closes the loop: record a StreamSet's arrivals to a portable text
+// file ("<time_us> <stream>" per line, '#' comments), read it back, and
+// build a StreamSet that replays it deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/stream_set.hpp"
+
+namespace affinity {
+
+/// One packet arrival.
+struct ArrivalRecord {
+  double time_us;
+  std::uint32_t stream;
+};
+
+/// Samples `set`'s arrivals over [0, duration_us). Records are returned in
+/// nondecreasing time order; batches appear as repeated timestamps.
+std::vector<ArrivalRecord> recordArrivals(const StreamSet& set, double duration_us,
+                                          std::uint64_t seed);
+
+/// Writes records to `path`. Aborts the process only on I/O failure returns:
+/// returns false if the file cannot be written.
+bool writeArrivalTrace(const std::string& path, const std::vector<ArrivalRecord>& records);
+
+/// Reads a trace file; returns empty on missing/invalid file and sets
+/// `error` (if non-null) to a description.
+std::vector<ArrivalRecord> readArrivalTrace(const std::string& path,
+                                            std::string* error = nullptr);
+
+/// Replays one stream's recorded gaps (consecutive equal timestamps are
+/// merged into batches). After the recording is exhausted no further
+/// arrivals occur.
+class TraceArrivals final : public ArrivalProcess {
+ public:
+  /// `gaps` are inter-event times; `batches[i]` packets arrive at event i.
+  TraceArrivals(std::vector<double> gaps, std::vector<std::uint32_t> batches,
+                double duration_us);
+
+  Arrival next(Rng& rng) override;
+  [[nodiscard]] double meanRatePerUs() const noexcept override;
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override;
+
+ private:
+  std::vector<double> gaps_;
+  std::vector<std::uint32_t> batches_;
+  double duration_us_;
+  std::uint64_t total_packets_;
+  std::size_t pos_ = 0;
+};
+
+/// Builds a replaying StreamSet from records (streams are numbered densely:
+/// the set has max(stream)+1 entries; streams with no records are given an
+/// empty replay). `duration_us` bounds the recording (for rate reporting);
+/// pass 0 to use the last record's time.
+StreamSet makeTraceStreams(const std::vector<ArrivalRecord>& records, double duration_us = 0.0);
+
+}  // namespace affinity

@@ -1,0 +1,215 @@
+// Tests for the adaptive hybrid controller, phase-switching arrivals, and
+// arrival-trace record/replay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "workload/trace_io.hpp"
+
+namespace affinity {
+namespace {
+
+// ---------------------------------------------------------- phase switch ---
+
+TEST(PhaseSwitch, SwitchesProcessAtConfiguredTime) {
+  PhaseSwitchArrivals p(std::make_unique<PoissonArrivals>(0.001),
+                        std::make_unique<BatchPoissonArrivals>(0.02, 8.0, false),
+                        /*switch_time_us=*/100'000.0);
+  Rng rng(1);
+  double t = 0.0;
+  bool saw_batch_before = false, saw_batch_after = false;
+  for (int i = 0; i < 20000 && t < 400'000.0; ++i) {
+    const auto a = p.next(rng);
+    if (t < 100'000.0 && a.batch > 1) saw_batch_before = true;
+    if (t >= 110'000.0 && a.batch > 1) saw_batch_after = true;
+    t += a.gap_us;
+  }
+  EXPECT_FALSE(saw_batch_before);
+  EXPECT_TRUE(saw_batch_after);
+}
+
+TEST(PhaseSwitch, CloneKeepsPhasePosition) {
+  PhaseSwitchArrivals p(std::make_unique<PoissonArrivals>(0.001),
+                        std::make_unique<PoissonArrivals>(0.02), 1'000.0);
+  Rng rng(2);
+  while (true) {
+    const auto a = p.next(rng);
+    if (a.gap_us > 1'000.0) break;  // crossed the switch point for sure
+  }
+  auto copy = p.clone();
+  EXPECT_NEAR(copy->meanRatePerUs(), 0.02, 1e-12);
+}
+
+// -------------------------------------------------------- adaptive hybrid --
+
+class Recorder : public SimObserver {
+ public:
+  void onServiceStart(unsigned, std::uint32_t stream, std::uint32_t stack, double now,
+                      double) override {
+    if (stream == 0) {
+      if (stack == AffinityState::kNoStack)
+        last_locking_time_ = now;
+      else
+        last_ips_time_ = now;
+    }
+  }
+  void onServiceEnd(unsigned, std::uint32_t, std::uint32_t, double) override {}
+
+  double last_locking_time_ = -1.0;
+  double last_ips_time_ = -1.0;
+};
+
+TEST(AdaptiveHybrid, ReclassifiesAStreamThatTurnsHot) {
+  // Stream 0 is quiet then turns hot+bursty at t = 150 ms; the controller
+  // must move it from IPS to Locking.
+  StreamSet set;
+  set.streams.push_back(std::make_unique<PhaseSwitchArrivals>(
+      std::make_unique<PoissonArrivals>(0.0005),
+      std::make_unique<BatchPoissonArrivals>(0.008, 8.0, false), 150'000.0));
+  for (int i = 0; i < 7; ++i) set.streams.push_back(std::make_unique<PoissonArrivals>(0.001));
+
+  Recorder rec;
+  SimConfig c = defaultSimConfig();
+  c.policy.paradigm = Paradigm::kHybrid;
+  c.adaptive_hybrid = true;
+  c.adapt_interval_us = 25'000.0;
+  c.observer = &rec;
+  c.warmup_us = 0.0;
+  c.measure_us = 500'000.0;
+  const RunMetrics m = runOnce(c, ExecTimeModel::standard(), set);
+
+  EXPECT_GE(m.reclassifications, 1u);
+  EXPECT_GT(rec.last_ips_time_, 0.0) << "stream 0 must start on the IPS path";
+  EXPECT_GT(rec.last_locking_time_, 150'000.0) << "stream 0 must move to Locking when hot";
+  EXPECT_LT(rec.last_ips_time_, 250'000.0)
+      << "stream 0 must not return to IPS once hot (it stays hot)";
+}
+
+TEST(AdaptiveHybrid, QuietStreamsStayOnIps) {
+  StreamSet set = makePoissonStreams(8, 0.004);  // all far below the threshold
+  Recorder rec;
+  SimConfig c = defaultSimConfig();
+  c.policy.paradigm = Paradigm::kHybrid;
+  c.adaptive_hybrid = true;
+  c.observer = &rec;
+  c.warmup_us = 0.0;
+  c.measure_us = 400'000.0;
+  const RunMetrics m = runOnce(c, ExecTimeModel::standard(), set);
+  EXPECT_EQ(m.reclassifications, 0u);
+  EXPECT_LT(rec.last_locking_time_, 0.0) << "no packet of stream 0 should use Locking";
+}
+
+TEST(AdaptiveHybrid, RequiresHybridParadigm) {
+  SimConfig c = defaultSimConfig();
+  c.policy.paradigm = Paradigm::kLocking;
+  c.adaptive_hybrid = true;
+  ProtocolSim sim(c, ExecTimeModel::standard(), makePoissonStreams(4, 0.004));
+  EXPECT_DEATH(sim.run(), "CHECK failed");
+}
+
+TEST(AdaptiveHybrid, ConservationHolds) {
+  StreamSet set;
+  for (int i = 0; i < 6; ++i)
+    set.streams.push_back(std::make_unique<PhaseSwitchArrivals>(
+        std::make_unique<PoissonArrivals>(0.001),
+        std::make_unique<BatchPoissonArrivals>(0.003, 6.0, false), 50'000.0 + 20'000.0 * i));
+  SimConfig c = defaultSimConfig();
+  c.policy.paradigm = Paradigm::kHybrid;
+  c.adaptive_hybrid = true;
+  c.warmup_us = 0.0;
+  c.measure_us = 400'000.0;
+  const RunMetrics m = runOnce(c, ExecTimeModel::standard(), set);
+  EXPECT_EQ(m.arrived, m.completed + m.backlog_end);
+}
+
+// ----------------------------------------------------------- trace replay --
+
+TEST(TraceIo, RecordMatchesProcessRate) {
+  const StreamSet set = makePoissonStreams(4, 0.01);
+  const auto records = recordArrivals(set, 1'000'000.0, 7);
+  EXPECT_NEAR(static_cast<double>(records.size()), 10'000.0, 500.0);
+  // Sorted by time.
+  for (std::size_t i = 1; i < records.size(); ++i)
+    ASSERT_GE(records[i].time_us, records[i - 1].time_us);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const StreamSet set = makeBatchStreams(3, 0.005, 4.0);
+  const auto records = recordArrivals(set, 200'000.0, 11);
+  const std::string path = ::testing::TempDir() + "/trace_roundtrip.txt";
+  ASSERT_TRUE(writeArrivalTrace(path, records));
+  std::string error;
+  const auto back = readArrivalTrace(path, &error);
+  ASSERT_EQ(back.size(), records.size()) << error;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_NEAR(back[i].time_us, records[i].time_us, 1e-5);
+    EXPECT_EQ(back[i].stream, records[i].stream);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/trace_bad.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "12.5 0\n9.0 1\n");  // time goes backwards
+  std::fclose(f);
+  std::string error;
+  EXPECT_TRUE(readArrivalTrace(path, &error).empty());
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileReportsError) {
+  std::string error;
+  EXPECT_TRUE(readArrivalTrace("/nonexistent/trace.txt", &error).empty());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceIo, ReplayPreservesBatchesAndRate) {
+  const StreamSet original = makeBatchStreams(4, 0.008, 6.0);
+  const double duration = 500'000.0;
+  const auto records = recordArrivals(original, duration, 13);
+  const StreamSet replay = makeTraceStreams(records, duration);
+  ASSERT_EQ(replay.count(), 4u);
+  EXPECT_NEAR(replay.totalRatePerUs(), 0.008, 0.0012);
+
+  // Drawing out stream 0's replay reproduces its records exactly.
+  Rng rng(0);
+  double t = 0.0;
+  std::vector<ArrivalRecord> regenerated;
+  for (;;) {
+    const auto a = replay.streams[0]->next(rng);
+    if (!std::isfinite(a.gap_us)) break;
+    t += a.gap_us;
+    for (std::uint32_t k = 0; k < a.batch; ++k) regenerated.push_back({t, 0});
+  }
+  std::vector<ArrivalRecord> expected;
+  for (const auto& r : records)
+    if (r.stream == 0) expected.push_back(r);
+  ASSERT_EQ(regenerated.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_NEAR(regenerated[i].time_us, expected[i].time_us, 1e-6);
+}
+
+TEST(TraceIo, SimulationRunsFromReplayedTrace) {
+  // End-to-end: record a workload, replay it through the simulator, and
+  // check completions match the record count (no packets invented or lost).
+  const StreamSet original = makePoissonStreams(6, 0.012);
+  const double duration = 400'000.0;
+  const auto records = recordArrivals(original, duration, 17);
+  const StreamSet replay = makeTraceStreams(records, duration);
+
+  SimConfig c = defaultSimConfig();
+  c.warmup_us = 0.0;
+  c.measure_us = duration + 100'000.0;  // room to drain
+  const RunMetrics m = runOnce(c, ExecTimeModel::standard(), replay);
+  EXPECT_EQ(m.arrived, records.size());
+  EXPECT_EQ(m.arrived, m.completed + m.backlog_end);
+  EXPECT_EQ(m.backlog_end, 0u) << "all trace packets must drain";
+}
+
+}  // namespace
+}  // namespace affinity

@@ -1,0 +1,218 @@
+// Tests for src/analytic: closed-form queueing identities and the policy
+// predictor's agreement with the discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/predictor.hpp"
+#include "analytic/queueing.hpp"
+#include "core/experiment.hpp"
+
+namespace affinity {
+namespace {
+
+// ---------------------------------------------------------------- queueing --
+
+TEST(ErlangC, SingleServerEqualsRho) {
+  // For c=1, P(wait) = rho.
+  for (double rho : {0.1, 0.5, 0.9}) EXPECT_NEAR(erlangC(1, rho), rho, 1e-12);
+}
+
+TEST(ErlangC, BoundsAndMonotonicity) {
+  double prev = 0.0;
+  for (double a = 0.5; a < 8.0; a += 0.5) {
+    const double pw = erlangC(8, a);
+    EXPECT_GE(pw, prev - 1e-12);
+    EXPECT_GE(pw, 0.0);
+    EXPECT_LE(pw, 1.0);
+    prev = pw;
+  }
+  EXPECT_DOUBLE_EQ(erlangC(4, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(erlangC(4, 5.0), 1.0);  // at/above saturation
+}
+
+TEST(ErlangC, KnownValue) {
+  // Classic: c=2, a=1 (rho=0.5): C = 1/3.
+  EXPECT_NEAR(erlangC(2, 1.0), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Mmc, SingleServerMatchesMm1) {
+  // M/M/1: Wq = rho/(mu - lambda) = rho * s / (1 - rho).
+  const double s = 100.0, lambda = 0.006;
+  const double rho = lambda * s;
+  EXPECT_NEAR(mmcMeanWait(1, lambda, s), rho * s / (1 - rho), 1e-9);
+}
+
+TEST(Mmc, InfiniteAtSaturation) {
+  EXPECT_TRUE(std::isinf(mmcMeanWait(4, 0.05, 100.0)));
+}
+
+TEST(Mmc, PoolingBeatsPartitioning) {
+  // One fast pooled queue waits less than parallel slow ones at equal load.
+  const double s = 100.0;
+  EXPECT_LT(mmcMeanWait(8, 0.06, s), mmcMeanWait(1, 0.06 / 8, s));
+}
+
+TEST(Md1, HalfOfMm1Wait) {
+  const double s = 100.0, lambda = 0.005;
+  EXPECT_NEAR(md1MeanWait(lambda, s), 0.5 * mmcMeanWait(1, lambda, s), 1e-9);
+}
+
+TEST(AllenCunneen, ReducesToKnownCases) {
+  const double s = 120.0, lambda = 0.03;
+  // Cs2=1 (exponential) => M/M/c.
+  EXPECT_NEAR(allenCunneenMeanWait(8, lambda, s, 1.0, 1.0), mmcMeanWait(8, lambda, s), 1e-9);
+  // Cs2=0, c=1 => M/D/1.
+  EXPECT_NEAR(allenCunneenMeanWait(1, lambda / 8, s, 1.0, 0.0),
+              md1MeanWait(lambda / 8, s), 1e-9);
+}
+
+// --------------------------------------------------------------- predictor --
+
+class PredictorVsSim : public ::testing::TestWithParam<double> {};
+
+TEST_P(PredictorVsSim, LockingMruDelayWithinTolerance) {
+  const double rate = GetParam();
+  const auto model = ExecTimeModel::standard();
+  PredictorInput in;
+  in.rate_per_us = rate;
+  const Prediction pred = predictLocking(model, LockingPolicy::kMru, in);
+
+  SimConfig c = defaultSimConfig();
+  c.policy.locking = LockingPolicy::kMru;
+  setAutoWindow(c, rate, 60'000);
+  const RunMetrics sim = runOnce(c, model, makePoissonStreams(16, rate));
+
+  ASSERT_TRUE(pred.stable);
+  ASSERT_FALSE(sim.saturated);
+  EXPECT_NEAR(pred.service_us, sim.mean_service_us + sim.mean_lock_wait_us,
+              0.15 * sim.mean_service_us)
+      << "rate=" << rate;
+  EXPECT_NEAR(pred.delay_us, sim.mean_delay_us, 0.25 * sim.mean_delay_us) << "rate=" << rate;
+}
+
+TEST_P(PredictorVsSim, IpsWiredDelayWithinTolerance) {
+  const double rate = GetParam();
+  const auto model = ExecTimeModel::standard();
+  PredictorInput in;
+  in.rate_per_us = rate;
+  const Prediction pred = predictIps(model, IpsPolicy::kWired, in);
+
+  SimConfig c = defaultSimConfig();
+  c.policy.paradigm = Paradigm::kIps;
+  c.policy.ips = IpsPolicy::kWired;
+  setAutoWindow(c, rate, 60'000);
+  const RunMetrics sim = runOnce(c, model, makePoissonStreams(16, rate));
+
+  ASSERT_TRUE(pred.stable);
+  ASSERT_FALSE(sim.saturated);
+  EXPECT_NEAR(pred.service_us, sim.mean_service_us, 0.15 * sim.mean_service_us)
+      << "rate=" << rate;
+  EXPECT_NEAR(pred.delay_us, sim.mean_delay_us, 0.30 * sim.mean_delay_us) << "rate=" << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PredictorVsSim, ::testing::Values(0.004, 0.012, 0.024));
+
+class PredictorAllPolicies
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(PredictorAllPolicies, EveryLockingPolicyTracksTheSimulator) {
+  const auto [rate, policy_index] = GetParam();
+  const auto policy = static_cast<LockingPolicy>(policy_index);
+  const auto model = ExecTimeModel::standard();
+  PredictorInput in;
+  in.rate_per_us = rate;
+  const Prediction pred = predictLocking(model, policy, in);
+
+  SimConfig c = defaultSimConfig();
+  c.policy.locking = policy;
+  setAutoWindow(c, rate, 50'000);
+  const RunMetrics sim = runOnce(c, model, makePoissonStreams(16, rate));
+  if (sim.saturated || !pred.stable) return;  // knee region: nothing to compare
+  EXPECT_NEAR(pred.delay_us, sim.mean_delay_us, 0.35 * sim.mean_delay_us)
+      << lockingPolicyName(policy) << " rate=" << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PredictorAllPolicies,
+    ::testing::Combine(::testing::Values(0.005, 0.015, 0.025),
+                       ::testing::Values(0, 1, 2, 3)));  // FCFS..WiredStreams
+
+class PredictorIpsPolicies : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(PredictorIpsPolicies, EveryIpsPolicyTracksTheSimulator) {
+  const auto [rate, policy_index] = GetParam();
+  const auto policy = static_cast<IpsPolicy>(policy_index);
+  const auto model = ExecTimeModel::standard();
+  PredictorInput in;
+  in.rate_per_us = rate;
+  const Prediction pred = predictIps(model, policy, in);
+
+  SimConfig c = defaultSimConfig();
+  c.policy.paradigm = Paradigm::kIps;
+  c.policy.ips = policy;
+  setAutoWindow(c, rate, 50'000);
+  const RunMetrics sim = runOnce(c, model, makePoissonStreams(16, rate));
+  if (sim.saturated || !pred.stable) return;
+  EXPECT_NEAR(pred.delay_us, sim.mean_delay_us, 0.35 * sim.mean_delay_us)
+      << ipsPolicyName(policy) << " rate=" << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PredictorIpsPolicies,
+                         ::testing::Combine(::testing::Values(0.005, 0.015, 0.025),
+                                            ::testing::Values(0, 1, 2)));
+
+TEST(Predictor, ReproducesPolicyOrderingAtModerateLoad) {
+  const auto model = ExecTimeModel::standard();
+  PredictorInput in;
+  in.rate_per_us = 0.015;
+  const double fcfs = predictLocking(model, LockingPolicy::kFcfs, in).delay_us;
+  const double mru = predictLocking(model, LockingPolicy::kMru, in).delay_us;
+  const double ips = predictIps(model, IpsPolicy::kWired, in).delay_us;
+  EXPECT_LT(mru, fcfs);
+  EXPECT_LT(ips, mru);
+}
+
+TEST(Predictor, CapacityOrdering) {
+  const auto model = ExecTimeModel::standard();
+  PredictorInput in;
+  in.rate_per_us = 0.01;
+  const auto fcfs = predictLocking(model, LockingPolicy::kFcfs, in);
+  const auto wired = predictLocking(model, LockingPolicy::kWiredStreams, in);
+  const auto ips = predictIps(model, IpsPolicy::kWired, in);
+  // Stream wiring warms services at saturation => more capacity than FCFS;
+  // IPS (no locks) tops both.
+  EXPECT_GT(wired.capacity_per_us, fcfs.capacity_per_us);
+  EXPECT_GT(ips.capacity_per_us, fcfs.capacity_per_us);
+}
+
+TEST(Predictor, VShiftsDelayByV) {
+  const auto model = ExecTimeModel::standard();
+  PredictorInput in;
+  in.rate_per_us = 0.004;  // light load: delay ~ service
+  const double base = predictLocking(model, LockingPolicy::kMru, in).delay_us;
+  in.fixed_overhead_us = 139.0;
+  const double with_v = predictLocking(model, LockingPolicy::kMru, in).delay_us;
+  EXPECT_NEAR(with_v - base, 139.0, 15.0);
+}
+
+TEST(Predictor, InstabilityDetected) {
+  const auto model = ExecTimeModel::standard();
+  PredictorInput in;
+  in.rate_per_us = 0.08;  // far beyond 8-processor capacity
+  const auto p = predictLocking(model, LockingPolicy::kMru, in);
+  EXPECT_FALSE(p.stable);
+  EXPECT_TRUE(std::isinf(p.delay_us));
+}
+
+TEST(Predictor, IpsMruBeatsWiredAtVeryLowRate) {
+  const auto model = ExecTimeModel::standard();
+  PredictorInput in;
+  in.rate_per_us = 0.0002;
+  const double mru = predictIps(model, IpsPolicy::kMru, in).delay_us;
+  const double wired = predictIps(model, IpsPolicy::kWired, in).delay_us;
+  EXPECT_LT(mru, wired);
+}
+
+}  // namespace
+}  // namespace affinity

@@ -1,0 +1,205 @@
+// Tests for src/cache: the SST footprint power law, set-occupancy flush
+// fractions, per-level flush model, and the reload-transient execution-time
+// model — including the paper's headline numbers (t_cold = 284.3 µs, L2
+// flushed much more slowly than L1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cache/exec_time.hpp"
+#include "cache/flush.hpp"
+#include "cache/footprint.hpp"
+#include "cache/machine.hpp"
+#include "util/rng.hpp"
+
+namespace affinity {
+namespace {
+
+// ------------------------------------------------------------ geometry ----
+
+TEST(Machine, ChallengeGeometry) {
+  const MachineParams m = MachineParams::sgiChallenge();
+  EXPECT_EQ(m.l1d.sets(), 16u * 1024 / 32);
+  EXPECT_EQ(m.l2.sets(), 1024u * 1024 / 128);
+  EXPECT_EQ(m.l1i.lines(), 512u);
+  EXPECT_DOUBLE_EQ(m.refsPerMicrosecond(), 20.0);  // 100 MHz / 5 cycles/ref
+}
+
+// ------------------------------------------------------------ footprint ---
+
+class FootprintMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(FootprintMonotone, NondecreasingInRefs) {
+  const SstParams p = SstParams::mvsWorkload();
+  const double line = GetParam();
+  double prev = 0.0;
+  for (double refs = 10.0; refs <= 1e9; refs *= 3.7) {
+    const double u = uniqueLines(p, refs, line);
+    EXPECT_GE(u, prev) << "refs=" << refs << " L=" << line;
+    EXPECT_LE(u, refs) << "u cannot exceed the reference count";
+    prev = u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lines, FootprintMonotone, ::testing::Values(16.0, 32.0, 64.0, 128.0));
+
+TEST(Footprint, LargerLinesTouchFewerUniqueLines) {
+  const SstParams p = SstParams::mvsWorkload();
+  const double refs = 1e6;
+  EXPECT_GT(uniqueLines(p, refs, 16.0), uniqueLines(p, refs, 32.0));
+  EXPECT_GT(uniqueLines(p, refs, 32.0), uniqueLines(p, refs, 128.0));
+}
+
+TEST(Footprint, ZeroAndTinyRefs) {
+  const SstParams p = SstParams::mvsWorkload();
+  EXPECT_DOUBLE_EQ(uniqueLines(p, 0.0, 32.0), 0.0);
+  EXPECT_DOUBLE_EQ(uniqueLines(p, 0.5, 32.0), 0.5);  // clamped at refs
+}
+
+TEST(Footprint, SpatialLocalityIsSubLinear) {
+  // Doubling the line size should reduce unique lines by less than 2x
+  // (consecutive references share lines but not perfectly).
+  const SstParams p = SstParams::mvsWorkload();
+  const double u32 = uniqueLines(p, 1e6, 32.0);
+  const double u64 = uniqueLines(p, 1e6, 64.0);
+  EXPECT_GT(u64, u32 / 2.0);
+  EXPECT_LT(u64, u32);
+}
+
+TEST(Footprint, InverseRecoversRefs) {
+  const SstParams p = SstParams::mvsWorkload();
+  const double refs = 5e5;
+  const double u = uniqueLines(p, refs, 32.0);
+  EXPECT_NEAR(refsForUniqueLines(p, u, 32.0), refs, refs * 1e-3);
+}
+
+// ---------------------------------------------------------- displacement --
+
+TEST(FractionDisplaced, DirectMappedClosedForm) {
+  // u interfering lines into S sets, A=1: F = 1 - (1-1/S)^u.
+  const double S = 512.0;
+  for (double u : {1.0, 50.0, 512.0, 5000.0}) {
+    const double expected = 1.0 - std::pow(1.0 - 1.0 / S, u);
+    EXPECT_NEAR(fractionDisplaced(u, S, 1), expected, 1e-12);
+  }
+}
+
+TEST(FractionDisplaced, BoundsAndMonotone) {
+  double prev = 0.0;
+  for (double u = 0.0; u < 1e5; u = u * 2 + 1) {
+    const double f = fractionDisplaced(u, 512.0, 1);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(fractionDisplaced(0.0, 512.0, 1), 0.0);
+}
+
+TEST(FractionDisplaced, AssociativityApproachesFullyAssociativeLimit) {
+  // At fixed total line count, higher associativity wastes fewer interfering
+  // lines on collisions with each other, so the displaced fraction grows
+  // with A toward the fully-associative limit u / total_lines.
+  const double u = 400.0, S = 512.0;
+  const double f1 = fractionDisplaced(u, S, 1);
+  const double f2 = fractionDisplaced(u, S / 2, 2);  // same total lines
+  const double f8 = fractionDisplaced(u, S / 8, 8);
+  EXPECT_LT(f1, f2);
+  EXPECT_LT(f2, f8);
+  EXPECT_LE(f8, u / S + 0.02);
+}
+
+// -------------------------------------------------------------- flush -----
+
+TEST(FlushModel, L2FlushesMuchMoreSlowlyThanL1) {
+  // The paper's Figure 4 observation.
+  const FlushModel fm(MachineParams::sgiChallenge(), SstParams::mvsWorkload());
+  for (double x : {100.0, 1000.0, 10000.0}) {
+    EXPECT_GT(fm.f1(x), 4.0 * fm.f2(x)) << "x=" << x;
+  }
+  // L1 is mostly flushed within a few ms; L2 needs ~1 s.
+  EXPECT_GT(fm.f1(5000.0), 0.95);
+  EXPECT_LT(fm.f2(5000.0), 0.3);
+  EXPECT_GT(fm.f2(1e6), 0.9);
+}
+
+TEST(FlushModel, MonotoneNondecreasingInTime) {
+  const FlushModel fm(MachineParams::sgiChallenge(), SstParams::mvsWorkload());
+  double p1 = 0.0, p2 = 0.0;
+  for (double x = 1.0; x < 1e7; x *= 2.3) {
+    const double f1 = fm.f1(x), f2 = fm.f2(x);
+    EXPECT_GE(f1, p1);
+    EXPECT_GE(f2, p2);
+    p1 = f1;
+    p2 = f2;
+  }
+}
+
+TEST(FlushModel, ZeroAtZeroGap) {
+  const FlushModel fm(MachineParams::sgiChallenge(), SstParams::mvsWorkload());
+  EXPECT_DOUBLE_EQ(fm.f1(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fm.f2(0.0), 0.0);
+}
+
+// ------------------------------------------------------------ exec time ---
+
+TEST(ExecTime, PaperColdTime) {
+  const ReloadParams r = ReloadParams::measuredUdpReceive();
+  EXPECT_NEAR(r.tCold(), 284.3, 0.05);  // the paper's measured value
+}
+
+TEST(ExecTime, WarmAndColdEndpoints) {
+  const auto m = ExecTimeModel::standard();
+  EXPECT_DOUBLE_EQ(m.serviceTime({0.0, 0.0, 0.0}), m.tWarm());
+  EXPECT_NEAR(m.serviceTime({kColdAge, kColdAge, kColdAge}), m.tCold(), 1e-9);
+}
+
+TEST(ExecTime, MonotoneInEveryComponentAge) {
+  const auto m = ExecTimeModel::standard();
+  double prev = 0.0;
+  for (double x = 0.0; x < 1e6; x = x * 2 + 1) {
+    const double t = m.serviceTime({x, 0.0, 0.0});
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+  // Stream-component cold costs its per-level shares of the transients.
+  const double stream_cold = m.serviceTime({0.0, 0.0, kColdAge});
+  const double expected = m.tWarm() + m.shares().l1_stream * m.reloadParams().dl1_us +
+                          m.shares().l2_stream * m.reloadParams().dl2_us;
+  EXPECT_NEAR(stream_cold, expected, 1e-9);
+}
+
+TEST(ExecTime, BoundsHoldForRandomAges) {
+  const auto m = ExecTimeModel::standard();
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    CacheStateAges ages;
+    ages.code = rng.bernoulli(0.2) ? kColdAge : rng.uniform(0.0, 1e6);
+    ages.shared = rng.bernoulli(0.2) ? kColdAge : rng.uniform(0.0, 1e6);
+    ages.stream = rng.bernoulli(0.2) ? kColdAge : rng.uniform(0.0, 1e6);
+    const double t = m.serviceTime(ages);
+    EXPECT_GE(t, m.tWarm());
+    EXPECT_LE(t, m.tCold() + 1e-9);
+  }
+}
+
+TEST(ExecTime, InvalidSharesRejected) {
+  FootprintShares bad;
+  bad.l1_code = 0.9;
+  bad.l1_shared = 0.9;
+  bad.l1_stream = 0.9;
+  EXPECT_FALSE(bad.valid());
+  EXPECT_DEATH(ExecTimeModel(FlushModel(MachineParams::sgiChallenge(), SstParams::mvsWorkload()),
+                             ReloadParams::measuredUdpReceive(), bad),
+               "CHECK failed");
+}
+
+TEST(ExecTime, SendSideIsCheaper) {
+  const ReloadParams recv = ReloadParams::measuredUdpReceive();
+  const ReloadParams send = ReloadParams::measuredUdpSend();
+  EXPECT_LT(send.t_warm_us, recv.t_warm_us);
+  EXPECT_LT(send.tCold(), recv.tCold());
+}
+
+}  // namespace
+}  // namespace affinity

@@ -1,0 +1,324 @@
+// Tests for src/cachesim: LRU set behavior, hierarchy inclusion, coherence
+// invalidation, trace generators, and the measurement harness (whose outputs
+// must have the paper's qualitative structure).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cachesim/cache_level.hpp"
+#include "cachesim/coherence.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "cachesim/measurement.hpp"
+#include "cachesim/trace.hpp"
+
+namespace affinity {
+namespace {
+
+CacheLevelParams tiny(std::uint64_t size, std::uint32_t line, std::uint32_t assoc) {
+  return CacheLevelParams{size, line, assoc};
+}
+
+// ------------------------------------------------------------ CacheLevel --
+
+TEST(CacheLevel, HitAfterMiss) {
+  CacheLevel c(tiny(1024, 32, 1));
+  EXPECT_FALSE(c.access(0x100, false).hit);
+  EXPECT_TRUE(c.access(0x100, false).hit);
+  EXPECT_TRUE(c.access(0x11f, false).hit);   // same line
+  EXPECT_FALSE(c.access(0x120, false).hit);  // next line
+  EXPECT_EQ(c.stats().accesses, 4u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(CacheLevel, DirectMappedConflict) {
+  CacheLevel c(tiny(1024, 32, 1));  // 32 sets
+  c.access(0x0, false);
+  const auto r = c.access(32 * 32, false);  // same set, different tag
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.evicted_valid);
+  EXPECT_EQ(r.evicted_line_addr, 0u);
+  EXPECT_FALSE(c.contains(0x0));
+}
+
+TEST(CacheLevel, LruEvictsOldestWithinSet) {
+  CacheLevel c(tiny(4 * 32, 32, 4));  // one set, 4 ways
+  for (std::uint64_t i = 0; i < 4; ++i) c.access(i * 32, false);
+  c.access(0 * 32, false);            // refresh line 0
+  c.access(4 * 32, false);            // evicts line 1 (LRU)
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(32));
+  EXPECT_TRUE(c.contains(2 * 32));
+}
+
+TEST(CacheLevel, WritebackCountsDirtyEvictions) {
+  CacheLevel c(tiny(1024, 32, 1));
+  c.access(0x0, true);         // dirty
+  c.access(32 * 32, false);    // evicts dirty line
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  c.access(64 * 32, false);    // evicts clean line
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(CacheLevel, InvalidateAndFlush) {
+  CacheLevel c(tiny(1024, 32, 2));
+  c.access(0x40, false);
+  EXPECT_TRUE(c.invalidate(0x40));
+  EXPECT_FALSE(c.invalidate(0x40));
+  EXPECT_FALSE(c.contains(0x40));
+  c.access(0x40, false);
+  c.access(0x80, false);
+  c.flushAll();
+  EXPECT_EQ(c.residentLineCount(), 0u);
+}
+
+TEST(CacheLevel, ResidentWithinRange) {
+  CacheLevel c(tiny(4096, 32, 2));
+  c.access(0x1000, false);
+  c.access(0x1020, false);
+  c.access(0x2000, false);
+  EXPECT_EQ(c.residentWithin(0x1000, 0x1040), 2u);
+  EXPECT_EQ(c.residentWithin(0x0, 0x10000), 3u);
+}
+
+TEST(CacheLevel, RejectsNonPowerOfTwoLine) {
+  EXPECT_DEATH(CacheLevel(tiny(1024, 24, 1)), "CHECK failed");
+}
+
+// ------------------------------------------------------------- Hierarchy --
+
+MachineParams smallMachine() {
+  MachineParams m;
+  m.l1i = {1024, 32, 1};
+  m.l1d = {1024, 32, 1};
+  m.l2 = {8192, 128, 1};
+  return m;
+}
+
+TEST(Hierarchy, MissCostsAccumulate) {
+  const MachineParams m = smallMachine();
+  Hierarchy h(m);
+  const auto cold = h.access(0x100, RefKind::kLoad);
+  EXPECT_TRUE(cold.l1_miss);
+  EXPECT_TRUE(cold.l2_miss);
+  EXPECT_DOUBLE_EQ(cold.cycles, m.cycles_per_ref + m.l1_miss_cycles + m.l2_miss_cycles);
+  const auto warm = h.access(0x100, RefKind::kLoad);
+  EXPECT_FALSE(warm.l1_miss);
+  EXPECT_DOUBLE_EQ(warm.cycles, 5.0);
+}
+
+TEST(Hierarchy, L1MissL2HitCost) {
+  Hierarchy h(smallMachine());
+  h.access(0x100, RefKind::kLoad);
+  h.flushL1();
+  const auto r = h.access(0x100, RefKind::kLoad);
+  EXPECT_TRUE(r.l1_miss);
+  EXPECT_FALSE(r.l2_miss);
+  EXPECT_DOUBLE_EQ(r.cycles, 5.0 + 12.0);
+}
+
+TEST(Hierarchy, SplitL1SeparatesIAndD) {
+  Hierarchy h(smallMachine());
+  h.access(0x100, RefKind::kIFetch);
+  EXPECT_EQ(h.l1i().stats().misses, 1u);
+  EXPECT_EQ(h.l1d().stats().misses, 0u);
+  const auto r = h.access(0x100, RefKind::kLoad);  // D-cache miss, L2 hit
+  EXPECT_TRUE(r.l1_miss);
+  EXPECT_FALSE(r.l2_miss);
+}
+
+TEST(Hierarchy, InclusionBackInvalidatesL1) {
+  Hierarchy h(smallMachine());  // L2: 8 KB, 64 sets... 8192/128 = 64 sets
+  h.access(0x0, RefKind::kLoad);
+  // Conflict in L2: same L2 set = addr + 8192.
+  h.access(0x0 + 8192, RefKind::kLoad);
+  EXPECT_FALSE(h.l1d().contains(0x0)) << "L2 eviction must back-invalidate L1";
+}
+
+TEST(Hierarchy, InvalidateLineCoversWholeL2Line) {
+  Hierarchy h(smallMachine());
+  h.access(0x100, RefKind::kLoad);
+  h.access(0x120, RefKind::kLoad);  // same 128 B L2 line, different L1 line
+  h.invalidateLine(0x100);
+  EXPECT_FALSE(h.l1d().contains(0x100));
+  EXPECT_FALSE(h.l1d().contains(0x120));
+  EXPECT_FALSE(h.l2().contains(0x100));
+}
+
+TEST(Hierarchy, ExternalDirtyChargesIntervention) {
+  Hierarchy h(smallMachine());
+  const auto r = h.access(0x100, RefKind::kLoad, /*external_dirty=*/true);
+  EXPECT_DOUBLE_EQ(r.cycles, 5.0 + 12.0 + 140.0);
+}
+
+// ------------------------------------------------------------- Coherence --
+
+TEST(Coherence, StoreInvalidatesRemoteCopies) {
+  CoherentSystem sys(smallMachine(), 2);
+  sys.access(0, 0x100, RefKind::kLoad);
+  sys.access(1, 0x100, RefKind::kLoad);
+  EXPECT_TRUE(sys.proc(0).l1d().contains(0x100));
+  sys.access(1, 0x100, RefKind::kStore);
+  EXPECT_FALSE(sys.proc(0).l1d().contains(0x100));
+  EXPECT_FALSE(sys.proc(0).l2().contains(0x100));
+  EXPECT_GE(sys.invalidationsSent(), 1u);
+}
+
+TEST(Coherence, DirtyRemoteLoadPaysIntervention) {
+  CoherentSystem sys(smallMachine(), 2);
+  sys.access(0, 0x100, RefKind::kStore);
+  const auto r = sys.access(1, 0x100, RefKind::kLoad);
+  EXPECT_DOUBLE_EQ(r.cycles, 5.0 + 12.0 + 140.0);
+  EXPECT_EQ(sys.interventions(), 1u);
+  // Second load by proc 1 is now a plain hit.
+  EXPECT_DOUBLE_EQ(sys.access(1, 0x100, RefKind::kLoad).cycles, 5.0);
+}
+
+TEST(Coherence, LocalRereadAfterOwnStoreIsCheap) {
+  CoherentSystem sys(smallMachine(), 2);
+  sys.access(0, 0x100, RefKind::kStore);
+  EXPECT_DOUBLE_EQ(sys.access(0, 0x100, RefKind::kLoad).cycles, 5.0);
+  EXPECT_EQ(sys.interventions(), 0u);
+}
+
+// ------------------------------------------------------------- Traces -----
+
+TEST(ProtocolTrace, DeterministicPerSeed) {
+  const ProtocolTraceGenerator gen(ProtocolLayout::standard(), ProtocolTraceParams{});
+  std::vector<MemRef> a, b;
+  Rng ra(1), rb(1);
+  gen.receivePacket(3, 7, ra, a);
+  gen.receivePacket(3, 7, rb, b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].addr, b[i].addr);
+}
+
+TEST(ProtocolTrace, EmitsDeclaredReferenceCount) {
+  const ProtocolTraceGenerator gen(ProtocolLayout::standard(), ProtocolTraceParams{});
+  std::vector<MemRef> t;
+  Rng rng(2);
+  gen.receivePacket(0, 0, rng, t);
+  EXPECT_EQ(t.size(), gen.refsPerPacket());
+}
+
+TEST(ProtocolTrace, ReferencesStayInDeclaredRegions) {
+  const ProtocolLayout lay = ProtocolLayout::standard();
+  const ProtocolTraceGenerator gen(lay, ProtocolTraceParams{});
+  std::vector<MemRef> t;
+  Rng rng(3);
+  gen.receivePacket(2, 5, rng, t);
+  for (const MemRef& r : t) {
+    const bool in_code = r.addr >= lay.code_base && r.addr < lay.code_base + lay.code_bytes;
+    const bool in_shared =
+        r.addr >= lay.shared_base && r.addr < lay.shared_base + lay.shared_bytes;
+    const bool in_stream =
+        r.addr >= lay.streamBase(2) && r.addr < lay.streamBase(2) + lay.stream_bytes_each;
+    const bool in_pkt = r.addr >= lay.pktBase(5) && r.addr < lay.pktBase(5) + lay.pkt_bytes_each;
+    EXPECT_TRUE(in_code || in_shared || in_stream || in_pkt) << std::hex << r.addr;
+    if (r.kind == RefKind::kIFetch) {
+      EXPECT_TRUE(in_code);
+    }
+  }
+}
+
+TEST(ProtocolTrace, DifferentStreamsTouchDifferentStreamState) {
+  const ProtocolLayout lay = ProtocolLayout::standard();
+  const ProtocolTraceGenerator gen(lay, ProtocolTraceParams{});
+  std::vector<MemRef> t;
+  Rng rng(4);
+  gen.receivePacket(1, 0, rng, t);
+  for (const MemRef& r : t) {
+    EXPECT_FALSE(r.addr >= lay.streamBase(0) && r.addr < lay.streamBase(0) + lay.stream_bytes_each)
+        << "stream 1 packet touched stream 0 state";
+  }
+}
+
+TEST(ProtocolTrace, PayloadTouchScalesWithBytes) {
+  const ProtocolTraceGenerator gen(ProtocolLayout::standard(), ProtocolTraceParams{});
+  std::vector<MemRef> small, large;
+  gen.touchPayload(0, 0, 512, small);
+  gen.touchPayload(0, 0, 4096, large);
+  EXPECT_EQ(small.size(), 2u * (512 / 8));
+  EXPECT_EQ(large.size(), 2u * (4096 / 8));
+}
+
+TEST(BackgroundTrace, GeneratesRequestedCountWithinWorkingSet) {
+  BackgroundTraceGenerator bg(0x4000'0000, 1 << 20);
+  std::vector<MemRef> t;
+  Rng rng(5);
+  bg.generate(10000, rng, t);
+  ASSERT_EQ(t.size(), 10000u);
+  for (const MemRef& r : t) {
+    EXPECT_GE(r.addr, 0x4000'0000u);
+    EXPECT_LT(r.addr, 0x4000'0000u + (1u << 20));
+  }
+}
+
+// ---------------------------------------------------------- Measurement ---
+
+class MeasurementFixture : public ::testing::Test {
+ protected:
+  MeasurementHarness harness_{MachineParams::sgiChallenge(), ProtocolLayout::standard(),
+                              ProtocolTraceParams{}, 42};
+};
+
+TEST_F(MeasurementFixture, ColdExceedsL1ColdExceedsWarm) {
+  const MeasuredParams m = harness_.measure();
+  EXPECT_GT(m.t_warm_us, 0.0);
+  EXPECT_GT(m.t_l1cold_us, m.t_warm_us);
+  EXPECT_GT(m.t_cold_us, m.t_l1cold_us);
+  // The paper's ratio: t_cold is roughly 2x t_warm.
+  EXPECT_GT(m.t_cold_us / m.t_warm_us, 1.4);
+  EXPECT_LT(m.t_cold_us / m.t_warm_us, 3.5);
+}
+
+TEST_F(MeasurementFixture, SharesAreValidAndStreamShareSignificant) {
+  const MeasuredParams m = harness_.measure();
+  EXPECT_TRUE(m.shares.valid());
+  EXPECT_GT(m.shares.l1_code, 0.05);
+  EXPECT_GT(m.shares.l1_stream, 0.1);
+  EXPECT_GT(m.shares.l1_shared, 0.02);
+  EXPECT_GT(m.shares.l2_code, 0.2) << "text is the largest region, dominating the L2 transient";
+}
+
+TEST_F(MeasurementFixture, ComponentPenaltiesAreConsistent) {
+  const MeasuredParams m = harness_.measure();
+  for (const auto* p : {&m.code, &m.shared, &m.stream}) {
+    EXPECT_GE(p->l1_us, 0.0);
+    EXPECT_GE(p->full_us, p->l1_us) << "both-levels penalty must cover the L1-only penalty";
+  }
+  // Component penalties must roughly add up to the full transients.
+  const double full_sum = m.code.full_us + m.shared.full_us + m.stream.full_us;
+  EXPECT_GT(full_sum, 0.5 * (m.t_cold_us - m.t_warm_us));
+  EXPECT_LT(full_sum, 1.6 * (m.t_cold_us - m.t_warm_us));
+}
+
+TEST_F(MeasurementFixture, AgedTimeInterpolatesBetweenWarmAndCold) {
+  const MeasuredParams m = harness_.measure();
+  const double aged_short = harness_.measureAged(50.0);
+  const double aged_long = harness_.measureAged(50'000.0);
+  EXPECT_GE(aged_short, m.t_warm_us * 0.99);
+  EXPECT_LE(aged_long, m.t_cold_us * 1.01);
+  EXPECT_LT(aged_short, aged_long);
+}
+
+TEST_F(MeasurementFixture, MigrationCostsAtLeastCold) {
+  // The simulation model treats a migrated footprint component as fully
+  // cold; the coherent-cache experiment shows migration is in fact at least
+  // as expensive (write-invalidate + dirty-line interventions).
+  const auto mt = harness_.measureMigration();
+  EXPECT_LT(mt.t_same_proc_us, mt.t_other_proc_us);
+  EXPECT_GE(mt.t_other_proc_us, 0.98 * mt.t_cold_us)
+      << "migrated execution must cost roughly a cold start or more";
+  EXPECT_GT(mt.t_cold_us, 1.5 * mt.t_same_proc_us);
+}
+
+TEST_F(MeasurementFixture, DisplacementGrowsWithAgeAndL1LeadsL2) {
+  const auto d1 = harness_.displacedAfter(100.0);
+  const auto d2 = harness_.displacedAfter(5'000.0);
+  EXPECT_LE(d1.l1, d2.l1 + 0.02);
+  EXPECT_LE(d1.l2, d2.l2 + 0.02);
+  EXPECT_GT(d2.l1, d2.l2) << "L1 must flush faster than L2 (paper Fig. 4)";
+}
+
+}  // namespace
+}  // namespace affinity

@@ -1,0 +1,375 @@
+// Tests for src/core: the multiprocessor protocol simulation. Validates
+// against queueing-theory closed forms (cache model disabled), checks
+// conservation, determinism, policy invariants (via the observer hook), and
+// the directional effects the paper reports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/experiment.hpp"
+#include "core/protocol_sim.hpp"
+
+namespace affinity {
+namespace {
+
+// A model with no cache effects: constant service time t_warm.
+ExecTimeModel constantModel(double t_us) {
+  return ExecTimeModel(FlushModel(MachineParams::sgiChallenge(), SstParams::mvsWorkload()),
+                       ReloadParams{t_us, 0.0, 0.0}, FootprintShares{});
+}
+
+SimConfig plainConfig(unsigned procs, Paradigm paradigm) {
+  SimConfig c;
+  c.num_procs = procs;
+  c.policy.paradigm = paradigm;
+  c.lock_overhead_us = 0.0;
+  c.critical_section_us = 0.0;
+  c.warmup_us = 100'000.0;
+  c.measure_us = 2'000'000.0;
+  return c;
+}
+
+// ---------------------------------------------------- queueing validation --
+
+TEST(QueueTheory, MD1MeanDelayMatchesClosedForm) {
+  // Locking/FCFS, 1 processor, constant service => M/D/1.
+  const double t = 100.0;
+  for (double rho : {0.3, 0.6, 0.8}) {
+    SimConfig c = plainConfig(1, Paradigm::kLocking);
+    c.policy.locking = LockingPolicy::kFcfs;
+    c.measure_us = 6'000'000.0;
+    const double lambda = rho / t;
+    const RunMetrics m = runOnce(c, constantModel(t), makePoissonStreams(4, lambda));
+    const double expected = t + rho * t / (2.0 * (1.0 - rho));
+    EXPECT_NEAR(m.mean_delay_us, expected, 0.06 * expected) << "rho=" << rho;
+    EXPECT_FALSE(m.saturated);
+    EXPECT_NEAR(m.utilization, rho, 0.03);
+  }
+}
+
+TEST(QueueTheory, MD1SaturatesAboveCapacity) {
+  const double t = 100.0;
+  SimConfig c = plainConfig(1, Paradigm::kLocking);
+  c.policy.locking = LockingPolicy::kFcfs;
+  const RunMetrics m = runOnce(c, constantModel(t), makePoissonStreams(4, 1.3 / t));
+  EXPECT_TRUE(m.saturated);
+  EXPECT_GT(m.backlog_end, 100u);
+  EXPECT_NEAR(m.utilization, 1.0, 0.01);
+}
+
+TEST(QueueTheory, MultiprocessorPoolsWorkConservingly) {
+  // M/D/4: mean delay must be far below 4 x M/D/1 at the same total load and
+  // above the no-wait bound t.
+  const double t = 100.0;
+  SimConfig c = plainConfig(4, Paradigm::kLocking);
+  c.policy.locking = LockingPolicy::kFcfs;
+  const double lambda = 0.8 * 4.0 / t;
+  const RunMetrics m = runOnce(c, constantModel(t), makePoissonStreams(16, lambda));
+  EXPECT_GT(m.mean_delay_us, t);
+  EXPECT_LT(m.mean_delay_us, t + 0.8 * t / (2.0 * 0.2));  // below the M/D/1 wait
+  EXPECT_NEAR(m.utilization, 0.8, 0.03);
+}
+
+TEST(QueueTheory, ThroughputEqualsOfferedBelowCapacity) {
+  SimConfig c = plainConfig(8, Paradigm::kLocking);
+  const double lambda = 0.02;
+  const RunMetrics m = runOnce(c, constantModel(150.0), makePoissonStreams(8, lambda));
+  EXPECT_NEAR(m.throughput_per_us, lambda, 0.05 * lambda);
+}
+
+// --------------------------------------------------------- conservation ----
+
+TEST(Conservation, ArrivalsEqualCompletionsPlusBacklog) {
+  SimConfig c = plainConfig(4, Paradigm::kLocking);
+  c.warmup_us = 0.0;  // count every completion
+  c.measure_us = 500'000.0;
+  const RunMetrics m = runOnce(c, constantModel(120.0), makePoissonStreams(8, 0.02));
+  EXPECT_EQ(m.arrived, m.completed + m.backlog_end);
+  EXPECT_GT(m.arrived, 5000u);
+}
+
+TEST(Conservation, HoldsUnderIpsAndHybridToo) {
+  for (Paradigm p : {Paradigm::kIps, Paradigm::kHybrid}) {
+    SimConfig c = plainConfig(4, p);
+    c.warmup_us = 0.0;
+    c.measure_us = 400'000.0;
+    c.policy.hybrid_locking_streams = {0, 1};
+    const RunMetrics m = runOnce(c, constantModel(120.0), makePoissonStreams(8, 0.02));
+    EXPECT_EQ(m.arrived, m.completed + m.backlog_end) << paradigmName(p);
+  }
+}
+
+// ----------------------------------------------------------- determinism ---
+
+TEST(Determinism, SameSeedSameMetrics) {
+  SimConfig c = plainConfig(8, Paradigm::kLocking);
+  c.policy.locking = LockingPolicy::kMru;
+  c.seed = 77;
+  const auto model = ExecTimeModel::standard();
+  const RunMetrics a = runOnce(c, model, makePoissonStreams(16, 0.02));
+  const RunMetrics b = runOnce(c, model, makePoissonStreams(16, 0.02));
+  EXPECT_DOUBLE_EQ(a.mean_delay_us, b.mean_delay_us);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+}
+
+TEST(Determinism, DifferentSeedsAgreeWithinCi) {
+  SimConfig c = plainConfig(8, Paradigm::kLocking);
+  const auto model = ExecTimeModel::standard();
+  c.seed = 1;
+  const RunMetrics a = runOnce(c, model, makePoissonStreams(16, 0.02));
+  c.seed = 2;
+  const RunMetrics b = runOnce(c, model, makePoissonStreams(16, 0.02));
+  EXPECT_NEAR(a.mean_delay_us, b.mean_delay_us,
+              3.0 * (a.ci95_delay_us + b.ci95_delay_us) + 1.0);
+}
+
+// ------------------------------------------------------ policy invariants --
+
+/// Records service intervals for invariant checks.
+class Recorder : public SimObserver {
+ public:
+  struct Event {
+    unsigned proc;
+    std::uint32_t stream;
+    std::uint32_t stack;
+    double start;
+    double end;
+  };
+
+  void onServiceStart(unsigned proc, std::uint32_t stream, std::uint32_t stack, double now,
+                      double service) override {
+    open_.push_back(Event{proc, stream, stack, now, now + service});
+  }
+  void onServiceEnd(unsigned proc, std::uint32_t stream, std::uint32_t stack,
+                    double now) override {
+    for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+      if (it->proc == proc && it->stream == stream && it->stack == stack &&
+          std::abs(it->end - now) < 1e-6) {
+        events_.push_back(*it);
+        open_.erase(std::next(it).base());
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+ private:
+  std::vector<Event> open_;
+  std::vector<Event> events_;
+};
+
+TEST(PolicyInvariant, WiredStreamsNeverMigrates) {
+  Recorder rec;
+  SimConfig c = plainConfig(4, Paradigm::kLocking);
+  c.policy.locking = LockingPolicy::kWiredStreams;
+  c.observer = &rec;
+  c.measure_us = 300'000.0;
+  runOnce(c, ExecTimeModel::standard(), makePoissonStreams(12, 0.02));
+  ASSERT_GT(rec.events().size(), 1000u);
+  for (const auto& e : rec.events())
+    EXPECT_EQ(e.proc, e.stream % 4) << "wired stream executed off its processor";
+}
+
+TEST(PolicyInvariant, IpsWiredStacksStayOnTheirProcessor) {
+  Recorder rec;
+  SimConfig c = plainConfig(4, Paradigm::kIps);
+  c.policy.ips = IpsPolicy::kWired;
+  c.observer = &rec;
+  c.measure_us = 300'000.0;
+  runOnce(c, ExecTimeModel::standard(), makePoissonStreams(12, 0.02));
+  ASSERT_GT(rec.events().size(), 1000u);
+  for (const auto& e : rec.events()) {
+    ASSERT_NE(e.stack, AffinityState::kNoStack);
+    EXPECT_EQ(e.proc, e.stack % 4);
+  }
+}
+
+TEST(PolicyInvariant, IpsStacksNeverRunConcurrently) {
+  Recorder rec;
+  SimConfig c = plainConfig(4, Paradigm::kIps);
+  c.policy.ips = IpsPolicy::kMru;
+  c.observer = &rec;
+  c.measure_us = 300'000.0;
+  runOnce(c, ExecTimeModel::standard(), makePoissonStreams(8, 0.025));
+  // Per stack, sort intervals by start; consecutive intervals must not overlap.
+  std::map<std::uint32_t, std::vector<std::pair<double, double>>> by_stack;
+  for (const auto& e : rec.events()) by_stack[e.stack].emplace_back(e.start, e.end);
+  ASSERT_FALSE(by_stack.empty());
+  for (auto& [stack, iv] : by_stack) {
+    std::sort(iv.begin(), iv.end());
+    for (std::size_t i = 1; i < iv.size(); ++i)
+      EXPECT_GE(iv[i].first, iv[i - 1].second - 1e-9) << "stack " << stack;
+  }
+}
+
+TEST(PolicyInvariant, ProcessorsNeverDoubleBooked) {
+  Recorder rec;
+  SimConfig c = plainConfig(4, Paradigm::kLocking);
+  c.policy.locking = LockingPolicy::kMru;
+  c.observer = &rec;
+  c.measure_us = 300'000.0;
+  runOnce(c, ExecTimeModel::standard(), makePoissonStreams(8, 0.025));
+  std::map<unsigned, std::vector<std::pair<double, double>>> by_proc;
+  for (const auto& e : rec.events()) by_proc[e.proc].emplace_back(e.start, e.end);
+  for (auto& [proc, iv] : by_proc) {
+    std::sort(iv.begin(), iv.end());
+    for (std::size_t i = 1; i < iv.size(); ++i)
+      EXPECT_GE(iv[i].first, iv[i - 1].second - 1e-9) << "proc " << proc;
+  }
+}
+
+TEST(PolicyInvariant, HybridRoutesStreamsByDesignation) {
+  Recorder rec;
+  SimConfig c = plainConfig(4, Paradigm::kHybrid);
+  c.policy.hybrid_locking_streams = {0, 1};
+  c.observer = &rec;
+  c.measure_us = 300'000.0;
+  runOnce(c, ExecTimeModel::standard(), makePoissonStreams(8, 0.02));
+  for (const auto& e : rec.events()) {
+    if (e.stream <= 1)
+      EXPECT_EQ(e.stack, AffinityState::kNoStack);
+    else
+      EXPECT_NE(e.stack, AffinityState::kNoStack);
+  }
+}
+
+// ----------------------------------------------------- directional checks --
+
+TEST(Direction, MruBeatsFcfsUnderLocking) {
+  const auto model = ExecTimeModel::standard();
+  SimConfig c = plainConfig(8, Paradigm::kLocking);
+  c.lock_overhead_us = 10.0;
+  c.critical_section_us = 5.0;
+  const auto streams = makePoissonStreams(16, 0.01);  // moderate load
+  c.policy.locking = LockingPolicy::kFcfs;
+  const RunMetrics fcfs = runOnce(c, model, streams);
+  c.policy.locking = LockingPolicy::kMru;
+  const RunMetrics mru = runOnce(c, model, streams);
+  EXPECT_LT(mru.mean_delay_us, fcfs.mean_delay_us);
+  EXPECT_LT(mru.mean_service_us, fcfs.mean_service_us);
+}
+
+TEST(Direction, LockWaitGrowsWithLoad) {
+  const auto model = constantModel(150.0);
+  SimConfig c = plainConfig(8, Paradigm::kLocking);
+  c.lock_overhead_us = 10.0;
+  c.critical_section_us = 8.0;
+  const RunMetrics lo = runOnce(c, model, makePoissonStreams(16, 0.005));
+  const RunMetrics hi = runOnce(c, model, makePoissonStreams(16, 0.04));
+  EXPECT_GT(hi.mean_lock_wait_us, lo.mean_lock_wait_us);
+}
+
+TEST(Direction, IpsHasNoLockWait) {
+  SimConfig c = plainConfig(8, Paradigm::kIps);
+  c.lock_overhead_us = 10.0;  // must be ignored under IPS
+  c.critical_section_us = 5.0;
+  const RunMetrics m = runOnce(c, ExecTimeModel::standard(), makePoissonStreams(16, 0.02));
+  EXPECT_DOUBLE_EQ(m.mean_lock_wait_us, 0.0);
+}
+
+TEST(Direction, FixedOverheadAddsDirectly) {
+  const auto model = constantModel(100.0);
+  SimConfig c = plainConfig(8, Paradigm::kLocking);
+  const auto streams = makePoissonStreams(8, 0.004);  // light load, no queueing
+  const RunMetrics base = runOnce(c, model, streams);
+  c.fixed_overhead_us = 139.0;  // the paper's max-FDDI-packet checksum cost
+  const RunMetrics v = runOnce(c, model, streams);
+  EXPECT_NEAR(v.mean_delay_us - base.mean_delay_us, 139.0, 3.0);
+}
+
+TEST(Direction, BusContentionSlowsColdTrafficOnly) {
+  const auto model = ExecTimeModel::standard();
+  const auto streams = makePoissonStreams(16, 0.02);
+  SimConfig c = plainConfig(8, Paradigm::kLocking);
+  c.policy.locking = LockingPolicy::kFcfs;  // cold-heavy traffic
+  const RunMetrics no_bus = runOnce(c, model, streams);
+  c.bus_occupancy_fraction = 0.35;
+  const RunMetrics bus = runOnce(c, model, streams);
+  EXPECT_GT(bus.mean_delay_us, no_bus.mean_delay_us);
+
+  // A warm, single-processor workload generates almost no bus traffic.
+  SimConfig solo = plainConfig(1, Paradigm::kLocking);
+  solo.policy.locking = LockingPolicy::kMru;
+  const auto one = makePoissonStreams(1, 0.005);
+  const RunMetrics solo_no_bus = runOnce(solo, model, one);
+  solo.bus_occupancy_fraction = 0.35;
+  const RunMetrics solo_bus = runOnce(solo, model, one);
+  EXPECT_NEAR(solo_bus.mean_delay_us, solo_no_bus.mean_delay_us,
+              0.05 * solo_no_bus.mean_delay_us);
+}
+
+TEST(Direction, BusContentionOffByDefault) {
+  SimConfig c;
+  EXPECT_DOUBLE_EQ(c.bus_occupancy_fraction, 0.0);
+}
+
+// ------------------------------------------------------------- capacity ----
+
+TEST(Capacity, FindsRateNearTheoreticalBound) {
+  // Constant service t on N processors: capacity = N / t.
+  const double t = 100.0;
+  SimConfig c = plainConfig(4, Paradigm::kLocking);
+  c.policy.locking = LockingPolicy::kFcfs;
+  c.warmup_us = 50'000.0;
+  c.measure_us = 500'000.0;
+  const auto make = [](double rate) { return makePoissonStreams(16, rate); };
+  const auto r = findMaxRate(c, constantModel(t), make, 0.001, 0.08, 1'000.0, 10);
+  EXPECT_GT(r.max_rate_per_us, 0.8 * 4.0 / t);
+  EXPECT_LE(r.max_rate_per_us, 1.02 * 4.0 / t);
+}
+
+TEST(Capacity, InfeasibleLowerBoundReportsZero) {
+  SimConfig c = plainConfig(1, Paradigm::kLocking);
+  c.warmup_us = 20'000.0;
+  c.measure_us = 300'000.0;
+  const auto make = [](double rate) { return makePoissonStreams(4, rate); };
+  // Even the lower bound exceeds 1/t.
+  const auto r = findMaxRate(c, constantModel(100.0), make, 0.02, 0.05, 1'000.0, 4);
+  EXPECT_DOUBLE_EQ(r.max_rate_per_us, 0.0);
+}
+
+// --------------------------------------------------------------- window ----
+
+TEST(Window, AutoWindowScalesWithRate) {
+  SimConfig c = defaultSimConfig();
+  setAutoWindow(c, 0.01, 100'000);
+  EXPECT_NEAR(c.measure_us, 1e7, 1.0);
+  setAutoWindow(c, 10.0, 100'000);
+  EXPECT_DOUBLE_EQ(c.measure_us, 500'000.0);  // floor
+}
+
+TEST(Window, RunUntilConfidentMeetsTarget) {
+  SimConfig c = plainConfig(4, Paradigm::kLocking);
+  c.measure_us = 150'000.0;  // deliberately short: forces at least one doubling
+  const RunMetrics m =
+      runUntilConfident(c, ExecTimeModel::standard(), makePoissonStreams(8, 0.015), 0.05, 6);
+  ASSERT_FALSE(m.saturated);
+  EXPECT_LE(m.ci95_delay_us, 0.05 * m.mean_delay_us);
+}
+
+TEST(Window, RunUntilConfidentBailsOnSaturation) {
+  SimConfig c = plainConfig(1, Paradigm::kLocking);
+  c.measure_us = 400'000.0;
+  const RunMetrics m =
+      runUntilConfident(c, constantModel(100.0), makePoissonStreams(4, 0.02), 0.05, 6);
+  EXPECT_TRUE(m.saturated);
+}
+
+TEST(Window, PerStreamStatsProduced) {
+  SimConfig c = plainConfig(4, Paradigm::kLocking);
+  c.per_stream_stats = true;
+  c.measure_us = 300'000.0;
+  const RunMetrics m = runOnce(c, constantModel(100.0), makePoissonStreams(6, 0.01));
+  ASSERT_EQ(m.per_stream_mean_delay_us.size(), 6u);
+  for (double d : m.per_stream_mean_delay_us) EXPECT_GT(d, 0.0);
+}
+
+}  // namespace
+}  // namespace affinity

@@ -1,0 +1,241 @@
+// Cross-module integration tests:
+//  * the trace-driven cache simulator agrees with the analytic
+//    set-occupancy model on displacement,
+//  * measured parameters drive the simulation end to end,
+//  * the paper's headline findings hold directionally in full runs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cachesim/measurement.hpp"
+#include "core/capacity.hpp"
+#include "core/experiment.hpp"
+#include "proto/stack.hpp"
+
+namespace affinity {
+namespace {
+
+// ---------------------------------------------------------------------------
+// cachesim vs. the analytic independent-mapping displacement model: generate
+// an interfering trace, count its unique lines, and compare the *observed*
+// displaced fraction of a resident footprint with fractionDisplaced().
+TEST(CachesimVsAnalytic, DisplacedFractionMatchesIndependentMappingModel) {
+  MachineParams m = MachineParams::sgiChallenge();
+  Hierarchy h(m);
+  // Fill the L1 D-cache completely with a resident footprint.
+  const std::uint64_t base = 0x0100'0000;
+  for (std::uint64_t a = base; a < base + m.l1d.size_bytes; a += m.l1d.line_bytes)
+    h.access(a, RefKind::kLoad);
+  ASSERT_EQ(h.l1d().residentLineCount(), m.l1d.lines());
+
+  // Interfere with uniformly random lines from a large region.
+  Rng rng(123);
+  std::set<std::uint64_t> unique;
+  const std::uint64_t region = 64ull << 20;
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t addr = 0x4000'0000 + rng.uniform_u64(region / 32) * 32;
+    unique.insert(addr / m.l1d.line_bytes);
+    h.access(addr, RefKind::kLoad);
+  }
+  const double survivors = static_cast<double>(h.l1d().residentWithin(base, base + m.l1d.size_bytes));
+  const double observed = 1.0 - survivors / static_cast<double>(m.l1d.lines());
+  const double predicted = fractionDisplaced(static_cast<double>(unique.size()),
+                                             static_cast<double>(m.l1d.sets()),
+                                             m.l1d.associativity);
+  EXPECT_NEAR(observed, predicted, 0.06);
+}
+
+TEST(CachesimVsAnalytic, AgedPacketTimeTracksExecTimeModelShape) {
+  // The analytic t(x) and the simulated aged packet time must both be
+  // monotone and bracketed by [t_warm, t_cold]; they must agree on the scale
+  // of the transition (L1 effects by ~1 ms, L2 effects later).
+  MeasurementHarness harness(MachineParams::sgiChallenge(), ProtocolLayout::standard(),
+                             ProtocolTraceParams{}, 42);
+  const MeasuredParams mp = harness.measure();
+  double prev = 0.0;
+  for (double x : {20.0, 200.0, 2'000.0, 20'000.0}) {
+    const double t = harness.measureAged(x);
+    EXPECT_GE(t, prev * 0.98) << "x=" << x;  // monotone within noise
+    EXPECT_GE(t, mp.t_warm_us * 0.99);
+    EXPECT_LE(t, mp.t_cold_us * 1.02);
+    prev = t;
+  }
+  // By 20 ms the packet time must have moved well away from warm.
+  EXPECT_GT(prev, mp.t_warm_us + 0.5 * (mp.t_l1cold_us - mp.t_warm_us));
+}
+
+// ---------------------------------------------------------------------------
+// Measured parameters feed the simulation end to end (the paper's pipeline:
+// experiments -> analytic model -> simulation).
+TEST(Pipeline, MeasuredParamsDriveSimulation) {
+  MeasurementHarness harness(MachineParams::sgiChallenge(), ProtocolLayout::standard(),
+                             ProtocolTraceParams{}, 42);
+  const MeasuredParams mp = harness.measure();
+  const ExecTimeModel model(FlushModel(MachineParams::sgiChallenge(), SstParams::mvsWorkload()),
+                            mp.reload, mp.shares);
+  SimConfig c = defaultSimConfig();
+  c.measure_us = 500'000.0;
+  const RunMetrics m = runOnce(c, model, makePoissonStreams(16, 0.01));
+  EXPECT_GT(m.mean_delay_us, mp.t_warm_us);
+  EXPECT_FALSE(m.saturated);
+  EXPECT_GT(m.completed, 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's headline findings, as full-system directional checks.
+
+ExecTimeModel paperModel() { return ExecTimeModel::standard(); }
+
+SimConfig paperConfig() {
+  SimConfig c = defaultSimConfig();
+  c.warmup_us = 150'000.0;
+  c.measure_us = 1'500'000.0;
+  return c;
+}
+
+TEST(Findings, AffinityReducesDelaySubstantiallyAtV0) {
+  // Abstract: affinity-based scheduling significantly reduces delay; Figs
+  // 10-11: upper bound (V=0) around 40-50%, reached near the no-affinity
+  // configuration's saturation point.
+  SimConfig c = paperConfig();
+  const auto streams = makePoissonStreams(16, 0.040);  // near FCFS saturation
+  c.policy.locking = LockingPolicy::kFcfs;
+  const RunMetrics none = runOnce(c, paperModel(), streams);
+  c.policy.locking = LockingPolicy::kStreamMru;  // the full affinity bundle
+  const RunMetrics aff = runOnce(c, paperModel(), streams);
+  const double red = reductionPercent(none.mean_delay_us, aff.mean_delay_us);
+  EXPECT_GT(red, 25.0);
+  EXPECT_LT(red, 75.0);
+}
+
+TEST(Findings, WiredStreamsWinsAtHighRateUnderLocking) {
+  // Paper conclusion: "Under Locking, processors should be managed MRU —
+  // except under high arrival rate, when Wired-Streams scheduling performs
+  // better."
+  SimConfig c = paperConfig();
+  const auto streams = makePoissonStreams(16, 0.044);  // beyond MRU capacity
+  c.policy.locking = LockingPolicy::kMru;
+  const RunMetrics mru = runOnce(c, paperModel(), streams);
+  c.policy.locking = LockingPolicy::kWiredStreams;
+  const RunMetrics wired = runOnce(c, paperModel(), streams);
+  EXPECT_TRUE(mru.saturated || mru.mean_delay_us > 2.0 * wired.mean_delay_us);
+  EXPECT_FALSE(wired.saturated);
+  // ... and MRU wins at moderate rate.
+  const auto moderate = makePoissonStreams(16, 0.012);
+  c.policy.locking = LockingPolicy::kMru;
+  const RunMetrics mru_mod = runOnce(c, paperModel(), moderate);
+  c.policy.locking = LockingPolicy::kWiredStreams;
+  const RunMetrics wired_mod = runOnce(c, paperModel(), moderate);
+  EXPECT_LT(mru_mod.mean_delay_us, wired_mod.mean_delay_us);
+}
+
+TEST(Findings, IpsMruWinsAtVeryLowRate) {
+  // Paper conclusion: "Under IPS, independent stacks should be wired to
+  // processors — except under low arrival rate, when MRU processor
+  // scheduling performs better" (concentration keeps the shared text warm).
+  SimConfig c = paperConfig();
+  c.policy.paradigm = Paradigm::kIps;
+  setAutoWindow(c, 0.0002, 40'000);
+  const auto trickle = makePoissonStreams(16, 0.0002);  // 200 pkts/s
+  c.policy.ips = IpsPolicy::kMru;
+  const RunMetrics mru = runOnce(c, paperModel(), trickle);
+  c.policy.ips = IpsPolicy::kWired;
+  const RunMetrics wired = runOnce(c, paperModel(), trickle);
+  EXPECT_LT(mru.mean_delay_us, wired.mean_delay_us);
+}
+
+TEST(Findings, DataTouchingShrinksTheAffinityBenefit) {
+  // Figs 10-11: the reduction falls as fixed per-packet overhead V grows.
+  SimConfig c = paperConfig();
+  const auto streams = makePoissonStreams(16, 0.012);
+  double prev_reduction = 1e9;
+  for (double v : {0.0, 70.0, 139.0}) {
+    c.fixed_overhead_us = v;
+    c.policy.locking = LockingPolicy::kFcfs;
+    const RunMetrics none = runOnce(c, paperModel(), streams);
+    c.policy.locking = LockingPolicy::kMru;
+    const RunMetrics mru = runOnce(c, paperModel(), streams);
+    const double red = reductionPercent(none.mean_delay_us, mru.mean_delay_us);
+    EXPECT_LT(red, prev_reduction + 3.0) << "V=" << v;
+    prev_reduction = red;
+  }
+}
+
+TEST(Findings, IpsBeatsLockingOnLatency) {
+  // Abstract: IPS delivers much lower message latency.
+  SimConfig c = paperConfig();
+  const auto streams = makePoissonStreams(16, 0.015);
+  c.policy.paradigm = Paradigm::kLocking;
+  c.policy.locking = LockingPolicy::kMru;
+  const RunMetrics locking = runOnce(c, paperModel(), streams);
+  c.policy.paradigm = Paradigm::kIps;
+  c.policy.ips = IpsPolicy::kWired;
+  const RunMetrics ips = runOnce(c, paperModel(), streams);
+  EXPECT_LT(ips.mean_delay_us, locking.mean_delay_us);
+}
+
+TEST(Findings, IpsLessRobustToIntraStreamBurstiness) {
+  // Abstract: IPS exhibits less robust response to intra-stream burstiness.
+  SimConfig c = paperConfig();
+  const double rate = 0.012;
+  const auto bursty = makeBatchStreams(16, rate, 16.0);
+  c.policy.paradigm = Paradigm::kLocking;
+  c.policy.locking = LockingPolicy::kMru;
+  const RunMetrics locking = runOnce(c, paperModel(), bursty);
+  c.policy.paradigm = Paradigm::kIps;
+  c.policy.ips = IpsPolicy::kWired;
+  const RunMetrics ips = runOnce(c, paperModel(), bursty);
+  EXPECT_GT(ips.mean_delay_us, locking.mean_delay_us)
+      << "bursts serialize on one stack under IPS";
+}
+
+TEST(Findings, IpsSingleStreamThroughputCapped) {
+  // Abstract: limited intra-stream scalability under IPS — one stream cannot
+  // exceed a single processor's service rate, while Locking spreads it.
+  SimConfig c = paperConfig();
+  c.warmup_us = 50'000.0;
+  c.measure_us = 400'000.0;
+  const auto make = [](double rate) { return makePoissonStreams(1, rate); };
+  c.policy.paradigm = Paradigm::kIps;
+  c.policy.ips = IpsPolicy::kWired;
+  const auto ips = findMaxRate(c, paperModel(), make, 0.001, 0.05, 2'000.0, 8);
+  c.policy.paradigm = Paradigm::kLocking;
+  c.policy.locking = LockingPolicy::kMru;
+  const auto locking = findMaxRate(c, paperModel(), make, 0.001, 0.05, 2'000.0, 8);
+  EXPECT_LT(ips.max_rate_per_us, 1.05 / 135.7);  // at most one processor's rate
+  EXPECT_GT(locking.max_rate_per_us, 1.5 * ips.max_rate_per_us);
+}
+
+TEST(Findings, WiredBeatsMruUnderIpsAtHighLoad) {
+  SimConfig c = paperConfig();
+  const auto streams = makePoissonStreams(32, 0.035);  // high load
+  c.policy.paradigm = Paradigm::kIps;
+  c.policy.ips = IpsPolicy::kWired;
+  const RunMetrics wired = runOnce(c, paperModel(), streams);
+  c.policy.ips = IpsPolicy::kMru;
+  const RunMetrics mru = runOnce(c, paperModel(), streams);
+  EXPECT_LT(wired.mean_delay_us, mru.mean_delay_us * 1.05);
+}
+
+// ---------------------------------------------------------------------------
+// Full pipeline smoke: real frames through the real stack, while the
+// simulation uses parameters measured from the same protocol's trace.
+TEST(Pipeline, RealStackAndSimulationCoexist) {
+  ProtocolStack stack;
+  stack.open(7000, /*queue_capacity=*/256);
+  FrameSpec spec;
+  const std::vector<std::uint8_t> payload(64, 0xab);
+  for (int i = 0; i < 100; ++i) {
+    const auto ctx = stack.receiveFrame(buildUdpFrame(spec, payload));
+    ASSERT_FALSE(ctx.dropped());
+  }
+  EXPECT_EQ(stack.framesDelivered(), 100u);
+
+  SimConfig c = defaultSimConfig();
+  c.measure_us = 300'000.0;
+  const RunMetrics m = runOnce(c, paperModel(), makePoissonStreams(8, 0.01));
+  EXPECT_GT(m.completed, 1000u);
+}
+
+}  // namespace
+}  // namespace affinity

@@ -1,0 +1,162 @@
+// Tests for the INI config parser and the scenario builder.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "util/config.hpp"
+
+namespace affinity {
+namespace {
+
+// ----------------------------------------------------------------- config --
+
+TEST(ConfigFileTest, ParsesSectionsAndTypes) {
+  const auto cfg = ConfigFile::parse(R"(
+# comment
+top = 1
+[machine]
+processors = 8
+ratio = 2.5
+flag = true
+name = challenge  ; not a comment marker mid-line? no: full-line only
+)");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->getInt("top", 0), 1);
+  EXPECT_EQ(cfg->getInt("machine.processors", 0), 8);
+  EXPECT_DOUBLE_EQ(cfg->getDouble("machine.ratio", 0.0), 2.5);
+  EXPECT_TRUE(cfg->getBool("machine.flag", false));
+  EXPECT_EQ(cfg->getInt("absent", 42), 42);
+  EXPECT_TRUE(cfg->has("machine.processors"));
+  EXPECT_FALSE(cfg->has("machine.absent"));
+}
+
+TEST(ConfigFileTest, SectionExtraction) {
+  const auto cfg = ConfigFile::parse("[a]\nx = 1\ny = 2\n[b]\nz = 3\n");
+  ASSERT_TRUE(cfg.has_value());
+  const auto a = cfg->section("a");
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.at("x"), "1");
+  EXPECT_EQ(cfg->section("b").at("z"), "3");
+  EXPECT_TRUE(cfg->section("missing").empty());
+}
+
+TEST(ConfigFileTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(ConfigFile::parse("[unterminated\nx = 1\n", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ConfigFile::parse("novalue\n", &error).has_value());
+  EXPECT_FALSE(ConfigFile::parse("= nokey\n", &error).has_value());
+}
+
+TEST(ConfigFileTest, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(ConfigFile::load("/nonexistent/file.ini", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ConfigFileTest, WhitespaceAndCrlfTolerated) {
+  const auto cfg = ConfigFile::parse("  key  =  value with spaces  \r\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->getString("key", ""), "value with spaces");
+}
+
+// --------------------------------------------------------------- scenario --
+
+std::optional<Scenario> scenarioFrom(const std::string& text, std::string* error = nullptr) {
+  const auto cfg = ConfigFile::parse(text, error);
+  if (!cfg) return std::nullopt;
+  return buildScenario(*cfg, error);
+}
+
+TEST(ScenarioTest, DefaultsMatchThePaperSetup) {
+  const auto s = scenarioFrom("");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->config.num_procs, 8u);
+  EXPECT_EQ(s->config.policy.paradigm, Paradigm::kLocking);
+  EXPECT_EQ(s->config.policy.locking, LockingPolicy::kMru);
+  EXPECT_EQ(s->streams.count(), 16u);
+  EXPECT_NEAR(s->streams.totalRatePerUs(), 0.012, 1e-9);
+  EXPECT_NEAR(s->model.tCold(), 284.3, 0.05);
+}
+
+TEST(ScenarioTest, FullConfigurationApplies) {
+  const auto s = scenarioFrom(R"(
+[machine]
+processors = 4
+bus_occupancy = 0.35
+[model]
+profile = tcp-receive
+[workload]
+type = batch
+streams = 8
+rate_pkts_per_s = 9000
+batch = 12
+[policy]
+paradigm = ips
+ips = mru
+stacks = 6
+[run]
+seed = 99
+v_us = 70
+confident = true
+)");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->config.num_procs, 4u);
+  EXPECT_DOUBLE_EQ(s->config.bus_occupancy_fraction, 0.35);
+  EXPECT_EQ(s->config.policy.paradigm, Paradigm::kIps);
+  EXPECT_EQ(s->config.policy.ips, IpsPolicy::kMru);
+  EXPECT_EQ(s->config.policy.ips_stacks, 6u);
+  EXPECT_EQ(s->config.seed, 99u);
+  EXPECT_DOUBLE_EQ(s->config.fixed_overhead_us, 70.0);
+  EXPECT_TRUE(s->run_until_confident);
+  EXPECT_NEAR(s->model.tWarm(), 156.1, 0.01);
+  EXPECT_EQ(s->streams.count(), 8u);
+}
+
+TEST(ScenarioTest, HybridStreamListParsed) {
+  const auto s = scenarioFrom(
+      "[policy]\nparadigm = hybrid\nhybrid_locking_streams = 0,3,7\n");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->config.policy.hybrid_locking_streams,
+            (std::vector<std::uint32_t>{0, 3, 7}));
+}
+
+TEST(ScenarioTest, RejectsUnknownEnumValues) {
+  std::string error;
+  EXPECT_FALSE(scenarioFrom("[policy]\nparadigm = quantum\n", &error).has_value());
+  EXPECT_NE(error.find("paradigm"), std::string::npos);
+  EXPECT_FALSE(scenarioFrom("[workload]\ntype = fractal\n", &error).has_value());
+  EXPECT_FALSE(scenarioFrom("[model]\nprofile = carrier-pigeon\n", &error).has_value());
+}
+
+TEST(ScenarioTest, RejectsAdaptiveWithoutHybrid) {
+  std::string error;
+  EXPECT_FALSE(
+      scenarioFrom("[policy]\nparadigm = locking\nadaptive = true\n", &error).has_value());
+  EXPECT_NE(error.find("adaptive"), std::string::npos);
+}
+
+TEST(ScenarioTest, RejectsMissingTraceFile) {
+  std::string error;
+  EXPECT_FALSE(scenarioFrom("[workload]\ntype = trace\n", &error).has_value());
+  EXPECT_FALSE(
+      scenarioFrom("[workload]\ntype = trace\ntrace_file = /nonexistent\n", &error).has_value());
+}
+
+TEST(ScenarioTest, BuiltScenarioRunsEndToEnd) {
+  auto s = scenarioFrom(R"(
+[workload]
+streams = 8
+rate_pkts_per_s = 10000
+[run]
+warmup_us = 50000
+measure_us = 300000
+)");
+  ASSERT_TRUE(s.has_value());
+  const RunMetrics m = runOnce(s->config, s->model, s->streams);
+  EXPECT_GT(m.completed, 1000u);
+  EXPECT_FALSE(m.saturated);
+}
+
+}  // namespace
+}  // namespace affinity

@@ -1,0 +1,99 @@
+// Tests for src/sched: policy descriptions and the AffinityState last-touch
+// bookkeeping that drives every service-time computation.
+#include <gtest/gtest.h>
+
+#include "cache/exec_time.hpp"
+#include "sched/affinity_state.hpp"
+#include "sched/policy.hpp"
+
+namespace affinity {
+namespace {
+
+TEST(Policy, Names) {
+  EXPECT_STREQ(paradigmName(Paradigm::kLocking), "Locking");
+  EXPECT_STREQ(paradigmName(Paradigm::kIps), "IPS");
+  EXPECT_STREQ(lockingPolicyName(LockingPolicy::kWiredStreams), "WiredStreams");
+  EXPECT_STREQ(ipsPolicyName(IpsPolicy::kMru), "MRU");
+}
+
+TEST(Policy, Describe) {
+  PolicyConfig c;
+  c.paradigm = Paradigm::kLocking;
+  c.locking = LockingPolicy::kMru;
+  EXPECT_EQ(c.describe(), "Locking/MRU");
+  c.paradigm = Paradigm::kIps;
+  c.ips = IpsPolicy::kWired;
+  EXPECT_EQ(c.describe(), "IPS/Wired");
+  c.paradigm = Paradigm::kHybrid;
+  EXPECT_EQ(c.describe(), "Hybrid(MRU+Wired)");
+}
+
+class AffinityStateFixture : public ::testing::Test {
+ protected:
+  AffinityState st_{4, 8, 4};
+};
+
+TEST_F(AffinityStateFixture, EverythingColdInitially) {
+  for (unsigned p = 0; p < 4; ++p) {
+    EXPECT_EQ(st_.codeAge(p, 100.0), kColdAge);
+    EXPECT_EQ(st_.sharedAge(p, 100.0), kColdAge);
+    EXPECT_EQ(st_.streamAge(p, 0, 100.0), kColdAge);
+    EXPECT_EQ(st_.stackAge(p, 0, 100.0), kColdAge);
+  }
+  EXPECT_EQ(st_.lastProcOfStream(3), -1);
+  EXPECT_EQ(st_.lastProcOfStack(2), -1);
+}
+
+TEST_F(AffinityStateFixture, CompletionWarmsOnlyThatProcessor) {
+  st_.onComplete(/*proc=*/1, /*stream=*/5, /*stack=*/2, /*now=*/1000.0);
+  EXPECT_DOUBLE_EQ(st_.codeAge(1, 1250.0), 250.0);
+  EXPECT_EQ(st_.codeAge(0, 1250.0), kColdAge);
+  EXPECT_DOUBLE_EQ(st_.streamAge(1, 5, 1400.0), 400.0);
+  EXPECT_EQ(st_.streamAge(0, 5, 1400.0), kColdAge);
+  EXPECT_EQ(st_.streamAge(1, 6, 1400.0), kColdAge) << "other streams unaffected";
+  EXPECT_DOUBLE_EQ(st_.stackAge(1, 2, 1100.0), 100.0);
+  EXPECT_EQ(st_.lastProcOfStream(5), 1);
+  EXPECT_EQ(st_.lastProcOfStack(2), 1);
+}
+
+TEST_F(AffinityStateFixture, MigrationInvalidatesOldProcessor) {
+  st_.onComplete(0, 5, 2, 1000.0);
+  st_.onComplete(3, 5, 2, 2000.0);  // stream 5 migrates 0 -> 3
+  EXPECT_EQ(st_.streamAge(0, 5, 2500.0), kColdAge) << "old copy invalidated by coherence";
+  EXPECT_DOUBLE_EQ(st_.streamAge(3, 5, 2500.0), 500.0);
+  EXPECT_EQ(st_.lastProcOfStream(5), 3);
+  // Code on proc 0 is still warm (code is shared, not invalidated).
+  EXPECT_DOUBLE_EQ(st_.codeAge(0, 2500.0), 1500.0);
+}
+
+TEST_F(AffinityStateFixture, SharedDataFollowsLastPacket) {
+  st_.onComplete(0, 1, AffinityState::kNoStack, 1000.0);
+  EXPECT_DOUBLE_EQ(st_.sharedAge(0, 1200.0), 200.0);
+  st_.onComplete(2, 3, AffinityState::kNoStack, 1500.0);
+  EXPECT_EQ(st_.sharedAge(0, 1600.0), kColdAge) << "packet on proc 2 stole the shared data";
+  EXPECT_DOUBLE_EQ(st_.sharedAge(2, 1600.0), 100.0);
+}
+
+TEST_F(AffinityStateFixture, NoStackLeavesStacksUntouched) {
+  st_.onComplete(1, 2, AffinityState::kNoStack, 500.0);
+  for (std::uint32_t k = 0; k < 4; ++k) EXPECT_EQ(st_.lastProcOfStack(k), -1);
+}
+
+TEST_F(AffinityStateFixture, AgeNeverNegative) {
+  st_.onComplete(1, 0, 0, 1000.0);
+  // Query at the same instant (completion and immediate restart).
+  EXPECT_DOUBLE_EQ(st_.codeAge(1, 1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(st_.streamAge(1, 0, 1000.0), 0.0);
+}
+
+TEST_F(AffinityStateFixture, LastProtocolTimeTracksPerProcessor) {
+  EXPECT_LT(st_.lastProtocolTime(0), 0.0);  // -inf initially
+  st_.onComplete(0, 0, 0, 700.0);
+  st_.onComplete(2, 1, 1, 900.0);
+  EXPECT_DOUBLE_EQ(st_.lastProtocolTime(0), 700.0);
+  EXPECT_DOUBLE_EQ(st_.lastProtocolTime(2), 900.0);
+  EXPECT_GT(st_.lastProtocolTime(2), st_.lastProtocolTime(0));
+}
+
+}  // namespace
+}  // namespace affinity

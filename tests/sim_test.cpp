@@ -1,0 +1,139 @@
+// Tests for src/sim: event ordering, FIFO tie-breaks, cancellation,
+// horizons, and re-entrant scheduling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace affinity {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30.0, [&] { order.push_back(3); });
+  sim.schedule(10.0, [&] { order.push_back(1); });
+  sim.schedule(20.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.runAll(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 30.0);
+}
+
+TEST(Simulator, FifoTieBreakAtEqualTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.schedule(5.0, [&order, i] { order.push_back(i); });
+  sim.runAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ClockAdvancesDuringExecution) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule(42.0, [&] { seen = sim.now(); });
+  sim.runAll();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+TEST(Simulator, ReentrantSchedulingFromCallback) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.scheduleAfter(1.0, chain);
+  };
+  sim.schedule(0.0, chain);
+  sim.runAll();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle h = sim.schedule(10.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));  // second cancel fails
+  sim.runAll();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.executedCount(), 0u);
+}
+
+TEST(Simulator, CancelAfterRunFails) {
+  Simulator sim;
+  EventHandle h = sim.schedule(1.0, [] {});
+  sim.runAll();
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Simulator, CancelInertHandleFails) {
+  Simulator sim;
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Simulator, RunUntilRespectsHorizon) {
+  Simulator sim;
+  std::vector<double> times;
+  for (double t : {1.0, 2.0, 3.0, 4.0, 5.0})
+    sim.schedule(t, [&times, &sim] { times.push_back(sim.now()); });
+  EXPECT_EQ(sim.runUntil(3.0), 3u);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.pendingCount(), 2u);
+  EXPECT_EQ(sim.runUntil(10.0), 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);  // clock reaches the horizon
+}
+
+TEST(Simulator, RunUntilOnEmptyQueueAdvancesClock) {
+  Simulator sim;
+  sim.runUntil(100.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, EventAtExactHorizonRuns) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule(5.0, [&] { ran = true; });
+  sim.runUntil(5.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, PendingCountTracksCancellations) {
+  Simulator sim;
+  auto h1 = sim.schedule(1.0, [] {});
+  sim.schedule(2.0, [] {});
+  EXPECT_EQ(sim.pendingCount(), 2u);
+  sim.cancel(h1);
+  EXPECT_EQ(sim.pendingCount(), 1u);
+  sim.runAll();
+  EXPECT_EQ(sim.pendingCount(), 0u);
+  EXPECT_EQ(sim.executedCount(), 1u);
+}
+
+TEST(Simulator, SchedulingInPastAborts) {
+  Simulator sim;
+  sim.schedule(10.0, [] {});
+  sim.runAll();
+  EXPECT_DEATH(sim.schedule(5.0, [] {}), "CHECK failed");
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  Rng rng(21);
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    sim.schedule(rng.uniform(0.0, 1000.0), [&] {
+      if (sim.now() < last) monotone = false;
+      last = sim.now();
+    });
+  }
+  sim.runAll();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.executedCount(), 10000u);
+}
+
+}  // namespace
+}  // namespace affinity

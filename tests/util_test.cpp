@@ -1,0 +1,172 @@
+// Tests for src/util: RNG determinism and distribution sanity, CLI parsing,
+// table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace affinity {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent(7);
+  Rng s1 = parent.split(1);
+  Rng s2 = parent.split(2);
+  Rng s1b = Rng(7).split(1);
+  EXPECT_EQ(s1(), s1b());
+  // Parent state is unaffected by splitting.
+  Rng parent2(7);
+  EXPECT_EQ(parent(), parent2());
+  // Distinct streams differ.
+  EXPECT_NE(s1(), s2());
+}
+
+TEST(Rng, UniformBoundsAndMean) {
+  Rng rng(99);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_u64(7)];
+  for (int c : counts) EXPECT_NEAR(c, n / 7, 500);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  const double rate = 0.25;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.05 / rate);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(13);
+  const double p = 0.2;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(p));
+  EXPECT_NEAR(sum / n, 1.0 / p, 0.1);
+  EXPECT_EQ(rng.geometric(1.0), 1u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, PoissonSmallAndLargeMeans) {
+  Rng rng(19);
+  for (double mean : {0.5, 4.0, 80.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, std::max(0.05 * mean, 0.03)) << "mean=" << mean;
+  }
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Cli, ParsesTypedFlags) {
+  Cli cli("prog", "test");
+  const int& iv = cli.flag<int>("count", 3, "a count");
+  const double& dv = cli.flag<double>("rate", 1.5, "a rate");
+  const bool& bv = cli.flag<bool>("csv", false, "csv output");
+  const std::string& sv = cli.flag<std::string>("name", "x", "a name");
+  const char* argv[] = {"prog", "--count", "42", "--rate=2.5", "--csv", "--name", "hello"};
+  cli.parse(7, const_cast<char**>(argv));
+  EXPECT_EQ(iv, 42);
+  EXPECT_DOUBLE_EQ(dv, 2.5);
+  EXPECT_TRUE(bv);
+  EXPECT_EQ(sv, "hello");
+  EXPECT_TRUE(cli.provided("count"));
+  EXPECT_FALSE(cli.provided("missing"));
+}
+
+TEST(Cli, DefaultsSurviveWhenNotProvided) {
+  Cli cli("prog", "test");
+  const int& iv = cli.flag<int>("count", 3, "a count");
+  const char* argv[] = {"prog"};
+  cli.parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(iv, 3);
+}
+
+TEST(Cli, BoolAcceptsExplicitValue) {
+  Cli cli("prog", "test");
+  const bool& bv = cli.flag<bool>("csv", true, "csv");
+  const char* argv[] = {"prog", "--csv=false"};
+  cli.parse(2, const_cast<char**>(argv));
+  EXPECT_FALSE(bv);
+}
+
+TEST(Table, AlignedOutputContainsColumnsAndRows) {
+  TableWriter t({"rate", "delay"}, /*csv=*/false, 2);
+  t.addRow({1.0, 234.5});
+  t.addRow({2.0, 345.25});
+  char* buf = nullptr;
+  std::size_t len = 0;
+  FILE* mem = open_memstream(&buf, &len);
+  t.print(mem);
+  std::fclose(mem);
+  std::string s(buf, len);
+  free(buf);
+  EXPECT_NE(s.find("rate"), std::string::npos);
+  EXPECT_NE(s.find("234.50"), std::string::npos);
+  EXPECT_NE(s.find("345.25"), std::string::npos);
+  EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  TableWriter t({"a", "b"}, /*csv=*/true, 1);
+  t.beginRow();
+  t.add(1.0);
+  t.addText("hello");
+  char* buf = nullptr;
+  std::size_t len = 0;
+  FILE* mem = open_memstream(&buf, &len);
+  t.print(mem);
+  std::fclose(mem);
+  std::string s(buf, len);
+  free(buf);
+  EXPECT_EQ(s, "a,b\n1.0,hello\n");
+}
+
+}  // namespace
+}  // namespace affinity

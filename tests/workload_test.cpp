@@ -1,0 +1,148 @@
+// Tests for src/workload: arrival-process rates and shapes, stream sets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/arrivals.hpp"
+#include "workload/stream_set.hpp"
+
+namespace affinity {
+namespace {
+
+// Empirical packet rate of a process over a long horizon.
+double empiricalRate(ArrivalProcess& p, Rng& rng, std::uint64_t events) {
+  double t = 0.0;
+  std::uint64_t packets = 0;
+  for (std::uint64_t i = 0; i < events; ++i) {
+    const auto a = p.next(rng);
+    t += a.gap_us;
+    packets += a.batch;
+  }
+  return static_cast<double>(packets) / t;
+}
+
+TEST(Poisson, RateMatches) {
+  PoissonArrivals p(0.01);  // 10k pkts/s
+  Rng rng(1);
+  EXPECT_NEAR(empiricalRate(p, rng, 200000), 0.01, 0.0005);
+}
+
+TEST(Poisson, BatchAlwaysOne) {
+  PoissonArrivals p(0.02);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(p.next(rng).batch, 1u);
+}
+
+TEST(Poisson, InterarrivalsAreExponential) {
+  PoissonArrivals p(0.01);
+  Rng rng(3);
+  // Coefficient of variation of exponential is 1.
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = p.next(rng).gap_us;
+    sum += g;
+    sumsq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.03);
+}
+
+TEST(BatchPoisson, PacketRatePreservedFixed) {
+  BatchPoissonArrivals p(0.01, 8.0, /*geometric=*/false);
+  Rng rng(4);
+  EXPECT_NEAR(empiricalRate(p, rng, 100000), 0.01, 0.0008);
+}
+
+TEST(BatchPoisson, PacketRatePreservedGeometric) {
+  BatchPoissonArrivals p(0.01, 8.0, /*geometric=*/true);
+  Rng rng(5);
+  EXPECT_NEAR(empiricalRate(p, rng, 100000), 0.01, 0.0008);
+}
+
+TEST(BatchPoisson, FixedBatchSizes) {
+  BatchPoissonArrivals p(0.01, 6.0, /*geometric=*/false);
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(p.next(rng).batch, 6u);
+}
+
+TEST(BatchPoisson, GeometricBatchMean) {
+  BatchPoissonArrivals p(0.01, 5.0, /*geometric=*/true);
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += p.next(rng).batch;
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(BatchPoisson, FractionalFixedMeanUnbiased) {
+  BatchPoissonArrivals p(0.01, 2.5, /*geometric=*/false);
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto b = p.next(rng).batch;
+    EXPECT_TRUE(b == 2 || b == 3);
+    sum += b;
+  }
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(PacketTrain, PacketRatePreserved) {
+  PacketTrainArrivals p(0.005, 10.0, 20.0);
+  Rng rng(9);
+  EXPECT_NEAR(empiricalRate(p, rng, 200000), 0.005, 0.0004);
+}
+
+TEST(PacketTrain, CarsFollowLocomotiveClosely) {
+  PacketTrainArrivals p(0.001, 8.0, 15.0);
+  Rng rng(10);
+  int car_gaps = 0, total = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const auto a = p.next(rng);
+    ++total;
+    if (a.gap_us == 15.0) ++car_gaps;
+  }
+  // Mean train length 8 -> 7/8 of arrivals are cars at the fixed gap.
+  EXPECT_NEAR(static_cast<double>(car_gaps) / total, 7.0 / 8.0, 0.02);
+}
+
+TEST(PacketTrain, InfeasibleGapsRejected) {
+  // Rate so high the intra-train time alone exceeds the cycle budget.
+  EXPECT_DEATH(PacketTrainArrivals(1.0, 100.0, 50.0), "CHECK failed");
+}
+
+TEST(StreamSet, PoissonSplitsRateEqually) {
+  const StreamSet set = makePoissonStreams(16, 0.032);
+  EXPECT_EQ(set.count(), 16u);
+  EXPECT_NEAR(set.totalRatePerUs(), 0.032, 1e-12);
+  for (const auto& s : set.streams) EXPECT_NEAR(s->meanRatePerUs(), 0.002, 1e-12);
+}
+
+TEST(StreamSet, CloneIsDeepAndEquivalent) {
+  const StreamSet set = makeBatchStreams(4, 0.01, 4.0);
+  StreamSet copy = set.clone();
+  EXPECT_EQ(copy.count(), 4u);
+  EXPECT_NEAR(copy.totalRatePerUs(), set.totalRatePerUs(), 1e-12);
+  // Drawing from the clone must not disturb the original objects.
+  Rng rng(11);
+  copy.streams[0]->next(rng);
+  EXPECT_NE(copy.streams[0].get(), set.streams[0].get());
+}
+
+TEST(StreamSet, HotColdShares) {
+  const StreamSet set = makeHotColdStreams(2, 14, 0.016, 0.5);
+  EXPECT_EQ(set.count(), 16u);
+  EXPECT_NEAR(set.totalRatePerUs(), 0.016, 1e-12);
+  EXPECT_NEAR(set.streams[0]->meanRatePerUs(), 0.004, 1e-12);   // hot
+  EXPECT_NEAR(set.streams[15]->meanRatePerUs(), 0.016 * 0.5 / 14, 1e-12);
+}
+
+TEST(StreamSet, TrainStreamsRate) {
+  const StreamSet set = makeTrainStreams(4, 0.008, 6.0, 10.0);
+  EXPECT_NEAR(set.totalRatePerUs(), 0.008, 1e-12);
+}
+
+}  // namespace
+}  // namespace affinity
