@@ -11,6 +11,7 @@
 
 #include "core/capacity.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep_runner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -25,6 +26,7 @@ struct CommonFlags {
   const std::uint64_t& seed;
   const bool& csv;
   const bool& fast;
+  const int& jobs;
 
   static CommonFlags declare(Cli& cli) {
     return CommonFlags{
@@ -35,6 +37,7 @@ struct CommonFlags {
         cli.flag<std::uint64_t>("seed", 1, "simulation seed"),
         cli.flag<bool>("csv", false, "emit CSV instead of an aligned table"),
         cli.flag<bool>("fast", false, "short windows (CI smoke run)"),
+        cli.flag<int>("jobs", 1, "sweep worker threads (0 = all hardware threads)"),
     };
   }
 
@@ -79,5 +82,22 @@ inline std::vector<double> rateSweepWithLowEnd(bool fast) {
 
 /// Converts packets/µs to the paper's natural packets/s axis label value.
 inline double perSecond(double per_us) { return per_us * 1e6; }
+
+/// Runs `fn(i)` for every sweep index across `--jobs` worker threads and
+/// returns the results in index order (output is byte-identical for any job
+/// count as long as `fn` is a pure function of its index — derive per-point
+/// seeds from the index, don't share mutable state). Drivers compute all
+/// rows through this, then print sequentially.
+template <typename Fn>
+auto sweep(const CommonFlags& flags, std::size_t n, Fn&& fn) {
+  return SweepRunner(static_cast<unsigned>(flags.jobs)).map(n, std::forward<Fn>(fn));
+}
+
+/// The derived seed for sweep point `i` (splitmix of --seed and i): every
+/// point gets an independent random stream, and results don't depend on
+/// which worker runs the point.
+inline std::uint64_t pointSeed(const CommonFlags& flags, std::size_t i) {
+  return derivePointSeed(flags.seed, static_cast<std::uint64_t>(i));
+}
 
 }  // namespace affinity::bench

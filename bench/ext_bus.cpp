@@ -4,6 +4,7 @@
 // (b) *amplifies* the affinity-scheduling benefit, since warm packets put
 // almost nothing on the bus. The paper's platform model folds the bus into
 // measured miss penalties; this extension makes contention explicit.
+#include <array>
 #include <cstdio>
 
 #include "bench/common.hpp"
@@ -23,24 +24,34 @@ int main(int argc, char** argv) {
   TableWriter t({"rate_pkts_per_s", "FCFS_nobus", "FCFS_bus", "StreamMRU_nobus",
                  "StreamMRU_bus"},
                 flags.csv, 1);
-  for (double rate : rateSweep(flags.fast)) {
+  const auto rates = rateSweep(flags.fast);
+  const auto rows = sweep(flags, rates.size(), [&](std::size_t i) {
+    const double rate = rates[i];
     const auto streams = makePoissonStreams(static_cast<std::size_t>(flags.streams), rate);
-    t.beginRow();
-    t.add(perSecond(rate));
+    std::array<RunMetrics, 4> row;
+    std::size_t k = 0;
     for (LockingPolicy p : {LockingPolicy::kFcfs, LockingPolicy::kStreamMru}) {
       for (double occ : {0.0, occupancy}) {
         SimConfig c = flags.makeConfigFor(rate);
+        c.seed = pointSeed(flags, i);
         c.policy.paradigm = Paradigm::kLocking;
         c.policy.locking = p;
         c.bus_occupancy_fraction = occ;
-        const RunMetrics m = runOnce(c, model, streams);
-        if (m.saturated) {
-          char buf[32];
-          std::snprintf(buf, sizeof buf, "%.0f*", m.mean_delay_us);
-          t.addText(buf);
-        } else {
-          t.add(m.mean_delay_us);
-        }
+        row[k++] = runOnce(c, model, streams);
+      }
+    }
+    return row;
+  });
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    t.beginRow();
+    t.add(perSecond(rates[i]));
+    for (const RunMetrics& m : rows[i]) {
+      if (m.saturated) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f*", m.mean_delay_us);
+        t.addText(buf);
+      } else {
+        t.add(m.mean_delay_us);
       }
     }
   }

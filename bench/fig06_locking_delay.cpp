@@ -2,6 +2,7 @@
 // aggregate arrival rate for FCFS (no affinity), MRU, and Wired-Streams.
 // Expected shape (paper §5.1): MRU below FCFS everywhere; Wired-Streams
 // worse than MRU at low/moderate rate but best at high rate.
+#include <array>
 #include <cstdio>
 
 #include "bench/common.hpp"
@@ -18,16 +19,26 @@ int main(int argc, char** argv) {
   std::printf("# Figure 6 — Locking, %d procs, %d streams; delay in us, saturated marked *\n",
               flags.procs, flags.streams);
   TableWriter t({"rate_pkts_per_s", "FCFS", "MRU", "WiredStreams"}, flags.csv, 1);
-  for (double rate : rateSweep(flags.fast)) {
+  const auto rates = rateSweep(flags.fast);
+  const auto rows = sweep(flags, rates.size(), [&](std::size_t i) {
+    const double rate = rates[i];
     const auto streams = makePoissonStreams(static_cast<std::size_t>(flags.streams), rate);
-    t.beginRow();
-    t.add(perSecond(rate));
+    std::array<RunMetrics, 3> row;
+    std::size_t k = 0;
     for (LockingPolicy p :
          {LockingPolicy::kFcfs, LockingPolicy::kMru, LockingPolicy::kWiredStreams}) {
       SimConfig c = flags.makeConfigFor(rate);
+      c.seed = pointSeed(flags, i);
       c.policy.paradigm = Paradigm::kLocking;
       c.policy.locking = p;
-      const RunMetrics m = runOnce(c, model, streams);
+      row[k++] = runOnce(c, model, streams);
+    }
+    return row;
+  });
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    t.beginRow();
+    t.add(perSecond(rates[i]));
+    for (const RunMetrics& m : rows[i]) {
       if (m.saturated) {
         char buf[32];
         std::snprintf(buf, sizeof buf, "%.1f*", m.mean_delay_us);

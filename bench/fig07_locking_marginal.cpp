@@ -3,6 +3,7 @@
 // processor affinity) between plain MRU and Wired-Streams, at two stream
 // populations. Shows how much of the benefit comes from thread/processor
 // affinity (code + shared data) vs stream wiring (per-stream state).
+#include <array>
 #include <cstdio>
 
 #include "bench/common.hpp"
@@ -20,18 +21,26 @@ int main(int argc, char** argv) {
   for (int nstreams : {flags.streams, streams_hi}) {
     std::printf("# Figure 7 — Locking, %d procs, %d streams\n", flags.procs, nstreams);
     TableWriter t({"rate_pkts_per_s", "FCFS", "MRU", "StreamMRU", "WiredStreams"}, flags.csv, 1);
-    for (double rate : rateSweep(flags.fast)) {
+    const auto rates = rateSweep(flags.fast);
+    const auto rows = sweep(flags, rates.size(), [&](std::size_t i) {
+      const double rate = rates[i];
       const auto streams = makePoissonStreams(static_cast<std::size_t>(nstreams), rate);
-      t.beginRow();
-      t.add(perSecond(rate));
+      std::array<double, 4> row;
+      std::size_t k = 0;
       for (LockingPolicy p : {LockingPolicy::kFcfs, LockingPolicy::kMru,
                               LockingPolicy::kStreamMru, LockingPolicy::kWiredStreams}) {
         SimConfig c = flags.makeConfigFor(rate);
+        c.seed = pointSeed(flags, i);
         c.policy.paradigm = Paradigm::kLocking;
         c.policy.locking = p;
-        const RunMetrics m = runOnce(c, model, streams);
-        t.add(m.mean_delay_us);
+        row[k++] = runOnce(c, model, streams).mean_delay_us;
       }
+      return row;
+    });
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      t.beginRow();
+      t.add(perSecond(rates[i]));
+      for (double delay : rows[i]) t.add(delay);
     }
     t.print();
     std::printf("\n");

@@ -3,6 +3,7 @@
 // capacity under a delay bound. Expected shape (abstract): IPS delivers much
 // lower message latency and significantly higher message throughput
 // capacity.
+#include <array>
 #include <cstdio>
 
 #include "bench/common.hpp"
@@ -27,22 +28,35 @@ int main(int argc, char** argv) {
   std::printf("# Figure 9 — Locking/MRU vs IPS/Wired, %d procs, %d streams\n", flags.procs,
               flags.streams);
   TableWriter t({"rate_pkts_per_s", "Locking_MRU", "IPS_Wired"}, flags.csv, 1);
-  for (double rate : rateSweep(flags.fast)) {
+  const auto rates = rateSweep(flags.fast);
+  const auto rows = sweep(flags, rates.size(), [&](std::size_t i) {
+    const double rate = rates[i];
     const auto streams = makePoissonStreams(static_cast<std::size_t>(flags.streams), rate);
+    SimConfig lc = locking, ic = ips;
+    lc.seed = ic.seed = pointSeed(flags, i);
+    return std::array<double, 2>{runOnce(lc, model, streams).mean_delay_us,
+                                 runOnce(ic, model, streams).mean_delay_us};
+  });
+  for (std::size_t i = 0; i < rates.size(); ++i) {
     t.beginRow();
-    t.add(perSecond(rate));
-    t.add(runOnce(locking, model, streams).mean_delay_us);
-    t.add(runOnce(ips, model, streams).mean_delay_us);
+    t.add(perSecond(rates[i]));
+    t.add(rows[i][0]);
+    t.add(rows[i][1]);
   }
   t.print();
 
-  // Capacity under the delay bound.
+  // Capacity under the delay bound: the two bisections are independent, so
+  // they too go through the sweep pool (each search stays sequential).
   const std::size_t ns = static_cast<std::size_t>(flags.streams);
   const auto make = [ns](double rate) { return makePoissonStreams(ns, rate); };
   SimConfig fast_locking = locking, fast_ips = ips;
   fast_locking.measure_us = fast_ips.measure_us = flags.fast ? 200'000.0 : 800'000.0;
-  const auto cap_l = findMaxRate(fast_locking, model, make, 0.002, 0.08, bound, 10);
-  const auto cap_i = findMaxRate(fast_ips, model, make, 0.002, 0.08, bound, 10);
+  const std::array<const SimConfig*, 2> cap_cfgs{&fast_locking, &fast_ips};
+  const auto caps = sweep(flags, cap_cfgs.size(), [&](std::size_t i) {
+    return findMaxRate(*cap_cfgs[i], model, make, 0.002, 0.08, bound, 10);
+  });
+  const CapacityResult& cap_l = caps[0];
+  const CapacityResult& cap_i = caps[1];
   std::printf("\n# maximum throughput capacity (mean delay <= %.0f us)\n", bound);
   TableWriter cap({"paradigm", "capacity_pkts_per_s", "mean_delay_at_cap_us"}, flags.csv, 1);
   cap.beginRow();

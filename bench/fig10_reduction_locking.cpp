@@ -5,6 +5,7 @@
 // (as given by the V=0 curves) is around 40-50%"; checksumming the largest
 // FDDI packet costs V = 139 µs.
 #include <algorithm>
+#include <array>
 #include <cstdio>
 
 #include "bench/common.hpp"
@@ -25,21 +26,35 @@ int main(int argc, char** argv) {
       "# 'sat' = both saturated\n",
       flags.procs, flags.streams);
   TableWriter t({"rate_pkts_per_s", "V=0", "V=35us", "V=70us", "V=139us"}, flags.csv, 1);
-  for (double rate : rateSweep(flags.fast)) {
-    t.beginRow();
-    t.add(perSecond(rate));
-    for (double v : vs) {
-      // Capacity shrinks as V grows; skip saturated points.
+  const auto rates = rateSweep(flags.fast);
+  struct Cell {
+    RunMetrics base, aff;
+  };
+  const auto rows = sweep(flags, rates.size(), [&](std::size_t i) {
+    const double rate = rates[i];
+    std::array<Cell, 4> row;
+    for (std::size_t k = 0; k < 4; ++k) {
+      // Capacity shrinks as V grows; saturated points are marked on print.
       const auto streams = makePoissonStreams(static_cast<std::size_t>(flags.streams), rate);
       SimConfig c = flags.makeConfigFor(rate);
-      c.fixed_overhead_us = v;
+      c.seed = pointSeed(flags, i);
+      c.fixed_overhead_us = vs[k];
       c.policy.paradigm = Paradigm::kLocking;
       c.policy.locking = LockingPolicy::kFcfs;
-      const RunMetrics base = runOnce(c, model, streams);
+      row[k].base = runOnce(c, model, streams);
       // The affinity system bundles MRU processor management with
       // per-processor pools and stream affinity (paper §5.1, footnote 7).
       c.policy.locking = LockingPolicy::kStreamMru;
-      const RunMetrics aff = runOnce(c, model, streams);
+      row[k].aff = runOnce(c, model, streams);
+    }
+    return row;
+  });
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    t.beginRow();
+    t.add(perSecond(rates[i]));
+    for (const Cell& cell : rows[i]) {
+      const RunMetrics& base = cell.base;
+      const RunMetrics& aff = cell.aff;
       if (aff.saturated) {
         t.addText("sat");
       } else if (base.saturated) {

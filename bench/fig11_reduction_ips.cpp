@@ -2,6 +2,7 @@
 // scheduling under IPS (Wired vs Random stack placement), vs arrival rate,
 // for several fixed per-packet overheads V — the IPS counterpart of Fig 10.
 #include <algorithm>
+#include <array>
 #include <cstdio>
 
 #include "bench/common.hpp"
@@ -19,18 +20,32 @@ int main(int argc, char** argv) {
   std::printf("# Figure 11 — IPS, Wired vs Random, %d procs, %d streams; entries are %% reduction\n",
               flags.procs, flags.streams);
   TableWriter t({"rate_pkts_per_s", "V=0", "V=35us", "V=70us", "V=139us"}, flags.csv, 1);
-  for (double rate : rateSweep(flags.fast)) {
-    t.beginRow();
-    t.add(perSecond(rate));
-    for (double v : vs) {
+  const auto rates = rateSweep(flags.fast);
+  struct Cell {
+    RunMetrics base, wired;
+  };
+  const auto rows = sweep(flags, rates.size(), [&](std::size_t i) {
+    const double rate = rates[i];
+    std::array<Cell, 4> row;
+    for (std::size_t k = 0; k < 4; ++k) {
       const auto streams = makePoissonStreams(static_cast<std::size_t>(flags.streams), rate);
       SimConfig c = flags.makeConfigFor(rate);
-      c.fixed_overhead_us = v;
+      c.seed = pointSeed(flags, i);
+      c.fixed_overhead_us = vs[k];
       c.policy.paradigm = Paradigm::kIps;
       c.policy.ips = IpsPolicy::kRandom;
-      const RunMetrics base = runOnce(c, model, streams);
+      row[k].base = runOnce(c, model, streams);
       c.policy.ips = IpsPolicy::kWired;
-      const RunMetrics wired = runOnce(c, model, streams);
+      row[k].wired = runOnce(c, model, streams);
+    }
+    return row;
+  });
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    t.beginRow();
+    t.add(perSecond(rates[i]));
+    for (const Cell& cell : rows[i]) {
+      const RunMetrics& base = cell.base;
+      const RunMetrics& wired = cell.wired;
       if (wired.saturated) {
         t.addText("sat");
       } else if (base.saturated) {

@@ -28,13 +28,19 @@ int main(int argc, char** argv) {
   TableWriter t({"batch_size", "Locking_MRU", "IPS_Wired", "IPS_over_Locking"}, flags.csv, 2);
   const std::vector<double> batches = flags.fast ? std::vector<double>{1, 8, 24}
                                                  : std::vector<double>{1, 2, 4, 8, 16, 24, 32};
-  for (double b : batches) {
-    const auto streams =
-        makeBatchStreams(static_cast<std::size_t>(flags.streams), rate, b, /*geometric=*/false);
-    const RunMetrics ml = runOnce(locking, model, streams);
-    const RunMetrics mi = runOnce(ips, model, streams);
-    t.addRow({b, ml.mean_delay_us, mi.mean_delay_us, mi.mean_delay_us / ml.mean_delay_us});
-  }
+  struct Row {
+    double locking, ips;
+  };
+  const auto rows = sweep(flags, batches.size(), [&](std::size_t i) {
+    const auto streams = makeBatchStreams(static_cast<std::size_t>(flags.streams), rate,
+                                          batches[i], /*geometric=*/false);
+    SimConfig lc = locking, ic = ips;
+    lc.seed = ic.seed = pointSeed(flags, i);
+    return Row{runOnce(lc, model, streams).mean_delay_us,
+               runOnce(ic, model, streams).mean_delay_us};
+  });
+  for (std::size_t i = 0; i < batches.size(); ++i)
+    t.addRow({batches[i], rows[i].locking, rows[i].ips, rows[i].ips / rows[i].locking});
   t.print();
   return 0;
 }

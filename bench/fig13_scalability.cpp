@@ -24,19 +24,26 @@ int main(int argc, char** argv) {
                 flags.csv, 1);
   const std::vector<int> procs = flags.fast ? std::vector<int>{1, 4, 8}
                                             : std::vector<int>{1, 2, 4, 6, 8};
-  for (int n : procs) {
+  struct Row {
+    CapacityResult locking, ips;
+  };
+  const auto rows = sweep(flags, procs.size(), [&](std::size_t i) {
     SimConfig locking = flags.makeConfig();
-    locking.num_procs = static_cast<unsigned>(n);
+    locking.seed = pointSeed(flags, i);
+    locking.num_procs = static_cast<unsigned>(procs[i]);
     locking.policy.paradigm = Paradigm::kLocking;
     locking.policy.locking = LockingPolicy::kMru;
     locking.measure_us = flags.fast ? 200'000.0 : 600'000.0;
     SimConfig ips = locking;
     ips.policy.paradigm = Paradigm::kIps;
     ips.policy.ips = IpsPolicy::kWired;
-
-    const auto cap_l = findMaxRate(locking, model, make, 0.001, 0.09, bound, 10);
-    const auto cap_i = findMaxRate(ips, model, make, 0.001, 0.09, bound, 10);
-    t.addRow({static_cast<double>(n), perSecond(cap_l.max_rate_per_us),
+    return Row{findMaxRate(locking, model, make, 0.001, 0.09, bound, 10),
+               findMaxRate(ips, model, make, 0.001, 0.09, bound, 10)};
+  });
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const auto& cap_l = rows[i].locking;
+    const auto& cap_i = rows[i].ips;
+    t.addRow({static_cast<double>(procs[i]), perSecond(cap_l.max_rate_per_us),
               perSecond(cap_i.max_rate_per_us),
               cap_l.max_rate_per_us / std::max(cap_i.max_rate_per_us, 1e-9)});
   }

@@ -4,6 +4,7 @@
 // Expected: affinity scheduling enables the host to support a greater
 // number of concurrent streams.
 #include <cstdio>
+#include <iterator>
 
 #include "bench/common.hpp"
 
@@ -55,17 +56,22 @@ int main(int argc, char** argv) {
        IpsPolicy::kWired},
       {"IPS/Wired", Paradigm::kIps, LockingPolicy::kMru, IpsPolicy::kWired},
   };
-  for (const Case& cs : cases) {
+  const std::size_t ncases = std::size(cases);
+  const auto counts = sweep(flags, ncases, [&](std::size_t i) {
+    const Case& cs = cases[i];
     SimConfig c = flags.makeConfig();
+    c.seed = pointSeed(flags, i);
     c.measure_us = flags.fast ? 200'000.0 : 700'000.0;
     c.policy.paradigm = cs.paradigm;
     c.policy.locking = cs.locking;
     c.policy.ips = cs.ips;
-    const int n = maxStreams(c, model, per_stream, bound, 64);
+    return maxStreams(c, model, per_stream, bound, 64);
+  });
+  for (std::size_t i = 0; i < ncases; ++i) {
     t.beginRow();
-    t.addText(cs.name);
-    t.add(n);
-    t.add(perSecond(per_stream * n));
+    t.addText(cases[i].name);
+    t.add(counts[i]);
+    t.add(perSecond(per_stream * counts[i]));
   }
   t.print();
   return 0;

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Perf smoke: builds the Release tree and records event-kernel throughput
+# (current vs frozen seed kernel) in results/BENCH_sim_kernel.json so the
+# perf trajectory is tracked across PRs.
+# Usage: scripts/run_perf_smoke.sh [build-dir] [--full]
+#   build-dir  Release build tree (default: build-rel; configured if missing)
+#   --full     full event counts (3M/workload) instead of the CI smoke size
+set -euo pipefail
+
+build_dir="${1:-build-rel}"
+mode_flag="--fast"
+[[ "${2:-}" == "--full" || "${1:-}" == "--full" ]] && mode_flag=""
+[[ "${1:-}" == "--full" ]] && build_dir="build-rel"
+
+if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+if ! grep -q "CMAKE_BUILD_TYPE.*=Release" "$build_dir/CMakeCache.txt"; then
+  echo "error: '$build_dir' is not a Release tree; benchmark numbers would be meaningless" >&2
+  exit 1
+fi
+cmake --build "$build_dir" -j --target sim_kernel_bench
+
+mkdir -p results
+"$build_dir/bench/sim_kernel_bench" ${mode_flag} --json results/BENCH_sim_kernel.json
+echo "done: results/BENCH_sim_kernel.json"

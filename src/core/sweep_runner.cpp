@@ -1,0 +1,46 @@
+#include "core/sweep_runner.hpp"
+
+#include "util/rng.hpp"
+
+namespace affinity {
+
+std::uint64_t derivePointSeed(std::uint64_t base_seed, std::uint64_t point_index) noexcept {
+  // Two splitmix64 steps from a mix of base and index: the golden-ratio
+  // multiplier decorrelates adjacent indices, the second step guards
+  // against base seeds chosen adversarially close together (1, 2, 3…).
+  std::uint64_t state = base_seed ^ (point_index * 0x9e3779b97f4a7c15ULL);
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
+SweepRunner::SweepRunner(unsigned jobs) noexcept : jobs_(jobs) {
+  if (jobs_ == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs_ = hw != 0 ? hw : 1;
+  }
+}
+
+std::vector<RunMetrics> SweepRunner::run(const ExecTimeModel& model,
+                                         const std::vector<SweepPoint>& points) const {
+  return map(points.size(), [&](std::size_t i) {
+    const SweepPoint& p = points[i];
+    return p.confident ? runUntilConfident(p.config, model, p.streams, p.target_fraction,
+                                           p.max_doublings)
+                       : runOnce(p.config, model, p.streams);
+  });
+}
+
+std::vector<RunMetrics> SweepRunner::runReplications(const SimConfig& config,
+                                                     const ExecTimeModel& model,
+                                                     const StreamSet& streams,
+                                                     std::size_t replications,
+                                                     double target_fraction,
+                                                     int max_doublings) const {
+  return map(replications, [&](std::size_t i) {
+    SimConfig c = config;
+    c.seed = derivePointSeed(config.seed, i);
+    return runUntilConfident(c, model, streams, target_fraction, max_doublings);
+  });
+}
+
+}  // namespace affinity

@@ -1,0 +1,113 @@
+// sweep_runner.hpp — parallel execution of independent sweep points.
+//
+// Every figure reproduction sweeps an axis (arrival rate, processor count,
+// burstiness…) where each point is an independent simulation; the paper's
+// own subject is exploiting multiprocessors, so the experiment layer should
+// too. SweepRunner fans points across a std::thread pool and collects
+// results in input order, so a driver's output is byte-identical whatever
+// the worker count. Determinism across --jobs values comes for free as long
+// as each point's work is a pure function of its index: derive per-point
+// seeds with derivePointSeed (a splitmix64 mix of the base seed and the
+// point index) instead of sharing one RNG across points.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace affinity {
+
+/// Deterministic per-point seed: splitmix64 mix of base seed and point
+/// index. Distinct indices give statistically independent seeds; the result
+/// does not depend on worker count or execution order.
+[[nodiscard]] std::uint64_t derivePointSeed(std::uint64_t base_seed,
+                                            std::uint64_t point_index) noexcept;
+
+/// One simulation point of a sweep.
+struct SweepPoint {
+  SimConfig config;
+  StreamSet streams;
+  /// When true the point runs through runUntilConfident (window doubling
+  /// until the delay CI tightens) instead of a single runOnce.
+  bool confident = false;
+  double target_fraction = 0.05;
+  int max_doublings = 4;
+};
+
+/// Fixed-size worker pool mapping point indices to results in input order.
+class SweepRunner {
+ public:
+  /// `jobs` worker threads; 0 means one per hardware thread.
+  explicit SweepRunner(unsigned jobs = 1) noexcept;
+
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+
+  /// Invokes `fn(i)` for i in [0, n), possibly concurrently, and returns
+  /// the results ordered by index. `fn` must be safe to call from multiple
+  /// threads on distinct indices; exceptions propagate (first one wins).
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn) const {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    std::vector<std::optional<R>> slots(n);
+    if (jobs_ <= 1 || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) slots[i].emplace(fn(i));
+    } else {
+      std::atomic<std::size_t> next{0};
+      std::mutex err_mu;
+      std::exception_ptr first_error;
+      auto worker = [&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            slots[i].emplace(fn(i));
+          } catch (...) {
+            std::lock_guard lock(err_mu);
+            if (!first_error) first_error = std::current_exception();
+            next.store(n, std::memory_order_relaxed);  // drain remaining work
+            return;
+          }
+        }
+      };
+      const std::size_t nthreads = std::min<std::size_t>(jobs_, n);
+      std::vector<std::thread> pool;
+      pool.reserve(nthreads - 1);
+      for (std::size_t t = 1; t < nthreads; ++t) pool.emplace_back(worker);
+      worker();  // the calling thread is worker 0
+      for (auto& t : pool) t.join();
+      if (first_error) std::rethrow_exception(first_error);
+    }
+    std::vector<R> out;
+    out.reserve(n);
+    for (auto& s : slots) out.push_back(std::move(*s));
+    return out;
+  }
+
+  /// Runs each point (runOnce or runUntilConfident per point.confident)
+  /// and returns metrics in point order. Does not touch point seeds — set
+  /// them up front, e.g. with derivePointSeed.
+  std::vector<RunMetrics> run(const ExecTimeModel& model,
+                              const std::vector<SweepPoint>& points) const;
+
+  /// `replications` independent runs of one configuration with per-index
+  /// derived seeds (splitmix of config.seed and the replication index),
+  /// each through runUntilConfident. Results are in replication order and
+  /// independent of the worker count.
+  std::vector<RunMetrics> runReplications(const SimConfig& config, const ExecTimeModel& model,
+                                          const StreamSet& streams, std::size_t replications,
+                                          double target_fraction = 0.05,
+                                          int max_doublings = 4) const;
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace affinity

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "util/backoff.hpp"
+
 namespace affinity {
 
 const char* dispatchPolicyName(DispatchPolicy p) noexcept {
@@ -77,7 +79,11 @@ bool DispatchEngine::submit(WorkItem item) {
   item.enqueue_tp = std::chrono::steady_clock::now();
   unsigned w = route(item.stream);
   // MRU spill: if the preferred worker's ring is full, advance to the next
-  // (the paper's MRU falls back to the next-most-recent processor).
+  // (the paper's MRU falls back to the next-most-recent processor). Waiting
+  // for a full ring uses bounded exponential backoff rather than a bare
+  // yield spin: with more submitters than cores a yield loop can starve the
+  // very worker that must drain the ring.
+  Backoff backoff;
   for (unsigned attempts = 0;; ++attempts) {
     if (per_worker_[w].ring->tryPush(item)) {
       mru_last_ = w;
@@ -90,11 +96,11 @@ bool DispatchEngine::submit(WorkItem item) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
         return false;
       }
-      std::this_thread::yield();
+      backoff.pause();
       continue;
     }
     w = (w + 1) % workers_;
-    if (attempts >= workers_) std::this_thread::yield();
+    if (attempts >= workers_) backoff.pause();  // a full sweep found no room
     if (!intake_open_.load(std::memory_order_acquire)) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       return false;

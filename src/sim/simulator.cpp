@@ -1,56 +1,116 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <limits>
+
 namespace affinity {
 
-EventHandle Simulator::schedule(SimTime at, std::function<void()> fn) {
-  AFF_CHECK(at >= now_);
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{at, seq, std::move(fn)});
-  pending_.insert(seq);
-  return EventHandle(seq);
+int Simulator::minQualifying(const Bucket& b) const noexcept {
+  int best = -1;
+  double best_at = std::numeric_limits<double>::infinity();
+  std::uint64_t best_seq = ~std::uint64_t{0};
+  const Key* keys = b.keys.data();
+  const std::size_t n = b.keys.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Key& e = keys[i];
+    if (e.assigned != cursor_) continue;  // parked for a later pass of the ring
+    // Branchless best-update: which of two random timestamps is smaller is
+    // a coin flip, so a branch here mispredicts ~half the time.
+    const bool better =
+        (e.at < best_at) | ((e.at == best_at) & (e.seq < best_seq));
+    best = better ? static_cast<int>(i) : best;
+    best_at = better ? e.at : best_at;
+    best_seq = better ? e.seq : best_seq;
+  }
+  return best;
+}
+
+std::uint64_t Simulator::minAssigned() const noexcept {
+  std::uint64_t mn = ~std::uint64_t{0};
+  for (const Bucket& b : buckets_)
+    for (const Key& e : b.keys) mn = std::min(mn, e.assigned);
+  return mn;
 }
 
 bool Simulator::cancel(EventHandle h) noexcept {
   if (!h.valid()) return false;
-  return pending_.erase(h.id_) == 1;  // heap entry is skipped lazily on pop
+  if (h.slot_ >= slots_.size()) return false;
+  const Slot s = slots_[h.slot_];
+  if (s.seq != h.seq_) return false;  // already ran, cancelled, or slot reused
+  removeEntry(buckets_[s.bucket], s.bucket, s.index);
+  freeSlot(h.slot_);
+  --live_;
+  return true;
 }
 
-bool Simulator::popNext(Entry& out) {
-  while (!heap_.empty()) {
-    // priority_queue::top is const; the element is immediately popped, so
-    // moving out of it is safe.
-    Entry& top = const_cast<Entry&>(heap_.top());
-    if (pending_.erase(top.seq) == 0) {
-      heap_.pop();  // was cancelled
-      continue;
-    }
-    out = std::move(top);
-    heap_.pop();
-    return true;
+// Shared rotation handler for the two dequeue scans: a full pass of the ring
+// found no event in the current year, i.e. the next event is more than
+// nbuckets windows ahead. Jump the cursor straight to its window (O(nbuckets
+// + live)). If that keeps happening — or the ring is badly oversized for the
+// population — the width/size are mistuned, so pay for a full retune.
+void Simulator::onEmptyRotation() {
+  if ((live_ < (mask_ + 1) / 4 && mask_ + 1 > kMinBuckets) || ++rotations_ >= 4) {
+    rebuild();
+  } else {
+    cursor_ = minAssigned();
   }
-  return false;
+}
+
+bool Simulator::popNext(SimTime& at, EventCallback& fn) {
+  if (live_ == 0) return false;
+  std::size_t scanned = 0;
+  for (;;) {
+    Bucket& b = buckets_[cursor_ & mask_];
+    // Overlap the callback-array fetch with the key scan: if this bucket
+    // has the next event, its callback is about to be moved out.
+    __builtin_prefetch(b.fns.data());
+    const int best = minQualifying(b);
+    if (best >= 0) {
+      const Key e = b.keys[static_cast<std::size_t>(best)];
+      at = e.at;
+      // Move the callback out before unlinking: the callback may re-enter
+      // schedule(), which can reuse the slot and rebuild the calendar.
+      fn = std::move(b.fns[static_cast<std::size_t>(best)]);
+      freeSlot(e.slot);
+      removeEntry(b, static_cast<std::uint32_t>(cursor_ & mask_),
+                  static_cast<std::uint32_t>(best));
+      --live_;
+      return true;
+    }
+    ++cursor_;
+    if (++scanned > mask_) {
+      onEmptyRotation();
+      scanned = 0;
+    }
+  }
 }
 
 bool Simulator::peekTime(SimTime& at) {
-  while (!heap_.empty()) {
-    const Entry& top = heap_.top();
-    if (pending_.count(top.seq) == 0) {
-      heap_.pop();
-      continue;
+  if (live_ == 0) return false;
+  std::size_t scanned = 0;
+  for (;;) {
+    const Bucket& b = buckets_[cursor_ & mask_];
+    const int best = minQualifying(b);
+    if (best >= 0) {
+      at = b.keys[static_cast<std::size_t>(best)].at;
+      return true;
     }
-    at = top.at;
-    return true;
+    ++cursor_;
+    if (++scanned > mask_) {
+      onEmptyRotation();
+      scanned = 0;
+    }
   }
-  return false;
 }
 
 bool Simulator::step() {
-  Entry e;
-  if (!popNext(e)) return false;
-  AFF_DCHECK(e.at >= now_);
-  now_ = e.at;
+  SimTime at;
+  EventCallback fn;
+  if (!popNext(at, fn)) return false;
+  AFF_DCHECK(at >= now_);
+  now_ = at;
   ++executed_;
-  e.fn();
+  fn();
   return true;
 }
 
@@ -69,6 +129,67 @@ std::uint64_t Simulator::runAll() {
   std::uint64_t ran = 0;
   while (step()) ++ran;
   return ran;
+}
+
+void Simulator::initBuckets(std::size_t nbuckets, double width) {
+  buckets_.clear();
+  buckets_.resize(nbuckets);
+  mask_ = nbuckets - 1;
+  width_ = width;
+  inv_width_ = 1.0 / width;
+  cursor_ = 0;
+  rotations_ = 0;
+}
+
+void Simulator::rebuild() {
+  std::vector<Key> keys;
+  std::vector<EventCallback> fns;
+  keys.reserve(live_);
+  fns.reserve(live_);
+  for (Bucket& b : buckets_) {
+    for (std::size_t i = 0; i < b.keys.size(); ++i) {
+      keys.push_back(b.keys[i]);
+      fns.push_back(std::move(b.fns[i]));
+    }
+    b.keys.clear();
+    b.fns.clear();
+  }
+  // Width: ~2 events per window on average, so a dequeue scans O(1) entries
+  // and an empty-window rotation is rare. Any value is *correct* (ordering
+  // is exact on (at, seq)); this only tunes scan lengths.
+  double w = width_;
+  if (keys.size() > 1) {
+    double lo = keys.front().at;
+    double hi = lo;
+    for (const Key& e : keys) {
+      lo = std::min(lo, e.at);
+      hi = std::max(hi, e.at);
+    }
+    if (hi > lo) w = (hi - lo) * 2.0 / static_cast<double>(keys.size());
+  }
+  if (!(w > 1e-9)) w = 1e-9;  // all-simultaneous events: keep windows finite
+  // ~2 events per bucket: two 32-byte keys share a cache line, and half the
+  // bucket headers means half the header-array footprint on large calendars.
+  const std::size_t nb = std::bit_ceil(std::max(keys.size() / 2, kMinBuckets));
+  initBuckets(nb, w);
+  if (keys.empty()) {
+    cursor_ = windowOf(now_);
+    return;
+  }
+  std::uint64_t first = ~std::uint64_t{0};
+  for (Key& e : keys) {
+    e.assigned = windowOf(e.at);
+    first = std::min(first, e.assigned);
+  }
+  cursor_ = first;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    Bucket& b = buckets_[keys[i].assigned & mask_];
+    b.keys.push_back(keys[i]);
+    b.fns.push_back(std::move(fns[i]));
+    Slot& s = slots_[keys[i].slot];
+    s.bucket = static_cast<std::uint32_t>(keys[i].assigned & mask_);
+    s.index = static_cast<std::uint32_t>(b.keys.size() - 1);
+  }
 }
 
 }  // namespace affinity

@@ -1,0 +1,43 @@
+// backoff.hpp — bounded exponential backoff for spin-wait loops.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace affinity {
+
+/// Escalating wait for contended spin loops. The first few pauses are plain
+/// yields (cheap, keeps latency low when the stall is momentary); after that
+/// the waiter sleeps, doubling the interval up to a fixed cap so a stalled
+/// consumer never pins a core at 100% while still re-checking a few thousand
+/// times per second.
+class Backoff {
+ public:
+  /// Waits one escalation step.
+  void pause() {
+    if (yields_ < kMaxYields) {
+      ++yields_;
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(sleep_);
+    sleep_ = std::min(kMaxSleep, sleep_ * 2);
+  }
+
+  /// Forgets the escalation (call after successful progress).
+  void reset() noexcept {
+    yields_ = 0;
+    sleep_ = kMinSleep;
+  }
+
+ private:
+  static constexpr int kMaxYields = 16;
+  static constexpr std::chrono::microseconds kMinSleep{1};
+  static constexpr std::chrono::microseconds kMaxSleep{256};
+
+  int yields_ = 0;
+  std::chrono::microseconds sleep_{kMinSleep};
+};
+
+}  // namespace affinity

@@ -1,0 +1,88 @@
+// Golden-seed regression test: pins RunMetrics for three fixed
+// (config, seed, workload) triples to the exact values produced by the
+// original seed kernel. The event calendar breaks ties on (time, sequence),
+// so a run's event order — and therefore every derived statistic — is a pure
+// function of the seed. Any kernel change that perturbs ordering, however
+// subtly, shows up here as a bit-level metric drift.
+//
+// The constants were captured from the seed-kernel binary with full
+// precision (%.17g round-trips a double exactly); the calendar-queue kernel
+// must reproduce them bit-for-bit.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace affinity {
+namespace {
+
+struct Golden {
+  double mean_delay_us, p50_delay_us, p95_delay_us, p99_delay_us, ci95_delay_us;
+  double mean_service_us, mean_lock_wait_us;
+  double throughput_per_us, utilization, mean_queue_len;
+  std::uint64_t arrived, completed, backlog_end;
+  bool saturated;
+  std::uint64_t reclassifications;
+};
+
+void expectExactly(const RunMetrics& m, const Golden& g) {
+  // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the whole point is bit-for-bit
+  // reproduction, not closeness.
+  EXPECT_EQ(m.mean_delay_us, g.mean_delay_us);
+  EXPECT_EQ(m.p50_delay_us, g.p50_delay_us);
+  EXPECT_EQ(m.p95_delay_us, g.p95_delay_us);
+  EXPECT_EQ(m.p99_delay_us, g.p99_delay_us);
+  EXPECT_EQ(m.ci95_delay_us, g.ci95_delay_us);
+  EXPECT_EQ(m.mean_service_us, g.mean_service_us);
+  EXPECT_EQ(m.mean_lock_wait_us, g.mean_lock_wait_us);
+  EXPECT_EQ(m.throughput_per_us, g.throughput_per_us);
+  EXPECT_EQ(m.utilization, g.utilization);
+  EXPECT_EQ(m.mean_queue_len, g.mean_queue_len);
+  EXPECT_EQ(m.arrived, g.arrived);
+  EXPECT_EQ(m.completed, g.completed);
+  EXPECT_EQ(m.backlog_end, g.backlog_end);
+  EXPECT_EQ(m.saturated, g.saturated);
+  EXPECT_EQ(m.reclassifications, g.reclassifications);
+}
+
+TEST(GoldenSeed, LockingMruPoisson) {
+  SimConfig c = defaultSimConfig();  // 8 procs, Locking/MRU
+  c.seed = 12345;
+  c.warmup_us = 20'000.0;
+  c.measure_us = 150'000.0;
+  const RunMetrics m = runOnce(c, ExecTimeModel::standard(), makePoissonStreams(16, 0.02));
+  expectExactly(m, Golden{215.42210779173973, 211.68374390497655, 250.79400633851003,
+                          274.20517683433837, 2.7714679014081289, 212.10216182978752,
+                          0.56981715208325845, 0.019786666666666668, 0.52593677314464249,
+                          0.054415882051270695, 3349, 2968, 4, false, 0});
+}
+
+TEST(GoldenSeed, IpsWiredPoisson) {
+  SimConfig c = defaultSimConfig();
+  c.policy.paradigm = Paradigm::kIps;
+  c.policy.ips = IpsPolicy::kWired;
+  c.seed = 999;
+  c.warmup_us = 20'000.0;
+  c.measure_us = 150'000.0;
+  const RunMetrics m = runOnce(c, ExecTimeModel::standard(), makePoissonStreams(16, 0.03));
+  expectExactly(m, Golden{228.30822699308376, 177.94182389224551, 440.86403679977246,
+                          601.90817884310445, 8.5590940190164808, 146.24273045090067, 0.0,
+                          0.03032, 0.55425707780654576, 2.4887902646508961, 5153, 4548, 5,
+                          false, 0});
+}
+
+TEST(GoldenSeed, AdaptiveHybridBatch) {
+  SimConfig c = defaultSimConfig();
+  c.policy.paradigm = Paradigm::kHybrid;
+  c.adaptive_hybrid = true;
+  c.seed = 777;
+  c.warmup_us = 20'000.0;
+  c.measure_us = 150'000.0;
+  const RunMetrics m = runOnce(c, ExecTimeModel::standard(), makeBatchStreams(12, 0.025, 4.0));
+  expectExactly(m, Golden{385.20016779657527, 272.96783521363142, 969.83474881773043,
+                          1876.4578480882471, 158.32910156935648, 193.05205824749635,
+                          5.1181081746209207, 0.025413333333333333, 0.62939502049219198,
+                          19.176113585542243, 4344, 3812, 22, false, 12});
+}
+
+}  // namespace
+}  // namespace affinity

@@ -2,6 +2,8 @@
 // horizons, and re-entrant scheduling.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -117,6 +119,117 @@ TEST(Simulator, SchedulingInPastAborts) {
   sim.schedule(10.0, [] {});
   sim.runAll();
   EXPECT_DEATH(sim.schedule(5.0, [] {}), "CHECK failed");
+}
+
+TEST(Simulator, StaleHandleAfterSlotReuseFails) {
+  // h1's slot is recycled by h2; the generation stamp must keep the stale
+  // handle from cancelling the new occupant.
+  Simulator sim;
+  bool a = false;
+  bool b = false;
+  EventHandle h1 = sim.schedule(5.0, [&] { a = true; });
+  EXPECT_TRUE(sim.cancel(h1));
+  EventHandle h2 = sim.schedule(6.0, [&] { b = true; });
+  EXPECT_FALSE(sim.cancel(h1));  // stale generation
+  sim.runAll();
+  EXPECT_FALSE(a);
+  EXPECT_TRUE(b);
+  EXPECT_FALSE(sim.cancel(h2));  // already ran
+}
+
+TEST(Simulator, CancelSelfFromOwnCallbackFails) {
+  // By the time a callback runs, its event is no longer pending.
+  Simulator sim;
+  EventHandle h;
+  bool self_cancel = true;
+  h = sim.schedule(1.0, [&] { self_cancel = sim.cancel(h); });
+  sim.runAll();
+  EXPECT_FALSE(self_cancel);
+}
+
+TEST(Simulator, CancelOtherEventFromCallback) {
+  Simulator sim;
+  bool victim_ran = false;
+  EventHandle victim = sim.schedule(10.0, [&] { victim_ran = true; });
+  bool cancel_ok = false;
+  sim.schedule(5.0, [&] { cancel_ok = sim.cancel(victim); });
+  sim.runAll();
+  EXPECT_TRUE(cancel_ok);
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(sim.executedCount(), 1u);
+}
+
+TEST(Simulator, SparseFarApartEventsStayOrdered) {
+  // Events many calendar "years" apart exercise the empty-rotation path
+  // (cursor jump / retune) without scanning every intermediate window.
+  Simulator sim;
+  std::vector<double> seen;
+  for (double t : {2.0e6, 1.0, 3.0e9, 1.0e6, 7.5})
+    sim.schedule(t, [&seen, &sim] { seen.push_back(sim.now()); });
+  EXPECT_EQ(sim.runAll(), 5u);
+  EXPECT_EQ(seen, (std::vector<double>{1.0, 7.5, 1.0e6, 2.0e6, 3.0e9}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0e9);
+}
+
+TEST(Simulator, OversizedCaptureRunsAndCancels) {
+  // A capture too big for EventCallback's inline buffer takes the pooled
+  // heap path; both the invoke and the cancel (destroy) sides must work.
+  Simulator sim;
+  std::array<double, 16> big{};
+  big.fill(1.0);
+  double sum = 0.0;
+  sim.schedule(1.0, [big, &sum] {
+    for (double v : big) sum += v;
+  });
+  EventHandle doomed = sim.schedule(2.0, [big, &sum] {
+    for (double v : big) sum += 100.0 * v;
+  });
+  EXPECT_TRUE(sim.cancel(doomed));
+  sim.runAll();
+  EXPECT_DOUBLE_EQ(sum, 16.0);
+}
+
+TEST(Simulator, CancellationChurnStress) {
+  // Retransmit-timer style churn: interleaved schedule / cancel / runUntil
+  // with random victims (some already ran, some already cancelled). Every
+  // event must either run or be cancelled, exactly once.
+  Simulator sim;
+  Rng rng(77);
+  struct Rec {
+    EventHandle h;
+    std::size_t id;
+    bool cancelled = false;
+  };
+  std::vector<Rec> recs;
+  std::vector<char> ran;
+  for (int round = 0; round < 200; ++round) {
+    for (int k = 0; k < 20; ++k) {
+      const std::size_t id = ran.size();
+      ran.push_back(0);
+      recs.push_back({sim.scheduleAfter(rng.uniform(0.0, 50.0), [&ran, id] { ran[id] = 1; }),
+                      id, false});
+    }
+    for (int k = 0; k < 8; ++k) {
+      Rec& r = recs[rng.uniform_u64(recs.size())];
+      if (sim.cancel(r.h)) {
+        EXPECT_FALSE(r.cancelled);         // a pending event can't be cancelled twice
+        EXPECT_EQ(ran[r.id], 0);           // a cancelled event hasn't run
+        r.cancelled = true;
+      }
+    }
+    sim.runUntil(sim.now() + rng.uniform(0.0, 30.0));
+  }
+  sim.runAll();
+  EXPECT_EQ(sim.pendingCount(), 0u);
+  std::size_t cancelled = 0;
+  for (const Rec& r : recs) {
+    EXPECT_NE(ran[r.id] != 0, r.cancelled);  // ran XOR cancelled
+    EXPECT_FALSE(sim.cancel(r.h));           // every handle is now dead
+    cancelled += r.cancelled ? 1 : 0;
+  }
+  EXPECT_EQ(sim.executedCount(), recs.size() - cancelled);
+  EXPECT_GT(cancelled, 0u);
+  EXPECT_LT(cancelled, recs.size());
 }
 
 TEST(Simulator, ManyEventsStressOrdering) {
