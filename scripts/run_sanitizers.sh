@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Sanitizer sweep: builds two dedicated trees (ASan+UBSan, TSan) and runs the
+# concurrency- and robustness-critical tests plus a chaos soak under each.
+# The chaos soak exercises every frame-fault type, a worker kill, and a
+# worker stall — the memory- and race-sensitive paths of the runtime layer.
+# Usage: scripts/run_sanitizers.sh [--frames N]
+#   --frames N   chaos soak size per engine (default 100000; keep small for
+#                TSan, which runs ~10x slower)
+set -euo pipefail
+
+frames=100000
+if [[ "${1:-}" == "--frames" ]]; then
+  frames="${2:?usage: run_sanitizers.sh [--frames N]}"
+fi
+
+# Test binaries that cover the runtime/chaos/proto surface. ctest would work
+# too, but invoking the binaries directly keeps one process per suite (ASan
+# and TSan diagnostics are per-process) and skips the simulator-only suites.
+suites=(runtime_test chaos_test proto_test tcp_test property_test)
+
+run_tree() {
+  local name="$1" cmake_flag="$2" env_opts="$3"
+  local dir="build-$name"
+  echo "== [$name] configure + build =="
+  if [[ ! -f "$dir/CMakeCache.txt" ]]; then
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo "$cmake_flag"
+  fi
+  local targets=("${suites[@]}" chaos_soak)
+  cmake --build "$dir" -j --target "${targets[@]}"
+  for t in "${suites[@]}"; do
+    echo "== [$name] $t =="
+    env $env_opts "$dir/tests/$t" --gtest_brief=1
+  done
+  echo "== [$name] chaos_soak ($frames frames/engine) =="
+  env $env_opts "$dir/tools/chaos_soak" --frames "$frames"
+}
+
+run_tree asan -DAFF_ASAN=ON \
+  "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1"
+run_tree tsan -DAFF_TSAN=ON \
+  "TSAN_OPTIONS=halt_on_error=1 second_deadlock_stack=1"
+
+echo "sanitizers clean: asan+ubsan and tsan both passed"

@@ -21,7 +21,11 @@ bool FddiLayer::receive(Packet& pkt, ReceiveContext& ctx) {
     ctx.drop = DropReason::kFddiNotIp;
     return false;
   }
-  pkt.pull(FddiHeader::kSize);
+  if (!pkt.pull(FddiHeader::kSize)) {
+    ++stats_.dropped_malformed;
+    ctx.drop = DropReason::kFddiMalformed;
+    return false;
+  }
   if (!above_->receive(pkt, ctx)) return false;
   ++stats_.delivered;
   return true;

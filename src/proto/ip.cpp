@@ -45,9 +45,14 @@ bool Ipv4Layer::receive(Packet& pkt, ReceiveContext& ctx) {
     return false;
   }
   ctx.src_addr = header->src;
-  // Strip header and any link padding past total_length.
-  pkt.truncate(header->total_length);
-  pkt.pull(header->headerBytes());
+  // Strip header and any link padding past total_length. Both lengths were
+  // validated above, but truncated/hostile input is re-checked here rather
+  // than asserted: a failure is a countable drop, not a crash.
+  if (!pkt.truncate(header->total_length) || !pkt.pull(header->headerBytes())) {
+    ++stats_.dropped_length;
+    ctx.drop = DropReason::kIpBadLength;
+    return false;
+  }
   if (!above->receive(pkt, ctx)) return false;
   ++stats_.delivered;
   return true;

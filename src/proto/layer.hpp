@@ -35,6 +35,11 @@ enum class DropReason : std::uint8_t {
   kTcpBadState,
 };
 
+/// Number of DropReason values (kNone included) — sizes per-cause counter
+/// arrays (EngineStats::dropped_by_reason).
+inline constexpr std::size_t kNumDropReasons =
+    static_cast<std::size_t>(DropReason::kTcpBadState) + 1;
+
 /// Human-readable name of a drop reason.
 const char* dropReasonName(DropReason r) noexcept;
 

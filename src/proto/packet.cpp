@@ -16,8 +16,8 @@ Packet Packet::fromFrame(std::span<const std::uint8_t> frame) {
   return p;
 }
 
-std::span<const std::uint8_t> Packet::pull(std::size_t n) {
-  AFF_CHECK(n <= size());
+std::optional<std::span<const std::uint8_t>> Packet::pull(std::size_t n) {
+  if (n > size()) return std::nullopt;
   std::span<const std::uint8_t> header{data_.data() + begin_, n};
   begin_ += n;
   return header;
@@ -38,9 +38,10 @@ void Packet::append(std::span<const std::uint8_t> payload) {
   data_.insert(data_.end(), payload.begin(), payload.end());
 }
 
-void Packet::truncate(std::size_t n) {
-  AFF_CHECK(n <= size());
+bool Packet::truncate(std::size_t n) {
+  if (n > size()) return false;
   data_.resize(begin_ + n);
+  return true;
 }
 
 }  // namespace affinity

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -41,8 +42,11 @@ class Packet {
   }
 
   /// Pulls `n` bytes off the front (receive-side header strip). Returns the
-  /// view of the pulled header. Requires n <= size().
-  std::span<const std::uint8_t> pull(std::size_t n);
+  /// view of the pulled header, or nullopt — cursor unchanged — when fewer
+  /// than `n` bytes remain. A short pull is a property of the *input* frame
+  /// (truncated on the wire), so it is a recoverable parse error, never an
+  /// assertion: layers turn it into a typed DropReason.
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> pull(std::size_t n);
 
   /// Pushes `n` bytes onto the front (send-side header prepend); returns a
   /// mutable view of the new header. Grows the buffer if headroom is short.
@@ -52,8 +56,10 @@ class Packet {
   void append(std::span<const std::uint8_t> payload);
 
   /// Truncates the packet to `n` bytes from the cursor (drops trailing
-  /// padding, e.g. after IP total-length is known). Requires n <= size().
-  void truncate(std::size_t n);
+  /// padding, e.g. after IP total-length is known). Returns false — packet
+  /// unchanged — when `n` exceeds size(): a declared length larger than the
+  /// received bytes is a recoverable parse error on adversarial input.
+  [[nodiscard]] bool truncate(std::size_t n);
 
   /// Restores the cursor to byte 0 (whole frame visible again).
   void resetCursor() noexcept { begin_ = 0; }

@@ -1,13 +1,12 @@
 #include "proto/send.hpp"
 
 #include "proto/checksum.hpp"
-#include "util/check.hpp"
 
 namespace affinity {
 
-void pushUdp(Packet& pkt, const SendContext& ctx) {
+bool pushUdp(Packet& pkt, const SendContext& ctx) {
   const std::size_t udp_len = UdpHeader::kSize + pkt.size();
-  AFF_CHECK(udp_len <= 0xffff);
+  if (udp_len > 0xffff) return false;
   auto header = pkt.push(UdpHeader::kSize);
   UdpHeader h;
   h.src_port = ctx.src_port;
@@ -28,11 +27,12 @@ void pushUdp(Packet& pkt, const SendContext& ctx) {
     if (ck == 0) ck = 0xffff;  // RFC 768: 0 on the wire means "no checksum"
     writeBe16(pkt.mutableBytes(), 6, ck);
   }
+  return true;
 }
 
-void pushIp(Packet& pkt, const SendContext& ctx) {
+bool pushIp(Packet& pkt, const SendContext& ctx) {
   const std::size_t total = Ipv4Header::kMinSize + pkt.size();
-  AFF_CHECK(total <= 0xffff);
+  if (total > 0xffff) return false;
   auto header = pkt.push(Ipv4Header::kMinSize);
   Ipv4Header h;
   h.total_length = static_cast<std::uint16_t>(total);
@@ -41,6 +41,7 @@ void pushIp(Packet& pkt, const SendContext& ctx) {
   h.src = ctx.src_ip;
   h.dst = ctx.dst_ip;
   h.encode(header);  // encode() computes the header checksum
+  return true;
 }
 
 void pushFddi(Packet& pkt, const SendContext& ctx) {
@@ -51,11 +52,14 @@ void pushFddi(Packet& pkt, const SendContext& ctx) {
   h.encode(header);
 }
 
-Packet UdpSendPath::send(std::span<const std::uint8_t> payload, const SendContext& ctx) {
+std::optional<Packet> UdpSendPath::send(std::span<const std::uint8_t> payload,
+                                        const SendContext& ctx) {
   Packet pkt = Packet::withHeadroom(FddiHeader::kSize + Ipv4Header::kMinSize + UdpHeader::kSize);
   pkt.append(payload);
-  pushUdp(pkt, ctx);
-  pushIp(pkt, ctx);
+  if (!pushUdp(pkt, ctx) || !pushIp(pkt, ctx)) {
+    ++stats_.oversize;
+    return std::nullopt;
+  }
   pushFddi(pkt, ctx);
   ++stats_.datagrams;
   stats_.payload_bytes += payload.size();

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "proto/headers.hpp"
 #include "proto/packet.hpp"
@@ -27,12 +28,16 @@ struct SendContext {
 };
 
 /// UDP layer push: prepends the UDP header over the current payload and
-/// (optionally) computes the checksum with the IPv4 pseudo-header.
-void pushUdp(Packet& pkt, const SendContext& ctx);
+/// (optionally) computes the checksum with the IPv4 pseudo-header. False —
+/// packet unchanged — when the datagram would overflow the 16-bit UDP
+/// length field (caller-supplied payload size is external input, not a
+/// program invariant).
+[[nodiscard]] bool pushUdp(Packet& pkt, const SendContext& ctx);
 
 /// IPv4 layer push: prepends a 20-byte header (checksum computed) over the
-/// current UDP datagram.
-void pushIp(Packet& pkt, const SendContext& ctx);
+/// current UDP datagram. False — packet unchanged — when the datagram would
+/// overflow the 16-bit IP total-length field.
+[[nodiscard]] bool pushIp(Packet& pkt, const SendContext& ctx);
 
 /// FDDI MAC/LLC push: prepends the 21-byte FDDI + SNAP header.
 void pushFddi(Packet& pkt, const SendContext& ctx);
@@ -44,10 +49,12 @@ class UdpSendPath {
   struct Stats {
     std::uint64_t datagrams = 0;
     std::uint64_t payload_bytes = 0;
+    std::uint64_t oversize = 0;  ///< payloads rejected: exceed 16-bit lengths
   };
 
-  /// Builds a complete frame carrying `payload`.
-  Packet send(std::span<const std::uint8_t> payload, const SendContext& ctx);
+  /// Builds a complete frame carrying `payload`; nullopt (counted in
+  /// stats().oversize) when the payload cannot fit a UDP/IPv4 datagram.
+  std::optional<Packet> send(std::span<const std::uint8_t> payload, const SendContext& ctx);
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

@@ -61,7 +61,8 @@ std::vector<std::uint8_t> buildUdpFrame(const FrameSpec& spec,
   udp.checksum = 0;
   auto udp_region = out.subspan(FddiHeader::kSize + Ipv4Header::kMinSize);
   udp.encode(udp_region);
-  std::memcpy(udp_region.data() + UdpHeader::kSize, payload.data(), payload.size());
+  if (!payload.empty())
+    std::memcpy(udp_region.data() + UdpHeader::kSize, payload.data(), payload.size());
 
   if (spec.udp_checksum) {
     ChecksumAccumulator acc;

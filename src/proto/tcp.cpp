@@ -217,7 +217,11 @@ bool TcpLayer::receive(Packet& pkt, ReceiveContext& ctx) {
              .first;
   }
 
-  pkt.pull(header->headerBytes());
+  if (!pkt.pull(header->headerBytes())) {
+    ++stats_.dropped_malformed;
+    ctx.drop = DropReason::kTcpMalformed;
+    return false;
+  }
   DropReason drop = DropReason::kNone;
   if (!it->second.segment(*header, pkt.bytes(), pending_acks_, drop)) {
     ctx.drop = drop;

@@ -65,8 +65,11 @@ bool UdpLayer::receive(Packet& pkt, ReceiveContext& ctx) {
     ctx.drop = DropReason::kUdpNoSession;
     return false;
   }
-  pkt.truncate(header->length);
-  pkt.pull(UdpHeader::kSize);
+  if (!pkt.truncate(header->length) || !pkt.pull(UdpHeader::kSize)) {
+    ++stats_.dropped_malformed;
+    ctx.drop = DropReason::kUdpMalformed;
+    return false;
+  }
   if (!session->deliver(pkt.bytes())) {
     ++stats_.dropped_session_full;
     ctx.drop = DropReason::kSessionFull;

@@ -1,0 +1,143 @@
+#include "runtime/chaos.hpp"
+
+#include <sstream>
+
+#include "workload/frame_gen.hpp"
+
+namespace affinity {
+
+namespace {
+
+OverloadPolicy parseOverloadPolicy(const std::string& name) {
+  if (name == "block") return OverloadPolicy::kBlock;
+  if (name == "reject-newest") return OverloadPolicy::kRejectNewest;
+  if (name == "drop-oldest") return OverloadPolicy::kDropOldest;
+  AFF_CHECK(false && "unknown overload policy (block|reject-newest|drop-oldest)");
+  return OverloadPolicy::kBlock;
+}
+
+template <typename Engine>
+ChaosReport runWith(EngineKind kind, const ChaosConfig& cfg) {
+  AFF_CHECK(cfg.workers >= 1);
+  AFF_CHECK(cfg.streams >= 1);
+
+  ChaosReport rep;
+  rep.kind = kind;
+  rep.generated = cfg.frames;
+
+  FrameCorpus::Options corpus_opts;
+  corpus_opts.streams = cfg.streams;
+  FrameCorpus corpus(cfg.seed, corpus_opts);
+  // Independent randomness for faults so changing fault rates never
+  // perturbs the generated traffic.
+  FaultInjector injector(cfg.seed ^ 0x5DEECE66DULL, cfg.faults);
+
+  Engine engine(cfg.workers, HostConfig{}, cfg.engine);
+  engine.openPort(corpus.dstPort(), /*session_queue=*/4096);
+  engine.start();
+
+  std::vector<WorkItem> batch;
+  for (std::uint64_t i = 0; i < cfg.frames; ++i) {
+    // Scheduled worker faults trigger on the generation index, which is
+    // independent of fault randomness — so a given scenario kills/stalls
+    // at the same point in the traffic on every run.
+    if (cfg.kill_at != 0 && i == cfg.kill_at)
+      engine.injectWorkerKill(cfg.kill_worker % cfg.workers);
+    if (cfg.stall_at != 0 && i == cfg.stall_at)
+      engine.injectWorkerStall(cfg.stall_worker % cfg.workers, cfg.stall_duration);
+
+    const auto stream = static_cast<std::uint32_t>(i % cfg.streams);
+    WorkItem item{corpus.frame(stream, i), stream, {}};
+    batch.clear();
+    injector.apply(std::move(item), batch);
+    for (auto& out : batch) engine.submit(std::move(out));
+  }
+  batch.clear();
+  injector.flush(batch);
+  for (auto& out : batch) engine.submit(std::move(out));
+
+  engine.stop();
+  rep.faults = injector.counts();
+  rep.stats = engine.stats();
+  rep.intake_balanced =
+      rep.faults.emitted == rep.stats.submitted + rep.stats.rejected;
+  rep.conserved = rep.intake_balanced && rep.stats.conserved();
+  return rep;
+}
+
+}  // namespace
+
+const char* engineKindName(EngineKind k) noexcept {
+  switch (k) {
+    case EngineKind::kLocking:
+      return "locking";
+    case EngineKind::kIps:
+      return "ips";
+  }
+  return "?";
+}
+
+ChaosReport runChaos(EngineKind kind, const ChaosConfig& config) {
+  return kind == EngineKind::kLocking ? runWith<LockingEngine>(kind, config)
+                                      : runWith<IpsEngine>(kind, config);
+}
+
+std::string ChaosReport::describe() const {
+  std::ostringstream os;
+  os << "engine=" << engineKindName(kind) << "\n"
+     << "  generated            " << generated << "\n"
+     << "  injector: emitted=" << faults.emitted << " dropped=" << faults.dropped
+     << " bitflips=" << faults.bitflips << " truncations=" << faults.truncations
+     << " duplicates=" << faults.duplicates << " reordered=" << faults.reordered << "\n"
+     << "  submitted            " << stats.submitted << "\n"
+     << "  rejected             " << stats.rejected << " (queue_full=" << stats.rejected_queue_full
+     << " stopped=" << stats.rejected_stopped << ")\n"
+     << "  delivered            " << stats.delivered << "\n"
+     << "  dropped_oldest       " << stats.dropped_oldest << "\n"
+     << "  worker_failures      " << stats.worker_failures << "\n"
+     << "  rehomed              " << stats.rehomed << "\n";
+  for (std::size_t i = 1; i < stats.dropped_by_reason.size(); ++i) {
+    if (stats.dropped_by_reason[i] == 0) continue;
+    os << "  drop[" << dropReasonName(static_cast<DropReason>(i))
+       << "] = " << stats.dropped_by_reason[i] << "\n";
+  }
+  os << "  intake_balanced      " << (intake_balanced ? "yes" : "NO") << "\n"
+     << "  conserved            " << (conserved ? "yes" : "NO") << "\n";
+  return os.str();
+}
+
+ChaosConfig loadChaosConfig(const ConfigFile& file) {
+  ChaosConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(file.getInt("chaos.seed", static_cast<std::int64_t>(cfg.seed)));
+  cfg.frames = static_cast<std::uint64_t>(file.getInt("chaos.frames", static_cast<std::int64_t>(cfg.frames)));
+  cfg.workers = static_cast<unsigned>(file.getInt("chaos.workers", cfg.workers));
+  cfg.streams = static_cast<std::uint32_t>(file.getInt("chaos.streams", cfg.streams));
+  cfg.faults.drop = file.getDouble("chaos.drop_rate", cfg.faults.drop);
+  cfg.faults.bitflip = file.getDouble("chaos.bitflip_rate", cfg.faults.bitflip);
+  cfg.faults.truncate = file.getDouble("chaos.truncate_rate", cfg.faults.truncate);
+  cfg.faults.duplicate = file.getDouble("chaos.duplicate_rate", cfg.faults.duplicate);
+  cfg.faults.reorder = file.getDouble("chaos.reorder_rate", cfg.faults.reorder);
+  cfg.kill_at = static_cast<std::uint64_t>(file.getInt("chaos.kill_at", 0));
+  cfg.kill_worker = static_cast<unsigned>(file.getInt("chaos.kill_worker", 0));
+  cfg.stall_at = static_cast<std::uint64_t>(file.getInt("chaos.stall_at", 0));
+  cfg.stall_worker = static_cast<unsigned>(file.getInt("chaos.stall_worker", 0));
+  cfg.stall_duration =
+      std::chrono::milliseconds(file.getInt("chaos.stall_ms", cfg.stall_duration.count()));
+
+  cfg.engine.queue_capacity =
+      static_cast<std::size_t>(file.getInt("engine.queue_capacity",
+                                           static_cast<std::int64_t>(cfg.engine.queue_capacity)));
+  cfg.engine.overload =
+      parseOverloadPolicy(file.getString("engine.overload", overloadPolicyName(cfg.engine.overload)));
+  cfg.engine.submit_deadline =
+      std::chrono::microseconds(file.getInt("engine.submit_deadline_us", 0));
+  cfg.engine.watchdog = file.getBool("engine.watchdog", cfg.engine.watchdog);
+  cfg.engine.watchdog_interval =
+      std::chrono::milliseconds(file.getInt("engine.watchdog_interval_ms",
+                                            cfg.engine.watchdog_interval.count()));
+  cfg.engine.stall_timeout = std::chrono::milliseconds(
+      file.getInt("engine.stall_timeout_ms", cfg.engine.stall_timeout.count()));
+  return cfg;
+}
+
+}  // namespace affinity

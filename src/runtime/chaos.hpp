@@ -1,0 +1,74 @@
+// chaos.hpp — the chaos harness: drive an engine with deterministic frame
+// faults plus scheduled worker faults, then audit the conservation ledger.
+//
+// The harness owns the full accounting chain:
+//
+//   generated == injector.emitted + injector.dropped - injector.duplicates
+//   injector.emitted == engine.submitted + engine.rejected
+//   engine.submitted == delivered + Σ dropped_by_reason + dropped_oldest
+//
+// A run "conserves" iff every link holds exactly at shutdown — no frame is
+// ever lost without a counter naming why. Used by tools/chaos_soak and the
+// chaos/determinism tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/fault_injector.hpp"
+#include "util/config.hpp"
+
+namespace affinity {
+
+/// Which engine paradigm to run under chaos.
+enum class EngineKind : std::uint8_t { kLocking, kIps };
+
+const char* engineKindName(EngineKind k) noexcept;
+
+/// One chaos scenario. Loadable from an INI [chaos] section.
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t frames = 100'000;  ///< frames generated (before faults)
+  unsigned workers = 4;
+  std::uint32_t streams = 16;
+  FaultRates faults;
+  EngineOptions engine;  ///< watchdog enabled by default for chaos runs
+
+  // Scheduled worker faults (submit-index triggers; 0 = disabled).
+  std::uint64_t kill_at = 0;
+  unsigned kill_worker = 0;
+  std::uint64_t stall_at = 0;
+  unsigned stall_worker = 0;
+  std::chrono::milliseconds stall_duration{1200};
+
+  ChaosConfig() {
+    engine.watchdog = true;
+    engine.watchdog_interval = std::chrono::milliseconds(2);
+    // Comfortably above worst-case scheduling gaps on oversubscribed or
+    // sanitizer-instrumented hosts (TSan serializes threads), so only the
+    // *injected* stall — which lasts longer than this — trips the watchdog.
+    engine.stall_timeout = std::chrono::milliseconds(400);
+  }
+};
+
+/// Outcome of a chaos run plus the audited ledger.
+struct ChaosReport {
+  EngineKind kind = EngineKind::kLocking;
+  std::uint64_t generated = 0;  ///< frames produced by the corpus
+  FaultCounts faults;           ///< what the injector did
+  EngineStats stats;            ///< engine counters after stop()
+  bool intake_balanced = false; ///< emitted == submitted + rejected
+  bool conserved = false;       ///< intake_balanced && stats.conserved()
+
+  /// Multi-line human-readable ledger.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Runs one chaos scenario to completion (engine stopped, ledger audited).
+ChaosReport runChaos(EngineKind kind, const ChaosConfig& config);
+
+/// Reads a ChaosConfig from a ConfigFile's [chaos] + [engine] sections
+/// (absent keys keep their defaults).
+ChaosConfig loadChaosConfig(const ConfigFile& file);
+
+}  // namespace affinity

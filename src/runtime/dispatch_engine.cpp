@@ -16,10 +16,11 @@ const char* dispatchPolicyName(DispatchPolicy p) noexcept {
 }
 
 DispatchEngine::DispatchEngine(unsigned workers, DispatchPolicy policy, HostConfig host,
-                               std::size_t ring_capacity)
-    : workers_(workers), policy_(policy), stack_(host), per_worker_(workers) {
+                               const EngineOptions& options)
+    : workers_(workers), policy_(policy), options_(options), stack_(host), per_worker_(workers) {
   AFF_CHECK(workers >= 1);
-  for (auto& pw : per_worker_) pw.ring = std::make_unique<SpscRing<WorkItem>>(ring_capacity);
+  for (auto& pw : per_worker_)
+    pw.ring = std::make_unique<SpscRing<WorkItem>>(options.queue_capacity);
 }
 
 void DispatchEngine::openPort(std::uint16_t port, std::size_t session_queue) {
@@ -43,6 +44,7 @@ void DispatchEngine::start() {
         }
         pw.processed.fetch_add(1, std::memory_order_relaxed);
         if (!ctx.dropped()) pw.delivered.fetch_add(1, std::memory_order_relaxed);
+        ++pw.reasons[static_cast<std::size_t>(ctx.drop)];
         pw.latency.record(item.enqueue_tp);
         continue;
       }
@@ -73,38 +75,45 @@ unsigned DispatchEngine::route(std::uint32_t stream) {
 
 bool DispatchEngine::submit(WorkItem item) {
   if (!intake_open_.load(std::memory_order_acquire)) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   item.enqueue_tp = std::chrono::steady_clock::now();
   unsigned w = route(item.stream);
   // MRU spill: if the preferred worker's ring is full, advance to the next
-  // (the paper's MRU falls back to the next-most-recent processor). Waiting
-  // for a full ring uses bounded exponential backoff rather than a bare
-  // yield spin: with more submitters than cores a yield loop can starve the
-  // very worker that must drain the ring.
+  // (the paper's MRU falls back to the next-most-recent processor). Once a
+  // full sweep finds no room (or the wired ring is full under kStreamHash)
+  // the overload policy applies. kBlock waits with bounded exponential
+  // backoff rather than a bare yield spin: with more submitters than cores
+  // a yield loop can starve the very worker that must drain the ring.
+  // kDropOldest degrades to reject-newest here — the submitter cannot take
+  // the SPSC consumer seat (see docs/ROBUSTNESS.md).
   Backoff backoff;
+  const auto deadline = options_.submit_deadline.count() > 0
+                            ? std::chrono::steady_clock::now() + options_.submit_deadline
+                            : std::chrono::steady_clock::time_point::max();
   for (unsigned attempts = 0;; ++attempts) {
     if (per_worker_[w].ring->tryPush(item)) {
       mru_last_ = w;
       submitted_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
-    if (policy_ == DispatchPolicy::kStreamHash) {
-      // Wired: never migrate; wait for the ring to drain.
-      if (!intake_open_.load(std::memory_order_acquire)) {
-        rejected_.fetch_add(1, std::memory_order_relaxed);
-        return false;
-      }
-      backoff.pause();
-      continue;
-    }
-    w = (w + 1) % workers_;
-    if (attempts >= workers_) backoff.pause();  // a full sweep found no room
     if (!intake_open_.load(std::memory_order_acquire)) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
+    const bool swept_all =
+        policy_ == DispatchPolicy::kStreamHash || attempts >= workers_;
+    if (swept_all && options_.overload != OverloadPolicy::kBlock) {
+      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (swept_all && std::chrono::steady_clock::now() >= deadline) {
+      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (policy_ != DispatchPolicy::kStreamHash) w = (w + 1) % workers_;
+    if (swept_all) backoff.pause();
   }
 }
 
@@ -118,7 +127,9 @@ void DispatchEngine::stop() {
 EngineStats DispatchEngine::stats() const {
   EngineStats s;
   s.submitted = submitted_.load();
-  s.rejected = rejected_.load();
+  s.rejected_queue_full = rejected_queue_full_.load();
+  s.rejected_stopped = rejected_stopped_.load();
+  s.rejected = s.rejected_queue_full + s.rejected_stopped;
   s.per_worker_processed.reserve(workers_);
   Histogram merged(0.05, 8, 32);
   for (const auto& pw : per_worker_) {
@@ -126,6 +137,7 @@ EngineStats DispatchEngine::stats() const {
     s.processed += p;
     s.delivered += pw.delivered.load();
     s.per_worker_processed.push_back(p);
+    for (std::size_t i = 0; i < pw.reasons.size(); ++i) s.dropped_by_reason[i] += pw.reasons[i];
     merged.merge(pw.latency.histogram());
   }
   if (merged.count() > 0) {

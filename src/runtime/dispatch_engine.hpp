@@ -31,7 +31,10 @@ const char* dispatchPolicyName(DispatchPolicy p) noexcept;
 class DispatchEngine {
  public:
   DispatchEngine(unsigned workers, DispatchPolicy policy, HostConfig host,
-                 std::size_t ring_capacity = 1024);
+                 std::size_t ring_capacity = 1024)
+      : DispatchEngine(workers, policy, host, optionsWithCapacity(ring_capacity)) {}
+  DispatchEngine(unsigned workers, DispatchPolicy policy, HostConfig host,
+                 const EngineOptions& options);
   ~DispatchEngine() { stop(); }
 
   /// Opens a UDP port on the shared stack (call before start()).
@@ -39,8 +42,10 @@ class DispatchEngine {
 
   void start();
 
-  /// Routes the frame per the policy; spins briefly when the chosen
-  /// worker's ring is full. False once stopped.
+  /// Routes the frame per the policy. When every candidate ring is full the
+  /// overload policy applies (kBlock waits with bounded backoff, limited by
+  /// the submit deadline when set). False once stopped or rejected —
+  /// stats() splits the causes (rejected_stopped vs rejected_queue_full).
   bool submit(WorkItem item);
 
   /// Closes intake, drains, joins (idempotent).
@@ -57,18 +62,27 @@ class DispatchEngine {
     std::unique_ptr<SpscRing<WorkItem>> ring;
     std::atomic<std::uint64_t> processed{0};
     std::atomic<std::uint64_t> delivered{0};
+    std::array<std::uint64_t, kNumDropReasons> reasons{};  // owner-written
     LatencyRecorder latency;
   };
 
+  static EngineOptions optionsWithCapacity(std::size_t capacity) {
+    EngineOptions o;
+    o.queue_capacity = capacity;
+    return o;
+  }
+
   unsigned workers_;
   DispatchPolicy policy_;
+  EngineOptions options_;
   ProtocolStack stack_;
   std::mutex stack_mu_;
   std::vector<PerWorker> per_worker_;
   WorkerPool pool_;
   std::atomic<bool> intake_open_{false};
   std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> rejected_queue_full_{0};
+  std::atomic<std::uint64_t> rejected_stopped_{0};
   unsigned rr_next_ = 0;   ///< round-robin cursor (submitter thread only)
   unsigned mru_last_ = 0;  ///< most recently dispatched-to worker
   bool started_ = false;

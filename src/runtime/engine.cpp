@@ -2,16 +2,68 @@
 
 #include <chrono>
 
+#include "util/backoff.hpp"
+
 namespace affinity {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Deadline for a kBlock submit; max() when unbounded.
+Clock::time_point submitDeadline(const EngineOptions& options) {
+  if (options.submit_deadline.count() <= 0) return Clock::time_point::max();
+  return Clock::now() + options.submit_deadline;
+}
+
+void mergeLatency(EngineStats& s, const Histogram& merged) {
+  if (merged.count() == 0) return;
+  s.latency_mean_us = merged.mean();
+  s.latency_p50_us = merged.quantile(0.50);
+  s.latency_p99_us = merged.quantile(0.99);
+}
+
+/// Heartbeat tracker used by both engines' watchdogs: a worker is failed
+/// when it exited while work remained possible, or when its heartbeat has
+/// not advanced for `stall_timeout`.
+struct LivenessTrack {
+  std::uint64_t last_heartbeat = 0;
+  Clock::time_point last_change{};
+  bool failed = false;
+  bool flushed = false;  ///< IPS only: ring already flushed to a survivor
+};
+
+}  // namespace
+
+const char* overloadPolicyName(OverloadPolicy p) noexcept {
+  switch (p) {
+    case OverloadPolicy::kBlock:
+      return "block";
+    case OverloadPolicy::kRejectNewest:
+      return "reject-newest";
+    case OverloadPolicy::kDropOldest:
+      return "drop-oldest";
+  }
+  return "?";
+}
+
+std::uint64_t EngineStats::droppedByStack() const noexcept {
+  std::uint64_t total = 0;
+  // Slot 0 is kNone (not a drop).
+  for (std::size_t i = 1; i < dropped_by_reason.size(); ++i) total += dropped_by_reason[i];
+  return total;
+}
 
 // ---------------------------------------------------------------- Locking --
 
-LockingEngine::LockingEngine(unsigned workers, HostConfig host, std::size_t queue_capacity)
+LockingEngine::LockingEngine(unsigned workers, HostConfig host, const EngineOptions& options)
     : workers_(workers),
+      options_(options),
       stack_(host),
-      queue_(queue_capacity),
+      queue_(options.queue_capacity),
       per_worker_(workers, 0),
-      per_worker_lat_(workers) {
+      per_worker_lat_(workers),
+      per_worker_reasons_(workers) {
   AFF_CHECK(workers >= 1);
 }
 
@@ -24,9 +76,17 @@ void LockingEngine::start() {
   AFF_CHECK(!started_);
   started_ = true;
   pool_.start(workers_, [this](unsigned w, std::stop_token) {
-    // Workers exit when the queue closes and drains; the stop token is not
-    // consulted so no enqueued frame is abandoned.
-    while (auto item = queue_.pop()) {
+    // Timed pops (instead of blocking forever) so injected kills/stalls are
+    // observable even while the queue is idle. Workers exit when the queue
+    // closes and drains, so no enqueued frame is abandoned — unless the
+    // worker is killed, in which case stop() reconciles the leftovers.
+    for (;;) {
+      if (!pool_.tick(w)) return;  // injected crash: abandon everything
+      auto item = queue_.popFor(std::chrono::milliseconds(1));
+      if (!item) {
+        if (queue_.drained()) return;
+        continue;
+      }
       ReceiveContext ctx;
       {
         std::lock_guard lock(stack_mu_);
@@ -34,64 +94,178 @@ void LockingEngine::start() {
       }
       processed_.fetch_add(1, std::memory_order_relaxed);
       if (!ctx.dropped()) delivered_.fetch_add(1, std::memory_order_relaxed);
+      ++per_worker_reasons_[w][static_cast<std::size_t>(ctx.drop)];
       ++per_worker_[w];
       per_worker_lat_[w].record(item->enqueue_tp);
     }
   });
+  if (options_.watchdog)
+    watchdog_ = std::jthread([this](std::stop_token st) { watchdogLoop(st); });
 }
 
 bool LockingEngine::submit(WorkItem item) {
-  if (stopped_) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+  if (stopped_.load(std::memory_order_acquire)) {
+    rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  item.enqueue_tp = std::chrono::steady_clock::now();
-  if (!queue_.push(std::move(item))) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    return false;
+  item.enqueue_tp = Clock::now();
+  Backoff backoff;
+  const auto deadline = submitDeadline(options_);
+  for (;;) {
+    if (queue_.tryPush(std::move(item))) {
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    // tryPush failed without consuming `item`. Full (or closed) queue:
+    // apply the overload policy.
+    if (stopped_.load(std::memory_order_acquire)) {
+      rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    switch (options_.overload) {
+      case OverloadPolicy::kRejectNewest:
+        rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      case OverloadPolicy::kDropOldest: {
+        // Evict the oldest queued frame to make room; it was already
+        // counted submitted, so the eviction is a dropped_oldest.
+        WorkItem victim;
+        if (queue_.tryPop(victim)) dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
+        break;  // retry the push
+      }
+      case OverloadPolicy::kBlock:
+        // A full queue only drains while some worker is alive (pre-stop, a
+        // worker exits only when killed). With every worker gone an
+        // unbounded block would never return: fail the submit instead.
+        if (Clock::now() >= deadline || !anyWorkerAlive()) {
+          rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+        backoff.pause();
+        break;
+    }
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  return true;
+}
+
+bool LockingEngine::anyWorkerAlive() const noexcept {
+  if (pool_.size() == 0) return true;  // pre-start: controls not yet valid
+  for (unsigned w = 0; w < workers_; ++w)
+    if (!pool_.control(w).exited.load(std::memory_order_acquire)) return true;
+  return false;
+}
+
+void LockingEngine::watchdogLoop(std::stop_token st) {
+  std::vector<LivenessTrack> track(workers_);
+  for (auto& t : track) t.last_change = Clock::now();
+  while (!st.stop_requested()) {
+    std::this_thread::sleep_for(options_.watchdog_interval);
+    const auto now = Clock::now();
+    for (unsigned w = 0; w < workers_; ++w) {
+      LivenessTrack& t = track[w];
+      if (t.failed) continue;
+      const WorkerControl& ctl = pool_.control(w);
+      const std::uint64_t hb = ctl.heartbeat.load(std::memory_order_relaxed);
+      const bool exited = ctl.exited.load(std::memory_order_acquire);
+      if (hb != t.last_heartbeat) {
+        t.last_heartbeat = hb;
+        t.last_change = now;
+        if (!exited) continue;
+      }
+      if (exited || now - t.last_change > options_.stall_timeout) {
+        // Degradation is inherent to the shared queue: the remaining
+        // workers keep draining it. We only account for the failure.
+        t.failed = true;
+        worker_failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
 }
 
 void LockingEngine::stop() {
-  if (stopped_) return;
-  stopped_ = true;
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  if (watchdog_.joinable()) {
+    watchdog_.request_stop();
+    watchdog_.join();
+  }
   queue_.close();
   pool_.stopAndJoin();
+  // Reconcile: if workers were killed, frames may remain in the closed
+  // queue. Process them inline (single-threaded now) so the conservation
+  // invariant holds exactly.
+  WorkItem item;
+  while (queue_.tryPop(item)) {
+    const ReceiveContext ctx = stack_.receiveFrame(item.frame);
+    processed_.fetch_add(1, std::memory_order_relaxed);
+    if (!ctx.dropped()) delivered_.fetch_add(1, std::memory_order_relaxed);
+    ++drain_reasons_[static_cast<std::size_t>(ctx.drop)];
+    drain_lat_.record(item.enqueue_tp);
+  }
 }
 
 EngineStats LockingEngine::stats() const {
   EngineStats s;
   s.submitted = submitted_.load();
-  s.rejected = rejected_.load();
+  s.rejected_queue_full = rejected_queue_full_.load();
+  s.rejected_stopped = rejected_stopped_.load();
+  s.rejected = s.rejected_queue_full + s.rejected_stopped;
+  s.dropped_oldest = dropped_oldest_.load();
   s.processed = processed_.load();
   s.delivered = delivered_.load();
+  s.worker_failures = worker_failures_.load();
   s.per_worker_processed = per_worker_;
+  for (const auto& reasons : per_worker_reasons_)
+    for (std::size_t i = 0; i < reasons.size(); ++i) s.dropped_by_reason[i] += reasons[i];
+  for (std::size_t i = 0; i < drain_reasons_.size(); ++i)
+    s.dropped_by_reason[i] += drain_reasons_[i];
   Histogram merged(0.05, 8, 32);
   for (const auto& lat : per_worker_lat_) merged.merge(lat.histogram());
-  if (merged.count() > 0) {
-    s.latency_mean_us = merged.mean();
-    s.latency_p50_us = merged.quantile(0.50);
-    s.latency_p99_us = merged.quantile(0.99);
-  }
+  merged.merge(drain_lat_.histogram());
+  mergeLatency(s, merged);
   return s;
 }
 
 // -------------------------------------------------------------------- IPS --
 
-IpsEngine::IpsEngine(unsigned workers, HostConfig host, std::size_t ring_capacity)
-    : workers_(workers), per_worker_(workers) {
+IpsEngine::IpsEngine(unsigned workers, HostConfig host, const EngineOptions& options)
+    : workers_(workers), options_(options), per_worker_(workers) {
   AFF_CHECK(workers >= 1);
-  for (auto& pw : per_worker_) {
+  for (unsigned w = 0; w < workers_; ++w) {
+    PerWorker& pw = per_worker_[w];
     pw.stack = std::make_unique<ProtocolStack>(host);
-    pw.ring = std::make_unique<SpscRing<WorkItem>>(ring_capacity);
+    pw.ring = std::make_unique<SpscRing<WorkItem>>(options.queue_capacity);
+    // Sized so a failover chain can never block the watchdog: in the worst
+    // case every other worker's ring (plus its recovery backlog) is flushed
+    // into the last survivor's queue.
+    pw.recovery = std::make_unique<MpmcQueue<WorkItem>>(2 * workers_ * options.queue_capacity);
+    pw.redirect.store(w, std::memory_order_relaxed);
   }
 }
 
 void IpsEngine::openPort(std::uint16_t port, std::size_t session_queue) {
   AFF_CHECK(!started_);
   for (auto& pw : per_worker_) pw.stack->open(port, session_queue);
+}
+
+unsigned IpsEngine::workerOf(std::uint32_t stream) const noexcept {
+  unsigned w = stream % workers_;
+  // Follow failover redirects (bounded: each hop moves to a strictly later
+  // declared-failed target; workers_ hops suffice even if every worker is
+  // dead, in which case the last one in the chain absorbs the frame and
+  // stop() reconciles it).
+  for (unsigned hop = 0; hop < workers_; ++hop) {
+    const unsigned next = per_worker_[w].redirect.load(std::memory_order_acquire);
+    if (next == w) break;
+    w = next;
+  }
+  return w;
+}
+
+void IpsEngine::processOn(PerWorker& pw, const WorkItem& item) {
+  const ReceiveContext ctx = pw.stack->receiveFrame(item.frame);
+  pw.processed.fetch_add(1, std::memory_order_relaxed);
+  if (!ctx.dropped()) pw.delivered.fetch_add(1, std::memory_order_relaxed);
+  ++pw.reasons[static_cast<std::size_t>(ctx.drop)];
+  pw.latency.record(item.enqueue_tp);
 }
 
 void IpsEngine::start() {
@@ -102,52 +276,195 @@ void IpsEngine::start() {
     PerWorker& pw = per_worker_[w];
     WorkItem item;
     for (;;) {
+      if (!pool_.tick(w)) return;  // injected crash: abandon ring as-is
+      bool did_work = false;
       if (pw.ring->tryPop(item)) {
-        const ReceiveContext ctx = pw.stack->receiveFrame(item.frame);
-        pw.processed.fetch_add(1, std::memory_order_relaxed);
-        if (!ctx.dropped()) pw.delivered.fetch_add(1, std::memory_order_relaxed);
-        pw.latency.record(item.enqueue_tp);
-        continue;
+        processOn(pw, item);
+        did_work = true;
       }
+      if (pw.recovery_pending.load(std::memory_order_acquire)) {
+        // Clear before draining: a push that lands after the drain re-sets
+        // the flag (push happens-before the store in flushFailed), so the
+        // next iteration sees it.
+        pw.recovery_pending.store(false, std::memory_order_relaxed);
+        while (pw.recovery->tryPop(item)) {
+          processOn(pw, item);
+          did_work = true;
+        }
+      }
+      if (did_work) continue;
       if (st.stop_requested() && !intake_open_.load(std::memory_order_acquire) &&
-          pw.ring->empty())
+          pw.ring->empty() && !pw.recovery_pending.load(std::memory_order_acquire))
         return;
       std::this_thread::yield();
     }
   });
+  if (options_.watchdog)
+    watchdog_ = std::jthread([this](std::stop_token st) { watchdogLoop(st); });
 }
 
 bool IpsEngine::submit(WorkItem item) {
   if (!intake_open_.load(std::memory_order_acquire)) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  item.enqueue_tp = std::chrono::steady_clock::now();
-  PerWorker& pw = per_worker_[workerOf(item.stream)];
-  // Spin with backoff while the worker's ring is full (bounded wait: the
-  // worker drains at protocol-processing speed).
-  for (int spin = 0; !pw.ring->tryPush(item); ++spin) {
+  item.enqueue_tp = Clock::now();
+  Backoff backoff;
+  const auto deadline = submitDeadline(options_);
+  for (;;) {
+    // Re-resolve each attempt: the watchdog may re-home the stream while
+    // we wait on a (dead) worker's full ring.
+    const unsigned target = workerOf(item.stream);
+    PerWorker& pw = per_worker_[target];
+    if (pw.ring->tryPush(item)) {
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
     if (!intake_open_.load(std::memory_order_acquire)) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    if (spin > 64) std::this_thread::yield();
+    switch (options_.overload) {
+      case OverloadPolicy::kRejectNewest:
+      case OverloadPolicy::kDropOldest:
+        // The ring's consumer seat belongs to the worker, so the submitter
+        // cannot evict; drop-oldest degrades to reject-newest here (see
+        // docs/ROBUSTNESS.md).
+        rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      case OverloadPolicy::kBlock: {
+        // A full ring whose owner has exited can only make progress through
+        // the watchdog (flush + redirect). If there is no watchdog, or no
+        // worker is left alive to redirect to, an unbounded block would spin
+        // forever: fail the submit instead.
+        const bool owner_gone = pool_.control(target).exited.load(std::memory_order_acquire);
+        if (Clock::now() >= deadline ||
+            (owner_gone && (!options_.watchdog || !anyWorkerAlive()))) {
+          rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+        backoff.pause();
+        break;
+      }
+    }
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  return true;
+}
+
+bool IpsEngine::anyWorkerAlive() const noexcept {
+  if (pool_.size() == 0) return true;  // pre-start: controls not yet valid
+  for (unsigned w = 0; w < workers_; ++w)
+    if (!pool_.control(w).exited.load(std::memory_order_acquire)) return true;
+  return false;
+}
+
+void IpsEngine::declareFailed(unsigned w) {
+  // Pick the nearest live successor as the failover target. If none is
+  // left, the worker keeps pointing at itself — frames pile up in its ring
+  // until stop() reconciles them.
+  unsigned target = w;
+  for (unsigned hop = 1; hop < workers_; ++hop) {
+    const unsigned candidate = (w + hop) % workers_;
+    if (!per_worker_[candidate].dead.load(std::memory_order_acquire)) {
+      target = candidate;
+      break;
+    }
+  }
+  per_worker_[w].dead.store(true, std::memory_order_release);
+  per_worker_[w].redirect.store(target, std::memory_order_release);
+  worker_failures_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void IpsEngine::flushFailed(unsigned w) {
+  // Pre: the worker's thread has exited (its `exited` flag was observed),
+  // so taking the ring's consumer seat is safe.
+  PerWorker& pw = per_worker_[w];
+  WorkItem item;
+  // Snapshot first, forward second. When no live successor exists the
+  // redirect chain resolves back to `w` itself; forwarding straight out of
+  // `pw.recovery` would then re-push every frame into the queue being
+  // popped and never terminate.
+  std::vector<WorkItem> pending;
+  // In-order flush: the ring first (submit order per stream), then any
+  // frames that were re-homed *to* this worker before it failed.
+  while (pw.ring->tryPop(item)) pending.push_back(std::move(item));
+  while (pw.recovery->tryPop(item)) pending.push_back(std::move(item));
+  pw.recovery_pending.store(false, std::memory_order_release);
+  std::uint64_t moved = 0;
+  for (auto& it : pending) {
+    const unsigned target = workerOf(it.stream);
+    PerWorker& tw = per_worker_[target];
+    tw.recovery->push(std::move(it));
+    tw.recovery_pending.store(true, std::memory_order_release);
+    // Self-parked frames (every worker dead) are reconciled by stop(),
+    // not re-homed to a survivor.
+    if (target != w) ++moved;
+  }
+  rehomed_.fetch_add(moved, std::memory_order_relaxed);
+}
+
+void IpsEngine::watchdogLoop(std::stop_token st) {
+  std::vector<LivenessTrack> track(workers_);
+  for (auto& t : track) t.last_change = Clock::now();
+  while (!st.stop_requested()) {
+    std::this_thread::sleep_for(options_.watchdog_interval);
+    const auto now = Clock::now();
+    for (unsigned w = 0; w < workers_; ++w) {
+      LivenessTrack& t = track[w];
+      if (t.flushed) continue;
+      const WorkerControl& ctl = pool_.control(w);
+      const bool exited = ctl.exited.load(std::memory_order_acquire);
+      if (!t.failed) {
+        const std::uint64_t hb = ctl.heartbeat.load(std::memory_order_relaxed);
+        if (hb != t.last_heartbeat) {
+          t.last_heartbeat = hb;
+          t.last_change = now;
+          if (!exited) continue;
+        }
+        if (!exited && now - t.last_change <= options_.stall_timeout) continue;
+        // Dead (exited mid-run) or stalled: re-home its streams now and
+        // ask it to exit (a stalled worker that wakes up later must not
+        // race the flush of its ring).
+        t.failed = true;
+        declareFailed(w);
+        pool_.injectKill(w);
+      }
+      // The ring can only be flushed once the worker has provably left it.
+      if (exited) {
+        flushFailed(w);
+        t.flushed = true;
+      }
+    }
+  }
 }
 
 void IpsEngine::stop() {
   if (stopped_) return;
   stopped_ = true;
+  if (watchdog_.joinable()) {
+    watchdog_.request_stop();
+    watchdog_.join();
+  }
   intake_open_.store(false, std::memory_order_release);
   pool_.stopAndJoin();
+  // Reconcile: killed workers leave frames in their ring/recovery queue
+  // (and a stall-failed worker may have exited after the watchdog stopped,
+  // unflushed). All threads are joined, so process leftovers inline on
+  // each worker's own stack.
+  for (auto& pw : per_worker_) {
+    WorkItem item;
+    while (pw.ring->tryPop(item)) processOn(pw, item);
+    while (pw.recovery->tryPop(item)) processOn(pw, item);
+  }
 }
 
 EngineStats IpsEngine::stats() const {
   EngineStats s;
   s.submitted = submitted_.load();
-  s.rejected = rejected_.load();
+  s.rejected_queue_full = rejected_queue_full_.load();
+  s.rejected_stopped = rejected_stopped_.load();
+  s.rejected = s.rejected_queue_full + s.rejected_stopped;
+  s.worker_failures = worker_failures_.load();
+  s.rehomed = rehomed_.load();
   s.per_worker_processed.reserve(workers_);
   Histogram merged(0.05, 8, 32);
   for (const auto& pw : per_worker_) {
@@ -155,13 +472,10 @@ EngineStats IpsEngine::stats() const {
     s.processed += p;
     s.delivered += pw.delivered.load();
     s.per_worker_processed.push_back(p);
+    for (std::size_t i = 0; i < pw.reasons.size(); ++i) s.dropped_by_reason[i] += pw.reasons[i];
     merged.merge(pw.latency.histogram());
   }
-  if (merged.count() > 0) {
-    s.latency_mean_us = merged.mean();
-    s.latency_p50_us = merged.quantile(0.50);
-    s.latency_p99_us = merged.quantile(0.99);
-  }
+  mergeLatency(s, merged);
   return s;
 }
 

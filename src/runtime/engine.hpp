@@ -9,12 +9,22 @@
 //  * IpsEngine — one private ProtocolStack per worker; frames are routed to
 //    a worker by stream hash over SPSC rings (no locks on the fast path,
 //    maximal affinity, per-stream serialization — exactly IPS's trade).
+//
+// Both engines are built to *degrade, not die* (docs/ROBUSTNESS.md):
+// malformed frames become per-cause drop counters, overload follows a
+// pluggable policy with an optional submit deadline, and an optional
+// watchdog detects killed/stalled workers and re-homes their work. At
+// stop() the conservation invariant holds exactly:
+//
+//   submitted == delivered + Σ dropped_by_reason + dropped_oldest
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "proto/stack.hpp"
@@ -24,18 +34,59 @@
 
 namespace affinity {
 
+/// What submit() does when the target queue/ring is full.
+enum class OverloadPolicy : std::uint8_t {
+  kBlock,         ///< wait for room (bounded by submit_deadline when set)
+  kRejectNewest,  ///< fail fast: reject the incoming frame
+  kDropOldest,    ///< evict the oldest queued frame to admit the new one
+                  ///< (shared-queue engines only; ring engines reject —
+                  ///< the SPSC consumer seat belongs to the worker)
+};
+
+const char* overloadPolicyName(OverloadPolicy p) noexcept;
+
+/// Robustness and overload knobs shared by the engines. The defaults
+/// reproduce the pre-fault-tolerance behavior: block forever, no watchdog.
+struct EngineOptions {
+  std::size_t queue_capacity = 1024;  ///< shared queue / per-worker ring slots
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+  /// Longest submit() may wait under kBlock; 0 = unbounded.
+  std::chrono::microseconds submit_deadline{0};
+  /// Run a watchdog thread that detects dead/stalled workers (per-worker
+  /// heartbeats) and triggers recovery (IPS: stream re-homing).
+  bool watchdog = false;
+  std::chrono::milliseconds watchdog_interval{2};
+  /// Heartbeat silence after which a live worker is declared stalled.
+  std::chrono::milliseconds stall_timeout{100};
+};
+
 /// Counters common to both engines.
 struct EngineStats {
   std::uint64_t submitted = 0;
-  std::uint64_t rejected = 0;   ///< submit() failed (queue full / stopped)
+  std::uint64_t rejected = 0;             ///< aggregate: queue_full + stopped
+  std::uint64_t rejected_queue_full = 0;  ///< no room (or submit deadline hit)
+  std::uint64_t rejected_stopped = 0;     ///< intake already closed
+  std::uint64_t dropped_oldest = 0;       ///< evicted under kDropOldest
   std::uint64_t processed = 0;  ///< frames run through a stack
   std::uint64_t delivered = 0;  ///< frames that reached a session
+  std::uint64_t worker_failures = 0;  ///< workers declared failed by the watchdog
+  std::uint64_t rehomed = 0;          ///< frames flushed from failed workers
+  /// Frames dropped by the protocol stack, by typed cause (DropReason).
+  std::array<std::uint64_t, kNumDropReasons> dropped_by_reason{};
   std::vector<std::uint64_t> per_worker_processed;
   // End-to-end latency (submit to completed processing), µs. Zero when no
   // frame has completed.
   double latency_mean_us = 0.0;
   double latency_p50_us = 0.0;
   double latency_p99_us = 0.0;
+
+  /// Total stack drops across all causes.
+  [[nodiscard]] std::uint64_t droppedByStack() const noexcept;
+
+  /// The conservation invariant; exact once the engine has stopped.
+  [[nodiscard]] bool conserved() const noexcept {
+    return submitted == delivered + droppedByStack() + dropped_oldest;
+  }
 };
 
 /// A frame plus its routing hint.
@@ -68,7 +119,9 @@ class LatencyRecorder {
 /// Shared-stack (Locking) engine.
 class LockingEngine {
  public:
-  LockingEngine(unsigned workers, HostConfig host, std::size_t queue_capacity = 1024);
+  LockingEngine(unsigned workers, HostConfig host, std::size_t queue_capacity = 1024)
+      : LockingEngine(workers, host, optionsWithCapacity(queue_capacity)) {}
+  LockingEngine(unsigned workers, HostConfig host, const EngineOptions& options);
   ~LockingEngine() { stop(); }
 
   /// Opens a UDP port on the shared stack (call before start()).
@@ -76,34 +129,63 @@ class LockingEngine {
 
   void start();
 
-  /// Enqueues a frame (blocking when the queue is full). False once stopped.
+  /// Enqueues a frame per the overload policy (kBlock waits, bounded by the
+  /// submit deadline when set). False once stopped or rejected.
   bool submit(WorkItem item);
 
   /// Closes the intake, drains in-flight work, joins workers (idempotent).
+  /// Any frames stranded by killed workers are reconciled inline so the
+  /// conservation invariant holds exactly at return.
   void stop();
+
+  /// Injects a worker crash / stall (see WorkerPool). Call while running.
+  void injectWorkerKill(unsigned w) { pool_.injectKill(w); }
+  void injectWorkerStall(unsigned w, std::chrono::milliseconds d) { pool_.injectStall(w, d); }
 
   [[nodiscard]] EngineStats stats() const;
 
  private:
+  static EngineOptions optionsWithCapacity(std::size_t capacity) {
+    EngineOptions o;
+    o.queue_capacity = capacity;
+    return o;
+  }
+  void watchdogLoop(std::stop_token st);
+  bool anyWorkerAlive() const noexcept;
+
   unsigned workers_;
+  EngineOptions options_;
   ProtocolStack stack_;
   std::mutex stack_mu_;
   MpmcQueue<WorkItem> queue_;
   WorkerPool pool_;
+  std::jthread watchdog_;
   std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> rejected_queue_full_{0};
+  std::atomic<std::uint64_t> rejected_stopped_{0};
+  std::atomic<std::uint64_t> dropped_oldest_{0};
   std::atomic<std::uint64_t> processed_{0};
   std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> worker_failures_{0};
   std::vector<std::uint64_t> per_worker_;       // written by owning worker only
   std::vector<LatencyRecorder> per_worker_lat_; // written by owning worker only
+  // Per-worker drop causes (owner-written), plus a slot for frames
+  // reconciled inline by stop() after all workers died.
+  std::vector<std::array<std::uint64_t, kNumDropReasons>> per_worker_reasons_;
+  std::array<std::uint64_t, kNumDropReasons> drain_reasons_{};
+  LatencyRecorder drain_lat_;
   bool started_ = false;
-  bool stopped_ = false;
+  std::atomic<bool> stopped_{false};
 };
 
-/// Independent-stacks (IPS) engine: stack-per-worker, hash routing.
+/// Independent-stacks (IPS) engine: stack-per-worker, hash routing, and
+/// watchdog-driven failover — a dead worker's streams are re-homed to a
+/// survivor and its ring is flushed in order.
 class IpsEngine {
  public:
-  IpsEngine(unsigned workers, HostConfig host, std::size_t ring_capacity = 1024);
+  IpsEngine(unsigned workers, HostConfig host, std::size_t ring_capacity = 1024)
+      : IpsEngine(workers, host, optionsWithCapacity(ring_capacity)) {}
+  IpsEngine(unsigned workers, HostConfig host, const EngineOptions& options);
   ~IpsEngine() { stop(); }
 
   /// Opens a UDP port on every worker's stack (call before start()).
@@ -111,32 +193,64 @@ class IpsEngine {
 
   void start();
 
-  /// Routes the frame to worker (stream % workers). Spins briefly if that
-  /// worker's ring is full; false once stopped.
+  /// Routes the frame to workerOf(stream) per the overload policy. False
+  /// once stopped or rejected.
   bool submit(WorkItem item);
 
+  /// Stops watchdog and workers, then reconciles any frames stranded in
+  /// dead workers' rings (processed on their own stacks) so the
+  /// conservation invariant holds exactly (idempotent).
   void stop();
 
+  void injectWorkerKill(unsigned w) { pool_.injectKill(w); }
+  void injectWorkerStall(unsigned w, std::chrono::milliseconds d) { pool_.injectStall(w, d); }
+
   [[nodiscard]] EngineStats stats() const;
-  [[nodiscard]] unsigned workerOf(std::uint32_t stream) const noexcept {
-    return stream % workers_;
-  }
+
+  /// Home worker of a stream — `stream % workers`, following failover
+  /// redirects past workers the watchdog has declared dead.
+  [[nodiscard]] unsigned workerOf(std::uint32_t stream) const noexcept;
 
  private:
   struct PerWorker {
     std::unique_ptr<ProtocolStack> stack;
     std::unique_ptr<SpscRing<WorkItem>> ring;
+    // Failover lane: the SPSC ring's producer seat belongs to the
+    // submitter and its consumer seat to the worker, so re-homed frames
+    // from a dead peer arrive through this mutexed side queue, polled via
+    // the flag (one relaxed load on the fast path).
+    std::unique_ptr<MpmcQueue<WorkItem>> recovery;
+    std::atomic<bool> recovery_pending{false};
+    std::atomic<bool> dead{false};
+    std::atomic<unsigned> redirect{0};  ///< failover target (self while alive)
     std::atomic<std::uint64_t> processed{0};
     std::atomic<std::uint64_t> delivered{0};
+    std::array<std::uint64_t, kNumDropReasons> reasons{};  // owner-written
     LatencyRecorder latency;
   };
 
+  static EngineOptions optionsWithCapacity(std::size_t capacity) {
+    EngineOptions o;
+    o.queue_capacity = capacity;
+    return o;
+  }
+  void processOn(PerWorker& pw, const WorkItem& item);
+  void watchdogLoop(std::stop_token st);
+  void declareFailed(unsigned w);
+  void flushFailed(unsigned w);
+  bool anyWorkerAlive() const noexcept;
+
   unsigned workers_;
+  EngineOptions options_;
   std::vector<PerWorker> per_worker_;
   WorkerPool pool_;
+  std::jthread watchdog_;
   std::atomic<bool> intake_open_{false};
   std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> rejected_queue_full_{0};
+  std::atomic<std::uint64_t> rejected_stopped_{0};
+  std::atomic<std::uint64_t> worker_failures_{0};
+  std::atomic<std::uint64_t> rehomed_{0};
   bool started_ = false;
   bool stopped_ = false;
 };

@@ -1,0 +1,71 @@
+#include "runtime/fault_injector.hpp"
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+FaultInjector::FaultInjector(std::uint64_t seed, FaultRates rates, std::size_t reorder_window)
+    : rng_(seed), rates_(rates), reorder_window_(reorder_window) {
+  AFF_CHECK(reorder_window >= 1);
+}
+
+void FaultInjector::corruptBit(std::vector<std::uint8_t>& frame) {
+  if (frame.empty()) return;
+  const std::uint64_t bit = rng_.uniform_u64(frame.size() * 8);
+  frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  ++counts_.bitflips;
+}
+
+void FaultInjector::truncateTail(std::vector<std::uint8_t>& frame) {
+  if (frame.empty()) return;
+  // Keep a uniform prefix in [0, size): always cuts at least one byte.
+  frame.resize(rng_.uniform_u64(frame.size()));
+  ++counts_.truncations;
+}
+
+void FaultInjector::apply(WorkItem item, std::vector<WorkItem>& out) {
+  ++counts_.input;
+  // One fault per frame, drop first: a dropped frame consumes no further
+  // randomness for itself, keeping rates independent of each other.
+  if (rates_.drop > 0 && rng_.bernoulli(rates_.drop)) {
+    ++counts_.dropped;
+    return;
+  }
+  if (rates_.reorder > 0 && rng_.bernoulli(rates_.reorder)) {
+    held_.push_back(std::move(item));
+    ++counts_.reordered;
+    return;
+  }
+  if (rates_.duplicate > 0 && rng_.bernoulli(rates_.duplicate)) {
+    out.push_back(item);  // copy
+    ++counts_.duplicates;
+    ++counts_.emitted;
+  }
+  if (rates_.bitflip > 0 && rng_.bernoulli(rates_.bitflip)) {
+    corruptBit(item.frame);
+  } else if (rates_.truncate > 0 && rng_.bernoulli(rates_.truncate)) {
+    truncateTail(item.frame);
+  }
+  out.push_back(std::move(item));
+  ++counts_.emitted;
+  // Release held-back frames once enough later traffic has passed them.
+  if (!held_.empty() && ++passed_since_hold_ >= reorder_window_) {
+    passed_since_hold_ = 0;
+    for (auto& h : held_) {
+      out.push_back(std::move(h));
+      ++counts_.emitted;
+    }
+    held_.clear();
+  }
+}
+
+void FaultInjector::flush(std::vector<WorkItem>& out) {
+  for (auto& h : held_) {
+    out.push_back(std::move(h));
+    ++counts_.emitted;
+  }
+  held_.clear();
+  passed_since_hold_ = 0;
+}
+
+}  // namespace affinity

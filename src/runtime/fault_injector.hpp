@@ -1,0 +1,81 @@
+// fault_injector.hpp — deterministic frame-fault injection at engine ingress.
+//
+// Sits between the traffic source and Engine::submit() on the *submitting*
+// thread: given a seed and per-fault rates, it mutates the frame stream the
+// same way on every run regardless of worker count or timing — which is what
+// makes the chaos determinism guard possible (identical per-cause drop
+// counters across runs and --jobs values).
+//
+// Faults model a hostile/lossy link, not a hostile host: drop (frame lost),
+// bitflip (one random bit corrupted), truncate (random tail cut), duplicate
+// (frame delivered twice), reorder (frame held back and released after up to
+// `reorder_window` later frames). Worker faults (kill/stall) live in
+// WorkerPool, not here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/engine.hpp"
+#include "util/rng.hpp"
+
+namespace affinity {
+
+/// Per-fault injection probabilities in [0, 1], evaluated per frame in the
+/// order drop → reorder → duplicate → bitflip → truncate (a frame takes at
+/// most one fault; order gives drop precedence so rates compose predictably).
+struct FaultRates {
+  double drop = 0.0;
+  double bitflip = 0.0;
+  double truncate = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop > 0 || bitflip > 0 || truncate > 0 || duplicate > 0 || reorder > 0;
+  }
+};
+
+/// What the injector did, for the conservation ledger: every input frame is
+/// either passed (possibly corrupted) or counted in `dropped`; duplicates
+/// add to the pass count.
+struct FaultCounts {
+  std::uint64_t input = 0;       ///< frames offered to apply()
+  std::uint64_t emitted = 0;     ///< frames handed to the engine
+  std::uint64_t dropped = 0;     ///< frames swallowed by the injector
+  std::uint64_t bitflips = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t duplicates = 0;  ///< extra copies emitted
+  std::uint64_t reordered = 0;   ///< frames that left in a different position
+};
+
+/// Deterministic fault injector. Not thread-safe: use one per submit thread.
+class FaultInjector {
+ public:
+  FaultInjector(std::uint64_t seed, FaultRates rates, std::size_t reorder_window = 8);
+
+  /// Applies at most one fault to `item` and appends the frame(s) to emit
+  /// now onto `out` (0 for drop/hold-back, 2 for duplicate, 1 otherwise).
+  /// Held-back frames are released once `reorder_window` later frames have
+  /// passed, or at flush().
+  void apply(WorkItem item, std::vector<WorkItem>& out);
+
+  /// Releases all held-back frames (call once, after the last apply()).
+  void flush(std::vector<WorkItem>& out);
+
+  [[nodiscard]] const FaultCounts& counts() const noexcept { return counts_; }
+  [[nodiscard]] const FaultRates& rates() const noexcept { return rates_; }
+
+ private:
+  void corruptBit(std::vector<std::uint8_t>& frame);
+  void truncateTail(std::vector<std::uint8_t>& frame);
+
+  Rng rng_;
+  FaultRates rates_;
+  std::size_t reorder_window_;
+  std::vector<WorkItem> held_;  ///< reorder hold-back buffer
+  std::size_t passed_since_hold_ = 0;
+  FaultCounts counts_;
+};
+
+}  // namespace affinity

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,8 +40,9 @@ class MpmcQueue {
     return true;
   }
 
-  /// Non-blocking push; false if full or closed.
-  bool tryPush(T item) {
+  /// Non-blocking push; false if full or closed. On failure `item` is left
+  /// intact (not moved from), so overload-policy retry loops keep the frame.
+  bool tryPush(T&& item) {
     {
       std::lock_guard lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
@@ -62,6 +64,34 @@ class MpmcQueue {
     return item;
   }
 
+  /// Non-blocking pop; false when empty. Usable from any thread — including
+  /// a producer evicting the oldest item under a drop-oldest overload policy.
+  bool tryPop(T& out) {
+    {
+      std::lock_guard lock(mu_);
+      if (items_.empty()) return false;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Pop bounded by `timeout`: nullopt on timeout or once closed and
+  /// drained (disambiguate with drained()). Lets consumers poll fault/stop
+  /// flags instead of blocking indefinitely on an idle queue.
+  template <typename Rep, typename Period>
+  std::optional<T> popFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    not_empty_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
   /// Closes the queue (idempotent).
   void close() {
     {
@@ -75,6 +105,12 @@ class MpmcQueue {
   [[nodiscard]] std::size_t size() const {
     std::lock_guard lock(mu_);
     return items_.size();
+  }
+
+  /// True once the queue is closed and every item has been popped.
+  [[nodiscard]] bool drained() const {
+    std::lock_guard lock(mu_);
+    return closed_ && items_.empty();
   }
 
  private:

@@ -29,18 +29,55 @@ unsigned availableCpus() noexcept {
 void WorkerPool::start(unsigned count, Body body, bool pin) {
   AFF_CHECK(threads_.empty());
   AFF_CHECK(count >= 1);
+  controls_.reserve(count);
+  for (unsigned w = 0; w < count; ++w) controls_.push_back(std::make_unique<WorkerControl>());
   threads_.reserve(count);
   for (unsigned w = 0; w < count; ++w) {
-    threads_.emplace_back([w, body, pin](std::stop_token st) {
+    WorkerControl* ctl = controls_[w].get();
+    threads_.emplace_back([w, body, pin, ctl](std::stop_token st) {
       if (pin) pinThisThread(w);
       body(w, st);
+      // seq_cst store: a watchdog that observes `exited` may take over this
+      // worker's single-consumer data structures; the store must order
+      // after every prior access the body made to them.
+      ctl->exited.store(true);
     });
   }
+}
+
+bool WorkerPool::tick(unsigned w) {
+  WorkerControl& ctl = *controls_[w];
+  ctl.heartbeat.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t stall = ctl.stall_us.exchange(0, std::memory_order_acq_rel);
+  if (stall > 0) {
+    // A hard stall: no heartbeat while sleeping, exactly like a wedged
+    // worker. Slept in one piece — injected stalls are bounded by design.
+    std::this_thread::sleep_for(std::chrono::microseconds(stall));
+    ctl.faults_taken.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (ctl.kill.load(std::memory_order_acquire)) {
+    ctl.faults_taken.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void WorkerPool::injectKill(unsigned w) {
+  AFF_CHECK(w < controls_.size());
+  controls_[w]->kill.store(true, std::memory_order_release);
+}
+
+void WorkerPool::injectStall(unsigned w, std::chrono::milliseconds d) {
+  AFF_CHECK(w < controls_.size());
+  controls_[w]->stall_us.store(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count(),
+      std::memory_order_release);
 }
 
 void WorkerPool::stopAndJoin() {
   for (auto& t : threads_) t.request_stop();
   threads_.clear();  // jthread joins on destruction
+  controls_.clear();
 }
 
 }  // namespace affinity

@@ -1,8 +1,13 @@
-// worker_pool.hpp — thread pinning and a generic pinned worker pool.
+// worker_pool.hpp — thread pinning, a generic pinned worker pool, and
+// deterministic worker-failure injection (kill / stall) with per-worker
+// heartbeats for watchdog-based stall detection.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stop_token>
 #include <thread>
 #include <vector>
@@ -16,6 +21,19 @@ bool pinThisThread(unsigned cpu) noexcept;
 
 /// Number of CPUs the process may run on.
 unsigned availableCpus() noexcept;
+
+/// Per-worker fault-injection and liveness state. Worker bodies advance
+/// `heartbeat` via WorkerPool::tick(); a watchdog that sees a frozen
+/// heartbeat (or `exited`) on a worker with pending work declares it failed.
+struct WorkerControl {
+  std::atomic<std::uint64_t> heartbeat{0};  ///< advanced by tick(); frozen = stalled
+  std::atomic<bool> kill{false};            ///< tick() returns false: simulate crash
+  std::atomic<std::int64_t> stall_us{0};    ///< consumed (once) by the next tick()
+  std::atomic<bool> exited{false};          ///< set after the body returns
+
+  /// Total injected faults observed by this worker (stalls served + kills).
+  std::atomic<std::uint64_t> faults_taken{0};
+};
 
 /// A set of jthreads, each pinned to a CPU (round-robin over available
 /// CPUs) and running `body(worker_index, stop_token)`.
@@ -36,8 +54,32 @@ class WorkerPool {
 
   [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(threads_.size()); }
 
+  /// Fault-injection / liveness state of worker `w`. Valid after start().
+  [[nodiscard]] WorkerControl& control(unsigned w) { return *controls_[w]; }
+  [[nodiscard]] const WorkerControl& control(unsigned w) const { return *controls_[w]; }
+
+  /// Heartbeat + fault hook; worker bodies call this once per loop
+  /// iteration. Serves a pending injected stall (sleeping with the
+  /// heartbeat frozen — exactly what a wedged worker looks like from the
+  /// outside), then reports whether the worker should keep running: false
+  /// means an injected kill — the body must return immediately WITHOUT
+  /// draining or handing off its work (that is the crash being simulated;
+  /// recovery belongs to the engine's watchdog).
+  [[nodiscard]] bool tick(unsigned w);
+
+  /// Injects a crash: worker `w` exits at its next tick(), abandoning any
+  /// queued work. Engines recover via their watchdog. Idempotent.
+  void injectKill(unsigned w);
+
+  /// Injects a stall: worker `w` sleeps `d` at its next tick() with its
+  /// heartbeat frozen, then resumes (or exits, if killed meanwhile).
+  void injectStall(unsigned w, std::chrono::milliseconds d);
+
  private:
   std::vector<std::jthread> threads_;
+  // unique_ptr: WorkerControl holds atomics (not movable), and controls must
+  // stay address-stable while worker threads hold references.
+  std::vector<std::unique_ptr<WorkerControl>> controls_;
 };
 
 }  // namespace affinity

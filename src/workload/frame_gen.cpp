@@ -1,0 +1,38 @@
+#include "workload/frame_gen.hpp"
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+FrameCorpus::FrameCorpus(std::uint64_t seed, const Options& options) : options_(options) {
+  AFF_CHECK(options.streams >= 1);
+  AFF_CHECK(options.variants_per_stream >= 1);
+  AFF_CHECK(options.min_payload <= options.max_payload);
+  Rng root(seed);
+  variants_.resize(options.streams);
+  for (std::uint32_t s = 0; s < options.streams; ++s) {
+    Rng rng = root.split(s);
+    variants_[s].reserve(options.variants_per_stream);
+    for (std::size_t v = 0; v < options.variants_per_stream; ++v) {
+      FrameSpec spec;
+      // One source host per stream, one source port per variant — the
+      // receive stack demuxes on dst_port, so all variants land in the
+      // same session.
+      spec.src_ip = 0x0a000000u + s;  // 10.0.x.x
+      spec.src_port = static_cast<std::uint16_t>(20000 + s * 16 + v);
+      spec.dst_port = options.dst_port;
+      spec.ip_id = static_cast<std::uint16_t>(s * 251 + v);
+      const std::size_t span = options.max_payload - options.min_payload + 1;
+      std::vector<std::uint8_t> payload(options.min_payload + rng.uniform_u64(span));
+      for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+      variants_[s].push_back(buildUdpFrame(spec, payload));
+    }
+  }
+}
+
+std::vector<std::uint8_t> FrameCorpus::frame(std::uint32_t stream, std::uint64_t index) const {
+  const auto& per_stream = variants_[stream % options_.streams];
+  return per_stream[index % per_stream.size()];
+}
+
+}  // namespace affinity

@@ -1,0 +1,46 @@
+// frame_gen.hpp — deterministic wire-frame corpus for the real-thread
+// engines and the chaos harness.
+//
+// FrameCorpus pre-builds, per stream, a small set of valid UDP/IP/FDDI
+// frames (varying source port, payload size, and payload bytes — all
+// derived from the seed) and then serves them round-robin. Pre-building
+// keeps the submit loop allocation-light and — more importantly — makes
+// the byte content of frame i of stream s a pure function of (seed, s, i),
+// which the chaos determinism guard depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/stack.hpp"
+#include "util/rng.hpp"
+
+namespace affinity {
+
+/// Deterministic per-stream frame source.
+class FrameCorpus {
+ public:
+  struct Options {
+    std::uint32_t streams = 8;
+    std::uint16_t dst_port = 7000;        ///< the port the engines open
+    std::size_t variants_per_stream = 4;  ///< distinct frames per stream
+    std::size_t min_payload = 16;
+    std::size_t max_payload = 512;
+  };
+
+  FrameCorpus(std::uint64_t seed, const Options& options);
+
+  /// The `index`-th frame of `stream` (round-robin over the variants).
+  /// The returned vector is a copy the caller may mutate (fault injection).
+  [[nodiscard]] std::vector<std::uint8_t> frame(std::uint32_t stream, std::uint64_t index) const;
+
+  [[nodiscard]] std::uint32_t streams() const noexcept { return options_.streams; }
+  [[nodiscard]] std::uint16_t dstPort() const noexcept { return options_.dst_port; }
+
+ private:
+  Options options_;
+  // variants_[stream][variant] — complete wire frames.
+  std::vector<std::vector<std::vector<std::uint8_t>>> variants_;
+};
+
+}  // namespace affinity

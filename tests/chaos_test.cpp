@@ -1,0 +1,284 @@
+// Chaos-layer tests: FaultInjector determinism and semantics, engine
+// recovery from injected worker kills/stalls, overload policies, and the
+// end-to-end conservation ledger on both engines.
+#include <gtest/gtest.h>
+
+#include "runtime/chaos.hpp"
+#include "workload/frame_gen.hpp"
+
+namespace affinity {
+namespace {
+
+WorkItem makeItem(std::uint32_t stream, std::size_t bytes) {
+  WorkItem item;
+  item.stream = stream;
+  item.frame.assign(bytes, static_cast<std::uint8_t>(stream));
+  return item;
+}
+
+// ------------------------------------------------------------ injector --
+
+TEST(FaultInjector, ZeroRatesPassThroughUntouched) {
+  FaultInjector inj(42, FaultRates{});
+  std::vector<WorkItem> out;
+  for (std::uint32_t i = 0; i < 100; ++i) inj.apply(makeItem(i, 64), out);
+  inj.flush(out);
+  ASSERT_EQ(out.size(), 100u);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[i].stream, i);
+    EXPECT_EQ(out[i].frame, makeItem(i, 64).frame);
+  }
+  EXPECT_EQ(inj.counts().input, 100u);
+  EXPECT_EQ(inj.counts().emitted, 100u);
+  EXPECT_EQ(inj.counts().dropped, 0u);
+}
+
+TEST(FaultInjector, SameSeedSameFaults) {
+  const FaultRates rates{.drop = 0.1, .bitflip = 0.1, .truncate = 0.1,
+                         .duplicate = 0.1, .reorder = 0.1};
+  FaultInjector a(7, rates), b(7, rates);
+  std::vector<WorkItem> out_a, out_b;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    a.apply(makeItem(i, 128), out_a);
+    b.apply(makeItem(i, 128), out_b);
+  }
+  a.flush(out_a);
+  b.flush(out_b);
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_EQ(out_a[i].stream, out_b[i].stream);
+    EXPECT_EQ(out_a[i].frame, out_b[i].frame);
+  }
+  EXPECT_EQ(a.counts().dropped, b.counts().dropped);
+  EXPECT_EQ(a.counts().bitflips, b.counts().bitflips);
+  EXPECT_EQ(a.counts().truncations, b.counts().truncations);
+  EXPECT_EQ(a.counts().duplicates, b.counts().duplicates);
+  EXPECT_EQ(a.counts().reordered, b.counts().reordered);
+}
+
+TEST(FaultInjector, LedgerBalancesUnderAllFaults) {
+  FaultRates rates{.drop = 0.05, .bitflip = 0.05, .truncate = 0.05,
+                   .duplicate = 0.05, .reorder = 0.05};
+  FaultInjector inj(99, rates);
+  std::vector<WorkItem> out;
+  for (std::uint32_t i = 0; i < 2000; ++i) inj.apply(makeItem(i, 64), out);
+  inj.flush(out);
+  const FaultCounts& c = inj.counts();
+  // Every input frame is either dropped or emitted; duplicates add copies.
+  EXPECT_EQ(c.input, 2000u);
+  EXPECT_EQ(c.emitted, c.input - c.dropped + c.duplicates);
+  EXPECT_EQ(out.size(), c.emitted);
+  EXPECT_GT(c.dropped, 0u);
+  EXPECT_GT(c.bitflips, 0u);
+  EXPECT_GT(c.truncations, 0u);
+  EXPECT_GT(c.duplicates, 0u);
+  EXPECT_GT(c.reordered, 0u);
+}
+
+TEST(FaultInjector, BitflipChangesExactlyOneBit) {
+  FaultInjector inj(5, FaultRates{.bitflip = 1.0});
+  std::vector<WorkItem> out;
+  inj.apply(makeItem(3, 32), out);
+  ASSERT_EQ(out.size(), 1u);
+  const auto original = makeItem(3, 32).frame;
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    std::uint8_t diff = original[i] ^ out[0].frame[i];
+    while (diff) {
+      differing_bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(differing_bits, 1);
+}
+
+TEST(FaultInjector, TruncateShortensFrame) {
+  FaultInjector inj(6, FaultRates{.truncate = 1.0});
+  std::vector<WorkItem> out;
+  inj.apply(makeItem(1, 100), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_LT(out[0].frame.size(), 100u);
+}
+
+TEST(FaultInjector, ReorderHoldsBackThenReleases) {
+  // First frame always held (reorder=1.0 would hold everything, so use a
+  // seed-picked mix) — verify flush() releases every held frame.
+  FaultInjector inj(8, FaultRates{.reorder = 0.5});
+  std::vector<WorkItem> out;
+  for (std::uint32_t i = 0; i < 50; ++i) inj.apply(makeItem(i, 16), out);
+  inj.flush(out);
+  EXPECT_EQ(out.size(), 50u);  // nothing dropped, everything eventually out
+  EXPECT_GT(inj.counts().reordered, 0u);
+  // Some frame left in a different position than it entered.
+  bool moved = false;
+  for (std::uint32_t i = 0; i < 50; ++i) moved = moved || out[i].stream != i;
+  EXPECT_TRUE(moved);
+}
+
+// ------------------------------------------------------- chaos runs -----
+
+ChaosConfig smallChaos() {
+  ChaosConfig cfg;
+  cfg.seed = 11;
+  cfg.frames = 20'000;
+  cfg.workers = 3;
+  cfg.streams = 8;
+  cfg.faults = {.drop = 0.02, .bitflip = 0.03, .truncate = 0.03,
+                .duplicate = 0.02, .reorder = 0.02};
+  // Generous stall timeout: on a loaded 1-CPU CI host a healthy worker can
+  // legitimately miss short heartbeat windows; only injected faults should
+  // trip the watchdog here.
+  cfg.engine.stall_timeout = std::chrono::milliseconds(2000);
+  return cfg;
+}
+
+TEST(Chaos, LockingConservesUnderMixedFaultsAndWorkerLoss) {
+  ChaosConfig cfg = smallChaos();
+  cfg.kill_at = 4'000;
+  cfg.kill_worker = 1;
+  cfg.stall_at = 10'000;
+  cfg.stall_worker = 2;
+  cfg.stall_duration = std::chrono::milliseconds(30);
+  const ChaosReport rep = runChaos(EngineKind::kLocking, cfg);
+  EXPECT_TRUE(rep.intake_balanced) << rep.describe();
+  EXPECT_TRUE(rep.conserved) << rep.describe();
+  EXPECT_GT(rep.stats.delivered, 0u);
+  EXPECT_GT(rep.stats.droppedByStack(), 0u);
+}
+
+TEST(Chaos, IpsConservesAndRehomesUnderWorkerKill) {
+  ChaosConfig cfg = smallChaos();
+  cfg.kill_at = 4'000;
+  cfg.kill_worker = 0;
+  const ChaosReport rep = runChaos(EngineKind::kIps, cfg);
+  EXPECT_TRUE(rep.conserved) << rep.describe();
+  EXPECT_GE(rep.stats.worker_failures, 1u);
+  EXPECT_GT(rep.stats.delivered, 0u);
+}
+
+TEST(Chaos, IpsConservesUnderStallThenRecovery) {
+  ChaosConfig cfg = smallChaos();
+  cfg.engine.stall_timeout = std::chrono::milliseconds(25);
+  cfg.stall_at = 6'000;
+  cfg.stall_worker = 1;
+  cfg.stall_duration = std::chrono::milliseconds(300);
+  const ChaosReport rep = runChaos(EngineKind::kIps, cfg);
+  EXPECT_TRUE(rep.conserved) << rep.describe();
+  // The stall exceeds the timeout, so the watchdog must have re-homed it.
+  EXPECT_GE(rep.stats.worker_failures, 1u);
+}
+
+TEST(Chaos, CleanRunDeliversEverythingItCan) {
+  ChaosConfig cfg = smallChaos();
+  cfg.faults = FaultRates{};  // no frame faults, no worker faults
+  const ChaosReport rep = runChaos(EngineKind::kIps, cfg);
+  EXPECT_TRUE(rep.conserved) << rep.describe();
+  EXPECT_EQ(rep.faults.emitted, cfg.frames);
+  EXPECT_EQ(rep.stats.submitted, cfg.frames);
+  EXPECT_EQ(rep.stats.rejected, 0u);
+  // Valid frames either reach a session or hit the session-full backstop;
+  // no parse-layer cause may fire on clean traffic.
+  for (std::size_t i = 1; i < rep.stats.dropped_by_reason.size(); ++i) {
+    if (static_cast<DropReason>(i) == DropReason::kSessionFull) continue;
+    EXPECT_EQ(rep.stats.dropped_by_reason[i], 0u) << dropReasonName(static_cast<DropReason>(i));
+  }
+}
+
+// ---------------------------------------------------- overload policies --
+
+TEST(OverloadPolicy, RejectNewestCountsQueueFullAndConserves) {
+  ChaosConfig cfg = smallChaos();
+  cfg.frames = 30'000;
+  cfg.engine.queue_capacity = 8;  // tiny: force overload
+  cfg.engine.overload = OverloadPolicy::kRejectNewest;
+  for (EngineKind kind : {EngineKind::kLocking, EngineKind::kIps}) {
+    const ChaosReport rep = runChaos(kind, cfg);
+    EXPECT_TRUE(rep.conserved) << rep.describe();
+    EXPECT_GT(rep.stats.rejected_queue_full, 0u) << engineKindName(kind);
+    EXPECT_EQ(rep.stats.rejected_stopped, 0u);
+  }
+}
+
+TEST(OverloadPolicy, DropOldestEvictsAndConservesOnLocking) {
+  ChaosConfig cfg = smallChaos();
+  cfg.frames = 30'000;
+  cfg.engine.queue_capacity = 8;
+  cfg.engine.overload = OverloadPolicy::kDropOldest;
+  const ChaosReport rep = runChaos(EngineKind::kLocking, cfg);
+  EXPECT_TRUE(rep.conserved) << rep.describe();
+  EXPECT_GT(rep.stats.dropped_oldest, 0u);
+  EXPECT_EQ(rep.stats.rejected_queue_full, 0u);  // eviction always makes room
+}
+
+TEST(OverloadPolicy, BlockWithDeadlineRejectsInsteadOfHangingOnStalledWorker) {
+  // Stall the only IPS worker longer than the deadline: a bounded-deadline
+  // submit must give up (rejected_queue_full) rather than block forever.
+  EngineOptions opts;
+  opts.queue_capacity = 4;
+  opts.overload = OverloadPolicy::kBlock;
+  opts.submit_deadline = std::chrono::microseconds(2'000);
+  IpsEngine engine(1, HostConfig{}, opts);
+  FrameCorpus corpus(3, FrameCorpus::Options{.streams = 1});
+  engine.openPort(corpus.dstPort());
+  engine.start();
+  engine.injectWorkerStall(0, std::chrono::milliseconds(400));
+  std::uint64_t accepted = 0, rejected = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    WorkItem item{corpus.frame(0, i), 0, {}};
+    if (engine.submit(std::move(item)))
+      ++accepted;
+    else
+      ++rejected;
+  }
+  engine.stop();
+  const EngineStats s = engine.stats();
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(s.rejected_queue_full, rejected);
+  EXPECT_EQ(s.submitted, accepted);
+  EXPECT_TRUE(s.conserved());
+}
+
+// ------------------------------------------------------- config load ----
+
+TEST(ChaosConfigFile, LoadsRatesAndEngineKnobs) {
+  const char* ini =
+      "[chaos]\n"
+      "seed = 77\n"
+      "frames = 1234\n"
+      "workers = 2\n"
+      "streams = 5\n"
+      "drop_rate = 0.125\n"
+      "bitflip_rate = 0.25\n"
+      "kill_at = 100\n"
+      "kill_worker = 1\n"
+      "stall_at = 200\n"
+      "stall_ms = 40\n"
+      "[engine]\n"
+      "queue_capacity = 64\n"
+      "overload = drop-oldest\n"
+      "submit_deadline_us = 500\n"
+      "watchdog = true\n"
+      "stall_timeout_ms = 30\n";
+  std::string error;
+  const auto file = ConfigFile::parse(ini, &error);
+  ASSERT_TRUE(file.has_value()) << error;
+  const ChaosConfig cfg = loadChaosConfig(*file);
+  EXPECT_EQ(cfg.seed, 77u);
+  EXPECT_EQ(cfg.frames, 1234u);
+  EXPECT_EQ(cfg.workers, 2u);
+  EXPECT_EQ(cfg.streams, 5u);
+  EXPECT_DOUBLE_EQ(cfg.faults.drop, 0.125);
+  EXPECT_DOUBLE_EQ(cfg.faults.bitflip, 0.25);
+  EXPECT_EQ(cfg.kill_at, 100u);
+  EXPECT_EQ(cfg.kill_worker, 1u);
+  EXPECT_EQ(cfg.stall_at, 200u);
+  EXPECT_EQ(cfg.stall_duration.count(), 40);
+  EXPECT_EQ(cfg.engine.queue_capacity, 64u);
+  EXPECT_EQ(cfg.engine.overload, OverloadPolicy::kDropOldest);
+  EXPECT_EQ(cfg.engine.submit_deadline.count(), 500);
+  EXPECT_TRUE(cfg.engine.watchdog);
+  EXPECT_EQ(cfg.engine.stall_timeout.count(), 30);
+}
+
+}  // namespace
+}  // namespace affinity

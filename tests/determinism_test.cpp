@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "core/experiment.hpp"
+#include "runtime/chaos.hpp"
 
 namespace affinity {
 namespace {
@@ -68,6 +69,75 @@ TEST(GoldenSeed, IpsWiredPoisson) {
                           601.90817884310445, 8.5590940190164808, 146.24273045090067, 0.0,
                           0.03032, 0.55425707780654576, 2.4887902646508961, 5153, 4548, 5,
                           false, 0});
+}
+
+// ----------------------------------------------------- chaos determinism ---
+//
+// The fault injector runs on the submit thread with its own seeded Rng, so
+// the multiset of frames each engine processes — and therefore every
+// parse-layer drop counter — is a pure function of the seed, independent of
+// worker count, scheduling, and even injected worker kills (recovery moves
+// frames between stacks but never invents or loses them). kSessionFull is
+// the one timing-free exception to compare carefully: it depends on how
+// valid frames distribute over per-worker session queues, so it is excluded
+// when worker counts differ (see docs/ROBUSTNESS.md).
+
+ChaosConfig chaosGuardConfig(unsigned workers) {
+  ChaosConfig cfg;
+  cfg.seed = 20260806;
+  cfg.frames = 15'000;
+  cfg.workers = workers;
+  cfg.streams = 12;
+  cfg.faults = {.drop = 0.02, .bitflip = 0.04, .truncate = 0.04,
+                .duplicate = 0.02, .reorder = 0.02};
+  cfg.kill_at = 5'000;
+  cfg.kill_worker = 1;
+  cfg.engine.stall_timeout = std::chrono::milliseconds(5000);  // kills only
+  return cfg;
+}
+
+void expectSameParseDrops(const EngineStats& a, const EngineStats& b,
+                          bool include_session_full) {
+  for (std::size_t i = 1; i < a.dropped_by_reason.size(); ++i) {
+    if (!include_session_full && static_cast<DropReason>(i) == DropReason::kSessionFull)
+      continue;
+    EXPECT_EQ(a.dropped_by_reason[i], b.dropped_by_reason[i])
+        << dropReasonName(static_cast<DropReason>(i));
+  }
+}
+
+TEST(ChaosDeterminism, FixedSeedGivesIdenticalDropCountsAcrossRuns) {
+  for (EngineKind kind : {EngineKind::kLocking, EngineKind::kIps}) {
+    const ChaosReport a = runChaos(kind, chaosGuardConfig(3));
+    const ChaosReport b = runChaos(kind, chaosGuardConfig(3));
+    ASSERT_TRUE(a.conserved) << a.describe();
+    ASSERT_TRUE(b.conserved) << b.describe();
+    EXPECT_EQ(a.faults.dropped, b.faults.dropped);
+    EXPECT_EQ(a.faults.bitflips, b.faults.bitflips);
+    EXPECT_EQ(a.faults.truncations, b.faults.truncations);
+    EXPECT_EQ(a.faults.duplicates, b.faults.duplicates);
+    EXPECT_EQ(a.faults.emitted, b.faults.emitted);
+    EXPECT_EQ(a.stats.submitted, b.stats.submitted);
+    // Locking runs one shared stack, so even kSessionFull is exact.
+    expectSameParseDrops(a.stats, b.stats, kind == EngineKind::kLocking);
+  }
+}
+
+TEST(ChaosDeterminism, ParseDropCountsIndependentOfWorkerCount) {
+  // No kill in the 1-worker run (killing the only worker of a kBlock engine
+  // would wedge submit by design); the 4-worker run keeps its kill, which
+  // deliberately makes the comparison stronger: recovery must not perturb
+  // the parse-layer counts either.
+  ChaosConfig solo = chaosGuardConfig(1);
+  solo.kill_at = 0;
+  const ChaosReport w1 = runChaos(EngineKind::kIps, solo);
+  const ChaosReport w4 = runChaos(EngineKind::kIps, chaosGuardConfig(4));
+  ASSERT_TRUE(w1.conserved) << w1.describe();
+  ASSERT_TRUE(w4.conserved) << w4.describe();
+  EXPECT_EQ(w1.stats.submitted, w4.stats.submitted);
+  // Parse-layer causes depend only on frame bytes, not on which stack (or
+  // how many stacks) processed them.
+  expectSameParseDrops(w1.stats, w4.stats, /*include_session_full=*/false);
 }
 
 TEST(GoldenSeed, AdaptiveHybridBatch) {

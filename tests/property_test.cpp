@@ -114,6 +114,72 @@ INSTANTIATE_TEST_SUITE_P(AllHeaderBytes, HeaderCorruption,
                                                               Ipv4Header::kMinSize +
                                                               UdpHeader::kSize));
 
+class TruncationSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TruncationSweep, EveryTruncationOffsetIsARecoverableTypedError) {
+  // Cutting the frame at any byte offset must produce a typed drop (never a
+  // crash): the lost tail always contradicts some length field upstream.
+  const std::size_t keep = GetParam();
+  ProtocolStack stack;
+  stack.open(7000, 1024);
+  FrameSpec spec;
+  const std::vector<std::uint8_t> payload{9, 8, 7, 6, 5};
+  auto frame = buildUdpFrame(spec, payload);
+  ASSERT_LT(keep, frame.size());
+  auto cut = frame;
+  cut.resize(keep);
+  const auto ctx = stack.receiveFrame(cut);  // must not crash
+  EXPECT_TRUE(ctx.dropped()) << "truncation to " << keep << " bytes accepted";
+  EXPECT_NE(ctx.drop, DropReason::kNone);
+  // The stack survives and still accepts the intact frame.
+  EXPECT_FALSE(stack.receiveFrame(frame).dropped());
+}
+
+// The full UDP frame spans FDDI(13) + IP(20) + UDP(8) + 5 payload bytes.
+INSTANTIATE_TEST_SUITE_P(AllOffsets, TruncationSweep,
+                         ::testing::Range<std::size_t>(0, FddiHeader::kSize +
+                                                              Ipv4Header::kMinSize +
+                                                              UdpHeader::kSize + 5));
+
+class TcpHeaderCorruption : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TcpHeaderCorruption, EveryTcpHeaderBitFlipIsHandledSafely) {
+  // Same contract as the UDP sweep, over the TCP path of the dual stack:
+  // any single-bit flip in FDDI/IP/TCP headers is a typed error or a
+  // harmless mutation — never a crash — and the stack stays usable.
+  const std::size_t byte_index = GetParam();
+  DualProtocolStack stack;
+  stack.tcp().listen(8000);
+  TcpFrameSpec spec;
+  spec.flags = TcpHeader::kFlagSyn;
+  const auto frame = buildTcpFrame(spec, {});
+  ASSERT_LT(byte_index, frame.size());
+  for (int bit = 0; bit < 8; ++bit) {
+    auto copy = frame;
+    copy[byte_index] ^= static_cast<std::uint8_t>(1u << bit);
+    const auto ctx = stack.receiveFrame(copy);  // must not crash
+    const std::size_t ip_lo = FddiHeader::kSize;
+    const std::size_t ip_hi = ip_lo + Ipv4Header::kMinSize;
+    if (byte_index >= ip_lo && byte_index < ip_hi) {
+      EXPECT_TRUE(ctx.dropped()) << "corrupt IP header byte " << byte_index << " accepted";
+    }
+  }
+  // Truncation at this offset is also a typed error, not a crash.
+  auto cut = frame;
+  cut.resize(byte_index);
+  EXPECT_TRUE(stack.receiveFrame(cut).dropped());
+  // A fresh stack still accepts the intact segment (the flips above may
+  // have legitimately consumed the SYN).
+  DualProtocolStack fresh;
+  fresh.tcp().listen(8000);
+  EXPECT_FALSE(fresh.receiveFrame(frame).dropped());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHeaderBytes, TcpHeaderCorruption,
+                         ::testing::Range<std::size_t>(0, FddiHeader::kSize +
+                                                              Ipv4Header::kMinSize +
+                                                              TcpHeader::kMinSize));
+
 class PayloadSizes : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(PayloadSizes, RoundTripsThroughTheStack) {

@@ -23,8 +23,9 @@ TEST(Packet, PullAdvancesCursor) {
   const std::vector<std::uint8_t> frame{1, 2, 3, 4, 5};
   Packet p = Packet::fromFrame(frame);
   const auto h = p.pull(2);
-  EXPECT_EQ(h[0], 1);
-  EXPECT_EQ(h[1], 2);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ((*h)[0], 1);
+  EXPECT_EQ((*h)[1], 2);
   EXPECT_EQ(p.size(), 3u);
   EXPECT_EQ(p.bytes()[0], 3);
 }
@@ -53,13 +54,21 @@ TEST(Packet, PushGrowsWhenHeadroomShort) {
 
 TEST(Packet, TruncateDropsTail) {
   Packet p = Packet::fromFrame(std::array<std::uint8_t, 5>{1, 2, 3, 4, 5});
-  p.truncate(3);
+  EXPECT_TRUE(p.truncate(3));
   EXPECT_EQ(p.size(), 3u);
 }
 
-TEST(Packet, PullPastEndAborts) {
+TEST(Packet, PullPastEndFailsRecoverably) {
   Packet p = Packet::fromFrame(std::array<std::uint8_t, 2>{1, 2});
-  EXPECT_DEATH(p.pull(3), "CHECK failed");
+  EXPECT_FALSE(p.pull(3).has_value());
+  EXPECT_EQ(p.size(), 2u) << "failed pull must not move the cursor";
+  EXPECT_TRUE(p.pull(2).has_value()) << "packet remains usable after a short pull";
+}
+
+TEST(Packet, TruncatePastEndFailsRecoverably) {
+  Packet p = Packet::fromFrame(std::array<std::uint8_t, 2>{1, 2});
+  EXPECT_FALSE(p.truncate(3));
+  EXPECT_EQ(p.size(), 2u) << "failed truncate must leave the packet intact";
 }
 
 // ------------------------------------------------------------- Checksum ---
@@ -304,7 +313,7 @@ SendContext defaultSendContext() {
 TEST(SendPath, LayeredPushMatchesMonolithicBuilder) {
   const auto payload = bytesOf("layered send path");
   UdpSendPath path;
-  Packet pkt = path.send(payload, defaultSendContext());
+  Packet pkt = path.send(payload, defaultSendContext()).value();
   const auto frame = buildUdpFrame(FrameSpec{}, payload);
   ASSERT_EQ(pkt.size(), frame.size());
   const auto got = pkt.bytes();
@@ -317,7 +326,7 @@ TEST(SendPath, OutputRoundTripsThroughReceiveStack) {
   stack.open(7000);
   UdpSendPath path;
   const auto payload = bytesOf("over the wire and back");
-  Packet pkt = path.send(payload, defaultSendContext());
+  Packet pkt = path.send(payload, defaultSendContext()).value();
   const auto ctx = stack.receiveFrame(pkt.bytes());
   ASSERT_FALSE(ctx.dropped()) << dropReasonName(ctx.drop);
   std::vector<std::uint8_t> out;
@@ -331,7 +340,7 @@ TEST(SendPath, NoChecksumVariantAccepted) {
   UdpSendPath path;
   SendContext ctx = defaultSendContext();
   ctx.udp_checksum = false;
-  Packet pkt = path.send(bytesOf("x"), ctx);
+  Packet pkt = path.send(bytesOf("x"), ctx).value();
   EXPECT_FALSE(stack.receiveFrame(pkt.bytes()).dropped());
 }
 
@@ -347,10 +356,32 @@ TEST(SendPath, EmptyPayload) {
   ProtocolStack stack;
   stack.open(7000);
   UdpSendPath path;
-  Packet pkt = path.send({}, defaultSendContext());
+  Packet pkt = path.send({}, defaultSendContext()).value();
   const auto ctx = stack.receiveFrame(pkt.bytes());
   EXPECT_FALSE(ctx.dropped());
   EXPECT_EQ(ctx.payload_bytes, 0);
+}
+
+TEST(SendPath, OversizePayloadIsTypedErrorNotAbort) {
+  UdpSendPath path;
+  const std::vector<std::uint8_t> huge(70000, 0xab);  // > 16-bit UDP length
+  EXPECT_FALSE(path.send(huge, defaultSendContext()).has_value());
+  EXPECT_EQ(path.stats().oversize, 1u);
+  EXPECT_EQ(path.stats().datagrams, 0u);
+  // The path still works for sane payloads afterwards.
+  EXPECT_TRUE(path.send(bytesOf("ok"), defaultSendContext()).has_value());
+  EXPECT_EQ(path.stats().datagrams, 1u);
+}
+
+TEST(SendPath, PushLayersRejectOversizeWithoutMutation) {
+  Packet pkt = Packet::withHeadroom(64);
+  const std::vector<std::uint8_t> huge(0x10000, 0);
+  pkt.append(huge);
+  const std::size_t before = pkt.size();
+  EXPECT_FALSE(pushUdp(pkt, defaultSendContext()));
+  EXPECT_EQ(pkt.size(), before) << "failed push must not prepend a header";
+  EXPECT_FALSE(pushIp(pkt, defaultSendContext()));
+  EXPECT_EQ(pkt.size(), before);
 }
 
 TEST(UdpSessionTest, ReadDrainsFifo) {

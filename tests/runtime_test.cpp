@@ -295,6 +295,286 @@ TEST(DispatchEngineTest, NamesAreStable) {
   EXPECT_STREQ(dispatchPolicyName(DispatchPolicy::kStreamHash), "StreamHash");
 }
 
+// ------------------------------------------------- robustness additions ---
+
+TEST(MpmcQueue, TryPopAndDrained) {
+  MpmcQueue<int> q(4);
+  int v = 0;
+  EXPECT_FALSE(q.tryPop(v));
+  q.push(1);
+  q.push(2);
+  EXPECT_TRUE(q.tryPop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_FALSE(q.drained());
+  q.close();
+  EXPECT_FALSE(q.drained());  // one item left
+  EXPECT_TRUE(q.tryPop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(q.drained());
+}
+
+TEST(MpmcQueue, PopForTimesOutThenDelivers) {
+  MpmcQueue<int> q(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.popFor(std::chrono::milliseconds(10)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, std::chrono::milliseconds(5));
+  q.push(9);
+  EXPECT_EQ(q.popFor(std::chrono::milliseconds(10)).value(), 9);
+}
+
+TEST(MpmcQueue, FailedTryPushLeavesItemIntact) {
+  MpmcQueue<std::vector<int>> q(1);
+  EXPECT_TRUE(q.tryPush({1}));
+  std::vector<int> keep{7, 8, 9};
+  EXPECT_FALSE(q.tryPush(std::move(keep)));
+  EXPECT_EQ(keep, (std::vector<int>{7, 8, 9}));  // not moved-from
+}
+
+TEST(WorkerPool, InjectedKillStopsWorkerAtNextTick) {
+  WorkerPool pool;
+  std::atomic<int> ticks{0};
+  pool.start(1, [&](unsigned w, std::stop_token) {
+    while (pool.tick(w)) {
+      ticks.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  while (ticks.load() < 3) std::this_thread::yield();
+  pool.injectKill(0);
+  while (!pool.control(0).exited.load()) std::this_thread::yield();
+  EXPECT_GE(pool.control(0).faults_taken.load(), 1u);
+  pool.stopAndJoin();
+}
+
+TEST(WorkerPool, InjectedStallFreezesHeartbeat) {
+  WorkerPool pool;
+  pool.start(1, [&](unsigned w, std::stop_token st) {
+    while (!st.stop_requested()) {
+      if (!pool.tick(w)) return;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  auto& ctl = pool.control(0);
+  while (ctl.heartbeat.load() < 5) std::this_thread::yield();
+  pool.injectStall(0, std::chrono::milliseconds(80));
+  // Wait for the stall to start (faults_taken counts the served stall).
+  while (ctl.faults_taken.load() == 0) std::this_thread::yield();
+  // After the stall is served the heartbeat advances again.
+  const std::uint64_t after_stall = ctl.heartbeat.load();
+  while (ctl.heartbeat.load() == after_stall) std::this_thread::yield();
+  pool.stopAndJoin();
+}
+
+TEST(LockingEngineTest, SplitsRejectedByCause) {
+  EngineOptions opts;
+  opts.queue_capacity = 2;
+  opts.overload = OverloadPolicy::kRejectNewest;
+  LockingEngine eng(1, HostConfig{}, opts);
+  eng.openPort(7000);
+  eng.start();
+  // Stall the only worker so nothing drains the 2-slot queue; pushes past
+  // capacity must then reject as queue-full.
+  eng.injectWorkerStall(0, std::chrono::milliseconds(200));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // stall takes hold
+  int rejected = 0;
+  for (int i = 0; i < 50; ++i)
+    if (!eng.submit({frameFor(0), 0, {}})) ++rejected;
+  const EngineStats mid = eng.stats();
+  EXPECT_GT(mid.rejected_queue_full, 0u);
+  EXPECT_EQ(mid.rejected_stopped, 0u);
+  EXPECT_EQ(mid.rejected, mid.rejected_queue_full);
+  eng.stop();
+  EXPECT_FALSE(eng.submit({frameFor(0), 0, {}}));
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.rejected_stopped, 1u);
+  EXPECT_EQ(s.rejected, s.rejected_queue_full + s.rejected_stopped);
+  EXPECT_TRUE(s.conserved());
+}
+
+TEST(IpsEngineTest, SplitsRejectedByCause) {
+  IpsEngine eng(1, HostConfig{});
+  eng.openPort(7000);
+  eng.start();
+  eng.stop();
+  EXPECT_FALSE(eng.submit({frameFor(0), 0, {}}));
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.rejected_stopped, 1u);
+  EXPECT_EQ(s.rejected_queue_full, 0u);
+  EXPECT_EQ(s.rejected, 1u);
+}
+
+TEST(DispatchEngineTest, SplitsRejectedByCause) {
+  EngineOptions opts;
+  opts.queue_capacity = 2;
+  opts.overload = OverloadPolicy::kRejectNewest;
+  DispatchEngine eng(1, DispatchPolicy::kStreamHash, HostConfig{}, opts);
+  eng.openPort(7000, 1 << 16);
+  eng.start();
+  // Flood one worker faster than it can drain under a tiny ring; with
+  // reject-newest at least one submit must fail as queue-full.
+  int rejected = 0;
+  for (int i = 0; i < 5000 && rejected == 0; ++i)
+    if (!eng.submit({frameFor(0), 0, {}})) ++rejected;
+  eng.stop();
+  EXPECT_FALSE(eng.submit({frameFor(0), 0, {}}));
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.rejected_queue_full, static_cast<std::uint64_t>(rejected));
+  EXPECT_EQ(s.rejected_stopped, 1u);
+  EXPECT_EQ(s.rejected, s.rejected_queue_full + s.rejected_stopped);
+}
+
+TEST(LockingEngineTest, SurvivesWorkerKillWithoutLosingFrames) {
+  EngineOptions opts;
+  opts.queue_capacity = 64;
+  opts.watchdog = true;
+  opts.stall_timeout = std::chrono::milliseconds(5000);  // only kills trip it
+  LockingEngine eng(2, HostConfig{}, opts);
+  eng.openPort(7000, 1 << 16);
+  eng.start();
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    if (i == 500) eng.injectWorkerKill(0);
+    ASSERT_TRUE(eng.submit({frameFor(i % 5), 0, {}}));
+  }
+  eng.stop();
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(s.processed, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(s.delivered, static_cast<std::uint64_t>(kN));
+  EXPECT_TRUE(s.conserved());
+  EXPECT_GE(s.worker_failures, 1u);
+}
+
+TEST(LockingEngineTest, ReconcilesQueueWhenEveryWorkerDies) {
+  LockingEngine eng(1, HostConfig{});
+  eng.openPort(7000, 1 << 16);
+  eng.start();
+  eng.injectWorkerKill(0);
+  // The lone worker exits at its next tick; subsequent frames sit in the
+  // queue until stop() reconciles them inline.
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(eng.submit({frameFor(0), 0, {}}));
+  eng.stop();
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.processed, 100u);
+  EXPECT_EQ(s.delivered, 100u);
+  EXPECT_TRUE(s.conserved());
+}
+
+TEST(LockingEngineTest, BlockingSubmitFailsWhenEveryWorkerDies) {
+  // Regression: with every worker dead, a full queue can never drain, so an
+  // unbounded kBlock submit must fail (rejected_queue_full) instead of
+  // spinning forever.
+  EngineOptions opts;
+  opts.queue_capacity = 4;
+  opts.overload = OverloadPolicy::kBlock;  // no deadline
+  LockingEngine eng(1, HostConfig{}, opts);
+  eng.openPort(7000, 1 << 16);
+  eng.start();
+  eng.injectWorkerKill(0);
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (eng.submit({frameFor(0), 0, {}}))
+      ++ok;
+    else
+      ++rejected;
+  }
+  EXPECT_GT(rejected, 0) << "submit blocked forever on a dead engine";
+  eng.stop();
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(ok));
+  EXPECT_EQ(s.processed, static_cast<std::uint64_t>(ok));
+  EXPECT_EQ(s.rejected_queue_full, static_cast<std::uint64_t>(rejected));
+  EXPECT_TRUE(s.conserved());
+}
+
+TEST(IpsEngineTest, SurvivesTotalWorkerLoss) {
+  // Regression: when the LAST worker dies, its redirect chain resolves to
+  // itself. The watchdog's flush must park the backlog (not forward it back
+  // into the queue it is draining — that cycled forever), and a blocking
+  // submit must fail once no consumer can ever free ring space. stop()
+  // reconciles everything parked.
+  EngineOptions opts;
+  opts.queue_capacity = 8;
+  opts.overload = OverloadPolicy::kBlock;  // no deadline
+  opts.watchdog = true;
+  opts.watchdog_interval = std::chrono::milliseconds(1);
+  opts.stall_timeout = std::chrono::milliseconds(5000);  // only kills trip it
+  IpsEngine eng(2, HostConfig{}, opts);
+  eng.openPort(7000, 1 << 16);
+  eng.start();
+  eng.injectWorkerKill(0);
+  eng.injectWorkerKill(1);
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto stream = static_cast<std::uint32_t>(i % 4);
+    if (eng.submit({frameFor(stream), stream, {}}))
+      ++ok;
+    else
+      ++rejected;
+  }
+  EXPECT_GT(rejected, 0) << "submit blocked forever with all workers dead";
+  // Let the watchdog reach the self-redirect flush of the last worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  eng.stop();
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(ok));
+  EXPECT_EQ(s.processed, static_cast<std::uint64_t>(ok));
+  EXPECT_EQ(s.rejected_queue_full, static_cast<std::uint64_t>(rejected));
+  EXPECT_TRUE(s.conserved());
+  EXPECT_EQ(s.worker_failures, 2u);
+}
+
+TEST(IpsEngineTest, RehomesStreamsOfKilledWorker) {
+  EngineOptions opts;
+  opts.queue_capacity = 256;
+  opts.watchdog = true;
+  opts.watchdog_interval = std::chrono::milliseconds(1);
+  opts.stall_timeout = std::chrono::milliseconds(5000);  // only kills trip it
+  IpsEngine eng(2, HostConfig{}, opts);
+  eng.openPort(7000, 1 << 16);
+  eng.start();
+  constexpr int kN = 6000;
+  for (int i = 0; i < kN; ++i) {
+    if (i == kN / 3) eng.injectWorkerKill(0);
+    const auto stream = static_cast<std::uint32_t>(i % 4);
+    ASSERT_TRUE(eng.submit({frameFor(stream), stream, {}}));
+  }
+  // Give the watchdog a beat to notice the exit before checking redirect.
+  for (int spin = 0; spin < 2000 && eng.workerOf(0) == 0u; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(eng.workerOf(0), 1u) << "streams of worker 0 re-homed to worker 1";
+  eng.stop();
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(s.processed, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(s.delivered, static_cast<std::uint64_t>(kN));
+  EXPECT_TRUE(s.conserved());
+  EXPECT_EQ(s.worker_failures, 1u);
+}
+
+TEST(IpsEngineTest, RecoversFromStalledWorker) {
+  EngineOptions opts;
+  opts.queue_capacity = 256;
+  opts.watchdog = true;
+  opts.watchdog_interval = std::chrono::milliseconds(1);
+  opts.stall_timeout = std::chrono::milliseconds(30);
+  IpsEngine eng(2, HostConfig{}, opts);
+  eng.openPort(7000, 1 << 16);
+  eng.start();
+  constexpr int kN = 3000;
+  for (int i = 0; i < kN; ++i) {
+    if (i == kN / 4) eng.injectWorkerStall(0, std::chrono::milliseconds(500));
+    const auto stream = static_cast<std::uint32_t>(i % 4);
+    ASSERT_TRUE(eng.submit({frameFor(stream), stream, {}}));
+  }
+  eng.stop();
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.processed, static_cast<std::uint64_t>(kN));
+  EXPECT_TRUE(s.conserved());
+  // 500ms stall vs 30ms timeout: the watchdog must have declared it.
+  EXPECT_GE(s.worker_failures, 1u);
+}
+
 TEST(IpsEngineTest, PerStreamOrderPreserved) {
   // With one worker per stream-class and SPSC rings, packets of a stream are
   // processed in submission order: deliver increasing payloads and check the
