@@ -6,16 +6,73 @@
 // expected shapes next to the paper's.
 #pragma once
 
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/capacity.hpp"
 #include "core/experiment.hpp"
 #include "core/sweep_runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace affinity::bench {
+
+/// Owns the optional sinks behind --metrics-out / --trace-out.
+///
+/// declare() creates one inert instance per driver; the first makeConfig()
+/// or sweep() call after cli.parse() opens the sinks (flag values aren't
+/// known earlier), and the destructor — end of main — writes the files.
+/// Opening the trace sink also activates the session process-globally so
+/// real-thread engines started afterwards pick it up.
+class ObsOutput {
+ public:
+  ObsOutput() = default;
+  ~ObsOutput() { flush(); }
+  ObsOutput(const ObsOutput&) = delete;
+  ObsOutput& operator=(const ObsOutput&) = delete;
+
+  /// Idempotent: only the first call takes effect.
+  void open(const std::string& metrics_path, const std::string& trace_path) {
+    if (opened_) return;
+    opened_ = true;
+    metrics_path_ = metrics_path;
+    trace_path_ = trace_path;
+    if (!trace_path_.empty()) {
+      trace_ = std::make_unique<obs::TraceSession>();
+      trace_->activate();
+    }
+  }
+
+  /// Writes whichever files were requested; safe to call more than once.
+  void flush() {
+    if (flushed_ || !opened_) return;
+    flushed_ = true;
+    if (trace_ != nullptr) obs::TraceSession::deactivate();
+    if (!metrics_path_.empty() && !registry_.writeJson(metrics_path_))
+      std::fprintf(stderr, "warning: could not write --metrics-out %s\n", metrics_path_.c_str());
+    if (trace_ != nullptr && !trace_->writeChromeTrace(trace_path_))
+      std::fprintf(stderr, "warning: could not write --trace-out %s\n", trace_path_.c_str());
+  }
+
+  /// Null unless --metrics-out was given.
+  [[nodiscard]] obs::MetricsRegistry* metrics() {
+    return opened_ && !metrics_path_.empty() ? &registry_ : nullptr;
+  }
+  /// Null unless --trace-out was given.
+  [[nodiscard]] obs::TraceSession* trace() { return trace_.get(); }
+
+ private:
+  bool opened_ = false;
+  bool flushed_ = false;
+  std::string metrics_path_;
+  std::string trace_path_;
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<obs::TraceSession> trace_;
+};
 
 /// Flags shared by all experiment drivers.
 struct CommonFlags {
@@ -27,6 +84,11 @@ struct CommonFlags {
   const bool& csv;
   const bool& fast;
   const int& jobs;
+  const std::string& metrics_out;
+  const std::string& trace_out;
+  /// Shared by all copies of this CommonFlags (sweep() and makeConfig()
+  /// route instrument pointers through it).
+  std::shared_ptr<ObsOutput> obs;
 
   static CommonFlags declare(Cli& cli) {
     return CommonFlags{
@@ -38,7 +100,17 @@ struct CommonFlags {
         cli.flag<bool>("csv", false, "emit CSV instead of an aligned table"),
         cli.flag<bool>("fast", false, "short windows (CI smoke run)"),
         cli.flag<int>("jobs", 1, "sweep worker threads (0 = all hardware threads)"),
+        cli.flag<std::string>("metrics-out", "", "write a metrics-registry JSON snapshot here"),
+        cli.flag<std::string>("trace-out", "", "write a Chrome trace_event JSON file here"),
+        std::make_shared<ObsOutput>(),
     };
+  }
+
+  /// Opens the observability sinks (no-op after the first call). Callable
+  /// only after cli.parse().
+  ObsOutput& observability() const {
+    obs->open(metrics_out, trace_out);
+    return *obs;
   }
 
   [[nodiscard]] SimConfig makeConfig() const {
@@ -49,6 +121,11 @@ struct CommonFlags {
     c.seed = seed;
     c.warmup_us = fast ? 50'000.0 : 200'000.0;
     c.measure_us = fast ? 300'000.0 : 2'000'000.0;
+    // Sweep sims share the registry across worker threads, so only the
+    // thread-safe end-of-run export is wired up (never metrics_exclusive,
+    // never SimConfig::trace — virtual times from parallel points would
+    // interleave meaninglessly on one timeline).
+    c.metrics = observability().metrics();
     return c;
   }
 
@@ -90,7 +167,10 @@ inline double perSecond(double per_us) { return per_us * 1e6; }
 /// rows through this, then print sequentially.
 template <typename Fn>
 auto sweep(const CommonFlags& flags, std::size_t n, Fn&& fn) {
-  return SweepRunner(static_cast<unsigned>(flags.jobs)).map(n, std::forward<Fn>(fn));
+  SweepRunner runner(static_cast<unsigned>(flags.jobs));
+  ObsOutput& obs = flags.observability();
+  runner.instrument(obs.metrics(), obs.trace());
+  return runner.map(n, std::forward<Fn>(fn));
 }
 
 /// The derived seed for sweep point `i` (splitmix of --seed and i): every

@@ -5,12 +5,24 @@
 // CPU both degrade gracefully to one worker's throughput.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proto/stack.hpp"
 #include "runtime/engine.hpp"
 
 namespace {
 
 using namespace affinity;
+
+// Filled from --metrics-out (stripped before google-benchmark sees argv);
+// each engine benchmark snapshots its final ledger here.
+obs::MetricsRegistry* g_registry = nullptr;
 
 std::vector<std::vector<std::uint8_t>> makeFrames(int streams, int frames) {
   std::vector<std::vector<std::uint8_t>> out;
@@ -48,6 +60,8 @@ void BM_LockingEngine(benchmark::State& state) {
       eng.submit({frames[static_cast<std::size_t>(i) % frames.size()],
                   static_cast<std::uint32_t>(i % 16)});
     eng.stop();
+    if (g_registry != nullptr)
+      eng.exportMetrics(*g_registry, "rt_engine.locking.w" + std::to_string(workers));
   }
   state.SetItemsProcessed(state.iterations() * 20000);
 }
@@ -64,6 +78,8 @@ void BM_IpsEngine(benchmark::State& state) {
       eng.submit({frames[static_cast<std::size_t>(i) % frames.size()],
                   static_cast<std::uint32_t>(i % 16)});
     eng.stop();
+    if (g_registry != nullptr)
+      eng.exportMetrics(*g_registry, "rt_engine.ips.w" + std::to_string(workers));
   }
   state.SetItemsProcessed(state.iterations() * 20000);
 }
@@ -71,4 +87,51 @@ BENCHMARK(BM_IpsEngine)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: peel off --metrics-out/--trace-out (google-benchmark rejects
+// unknown flags) before handing the rest of argv over. An active trace
+// session makes every benchmarked engine emit per-frame spans — expect the
+// ring to wrap on full runs; sizes are per docs/OBSERVABILITY.md.
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  std::string trace_out;
+  std::vector<char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a(argv[i]);
+    const auto grab = [&](std::string_view flag, std::string& out) {
+      if (a.size() > flag.size() + 1 && a.substr(0, flag.size()) == flag && a[flag.size()] == '=') {
+        out = std::string(a.substr(flag.size() + 1));
+        return true;
+      }
+      if (a == flag && i + 1 < argc) {
+        out = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    if (grab("--metrics-out", metrics_out) || grab("--trace-out", trace_out)) continue;
+    rest.push_back(argv[i]);
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+
+  obs::MetricsRegistry registry;
+  if (!metrics_out.empty()) g_registry = &registry;
+  std::unique_ptr<obs::TraceSession> trace;
+  if (!trace_out.empty()) {
+    trace = std::make_unique<obs::TraceSession>();
+    trace->activate();
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (trace != nullptr) {
+    obs::TraceSession::deactivate();
+    if (!trace->writeChromeTrace(trace_out))
+      std::fprintf(stderr, "warning: could not write --trace-out %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty() && !registry.writeJson(metrics_out))
+    std::fprintf(stderr, "warning: could not write --metrics-out %s\n", metrics_out.c_str());
+  return 0;
+}

@@ -1,145 +1,26 @@
 // sim_kernel_bench — events/sec of the discrete-event kernel, current vs
 // the frozen seed kernel (bench/legacy_simulator.hpp), on schedule / cancel
-// / run mixes shaped like the protocol simulation's event traffic. Emits an
-// aligned table on stdout and, with --json, a JSON file so the perf
-// trajectory is tracked across PRs (scripts/run_perf_smoke.sh writes
+// / run mixes shaped like the protocol simulation's event traffic (the
+// workloads themselves live in bench/kernel_workloads.hpp, shared with
+// tools/perf_ledger). Also pins the disabled-tracing guard overhead below
+// the 1 % budget from docs/OBSERVABILITY.md. Emits an aligned table on
+// stdout and, with --json, a JSON file so the perf trajectory is tracked
+// across PRs (scripts/run_perf_smoke.sh writes
 // results/BENCH_sim_kernel.json).
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "bench/common.hpp"
+#include "bench/kernel_workloads.hpp"
 #include "bench/legacy_simulator.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
-#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace affinity;
-
-namespace {
-
-// Payload sized like the simulation's completion callback (`this` + Job +
-// two doubles ≈ 40 bytes): big enough that std::function heap-allocates it,
-// small enough for EventCallback's inline buffer.
-struct Payload {
-  std::uint64_t* sink;
-  double a, b, c, d;
-  void operator()() const { *sink += static_cast<std::uint64_t>(a + b + c + d); }
-};
-
-double secondsSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
-
-// Steady-state schedule+run: hold `depth` pending events; each iteration
-// pops the earliest and schedules a replacement. Returns events/sec.
-template <class Sim>
-double benchHold(std::uint64_t n, std::size_t depth, std::uint64_t seed) {
-  Sim sim;
-  Rng rng(seed);
-  std::uint64_t sink = 0;
-  const Payload payload{&sink, 1.25, 2.5, 3.75, 5.0};
-  for (std::size_t i = 0; i < depth; ++i) sim.schedule(rng.uniform(0.0, 1000.0), payload);
-  const auto t0 = std::chrono::steady_clock::now();
-  for (std::uint64_t i = 0; i < n; ++i) {
-    sim.step();
-    sim.scheduleAfter(rng.uniform(0.0, 1000.0), payload);
-  }
-  const double dt = secondsSince(t0);
-  sim.runAll();
-  AFF_CHECK(sim.executedCount() == n + depth);
-  AFF_CHECK(sink != 0);
-  return static_cast<double>(n) / dt;
-}
-
-// Timer churn: the retransmit-timer pattern — most timers are cancelled
-// before they fire. Each phase schedules `depth` timers ~1-2 ms out, cancels
-// a random half while they are all still pending, then drains the
-// survivors; the outstanding population stays ~depth throughout. Returns
-// kernel ops/sec (one op = a schedule, a cancel, or an executed event).
-template <class Sim>
-double benchChurn(std::uint64_t n, std::size_t depth, std::uint64_t seed) {
-  using Handle = decltype(std::declval<Sim&>().schedule(0.0, Payload{}));
-  Sim sim;
-  Rng rng(seed);
-  std::uint64_t sink = 0;
-  const Payload payload{&sink, 1.0, 2.0, 3.0, 4.0};
-  std::vector<Handle> timers(depth);
-  const std::uint64_t phases = n / depth;
-  std::uint64_t ops = 0;
-  const auto t0 = std::chrono::steady_clock::now();
-  for (std::uint64_t p = 0; p < phases; ++p) {
-    for (std::size_t i = 0; i < depth; ++i)
-      timers[i] = sim.scheduleAfter(rng.uniform(1000.0, 2000.0), payload);
-    std::uint64_t attempts = 0;
-    std::uint64_t cancelled = 0;
-    for (std::size_t i = 0; i < depth; ++i) {
-      if (rng.uniform_u64(2) == 0) {
-        ++attempts;
-        cancelled += sim.cancel(timers[i]) ? 1 : 0;
-      }
-    }
-    AFF_CHECK(cancelled == attempts);  // all victims were still pending
-    sim.runUntil(sim.now() + 2000.0);
-    AFF_CHECK(sim.pendingCount() == 0);
-    ops += depth + attempts + (depth - cancelled);
-  }
-  const double dt = secondsSince(t0);
-  AFF_CHECK(sink != 0);
-  return static_cast<double>(ops) / dt;
-}
-
-// Re-entrant chain: one self-rescheduling event, the minimal per-event
-// overhead (schedule from inside a callback, pop, invoke). The capture is
-// sized like the simulation's completion context (~40 bytes — see Payload);
-// the delay and pad doubles ride along in the capture. Returns events/sec.
-template <class Sim>
-struct Chain {
-  Sim* sim;
-  std::uint64_t* left;
-  double delay, pad_a, pad_b;
-  void operator()() const {
-    if (*left == 0) return;
-    --*left;
-    sim->scheduleAfter(delay, *this);
-  }
-};
-
-template <class Sim>
-double benchChain(std::uint64_t n, std::uint64_t /*seed*/) {
-  Sim sim;
-  std::uint64_t left = n;
-  const auto t0 = std::chrono::steady_clock::now();
-  sim.schedule(0.0, Chain<Sim>{&sim, &left, 1.0, 2.0, 3.0});
-  sim.runAll();
-  const double dt = secondsSince(t0);
-  AFF_CHECK(sim.executedCount() == n + 1);
-  return static_cast<double>(n) / dt;
-}
-
-struct Result {
-  std::string name;
-  double new_eps = 0.0;
-  double legacy_eps = 0.0;
-  [[nodiscard]] double speedup() const { return new_eps / legacy_eps; }
-};
-
-// Runs `reps` back-to-back (new, legacy) pairs and keeps the best of each,
-// so both kernels sample the same load climate on a shared machine.
-template <typename NewFn, typename LegacyFn>
-Result measure(const char* name, int reps, NewFn&& new_fn, LegacyFn&& legacy_fn) {
-  Result r{name, 0.0, 0.0};
-  for (int rep = 0; rep < reps; ++rep) {
-    const auto seed = static_cast<std::uint64_t>(rep) + 1;
-    r.new_eps = std::max(r.new_eps, new_fn(seed));
-    r.legacy_eps = std::max(r.legacy_eps, legacy_fn(seed));
-  }
-  return r;
-}
-
-}  // namespace
+using namespace affinity::bench;
 
 int main(int argc, char** argv) {
   Cli cli("sim_kernel_bench", "event-kernel events/sec: current vs seed (legacy) kernel");
@@ -148,26 +29,42 @@ int main(int argc, char** argv) {
   const int& reps = cli.flag<int>("reps", 3, "repetitions per workload (best kept)");
   const std::string& json_path =
       cli.flag<std::string>("json", "", "also write results as JSON to this path");
+  const std::string& metrics_out =
+      cli.flag<std::string>("metrics-out", "", "write a metrics-registry JSON snapshot here");
+  const std::string& trace_out =
+      cli.flag<std::string>("trace-out", "", "write a Chrome trace_event JSON file here");
   cli.parse(argc, argv);
 
-  const std::uint64_t n = fast ? 300'000 : 3'000'000;
-  std::vector<Result> results;
+  ObsOutput obs;
+  obs.open(metrics_out, trace_out);
 
-  results.push_back(measure(
-      "hold64_schedule_run", reps,
+  const std::uint64_t n = fast ? 300'000 : 3'000'000;
+  std::vector<KernelResult> results;
+  obs::TraceSession* trace = obs.trace();
+  const std::uint32_t bench_track = trace != nullptr ? trace->track("kernel bench") : 0;
+
+  const auto run = [&](const char* name, auto&& new_fn, auto&& legacy_fn) {
+    const double t0 = trace != nullptr ? trace->steadyNowUs() : 0.0;
+    results.push_back(measureKernelPair(name, reps, new_fn, legacy_fn));
+    if (trace != nullptr) trace->span(bench_track, "workload", t0, trace->steadyNowUs());
+  };
+  run(
+      "hold64_schedule_run",
       [&](std::uint64_t s) { return benchHold<Simulator>(n, 64, s); },
-      [&](std::uint64_t s) { return benchHold<legacy::Simulator>(n, 64, s); }));
-  results.push_back(measure(
-      "hold4096_schedule_run", reps,
+      [&](std::uint64_t s) { return benchHold<legacy::Simulator>(n, 64, s); });
+  run(
+      "hold4096_schedule_run",
       [&](std::uint64_t s) { return benchHold<Simulator>(n, 4096, s); },
-      [&](std::uint64_t s) { return benchHold<legacy::Simulator>(n, 4096, s); }));
-  results.push_back(measure(
-      "churn_schedule_cancel_run", reps,
+      [&](std::uint64_t s) { return benchHold<legacy::Simulator>(n, 4096, s); });
+  run(
+      "churn_schedule_cancel_run",
       [&](std::uint64_t s) { return benchChurn<Simulator>(n, 256, s); },
-      [&](std::uint64_t s) { return benchChurn<legacy::Simulator>(n, 256, s); }));
-  results.push_back(measure(
-      "reentrant_chain", reps, [&](std::uint64_t s) { return benchChain<Simulator>(n, s); },
-      [&](std::uint64_t s) { return benchChain<legacy::Simulator>(n, s); }));
+      [&](std::uint64_t s) { return benchChurn<legacy::Simulator>(n, 256, s); });
+  run(
+      "reentrant_chain", [&](std::uint64_t s) { return benchChain<Simulator>(n, s); },
+      [&](std::uint64_t s) { return benchChain<legacy::Simulator>(n, s); });
+
+  const double guard_pct = benchGuardOverheadPct<Simulator>(n, 64, reps);
 
   std::printf("# sim kernel — %s run, %llu events/workload, best of %d\n",
               fast ? "fast" : "full", static_cast<unsigned long long>(n), reps);
@@ -175,7 +72,7 @@ int main(int argc, char** argv) {
   double worst = 1e300;
   double new_time = 0.0;
   double legacy_time = 0.0;
-  for (const Result& r : results) {
+  for (const KernelResult& r : results) {
     t.beginRow();
     t.addText(r.name.c_str());
     t.add(r.new_eps / 1e6);
@@ -190,6 +87,20 @@ int main(int argc, char** argv) {
   const double aggregate = legacy_time / new_time;
   std::printf("# aggregate events/sec over the whole mix: %.2fx the seed kernel\n", aggregate);
   std::printf("# worst-case single-workload speedup: %.2fx\n", worst);
+  std::printf("# disabled trace-guard overhead (frame-sized hold64): %.3f%% (budget < 1%%%s)\n",
+              guard_pct,
+              trace != nullptr ? "; tracing ACTIVE, number includes enabled cost" : "");
+
+  if (obs::MetricsRegistry* reg = obs.metrics(); reg != nullptr) {
+    for (const KernelResult& r : results) {
+      reg->gauge("bench.kernel." + r.name + ".new_events_per_sec").set(r.new_eps);
+      reg->gauge("bench.kernel." + r.name + ".legacy_events_per_sec").set(r.legacy_eps);
+      reg->gauge("bench.kernel." + r.name + ".speedup").set(r.speedup());
+    }
+    reg->gauge("bench.kernel.aggregate_speedup").set(aggregate);
+    reg->gauge("bench.kernel.worst_speedup").set(worst);
+    reg->gauge("bench.kernel.trace_guard_overhead_pct").set(guard_pct);
+  }
 
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -199,15 +110,17 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"events_per_workload\": %llu,\n  \"results\": [\n",
                  static_cast<unsigned long long>(n));
     for (std::size_t i = 0; i < results.size(); ++i) {
-      const Result& r = results[i];
+      const KernelResult& r = results[i];
       std::fprintf(f,
                    "    {\"workload\": \"%s\", \"new_events_per_sec\": %.0f, "
                    "\"legacy_events_per_sec\": %.0f, \"speedup\": %.3f}%s\n",
                    r.name.c_str(), r.new_eps, r.legacy_eps, r.speedup(),
                    i + 1 < results.size() ? "," : "");
     }
-    std::fprintf(f, "  ],\n  \"aggregate_speedup\": %.3f,\n  \"worst_speedup\": %.3f\n}\n",
-                 aggregate, worst);
+    std::fprintf(f,
+                 "  ],\n  \"aggregate_speedup\": %.3f,\n  \"worst_speedup\": %.3f,\n"
+                 "  \"trace_guard_overhead_pct\": %.3f\n}\n",
+                 aggregate, worst, guard_pct);
     std::fclose(f);
     std::printf("# wrote %s\n", json_path.c_str());
   }

@@ -22,5 +22,12 @@ fi
 cmake --build "$build_dir" -j --target sim_kernel_bench
 
 mkdir -p results
-"$build_dir/bench/sim_kernel_bench" ${mode_flag} --json results/BENCH_sim_kernel.json
-echo "done: results/BENCH_sim_kernel.json"
+# Capture the bench exit explicitly so a failure is reported (and propagated)
+# even if a caller sources this script into a shell without `set -e`.
+status=0
+"$build_dir/bench/sim_kernel_bench" ${mode_flag} --json results/BENCH_sim_kernel.json || status=$?
+if [[ $status -ne 0 ]]; then
+  echo "PERF SMOKE FAIL: sim_kernel_bench exited with status $status" >&2
+  exit "$status"
+fi
+echo "PERF SMOKE PASS: results/BENCH_sim_kernel.json"

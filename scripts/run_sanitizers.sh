@@ -6,12 +6,15 @@
 # Usage: scripts/run_sanitizers.sh [--frames N]
 #   --frames N   chaos soak size per engine (default 100000; keep small for
 #                TSan, which runs ~10x slower)
+# Honors CTEST_PARALLEL_LEVEL (the same knob ctest uses) for build
+# parallelism; defaults to all cores.
 set -euo pipefail
 
 frames=100000
 if [[ "${1:-}" == "--frames" ]]; then
   frames="${2:?usage: run_sanitizers.sh [--frames N]}"
 fi
+jobs="${CTEST_PARALLEL_LEVEL:-$(nproc)}"
 
 # Test binaries that cover the runtime/chaos/proto surface. ctest would work
 # too, but invoking the binaries directly keeps one process per suite (ASan
@@ -26,7 +29,7 @@ run_tree() {
     cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo "$cmake_flag"
   fi
   local targets=("${suites[@]}" chaos_soak)
-  cmake --build "$dir" -j --target "${targets[@]}"
+  cmake --build "$dir" -j "$jobs" --target "${targets[@]}"
   for t in "${suites[@]}"; do
     echo "== [$name] $t =="
     env $env_opts "$dir/tests/$t" --gtest_brief=1

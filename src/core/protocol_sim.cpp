@@ -42,6 +42,54 @@ ProtocolSim::ProtocolSim(SimConfig config, const ExecTimeModel& model, const Str
     stacks_by_proc_[k % config_.num_procs].push_back(k);
 
   if (config_.per_stream_stats) per_stream_delay_.resize(num_streams);
+  initObservability();
+}
+
+void ProtocolSim::initObservability() {
+  if (config_.trace != nullptr) {
+    trace_tracks_.reserve(config_.num_procs);
+    for (unsigned p = 0; p < config_.num_procs; ++p)
+      trace_tracks_.push_back(config_.trace->track("proc " + std::to_string(p)));
+    trace_ctl_track_ = config_.trace->track("sim control");
+  }
+  if (config_.metrics == nullptr) return;
+  obs_on_ = true;
+  auto& reg = *config_.metrics;
+  hooks_.arrived = &reg.counter("sim.packets.arrived");
+  hooks_.completed = &reg.counter("sim.packets.completed");
+  hooks_.delay = &reg.histogram("sim.delay_us");
+  hooks_.service = &reg.meanStat("sim.service_us");
+  hooks_.lock_wait = &reg.meanStat("sim.lock_wait_us");
+  hooks_.l1_warm = &reg.meanStat("sim.affinity.l1_warm_fraction");
+  hooks_.l2_warm = &reg.meanStat("sim.affinity.l2_warm_fraction");
+  hooks_.stream_mru_hit = &reg.counter("sim.sched.stream_mru.hit");
+  hooks_.stream_mru_fallback = &reg.counter("sim.sched.stream_mru.fallback");
+  hooks_.ips_mru_hit = &reg.counter("sim.sched.ips_mru.hit");
+  hooks_.ips_mru_fallback = &reg.counter("sim.sched.ips_mru.fallback");
+  proc_queue_tw_.resize(config_.num_procs);
+  proc_busy_tw_.resize(config_.num_procs);
+  if (config_.metrics_exclusive) {
+    hooks_.proc_queue.reserve(config_.num_procs);
+    for (unsigned p = 0; p < config_.num_procs; ++p) {
+      hooks_.proc_queue.push_back(
+          &reg.timeWeighted("sim.proc." + std::to_string(p) + ".queue_depth"));
+    }
+    hooks_.global_queue = &reg.timeWeighted("sim.queue.global_depth");
+  }
+}
+
+void ProtocolSim::noteProcQueue(unsigned proc, int delta) noexcept {
+  if (!obs_on_) return;
+  const double now = sim_.now();
+  proc_queue_tw_[proc].adjust(now, delta);
+  if (!hooks_.proc_queue.empty()) hooks_.proc_queue[proc]->adjust(now, delta);
+}
+
+void ProtocolSim::noteGlobalQueue(int delta) noexcept {
+  if (!obs_on_) return;
+  const double now = sim_.now();
+  global_queue_tw_.adjust(now, delta);
+  if (hooks_.global_queue != nullptr) hooks_.global_queue->adjust(now, delta);
 }
 
 bool ProtocolSim::usesLocking(std::uint32_t stream) const noexcept {
@@ -114,7 +162,11 @@ int ProtocolSim::chooseIdleForLocking(std::uint32_t stream) {
       return mruIdleProc();
     case LockingPolicy::kStreamMru: {
       const int lp = affinity_.lastProcOfStream(stream);
-      if (lp >= 0 && proc_idle_[lp]) return lp;
+      if (lp >= 0 && proc_idle_[lp]) {
+        if (obs_on_) hooks_.stream_mru_hit->inc();
+        return lp;
+      }
+      if (obs_on_) hooks_.stream_mru_fallback->inc();
       return mruIdleProc();
     }
     case LockingPolicy::kWiredStreams:
@@ -134,7 +186,11 @@ int ProtocolSim::chooseIdleForStack(std::uint32_t stack) {
     case IpsPolicy::kMru: {
       if (idle_count_ == 0) return -1;
       const int lp = affinity_.lastProcOfStack(stack);
-      if (lp >= 0 && proc_idle_[lp]) return lp;
+      if (lp >= 0 && proc_idle_[lp]) {
+        if (obs_on_) hooks_.ips_mru_hit->inc();
+        return lp;
+      }
+      if (obs_on_) hooks_.ips_mru_fallback->inc();
       return mruIdleProc();
     }
   }
@@ -143,6 +199,7 @@ int ProtocolSim::chooseIdleForStack(std::uint32_t stack) {
 
 void ProtocolSim::arrivePacket(std::uint32_t stream) {
   ++arrived_;
+  if (obs_on_) hooks_.arrived->inc();
   const Job job{stream, sim_.now()};
   if (usesLocking(stream)) {
     if (config_.policy.locking == LockingPolicy::kWiredStreams) {
@@ -153,6 +210,7 @@ void ProtocolSim::arrivePacket(std::uint32_t stream) {
         wired_queues_[p].push_back(job);
         ++queued_count_;
         recordQueueChange();
+        noteProcQueue(p, +1);
       }
       return;
     }
@@ -163,6 +221,7 @@ void ProtocolSim::arrivePacket(std::uint32_t stream) {
       global_queue_.push_back(job);
       ++queued_count_;
       recordQueueChange();
+      noteGlobalQueue(+1);
     }
     return;
   }
@@ -170,6 +229,7 @@ void ProtocolSim::arrivePacket(std::uint32_t stream) {
   stack_queues_[k].push_back(job);
   ++queued_count_;
   recordQueueChange();
+  noteProcQueue(k % config_.num_procs, +1);
   tryDispatchStack(k);
 }
 
@@ -201,6 +261,7 @@ void ProtocolSim::tryDispatchStack(std::uint32_t stack) {
   stack_queues_[stack].pop_front();
   --queued_count_;
   recordQueueChange();
+  noteProcQueue(stack % config_.num_procs, -1);
   startService(static_cast<unsigned>(p), job);
 }
 
@@ -223,6 +284,14 @@ void ProtocolSim::startService(unsigned proc, const Job& job) {
     stack_busy_[stack] = 1;
   }
   const auto parts = model_.serviceParts(ages);
+  if (obs_on_) {
+    // Warm fraction per level: how much of the full reload transient this
+    // packet did NOT pay (1 = perfectly warm, 0 = fully cold/migrated).
+    const auto& rp = model_.reloadParams();
+    hooks_.l1_warm->add(1.0 - parts.l1 / rp.dl1_us);
+    hooks_.l2_warm->add(1.0 - parts.l2 / rp.dl2_us);
+    proc_busy_tw_[proc].set(now, 1.0);
+  }
   double exec = parts.total() + config_.fixed_overhead_us;
   double lock_wait = 0.0;
   if (locking) {
@@ -318,6 +387,11 @@ void ProtocolSim::feedProcessor(unsigned proc) {
     lock_queue->erase(lock_queue->begin() + static_cast<std::ptrdiff_t>(lock_index));
     --queued_count_;
     recordQueueChange();
+    if (lock_queue == &global_queue_) {
+      noteGlobalQueue(-1);
+    } else {
+      noteProcQueue(proc, -1);
+    }
     startService(proc, job);
   } else {
     const auto k = static_cast<std::uint32_t>(stack);
@@ -326,6 +400,7 @@ void ProtocolSim::feedProcessor(unsigned proc) {
     stack_queues_[k].pop_front();
     --queued_count_;
     recordQueueChange();
+    noteProcQueue(k % config_.num_procs, -1);
     startService(proc, job);
   }
 }
@@ -337,6 +412,12 @@ void ProtocolSim::onComplete(unsigned proc, const Job& job, double lock_wait, do
   affinity_.onComplete(proc, job.stream, stack, now);
   if (config_.observer != nullptr) config_.observer->onServiceEnd(proc, job.stream, stack, now);
   ++completed_total_;
+  if (config_.trace != nullptr) {
+    config_.trace->span(trace_tracks_[proc], locking ? "service (locking)" : "service (ips)",
+                        now - (lock_wait + exec), now, job.stream,
+                        stack == AffinityState::kNoStack ? 0 : stack);
+  }
+  if (obs_on_) proc_busy_tw_[proc].set(now, 0.0);
 
   if (inMeasureWindow()) {
     const double delay = now - job.arrival_us;
@@ -347,6 +428,12 @@ void ProtocolSim::onComplete(unsigned proc, const Job& job, double lock_wait, do
     lock_wait_.add(lock_wait);
     ++completed_;
     if (config_.per_stream_stats) per_stream_delay_[job.stream].add(delay);
+    if (obs_on_) {
+      hooks_.completed->inc();
+      hooks_.delay->add(delay);
+      hooks_.service->add(exec);
+      hooks_.lock_wait->add(lock_wait);
+    }
   }
 
   if (stack != AffinityState::kNoStack) {
@@ -377,6 +464,8 @@ void ProtocolSim::adaptStreams() {
         ++reclassifications_;
         // Packets already queued on the old side complete there; new
         // arrivals take the new route (a live-reconfiguration transient).
+        if (config_.trace != nullptr)
+          config_.trace->instant(trace_ctl_track_, "promote to locking", sim_.now(), s);
       }
     } else if (uses_locking_[s]) {
       // Demote only after a sustained quiet spell (hysteresis): bursty
@@ -385,6 +474,8 @@ void ProtocolSim::adaptStreams() {
         uses_locking_[s] = 0;
         quiet_windows_[s] = 0;
         ++reclassifications_;
+        if (config_.trace != nullptr)
+          config_.trace->instant(trace_ctl_track_, "demote to ips", sim_.now(), s);
       }
     }
     window_arrivals_[s] = 0;
@@ -401,6 +492,13 @@ RunMetrics ProtocolSim::run() {
   end_time_ = config_.warmup_us + config_.measure_us;
   busy_procs_.set(0.0, 0.0);
   queue_len_.set(0.0, 0.0);
+  if (obs_on_) {
+    global_queue_tw_.set(0.0, 0.0);
+    for (unsigned p = 0; p < config_.num_procs; ++p) {
+      proc_queue_tw_[p].set(0.0, 0.0);
+      proc_busy_tw_[p].set(0.0, 0.0);
+    }
+  }
 
   if (config_.adaptive_hybrid) {
     AFF_CHECK(config_.policy.paradigm == Paradigm::kHybrid);
@@ -450,7 +548,35 @@ RunMetrics ProtocolSim::run() {
     m.per_stream_mean_delay_us.reserve(per_stream_delay_.size());
     for (const auto& s : per_stream_delay_) m.per_stream_mean_delay_us.push_back(s.mean());
   }
+  if (obs_on_) exportRunMetrics(m);
   return m;
+}
+
+void ProtocolSim::exportRunMetrics(const RunMetrics& m) {
+  auto& reg = *config_.metrics;
+  reg.counter("sim.run.count").inc();
+  if (m.saturated) reg.counter("sim.run.saturated").inc();
+  reg.meanStat("sim.run.mean_delay_us").add(m.mean_delay_us);
+  reg.meanStat("sim.run.throughput_per_us").add(m.throughput_per_us);
+  reg.meanStat("sim.run.utilization").add(m.utilization);
+  reg.meanStat("sim.run.mean_queue_len").add(m.mean_queue_len);
+  reg.meanStat("sim.kernel.events_executed").add(static_cast<double>(sim_.executedCount()));
+  reg.meanStat("sim.kernel.events_pending_end").add(static_cast<double>(sim_.pendingCount()));
+  reg.counter("sim.affinity.stream_migrations").inc(affinity_.streamMigrations());
+  reg.counter("sim.affinity.stream_revisits").inc(affinity_.streamRevisits());
+  reg.counter("sim.affinity.stack_migrations").inc(affinity_.stackMigrations());
+  reg.counter("sim.affinity.stack_revisits").inc(affinity_.stackRevisits());
+  reg.counter("sim.hybrid.reclassifications").inc(reclassifications_);
+  for (unsigned p = 0; p < config_.num_procs; ++p) {
+    const std::string base = "sim.proc." + std::to_string(p);
+    reg.meanStat(base + ".queue_depth_avg").add(proc_queue_tw_[p].average(end_time_));
+    reg.meanStat(base + ".busy_frac").add(proc_busy_tw_[p].average(end_time_));
+  }
+  if (config_.metrics_exclusive) {
+    for (auto* tw : hooks_.proc_queue) tw->finalize(end_time_);
+    if (hooks_.global_queue != nullptr) hooks_.global_queue->finalize(end_time_);
+    reg.timeWeighted("sim.queue.global_depth");  // ensure present even if never pushed
+  }
 }
 
 }  // namespace affinity

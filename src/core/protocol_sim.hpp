@@ -22,6 +22,8 @@
 
 #include "cache/exec_time.hpp"
 #include "core/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/affinity_state.hpp"
 #include "sched/policy.hpp"
 #include "sim/simulator.hpp"
@@ -76,6 +78,25 @@ struct SimConfig {
   bool per_stream_stats = false;
   /// Optional observation hook (not owned; may be nullptr).
   SimObserver* observer = nullptr;
+
+  // --- observability (docs/OBSERVABILITY.md) -------------------------------
+  /// Optional metrics registry (not owned). Only thread-safe instruments
+  /// (counters, means, histograms) are written unless `metrics_exclusive`
+  /// is set, so one registry may be shared by parallel sweep points — the
+  /// streaming stats then aggregate across every point that ran. Purely
+  /// observational: enabling it changes no simulation result (guarded by
+  /// determinism_test).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Promise that this sim is the registry's only concurrent writer; the
+  /// sim then additionally registers single-writer time-weighted
+  /// instruments (live per-processor queue depth / busy level). Set by
+  /// single-run tools (tools/affinity_sim), never by parallel sweeps.
+  bool metrics_exclusive = false;
+  /// Optional trace session (not owned): per-processor service spans and
+  /// control instants in *virtual* time. Give each concurrently-running
+  /// sim its own session — virtual timelines of different runs must not
+  /// interleave. Also purely observational.
+  obs::TraceSession* trace = nullptr;
 
   // --- adaptive hybrid (paradigm == kHybrid) -------------------------------
   // Instead of a fixed hybrid_locking_streams list, reclassify streams
@@ -150,6 +171,14 @@ class ProtocolSim {
   bool takeFromRunnable(std::uint32_t stack);
   void adaptStreams();
 
+  // --- observability (no-ops unless config_.metrics / config_.trace) ------
+  void initObservability();
+  /// Queue depth attributable to processor `proc` changed by `delta`
+  /// (wired Locking queue, or an IPS stack whose wired home is `proc`).
+  void noteProcQueue(unsigned proc, int delta) noexcept;
+  void noteGlobalQueue(int delta) noexcept;
+  void exportRunMetrics(const RunMetrics& m);
+
   SimConfig config_;
   ExecTimeModel model_;
   StreamSet streams_;
@@ -204,6 +233,34 @@ class ProtocolSim {
   bool mid_recorded_ = false;
   std::vector<OnlineStats> per_stream_delay_;
   bool ran_ = false;
+
+  // Observability plumbing (resolved once in initObservability; hot paths
+  // test obs_on_ / the individual pointers, never the registry map).
+  struct ObsHooks {
+    obs::Counter* arrived = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::LatencyHisto* delay = nullptr;
+    obs::MeanStat* service = nullptr;
+    obs::MeanStat* lock_wait = nullptr;
+    obs::MeanStat* l1_warm = nullptr;
+    obs::MeanStat* l2_warm = nullptr;
+    obs::Counter* stream_mru_hit = nullptr;
+    obs::Counter* stream_mru_fallback = nullptr;
+    obs::Counter* ips_mru_hit = nullptr;
+    obs::Counter* ips_mru_fallback = nullptr;
+    // metrics_exclusive only (single-writer live levels):
+    std::vector<obs::TimeWeightedStat*> proc_queue;
+    obs::TimeWeightedStat* global_queue = nullptr;
+  };
+  ObsHooks hooks_;
+  bool obs_on_ = false;
+  // Internal per-processor integrals (always safe; exported as averages).
+  std::vector<TimeWeighted> proc_queue_tw_;
+  std::vector<TimeWeighted> proc_busy_tw_;
+  TimeWeighted global_queue_tw_;
+  // Trace tracks (one per processor + one control track).
+  std::vector<std::uint32_t> trace_tracks_;
+  std::uint32_t trace_ctl_track_ = 0;
 };
 
 }  // namespace affinity

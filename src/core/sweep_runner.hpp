@@ -12,6 +12,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <mutex>
@@ -22,6 +23,8 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace affinity {
 
@@ -50,25 +53,56 @@ class SweepRunner {
 
   [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
 
+  /// Opt-in observability: per-point wall-time spans on one trace track per
+  /// worker (steady-clock session time) and completion counters / wall-time
+  /// stats in the registry. Pure observation — results and their order are
+  /// unchanged (the determinism guarantee above still holds). Either
+  /// pointer may be null.
+  void instrument(obs::MetricsRegistry* metrics, obs::TraceSession* trace) {
+    metrics_ = metrics;
+    trace_ = trace;
+    worker_tracks_.clear();
+    if (trace_ != nullptr) {
+      for (unsigned w = 0; w < jobs_; ++w)
+        worker_tracks_.push_back(trace_->track("sweep worker " + std::to_string(w)));
+    }
+  }
+
   /// Invokes `fn(i)` for i in [0, n), possibly concurrently, and returns
   /// the results ordered by index. `fn` must be safe to call from multiple
   /// threads on distinct indices; exceptions propagate (first one wins).
   template <typename Fn>
   auto map(std::size_t n, Fn&& fn) const {
     using R = std::invoke_result_t<Fn&, std::size_t>;
+    obs::Counter* done = metrics_ != nullptr ? &metrics_->counter("sweep.points_completed") : nullptr;
+    obs::MeanStat* wall = metrics_ != nullptr ? &metrics_->meanStat("sweep.point_wall_us") : nullptr;
+    auto timed = [&](std::size_t wid, std::size_t i) {
+      const double t0 = trace_ != nullptr ? trace_->steadyNowUs() : 0.0;
+      const auto c0 = wall != nullptr ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::time_point{};
+      R r = fn(i);
+      if (wall != nullptr) {
+        wall->add(std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - c0)
+                      .count());
+      }
+      if (done != nullptr) done->inc();
+      if (trace_ != nullptr && wid < worker_tracks_.size())
+        trace_->span(worker_tracks_[wid], "sweep point", t0, trace_->steadyNowUs(), i);
+      return r;
+    };
     std::vector<std::optional<R>> slots(n);
     if (jobs_ <= 1 || n <= 1) {
-      for (std::size_t i = 0; i < n; ++i) slots[i].emplace(fn(i));
+      for (std::size_t i = 0; i < n; ++i) slots[i].emplace(timed(0, i));
     } else {
       std::atomic<std::size_t> next{0};
       std::mutex err_mu;
       std::exception_ptr first_error;
-      auto worker = [&] {
+      auto worker = [&](std::size_t wid) {
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= n) return;
           try {
-            slots[i].emplace(fn(i));
+            slots[i].emplace(timed(wid, i));
           } catch (...) {
             std::lock_guard lock(err_mu);
             if (!first_error) first_error = std::current_exception();
@@ -80,8 +114,8 @@ class SweepRunner {
       const std::size_t nthreads = std::min<std::size_t>(jobs_, n);
       std::vector<std::thread> pool;
       pool.reserve(nthreads - 1);
-      for (std::size_t t = 1; t < nthreads; ++t) pool.emplace_back(worker);
-      worker();  // the calling thread is worker 0
+      for (std::size_t t = 1; t < nthreads; ++t) pool.emplace_back(worker, t);
+      worker(0);  // the calling thread is worker 0
       for (auto& t : pool) t.join();
       if (first_error) std::rethrow_exception(first_error);
     }
@@ -108,6 +142,9 @@ class SweepRunner {
 
  private:
   unsigned jobs_;
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned; null = no metrics
+  obs::TraceSession* trace_ = nullptr;       // not owned; null = no spans
+  std::vector<std::uint32_t> worker_tracks_;
 };
 
 }  // namespace affinity

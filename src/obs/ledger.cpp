@@ -1,0 +1,99 @@
+#include "obs/ledger.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace affinity::obs {
+
+namespace {
+
+bool readAll(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool writeAll(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+bool appendLedgerRow(const std::string& path, const std::string& row_json) {
+  std::string existing;
+  const bool had_file = readAll(path, existing);
+
+  if (had_file) {
+    // Valid target shape: "[ ...rows... ]" (possibly "[]"). Splice before
+    // the final ']'.
+    const auto open = existing.find('[');
+    const auto close = existing.rfind(']');
+    if (open != std::string::npos && close != std::string::npos && open < close) {
+      const std::string body = existing.substr(open + 1, close - open - 1);
+      const bool empty = body.find('{') == std::string::npos;
+      std::string out = "[\n";
+      if (!empty) {
+        // Keep existing rows verbatim, trimming trailing whitespace.
+        std::string trimmed = body;
+        while (!trimmed.empty() &&
+               (trimmed.back() == '\n' || trimmed.back() == ' ' || trimmed.back() == '\t')) {
+          trimmed.pop_back();
+        }
+        while (!trimmed.empty() && (trimmed.front() == '\n' || trimmed.front() == ' ')) {
+          trimmed.erase(trimmed.begin());
+        }
+        out += trimmed + ",\n";
+      }
+      out += row_json + "\n]\n";
+      return writeAll(path, out);
+    }
+    // Unparsable: preserve the old content, then start a fresh array.
+    (void)writeAll(path + ".corrupt", existing);
+    std::fprintf(stderr, "ledger: %s is not a JSON array; previous content saved to %s.corrupt\n",
+                 path.c_str(), path.c_str());
+  }
+  return writeAll(path, "[\n" + row_json + "\n]\n");
+}
+
+std::size_t ledgerRowCount(const std::string& path) {
+  std::string content;
+  if (!readAll(path, content)) return 0;
+  // Rows are top-level objects: count '{' at brace depth 1 relative to the
+  // array (good enough for our own writer's output, which never nests
+  // objects inside row values beyond one level of braces in strings-free
+  // numeric rows).
+  std::size_t rows = 0;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : content) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth == 0) ++rows;
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+    }
+  }
+  return rows;
+}
+
+}  // namespace affinity::obs

@@ -1,0 +1,23 @@
+// ledger.hpp — append-only JSON-array perf ledger (BENCH_<date>.json).
+//
+// A ledger file is a JSON array of row objects, one per recorded benchmark
+// run, kept human-diffable: one row per line. appendLedgerRow() splices a
+// new row before the closing bracket so the file stays a valid JSON array
+// after every append; a missing file is created, an unparsable file is
+// rewritten from scratch (the old content is preserved under
+// "<path>.corrupt" so a bad write never silently destroys history).
+#pragma once
+
+#include <string>
+
+namespace affinity::obs {
+
+/// Appends `row_json` (a complete JSON object, no trailing comma/newline)
+/// to the JSON array in `path`. Returns false on I/O failure.
+bool appendLedgerRow(const std::string& path, const std::string& row_json);
+
+/// Number of rows currently in the ledger (0 if missing/unreadable).
+/// Counts top-level objects, tolerant of whitespace/newlines.
+std::size_t ledgerRowCount(const std::string& path);
+
+}  // namespace affinity::obs

@@ -1,0 +1,163 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"  // jsonEscape
+#include "util/check.hpp"
+
+namespace affinity::obs {
+
+std::atomic<TraceSession*> TraceSession::active_{nullptr};
+
+TraceSession::TraceSession(std::size_t track_capacity)
+    : track_capacity_(track_capacity), epoch_(std::chrono::steady_clock::now()) {
+  AFF_CHECK(track_capacity_ > 0);
+}
+
+TraceSession::~TraceSession() {
+  // Never leave a dangling global pointer behind.
+  TraceSession* self = this;
+  active_.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+}
+
+std::uint32_t TraceSession::track(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i]->name == name) return static_cast<std::uint32_t>(i);
+  }
+  auto t = std::make_unique<Track>();
+  t->name = name;
+  t->ring.resize(track_capacity_);
+  tracks_.push_back(std::move(t));
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+void TraceSession::span(std::uint32_t track, const char* name, double begin_us, double end_us,
+                        std::uint64_t arg0, std::uint64_t arg1) noexcept {
+  Track& t = trackRef(track);
+  Record& r = t.ring[t.next];
+  if (t.written >= t.ring.size()) dropped_.fetch_add(1, std::memory_order_relaxed);
+  r.begin = begin_us;
+  r.end = end_us;
+  r.name = name;
+  r.arg0 = arg0;
+  r.arg1 = arg1;
+  r.is_span = true;
+  t.next = (t.next + 1) % t.ring.size();
+  ++t.written;
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceSession::instant(std::uint32_t track, const char* name, double ts_us,
+                           std::uint64_t arg0) noexcept {
+  Track& t = trackRef(track);
+  Record& r = t.ring[t.next];
+  if (t.written >= t.ring.size()) dropped_.fetch_add(1, std::memory_order_relaxed);
+  r.begin = ts_us;
+  r.end = ts_us;
+  r.name = name;
+  r.arg0 = arg0;
+  r.arg1 = 0;
+  r.is_span = false;
+  t.next = (t.next + 1) % t.ring.size();
+  ++t.written;
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double TraceSession::steadyNowUs() const noexcept {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint64_t TraceSession::recordedCount() const noexcept {
+  return recorded_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceSession::droppedCount() const noexcept {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::size_t TraceSession::trackCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tracks_.size();
+}
+
+namespace {
+
+// One emitted trace_event line. `phase` is the Chrome ph character.
+struct Emission {
+  double ts;
+  std::uint32_t tid;
+  std::uint64_t seq;  // within-track order, breaks ts ties so E(n) < B(n+1)
+  char phase;
+  const char* name;
+  std::uint64_t arg0, arg1;
+};
+
+}  // namespace
+
+void TraceSession::writeChromeTrace(std::FILE* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Emission> ev;
+  for (std::uint32_t ti = 0; ti < tracks_.size(); ++ti) {
+    const Track& t = *tracks_[ti];
+    const std::size_t n = std::min<std::uint64_t>(t.written, t.ring.size());
+    // Oldest surviving record first (ring order).
+    const std::size_t start = t.written > t.ring.size() ? t.next : 0;
+    std::uint64_t seq = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const Record& r = t.ring[(start + k) % t.ring.size()];
+      if (r.is_span) {
+        ev.push_back({r.begin, ti, seq++, 'B', r.name, r.arg0, r.arg1});
+        ev.push_back({r.end, ti, seq++, 'E', r.name, 0, 0});
+      } else {
+        ev.push_back({r.begin, ti, seq++, 'i', r.name, r.arg0, 0});
+      }
+    }
+  }
+  // Per track, records are written in nondecreasing-end order and spans do
+  // not nest, so within-track seq order is already time order; the global
+  // sort only interleaves tracks. (ts, tid, seq) keeps equal-timestamp
+  // events of one track in recording order, so B/E stay properly paired.
+  std::sort(ev.begin(), ev.end(), [](const Emission& a, const Emission& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.seq < b.seq;
+  });
+
+  std::fprintf(out, "{\"traceEvents\": [\n");
+  bool first = true;
+  for (std::uint32_t ti = 0; ti < tracks_.size(); ++ti) {
+    std::fprintf(out,
+                 "%s{\"ph\": \"M\", \"pid\": 1, \"tid\": %u, \"name\": \"thread_name\", "
+                 "\"args\": {\"name\": \"%s\"}}",
+                 first ? "" : ",\n", ti + 1, jsonEscape(tracks_[ti]->name).c_str());
+    first = false;
+  }
+  for (const Emission& e : ev) {
+    std::fprintf(out, "%s{\"ph\": \"%c\", \"pid\": 1, \"tid\": %u, \"ts\": %.6f, \"name\": \"%s\"",
+                 first ? "" : ",\n", e.phase, e.tid + 1, e.ts, jsonEscape(e.name).c_str());
+    first = false;
+    if (e.phase == 'i') {
+      std::fprintf(out, ", \"s\": \"t\", \"args\": {\"arg0\": %llu}",
+                   static_cast<unsigned long long>(e.arg0));
+    } else if (e.phase == 'B') {
+      std::fprintf(out, ", \"args\": {\"arg0\": %llu, \"arg1\": %llu}",
+                   static_cast<unsigned long long>(e.arg0),
+                   static_cast<unsigned long long>(e.arg1));
+    }
+    std::fprintf(out, "}");
+  }
+  std::fprintf(out, "\n], \"displayTimeUnit\": \"ms\"}\n");
+}
+
+bool TraceSession::writeChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  writeChromeTrace(f);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace affinity::obs

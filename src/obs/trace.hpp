@@ -1,0 +1,116 @@
+// trace.hpp — scoped-span / instant-event tracing with Chrome trace_event
+// export (docs/OBSERVABILITY.md).
+//
+// A TraceSession collects events on named *tracks* (one per simulated
+// processor, engine worker, sweep worker, ...). Each track is a fixed-size
+// ring of complete records written by exactly one thread — recording is a
+// couple of stores into preallocated memory, no locks, no allocation. When
+// a ring wraps, the oldest records are overwritten; because spans are stored
+// whole (begin + end in one record, written when the span closes), overwrite
+// can never orphan half of a begin/end pair.
+//
+// Timestamps are caller-supplied doubles in microseconds. The discrete-event
+// simulator passes virtual time; real-thread engines pass
+// TraceSession::steadyNowUs() (steady_clock relative to the session epoch).
+// Don't mix the two clocks in one session — run simulators with their own
+// session (SimConfig::trace) and engines against the global one.
+//
+// Tracing is OFF by default. Engines consult the process-global slot
+// (TraceSession::active(), a single relaxed atomic load) once at start();
+// bench/sim_kernel_bench pins the disabled cost of that pattern below 1 %.
+// Event names must be string literals (or otherwise outlive the session) —
+// records store the pointer.
+//
+// export: writeChromeTrace() emits the Chrome trace_event JSON array format
+// ({"traceEvents": [...]}) with "B"/"E" duration events and "i" instants,
+// globally sorted by timestamp, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace affinity::obs {
+
+class TraceSession {
+ public:
+  /// `track_capacity` = records kept per track (ring size).
+  explicit TraceSession(std::size_t track_capacity = 1 << 14);
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Creates (or finds, by name) a track; returns its id. Takes a mutex —
+  /// call during setup, not per event. Each track must then be written by at
+  /// most one thread at a time.
+  std::uint32_t track(const std::string& name);
+
+  /// Records a completed span [begin_us, end_us] on `track`.
+  void span(std::uint32_t track, const char* name, double begin_us, double end_us,
+            std::uint64_t arg0 = 0, std::uint64_t arg1 = 0) noexcept;
+
+  /// Records an instant event at ts_us on `track`.
+  void instant(std::uint32_t track, const char* name, double ts_us,
+               std::uint64_t arg0 = 0) noexcept;
+
+  /// Microseconds of steady_clock elapsed since this session was created.
+  [[nodiscard]] double steadyNowUs() const noexcept;
+
+  /// Total records accepted / overwritten (diagnostics).
+  [[nodiscard]] std::uint64_t recordedCount() const noexcept;
+  [[nodiscard]] std::uint64_t droppedCount() const noexcept;
+  [[nodiscard]] std::size_t trackCount() const;
+
+  /// Chrome trace_event export. Call after writers have quiesced (engines
+  /// stopped / simulation finished). File form returns false on I/O failure.
+  void writeChromeTrace(std::FILE* out) const;
+  [[nodiscard]] bool writeChromeTrace(const std::string& path) const;
+
+  // ---- process-global slot (for real-thread engines & benches) ----
+  /// The active session, or nullptr. One relaxed atomic load — this is the
+  /// entire cost of tracing when disabled.
+  static TraceSession* active() noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+  /// Makes this session the global one (replaces any previous).
+  void activate() noexcept { active_.store(this, std::memory_order_release); }
+  /// Clears the global slot.
+  static void deactivate() noexcept { active_.store(nullptr, std::memory_order_release); }
+
+ private:
+  struct Record {
+    double begin = 0.0;   // span begin, or instant timestamp
+    double end = 0.0;     // span end (unused for instants)
+    const char* name = nullptr;
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+    bool is_span = false;
+  };
+  struct Track {
+    std::string name;
+    std::vector<Record> ring;
+    std::size_t next = 0;     // ring write cursor
+    std::uint64_t written = 0;  // total records ever written
+  };
+
+  Track& trackRef(std::uint32_t id) noexcept { return *tracks_[id]; }
+
+  const std::size_t track_capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;  // guards tracks_ vector growth (not record writes)
+  std::vector<std::unique_ptr<Track>> tracks_;
+
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  static std::atomic<TraceSession*> active_;
+};
+
+}  // namespace affinity::obs

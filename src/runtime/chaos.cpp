@@ -36,15 +36,28 @@ ChaosReport runWith(EngineKind kind, const ChaosConfig& cfg) {
   engine.openPort(corpus.dstPort(), /*session_queue=*/4096);
   engine.start();
 
+  // Fault-injection instants land on the harness track of the global trace
+  // session (if any); the engine's own spans were wired up by start().
+  obs::TraceSession* trace = obs::TraceSession::active();
+  const std::uint32_t chaos_track = trace != nullptr ? trace->track("chaos harness") : 0;
+
   std::vector<WorkItem> batch;
   for (std::uint64_t i = 0; i < cfg.frames; ++i) {
     // Scheduled worker faults trigger on the generation index, which is
     // independent of fault randomness — so a given scenario kills/stalls
     // at the same point in the traffic on every run.
-    if (cfg.kill_at != 0 && i == cfg.kill_at)
+    if (cfg.kill_at != 0 && i == cfg.kill_at) {
       engine.injectWorkerKill(cfg.kill_worker % cfg.workers);
-    if (cfg.stall_at != 0 && i == cfg.stall_at)
+      if (trace != nullptr)
+        trace->instant(chaos_track, "inject kill", trace->steadyNowUs(),
+                       cfg.kill_worker % cfg.workers);
+    }
+    if (cfg.stall_at != 0 && i == cfg.stall_at) {
       engine.injectWorkerStall(cfg.stall_worker % cfg.workers, cfg.stall_duration);
+      if (trace != nullptr)
+        trace->instant(chaos_track, "inject stall", trace->steadyNowUs(),
+                       cfg.stall_worker % cfg.workers);
+    }
 
     const auto stream = static_cast<std::uint32_t>(i % cfg.streams);
     WorkItem item{corpus.frame(stream, i), stream, {}};
@@ -62,6 +75,21 @@ ChaosReport runWith(EngineKind kind, const ChaosConfig& cfg) {
   rep.intake_balanced =
       rep.faults.emitted == rep.stats.submitted + rep.stats.rejected;
   rep.conserved = rep.intake_balanced && rep.stats.conserved();
+  if (cfg.metrics != nullptr) {
+    const std::string prefix = std::string("chaos.") + engineKindName(kind);
+    exportEngineStats(rep.stats, *cfg.metrics, prefix);
+    auto& reg = *cfg.metrics;
+    const auto g = [&](const char* leaf, std::uint64_t v) {
+      reg.gauge(prefix + ".faults." + leaf).set(static_cast<double>(v));
+    };
+    g("emitted", rep.faults.emitted);
+    g("dropped", rep.faults.dropped);
+    g("bitflips", rep.faults.bitflips);
+    g("truncations", rep.faults.truncations);
+    g("duplicates", rep.faults.duplicates);
+    g("reordered", rep.faults.reordered);
+    reg.gauge(prefix + ".run_conserved").set(rep.conserved ? 1.0 : 0.0);
+  }
   return rep;
 }
 

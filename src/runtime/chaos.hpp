@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "runtime/fault_injector.hpp"
 #include "util/config.hpp"
 
@@ -40,6 +41,12 @@ struct ChaosConfig {
   std::uint64_t stall_at = 0;
   unsigned stall_worker = 0;
   std::chrono::milliseconds stall_duration{1200};
+
+  /// Optional metrics registry (not owned): the run exports the engine
+  /// ledger and fault counts under "chaos.<engine>." at shutdown. Worker
+  /// frame spans / fault instants additionally flow to the process-global
+  /// TraceSession when one is active (see tools/chaos_soak --trace-out).
+  obs::MetricsRegistry* metrics = nullptr;
 
   ChaosConfig() {
     engine.watchdog = true;

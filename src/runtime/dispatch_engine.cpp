@@ -31,12 +31,18 @@ void DispatchEngine::openPort(std::uint16_t port, std::size_t session_queue) {
 void DispatchEngine::start() {
   AFF_CHECK(!started_);
   started_ = true;
+  trace_ = obs::TraceSession::active();
+  if (trace_ != nullptr) {
+    for (unsigned w = 0; w < workers_; ++w)
+      per_worker_[w].trace_track = trace_->track("dispatch worker " + std::to_string(w));
+  }
   intake_open_.store(true, std::memory_order_release);
   pool_.start(workers_, [this](unsigned w, std::stop_token st) {
     PerWorker& pw = per_worker_[w];
     WorkItem item;
     for (;;) {
       if (pw.ring->tryPop(item)) {
+        const double t0 = trace_ != nullptr ? trace_->steadyNowUs() : 0.0;
         ReceiveContext ctx;
         {
           std::lock_guard lock(stack_mu_);
@@ -46,6 +52,10 @@ void DispatchEngine::start() {
         if (!ctx.dropped()) pw.delivered.fetch_add(1, std::memory_order_relaxed);
         ++pw.reasons[static_cast<std::size_t>(ctx.drop)];
         pw.latency.record(item.enqueue_tp);
+        if (trace_ != nullptr) {
+          trace_->span(pw.trace_track, "frame", t0, trace_->steadyNowUs(), item.stream,
+                       static_cast<std::uint64_t>(ctx.drop));
+        }
         continue;
       }
       if (st.stop_requested() && !intake_open_.load(std::memory_order_acquire) &&

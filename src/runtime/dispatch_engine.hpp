@@ -54,6 +54,12 @@ class DispatchEngine {
   [[nodiscard]] EngineStats stats() const;
   [[nodiscard]] DispatchPolicy policy() const noexcept { return policy_; }
 
+  /// stats() snapshot into `reg` under `prefix` (see exportEngineStats).
+  void exportMetrics(obs::MetricsRegistry& reg,
+                     const std::string& prefix = "engine.dispatch") const {
+    exportEngineStats(stats(), reg, prefix);
+  }
+
   /// The worker the policy would pick right now (exposed for tests).
   [[nodiscard]] unsigned route(std::uint32_t stream);
 
@@ -64,6 +70,7 @@ class DispatchEngine {
     std::atomic<std::uint64_t> delivered{0};
     std::array<std::uint64_t, kNumDropReasons> reasons{};  // owner-written
     LatencyRecorder latency;
+    std::uint32_t trace_track = 0;
   };
 
   static EngineOptions optionsWithCapacity(std::size_t capacity) {
@@ -85,6 +92,7 @@ class DispatchEngine {
   std::atomic<std::uint64_t> rejected_stopped_{0};
   unsigned rr_next_ = 0;   ///< round-robin cursor (submitter thread only)
   unsigned mru_last_ = 0;  ///< most recently dispatched-to worker
+  obs::TraceSession* trace_ = nullptr;  // captured at start(); see LockingEngine
   bool started_ = false;
   bool stopped_ = false;
 };

@@ -54,6 +54,33 @@ std::uint64_t EngineStats::droppedByStack() const noexcept {
   return total;
 }
 
+void exportEngineStats(const EngineStats& s, obs::MetricsRegistry& reg,
+                       const std::string& prefix) {
+  const auto g = [&](const char* leaf, double v) { reg.gauge(prefix + "." + leaf).set(v); };
+  g("submitted", static_cast<double>(s.submitted));
+  g("rejected", static_cast<double>(s.rejected));
+  g("rejected_queue_full", static_cast<double>(s.rejected_queue_full));
+  g("rejected_stopped", static_cast<double>(s.rejected_stopped));
+  g("dropped_oldest", static_cast<double>(s.dropped_oldest));
+  g("processed", static_cast<double>(s.processed));
+  g("delivered", static_cast<double>(s.delivered));
+  g("worker_failures", static_cast<double>(s.worker_failures));
+  g("rehomed", static_cast<double>(s.rehomed));
+  g("latency_mean_us", s.latency_mean_us);
+  g("latency_p50_us", s.latency_p50_us);
+  g("latency_p99_us", s.latency_p99_us);
+  g("conserved", s.conserved() ? 1.0 : 0.0);
+  for (std::size_t r = 1; r < s.dropped_by_reason.size(); ++r) {
+    if (s.dropped_by_reason[r] == 0) continue;  // keep the export sparse
+    reg.gauge(prefix + ".dropped." + dropReasonName(static_cast<DropReason>(r)))
+        .set(static_cast<double>(s.dropped_by_reason[r]));
+  }
+  for (std::size_t w = 0; w < s.per_worker_processed.size(); ++w) {
+    reg.gauge(prefix + ".worker." + std::to_string(w) + ".processed")
+        .set(static_cast<double>(s.per_worker_processed[w]));
+  }
+}
+
 // ---------------------------------------------------------------- Locking --
 
 LockingEngine::LockingEngine(unsigned workers, HostConfig host, const EngineOptions& options)
@@ -75,6 +102,13 @@ void LockingEngine::openPort(std::uint16_t port, std::size_t session_queue) {
 void LockingEngine::start() {
   AFF_CHECK(!started_);
   started_ = true;
+  trace_ = obs::TraceSession::active();
+  if (trace_ != nullptr) {
+    trace_tracks_.clear();
+    for (unsigned w = 0; w < workers_; ++w)
+      trace_tracks_.push_back(trace_->track("locking worker " + std::to_string(w)));
+    watchdog_track_ = trace_->track("locking watchdog");
+  }
   pool_.start(workers_, [this](unsigned w, std::stop_token) {
     // Timed pops (instead of blocking forever) so injected kills/stalls are
     // observable even while the queue is idle. Workers exit when the queue
@@ -87,6 +121,7 @@ void LockingEngine::start() {
         if (queue_.drained()) return;
         continue;
       }
+      const double t0 = trace_ != nullptr ? trace_->steadyNowUs() : 0.0;
       ReceiveContext ctx;
       {
         std::lock_guard lock(stack_mu_);
@@ -97,6 +132,10 @@ void LockingEngine::start() {
       ++per_worker_reasons_[w][static_cast<std::size_t>(ctx.drop)];
       ++per_worker_[w];
       per_worker_lat_[w].record(item->enqueue_tp);
+      if (trace_ != nullptr) {
+        trace_->span(trace_tracks_[w], "frame", t0, trace_->steadyNowUs(), item->stream,
+                     static_cast<std::uint64_t>(ctx.drop));
+      }
     }
   });
   if (options_.watchdog)
@@ -176,6 +215,9 @@ void LockingEngine::watchdogLoop(std::stop_token st) {
         // workers keep draining it. We only account for the failure.
         t.failed = true;
         worker_failures_.fetch_add(1, std::memory_order_relaxed);
+        if (trace_ != nullptr)
+          trace_->instant(watchdog_track_, exited ? "worker exited" : "worker stalled",
+                          trace_->steadyNowUs(), w);
       }
     }
   }
@@ -261,16 +303,27 @@ unsigned IpsEngine::workerOf(std::uint32_t stream) const noexcept {
 }
 
 void IpsEngine::processOn(PerWorker& pw, const WorkItem& item) {
+  const double t0 = trace_ != nullptr ? trace_->steadyNowUs() : 0.0;
   const ReceiveContext ctx = pw.stack->receiveFrame(item.frame);
   pw.processed.fetch_add(1, std::memory_order_relaxed);
   if (!ctx.dropped()) pw.delivered.fetch_add(1, std::memory_order_relaxed);
   ++pw.reasons[static_cast<std::size_t>(ctx.drop)];
   pw.latency.record(item.enqueue_tp);
+  if (trace_ != nullptr) {
+    trace_->span(pw.trace_track, "frame", t0, trace_->steadyNowUs(), item.stream,
+                 static_cast<std::uint64_t>(ctx.drop));
+  }
 }
 
 void IpsEngine::start() {
   AFF_CHECK(!started_);
   started_ = true;
+  trace_ = obs::TraceSession::active();
+  if (trace_ != nullptr) {
+    for (unsigned w = 0; w < workers_; ++w)
+      per_worker_[w].trace_track = trace_->track("ips worker " + std::to_string(w));
+    watchdog_track_ = trace_->track("ips watchdog");
+  }
   intake_open_.store(true, std::memory_order_release);
   pool_.start(workers_, [this](unsigned w, std::stop_token st) {
     PerWorker& pw = per_worker_[w];
@@ -372,6 +425,8 @@ void IpsEngine::declareFailed(unsigned w) {
   per_worker_[w].dead.store(true, std::memory_order_release);
   per_worker_[w].redirect.store(target, std::memory_order_release);
   worker_failures_.fetch_add(1, std::memory_order_relaxed);
+  if (trace_ != nullptr)
+    trace_->instant(watchdog_track_, "worker failed", trace_->steadyNowUs(), w);
 }
 
 void IpsEngine::flushFailed(unsigned w) {
@@ -400,6 +455,8 @@ void IpsEngine::flushFailed(unsigned w) {
     if (target != w) ++moved;
   }
   rehomed_.fetch_add(moved, std::memory_order_relaxed);
+  if (trace_ != nullptr)
+    trace_->instant(watchdog_track_, "ring flushed", trace_->steadyNowUs(), w);
 }
 
 void IpsEngine::watchdogLoop(std::stop_token st) {

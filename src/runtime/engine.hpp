@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proto/stack.hpp"
 #include "runtime/queues.hpp"
 #include "runtime/worker_pool.hpp"
@@ -89,6 +91,13 @@ struct EngineStats {
   }
 };
 
+/// Writes an EngineStats snapshot into `reg` under `prefix` — e.g.
+/// "engine.ips.submitted", "engine.ips.worker.3.processed",
+/// "engine.ips.dropped.bad_ip_checksum". Gauge semantics (absolute values
+/// at export time), so repeated exports overwrite rather than double-count.
+void exportEngineStats(const EngineStats& s, obs::MetricsRegistry& reg,
+                       const std::string& prefix);
+
 /// A frame plus its routing hint.
 struct WorkItem {
   std::vector<std::uint8_t> frame;
@@ -144,6 +153,12 @@ class LockingEngine {
 
   [[nodiscard]] EngineStats stats() const;
 
+  /// stats() snapshot into `reg` under `prefix` (see exportEngineStats).
+  void exportMetrics(obs::MetricsRegistry& reg,
+                     const std::string& prefix = "engine.locking") const {
+    exportEngineStats(stats(), reg, prefix);
+  }
+
  private:
   static EngineOptions optionsWithCapacity(std::size_t capacity) {
     EngineOptions o;
@@ -174,6 +189,11 @@ class LockingEngine {
   std::vector<std::array<std::uint64_t, kNumDropReasons>> per_worker_reasons_;
   std::array<std::uint64_t, kNumDropReasons> drain_reasons_{};
   LatencyRecorder drain_lat_;
+  // Tracing (captured from TraceSession::active() at start(); spans carry
+  // steady-clock session time). Null when tracing is off.
+  obs::TraceSession* trace_ = nullptr;
+  std::vector<std::uint32_t> trace_tracks_;  // one per worker
+  std::uint32_t watchdog_track_ = 0;
   bool started_ = false;
   std::atomic<bool> stopped_{false};
 };
@@ -207,6 +227,11 @@ class IpsEngine {
 
   [[nodiscard]] EngineStats stats() const;
 
+  /// stats() snapshot into `reg` under `prefix` (see exportEngineStats).
+  void exportMetrics(obs::MetricsRegistry& reg, const std::string& prefix = "engine.ips") const {
+    exportEngineStats(stats(), reg, prefix);
+  }
+
   /// Home worker of a stream — `stream % workers`, following failover
   /// redirects past workers the watchdog has declared dead.
   [[nodiscard]] unsigned workerOf(std::uint32_t stream) const noexcept;
@@ -227,6 +252,7 @@ class IpsEngine {
     std::atomic<std::uint64_t> delivered{0};
     std::array<std::uint64_t, kNumDropReasons> reasons{};  // owner-written
     LatencyRecorder latency;
+    std::uint32_t trace_track = 0;
   };
 
   static EngineOptions optionsWithCapacity(std::size_t capacity) {
@@ -251,6 +277,8 @@ class IpsEngine {
   std::atomic<std::uint64_t> rejected_stopped_{0};
   std::atomic<std::uint64_t> worker_failures_{0};
   std::atomic<std::uint64_t> rehomed_{0};
+  obs::TraceSession* trace_ = nullptr;  // captured at start(); see LockingEngine
+  std::uint32_t watchdog_track_ = 0;
   bool started_ = false;
   bool stopped_ = false;
 };

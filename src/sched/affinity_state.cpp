@@ -55,9 +55,22 @@ void AffinityState::onComplete(unsigned proc, std::uint32_t stream, std::uint32_
   AFF_DCHECK(proc < code_last_.size());
   code_last_[proc] = now;
   shared_last_ = LastTouch{static_cast<int>(proc), now};
-  if (stream < stream_last_.size()) stream_last_[stream] = LastTouch{static_cast<int>(proc), now};
-  if (stack != kNoStack && stack < stack_last_.size())
+  if (stream < stream_last_.size()) {
+    const int prev = stream_last_[stream].proc;
+    if (prev >= 0) {
+      ++stream_revisits_;
+      if (prev != static_cast<int>(proc)) ++stream_migrations_;
+    }
+    stream_last_[stream] = LastTouch{static_cast<int>(proc), now};
+  }
+  if (stack != kNoStack && stack < stack_last_.size()) {
+    const int prev = stack_last_[stack].proc;
+    if (prev >= 0) {
+      ++stack_revisits_;
+      if (prev != static_cast<int>(proc)) ++stack_migrations_;
+    }
     stack_last_[stack] = LastTouch{static_cast<int>(proc), now};
+  }
 }
 
 }  // namespace affinity

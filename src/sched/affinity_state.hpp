@@ -61,6 +61,21 @@ class AffinityState {
     return static_cast<unsigned>(code_last_.size());
   }
 
+  // --- migration accounting (observability) ---------------------------------
+  // A migration is a completion on a different processor than the previous
+  // completion of the same stream/stack — i.e. the dispatch decisions the
+  // affinity policies exist to avoid. Counted unconditionally (two integer
+  // compares per completion) so the sim can export them without changing
+  // behaviour.
+
+  /// Completions whose stream last ran on a *different* processor.
+  [[nodiscard]] std::uint64_t streamMigrations() const noexcept { return stream_migrations_; }
+  /// Completions whose stack last ran on a *different* processor.
+  [[nodiscard]] std::uint64_t stackMigrations() const noexcept { return stack_migrations_; }
+  /// Completions whose stream had run before (denominator for migration rate).
+  [[nodiscard]] std::uint64_t streamRevisits() const noexcept { return stream_revisits_; }
+  [[nodiscard]] std::uint64_t stackRevisits() const noexcept { return stack_revisits_; }
+
  private:
   struct LastTouch {
     int proc = -1;
@@ -77,6 +92,11 @@ class AffinityState {
   LastTouch shared_last_;          ///< Locking shared data
   std::vector<LastTouch> stream_last_;
   std::vector<LastTouch> stack_last_;
+
+  std::uint64_t stream_migrations_ = 0;
+  std::uint64_t stack_migrations_ = 0;
+  std::uint64_t stream_revisits_ = 0;
+  std::uint64_t stack_revisits_ = 0;
 };
 
 }  // namespace affinity

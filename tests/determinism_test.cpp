@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include "core/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/chaos.hpp"
 
 namespace affinity {
@@ -138,6 +140,45 @@ TEST(ChaosDeterminism, ParseDropCountsIndependentOfWorkerCount) {
   // Parse-layer causes depend only on frame bytes, not on which stack (or
   // how many stacks) processed them.
   expectSameParseDrops(w1.stats, w4.stats, /*include_session_full=*/false);
+}
+
+// Observability must be pure observation: running the same golden triples
+// with the metrics registry, the live time-weighted instruments, and the
+// virtual-time tracer all enabled must reproduce the exact same bits as the
+// bare runs above. Instrumentation that draws randomness, schedules events,
+// or perturbs event ordering in any way fails here.
+TEST(GoldenSeed, MetricsAndTracingDoNotPerturbResults) {
+  obs::MetricsRegistry registry;
+  obs::TraceSession trace(1 << 10);
+
+  SimConfig c = defaultSimConfig();  // same triple as LockingMruPoisson
+  c.seed = 12345;
+  c.warmup_us = 20'000.0;
+  c.measure_us = 150'000.0;
+  c.metrics = &registry;
+  c.metrics_exclusive = true;
+  c.trace = &trace;
+  const RunMetrics m = runOnce(c, ExecTimeModel::standard(), makePoissonStreams(16, 0.02));
+  expectExactly(m, Golden{215.42210779173973, 211.68374390497655, 250.79400633851003,
+                          274.20517683433837, 2.7714679014081289, 212.10216182978752,
+                          0.56981715208325845, 0.019786666666666668, 0.52593677314464249,
+                          0.054415882051270695, 3349, 2968, 4, false, 0});
+  EXPECT_GT(registry.size(), 0u);
+  EXPECT_GT(trace.recordedCount(), 0u);
+
+  SimConfig ic = defaultSimConfig();  // same triple as IpsWiredPoisson
+  ic.policy.paradigm = Paradigm::kIps;
+  ic.policy.ips = IpsPolicy::kWired;
+  ic.seed = 999;
+  ic.warmup_us = 20'000.0;
+  ic.measure_us = 150'000.0;
+  ic.metrics = &registry;
+  ic.trace = &trace;
+  const RunMetrics im = runOnce(ic, ExecTimeModel::standard(), makePoissonStreams(16, 0.03));
+  expectExactly(im, Golden{228.30822699308376, 177.94182389224551, 440.86403679977246,
+                           601.90817884310445, 8.5590940190164808, 146.24273045090067, 0.0,
+                           0.03032, 0.55425707780654576, 2.4887902646508961, 5153, 4548, 5,
+                           false, 0});
 }
 
 TEST(GoldenSeed, AdaptiveHybridBatch) {

@@ -136,6 +136,78 @@ TEST(Cli, BoolAcceptsExplicitValue) {
   EXPECT_FALSE(bv);
 }
 
+// Cli error paths all route through usage_and_exit(2): the process prints a
+// diagnostic on stderr and exits with status 2, so drivers fail loudly on a
+// typo'd sweep flag instead of silently benchmarking the default config.
+// (Helper keeps the argv initializer-list commas inside the call parens,
+// out of reach of the EXPECT_EXIT macro's argument scan.)
+void parseFlags(std::vector<std::string> args) {
+  Cli cli("prog", "test");
+  cli.flag<int>("count", 3, "a count");
+  cli.flag<double>("rate", 1.5, "a rate");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  cli.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, UnknownFlagExitsWithUsage) {
+  EXPECT_EXIT(parseFlags({"prog", "--quirk", "7"}), testing::ExitedWithCode(2),
+              "unknown flag '--quirk'");
+}
+
+TEST(Cli, MissingValueExits) {
+  EXPECT_EXIT(parseFlags({"prog", "--count"}), testing::ExitedWithCode(2),
+              "flag '--count' needs a value");
+}
+
+TEST(Cli, BadValueExits) {
+  EXPECT_EXIT(parseFlags({"prog", "--rate=fast"}), testing::ExitedWithCode(2),
+              "bad value 'fast' for flag '--rate'");
+}
+
+TEST(Cli, TrailingGarbageInNumberExits) {
+  // from_chars must consume the whole token: "42x" is an error, not 42.
+  EXPECT_EXIT(parseFlags({"prog", "--count=42x"}), testing::ExitedWithCode(2),
+              "bad value '42x'");
+}
+
+TEST(Cli, PositionalArgumentExits) {
+  EXPECT_EXIT(parseFlags({"prog", "stray"}), testing::ExitedWithCode(2),
+              "unexpected argument 'stray'");
+}
+
+TEST(Cli, HelpExitsZero) {
+  EXPECT_EXIT(parseFlags({"prog", "--help"}), testing::ExitedWithCode(0), "");
+}
+
+TEST(TableDeathTest, EmptyColumnsAborts) {
+  EXPECT_DEATH(TableWriter({}, false, 2), "CHECK failed");
+}
+
+TEST(TableDeathTest, AddBeforeBeginRowAborts) {
+  TableWriter t({"a"}, false, 2);
+  EXPECT_DEATH(t.add(1.0), "CHECK failed");
+  EXPECT_DEATH(t.addText("x"), "CHECK failed");
+}
+
+TEST(Table, RaggedRowsPrintWithoutOverrunningColumns) {
+  // A row shorter than the header is legal (drivers sometimes omit trailing
+  // diagnostics); print must not read past the row or the widths vector.
+  TableWriter t({"a", "b", "c"}, /*csv=*/false, 1);
+  t.beginRow();
+  t.add(1.0);
+  char* buf = nullptr;
+  std::size_t len = 0;
+  FILE* mem = open_memstream(&buf, &len);
+  t.print(mem);
+  std::fclose(mem);
+  std::string s(buf, len);
+  free(buf);
+  EXPECT_NE(s.find("1.0"), std::string::npos);
+  EXPECT_EQ(t.rowCount(), 1u);
+}
+
 TEST(Table, AlignedOutputContainsColumnsAndRows) {
   TableWriter t({"rate", "delay"}, /*csv=*/false, 2);
   t.addRow({1.0, 234.5});

@@ -1,10 +1,15 @@
-// Tests for src/workload: arrival-process rates and shapes, stream sets.
+// Tests for src/workload: arrival-process rates and shapes, stream sets,
+// arrival-trace record/replay I/O (including its error paths).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "workload/arrivals.hpp"
 #include "workload/stream_set.hpp"
+#include "workload/trace_io.hpp"
 
 namespace affinity {
 namespace {
@@ -142,6 +147,94 @@ TEST(StreamSet, HotColdShares) {
 TEST(StreamSet, TrainStreamsRate) {
   const StreamSet set = makeTrainStreams(4, 0.008, 6.0, 10.0);
   EXPECT_NEAR(set.totalRatePerUs(), 0.008, 1e-12);
+}
+
+// ------------------------------------------------------- trace_io errors ---
+
+std::string tracePath(const char* name) {
+  return testing::TempDir() + "workload_trace_io_" + name + ".txt";
+}
+
+void writeText(const std::string& path, const char* text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+TEST(TraceIo, RoundTripPreservesRecords) {
+  const StreamSet set = makePoissonStreams(4, 0.02);
+  const auto recorded = recordArrivals(set, 5'000.0, 42);
+  ASSERT_FALSE(recorded.empty());
+  const std::string path = tracePath("roundtrip");
+  ASSERT_TRUE(writeArrivalTrace(path, recorded));
+  std::string error;
+  const auto replayed = readArrivalTrace(path, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  ASSERT_EQ(replayed.size(), recorded.size());
+  for (std::size_t i = 0; i < recorded.size(); ++i) {
+    EXPECT_NEAR(replayed[i].time_us, recorded[i].time_us, 1e-6);
+    EXPECT_EQ(replayed[i].stream, recorded[i].stream);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileReturnsEmptyAndSetsError) {
+  std::string error;
+  const auto records = readArrivalTrace(tracePath("does_not_exist"), &error);
+  EXPECT_TRUE(records.empty());
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+  // Null error pointer must be tolerated.
+  EXPECT_TRUE(readArrivalTrace(tracePath("does_not_exist")).empty());
+}
+
+TEST(TraceIo, MalformedLineReportsLineNumber) {
+  const std::string path = tracePath("malformed");
+  writeText(path, "# header\n10.5 0\nnot-a-record\n20.0 1\n");
+  std::string error;
+  const auto records = readArrivalTrace(path, &error);
+  EXPECT_TRUE(records.empty()) << "partial parses must not leak records";
+  EXPECT_EQ(error, "bad record at line 3");
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, TimeRegressionRejected) {
+  const std::string path = tracePath("regression");
+  writeText(path, "10.0 0\n9.0 1\n");
+  std::string error;
+  EXPECT_TRUE(readArrivalTrace(path, &error).empty());
+  EXPECT_EQ(error, "bad record at line 2");
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedRecordRejected) {
+  const std::string path = tracePath("truncated");
+  writeText(path, "10.0 0\n11.5\n");
+  std::string error;
+  EXPECT_TRUE(readArrivalTrace(path, &error).empty());
+  EXPECT_EQ(error, "bad record at line 2");
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, CommentsAndBlankLinesSkipped) {
+  const std::string path = tracePath("comments");
+  writeText(path, "# a comment\n\n1.0 0\n# another\n2.0 1\n");
+  std::string error;
+  const auto records = readArrivalTrace(path, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].stream, 1u);
+}
+
+TEST(TraceIo, UnwritablePathReturnsFalse) {
+  EXPECT_FALSE(writeArrivalTrace("/proc/affinity_no_such_dir/trace.txt", {}));
+}
+
+TEST(TraceIo, ReplayedStreamsMatchRecordingRate) {
+  const StreamSet set = makePoissonStreams(3, 0.03);
+  const double duration = 20'000.0;
+  const auto recorded = recordArrivals(set, duration, 7);
+  const StreamSet replay = makeTraceStreams(recorded, duration);
+  EXPECT_EQ(replay.count(), 3u);
+  EXPECT_NEAR(replay.totalRatePerUs() * duration, static_cast<double>(recorded.size()), 1e-6);
 }
 
 }  // namespace

@@ -1,12 +1,20 @@
 // affinity_sim — run one configured experiment from a scenario file.
 //
 //   $ ./affinity_sim --config scenarios/paper_fig06_point.ini [--csv]
+//   $ ./affinity_sim --config ... --trace-out trace.json   # open in Perfetto
 //
 // See src/core/scenario.hpp for the schema and scenarios/ for examples.
+// --metrics-out/--trace-out export the run's metrics registry and a
+// virtual-time Chrome trace (one track per simulated processor); since this
+// tool owns the single simulation, the registry gets the live time-weighted
+// instruments too (SimConfig::metrics_exclusive).
 #include <cstdio>
+#include <memory>
 
 #include "core/scenario.hpp"
 #include "core/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -16,6 +24,10 @@ int main(int argc, char** argv) {
   Cli cli("affinity_sim", "run a scenario file through the protocol-processing simulator");
   const std::string& path = cli.flag<std::string>("config", "", "scenario file (required)");
   const bool& csv = cli.flag<bool>("csv", false, "emit CSV");
+  const std::string& metrics_out =
+      cli.flag<std::string>("metrics-out", "", "write a metrics-registry JSON snapshot here");
+  const std::string& trace_out = cli.flag<std::string>(
+      "trace-out", "", "write a virtual-time Chrome trace_event JSON file here");
   cli.parse(argc, argv);
   if (path.empty()) {
     std::fprintf(stderr, "affinity_sim: --config is required\n");
@@ -34,6 +46,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::TraceSession> trace;
+  if (!metrics_out.empty()) {
+    scenario->config.metrics = &registry;
+    scenario->config.metrics_exclusive = true;  // this tool owns the one sim
+  }
+  if (!trace_out.empty()) {
+    trace = std::make_unique<obs::TraceSession>();
+    scenario->config.trace = trace.get();
+  }
+
   std::printf("# %s — %s, %u procs, %zu streams, %.0f pkts/s offered\n", path.c_str(),
               scenario->config.policy.describe().c_str(), scenario->config.num_procs,
               scenario->streams.count(), scenario->streams.totalRatePerUs() * 1e6);
@@ -42,6 +65,11 @@ int main(int argc, char** argv) {
       scenario->run_until_confident
           ? runUntilConfident(scenario->config, scenario->model, scenario->streams)
           : runOnce(scenario->config, scenario->model, scenario->streams);
+
+  if (!metrics_out.empty() && !registry.writeJson(metrics_out))
+    std::fprintf(stderr, "warning: could not write --metrics-out %s\n", metrics_out.c_str());
+  if (trace != nullptr && !trace->writeChromeTrace(trace_out))
+    std::fprintf(stderr, "warning: could not write --trace-out %s\n", trace_out.c_str());
 
   TableWriter t({"metric", "value"}, csv, 3);
   const auto row = [&t](const char* name, double v) {

@@ -9,8 +9,11 @@
 //
 // Exits 0 iff every run conserves exactly. Flags override the config file.
 #include <cstdio>
+#include <memory>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/chaos.hpp"
 #include "util/cli.hpp"
 
@@ -22,7 +25,19 @@ int main(int argc, char** argv) {
   const std::string& engine = cli.flag<std::string>("engine", "both", "locking|ips|both");
   const std::int64_t& frames = cli.flag<std::int64_t>("frames", 0, "override frame count");
   const std::int64_t& seed = cli.flag<std::int64_t>("seed", -1, "override seed");
+  const std::string& metrics_out = cli.flag<std::string>(
+      "metrics-out", "", "write the chaos ledger as a metrics-registry JSON snapshot here");
+  const std::string& trace_out = cli.flag<std::string>(
+      "trace-out", "", "write worker frame spans + fault instants as Chrome trace JSON here");
   cli.parse(argc, argv);
+
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::TraceSession> trace;
+  if (!trace_out.empty()) {
+    // Activate before the engines start so their workers pick up tracks.
+    trace = std::make_unique<obs::TraceSession>();
+    trace->activate();
+  }
 
   ChaosConfig cfg;
   if (!path.empty()) {
@@ -53,6 +68,7 @@ int main(int argc, char** argv) {
     cfg.frames = static_cast<std::uint64_t>(frames);
   }
   if (seed >= 0) cfg.seed = static_cast<std::uint64_t>(seed);
+  if (!metrics_out.empty()) cfg.metrics = &registry;
 
   bool ok = true;
   const auto soak = [&](EngineKind kind) {
@@ -72,5 +88,13 @@ int main(int argc, char** argv) {
 
   std::printf("%s\n", ok ? "CONSERVED: every frame accounted for"
                          : "VIOLATION: conservation ledger does not balance");
+
+  if (trace != nullptr) {
+    obs::TraceSession::deactivate();
+    if (!trace->writeChromeTrace(trace_out))
+      std::fprintf(stderr, "warning: could not write --trace-out %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty() && !registry.writeJson(metrics_out))
+    std::fprintf(stderr, "warning: could not write --metrics-out %s\n", metrics_out.c_str());
   return ok ? 0 : 4;
 }

@@ -1,0 +1,132 @@
+// perf_ledger — run the perf smoke suite and append one row to the
+// BENCH_<date>.json trajectory ledger (docs/OBSERVABILITY.md).
+//
+//   $ ./perf_ledger                      # appends to BENCH_<today>.json
+//   $ ./perf_ledger --out results/BENCH_ci.json --full
+//
+// The row records event-kernel throughput vs the frozen seed kernel
+// (bench/kernel_workloads.hpp), simulated packets per wall-second through
+// the full protocol model, the fast Figure-9 capacity smoke (Locking vs
+// IPS), and the disabled trace-guard overhead. The ledger stays a valid
+// JSON array after every append (src/obs/ledger.hpp), so the perf
+// trajectory across PRs is one file per day of runs.
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <string>
+
+#include "bench/kernel_workloads.hpp"
+#include "bench/legacy_simulator.hpp"
+#include "core/capacity.hpp"
+#include "core/experiment.hpp"
+#include "obs/ledger.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+
+using namespace affinity;
+using namespace affinity::bench;
+
+namespace {
+
+std::string todayIso() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  localtime_r(&now, &tm);
+  char buf[16];
+  std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm);
+  return buf;
+}
+
+double wallSecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("perf_ledger", "run the perf smoke and append a BENCH_<date>.json trajectory row");
+  const std::string& out = cli.flag<std::string>(
+      "out", "", "ledger file (default BENCH_<date>.json in the current directory)");
+  const std::string& date = cli.flag<std::string>("date", "", "row date (default today)");
+  const bool& full = cli.flag<bool>("full", false, "full event counts (slower, steadier numbers)");
+  const int& reps = cli.flag<int>("reps", 3, "repetitions per kernel workload (best kept)");
+  cli.parse(argc, argv);
+
+  const std::string day = date.empty() ? todayIso() : date;
+  const std::string path = out.empty() ? "BENCH_" + day + ".json" : out;
+  const std::uint64_t n = full ? 3'000'000 : 300'000;
+
+  // 1) Event-kernel hot path, current vs frozen seed kernel.
+  std::printf("perf_ledger: kernel workloads (%llu events, best of %d)...\n",
+              static_cast<unsigned long long>(n), reps);
+  const KernelResult hold = measureKernelPair(
+      "hold64", reps, [&](std::uint64_t s) { return benchHold<Simulator>(n, 64, s); },
+      [&](std::uint64_t s) { return benchHold<legacy::Simulator>(n, 64, s); });
+  const KernelResult churn = measureKernelPair(
+      "churn", reps, [&](std::uint64_t s) { return benchChurn<Simulator>(n, 256, s); },
+      [&](std::uint64_t s) { return benchChurn<legacy::Simulator>(n, 256, s); });
+  const KernelResult chain = measureKernelPair(
+      "chain", reps, [&](std::uint64_t s) { return benchChain<Simulator>(n, s); },
+      [&](std::uint64_t s) { return benchChain<legacy::Simulator>(n, s); });
+  const double guard_pct = benchGuardOverheadPct<Simulator>(n, 64, reps);
+
+  // 2) Full protocol model: simulated packets per wall-second (Locking/MRU
+  // at moderate load — the simulator's own speed, not the modeled system's).
+  std::printf("perf_ledger: protocol-model throughput...\n");
+  const auto model = ExecTimeModel::standard();
+  SimConfig sim_cfg = defaultSimConfig();
+  sim_cfg.num_procs = 8;
+  sim_cfg.policy.paradigm = Paradigm::kLocking;
+  sim_cfg.policy.locking = LockingPolicy::kMru;
+  sim_cfg.seed = 1;
+  setAutoWindow(sim_cfg, 0.03, full ? 80'000 : 15'000);
+  const auto streams = makePoissonStreams(16, 0.03);
+  const auto sim_t0 = std::chrono::steady_clock::now();
+  const RunMetrics sim_m = runOnce(sim_cfg, model, streams);
+  const double sim_pkts_per_wall_s = static_cast<double>(sim_m.completed) / wallSecondsSince(sim_t0);
+
+  // 3) Fast Figure-9 capacity smoke: Locking vs IPS max sustainable rate.
+  std::printf("perf_ledger: fig9 capacity smoke...\n");
+  SimConfig cap_cfg = defaultSimConfig();
+  cap_cfg.num_procs = 8;
+  cap_cfg.seed = 1;
+  cap_cfg.warmup_us = 50'000.0;
+  cap_cfg.measure_us = full ? 800'000.0 : 200'000.0;
+  const auto factory = [](double rate) { return makePoissonStreams(16, rate); };
+  cap_cfg.policy.paradigm = Paradigm::kLocking;
+  cap_cfg.policy.locking = LockingPolicy::kMru;
+  const CapacityResult cap_locking =
+      findMaxRate(cap_cfg, model, factory, 0.002, 0.08, 1000.0, full ? 10 : 7);
+  cap_cfg.policy.paradigm = Paradigm::kIps;
+  cap_cfg.policy.ips = IpsPolicy::kMru;
+  const CapacityResult cap_ips =
+      findMaxRate(cap_cfg, model, factory, 0.002, 0.08, 1000.0, full ? 10 : 7);
+
+  char row[1024];
+  std::snprintf(
+      row, sizeof row,
+      "{\"date\": \"%s\", \"mode\": \"%s\", "
+      "\"kernel_hold64_eps\": %.0f, \"kernel_hold64_speedup\": %.3f, "
+      "\"kernel_churn_ops\": %.0f, \"kernel_churn_speedup\": %.3f, "
+      "\"kernel_chain_eps\": %.0f, \"kernel_chain_speedup\": %.3f, "
+      "\"trace_guard_overhead_pct\": %.3f, "
+      "\"sim_pkts_per_wall_s\": %.0f, "
+      "\"capacity_locking_pkts_per_s\": %.0f, \"capacity_ips_pkts_per_s\": %.0f}",
+      day.c_str(), full ? "full" : "fast", hold.new_eps, hold.speedup(), churn.new_eps,
+      churn.speedup(), chain.new_eps, chain.speedup(), guard_pct, sim_pkts_per_wall_s,
+      cap_locking.max_rate_per_us * 1e6, cap_ips.max_rate_per_us * 1e6);
+
+  if (!obs::appendLedgerRow(path, row)) {
+    std::fprintf(stderr, "perf_ledger: could not write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("kernel hold64 %.2f Mev/s (%.2fx seed)  churn %.2f Mops/s (%.2fx)  "
+              "chain %.2f Mev/s (%.2fx)\n",
+              hold.new_eps / 1e6, hold.speedup(), churn.new_eps / 1e6, churn.speedup(),
+              chain.new_eps / 1e6, chain.speedup());
+  std::printf("trace guard %.3f%%  sim %.0f pkts/wall-s  capacity locking %.0f / ips %.0f pkts/s\n",
+              guard_pct, sim_pkts_per_wall_s, cap_locking.max_rate_per_us * 1e6,
+              cap_ips.max_rate_per_us * 1e6);
+  std::printf("appended row %zu to %s\n", obs::ledgerRowCount(path), path.c_str());
+  return 0;
+}
