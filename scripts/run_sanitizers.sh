@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Sanitizer sweep: builds two dedicated trees (ASan+UBSan, TSan) and runs the
-# concurrency- and robustness-critical tests plus a chaos soak under each.
+# Sanitizer sweep: builds three dedicated trees (ASan+UBSan, standalone
+# UBSan, TSan) and runs the concurrency- and robustness-critical tests plus
+# a chaos soak under each. The standalone UBSan tree isolates UB reports
+# from ASan's interceptors and shadow-memory effects.
 # The chaos soak exercises every frame-fault type, a worker kill, and a
 # worker stall — the memory- and race-sensitive paths of the runtime layer.
 # Usage: scripts/run_sanitizers.sh [--frames N]
@@ -40,7 +42,9 @@ run_tree() {
 
 run_tree asan -DAFF_ASAN=ON \
   "ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1"
+run_tree ubsan -DAFF_UBSAN=ON \
+  "UBSAN_OPTIONS=print_stacktrace=1"
 run_tree tsan -DAFF_TSAN=ON \
   "TSAN_OPTIONS=halt_on_error=1 second_deadlock_stack=1"
 
-echo "sanitizers clean: asan+ubsan and tsan both passed"
+echo "sanitizers clean: asan+ubsan, ubsan, and tsan all passed"

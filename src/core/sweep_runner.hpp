@@ -15,7 +15,6 @@
 #include <chrono>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <type_traits>
@@ -25,6 +24,7 @@
 #include "core/experiment.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/mutex.hpp"
 
 namespace affinity {
 
@@ -95,7 +95,9 @@ class SweepRunner {
       for (std::size_t i = 0; i < n; ++i) slots[i].emplace(timed(0, i));
     } else {
       std::atomic<std::size_t> next{0};
-      std::mutex err_mu;
+      // Locals, so GUARDED_BY cannot name them; the MutexLock below is the
+      // whole discipline.  afflint: allow(guarded-mutex)
+      Mutex err_mu;
       std::exception_ptr first_error;
       auto worker = [&](std::size_t wid) {
         for (;;) {
@@ -104,7 +106,7 @@ class SweepRunner {
           try {
             slots[i].emplace(timed(wid, i));
           } catch (...) {
-            std::lock_guard lock(err_mu);
+            MutexLock lock(err_mu);
             if (!first_error) first_error = std::current_exception();
             next.store(n, std::memory_order_relaxed);  // drain remaining work
             return;

@@ -1,0 +1,503 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "obs/metrics.hpp"  // jsonEscape
+
+namespace affinity::lint {
+
+namespace {
+
+// ------------------------------------------------------------ preprocessing
+
+// Per-line views of a source file. Rules run over `code` (neither comments
+// nor literals can violate a token rule) except metric-name and layering,
+// which need literal contents and run over `text`.
+struct Views {
+  std::vector<std::string> raw;   ///< original lines (suppression scan)
+  std::vector<std::string> code;  ///< comments and string/char literals stripped
+  std::vector<std::string> text;  ///< comments stripped, literals kept
+};
+
+bool isWordChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+Views preprocess(const std::string& content) {
+  Views v;
+  {
+    std::string line;
+    std::istringstream in(content);
+    while (std::getline(in, line)) v.raw.push_back(line);
+    if (v.raw.empty()) v.raw.emplace_back();
+  }
+  enum class St { kNormal, kLineComment, kBlockComment, kString, kChar };
+  St st = St::kNormal;
+  std::string code, text;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == St::kLineComment) st = St::kNormal;
+      v.code.push_back(code);
+      v.text.push_back(text);
+      code.clear();
+      text.clear();
+      continue;
+    }
+    switch (st) {
+      case St::kNormal:
+        if (c == '/' && next == '/') {
+          st = St::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlockComment;
+          ++i;
+        } else if (c == '"' && i >= 1 && content[i - 1] == 'R' &&
+                   (i < 2 || !isWordChar(content[i - 2]) || content[i - 2] == '8')) {
+          // Raw string literal R"delim(...)delim" — no escapes, may span
+          // lines, may embed quotes (this very file's regexes do).
+          std::size_t j = i + 1;
+          std::string delim;
+          while (j < content.size() && content[j] != '(') delim += content[j++];
+          const std::string closer = ")" + delim + "\"";
+          const std::size_t close = content.find(closer, j + 1);
+          const std::size_t stop =
+              close == std::string::npos ? content.size() : close + closer.size();
+          code += "\"\"";
+          text += '"';
+          for (std::size_t k = i + 1; k < stop; ++k) {
+            if (content[k] == '\n') {
+              v.code.push_back(code);
+              v.text.push_back(text);
+              code.clear();
+              text.clear();
+            } else {
+              text += content[k];
+            }
+          }
+          i = stop - 1;
+        } else if (c == '"') {
+          st = St::kString;
+          code += '"';
+          text += '"';
+        } else if (c == '\'') {
+          st = St::kChar;
+          code += '\'';
+          text += '\'';
+        } else {
+          code += c;
+          text += c;
+        }
+        break;
+      case St::kLineComment:
+        break;
+      case St::kBlockComment:
+        if (c == '*' && next == '/') {
+          st = St::kNormal;
+          ++i;
+        }
+        break;
+      case St::kString:
+        text += c;
+        if (c == '\\' && next != '\0' && next != '\n') {
+          text += next;
+          ++i;
+        } else if (c == '"') {
+          code += '"';
+          st = St::kNormal;
+        }
+        break;
+      case St::kChar:
+        text += c;
+        if (c == '\\' && next != '\0' && next != '\n') {
+          text += next;
+          ++i;
+        } else if (c == '\'') {
+          code += '\'';
+          st = St::kNormal;
+        }
+        break;
+    }
+  }
+  v.code.push_back(code);
+  v.text.push_back(text);
+  while (v.code.size() < v.raw.size()) v.code.emplace_back();
+  while (v.text.size() < v.raw.size()) v.text.emplace_back();
+  return v;
+}
+
+// ---------------------------------------------------------------- utilities
+
+/// Substring search with identifier boundaries at both word-char edges of
+/// the token ("std::condition_variable" does not match ..._any).
+bool containsToken(const std::string& line, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok =
+        pos == 0 || !(isWordChar(token.front()) && isWordChar(line[pos - 1]));
+    const std::size_t end = pos + token.size();
+    const bool right_ok =
+        end >= line.size() || !(isWordChar(token.back()) && isWordChar(line[end]));
+    if (left_ok && right_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
+bool startsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// "runtime" for "src/runtime/engine.hpp"; "" outside src/.
+std::string srcSubdir(const std::string& rel_path) {
+  if (!startsWith(rel_path, "src/")) return "";
+  const std::size_t next = rel_path.find('/', 4);
+  if (next == std::string::npos) return "";
+  return rel_path.substr(4, next - 4);
+}
+
+// ------------------------------------------------------------------- scopes
+
+const std::set<std::string>& metricDomains() {
+  static const std::set<std::string> kDomains = {"sim", "sweep", "engine", "chaos", "bench"};
+  return kDomains;
+}
+
+/// src/ layering: every subsystem's permitted `#include "dir/..."` targets
+/// (besides itself). Mirrors the library link graph in src/*/CMakeLists.txt.
+const std::map<std::string, std::set<std::string>>& layerDeps() {
+  static const std::map<std::string, std::set<std::string>> kDeps = {
+      {"util", {}},
+      {"stats", {"util"}},
+      {"obs", {"util"}},
+      {"sim", {"util"}},
+      {"cache", {"util"}},
+      {"proto", {"util"}},
+      {"cachesim", {"cache", "util"}},
+      {"sched", {"cache", "util"}},
+      {"workload", {"proto", "util"}},
+      {"analytic", {"cache", "sched", "stats", "util"}},
+      {"lint", {"obs", "util"}},
+      {"runtime", {"obs", "proto", "stats", "util", "workload"}},
+      {"core",
+       {"cache", "cachesim", "obs", "proto", "sched", "sim", "stats", "util", "workload"}},
+  };
+  return kDeps;
+}
+
+/// Simulation-path dirs: results must be a pure function of config + seed,
+/// so wall clocks are banned outright (steady_clock included).
+const std::set<std::string>& simPathDirs() {
+  static const std::set<std::string> kDirs = {"sim",   "cache",    "cachesim", "proto", "workload",
+                                              "sched", "analytic", "stats",    "util"};
+  return kDirs;
+}
+
+/// Trees whose locking must go through the annotated aff primitives.
+const std::set<std::string>& annotatedDirs() {
+  static const std::set<std::string> kDirs = {"runtime", "obs", "core", "lint"};
+  return kDirs;
+}
+
+// ------------------------------------------------------------- suppressions
+
+/// Scans raw lines for `afflint: allow(rule[, rule])` (suppresses that line
+/// and the next — so the comment can sit above the construct) and
+/// `afflint: allow-file(rule)` (whole file).
+struct Suppressions {
+  std::map<int, std::set<std::string>> by_line;  // 0-based line -> rules
+  std::set<std::string> file_wide;
+
+  bool allows(int line0, const std::string& rule) const {
+    if (file_wide.count(rule) != 0) return true;
+    for (int l = line0 - 1; l <= line0; ++l) {
+      auto it = by_line.find(l);
+      if (it != by_line.end() && it->second.count(rule) != 0) return true;
+    }
+    return false;
+  }
+};
+
+Suppressions scanSuppressions(const std::vector<std::string>& raw) {
+  static const std::regex kAllow(R"(afflint:\s*allow(-file)?\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\))");
+  Suppressions s;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    for (std::sregex_iterator it(raw[i].begin(), raw[i].end(), kAllow), end; it != end; ++it) {
+      const bool file_wide = (*it)[1].matched;
+      std::string rules = (*it)[2].str();
+      std::replace(rules.begin(), rules.end(), ',', ' ');
+      std::istringstream in(rules);
+      std::string rule;
+      while (in >> rule) {
+        if (file_wide) {
+          s.file_wide.insert(rule);
+        } else {
+          s.by_line[static_cast<int>(i)].insert(rule);
+        }
+      }
+    }
+  }
+  return s;
+}
+
+// ------------------------------------------------------------------- rules
+
+struct FileCtx {
+  const std::string& path;
+  const Views& v;
+  Suppressions supp;
+  std::vector<Finding>* out;
+
+  void report(std::size_t line0, const std::string& rule, std::string message) const {
+    if (supp.allows(static_cast<int>(line0), rule)) return;
+    out->push_back(Finding{path, static_cast<int>(line0) + 1, rule, std::move(message)});
+  }
+};
+
+void ruleMetricName(const FileCtx& ctx) {
+  if (!startsWith(ctx.path, "src/") && !startsWith(ctx.path, "tools/") &&
+      !startsWith(ctx.path, "bench/"))
+    return;
+  static const std::regex kCall(
+      R"re((\.|->)\s*(counter|gauge|meanStat|timeWeighted|histogram)\s*\(\s*(?:[A-Za-z_][A-Za-z0-9_]*\s*\+\s*)?"([^"]*)")re");
+  for (std::size_t i = 0; i < ctx.v.text.size(); ++i) {
+    const std::string& line = ctx.v.text[i];
+    for (std::sregex_iterator it(line.begin(), line.end(), kCall), end; it != end; ++it) {
+      const std::string literal = (*it)[3].str();
+      std::string why;
+      if (!validMetricName(literal, &why)) {
+        ctx.report(i, "metric-name",
+                   "metric name \"" + literal + "\" violates the OBSERVABILITY.md scheme: " + why);
+      }
+    }
+  }
+}
+
+void ruleNondeterminism(const FileCtx& ctx) {
+  if (!startsWith(ctx.path, "src/") && !startsWith(ctx.path, "tools/") &&
+      !startsWith(ctx.path, "bench/"))
+    return;
+  static const std::regex kRand(R"((^|[^A-Za-z0-9_])s?rand\s*\()");
+  static const std::regex kTime(R"((^|[^A-Za-z0-9_])time\s*\(\s*(nullptr|NULL|0)\s*\))");
+  const bool sim_path = simPathDirs().count(srcSubdir(ctx.path)) != 0;
+  for (std::size_t i = 0; i < ctx.v.code.size(); ++i) {
+    const std::string& line = ctx.v.code[i];
+    if (containsToken(line, "random_device")) {
+      ctx.report(i, "nondeterminism",
+                 "std::random_device is nondeterministic; derive seeds from the config "
+                 "(util/rng.hpp, derivePointSeed)");
+    }
+    if (std::regex_search(line, kRand)) {
+      ctx.report(i, "nondeterminism",
+                 "rand()/srand() share hidden global state; use util/rng.hpp");
+    }
+    if (std::regex_search(line, kTime)) {
+      ctx.report(i, "nondeterminism", "time(nullptr) is wall clock; runs must be replayable");
+    }
+    if (containsToken(line, "system_clock") || containsToken(line, "high_resolution_clock")) {
+      ctx.report(i, "nondeterminism",
+                 "wall/unspecified clocks are banned; use steady_clock outside sim paths, "
+                 "virtual time inside");
+    }
+    if (sim_path && containsToken(line, "steady_clock")) {
+      ctx.report(i, "nondeterminism",
+                 "steady_clock in a simulation-path dir: simulation results must be a pure "
+                 "function of config + seed (wall time belongs to runtime/obs/core)");
+    }
+  }
+}
+
+void ruleProtoCheck(const FileCtx& ctx) {
+  if (!startsWith(ctx.path, "src/proto/")) return;
+  static const std::regex kCheck(R"((^|[^A-Za-z0-9_])AFF_CHECK\s*\()");
+  for (std::size_t i = 0; i < ctx.v.code.size(); ++i) {
+    if (std::regex_search(ctx.v.code[i], kCheck)) {
+      ctx.report(i, "proto-check",
+                 "AFF_CHECK in src/proto/ aborts on what may be network input; return a typed "
+                 "DropReason instead (AFF_DCHECK is fine for internal invariants)");
+    }
+  }
+}
+
+void ruleLayering(const FileCtx& ctx) {
+  const std::string dir = srcSubdir(ctx.path);
+  if (dir.empty()) return;
+  static const std::regex kInclude(R"re(^\s*#\s*include\s*"([^"]+)")re");
+  const auto& deps = layerDeps();
+  for (std::size_t i = 0; i < ctx.v.text.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(ctx.v.text[i], m, kInclude)) continue;
+    const std::string target = m[1].str();
+    const std::size_t slash = target.find('/');
+    if (slash == std::string::npos) continue;  // same-dir include
+    const std::string target_dir = target.substr(0, slash);
+    if (target_dir == "bench" || target_dir == "tools" || target_dir == "tests" ||
+        target_dir == "examples") {
+      ctx.report(i, "layering", "src/ must not include from " + target_dir + "/ (\"" + target +
+                                    "\"); move shared code into a src/ library");
+      continue;
+    }
+    auto it = deps.find(dir);
+    if (it == deps.end() || deps.find(target_dir) == deps.end()) continue;
+    if (target_dir == dir || it->second.count(target_dir) != 0) continue;
+    ctx.report(i, "layering", "src/" + dir + " may not include src/" + target_dir + " (\"" +
+                                  target + "\"); allowed: self + lower layers only "
+                                  "(docs/STATIC_ANALYSIS.md has the layer table)");
+  }
+}
+
+void ruleRawMutex(const FileCtx& ctx) {
+  if (annotatedDirs().count(srcSubdir(ctx.path)) == 0) return;
+  static const char* kBanned[] = {
+      "std::mutex",       "std::timed_mutex",           "std::recursive_mutex",
+      "std::shared_mutex", "std::condition_variable",    "std::condition_variable_any",
+      "std::lock_guard",  "std::unique_lock",           "std::scoped_lock",
+  };
+  for (std::size_t i = 0; i < ctx.v.code.size(); ++i) {
+    for (const char* token : kBanned) {
+      if (containsToken(ctx.v.code[i], token)) {
+        ctx.report(i, "raw-mutex",
+                   std::string(token) + " in an annotated tree bypasses clang thread-safety "
+                                        "analysis; use Mutex/MutexLock/CondVar (util/mutex.hpp)");
+      }
+    }
+  }
+}
+
+void ruleGuardedMutex(const FileCtx& ctx) {
+  if (srcSubdir(ctx.path).empty()) return;
+  static const std::regex kDecl(
+      R"(^\s*(?:mutable\s+)?(?:aff\s*::\s*|affinity\s*::\s*)?Mutex\s+([A-Za-z_][A-Za-z0-9_]*)\s*;)");
+  std::string whole;
+  for (const auto& line : ctx.v.text) {
+    whole += line;
+    whole += '\n';
+  }
+  for (std::size_t i = 0; i < ctx.v.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(ctx.v.code[i], m, kDecl)) continue;
+    const std::string name = m[1].str();
+    const std::regex kRef("AFF_(PT_)?GUARDED_BY\\s*\\([^)]*\\b" + name +
+                          "\\b[^)]*\\)|AFF_REQUIRES(_SHARED)?\\s*\\([^)]*\\b" + name +
+                          "\\b[^)]*\\)");
+    if (!std::regex_search(whole, kRef)) {
+      ctx.report(i, "guarded-mutex",
+                 "Mutex '" + name + "' has no AFF_GUARDED_BY / AFF_PT_GUARDED_BY / AFF_REQUIRES "
+                                    "reference in this file; say what it protects");
+    }
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- public
+
+const std::vector<std::string>& ruleNames() {
+  static const std::vector<std::string> kRules = {"metric-name", "nondeterminism", "proto-check",
+                                                  "layering",    "raw-mutex",      "guarded-mutex"};
+  return kRules;
+}
+
+bool validMetricName(const std::string& literal, std::string* why) {
+  const auto fail = [&](std::string reason) {
+    if (why != nullptr) *why = std::move(reason);
+    return false;
+  };
+  if (literal.empty()) return fail("empty name");
+  for (const char c : literal) {
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' || c == '.')) {
+      return fail(std::string("character '") + c + "' outside [a-z0-9_.]");
+    }
+  }
+  // Leading/trailing dots mark concatenation fragments ("sim.proc.",
+  // ".queue_depth_avg"); the surrounding pieces carry the rest of the name.
+  const bool anchored = literal.front() != '.';
+  std::size_t b = 0;
+  std::size_t e = literal.size();
+  while (b < e && literal[b] == '.') ++b;
+  while (e > b && literal[e - 1] == '.') --e;
+  const std::string core = literal.substr(b, e - b);
+  if (core.empty()) return true;  // pure "." separator
+  std::vector<std::string> segments;
+  std::string seg;
+  std::istringstream in(core);
+  while (std::getline(in, seg, '.')) segments.push_back(seg);
+  for (const auto& s : segments) {
+    if (s.empty()) return fail("empty path segment (\"..\")");
+    if (s.front() == '_') return fail("segment \"" + s + "\" starts with '_'");
+  }
+  if (anchored && metricDomains().count(segments.front()) == 0) {
+    return fail("unknown domain \"" + segments.front() +
+                "\" (expected sim/sweep/engine/chaos/bench)");
+  }
+  return true;
+}
+
+std::vector<Finding> lintFile(const std::string& rel_path, const std::string& content) {
+  std::vector<Finding> out;
+  const Views v = preprocess(content);
+  FileCtx ctx{rel_path, v, scanSuppressions(v.raw), &out};
+  ruleMetricName(ctx);
+  ruleNondeterminism(ctx);
+  ruleProtoCheck(ctx);
+  ruleLayering(ctx);
+  ruleRawMutex(ctx);
+  ruleGuardedMutex(ctx);
+  return out;
+}
+
+std::vector<Finding> lintTree(const std::string& root,
+                              const std::vector<std::string>& rel_roots) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> out;
+  for (const auto& rel : rel_roots) {
+    const fs::path base = fs::path(root) / rel;
+    if (!fs::exists(base)) {
+      out.push_back(Finding{rel, 0, "io-error", "no such directory under lint root"});
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
+      const std::string rel_path =
+          fs::relative(entry.path(), fs::path(root)).generic_string();
+      std::ifstream in(entry.path(), std::ios::binary);
+      if (!in) {
+        out.push_back(Finding{rel_path, 0, "io-error", "unreadable file"});
+        continue;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      auto findings = lintFile(rel_path, buf.str());
+      out.insert(out.end(), std::make_move_iterator(findings.begin()),
+                 std::make_move_iterator(findings.end()));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+void writeFindingsJson(std::FILE* out, const std::vector<Finding>& findings) {
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::fprintf(out, "  {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", \"message\": \"%s\"}%s\n",
+                 obs::jsonEscape(f.file).c_str(), f.line, obs::jsonEscape(f.rule).c_str(),
+                 obs::jsonEscape(f.message).c_str(), i + 1 < findings.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+}
+
+}  // namespace affinity::lint

@@ -1,0 +1,72 @@
+// lint.hpp — afflint: repo-specific invariant checks that generic static
+// analysis cannot express (docs/STATIC_ANALYSIS.md).
+//
+// Six rules, each scoped to the part of the tree where its invariant holds:
+//
+//   metric-name    — string literals registered with obs::MetricsRegistry
+//                    follow the docs/OBSERVABILITY.md naming scheme
+//                    (dotted lower_snake, known domain as first segment).
+//                    Scope: src/, tools/, bench/.
+//   nondeterminism — no rand()/srand(), std::random_device, time(nullptr),
+//                    system_clock or high_resolution_clock anywhere; no
+//                    steady_clock (wall time) in simulation-path dirs —
+//                    determinism is a tested guarantee (GoldenSeed suite).
+//                    Scope: src/, tools/, bench/.
+//   proto-check    — no AFF_CHECK in src/proto/: network input must become
+//                    a typed DropReason, never an abort (the PR 2 rule).
+//   layering       — src/ include hygiene: each subsystem may include only
+//                    the layers below it (proto never includes runtime,
+//                    nothing in src/ includes bench/tools/tests, ...).
+//   raw-mutex      — concurrent trees (src/runtime, src/obs, src/core,
+//                    src/lint) use the annotated aff primitives
+//                    (util/mutex.hpp), not raw std::mutex & friends, so
+//                    clang -Wthread-safety sees every lock.
+//   guarded-mutex  — every `Mutex foo_;` declaration is referenced by at
+//                    least one AFF_GUARDED_BY / AFF_PT_GUARDED_BY /
+//                    AFF_REQUIRES in the same file: a mutex that guards
+//                    nothing on record guards nothing in review.
+//
+// Comments and string literals are stripped before token rules run, so
+// writing about a banned primitive is fine; using one is not. A line (or
+// the line directly above) containing `afflint: allow(<rule>)` suppresses
+// that rule there — always append a reason, the suppression is reviewable
+// precisely because it is greppable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace affinity::lint {
+
+/// One rule violation at a file:line.
+struct Finding {
+  std::string file;  ///< path relative to the lint root, '/'-separated
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// All rule names, for --list-rules and corpus coverage checks.
+const std::vector<std::string>& ruleNames();
+
+/// Lints one file's `content` as if it lived at `rel_path` (repo-relative,
+/// '/'-separated). Rule scoping keys off the path, so corpus fixtures can
+/// impersonate any tree location.
+std::vector<Finding> lintFile(const std::string& rel_path, const std::string& content);
+
+/// Walks `rel_roots` (e.g. {"src", "tools", "bench"}) under `root`, linting
+/// every *.hpp/*.cpp/*.h/*.cc file. Findings are sorted (file, line, rule).
+/// Unreadable files yield a finding under rule "io-error".
+std::vector<Finding> lintTree(const std::string& root, const std::vector<std::string>& rel_roots);
+
+/// Validates a metric-name string literal against the OBSERVABILITY.md
+/// scheme. Literals may be name fragments from concatenation: a leading or
+/// trailing '.' marks a prefix/suffix piece, which skips the domain check.
+/// On failure, `why` (if non-null) explains.
+bool validMetricName(const std::string& literal, std::string* why);
+
+/// Machine-readable export: a JSON array of {file, line, rule, message}.
+void writeFindingsJson(std::FILE* out, const std::vector<Finding>& findings);
+
+}  // namespace affinity::lint

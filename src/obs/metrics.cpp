@@ -149,9 +149,8 @@ const char* MetricSample::kindName() const noexcept {
 
 // ------------------------------------------------------- MetricsRegistry
 
-MetricsRegistry::Entry& MetricsRegistry::find_or_create(const std::string& name,
-                                                        MetricSample::Kind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+MetricsRegistry::Entry& MetricsRegistry::find_or_create_locked(const std::string& name,
+                                                               MetricSample::Kind kind) {
   auto [it, inserted] = entries_.try_emplace(name);
   if (inserted) {
     it->second.kind = kind;
@@ -163,33 +162,42 @@ MetricsRegistry::Entry& MetricsRegistry::find_or_create(const std::string& name,
   return it->second;
 }
 
+// The instrument is created while mu_ is still held: two threads racing to
+// register the same name must agree on one instrument (annotating this path
+// surfaced a create-after-unlock race in the original code).
+
 Counter& MetricsRegistry::counter(const std::string& name) {
-  Entry& e = find_or_create(name, MetricSample::Kind::kCounter);
+  MutexLock lock(mu_);
+  Entry& e = find_or_create_locked(name, MetricSample::Kind::kCounter);
   if (!e.counter) e.counter = std::make_unique<Counter>();
   return *e.counter;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  Entry& e = find_or_create(name, MetricSample::Kind::kGauge);
+  MutexLock lock(mu_);
+  Entry& e = find_or_create_locked(name, MetricSample::Kind::kGauge);
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
   return *e.gauge;
 }
 
 MeanStat& MetricsRegistry::meanStat(const std::string& name) {
-  Entry& e = find_or_create(name, MetricSample::Kind::kMean);
+  MutexLock lock(mu_);
+  Entry& e = find_or_create_locked(name, MetricSample::Kind::kMean);
   if (!e.mean) e.mean = std::make_unique<MeanStat>();
   return *e.mean;
 }
 
 TimeWeightedStat& MetricsRegistry::timeWeighted(const std::string& name) {
-  Entry& e = find_or_create(name, MetricSample::Kind::kTimeWeighted);
+  MutexLock lock(mu_);
+  Entry& e = find_or_create_locked(name, MetricSample::Kind::kTimeWeighted);
   if (!e.time_weighted) e.time_weighted = std::make_unique<TimeWeightedStat>();
   return *e.time_weighted;
 }
 
 LatencyHisto& MetricsRegistry::histogram(const std::string& name, double min_value, int decades,
                                          int buckets_per_decade) {
-  Entry& e = find_or_create(name, MetricSample::Kind::kHistogram);
+  MutexLock lock(mu_);
+  Entry& e = find_or_create_locked(name, MetricSample::Kind::kHistogram);
   if (!e.histogram) {
     e.histogram = std::make_unique<LatencyHisto>(min_value, decades, buckets_per_decade);
   }
@@ -197,12 +205,12 @@ LatencyHisto& MetricsRegistry::histogram(const std::string& name, double min_val
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 std::vector<MetricSample> MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<MetricSample> out;
   out.reserve(entries_.size());
   for (const auto& [name, e] : entries_) {

@@ -28,9 +28,10 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace affinity::obs {
 
@@ -165,17 +166,17 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  MeanStat& meanStat(const std::string& name);
-  TimeWeightedStat& timeWeighted(const std::string& name);
+  Counter& counter(const std::string& name) AFF_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) AFF_EXCLUDES(mu_);
+  MeanStat& meanStat(const std::string& name) AFF_EXCLUDES(mu_);
+  TimeWeightedStat& timeWeighted(const std::string& name) AFF_EXCLUDES(mu_);
   LatencyHisto& histogram(const std::string& name, double min_value = 0.05, int decades = 9,
-                          int buckets_per_decade = 32);
+                          int buckets_per_decade = 32) AFF_EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const AFF_EXCLUDES(mu_);
 
   /// All instruments, sorted by name (deterministic export order).
-  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+  [[nodiscard]] std::vector<MetricSample> snapshot() const AFF_EXCLUDES(mu_);
 
   /// Writes the snapshot as a JSON document. The file form returns false on
   /// I/O failure.
@@ -192,11 +193,17 @@ class MetricsRegistry {
     std::unique_ptr<LatencyHisto> histogram;
   };
 
-  Entry& find_or_create(const std::string& name, MetricSample::Kind kind);
+  // Returns a reference that outlives the lock: entries are pointer-stable
+  // (std::map nodes) and, once the instrument exists, immutable-in-shape —
+  // so hot paths hold instrument pointers without ever re-entering mu_.
+  // Callers must finish creating the instrument before releasing mu_
+  // (creation after unlock would race a concurrent registration).
+  Entry& find_or_create_locked(const std::string& name,
+                               MetricSample::Kind kind) AFF_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // std::map keeps names sorted for snapshot(); entries are pointer-stable.
-  std::map<std::string, Entry> entries_;
+  std::map<std::string, Entry> entries_ AFF_GUARDED_BY(mu_);
 };
 
 /// Escapes a string for embedding in a JSON document (shared by the metrics

@@ -21,7 +21,7 @@ TraceSession::~TraceSession() {
 }
 
 std::uint32_t TraceSession::track(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (std::size_t i = 0; i < tracks_.size(); ++i) {
     if (tracks_[i]->name == name) return static_cast<std::uint32_t>(i);
   }
@@ -78,7 +78,7 @@ std::uint64_t TraceSession::droppedCount() const noexcept {
 }
 
 std::size_t TraceSession::trackCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tracks_.size();
 }
 
@@ -97,7 +97,7 @@ struct Emission {
 }  // namespace
 
 void TraceSession::writeChromeTrace(std::FILE* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Emission> ev;
   for (std::uint32_t ti = 0; ti < tracks_.size(); ++ti) {
     const Track& t = *tracks_[ti];

@@ -32,9 +32,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace affinity::obs {
 
@@ -49,7 +50,7 @@ class TraceSession {
   /// Creates (or finds, by name) a track; returns its id. Takes a mutex —
   /// call during setup, not per event. Each track must then be written by at
   /// most one thread at a time.
-  std::uint32_t track(const std::string& name);
+  std::uint32_t track(const std::string& name) AFF_EXCLUDES(mu_);
 
   /// Records a completed span [begin_us, end_us] on `track`.
   void span(std::uint32_t track, const char* name, double begin_us, double end_us,
@@ -65,11 +66,11 @@ class TraceSession {
   /// Total records accepted / overwritten (diagnostics).
   [[nodiscard]] std::uint64_t recordedCount() const noexcept;
   [[nodiscard]] std::uint64_t droppedCount() const noexcept;
-  [[nodiscard]] std::size_t trackCount() const;
+  [[nodiscard]] std::size_t trackCount() const AFF_EXCLUDES(mu_);
 
   /// Chrome trace_event export. Call after writers have quiesced (engines
   /// stopped / simulation finished). File form returns false on I/O failure.
-  void writeChromeTrace(std::FILE* out) const;
+  void writeChromeTrace(std::FILE* out) const AFF_EXCLUDES(mu_);
   [[nodiscard]] bool writeChromeTrace(const std::string& path) const;
 
   // ---- process-global slot (for real-thread engines & benches) ----
@@ -99,13 +100,19 @@ class TraceSession {
     std::uint64_t written = 0;  // total records ever written
   };
 
-  Track& trackRef(std::uint32_t id) noexcept { return *tracks_[id]; }
+  // Lock-free by protocol, not by mutex: track() never invalidates existing
+  // ids (growth only, unique_ptr elements are address-stable), each track is
+  // written by one thread, and callers only pass ids track() returned to
+  // them — hence exempt from the mu_ annotation on tracks_.
+  Track& trackRef(std::uint32_t id) noexcept AFF_NO_THREAD_SAFETY_ANALYSIS {
+    return *tracks_[id];
+  }
 
   const std::size_t track_capacity_;
   const std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mu_;  // guards tracks_ vector growth (not record writes)
-  std::vector<std::unique_ptr<Track>> tracks_;
+  mutable Mutex mu_;  // guards tracks_ vector growth (not record writes)
+  std::vector<std::unique_ptr<Track>> tracks_ AFF_GUARDED_BY(mu_);
 
   std::atomic<std::uint64_t> recorded_{0};
   std::atomic<std::uint64_t> dropped_{0};

@@ -25,6 +25,7 @@ DispatchEngine::DispatchEngine(unsigned workers, DispatchPolicy policy, HostConf
 
 void DispatchEngine::openPort(std::uint16_t port, std::size_t session_queue) {
   AFF_CHECK(!started_);
+  MutexLock lock(stack_mu_);  // uncontended pre-start; keeps the annotation exact
   stack_.open(port, session_queue);
 }
 
@@ -45,7 +46,7 @@ void DispatchEngine::start() {
         const double t0 = trace_ != nullptr ? trace_->steadyNowUs() : 0.0;
         ReceiveContext ctx;
         {
-          std::lock_guard lock(stack_mu_);
+          MutexLock lock(stack_mu_);
           ctx = stack_.receiveFrame(item.frame);
         }
         pw.processed.fetch_add(1, std::memory_order_relaxed);

@@ -82,8 +82,10 @@ class DispatchEngine {
   unsigned workers_;
   DispatchPolicy policy_;
   EngineOptions options_;
-  ProtocolStack stack_;
-  std::mutex stack_mu_;
+  // Shared stack (Locking paradigm): receiveFrame always runs under
+  // stack_mu_; the dispatch policies differ only in cache placement.
+  Mutex stack_mu_;
+  ProtocolStack stack_ AFF_GUARDED_BY(stack_mu_);
   std::vector<PerWorker> per_worker_;
   WorkerPool pool_;
   std::atomic<bool> intake_open_{false};

@@ -96,6 +96,7 @@ LockingEngine::LockingEngine(unsigned workers, HostConfig host, const EngineOpti
 
 void LockingEngine::openPort(std::uint16_t port, std::size_t session_queue) {
   AFF_CHECK(!started_);
+  MutexLock lock(stack_mu_);  // uncontended pre-start; keeps the annotation exact
   stack_.open(port, session_queue);
 }
 
@@ -124,7 +125,7 @@ void LockingEngine::start() {
       const double t0 = trace_ != nullptr ? trace_->steadyNowUs() : 0.0;
       ReceiveContext ctx;
       {
-        std::lock_guard lock(stack_mu_);
+        MutexLock lock(stack_mu_);
         ctx = stack_.receiveFrame(item->frame);
       }
       processed_.fetch_add(1, std::memory_order_relaxed);
@@ -236,6 +237,7 @@ void LockingEngine::stop() {
   // invariant holds exactly.
   WorkItem item;
   while (queue_.tryPop(item)) {
+    MutexLock lock(stack_mu_);  // workers are joined; uncontended by construction
     const ReceiveContext ctx = stack_.receiveFrame(item.frame);
     processed_.fetch_add(1, std::memory_order_relaxed);
     if (!ctx.dropped()) delivered_.fetch_add(1, std::memory_order_relaxed);

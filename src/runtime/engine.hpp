@@ -33,6 +33,7 @@
 #include "runtime/queues.hpp"
 #include "runtime/worker_pool.hpp"
 #include "stats/histogram.hpp"
+#include "util/mutex.hpp"
 
 namespace affinity {
 
@@ -170,8 +171,11 @@ class LockingEngine {
 
   unsigned workers_;
   EngineOptions options_;
-  ProtocolStack stack_;
-  std::mutex stack_mu_;
+  // The Locking paradigm's one shared stack: every receiveFrame holds
+  // stack_mu_ (that serialization is the paradigm under study, not a
+  // bottleneck to engineer away).
+  Mutex stack_mu_;
+  ProtocolStack stack_ AFF_GUARDED_BY(stack_mu_);
   MpmcQueue<WorkItem> queue_;
   WorkerPool pool_;
   std::jthread watchdog_;

@@ -10,14 +10,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/mutex.hpp"
 
 namespace affinity {
 
@@ -30,9 +29,9 @@ class MpmcQueue {
   explicit MpmcQueue(std::size_t capacity) : capacity_(capacity) { AFF_CHECK(capacity > 0); }
 
   /// Blocking push; false if the queue was closed.
-  bool push(T item) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+  bool push(T item) AFF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    not_full_.wait(mu_, [&]() AFF_REQUIRES(mu_) { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
     lock.unlock();
@@ -42,9 +41,9 @@ class MpmcQueue {
 
   /// Non-blocking push; false if full or closed. On failure `item` is left
   /// intact (not moved from), so overload-policy retry loops keep the frame.
-  bool tryPush(T&& item) {
+  bool tryPush(T&& item) AFF_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -53,9 +52,9 @@ class MpmcQueue {
   }
 
   /// Blocking pop; nullopt once closed and drained.
-  std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> pop() AFF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    not_empty_.wait(mu_, [&]() AFF_REQUIRES(mu_) { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -66,9 +65,9 @@ class MpmcQueue {
 
   /// Non-blocking pop; false when empty. Usable from any thread — including
   /// a producer evicting the oldest item under a drop-oldest overload policy.
-  bool tryPop(T& out) {
+  bool tryPop(T& out) AFF_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (items_.empty()) return false;
       out = std::move(items_.front());
       items_.pop_front();
@@ -81,9 +80,10 @@ class MpmcQueue {
   /// drained (disambiguate with drained()). Lets consumers poll fault/stop
   /// flags instead of blocking indefinitely on an idle queue.
   template <typename Rep, typename Period>
-  std::optional<T> popFor(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mu_);
-    not_empty_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> popFor(std::chrono::duration<Rep, Period> timeout) AFF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    not_empty_.wait_for(mu_, timeout,
+                        [&]() AFF_REQUIRES(mu_) { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -93,33 +93,33 @@ class MpmcQueue {
   }
 
   /// Closes the queue (idempotent).
-  void close() {
+  void close() AFF_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] std::size_t size() const AFF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
   /// True once the queue is closed and every item has been popped.
-  [[nodiscard]] bool drained() const {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] bool drained() const AFF_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_ && items_.empty();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ AFF_GUARDED_BY(mu_);
   std::size_t capacity_;
-  bool closed_ = false;
+  bool closed_ AFF_GUARDED_BY(mu_) = false;
 };
 
 /// Lock-free SPSC ring buffer (capacity rounded up to a power of two; one

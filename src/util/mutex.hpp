@@ -1,0 +1,111 @@
+// mutex.hpp — annotated mutex / lock / condition-variable primitives.
+//
+// Thin wrappers over the std synchronization types carrying the Clang
+// Thread Safety Analysis annotations from util/thread_annotations.hpp, so
+// that `-Wthread-safety` can prove lock discipline at compile time:
+//
+//   Mutex      — std::mutex as a CAPABILITY; fields it protects are
+//                declared `T field AFF_GUARDED_BY(mu_);`
+//   MutexLock  — RAII scoped acquire (SCOPED_CAPABILITY) with an early
+//                unlock() for the unlock-before-notify pattern
+//   CondVar    — condition variable waiting on a Mutex; wait(mu, pred)
+//                REQUIRES(mu), matching condvar semantics (the lock is
+//                held on entry, released while waiting, re-held on return)
+//
+// All wrappers are header-only forwarding shims: in any optimized build
+// they compile to exactly the std calls they wrap (the perf-smoke guard in
+// scripts/run_perf_smoke.sh pins this). Off clang the annotations vanish
+// and these are plain aliases-with-ceremony.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "util/thread_annotations.hpp"
+
+namespace affinity {
+
+/// Annotated exclusive mutex (see file comment).
+class AFF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AFF_ACQUIRE() { mu_.lock(); }
+  void unlock() AFF_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() AFF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex; the scoped analogue of std::lock_guard with an
+/// optional early release (`unlock()`), after which the destructor is a
+/// no-op. Not copyable or movable — it mirrors the scope it guards.
+class AFF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AFF_ACQUIRE(mu) : mu_(&mu) { mu_->lock(); }
+  ~MutexLock() AFF_RELEASE() {
+    if (mu_ != nullptr) mu_->unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases before scope end (e.g. unlock-then-notify); call at most once.
+  void unlock() AFF_RELEASE() {
+    mu_->unlock();
+    mu_ = nullptr;
+  }
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable bound to Mutex at each wait site. Predicate waits
+/// only — the loop-around-spurious-wakeup is not optional — and the
+/// predicate must be annotated AFF_REQUIRES(mu) when it reads guarded
+/// fields (it runs with the lock held).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Blocks until `pred()`; `mu` is released while waiting and re-held when
+  /// this returns (hence REQUIRES: held on entry and on exit).
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) AFF_REQUIRES(mu) {
+    Waiter w{mu};
+    cv_.wait(w, std::move(pred));
+  }
+
+  /// wait() bounded by `timeout`; returns pred() (false on timeout).
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(Mutex& mu, std::chrono::duration<Rep, Period> timeout,
+                Pred pred) AFF_REQUIRES(mu) {
+    Waiter w{mu};
+    return cv_.wait_for(w, timeout, std::move(pred));
+  }
+
+ private:
+  // BasicLockable view of a Mutex handed to condition_variable_any, which
+  // unlocks/relocks it around the actual wait. Exempt from analysis: the
+  // transient release inside a wait is the condvar contract that the
+  // REQUIRES annotation on wait()/wait_for() already expresses.
+  struct Waiter {
+    Mutex& mu;
+    void lock() AFF_NO_THREAD_SAFETY_ANALYSIS { mu.lock(); }
+    void unlock() AFF_NO_THREAD_SAFETY_ANALYSIS { mu.unlock(); }
+  };
+
+  std::condition_variable_any cv_;
+};
+
+}  // namespace affinity

@@ -1,0 +1,71 @@
+// thread_annotations.hpp — portable Clang Thread Safety Analysis macros
+// (docs/STATIC_ANALYSIS.md).
+//
+// Under clang these expand to the __attribute__((...)) spellings that
+// -Wthread-safety checks at compile time: which mutex guards which field,
+// which functions must (or must not) be called with a lock held, and which
+// RAII types acquire/release. Under any other compiler they expand to
+// nothing, so annotated code stays portable and zero-cost.
+//
+// The names mirror the capability-style vocabulary from the clang docs
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with an AFF_
+// prefix. Use them through aff's own primitives (util/mutex.hpp: Mutex,
+// MutexLock, CondVar) — raw std::mutex in the annotated trees
+// (src/runtime, src/obs, src/core) is rejected by tools/afflint.
+#pragma once
+
+#if defined(__clang__)
+#define AFF_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define AFF_THREAD_ANNOTATION__(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a lockable capability (e.g. a mutex wrapper).
+#define AFF_CAPABILITY(x) AFF_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor releases.
+#define AFF_SCOPED_CAPABILITY AFF_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field may only be read/written while holding `x`.
+#define AFF_GUARDED_BY(x) AFF_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define AFF_PT_GUARDED_BY(x) AFF_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Lock-ordering hints (deadlock detection).
+#define AFF_ACQUIRED_BEFORE(...) AFF_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define AFF_ACQUIRED_AFTER(...) AFF_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability (exclusively / shared) across the call.
+#define AFF_REQUIRES(...) AFF_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define AFF_REQUIRES_SHARED(...) AFF_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past the return.
+#define AFF_ACQUIRE(...) AFF_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define AFF_ACQUIRE_SHARED(...) AFF_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller held on entry.
+#define AFF_RELEASE(...) AFF_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define AFF_RELEASE_SHARED(...) AFF_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define AFF_RELEASE_GENERIC(...) AFF_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define AFF_TRY_ACQUIRE(...) AFF_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define AFF_TRY_ACQUIRE_SHARED(...) \
+  AFF_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself;
+/// guards against self-deadlock on non-recursive mutexes).
+#define AFF_EXCLUDES(...) AFF_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (no acquire/release).
+#define AFF_ASSERT_CAPABILITY(x) AFF_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define AFF_RETURN_CAPABILITY(x) AFF_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: the function's locking discipline is intentionally outside
+/// what the analysis can model (e.g. the single-writer-per-track protocol of
+/// obs::TraceSession). Always pair with a comment naming the real invariant.
+#define AFF_NO_THREAD_SAFETY_ANALYSIS AFF_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -1,0 +1,18 @@
+// afflint-corpus-expect: guarded-mutex
+#pragma once
+
+#include <vector>
+
+#include "util/mutex.hpp"
+
+class ResultSink {
+ public:
+  void add(double v) {
+    affinity::MutexLock lock(mu_);
+    values_.push_back(v);
+  }
+
+ private:
+  affinity::Mutex mu_;          // guards values_, but nothing on record says so
+  std::vector<double> values_;  // missing AFF_GUARDED_BY(mu_)
+};

@@ -1,0 +1,5 @@
+// afflint-corpus-expect: layering
+#pragma once
+
+#include "runtime/engine.hpp"   // proto is below runtime; dependency inversion
+#include "tools/afflint.hpp"    // src/ must never reach into tools/

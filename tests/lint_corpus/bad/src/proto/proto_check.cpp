@@ -1,0 +1,7 @@
+// afflint-corpus-expect: proto-check
+#include "util/check.hpp"
+
+void parseHeader(const unsigned char* data, int length) {
+  AFF_CHECK(length >= 20);  // aborts the process on a short (hostile) packet
+  (void)data;
+}

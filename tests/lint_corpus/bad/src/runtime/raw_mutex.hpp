@@ -1,0 +1,20 @@
+// afflint-corpus-expect: raw-mutex
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+
+class JobQueue {
+ public:
+  void push(int v) {
+    std::lock_guard<std::mutex> lock(mu_);  // invisible to -Wthread-safety
+    jobs_.push(v);
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<int> jobs_;
+};

@@ -1,0 +1,15 @@
+// afflint-corpus-expect: nondeterminism
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double jitterSeed() {
+  std::random_device rd;                                  // nondeterministic seed
+  std::srand(static_cast<unsigned>(time(nullptr)));       // wall clock + global RNG
+  const auto t0 = std::chrono::steady_clock::now();       // wall time in a sim path
+  const auto t1 = std::chrono::system_clock::now();       // wall time anywhere
+  return static_cast<double>(rd()) +
+         std::chrono::duration<double>(t1.time_since_epoch()).count() +
+         std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

@@ -1,0 +1,18 @@
+// afflint-corpus-rule: guarded-mutex
+#pragma once
+
+#include <vector>
+
+#include "util/mutex.hpp"
+
+class ResultSink {
+ public:
+  void add(double v) AFF_EXCLUDES(mu_) {
+    affinity::MutexLock lock(mu_);
+    values_.push_back(v);
+  }
+
+ private:
+  mutable affinity::Mutex mu_;
+  std::vector<double> values_ AFF_GUARDED_BY(mu_);
+};

@@ -1,0 +1,7 @@
+// afflint-corpus-rule: layering
+#pragma once
+
+#include <cstdint>
+
+#include "proto/checksum.hpp"  // same subsystem
+#include "util/check.hpp"      // util is below everything

@@ -1,0 +1,11 @@
+// afflint-corpus-rule: proto-check
+#include "util/check.hpp"
+
+enum class DropReason { kNone, kTruncated };
+
+DropReason parseHeader(const unsigned char* data, int length, int scratch_size) {
+  if (length < 20) return DropReason::kTruncated;  // hostile input -> typed drop
+  AFF_DCHECK(scratch_size > 0);                    // internal invariant: fine
+  (void)data;
+  return DropReason::kNone;
+}

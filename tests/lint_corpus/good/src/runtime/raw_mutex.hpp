@@ -1,0 +1,21 @@
+// afflint-corpus-rule: raw-mutex
+#pragma once
+
+#include <queue>
+
+#include "util/mutex.hpp"
+
+// "std::mutex" in a string and std::lock_guard in this comment are not uses.
+class JobQueue {
+ public:
+  void push(int v) {
+    affinity::MutexLock lock(mu_);
+    jobs_.push(v);
+    cv_.notify_one();
+  }
+
+ private:
+  affinity::Mutex mu_;
+  affinity::CondVar cv_;
+  std::queue<int> jobs_ AFF_GUARDED_BY(mu_);
+};

@@ -1,0 +1,19 @@
+// afflint-corpus-rule: nondeterminism
+//
+// Near misses: talking about time(nullptr) or std::random_device in comments
+// is fine, and identifiers merely containing banned tokens must not trip the
+// word-boundary matcher.
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace {
+const char* kDocs = "seed with SplitMix, never std::random_device or srand()";
+}
+
+std::uint64_t strand_count(std::uint64_t operand) { return operand + 1; }
+
+double nextSample(affinity::Rng& rng) {
+  (void)kDocs;
+  return rng.uniform();  // deterministic: every draw comes from the seeded RNG
+}

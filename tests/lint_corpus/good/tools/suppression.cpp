@@ -1,0 +1,14 @@
+// afflint-corpus-rule: nondeterminism
+//
+// The reviewable escape hatch: an `afflint: allow(<rule>)` comment on the
+// line or the line directly above suppresses exactly that rule there.
+#include <ctime>
+
+long stampLedgerRow() {
+  // Ledger rows are wall-stamped by design.  afflint: allow(nondeterminism)
+  return static_cast<long>(std::time(nullptr));
+}
+
+long stampSameLine() {
+  return std::time(nullptr);  // afflint: allow(nondeterminism) -- same-line form
+}

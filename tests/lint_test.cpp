@@ -1,0 +1,176 @@
+// lint_test.cpp — afflint's own tests: the good/bad corpus under
+// tests/lint_corpus/ (every rule must have at least one passing and one
+// failing fixture), unit tests for the metric-name validator and the
+// suppression comments, and a live-tree self-check that keeps the real
+// src/ tools/ bench/ trees lint-clean.
+//
+// Fixture convention: the path under good/ or bad/ is the repo-relative
+// path the file impersonates (rule scoping keys off it). The first line
+// declares intent:
+//   bad:  // afflint-corpus-expect: <rule> [<rule>...]
+//   good: // afflint-corpus-rule: <rule>
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+using affinity::lint::Finding;
+using affinity::lint::lintFile;
+using affinity::lint::lintTree;
+using affinity::lint::ruleNames;
+using affinity::lint::validMetricName;
+
+namespace {
+
+std::string readFile(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in) << "unreadable fixture: " << p;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+struct Fixture {
+  std::string rel_path;  // impersonated repo-relative path
+  std::string content;
+  std::set<std::string> tagged_rules;  // from the first-line marker
+};
+
+std::vector<Fixture> loadCorpus(const std::string& kind, const std::string& marker) {
+  const fs::path root = fs::path(AFF_SOURCE_ROOT) / "tests" / "lint_corpus" / kind;
+  std::vector<Fixture> out;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    Fixture f;
+    f.rel_path = fs::relative(entry.path(), root).generic_string();
+    f.content = readFile(entry.path());
+    const std::size_t eol = f.content.find('\n');
+    const std::string first = f.content.substr(0, eol);
+    const std::size_t at = first.find(marker);
+    EXPECT_NE(at, std::string::npos)
+        << f.rel_path << " first line must carry '" << marker << "'";
+    if (at != std::string::npos) {
+      std::istringstream in(first.substr(at + marker.size()));
+      std::string rule;
+      while (in >> rule) f.tagged_rules.insert(rule);
+    }
+    EXPECT_FALSE(f.tagged_rules.empty()) << f.rel_path << " tags no rules";
+    out.push_back(std::move(f));
+  }
+  EXPECT_FALSE(out.empty()) << "no fixtures under " << root;
+  return out;
+}
+
+std::set<std::string> rulesIn(const std::vector<Finding>& findings) {
+  std::set<std::string> rules;
+  for (const auto& f : findings) rules.insert(f.rule);
+  return rules;
+}
+
+std::string describe(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const auto& f : findings)
+    out << "  " << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  return out.str();
+}
+
+TEST(LintCorpus, BadFixturesFailWithExactlyTheExpectedRules) {
+  for (const auto& f : loadCorpus("bad", "afflint-corpus-expect:")) {
+    const auto findings = lintFile(f.rel_path, f.content);
+    EXPECT_EQ(rulesIn(findings), f.tagged_rules)
+        << f.rel_path << " findings:\n" << describe(findings);
+  }
+}
+
+TEST(LintCorpus, GoodFixturesLintClean) {
+  for (const auto& f : loadCorpus("good", "afflint-corpus-rule:")) {
+    const auto findings = lintFile(f.rel_path, f.content);
+    EXPECT_TRUE(findings.empty()) << f.rel_path << " findings:\n" << describe(findings);
+  }
+}
+
+TEST(LintCorpus, EveryRuleHasAPassingAndAFailingFixture) {
+  const std::set<std::string> all(ruleNames().begin(), ruleNames().end());
+  std::set<std::string> bad_cover, good_cover;
+  for (const auto& f : loadCorpus("bad", "afflint-corpus-expect:"))
+    bad_cover.insert(f.tagged_rules.begin(), f.tagged_rules.end());
+  for (const auto& f : loadCorpus("good", "afflint-corpus-rule:"))
+    good_cover.insert(f.tagged_rules.begin(), f.tagged_rules.end());
+  EXPECT_EQ(bad_cover, all);
+  EXPECT_EQ(good_cover, all);
+}
+
+TEST(ValidMetricName, AcceptsSchemeNamesAndFragments) {
+  for (const char* name : {"sim.proc.busy_frac", "engine.rx.batches", "sweep.point_wall_us",
+                           "chaos.fault_gap_us", "bench.kernel.events_per_sec"}) {
+    std::string why;
+    EXPECT_TRUE(validMetricName(name, &why)) << name << ": " << why;
+  }
+  // Leading/trailing '.' marks a concatenation fragment: no domain check.
+  for (const char* fragment : {".queue_depth_avg", "sim.proc.", ".faults.injected.", "."}) {
+    std::string why;
+    EXPECT_TRUE(validMetricName(fragment, &why)) << fragment << ": " << why;
+  }
+}
+
+TEST(ValidMetricName, RejectsBadNames) {
+  for (const char* name : {"", "Engine.rx", "engine rx", "widget.rx", "engine..rx",
+                           "engine._rx", ".Fragment", "engine.rx-batches"}) {
+    EXPECT_FALSE(validMetricName(name, nullptr)) << name;
+  }
+}
+
+TEST(Suppression, AllowCommentsScopeToLineAboveSameLineAndFile) {
+  const std::string path = "src/sim/clock.cpp";
+  const std::string banned = "double f() { return time(nullptr); }\n";
+  EXPECT_FALSE(lintFile(path, banned).empty());
+  EXPECT_TRUE(lintFile(path, "// afflint: allow(nondeterminism)\n" + banned).empty());
+  EXPECT_TRUE(
+      lintFile(path, "double f() { return time(nullptr); }  // afflint: allow(nondeterminism)\n")
+          .empty());
+  EXPECT_TRUE(lintFile(path, "// afflint: allow-file(nondeterminism)\n\n\n" + banned).empty());
+  // A different rule's allowance suppresses nothing.
+  EXPECT_FALSE(lintFile(path, "// afflint: allow(metric-name)\n" + banned).empty());
+  // Two blank lines between comment and use: out of scope.
+  EXPECT_FALSE(lintFile(path, "// afflint: allow(nondeterminism)\n\n" + banned).empty());
+}
+
+TEST(Preprocess, CommentsStringsAndRawStringsAreNotCode) {
+  const std::string path = "src/runtime/doc.cpp";
+  EXPECT_TRUE(lintFile(path, "// std::mutex in prose\n/* std::lock_guard too */\n").empty());
+  EXPECT_TRUE(lintFile(path, "const char* s = \"std::mutex\";\n").empty());
+  EXPECT_TRUE(lintFile(path, "const char* r = R\"(std::mutex \" quote)\";\nint x;\n").empty());
+  // ...but the same tokens as code are findings.
+  EXPECT_FALSE(lintFile(path, "std::mutex mu;\n").empty());
+}
+
+TEST(LiveTree, SrcToolsBenchLintClean) {
+  const auto findings = lintTree(AFF_SOURCE_ROOT, {"src", "tools", "bench"});
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+// The acceptance demo, automated: deleting the AFF_GUARDED_BY annotation from
+// a real runtime header must produce a guarded-mutex finding — this is the
+// no-clang environment's substitute for -Wthread-safety breaking the build.
+TEST(LiveTree, RemovingAGuardedByAnnotationIsCaught) {
+  const fs::path engine = fs::path(AFF_SOURCE_ROOT) / "src" / "runtime" / "engine.hpp";
+  std::string content = readFile(engine);
+  ASSERT_TRUE(lintFile("src/runtime/engine.hpp", content).empty());
+  const std::string annotation = " AFF_GUARDED_BY(stack_mu_)";
+  const std::size_t at = content.find(annotation);
+  ASSERT_NE(at, std::string::npos) << "engine.hpp no longer annotates stack_";
+  content.erase(at, annotation.size());
+  const auto findings = lintFile("src/runtime/engine.hpp", content);
+  EXPECT_EQ(rulesIn(findings), std::set<std::string>{"guarded-mutex"})
+      << describe(findings);
+}
+
+}  // namespace

@@ -1,0 +1,57 @@
+// afflint — repo-specific invariant lint (src/lint/lint.hpp has the rules,
+// docs/STATIC_ANALYSIS.md the rationale). Exit codes: 0 clean, 1 findings,
+// 2 I/O or usage error — so CI can distinguish "violations" from "broken".
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  affinity::Cli cli("afflint", "repo-specific invariant checks (metric names, determinism, "
+                               "layering, lock discipline)");
+  const std::string& root = cli.flag<std::string>("root", ".", "repo root to lint");
+  const std::string& dirs =
+      cli.flag<std::string>("dirs", "src,tools,bench", "comma-separated dirs under root");
+  const bool& json = cli.flag<bool>("json", false, "emit findings as a JSON array on stdout");
+  const bool& list_rules = cli.flag<bool>("list-rules", false, "print rule names and exit");
+  cli.parse(argc, argv);
+
+  if (list_rules) {
+    for (const auto& rule : affinity::lint::ruleNames()) std::printf("%s\n", rule.c_str());
+    return 0;
+  }
+
+  std::vector<std::string> rel_roots;
+  {
+    std::istringstream in(dirs);
+    std::string d;
+    while (std::getline(in, d, ',')) {
+      if (!d.empty()) rel_roots.push_back(d);
+    }
+  }
+  if (rel_roots.empty()) {
+    std::fprintf(stderr, "afflint: --dirs is empty\n");
+    return 2;
+  }
+
+  const auto findings = affinity::lint::lintTree(root, rel_roots);
+  bool io_error = false;
+  for (const auto& f : findings) io_error = io_error || f.rule == "io-error";
+
+  if (json) {
+    affinity::lint::writeFindingsJson(stdout, findings);
+  } else {
+    for (const auto& f : findings) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    std::printf("afflint: %zu finding%s in %zu dir%s under %s\n", findings.size(),
+                findings.size() == 1 ? "" : "s", rel_roots.size(),
+                rel_roots.size() == 1 ? "" : "s", root.c_str());
+  }
+  if (io_error) return 2;
+  return findings.empty() ? 0 : 1;
+}

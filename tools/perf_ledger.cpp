@@ -29,6 +29,7 @@ using namespace affinity::bench;
 namespace {
 
 std::string todayIso() {
+  // Ledger rows are wall-stamped by design.  afflint: allow(nondeterminism)
   const std::time_t now = std::time(nullptr);
   std::tm tm{};
   localtime_r(&now, &tm);
