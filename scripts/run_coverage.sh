@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Line-coverage report over the tier-1 test suite (docs/STATIC_ANALYSIS.md).
+#
+# Builds a dedicated AFF_COVERAGE=ON tree (build-cov), runs ctest there, and
+# reports line coverage for src/ — the library, not tests/bench/tools. The
+# reporter is picked from what the host has, best first:
+#
+#   1. gcovr      — per-file table + coverage.xml (Cobertura) for CI upload.
+#   2. gcov       — aggregate computed from per-file .gcov output (gcc trees;
+#                   `llvm-cov gcov` stands in where plain gcov is missing).
+#   3. llvm-cov   — source-based `llvm-cov report` (clang trees only).
+#
+# Either way the last line printed is machine-greppable:
+#
+#   COVERAGE <percent>% lines (<covered>/<total>) src/
+#
+# Coverage never gates a PR — the number is a trend line (the baseline lives
+# in docs/STATIC_ANALYSIS.md), not a verdict.
+# Usage: scripts/run_coverage.sh [ctest-label]   (default: run everything)
+# Honors CTEST_PARALLEL_LEVEL for build/test parallelism; defaults to all cores.
+set -euo pipefail
+
+jobs="${CTEST_PARALLEL_LEVEL:-$(nproc)}"
+label="${1:-}"
+cd "$(dirname "$0")/.."
+root="$PWD"
+tree=build-cov
+
+note() { printf '== %s ==\n' "$*"; }
+
+note "configure + build ($tree, AFF_COVERAGE=ON)"
+if [[ ! -f "$tree/CMakeCache.txt" ]]; then
+  cmake -B "$tree" -S . -DAFF_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+fi
+cmake --build "$tree" -j "$jobs" >/dev/null
+
+note "run tests${label:+ (-L $label)}"
+# Stale counters from a previous run would inflate the report.
+find "$tree" -name '*.gcda' -delete 2>/dev/null || true
+rm -f "$tree"/*.profraw
+(cd "$tree" && LLVM_PROFILE_FILE="$root/$tree/cov-%p.profraw" \
+  ctest ${label:+-L "$label"} -j "$jobs" --output-on-failure >/dev/null)
+
+summary_line() { # covered total
+  local pct="0.0"
+  [[ "$2" -gt 0 ]] && pct=$(awk "BEGIN{printf \"%.1f\", 100.0 * $1 / $2}")
+  echo "COVERAGE ${pct}% lines ($1/$2) src/"
+}
+
+if ls "$tree"/cov-*.profraw >/dev/null 2>&1; then
+  # Clang source-based profiles: merge, then report over every test binary.
+  note "report: llvm-cov (source-based)"
+  llvm-profdata merge -sparse "$tree"/cov-*.profraw -o "$tree/cov.profdata"
+  mapfile -t bins < <(find "$tree/tests" -maxdepth 1 -type f -executable)
+  objs=()
+  for b in "${bins[@]:1}"; do objs+=(-object "$b"); done
+  llvm-cov report "${bins[0]}" "${objs[@]}" \
+    -instr-profile="$tree/cov.profdata" \
+    -ignore-filename-regex='tests/|bench/|examples/|tools/' | tee "$tree/coverage.txt"
+  read -r covered total < <(awk '/^TOTAL/ {
+    split($0, f); print f[8] - f[9], f[8] }' "$tree/coverage.txt")
+  summary_line "$covered" "$total"
+elif command -v gcovr >/dev/null; then
+  note "report: gcovr"
+  gcovr --root . --filter 'src/' --object-directory "$tree" \
+    --print-summary --xml "$tree/coverage.xml" --txt "$tree/coverage.txt"
+  cat "$tree/coverage.txt"
+  read -r covered total < <(awk -F'[="%]' '/<coverage/ {
+    for (i = 1; i <= NF; ++i) {
+      if ($i == "lines-covered") c = $(i + 2)
+      if ($i == "lines-valid") t = $(i + 2)
+    }
+    print c, t; exit }' "$tree/coverage.xml")
+  summary_line "$covered" "$total"
+else
+  # Plain-gcov fallback: run gcov on every .gcno, aggregate src/ lines.
+  gcov_bin="$(command -v gcov || echo 'llvm-cov gcov')"
+  note "report: $gcov_bin (aggregate)"
+  gcovdir="$tree/gcov-report"
+  rm -rf "$gcovdir" && mkdir -p "$gcovdir"
+  (cd "$gcovdir" && find ../src -name '*.gcno' -print0 |
+    xargs -0 -r $gcov_bin -p >/dev/null 2>&1) || true
+  read -r covered total < <(awk '
+    # One .gcov per TU+header; the same header seen from many TUs must be
+    # merged line-by-line (covered anywhere == covered).
+    /^ *-: *0:Source:/ { split($0, a, "Source:"); src = a[2]; next }
+    /^ *[0-9#=-]+\**: *[0-9]+:/ {
+      if (src !~ /(^|\/)src\//) next
+      split($0, f, ":"); gsub(/ /, "", f[1]); gsub(/ /, "", f[2])
+      if (f[1] == "-") next
+      key = src ":" f[2]
+      hit[key] = (hit[key] || f[1] !~ /^[#=]/) ? 1 : 0
+    }
+    END {
+      for (k in hit) { ++t; c += hit[k] }
+      print c + 0, t + 0
+    }' "$gcovdir"/*.gcov)
+  summary_line "$covered" "$total" | tee "$tree/coverage.txt"
+fi

@@ -92,6 +92,10 @@ void lockingProfiles(LockingPolicy policy, const PredictorInput& in, double s,
       stream.p_cold = 0.15;
       break;
     case LockingPolicy::kWiredStreams:
+    case LockingPolicy::kStealAffinity:
+      // Stealing only engages on backlogged queues, so the steady-state
+      // (sub-saturation) profile matches the wired placement; the per-steal
+      // migration cost shows up only in the simulator's transient bursts.
       stream.p_cold = 0.0;
       // Each processor only sees its own streams: protocol visit rate lam/n.
       code.gap_us = positiveGap(n / lam, s);

@@ -34,6 +34,13 @@ struct RunMetrics {
   /// Adaptive hybrid: number of stream reclassifications performed.
   std::uint64_t reclassifications = 0;
 
+  /// Work stealing (LockingPolicy::kStealAffinity): steal operations and
+  /// total jobs migrated by them (jobs >= steals when batches > 1).
+  std::uint64_t steals = 0;
+  std::uint64_t stolen_jobs = 0;
+  /// NIC dispatch front-end (SimConfig::dispatch): FlowDirector pin moves.
+  std::uint64_t flow_migrations = 0;
+
   /// Mean delay per stream (same order as the StreamSet), if requested.
   std::vector<double> per_stream_mean_delay_us;
 };

@@ -9,6 +9,8 @@ ProtocolSim::ProtocolSim(SimConfig config, const ExecTimeModel& model, const Str
       model_(model),
       streams_(streams.clone()),
       affinity_(config.num_procs, streams.count(), config.effectiveStacks()),
+      nic_wired_(config.dispatch, config.num_procs),
+      nic_stack_(config.dispatch, config.effectiveStacks()),
       dispatch_rng_(Rng(config.seed).split(0xd15c)),
       proc_idle_(config.num_procs, 1),
       idle_count_(config.num_procs),
@@ -66,6 +68,8 @@ void ProtocolSim::initObservability() {
   hooks_.stream_mru_fallback = &reg.counter("sim.sched.stream_mru.fallback");
   hooks_.ips_mru_hit = &reg.counter("sim.sched.ips_mru.hit");
   hooks_.ips_mru_fallback = &reg.counter("sim.sched.ips_mru.fallback");
+  hooks_.steal_count = &reg.counter("sim.sched.steal.count");
+  hooks_.steal_jobs = &reg.counter("sim.sched.steal.jobs");
   proc_queue_tw_.resize(config_.num_procs);
   proc_busy_tw_.resize(config_.num_procs);
   if (config_.metrics_exclusive) {
@@ -170,6 +174,7 @@ int ProtocolSim::chooseIdleForLocking(std::uint32_t stream) {
       return mruIdleProc();
     }
     case LockingPolicy::kWiredStreams:
+    case LockingPolicy::kStealAffinity:
       break;  // handled by the caller (per-processor queues)
   }
   return -1;
@@ -200,10 +205,11 @@ int ProtocolSim::chooseIdleForStack(std::uint32_t stack) {
 void ProtocolSim::arrivePacket(std::uint32_t stream) {
   ++arrived_;
   if (obs_on_) hooks_.arrived->inc();
-  const Job job{stream, sim_.now()};
+  const double now = sim_.now();
   if (usesLocking(stream)) {
-    if (config_.policy.locking == LockingPolicy::kWiredStreams) {
-      const unsigned p = stream % config_.num_procs;
+    if (wiredLocking()) {
+      const unsigned p = nic_wired_.queueOf(stream);
+      const Job job{stream, now, p};
       if (proc_idle_[p]) {
         startService(p, job);
       } else {
@@ -211,9 +217,20 @@ void ProtocolSim::arrivePacket(std::uint32_t stream) {
         ++queued_count_;
         recordQueueChange();
         noteProcQueue(p, +1);
+        // Work stealing is what keeps wired queues from starving idle
+        // processors: give the lowest-index idle one a chance right away.
+        if (config_.policy.locking == LockingPolicy::kStealAffinity && idle_count_ > 0) {
+          for (unsigned t = 0; t < config_.num_procs; ++t) {
+            if (proc_idle_[t]) {
+              trySteal(t);
+              break;
+            }
+          }
+        }
       }
       return;
     }
+    const Job job{stream, now, 0};
     const int p = chooseIdleForLocking(stream);
     if (p >= 0) {
       startService(static_cast<unsigned>(p), job);
@@ -225,7 +242,8 @@ void ProtocolSim::arrivePacket(std::uint32_t stream) {
     }
     return;
   }
-  const std::uint32_t k = stackOf(stream);
+  const std::uint32_t k = nic_stack_.queueOf(stream);
+  const Job job{stream, now, k};
   stack_queues_[k].push_back(job);
   ++queued_count_;
   recordQueueChange();
@@ -265,7 +283,7 @@ void ProtocolSim::tryDispatchStack(std::uint32_t stack) {
   startService(static_cast<unsigned>(p), job);
 }
 
-void ProtocolSim::startService(unsigned proc, const Job& job) {
+void ProtocolSim::startService(unsigned proc, const Job& job, double extra_us) {
   AFF_DCHECK(proc_idle_[proc]);
   const double now = sim_.now();
   const bool locking = usesLocking(job.stream);
@@ -276,7 +294,7 @@ void ProtocolSim::startService(unsigned proc, const Job& job) {
     ages.shared = affinity_.sharedAge(proc, now);
     ages.stream = affinity_.streamAge(proc, job.stream, now);
   } else {
-    stack = stackOf(job.stream);
+    stack = job.queue;
     const double a = affinity_.stackAge(proc, stack, now);
     ages.code = affinity_.codeAge(proc, now);
     ages.shared = a;  // stack-private data: shared + stream components
@@ -292,7 +310,7 @@ void ProtocolSim::startService(unsigned proc, const Job& job) {
     hooks_.l2_warm->add(1.0 - parts.l2 / rp.dl2_us);
     proc_busy_tw_[proc].set(now, 1.0);
   }
-  double exec = parts.total() + config_.fixed_overhead_us;
+  double exec = parts.total() + config_.fixed_overhead_us + extra_us;
   double lock_wait = 0.0;
   if (locking) {
     exec += config_.lock_overhead_us;
@@ -311,7 +329,8 @@ void ProtocolSim::startService(unsigned proc, const Job& job) {
   --idle_count_;
   busy_procs_.adjust(now, +1.0);
   if (config_.observer != nullptr)
-    config_.observer->onServiceStart(proc, job.stream, stack, now, lock_wait + exec);
+    config_.observer->onServiceStart(proc, job.stream, stack, job.arrival_us, now,
+                                     lock_wait + exec);
   sim_.scheduleAfter(lock_wait + exec, [this, proc, job, lock_wait, exec] {
     onComplete(proc, job, lock_wait, exec);
   });
@@ -322,7 +341,7 @@ void ProtocolSim::feedProcessor(unsigned proc) {
   // Candidate Locking job.
   std::deque<Job>* lock_queue = nullptr;
   std::size_t lock_index = 0;
-  if (config_.policy.locking == LockingPolicy::kWiredStreams) {
+  if (wiredLocking()) {
     if (!wired_queues_[proc].empty()) lock_queue = &wired_queues_[proc];
   } else if (!global_queue_.empty()) {
     lock_queue = &global_queue_;
@@ -375,7 +394,13 @@ void ProtocolSim::feedProcessor(unsigned proc) {
     }
   }
 
-  if (lock_queue == nullptr && stack < 0) return;
+  if (lock_queue == nullptr && stack < 0) {
+    // No local work anywhere: the steal policy raids another wired queue
+    // rather than idling (strictly a last resort, so affinity is spent only
+    // when the alternative is an idle processor).
+    if (config_.policy.locking == LockingPolicy::kStealAffinity) trySteal(proc);
+    return;
+  }
   // Hybrid fairness: serve whichever candidate's head arrived first.
   bool take_locking = lock_queue != nullptr;
   if (lock_queue != nullptr && stack >= 0) {
@@ -405,11 +430,67 @@ void ProtocolSim::feedProcessor(unsigned proc) {
   }
 }
 
+bool ProtocolSim::trySteal(unsigned thief) {
+  AFF_DCHECK(proc_idle_[thief]);
+  if (!wired_queues_[thief].empty()) return false;  // own work first
+  const double now = sim_.now();
+  // Victim: the queue whose head stream is coldest at its own home — that
+  // job has the least warm state to forfeit by migrating. Ties go to the
+  // longest backlog (the load-imbalance signal), then the lowest index
+  // (determinism).
+  int victim = -1;
+  double best_age = 0.0;
+  std::size_t best_len = 0;
+  const std::size_t min_len = std::max<unsigned>(config_.steal_min_queue, 1);
+  for (unsigned q = 0; q < config_.num_procs; ++q) {
+    if (q == thief || wired_queues_[q].size() < min_len) continue;
+    const double age = affinity_.streamAge(q, wired_queues_[q].front().stream, now);
+    const std::size_t len = wired_queues_[q].size();
+    if (victim < 0 || age > best_age || (age == best_age && len > best_len)) {
+      victim = static_cast<int>(q);
+      best_age = age;
+      best_len = len;
+    }
+  }
+  if (victim < 0) return false;
+  auto& vq = wired_queues_[static_cast<unsigned>(victim)];
+  const std::size_t take =
+      std::min<std::size_t>(std::max<unsigned>(config_.steal_batch, 1), vq.size());
+  ++steals_;
+  stolen_jobs_ += take;
+  if (obs_on_) {
+    hooks_.steal_count->inc();
+    hooks_.steal_jobs->inc(take);
+  }
+  Job first = vq.front();
+  vq.pop_front();
+  first.queue = thief;
+  nic_wired_.noteRun(first.stream, thief);  // FlowDirector pin follows the theft
+  for (std::size_t i = 1; i < take; ++i) {
+    Job j = vq.front();
+    vq.pop_front();
+    j.queue = thief;
+    nic_wired_.noteRun(j.stream, thief);
+    wired_queues_[thief].push_back(j);
+  }
+  noteProcQueue(static_cast<unsigned>(victim), -static_cast<int>(take));
+  if (take > 1) noteProcQueue(thief, static_cast<int>(take - 1));
+  --queued_count_;
+  recordQueueChange();
+  startService(thief, first, config_.steal_penalty_us);
+  return true;
+}
+
 void ProtocolSim::onComplete(unsigned proc, const Job& job, double lock_wait, double exec) {
   const double now = sim_.now();
   const bool locking = usesLocking(job.stream);
-  const std::uint32_t stack = locking ? AffinityState::kNoStack : stackOf(job.stream);
+  const std::uint32_t stack = locking ? AffinityState::kNoStack : job.queue;
   affinity_.onComplete(proc, job.stream, stack, now);
+  if (locking) {
+    if (wiredLocking()) nic_wired_.noteRun(job.stream, proc);
+  } else {
+    nic_stack_.noteRun(job.stream, job.queue);
+  }
   if (config_.observer != nullptr) config_.observer->onServiceEnd(proc, job.stream, stack, now);
   ++completed_total_;
   if (config_.trace != nullptr) {
@@ -539,6 +620,9 @@ RunMetrics ProtocolSim::run() {
   m.completed = completed_;
   m.backlog_end = backlogNow();
   m.reclassifications = reclassifications_;
+  m.steals = steals_;
+  m.stolen_jobs = stolen_jobs_;
+  m.flow_migrations = nic_wired_.stats().migrations + nic_stack_.stats().migrations;
   // Saturated: the backlog kept growing through the second half of the
   // window (allowing for stochastic noise around a modest level).
   const std::uint64_t floor = 6ull * config_.num_procs;
@@ -567,6 +651,8 @@ void ProtocolSim::exportRunMetrics(const RunMetrics& m) {
   reg.counter("sim.affinity.stack_migrations").inc(affinity_.stackMigrations());
   reg.counter("sim.affinity.stack_revisits").inc(affinity_.stackRevisits());
   reg.counter("sim.hybrid.reclassifications").inc(reclassifications_);
+  reg.counter("sim.net.dispatch.pins").inc(nic_wired_.stats().pins + nic_stack_.stats().pins);
+  reg.counter("sim.net.dispatch.migrations").inc(m.flow_migrations);
   for (unsigned p = 0; p < config_.num_procs; ++p) {
     const std::string base = "sim.proc." + std::to_string(p);
     reg.meanStat(base + ".queue_depth_avg").add(proc_queue_tw_[p].average(end_time_));

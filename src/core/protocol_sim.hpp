@@ -22,6 +22,7 @@
 
 #include "cache/exec_time.hpp"
 #include "core/metrics.hpp"
+#include "net/dispatch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sched/affinity_state.hpp"
@@ -42,8 +43,10 @@ class SimObserver {
  public:
   virtual ~SimObserver() = default;
   /// `stack` is AffinityState::kNoStack for Locking-paradigm packets.
+  /// `arrival_us` is the packet's arrival time: per-stream service starts
+  /// with nondecreasing arrival_us iff the run preserved stream order.
   virtual void onServiceStart(unsigned proc, std::uint32_t stream, std::uint32_t stack,
-                              double now_us, double service_us) = 0;
+                              double arrival_us, double now_us, double service_us) = 0;
   virtual void onServiceEnd(unsigned proc, std::uint32_t stream, std::uint32_t stack,
                             double now_us) = 0;
 };
@@ -120,6 +123,26 @@ struct SimConfig {
   double adapt_cluster_gap_us = 100.0;
   double adapt_cluster_fraction = 0.5;
 
+  // --- NIC dispatch front-end + work stealing ------------------------------
+  /// Receive-side classifier ahead of the scheduler: kDirect reproduces the
+  /// historical `stream % queues` map bit-for-bit (the default everywhere);
+  /// kRss routes by Toeplitz hash; kFlowDirector pins streams to their
+  /// last-used queue and migrates the pin when a steal re-homes a stream —
+  /// Wu et al.'s reordering pathology (arXiv:1106.0443), reproduced
+  /// deterministically here.
+  net::NicDispatchMode dispatch = net::NicDispatchMode::kDirect;
+  /// Work stealing (policy.locking == kStealAffinity): at most this many
+  /// jobs move per steal (head-of-queue prefix, order preserved in flight).
+  unsigned steal_batch = 4;
+  /// Victims with fewer queued jobs than this are left alone: a singleton
+  /// job is usually cheaper served warm at its home than migrated cold, so
+  /// stealing engages only once a backlog (a burst) builds.
+  unsigned steal_min_queue = 2;
+  /// Flat cost of the steal operation itself (queue transfer, CAS traffic),
+  /// charged to the first stolen job on top of the cache model's
+  /// cold-reload transients for the migrated footprint.
+  double steal_penalty_us = 5.0;
+
   /// Effective stack count under IPS/Hybrid (ips_stacks or one per proc).
   [[nodiscard]] unsigned effectiveStacks() const noexcept {
     return policy.ips_stacks != 0 ? policy.ips_stacks : num_procs;
@@ -139,7 +162,17 @@ class ProtocolSim {
   struct Job {
     std::uint32_t stream;
     double arrival_us;
+    /// Route assigned at arrival and stable for the job's lifetime: the
+    /// wired processor queue (Locking wired/steal) or the IPS stack. Kept
+    /// on the job because FlowDirector pins can move while it waits.
+    std::uint32_t queue = 0;
   };
+
+  /// Wired-family Locking policies route through per-processor queues.
+  [[nodiscard]] bool wiredLocking() const noexcept {
+    return config_.policy.locking == LockingPolicy::kWiredStreams ||
+           config_.policy.locking == LockingPolicy::kStealAffinity;
+  }
 
   // --- paradigm helpers ---
   [[nodiscard]] bool usesLocking(std::uint32_t stream) const noexcept;
@@ -148,10 +181,14 @@ class ProtocolSim {
   // --- dispatch ---
   void onArrival(std::uint32_t stream);
   void arrivePacket(std::uint32_t stream);
-  void startService(unsigned proc, const Job& job);
+  /// `extra_us` is added to the execution time (the steal penalty).
+  void startService(unsigned proc, const Job& job, double extra_us = 0.0);
   void onComplete(unsigned proc, const Job& job, double lock_wait, double service);
   void tryDispatchStack(std::uint32_t stack);
   void feedProcessor(unsigned proc);
+  /// kStealAffinity: `thief` is idle with an empty wired queue; migrate a
+  /// bounded batch from the best victim. Returns true if a job started.
+  bool trySteal(unsigned thief);
 
   /// Chooses an idle processor per the Locking policy; -1 if none idle.
   [[nodiscard]] int chooseIdleForLocking(std::uint32_t stream);
@@ -184,6 +221,13 @@ class ProtocolSim {
   StreamSet streams_;
   Simulator sim_;
   AffinityState affinity_;
+  // NIC front-end: one classifier per queue space (processor queues for the
+  // Locking wired family, stack queues for IPS). Under kDirect both are
+  // bit-identical to the historical modulo maps.
+  net::NicDispatcher nic_wired_;
+  net::NicDispatcher nic_stack_;
+  std::uint64_t steals_ = 0;
+  std::uint64_t stolen_jobs_ = 0;
   Rng dispatch_rng_;
   std::vector<Rng> stream_rngs_;
   std::vector<std::uint8_t> uses_locking_;  ///< per stream (paradigm/hybrid)
@@ -248,6 +292,8 @@ class ProtocolSim {
     obs::Counter* stream_mru_fallback = nullptr;
     obs::Counter* ips_mru_hit = nullptr;
     obs::Counter* ips_mru_fallback = nullptr;
+    obs::Counter* steal_count = nullptr;
+    obs::Counter* steal_jobs = nullptr;
     // metrics_exclusive only (single-writer live levels):
     std::vector<obs::TimeWeightedStat*> proc_queue;
     obs::TimeWeightedStat* global_queue = nullptr;

@@ -36,6 +36,8 @@ bool parsePolicy(const ConfigFile& cfg, SimConfig& out, std::string* error) {
     out.policy.locking = LockingPolicy::kStreamMru;
   } else if (locking == "wired-streams") {
     out.policy.locking = LockingPolicy::kWiredStreams;
+  } else if (locking == "steal-affinity") {
+    out.policy.locking = LockingPolicy::kStealAffinity;
   } else {
     return fail(error, "unknown policy.locking '" + locking + "'");
   }
@@ -53,6 +55,13 @@ bool parsePolicy(const ConfigFile& cfg, SimConfig& out, std::string* error) {
 
   out.policy.ips_stacks = static_cast<unsigned>(cfg.getInt("policy.stacks", 0));
   out.adaptive_hybrid = cfg.getBool("policy.adaptive", false);
+
+  const std::string dispatch = cfg.getString("policy.dispatch", "direct");
+  if (!net::parseNicMode(dispatch, &out.dispatch))
+    return fail(error, "unknown policy.dispatch '" + dispatch + "'");
+  out.steal_batch = static_cast<unsigned>(cfg.getInt("policy.steal_batch", 4));
+  out.steal_min_queue = static_cast<unsigned>(cfg.getInt("policy.steal_min_queue", 2));
+  out.steal_penalty_us = cfg.getDouble("policy.steal_penalty_us", 5.0);
 
   const std::string hybrid_list = cfg.getString("policy.hybrid_locking_streams", "");
   if (!hybrid_list.empty()) {

@@ -166,7 +166,8 @@ std::string srcSubdir(const std::string& rel_path) {
 // ------------------------------------------------------------------- scopes
 
 const std::set<std::string>& metricDomains() {
-  static const std::set<std::string> kDomains = {"sim", "sweep", "engine", "chaos", "bench"};
+  static const std::set<std::string> kDomains = {"sim",   "sweep", "engine", "chaos",
+                                                 "bench", "net",   "sched"};
   return kDomains;
 }
 
@@ -175,6 +176,7 @@ const std::set<std::string>& metricDomains() {
 const std::map<std::string, std::set<std::string>>& layerDeps() {
   static const std::map<std::string, std::set<std::string>> kDeps = {
       {"util", {}},
+      {"net", {"util"}},
       {"stats", {"util"}},
       {"obs", {"util"}},
       {"sim", {"util"}},
@@ -185,9 +187,9 @@ const std::map<std::string, std::set<std::string>>& layerDeps() {
       {"workload", {"proto", "util"}},
       {"analytic", {"cache", "sched", "stats", "util"}},
       {"lint", {"obs", "util"}},
-      {"runtime", {"obs", "proto", "stats", "util", "workload"}},
+      {"runtime", {"net", "obs", "proto", "stats", "util", "workload"}},
       {"core",
-       {"cache", "cachesim", "obs", "proto", "sched", "sim", "stats", "util", "workload"}},
+       {"cache", "cachesim", "net", "obs", "proto", "sched", "sim", "stats", "util", "workload"}},
   };
   return kDeps;
 }
@@ -195,14 +197,15 @@ const std::map<std::string, std::set<std::string>>& layerDeps() {
 /// Simulation-path dirs: results must be a pure function of config + seed,
 /// so wall clocks are banned outright (steady_clock included).
 const std::set<std::string>& simPathDirs() {
-  static const std::set<std::string> kDirs = {"sim",   "cache",    "cachesim", "proto", "workload",
-                                              "sched", "analytic", "stats",    "util"};
+  static const std::set<std::string> kDirs = {"sim",      "cache", "cachesim", "proto",
+                                              "workload", "sched", "analytic", "stats",
+                                              "util",     "net"};
   return kDirs;
 }
 
 /// Trees whose locking must go through the annotated aff primitives.
 const std::set<std::string>& annotatedDirs() {
-  static const std::set<std::string> kDirs = {"runtime", "obs", "core", "lint"};
+  static const std::set<std::string> kDirs = {"runtime", "obs", "core", "lint", "net"};
   return kDirs;
 }
 
@@ -435,7 +438,7 @@ bool validMetricName(const std::string& literal, std::string* why) {
   }
   if (anchored && metricDomains().count(segments.front()) == 0) {
     return fail("unknown domain \"" + segments.front() +
-                "\" (expected sim/sweep/engine/chaos/bench)");
+                "\" (expected sim/sweep/engine/chaos/bench/net/sched)");
   }
   return true;
 }

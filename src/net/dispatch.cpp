@@ -1,0 +1,98 @@
+#include "net/dispatch.hpp"
+
+#include "util/check.hpp"
+
+namespace affinity::net {
+
+const char* nicModeName(NicDispatchMode mode) noexcept {
+  switch (mode) {
+    case NicDispatchMode::kDirect: return "direct";
+    case NicDispatchMode::kRss: return "rss";
+    case NicDispatchMode::kFlowDirector: return "flow-director";
+  }
+  return "?";
+}
+
+bool parseNicMode(const std::string& text, NicDispatchMode* out) noexcept {
+  if (text == "direct") {
+    *out = NicDispatchMode::kDirect;
+  } else if (text == "rss") {
+    *out = NicDispatchMode::kRss;
+  } else if (text == "flow-director" || text == "fdir") {
+    *out = NicDispatchMode::kFlowDirector;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+NicDispatcher::NicDispatcher(NicDispatchMode mode, unsigned num_queues)
+    : mode_(mode), num_queues_(num_queues) {
+  AFF_CHECK(num_queues >= 1);
+  indirection_.resize(kIndirectionEntries);
+  // Default round-robin table population, as RSS drivers program at init.
+  for (std::size_t i = 0; i < kIndirectionEntries; ++i)
+    indirection_[i] = static_cast<unsigned>(i % num_queues_);
+}
+
+unsigned NicDispatcher::hashQueue(std::uint32_t stream) const noexcept {
+  const std::uint32_t h = rssHashForStream(hash_, stream);
+  return indirection_[h % kIndirectionEntries];
+}
+
+unsigned NicDispatcher::queueOf(std::uint32_t stream) {
+  switch (mode_) {
+    case NicDispatchMode::kDirect: {
+      MutexLock lock(mu_);
+      ++stats_.routed;
+      return stream % num_queues_;
+    }
+    case NicDispatchMode::kRss: {
+      MutexLock lock(mu_);
+      ++stats_.routed;
+      return hashQueue(stream);
+    }
+    case NicDispatchMode::kFlowDirector: {
+      MutexLock lock(mu_);
+      ++stats_.routed;
+      if (stream >= pin_.size()) pin_.resize(stream + 1, 0);
+      if (pin_[stream] == 0) {
+        pin_[stream] = hashQueue(stream) + 1;
+        ++stats_.pins;
+      }
+      return pin_[stream] - 1;
+    }
+  }
+  return 0;  // unreachable
+}
+
+void NicDispatcher::noteRun(std::uint32_t stream, unsigned queue) {
+  if (mode_ != NicDispatchMode::kFlowDirector) return;
+  MutexLock lock(mu_);
+  if (stream >= pin_.size()) pin_.resize(stream + 1, 0);
+  const unsigned entry = queue + 1;
+  if (pin_[stream] == entry) return;
+  if (pin_[stream] == 0) {
+    ++stats_.pins;
+  } else {
+    ++stats_.migrations;
+  }
+  pin_[stream] = entry;
+}
+
+void NicDispatcher::repin(std::uint32_t stream, unsigned queue) {
+  if (mode_ != NicDispatchMode::kFlowDirector) return;
+  MutexLock lock(mu_);
+  if (stream >= pin_.size()) pin_.resize(stream + 1, 0);
+  const unsigned entry = queue + 1;
+  if (pin_[stream] == entry) return;
+  pin_[stream] = entry;
+  ++stats_.migrations;
+}
+
+NicDispatchStats NicDispatcher::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace affinity::net

@@ -1,0 +1,100 @@
+// dispatch.hpp — the NIC receive-side dispatch front-end.
+//
+// Models the two hardware stream→queue classifiers modern NICs offer ahead
+// of whatever software scheduling policy runs behind them:
+//
+//   kDirect       — the repo's historical `stream % queues` map (the paper's
+//                   idealized classifier). Bit-identical to pre-front-end
+//                   behavior, so it is the default everywhere.
+//   kRss          — receive-side scaling: Toeplitz hash of the stream's
+//                   synthetic 4-tuple indexes a 128-entry indirection table.
+//                   Stateless, so per-stream order is preserved by
+//                   construction.
+//   kFlowDirector — Intel Flow Director's pinning behavior: a flow table
+//                   remembers the queue each stream last ran on and routes
+//                   new arrivals there. When the consumer side re-homes a
+//                   stream (a steal, a watchdog failover), the pin follows —
+//                   and packets still queued at the old home are now behind
+//                   packets routed to the new one. That migration-reorder
+//                   pathology is exactly Wu et al., "Why Does Flow Director
+//                   Cause Packet Reordering?" (arXiv:1106.0443), and
+//                   tests/ordering_test.cpp reproduces it on purpose.
+//
+// Thread-safe: the flow table is Mutex-guarded because runtime engines call
+// queueOf() from submitters while workers call noteRun() concurrently. The
+// simulator calls everything from one thread and pays one uncontended lock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/toeplitz.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace affinity::net {
+
+enum class NicDispatchMode : std::uint8_t {
+  kDirect,        ///< stream % queues (seed behavior; the default)
+  kRss,           ///< Toeplitz hash -> indirection table
+  kFlowDirector,  ///< pin to last-used queue; migrates with the consumer
+};
+
+[[nodiscard]] const char* nicModeName(NicDispatchMode mode) noexcept;
+
+/// Parses "direct" / "rss" / "flow-director" (scenario INI spelling).
+/// Returns true and sets `out` on success.
+[[nodiscard]] bool parseNicMode(const std::string& text, NicDispatchMode* out) noexcept;
+
+/// Counters a dispatcher accumulates; exported as net.dispatch.* metrics by
+/// whichever runner owns the dispatcher.
+struct NicDispatchStats {
+  std::uint64_t routed = 0;      ///< queueOf() calls
+  std::uint64_t pins = 0;        ///< FlowDirector: first-seen streams pinned
+  std::uint64_t migrations = 0;  ///< FlowDirector: pins moved to a new queue
+};
+
+/// One receive-side classifier instance. `num_queues` is the fan-out (worker
+/// or processor count); ids returned by queueOf() are in [0, num_queues).
+class NicDispatcher {
+ public:
+  static constexpr std::size_t kIndirectionEntries = 128;  // RSS spec size
+
+  NicDispatcher(NicDispatchMode mode, unsigned num_queues);
+
+  [[nodiscard]] NicDispatchMode mode() const noexcept { return mode_; }
+  [[nodiscard]] unsigned numQueues() const noexcept { return num_queues_; }
+
+  /// Routes a stream to a queue. FlowDirector pins first-seen streams via
+  /// the RSS hash and then follows noteRun()/repin() updates.
+  [[nodiscard]] unsigned queueOf(std::uint32_t stream) AFF_EXCLUDES(mu_);
+
+  /// FlowDirector learns placement: the consumer on `queue` just ran
+  /// `stream`, so future arrivals route there. Counts a migration when the
+  /// pin actually moves. No-op for stateless modes.
+  void noteRun(std::uint32_t stream, unsigned queue) AFF_EXCLUDES(mu_);
+
+  /// Forced re-pin (watchdog failover, explicit rebalance): same table
+  /// update as noteRun but counted as a migration even for a first pin,
+  /// since the stream was evicted rather than observed.
+  void repin(std::uint32_t stream, unsigned queue) AFF_EXCLUDES(mu_);
+
+  [[nodiscard]] NicDispatchStats stats() const AFF_EXCLUDES(mu_);
+
+ private:
+  const NicDispatchMode mode_;
+  const unsigned num_queues_;
+  const ToeplitzHash hash_;
+  std::vector<unsigned> indirection_;  // immutable after construction
+
+  mutable Mutex mu_;
+  // Flow table: stream -> pinned queue + 1 (0 = unpinned). Grows on demand;
+  // stream ids in this repo are dense small integers.
+  std::vector<unsigned> pin_ AFF_GUARDED_BY(mu_);
+  NicDispatchStats stats_ AFF_GUARDED_BY(mu_);
+
+  [[nodiscard]] unsigned hashQueue(std::uint32_t stream) const noexcept;
+};
+
+}  // namespace affinity::net

@@ -1,0 +1,27 @@
+#include "net/ordering.hpp"
+
+namespace affinity::net {
+
+void OrderingChecker::record(std::uint32_t stream, std::uint64_t seq) {
+  MutexLock lock(mu_);
+  ++report_.observed;
+  if (stream >= last_.size()) last_.resize(stream + 1, 0);
+  const std::uint64_t entry = seq + 1;
+  if (last_[stream] == 0) {
+    ++report_.streams;
+  } else if (entry == last_[stream]) {
+    ++report_.duplicated;
+    return;  // keep the watermark
+  } else if (entry < last_[stream]) {
+    ++report_.reordered;
+    return;  // keep the high watermark so one stall counts every late frame
+  }
+  last_[stream] = entry;
+}
+
+OrderingReport OrderingChecker::report() const {
+  MutexLock lock(mu_);
+  return report_;
+}
+
+}  // namespace affinity::net

@@ -1,0 +1,46 @@
+// ordering.hpp — per-stream delivery-order checker.
+//
+// Streams carry monotonically increasing sequence numbers stamped at submit
+// time; a consumer-side OrderingChecker records each delivery and counts
+// regressions (a sequence number at or below the stream's last one). Any
+// in-order transport keeps every stream's sequence strictly increasing at
+// the delivery point; FlowDirector-with-migration provably does not
+// (Wu et al., arXiv:1106.0443), and tests/ordering_test.cpp uses this
+// checker to pin both facts.
+//
+// Thread-safe: engines deliver from many worker threads at once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace affinity::net {
+
+struct OrderingReport {
+  std::uint64_t observed = 0;    ///< record() calls
+  std::uint64_t reordered = 0;   ///< seq strictly below the stream's last
+  std::uint64_t duplicated = 0;  ///< seq equal to the stream's last
+  std::uint64_t streams = 0;     ///< distinct streams seen
+
+  [[nodiscard]] bool inOrder() const noexcept { return reordered == 0 && duplicated == 0; }
+};
+
+class OrderingChecker {
+ public:
+  /// Records delivery of `seq` on `stream`. Sequence numbers are per-stream,
+  /// start anywhere, and must strictly increase for an in-order verdict.
+  void record(std::uint32_t stream, std::uint64_t seq) AFF_EXCLUDES(mu_);
+
+  [[nodiscard]] OrderingReport report() const AFF_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  // last_[stream] = last seq + 1 (0 = stream unseen); dense small ids.
+  std::vector<std::uint64_t> last_ AFF_GUARDED_BY(mu_);
+  OrderingReport report_ AFF_GUARDED_BY(mu_);
+};
+
+}  // namespace affinity::net

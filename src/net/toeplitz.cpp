@@ -1,0 +1,64 @@
+#include "net/toeplitz.hpp"
+
+namespace affinity::net {
+namespace {
+
+// The verification key published in the Microsoft RSS specification; the
+// known-answer vectors it comes with are pinned in tests/net_test.cpp.
+constexpr std::array<std::uint8_t, ToeplitzHash::kKeyBytes> kMicrosoftKey = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3,
+    0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3,
+    0x80, 0x30, 0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa};
+
+}  // namespace
+
+ToeplitzHash::ToeplitzHash() noexcept : key_(kMicrosoftKey) {}
+
+std::uint32_t ToeplitzHash::hash(std::span<const std::uint8_t> data) const noexcept {
+  // Shift register holding the key bits still ahead of the input cursor: the
+  // top 32 bits are the window XORed in when the current input bit is set.
+  std::uint64_t window = 0;
+  for (std::size_t i = 0; i < 8; ++i) window = (window << 8) | key_[i];
+  std::size_t refill = 8;
+  std::uint32_t out = 0;
+  for (const std::uint8_t byte : data) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if ((byte >> bit) & 1U) out ^= static_cast<std::uint32_t>(window >> 32);
+      window <<= 1;
+    }
+    window |= key_[refill % kKeyBytes];
+    ++refill;
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 12> rssTuple(std::uint32_t src_ip, std::uint32_t dst_ip,
+                                      std::uint16_t src_port, std::uint16_t dst_port) noexcept {
+  std::array<std::uint8_t, 12> tuple{};
+  const auto put32 = [&tuple](std::size_t at, std::uint32_t v) {
+    tuple[at] = static_cast<std::uint8_t>(v >> 24);
+    tuple[at + 1] = static_cast<std::uint8_t>(v >> 16);
+    tuple[at + 2] = static_cast<std::uint8_t>(v >> 8);
+    tuple[at + 3] = static_cast<std::uint8_t>(v);
+  };
+  put32(0, src_ip);
+  put32(4, dst_ip);
+  tuple[8] = static_cast<std::uint8_t>(src_port >> 8);
+  tuple[9] = static_cast<std::uint8_t>(src_port);
+  tuple[10] = static_cast<std::uint8_t>(dst_port >> 8);
+  tuple[11] = static_cast<std::uint8_t>(dst_port);
+  return tuple;
+}
+
+std::uint32_t rssHashForStream(const ToeplitzHash& h, std::uint32_t stream) noexcept {
+  // One synthetic client per stream on the 10/8 net, all talking to the
+  // host's media port — the same shape workload/frame_gen synthesizes.
+  const std::uint32_t src_ip = 0x0A000001U + stream;
+  const std::uint16_t src_port = static_cast<std::uint16_t>(40000U + (stream % 16384U));
+  const std::uint32_t dst_ip = 0xC0A80101U;  // 192.168.1.1
+  const std::uint16_t dst_port = 9000;
+  const auto tuple = rssTuple(src_ip, dst_ip, src_port, dst_port);
+  return h.hash(tuple);
+}
+
+}  // namespace affinity::net

@@ -1,0 +1,49 @@
+// toeplitz.hpp — the Toeplitz hash used by NIC receive-side scaling (RSS).
+//
+// RSS-capable NICs hash each packet's n-tuple with a keyed Toeplitz hash and
+// use the low bits to index an indirection table of receive queues; the
+// Microsoft RSS specification fixes the algorithm and publishes a 40-byte
+// verification key with known input/output vectors (pinned by net_test).
+// This is the classifier the paper's scheduling policies assume exists: a
+// deterministic, stateless stream→queue map with good spread.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace affinity::net {
+
+/// Keyed Toeplitz hash over an arbitrary byte string.
+class ToeplitzHash {
+ public:
+  static constexpr std::size_t kKeyBytes = 40;
+
+  /// The Microsoft RSS verification key (every NIC vendor's default).
+  ToeplitzHash() noexcept;
+  explicit ToeplitzHash(const std::array<std::uint8_t, kKeyBytes>& key) noexcept : key_(key) {}
+
+  /// Hash of `data` (the n-tuple, big-endian fields, per the RSS spec).
+  /// Inputs longer than kKeyBytes - 4 wrap the key (non-standard but
+  /// deterministic; RSS tuples are at most 36 bytes so the spec range is
+  /// exact).
+  [[nodiscard]] std::uint32_t hash(std::span<const std::uint8_t> data) const noexcept;
+
+  [[nodiscard]] const std::array<std::uint8_t, kKeyBytes>& key() const noexcept { return key_; }
+
+ private:
+  std::array<std::uint8_t, kKeyBytes> key_;
+};
+
+/// The 12-byte IPv4 2-tuple+ports input (src_ip, dst_ip, src_port, dst_port,
+/// all big-endian) the RSS spec hashes for TCP/UDP.
+[[nodiscard]] std::array<std::uint8_t, 12> rssTuple(std::uint32_t src_ip, std::uint32_t dst_ip,
+                                                    std::uint16_t src_port,
+                                                    std::uint16_t dst_port) noexcept;
+
+/// The synthetic 4-tuple this repo uses for a stream id: every stream is a
+/// distinct (src_ip, src_port) talking to the host's fixed (dst_ip, port)
+/// — the same convention as workload/frame_gen.
+[[nodiscard]] std::uint32_t rssHashForStream(const ToeplitzHash& h, std::uint32_t stream) noexcept;
+
+}  // namespace affinity::net

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "runtime/dispatch_engine.hpp"
 #include "workload/frame_gen.hpp"
 
 namespace affinity {
@@ -60,7 +61,9 @@ ChaosReport runWith(EngineKind kind, const ChaosConfig& cfg) {
     }
 
     const auto stream = static_cast<std::uint32_t>(i % cfg.streams);
-    WorkItem item{corpus.frame(stream, i), stream, {}};
+    // seq = generation index: globally (hence per-stream) monotonic, so
+    // the ordering tests can audit delivery order of chaos traffic too.
+    WorkItem item{corpus.frame(stream, i), stream, {}, i};
     batch.clear();
     injector.apply(std::move(item), batch);
     for (auto& out : batch) engine.submit(std::move(out));
@@ -101,13 +104,23 @@ const char* engineKindName(EngineKind k) noexcept {
       return "locking";
     case EngineKind::kIps:
       return "ips";
+    case EngineKind::kDispatch:
+      return "dispatch";
   }
   return "?";
 }
 
 ChaosReport runChaos(EngineKind kind, const ChaosConfig& config) {
-  return kind == EngineKind::kLocking ? runWith<LockingEngine>(kind, config)
-                                      : runWith<IpsEngine>(kind, config);
+  switch (kind) {
+    case EngineKind::kLocking:
+      return runWith<LockingEngine>(kind, config);
+    case EngineKind::kIps:
+      return runWith<IpsEngine>(kind, config);
+    case EngineKind::kDispatch:
+      return runWith<DispatchEngine>(kind, config);
+  }
+  AFF_CHECK(false && "unknown engine kind");
+  return {};
 }
 
 std::string ChaosReport::describe() const {
@@ -124,6 +137,10 @@ std::string ChaosReport::describe() const {
      << "  dropped_oldest       " << stats.dropped_oldest << "\n"
      << "  worker_failures      " << stats.worker_failures << "\n"
      << "  rehomed              " << stats.rehomed << "\n";
+  if (stats.steals != 0 || stats.stolen != 0)
+    os << "  steals               " << stats.steals << " (" << stats.stolen << " frames)\n";
+  if (stats.nic_pins != 0 || stats.nic_migrations != 0)
+    os << "  nic pins/migrations  " << stats.nic_pins << "/" << stats.nic_migrations << "\n";
   for (std::size_t i = 1; i < stats.dropped_by_reason.size(); ++i) {
     if (stats.dropped_by_reason[i] == 0) continue;
     os << "  drop[" << dropReasonName(static_cast<DropReason>(i))
@@ -165,6 +182,12 @@ ChaosConfig loadChaosConfig(const ConfigFile& file) {
                                             cfg.engine.watchdog_interval.count()));
   cfg.engine.stall_timeout = std::chrono::milliseconds(
       file.getInt("engine.stall_timeout_ms", cfg.engine.stall_timeout.count()));
+  const std::string nic = file.getString("engine.nic", net::nicModeName(cfg.engine.nic_mode));
+  AFF_CHECK(net::parseNicMode(nic, &cfg.engine.nic_mode) &&
+            "unknown engine.nic (direct|rss|flow-director)");
+  cfg.engine.steal = file.getBool("engine.steal", cfg.engine.steal);
+  cfg.engine.steal_batch =
+      static_cast<unsigned>(file.getInt("engine.steal_batch", cfg.engine.steal_batch));
   return cfg;
 }
 

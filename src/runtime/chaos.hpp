@@ -21,8 +21,10 @@
 
 namespace affinity {
 
-/// Which engine paradigm to run under chaos.
-enum class EngineKind : std::uint8_t { kLocking, kIps };
+/// Which engine paradigm to run under chaos. kDispatch runs DispatchEngine
+/// with kStreamHash placement — the target for the NIC-mode and stealing
+/// knobs in EngineOptions (engine.nic / engine.steal in the INI).
+enum class EngineKind : std::uint8_t { kLocking, kIps, kDispatch };
 
 const char* engineKindName(EngineKind k) noexcept;
 

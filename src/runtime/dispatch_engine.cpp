@@ -17,10 +17,19 @@ const char* dispatchPolicyName(DispatchPolicy p) noexcept {
 
 DispatchEngine::DispatchEngine(unsigned workers, DispatchPolicy policy, HostConfig host,
                                const EngineOptions& options)
-    : workers_(workers), policy_(policy), options_(options), stack_(host), per_worker_(workers) {
+    : workers_(workers),
+      policy_(policy),
+      options_(options),
+      nic_(options.nic_mode, workers),
+      stack_(host),
+      per_worker_(workers) {
   AFF_CHECK(workers >= 1);
-  for (auto& pw : per_worker_)
-    pw.ring = std::make_unique<SpscRing<WorkItem>>(options.queue_capacity);
+  for (auto& pw : per_worker_) {
+    if (options_.steal)
+      pw.queue = std::make_unique<MpmcQueue<WorkItem>>(options.queue_capacity);
+    else
+      pw.ring = std::make_unique<SpscRing<WorkItem>>(options.queue_capacity);
+  }
 }
 
 void DispatchEngine::openPort(std::uint16_t port, std::size_t session_queue) {
@@ -42,32 +51,80 @@ void DispatchEngine::start() {
     PerWorker& pw = per_worker_[w];
     WorkItem item;
     for (;;) {
-      if (pw.ring->tryPop(item)) {
-        const double t0 = trace_ != nullptr ? trace_->steadyNowUs() : 0.0;
-        ReceiveContext ctx;
-        {
-          MutexLock lock(stack_mu_);
-          ctx = stack_.receiveFrame(item.frame);
-        }
-        pw.processed.fetch_add(1, std::memory_order_relaxed);
-        if (!ctx.dropped()) pw.delivered.fetch_add(1, std::memory_order_relaxed);
-        ++pw.reasons[static_cast<std::size_t>(ctx.drop)];
-        pw.latency.record(item.enqueue_tp);
-        if (trace_ != nullptr) {
-          trace_->span(pw.trace_track, "frame", t0, trace_->steadyNowUs(), item.stream,
-                       static_cast<std::uint64_t>(ctx.drop));
-        }
+      if (!pool_.tick(w)) return;  // injected crash: stop() reconciles leftovers
+      const bool popped = options_.steal ? pw.queue->tryPop(item) : pw.ring->tryPop(item);
+      if (popped) {
+        runFrame(w, item);
         continue;
       }
-      if (st.stop_requested() && !intake_open_.load(std::memory_order_acquire) &&
-          pw.ring->empty())
+      if (options_.steal && trySteal(w)) continue;
+      const bool empty = options_.steal ? pw.queue->size() == 0 : pw.ring->empty();
+      if (st.stop_requested() && !intake_open_.load(std::memory_order_acquire) && empty)
         return;
       std::this_thread::yield();
     }
   });
 }
 
+void DispatchEngine::runFrame(unsigned w, const WorkItem& item) {
+  PerWorker& pw = per_worker_[w];
+  const double t0 = trace_ != nullptr ? trace_->steadyNowUs() : 0.0;
+  ReceiveContext ctx;
+  {
+    MutexLock lock(stack_mu_);
+    ctx = stack_.receiveFrame(item.frame);
+    // Under stack_mu_ so observers see the true session delivery order.
+    if (!ctx.dropped() && options_.delivered_observer) options_.delivered_observer(item);
+  }
+  if (options_.nic_mode == net::NicDispatchMode::kFlowDirector) {
+    // The pin follows whoever ran the stream — after a steal, new arrivals
+    // chase the thief while older frames drain at the victim (Wu et al.).
+    nic_.noteRun(item.stream, w);
+  }
+  pw.processed.fetch_add(1, std::memory_order_relaxed);
+  if (!ctx.dropped()) pw.delivered.fetch_add(1, std::memory_order_relaxed);
+  ++pw.reasons[static_cast<std::size_t>(ctx.drop)];
+  pw.latency.record(item.enqueue_tp);
+  if (trace_ != nullptr) {
+    trace_->span(pw.trace_track, "frame", t0, trace_->steadyNowUs(), item.stream,
+                 static_cast<std::uint64_t>(ctx.drop));
+  }
+}
+
+bool DispatchEngine::trySteal(unsigned thief) {
+  // Victim: the longest peer queue (ties to the lowest index) with at least
+  // two frames — singleton queues are left to their (warm) owner. The batch
+  // comes off the head and is processed in order, so stealing by itself
+  // never reorders a stream; only a FlowDirector pin chasing the thief does.
+  unsigned victim = workers_;
+  std::size_t longest = 1;
+  for (unsigned q = 0; q < workers_; ++q) {
+    if (q == thief) continue;
+    const std::size_t depth = per_worker_[q].queue->size();
+    if (depth > longest) {
+      longest = depth;
+      victim = q;
+    }
+  }
+  if (victim >= workers_) return false;
+  const unsigned batch = options_.steal_batch > 0 ? options_.steal_batch : 1;
+  WorkItem item;
+  std::uint64_t taken = 0;
+  for (unsigned i = 0; i < batch && per_worker_[victim].queue->tryPop(item); ++i) {
+    runFrame(thief, item);
+    ++taken;
+  }
+  if (taken == 0) return false;
+  steals_.fetch_add(1, std::memory_order_relaxed);
+  stolen_.fetch_add(taken, std::memory_order_relaxed);
+  return true;
+}
+
 unsigned DispatchEngine::route(std::uint32_t stream) {
+  // A NIC hardware classifier picks the queue before the software policy
+  // ever sees the frame (RSS indirection or Flow Director pin).
+  if (options_.nic_mode != net::NicDispatchMode::kDirect)
+    return nic_.queueOf(stream) % workers_;
   switch (policy_) {
     case DispatchPolicy::kRoundRobin: {
       const unsigned w = rr_next_;
@@ -103,8 +160,16 @@ bool DispatchEngine::submit(WorkItem item) {
   const auto deadline = options_.submit_deadline.count() > 0
                             ? std::chrono::steady_clock::now() + options_.submit_deadline
                             : std::chrono::steady_clock::time_point::max();
+  // A NIC front-end fixes the queue like kStreamHash does: no MRU spill —
+  // the hardware chose, software only re-resolves (a Flow Director pin can
+  // move while we wait on a full queue).
+  const bool wired = policy_ == DispatchPolicy::kStreamHash ||
+                     options_.nic_mode != net::NicDispatchMode::kDirect;
   for (unsigned attempts = 0;; ++attempts) {
-    if (per_worker_[w].ring->tryPush(item)) {
+    PerWorker& pw = per_worker_[w];
+    const bool pushed = options_.steal ? pw.queue->tryPush(std::move(item))
+                                       : pw.ring->tryPush(item);
+    if (pushed) {
       mru_last_ = w;
       submitted_.fetch_add(1, std::memory_order_relaxed);
       return true;
@@ -113,19 +178,42 @@ bool DispatchEngine::submit(WorkItem item) {
       rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    const bool swept_all =
-        policy_ == DispatchPolicy::kStreamHash || attempts >= workers_;
-    if (swept_all && options_.overload != OverloadPolicy::kBlock) {
+    const bool swept_all = wired || attempts >= workers_;
+    if (swept_all && options_.overload == OverloadPolicy::kDropOldest && options_.steal) {
+      // MPMC queues (steal mode) do allow eviction by the submitter.
+      WorkItem victim;
+      if (pw.queue->tryPop(victim)) dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
+    } else if (swept_all && options_.overload != OverloadPolicy::kBlock) {
+      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    } else if (swept_all &&
+               (std::chrono::steady_clock::now() >= deadline || !queueDrainable(w, wired))) {
+      // kBlock: wait only while a consumer can still reach this queue.
       rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    if (swept_all && std::chrono::steady_clock::now() >= deadline) {
-      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
-      return false;
-    }
-    if (policy_ != DispatchPolicy::kStreamHash) w = (w + 1) % workers_;
+    if (!wired) w = (w + 1) % workers_;
+    else if (options_.nic_mode != net::NicDispatchMode::kDirect) w = route(item.stream);
     if (swept_all) backoff.pause();
   }
+}
+
+bool DispatchEngine::anyWorkerAlive() const noexcept {
+  if (pool_.size() == 0) return true;  // pre-start: controls not yet valid
+  for (unsigned w = 0; w < workers_; ++w)
+    if (!pool_.control(w).exited.load(std::memory_order_acquire)) return true;
+  return false;
+}
+
+bool DispatchEngine::queueDrainable(unsigned w, bool wired) const noexcept {
+  if (pool_.size() == 0) return true;  // pre-start: controls not yet valid
+  // Steal mode: any live worker can pop any queue; spill mode (not wired):
+  // the submitter retargets every attempt, so any live worker's ring will
+  // eventually take the frame. Wired without stealing is the strict case —
+  // only the owner drains its queue, and if the owner died, blocking on its
+  // full queue would wedge the submitter forever.
+  if (options_.steal || !wired) return anyWorkerAlive();
+  return !pool_.control(w).exited.load(std::memory_order_acquire);
 }
 
 void DispatchEngine::stop() {
@@ -133,6 +221,14 @@ void DispatchEngine::stop() {
   stopped_ = true;
   intake_open_.store(false, std::memory_order_release);
   pool_.stopAndJoin();
+  // Reconcile: killed workers leave frames behind. All threads are joined
+  // (taking an SPSC consumer seat is safe now), so process leftovers inline
+  // and attribute them to their home worker's counters.
+  for (unsigned w = 0; w < workers_; ++w) {
+    PerWorker& pw = per_worker_[w];
+    WorkItem item;
+    while (options_.steal ? pw.queue->tryPop(item) : pw.ring->tryPop(item)) runFrame(w, item);
+  }
 }
 
 EngineStats DispatchEngine::stats() const {
@@ -141,6 +237,12 @@ EngineStats DispatchEngine::stats() const {
   s.rejected_queue_full = rejected_queue_full_.load();
   s.rejected_stopped = rejected_stopped_.load();
   s.rejected = s.rejected_queue_full + s.rejected_stopped;
+  s.dropped_oldest = dropped_oldest_.load();
+  s.steals = steals_.load();
+  s.stolen = stolen_.load();
+  const net::NicDispatchStats ns = nic_.stats();
+  s.nic_pins = ns.pins;
+  s.nic_migrations = ns.migrations;
   s.per_worker_processed.reserve(workers_);
   Histogram merged(0.05, 8, 32);
   for (const auto& pw : per_worker_) {

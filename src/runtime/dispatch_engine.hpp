@@ -14,6 +14,18 @@
 // kStreamHash keeps each stream's session state in one core's cache. On the
 // CI host (1 CPU) the policies are functionally identical, which the tests
 // exploit to verify correctness invariants.
+//
+// Two front-end extensions ride on top of the software policy:
+//
+//  * EngineOptions::nic_mode — a NIC hardware classifier (RSS or Flow
+//    Director) that overrides the software route: the NIC picked the queue
+//    before the scheduler ever saw the frame.
+//  * EngineOptions::steal — affinity-aware work stealing: per-worker queues
+//    become MPMC, and an idle worker takes a bounded batch from the head of
+//    the longest peer queue (order preserved within the batch). Under Flow
+//    Director the stolen stream's pin follows the thief, which makes new
+//    arrivals chase it while old frames drain at the victim — the Wu et al.
+//    reordering pathology, reproduced by tests/ordering_test.cpp.
 #pragma once
 
 #include <atomic>
@@ -35,6 +47,10 @@ class DispatchEngine {
       : DispatchEngine(workers, policy, host, optionsWithCapacity(ring_capacity)) {}
   DispatchEngine(unsigned workers, DispatchPolicy policy, HostConfig host,
                  const EngineOptions& options);
+  /// Chaos-harness shape (matches the other engines' ctors): kStreamHash,
+  /// the policy whose placement the steal/NIC front-ends act against.
+  DispatchEngine(unsigned workers, HostConfig host, const EngineOptions& options)
+      : DispatchEngine(workers, DispatchPolicy::kStreamHash, host, options) {}
   ~DispatchEngine() { stop(); }
 
   /// Opens a UDP port on the shared stack (call before start()).
@@ -48,8 +64,18 @@ class DispatchEngine {
   /// stats() splits the causes (rejected_stopped vs rejected_queue_full).
   bool submit(WorkItem item);
 
-  /// Closes intake, drains, joins (idempotent).
+  /// Closes intake, drains, joins (idempotent). Frames stranded by killed
+  /// workers are reconciled inline so conservation holds exactly at return.
   void stop();
+
+  /// Injects a worker crash / stall (see WorkerPool). Call while running.
+  void injectWorkerKill(unsigned w) { pool_.injectKill(w); }
+  void injectWorkerStall(unsigned w, std::chrono::milliseconds d) { pool_.injectStall(w, d); }
+
+  /// Forces the NIC flow table to re-pin `stream` to `queue` (FlowDirector
+  /// only; no-op otherwise). Exposed so tests can trigger the pin-migration
+  /// reordering deterministically.
+  void repinStream(std::uint32_t stream, unsigned queue) { nic_.repin(stream, queue % workers_); }
 
   [[nodiscard]] EngineStats stats() const;
   [[nodiscard]] DispatchPolicy policy() const noexcept { return policy_; }
@@ -65,7 +91,10 @@ class DispatchEngine {
 
  private:
   struct PerWorker {
+    // Exactly one of these is allocated: `ring` (SPSC, steal off) or
+    // `queue` (MPMC, steal on — thieves need the consumer seat too).
     std::unique_ptr<SpscRing<WorkItem>> ring;
+    std::unique_ptr<MpmcQueue<WorkItem>> queue;
     std::atomic<std::uint64_t> processed{0};
     std::atomic<std::uint64_t> delivered{0};
     std::array<std::uint64_t, kNumDropReasons> reasons{};  // owner-written
@@ -78,10 +107,18 @@ class DispatchEngine {
     o.queue_capacity = capacity;
     return o;
   }
+  void runFrame(unsigned w, const WorkItem& item);
+  bool trySteal(unsigned thief);
+  bool anyWorkerAlive() const noexcept;
+  /// True while some consumer can still pop queue `w` (a blocked submit to
+  /// an undrainable queue would wedge forever): any live worker in steal or
+  /// spill mode, the owning worker for a wired queue.
+  bool queueDrainable(unsigned w, bool wired) const noexcept;
 
   unsigned workers_;
   DispatchPolicy policy_;
   EngineOptions options_;
+  net::NicDispatcher nic_;
   // Shared stack (Locking paradigm): receiveFrame always runs under
   // stack_mu_; the dispatch policies differ only in cache placement.
   Mutex stack_mu_;
@@ -92,6 +129,9 @@ class DispatchEngine {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> rejected_queue_full_{0};
   std::atomic<std::uint64_t> rejected_stopped_{0};
+  std::atomic<std::uint64_t> dropped_oldest_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> stolen_{0};
   unsigned rr_next_ = 0;   ///< round-robin cursor (submitter thread only)
   unsigned mru_last_ = 0;  ///< most recently dispatched-to worker
   obs::TraceSession* trace_ = nullptr;  // captured at start(); see LockingEngine

@@ -66,6 +66,10 @@ void exportEngineStats(const EngineStats& s, obs::MetricsRegistry& reg,
   g("delivered", static_cast<double>(s.delivered));
   g("worker_failures", static_cast<double>(s.worker_failures));
   g("rehomed", static_cast<double>(s.rehomed));
+  g("sched.steal.count", static_cast<double>(s.steals));
+  g("sched.steal.jobs", static_cast<double>(s.stolen));
+  g("net.dispatch.pins", static_cast<double>(s.nic_pins));
+  g("net.dispatch.migrations", static_cast<double>(s.nic_migrations));
   g("latency_mean_us", s.latency_mean_us);
   g("latency_p50_us", s.latency_p50_us);
   g("latency_p99_us", s.latency_p99_us);
@@ -127,6 +131,10 @@ void LockingEngine::start() {
       {
         MutexLock lock(stack_mu_);
         ctx = stack_.receiveFrame(item->frame);
+        // Under stack_mu_ so observers see the true session delivery order
+        // (which, for a shared queue with >1 worker, is still not a
+        // per-stream total order — the ordering tests characterize that).
+        if (!ctx.dropped() && options_.delivered_observer) options_.delivered_observer(*item);
       }
       processed_.fetch_add(1, std::memory_order_relaxed);
       if (!ctx.dropped()) delivered_.fetch_add(1, std::memory_order_relaxed);
@@ -240,7 +248,10 @@ void LockingEngine::stop() {
     MutexLock lock(stack_mu_);  // workers are joined; uncontended by construction
     const ReceiveContext ctx = stack_.receiveFrame(item.frame);
     processed_.fetch_add(1, std::memory_order_relaxed);
-    if (!ctx.dropped()) delivered_.fetch_add(1, std::memory_order_relaxed);
+    if (!ctx.dropped()) {
+      delivered_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.delivered_observer) options_.delivered_observer(item);
+    }
     ++drain_reasons_[static_cast<std::size_t>(ctx.drop)];
     drain_lat_.record(item.enqueue_tp);
   }
@@ -271,7 +282,10 @@ EngineStats LockingEngine::stats() const {
 // -------------------------------------------------------------------- IPS --
 
 IpsEngine::IpsEngine(unsigned workers, HostConfig host, const EngineOptions& options)
-    : workers_(workers), options_(options), per_worker_(workers) {
+    : workers_(workers),
+      options_(options),
+      nic_(options.nic_mode, workers),
+      per_worker_(workers) {
   AFF_CHECK(workers >= 1);
   for (unsigned w = 0; w < workers_; ++w) {
     PerWorker& pw = per_worker_[w];
@@ -291,7 +305,9 @@ void IpsEngine::openPort(std::uint16_t port, std::size_t session_queue) {
 }
 
 unsigned IpsEngine::workerOf(std::uint32_t stream) const noexcept {
-  unsigned w = stream % workers_;
+  // NIC dispatch first (kDirect reproduces the historical `stream %
+  // workers` exactly), then the failover chain on top of its choice.
+  unsigned w = nic_.queueOf(stream) % workers_;
   // Follow failover redirects (bounded: each hop moves to a strictly later
   // declared-failed target; workers_ hops suffice even if every worker is
   // dead, in which case the last one in the chain absorbs the frame and
@@ -307,8 +323,17 @@ unsigned IpsEngine::workerOf(std::uint32_t stream) const noexcept {
 void IpsEngine::processOn(PerWorker& pw, const WorkItem& item) {
   const double t0 = trace_ != nullptr ? trace_->steadyNowUs() : 0.0;
   const ReceiveContext ctx = pw.stack->receiveFrame(item.frame);
+  if (options_.nic_mode == net::NicDispatchMode::kFlowDirector) {
+    // FlowDirector learns placement from completions: the pin follows the
+    // worker that actually ran the stream (failover re-homes thus repin).
+    nic_.noteRun(item.stream,
+                 static_cast<unsigned>(&pw - per_worker_.data()));
+  }
   pw.processed.fetch_add(1, std::memory_order_relaxed);
-  if (!ctx.dropped()) pw.delivered.fetch_add(1, std::memory_order_relaxed);
+  if (!ctx.dropped()) {
+    pw.delivered.fetch_add(1, std::memory_order_relaxed);
+    if (options_.delivered_observer) options_.delivered_observer(item);
+  }
   ++pw.reasons[static_cast<std::size_t>(ctx.drop)];
   pw.latency.record(item.enqueue_tp);
   if (trace_ != nullptr) {
@@ -524,6 +549,9 @@ EngineStats IpsEngine::stats() const {
   s.rejected = s.rejected_queue_full + s.rejected_stopped;
   s.worker_failures = worker_failures_.load();
   s.rehomed = rehomed_.load();
+  const net::NicDispatchStats ns = nic_.stats();
+  s.nic_pins = ns.pins;
+  s.nic_migrations = ns.migrations;
   s.per_worker_processed.reserve(workers_);
   Histogram merged(0.05, 8, 32);
   for (const auto& pw : per_worker_) {

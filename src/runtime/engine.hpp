@@ -23,10 +23,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "net/dispatch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "proto/stack.hpp"
@@ -36,6 +38,8 @@
 #include "util/mutex.hpp"
 
 namespace affinity {
+
+struct WorkItem;  // defined below; EngineOptions::delivered_observer needs the name
 
 /// What submit() does when the target queue/ring is full.
 enum class OverloadPolicy : std::uint8_t {
@@ -61,6 +65,19 @@ struct EngineOptions {
   std::chrono::milliseconds watchdog_interval{2};
   /// Heartbeat silence after which a live worker is declared stalled.
   std::chrono::milliseconds stall_timeout{100};
+  /// NIC dispatch front-end: how submit() maps a stream to a worker queue
+  /// (ring engines only — the Locking engine has one shared queue). kDirect
+  /// preserves the historical `stream % workers` routing bit-for-bit.
+  net::NicDispatchMode nic_mode = net::NicDispatchMode::kDirect;
+  /// Affinity-aware work stealing (DispatchEngine only): idle workers take a
+  /// bounded batch from the head of the longest peer queue. Requires MPMC
+  /// per-worker queues, so it is opt-in.
+  bool steal = false;
+  unsigned steal_batch = 4;  ///< max frames taken per steal
+  /// Called after each frame that reaches a session, from the processing
+  /// thread (or from stop()'s reconcile drain). Used by the ordering tests
+  /// to observe per-stream delivery order; leave empty for no overhead.
+  std::function<void(const WorkItem&)> delivered_observer;
 };
 
 /// Counters common to both engines.
@@ -74,6 +91,10 @@ struct EngineStats {
   std::uint64_t delivered = 0;  ///< frames that reached a session
   std::uint64_t worker_failures = 0;  ///< workers declared failed by the watchdog
   std::uint64_t rehomed = 0;          ///< frames flushed from failed workers
+  std::uint64_t steals = 0;           ///< steal events (batches taken)
+  std::uint64_t stolen = 0;           ///< frames moved by stealing
+  std::uint64_t nic_pins = 0;         ///< FlowDirector: streams pinned
+  std::uint64_t nic_migrations = 0;   ///< FlowDirector: pin moves
   /// Frames dropped by the protocol stack, by typed cause (DropReason).
   std::array<std::uint64_t, kNumDropReasons> dropped_by_reason{};
   std::vector<std::uint64_t> per_worker_processed;
@@ -105,6 +126,9 @@ struct WorkItem {
   std::uint32_t stream = 0;
   /// Stamped by submit(); used for end-to-end latency.
   std::chrono::steady_clock::time_point enqueue_tp{};
+  /// Caller-stamped per-stream sequence number (the ordering tests use it
+  /// to detect reordering at delivery; engines carry it, never read it).
+  std::uint64_t seq = 0;
 };
 
 /// Per-worker latency recorder (owned by exactly one worker thread while
@@ -236,8 +260,10 @@ class IpsEngine {
     exportEngineStats(stats(), reg, prefix);
   }
 
-  /// Home worker of a stream — `stream % workers`, following failover
-  /// redirects past workers the watchdog has declared dead.
+  /// Home worker of a stream — the NIC dispatch front-end's queue choice
+  /// (kDirect: `stream % workers`; kRss: Toeplitz indirection; kFDir:
+  /// last-seen pin), following failover redirects past workers the
+  /// watchdog has declared dead.
   [[nodiscard]] unsigned workerOf(std::uint32_t stream) const noexcept;
 
  private:
@@ -272,6 +298,9 @@ class IpsEngine {
 
   unsigned workers_;
   EngineOptions options_;
+  // NIC front-end. Mutable because workerOf() is const (routing is a read
+  // in spirit; the dispatcher's internal pin table self-synchronizes).
+  mutable net::NicDispatcher nic_;
   std::vector<PerWorker> per_worker_;
   WorkerPool pool_;
   std::jthread watchdog_;

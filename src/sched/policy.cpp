@@ -17,6 +17,7 @@ const char* lockingPolicyName(LockingPolicy p) noexcept {
     case LockingPolicy::kMru: return "MRU";
     case LockingPolicy::kStreamMru: return "StreamMRU";
     case LockingPolicy::kWiredStreams: return "WiredStreams";
+    case LockingPolicy::kStealAffinity: return "StealAffinity";
   }
   return "?";
 }

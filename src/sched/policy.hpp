@@ -21,6 +21,13 @@ enum class LockingPolicy : std::uint8_t {
   kMru,          ///< most-recently-protocol-active idle processor
   kStreamMru,    ///< prefer the idle processor this stream last used, then MRU
   kWiredStreams, ///< streams hashed to processors; packets queue only there
+  /// kWiredStreams plus affinity-aware work stealing: an idle processor
+  /// whose own queue is empty steals a bounded batch from the queue whose
+  /// head stream is coldest at its home (cheapest migration), paying a
+  /// per-steal penalty plus the cache model's cold-reload transients. The
+  /// modern answer to the wired paradigm's load imbalance (Gu et al.,
+  /// arXiv:2111.04994).
+  kStealAffinity,
 };
 
 /// Scheduling policy under IPS.

@@ -47,7 +47,7 @@ TEST(PhaseSwitch, CloneKeepsPhasePosition) {
 
 class Recorder : public SimObserver {
  public:
-  void onServiceStart(unsigned, std::uint32_t stream, std::uint32_t stack, double now,
+  void onServiceStart(unsigned, std::uint32_t stream, std::uint32_t stack, double, double now,
                       double) override {
     if (stream == 0) {
       if (stack == AffinityState::kNoStack)

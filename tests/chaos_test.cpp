@@ -156,6 +156,40 @@ TEST(Chaos, IpsConservesAndRehomesUnderWorkerKill) {
   EXPECT_GT(rep.stats.delivered, 0u);
 }
 
+TEST(Chaos, DispatchStealingConservesUnderMixedFaultsAndWorkerKill) {
+  // Killing a wired worker normally wedges its queue; with stealing on the
+  // survivors drain it (and under Flow Director inherit its pins), so the
+  // run must conserve AND make progress without a watchdog.
+  ChaosConfig cfg = smallChaos();
+  cfg.engine.steal = true;
+  cfg.engine.nic_mode = net::NicDispatchMode::kFlowDirector;
+  cfg.kill_at = 4'000;
+  cfg.kill_worker = 1;
+  const ChaosReport rep = runChaos(EngineKind::kDispatch, cfg);
+  EXPECT_TRUE(rep.intake_balanced) << rep.describe();
+  EXPECT_TRUE(rep.conserved) << rep.describe();
+  EXPECT_GT(rep.stats.delivered, 0u);
+  EXPECT_GE(rep.stats.steals, 1u) << rep.describe();
+}
+
+TEST(Chaos, DispatchStealingParseDropsAreSeedDeterministic) {
+  // The steal schedule is timing-dependent, but the multiset of frames is
+  // not: parse-layer drop counters must be a pure function of the seed.
+  ChaosConfig cfg = smallChaos();
+  cfg.engine.steal = true;
+  cfg.engine.nic_mode = net::NicDispatchMode::kRss;
+  const ChaosReport a = runChaos(EngineKind::kDispatch, cfg);
+  const ChaosReport b = runChaos(EngineKind::kDispatch, cfg);
+  ASSERT_TRUE(a.conserved) << a.describe();
+  ASSERT_TRUE(b.conserved) << b.describe();
+  EXPECT_EQ(a.stats.submitted, b.stats.submitted);
+  for (std::size_t i = 1; i < a.stats.dropped_by_reason.size(); ++i) {
+    if (static_cast<DropReason>(i) == DropReason::kSessionFull) continue;  // timing-bound
+    EXPECT_EQ(a.stats.dropped_by_reason[i], b.stats.dropped_by_reason[i])
+        << dropReasonName(static_cast<DropReason>(i));
+  }
+}
+
 TEST(Chaos, IpsConservesUnderStallThenRecovery) {
   ChaosConfig cfg = smallChaos();
   cfg.engine.stall_timeout = std::chrono::milliseconds(25);
@@ -258,7 +292,10 @@ TEST(ChaosConfigFile, LoadsRatesAndEngineKnobs) {
       "overload = drop-oldest\n"
       "submit_deadline_us = 500\n"
       "watchdog = true\n"
-      "stall_timeout_ms = 30\n";
+      "stall_timeout_ms = 30\n"
+      "nic = flow-director\n"
+      "steal = true\n"
+      "steal_batch = 7\n";
   std::string error;
   const auto file = ConfigFile::parse(ini, &error);
   ASSERT_TRUE(file.has_value()) << error;
@@ -278,6 +315,9 @@ TEST(ChaosConfigFile, LoadsRatesAndEngineKnobs) {
   EXPECT_EQ(cfg.engine.submit_deadline.count(), 500);
   EXPECT_TRUE(cfg.engine.watchdog);
   EXPECT_EQ(cfg.engine.stall_timeout.count(), 30);
+  EXPECT_EQ(cfg.engine.nic_mode, net::NicDispatchMode::kFlowDirector);
+  EXPECT_TRUE(cfg.engine.steal);
+  EXPECT_EQ(cfg.engine.steal_batch, 7u);
 }
 
 }  // namespace

@@ -142,8 +142,8 @@ class Recorder : public SimObserver {
     double end;
   };
 
-  void onServiceStart(unsigned proc, std::uint32_t stream, std::uint32_t stack, double now,
-                      double service) override {
+  void onServiceStart(unsigned proc, std::uint32_t stream, std::uint32_t stack, double,
+                      double now, double service) override {
     open_.push_back(Event{proc, stream, stack, now, now + service});
   }
   void onServiceEnd(unsigned proc, std::uint32_t stream, std::uint32_t stack,

@@ -1,0 +1,7 @@
+// afflint-corpus-expect: layering
+#pragma once
+
+#include "runtime/engine.hpp"  // net feeds runtime, never the reverse
+#include "sched/policy.hpp"    // net is below sched in the layer table
+
+class UpwardDispatcher {};

@@ -1,0 +1,10 @@
+// afflint-corpus-rule: layering
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/toeplitz.hpp"  // intra-layer include is always allowed
+#include "util/mutex.hpp"    // util is net's only permitted dependency
+
+class DownwardDispatcher {};

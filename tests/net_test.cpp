@@ -1,0 +1,196 @@
+// Tests for src/net: the Toeplitz hash against the Microsoft RSS
+// specification's published verification vectors, the NIC dispatch
+// front-end (direct / RSS / Flow Director), and the per-stream ordering
+// checker the ordering battery builds on.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "net/dispatch.hpp"
+#include "net/ordering.hpp"
+#include "net/toeplitz.hpp"
+
+namespace affinity::net {
+namespace {
+
+constexpr std::uint32_t ip(unsigned a, unsigned b, unsigned c, unsigned d) {
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+// ----------------------------------------------------------------- hash ---
+//
+// The RSS spec publishes input/output pairs for its 40-byte verification
+// key (the ToeplitzHash default). Reproducing them pins both the key and
+// the bit-order of the sliding-window implementation.
+
+struct RssVector {
+  std::uint32_t src_ip, dst_ip;
+  std::uint16_t src_port, dst_port;
+  std::uint32_t with_ports, ipv4_only;
+};
+
+const RssVector kSpecVectors[] = {
+    {ip(66, 9, 149, 187), ip(161, 142, 100, 80), 2794, 1766, 0x51ccc178, 0x323e8fc2},
+    {ip(199, 92, 111, 2), ip(65, 69, 140, 83), 14230, 4739, 0xc626b0ea, 0xd718262a},
+    {ip(24, 19, 198, 95), ip(12, 22, 207, 184), 12898, 38024, 0x5c2b394a, 0xd2d0a5de},
+};
+
+TEST(Toeplitz, MatchesRssSpecVectorsWithPorts) {
+  const ToeplitzHash h;
+  for (const RssVector& v : kSpecVectors) {
+    const auto tuple = rssTuple(v.src_ip, v.dst_ip, v.src_port, v.dst_port);
+    EXPECT_EQ(h.hash(tuple), v.with_ports);
+  }
+}
+
+TEST(Toeplitz, MatchesRssSpecVectorsIpv4Only) {
+  const ToeplitzHash h;
+  for (const RssVector& v : kSpecVectors) {
+    const auto tuple = rssTuple(v.src_ip, v.dst_ip, v.src_port, v.dst_port);
+    // The 2-tuple variant hashes only the 8 address bytes.
+    EXPECT_EQ(h.hash(std::span<const std::uint8_t>(tuple.data(), 8)), v.ipv4_only);
+  }
+}
+
+TEST(Toeplitz, EmptyInputHashesToZero) {
+  const ToeplitzHash h;
+  EXPECT_EQ(h.hash({}), 0u);
+}
+
+TEST(Toeplitz, StreamHashIsDeterministicAndSpreads) {
+  const ToeplitzHash h;
+  std::set<std::uint32_t> values;
+  for (std::uint32_t s = 0; s < 256; ++s) {
+    const std::uint32_t first = rssHashForStream(h, s);
+    EXPECT_EQ(first, rssHashForStream(h, s));
+    values.insert(first);
+  }
+  // A keyed hash over distinct 4-tuples must essentially never collide in
+  // 256 draws from 2^32.
+  EXPECT_GE(values.size(), 250u);
+}
+
+// ----------------------------------------------------------- dispatcher ---
+
+TEST(NicDispatcher, DirectModeIsStreamModulo) {
+  NicDispatcher d(NicDispatchMode::kDirect, 5);
+  for (std::uint32_t s = 0; s < 100; ++s) EXPECT_EQ(d.queueOf(s), s % 5);
+  EXPECT_EQ(d.stats().routed, 100u);
+  EXPECT_EQ(d.stats().pins, 0u);
+  EXPECT_EQ(d.stats().migrations, 0u);
+}
+
+TEST(NicDispatcher, RssIsStatelessDeterministicAndInRange) {
+  NicDispatcher a(NicDispatchMode::kRss, 4);
+  NicDispatcher b(NicDispatchMode::kRss, 4);
+  std::vector<unsigned> hits(4, 0);
+  for (std::uint32_t s = 0; s < 128; ++s) {
+    const unsigned q = a.queueOf(s);
+    ASSERT_LT(q, 4u);
+    EXPECT_EQ(q, b.queueOf(s)) << "RSS must be a pure function of the stream";
+    EXPECT_EQ(q, a.queueOf(s)) << "and of nothing else";
+    ++hits[q];
+  }
+  for (unsigned q = 0; q < 4; ++q)
+    EXPECT_GT(hits[q], 0u) << "queue " << q << " starved by the indirection table";
+  EXPECT_EQ(a.stats().migrations, 0u) << "stateless mode cannot migrate";
+}
+
+TEST(NicDispatcher, RssIgnoresNoteRun) {
+  NicDispatcher d(NicDispatchMode::kRss, 4);
+  const unsigned q = d.queueOf(7);
+  d.noteRun(7, (q + 1) % 4);
+  EXPECT_EQ(d.queueOf(7), q);
+  EXPECT_EQ(d.stats().pins, 0u);
+}
+
+TEST(NicDispatcher, FlowDirectorPinsFirstSeenViaRssHash) {
+  NicDispatcher fdir(NicDispatchMode::kFlowDirector, 4);
+  NicDispatcher rss(NicDispatchMode::kRss, 4);
+  for (std::uint32_t s = 0; s < 32; ++s)
+    EXPECT_EQ(fdir.queueOf(s), rss.queueOf(s)) << "first sight must hash like RSS";
+  EXPECT_EQ(fdir.stats().pins, 32u);
+}
+
+TEST(NicDispatcher, FlowDirectorFollowsNoteRun) {
+  NicDispatcher d(NicDispatchMode::kFlowDirector, 4);
+  const unsigned home = d.queueOf(3);
+  const unsigned elsewhere = (home + 1) % 4;
+  d.noteRun(3, home);  // confirming the pin is not a migration
+  EXPECT_EQ(d.stats().migrations, 0u);
+  d.noteRun(3, elsewhere);  // the consumer moved: the pin chases it
+  EXPECT_EQ(d.queueOf(3), elsewhere);
+  EXPECT_EQ(d.stats().migrations, 1u);
+  EXPECT_EQ(d.stats().pins, 1u);
+}
+
+TEST(NicDispatcher, RepinAlwaysCountsAMigration) {
+  NicDispatcher d(NicDispatchMode::kFlowDirector, 8);
+  d.repin(42, 6);  // forced placement of a never-seen stream
+  EXPECT_EQ(d.queueOf(42), 6u);
+  EXPECT_EQ(d.stats().migrations, 1u);
+}
+
+TEST(NicModeNames, RoundTrip) {
+  for (NicDispatchMode m : {NicDispatchMode::kDirect, NicDispatchMode::kRss,
+                            NicDispatchMode::kFlowDirector}) {
+    NicDispatchMode parsed = NicDispatchMode::kDirect;
+    EXPECT_TRUE(parseNicMode(nicModeName(m), &parsed));
+    EXPECT_EQ(parsed, m);
+  }
+  NicDispatchMode parsed = NicDispatchMode::kDirect;
+  EXPECT_TRUE(parseNicMode("fdir", &parsed));
+  EXPECT_EQ(parsed, NicDispatchMode::kFlowDirector);
+  EXPECT_FALSE(parseNicMode("toeplitz", &parsed));
+}
+
+// ------------------------------------------------------ ordering checker ---
+
+TEST(OrderingChecker, StrictlyIncreasingIsInOrder) {
+  OrderingChecker c;
+  for (std::uint32_t s = 0; s < 3; ++s)
+    for (std::uint64_t q = 10 * s; q < 10 * s + 5; ++q) c.record(s, q);
+  const OrderingReport r = c.report();
+  EXPECT_EQ(r.observed, 15u);
+  EXPECT_EQ(r.streams, 3u);
+  EXPECT_TRUE(r.inOrder());
+}
+
+TEST(OrderingChecker, GapsAreStillInOrder) {
+  OrderingChecker c;
+  c.record(0, 1);
+  c.record(0, 7);  // drops upstream leave gaps, not regressions
+  EXPECT_TRUE(c.report().inOrder());
+}
+
+TEST(OrderingChecker, RegressionAndDuplicateAreCounted) {
+  OrderingChecker c;
+  c.record(0, 5);
+  c.record(0, 3);  // regression
+  c.record(0, 5);  // equal to the watermark: duplicate
+  c.record(1, 0);  // other streams are independent
+  const OrderingReport r = c.report();
+  EXPECT_EQ(r.reordered, 1u);
+  EXPECT_EQ(r.duplicated, 1u);
+  EXPECT_FALSE(r.inOrder());
+}
+
+TEST(OrderingChecker, KeepsHighWatermarkAfterRegression) {
+  OrderingChecker c;
+  c.record(0, 10);
+  c.record(0, 2);   // late straggler
+  c.record(0, 11);  // resumes above the watermark: in order again
+  EXPECT_EQ(c.report().reordered, 1u);
+}
+
+TEST(OrderingChecker, SequenceZeroOnFirstSightIsInOrder) {
+  OrderingChecker c;
+  c.record(9, 0);
+  EXPECT_TRUE(c.report().inOrder());
+  c.record(9, 0);  // but repeating it is a duplicate
+  EXPECT_EQ(c.report().duplicated, 1u);
+}
+
+}  // namespace
+}  // namespace affinity::net

@@ -1,11 +1,11 @@
-// chaos_soak — soak both real-thread engines under a deterministic fault
-// mix (frame faults + scheduled worker kill/stall) and audit the
-// conservation ledger at shutdown:
+// chaos_soak — soak the real-thread engines (Locking / IPS / Dispatch)
+// under a deterministic fault mix (frame faults + scheduled worker
+// kill/stall) and audit the conservation ledger at shutdown:
 //
 //   submitted == delivered + Σ dropped_by_cause + dropped_oldest
 //
 //   $ ./chaos_soak --config scenarios/chaos_mixed_faults.ini
-//   $ ./chaos_soak --frames 1000000 --engine both
+//   $ ./chaos_soak --frames 1000000 --engine all
 //
 // Exits 0 iff every run conserves exactly. Flags override the config file.
 #include <cstdio>
@@ -22,7 +22,7 @@ using namespace affinity;
 int main(int argc, char** argv) {
   Cli cli("chaos_soak", "soak the engines under injected faults and audit conservation");
   const std::string& path = cli.flag<std::string>("config", "", "chaos scenario file (optional)");
-  const std::string& engine = cli.flag<std::string>("engine", "both", "locking|ips|both");
+  const std::string& engine = cli.flag<std::string>("engine", "all", "locking|ips|dispatch|all");
   const std::int64_t& frames = cli.flag<std::int64_t>("frames", 0, "override frame count");
   const std::int64_t& seed = cli.flag<std::int64_t>("seed", -1, "override seed");
   const std::string& metrics_out = cli.flag<std::string>(
@@ -79,9 +79,12 @@ int main(int argc, char** argv) {
     std::printf("\n");
     ok = ok && rep.conserved;
   };
-  if (engine == "locking" || engine == "both") soak(EngineKind::kLocking);
-  if (engine == "ips" || engine == "both") soak(EngineKind::kIps);
-  if (engine != "locking" && engine != "ips" && engine != "both") {
+  // "both" predates the dispatch engine; kept as a synonym for "all".
+  const bool all = engine == "all" || engine == "both";
+  if (engine == "locking" || all) soak(EngineKind::kLocking);
+  if (engine == "ips" || all) soak(EngineKind::kIps);
+  if (engine == "dispatch" || all) soak(EngineKind::kDispatch);
+  if (engine != "locking" && engine != "ips" && engine != "dispatch" && !all) {
     std::fprintf(stderr, "chaos_soak: unknown --engine %s\n", engine.c_str());
     return 2;
   }
