@@ -160,6 +160,17 @@ inline std::vector<double> rateSweepWithLowEnd(bool fast) {
 /// Converts packets/µs to the paper's natural packets/s axis label value.
 inline double perSecond(double per_us) { return per_us * 1e6; }
 
+/// The greppable status line scripts/run_perf_smoke.sh keys on. A bench
+/// with an acceptance bar prints exactly one of these as its last stdout
+/// line and returns the result as its exit code, so `grep "PERF SMOKE"`
+/// over a CI log tells the whole story and the smoke script propagates
+/// failure without parsing tables. EXPERIMENTS.md documents each bar.
+[[nodiscard]] inline int smokeStatus(const char* bench, bool pass, const std::string& detail) {
+  std::printf("PERF SMOKE %s: %s (%s)\n", pass ? "PASS" : "FAIL", bench, detail.c_str());
+  if (!pass) std::fprintf(stderr, "PERF SMOKE FAIL: %s (%s)\n", bench, detail.c_str());
+  return pass ? 0 : 1;
+}
+
 /// Runs `fn(i)` for every sweep index across `--jobs` worker threads and
 /// returns the results in index order (output is byte-identical for any job
 /// count as long as `fn` is a pure function of its index — derive per-point

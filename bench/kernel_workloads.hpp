@@ -44,6 +44,10 @@ inline double frameSizedWork(double x) {
 struct FrameWorkPayload {
   std::uint64_t* sink;
   double a, b, c, d;
+  // Unused; matches GuardedFrameWorkPayload's size and layout so the two
+  // variants take the same EventCallback storage path (inline vs heap) and
+  // the A/B race isolates the guard, not the payload footprint.
+  std::uint32_t track;
   void operator()() const {
     *sink += static_cast<std::uint64_t>(frameSizedWork(a + b + c + d));
   }
@@ -153,6 +157,31 @@ double benchChain(std::uint64_t n, std::uint64_t /*seed*/) {
   const double dt = kernelSecondsSince(t0);
   AFF_CHECK(sim.executedCount() == n + 1);
   return static_cast<double>(n) / dt;
+}
+
+// Batched same-timestamp admission: the dispatcher pattern — a burst of
+// `batch` events lands at one virtual instant, then the queue drains before
+// the next burst. With batch >= the kernel's admission-batch size the
+// staged cohort crosses the flush boundary every phase, so this isolates
+// the SoA batched-insert path against the seed kernel's one-at-a-time
+// heap pushes. Returns events/sec.
+template <class Sim>
+double benchBatchAdmit(std::uint64_t n, std::size_t batch, std::uint64_t seed) {
+  Sim sim;
+  Rng rng(seed);
+  std::uint64_t sink = 0;
+  const KernelPayload payload{&sink, 1.0, 2.0, 3.0, 4.0};
+  const std::uint64_t phases = n / batch;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t p = 0; p < phases; ++p) {
+    const double at = sim.now() + rng.uniform(1.0, 2.0);
+    for (std::size_t i = 0; i < batch; ++i) sim.schedule(at, payload);
+    sim.runAll();
+  }
+  const double dt = kernelSecondsSince(t0);
+  AFF_CHECK(sim.executedCount() == phases * batch);
+  AFF_CHECK(sink != 0);
+  return static_cast<double>(phases * batch) / dt;
 }
 
 struct KernelResult {

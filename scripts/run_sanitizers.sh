@@ -21,7 +21,9 @@ jobs="${CTEST_PARALLEL_LEVEL:-$(nproc)}"
 # Test binaries that cover the runtime/chaos/proto surface. ctest would work
 # too, but invoking the binaries directly keeps one process per suite (ASan
 # and TSan diagnostics are per-process) and skips the simulator-only suites.
-suites=(runtime_test chaos_test proto_test tcp_test property_test)
+# arena_test rides along for the frame arena's cross-thread free path
+# (Treiber return stack + owner drain), which is TSan's home turf.
+suites=(runtime_test chaos_test proto_test tcp_test property_test arena_test)
 
 run_tree() {
   local name="$1" cmake_flag="$2" env_opts="$3"

@@ -1,0 +1,10 @@
+#include "analytic/lookahead.hpp"
+
+namespace affinity {
+
+double minServiceTimeUs(const ExecTimeModel& model, double fixed_overhead_us) noexcept {
+  const auto parts = model.serviceParts(CacheStateAges{});  // all components age 0
+  return parts.total() + fixed_overhead_us;
+}
+
+}  // namespace affinity

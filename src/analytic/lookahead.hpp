@@ -1,0 +1,25 @@
+// lookahead.hpp — conservative-parallel lookahead bound from the analytic
+// execution-time model.
+//
+// A conservative parallel simulation may let a shard run ahead of its peers
+// by any amount smaller than the minimum time in which one shard's event
+// could affect another. For the protocol model that bound is the minimum
+// per-packet service time: no completion (the only event that frees a
+// processor or touches statistics) can follow its service start by less.
+// serviceParts() is monotone in the component ages, so evaluating it at age
+// zero in every component — a perfectly warm cache — yields the exact
+// minimum over all reachable cache states (docs/PARALLEL_SIM.md derives
+// this and explains why the eligible configurations need the bound only to
+// size epochs, not for correctness).
+#pragma once
+
+#include "cache/exec_time.hpp"
+
+namespace affinity {
+
+/// Minimum per-packet service time under `model` (warm caches) plus the
+/// fixed per-packet overhead V. Strictly positive for every real model.
+[[nodiscard]] double minServiceTimeUs(const ExecTimeModel& model,
+                                      double fixed_overhead_us = 0.0) noexcept;
+
+}  // namespace affinity

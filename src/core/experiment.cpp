@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/parallel_sim.hpp"
+
 namespace affinity {
 
 SimConfig defaultSimConfig() {
@@ -20,6 +22,7 @@ void setAutoWindow(SimConfig& config, double rate_per_us, std::uint64_t target_p
 
 RunMetrics runOnce(const SimConfig& config, const ExecTimeModel& model,
                    const StreamSet& streams) {
+  if (config.parallel_procs > 1) return runParallel(config, model, streams);
   ProtocolSim sim(config, model, streams);
   return sim.run();
 }

@@ -110,6 +110,39 @@ std::uint64_t ProtocolSim::backlogNow() const noexcept {
 
 void ProtocolSim::recordQueueChange() noexcept {
   queue_len_.set(sim_.now(), static_cast<double>(queued_count_));
+  if (shard_mode_) {
+    shard_ops_.push_back(ShardOp{ShardOp::Kind::kQueueLen, sim_.now(),
+                                 static_cast<double>(queued_count_), 0.0, 0.0});
+  }
+}
+
+void ProtocolSim::noteBusyLevel(double now, double delta) noexcept {
+  busy_procs_.adjust(now, delta);
+  if (shard_mode_) {
+    shard_ops_.push_back(
+        ShardOp{ShardOp::Kind::kBusyLevel, now, busy_procs_.level(), 0.0, 0.0});
+  }
+}
+
+void ProtocolSim::shardForParallel(unsigned shard, unsigned num_shards) {
+  AFF_CHECK(!ran_);
+  AFF_CHECK(num_shards >= 1 && shard < num_shards);
+  // Only the exactly-decomposable family may be sharded; the full predicate
+  // is parallelEligible() (core/parallel_sim.hpp). These are the invariants
+  // the shard machinery itself relies on.
+  AFF_CHECK(config_.policy.paradigm == Paradigm::kIps &&
+            config_.policy.ips == IpsPolicy::kWired && !config_.adaptive_hybrid &&
+            config_.bus_occupancy_fraction == 0.0 && config_.observer == nullptr &&
+            config_.metrics == nullptr && config_.trace == nullptr);
+  shard_mode_ = true;
+  const auto num_streams = static_cast<std::uint32_t>(streams_.count());
+  owned_stream_.assign(num_streams, 0);
+  for (std::uint32_t s = 0; s < num_streams; ++s) {
+    // The stream's whole service chain is pinned: stream -> stack (stateless
+    // NIC dispatch) -> wired processor. Owning the processor owns the chain.
+    const unsigned proc = nic_stack_.queueOf(s) % config_.num_procs;
+    if (proc % num_shards == shard) owned_stream_[s] = 1;
+  }
 }
 
 void ProtocolSim::scheduleArrivals(std::uint32_t stream) {
@@ -327,7 +360,7 @@ void ProtocolSim::startService(unsigned proc, const Job& job, double extra_us) {
   }
   proc_idle_[proc] = 0;
   --idle_count_;
-  busy_procs_.adjust(now, +1.0);
+  noteBusyLevel(now, +1.0);
   if (config_.observer != nullptr)
     config_.observer->onServiceStart(proc, job.stream, stack, job.arrival_us, now,
                                      lock_wait + exec);
@@ -509,6 +542,9 @@ void ProtocolSim::onComplete(unsigned proc, const Job& job, double lock_wait, do
     lock_wait_.add(lock_wait);
     ++completed_;
     if (config_.per_stream_stats) per_stream_delay_[job.stream].add(delay);
+    if (shard_mode_) {
+      shard_ops_.push_back(ShardOp{ShardOp::Kind::kCompletion, now, delay, exec, lock_wait});
+    }
     if (obs_on_) {
       hooks_.completed->inc();
       hooks_.delay->add(delay);
@@ -523,7 +559,7 @@ void ProtocolSim::onComplete(unsigned proc, const Job& job, double lock_wait, do
   }
   proc_idle_[proc] = 1;
   ++idle_count_;
-  busy_procs_.adjust(now, -1.0);
+  noteBusyLevel(now, -1.0);
   feedProcessor(proc);
   if (stack != AffinityState::kNoStack) tryDispatchStack(stack);
 }
@@ -568,6 +604,12 @@ void ProtocolSim::adaptStreams() {
 }
 
 RunMetrics ProtocolSim::run() {
+  beginRun();
+  sim_.runUntil(end_time_);
+  return finishRun();
+}
+
+void ProtocolSim::beginRun() {
   AFF_CHECK(!ran_);
   ran_ = true;
   end_time_ = config_.warmup_us + config_.measure_us;
@@ -591,16 +633,19 @@ RunMetrics ProtocolSim::run() {
     sim_.scheduleAfter(config_.adapt_interval_us, [this] { adaptStreams(); });
   }
 
-  for (std::uint32_t s = 0; s < streams_.count(); ++s) scheduleArrivals(s);
+  for (std::uint32_t s = 0; s < streams_.count(); ++s) {
+    if (!ownsStream(s)) continue;  // another shard's chain (serial: owns all)
+    scheduleArrivals(s);
+  }
   sim_.schedule(config_.warmup_us, [this] {
     busy_procs_.resetAt(sim_.now());
     queue_len_.resetAt(sim_.now());
   });
   const double mid = config_.warmup_us + config_.measure_us * 0.5;
   sim_.schedule(mid, [this] { backlog_mid_ = backlogNow(); });
+}
 
-  sim_.runUntil(end_time_);
-
+RunMetrics ProtocolSim::finishRun() {
   // Conservation: every arrived packet is either done or still in the system.
   AFF_CHECK(arrived_ == completed_total_ + backlogNow());
 

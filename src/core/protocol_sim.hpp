@@ -79,6 +79,13 @@ struct SimConfig {
   double measure_us = 2'000'000.0;  ///< measurement window
   std::uint64_t seed = 1;
   bool per_stream_stats = false;
+  /// Conservative-parallel execution (docs/PARALLEL_SIM.md): number of real
+  /// threads to shard the simulated processors across; 0/1 = serial. Honored
+  /// by runOnce() via runParallel(); configurations outside the
+  /// exactly-decomposable family silently run serially — the results are
+  /// bit-identical to the serial run either way (that is the contract,
+  /// guarded by GoldenSeed.ParallelMatchesSerial).
+  unsigned parallel_procs = 0;
   /// Optional observation hook (not owned; may be nullptr).
   SimObserver* observer = nullptr;
 
@@ -159,6 +166,48 @@ class ProtocolSim {
   RunMetrics run();
 
  private:
+  // Conservative-parallel execution (core/parallel_sim.{hpp,cpp}) constructs
+  // one ProtocolSim per shard, restricts each to the streams whose wired
+  // processor it owns, and replays the shards' statistics commit logs into
+  // fresh accumulators in serial order. docs/PARALLEL_SIM.md carries the
+  // determinism argument; nothing else may touch the shard machinery.
+  friend class ParallelProtocolSim;
+
+  /// One statistics-mutating operation, logged (shard mode only) at the
+  /// virtual time it executed so the coordinator can replay the serial
+  /// update order. Levels (not deltas) are logged for the time-weighted
+  /// signals: the merged global level is then the sum of the latest
+  /// per-shard levels, independent of same-timestamp interleaving.
+  struct ShardOp {
+    enum class Kind : std::uint8_t {
+      kQueueLen,    ///< a = this shard's queued-packet count after the change
+      kBusyLevel,   ///< a = this shard's busy-processor level after the change
+      kCompletion,  ///< a = delay, b = exec time, c = lock/bus wait (measured)
+    };
+    Kind kind;
+    double t;
+    double a;
+    double b;
+    double c;
+  };
+
+  /// Restricts this instance to shard `shard` of `num_shards` and turns on
+  /// commit logging. Call before run()/beginRun(); only configurations that
+  /// pass parallelEligible() (core/parallel_sim.hpp) decompose exactly.
+  void shardForParallel(unsigned shard, unsigned num_shards);
+  /// run() prologue: schedules arrivals (owned streams only in shard mode),
+  /// the warmup reset, and the mid-window backlog snapshot.
+  void beginRun();
+  /// Advances the event loop to virtual time `until` (epoch step).
+  void advanceTo(double until) { sim_.runUntil(until); }
+  /// run() epilogue: conservation check + metric extraction.
+  RunMetrics finishRun();
+  [[nodiscard]] bool ownsStream(std::uint32_t stream) const noexcept {
+    return !shard_mode_ || owned_stream_[stream] != 0;
+  }
+  /// busy_procs_ adjustment, logged in shard mode.
+  void noteBusyLevel(double now, double delta) noexcept;
+
   struct Job {
     std::uint32_t stream;
     double arrival_us;
@@ -277,6 +326,11 @@ class ProtocolSim {
   bool mid_recorded_ = false;
   std::vector<OnlineStats> per_stream_delay_;
   bool ran_ = false;
+
+  // Conservative-parallel shard state (inert in serial runs).
+  bool shard_mode_ = false;
+  std::vector<std::uint8_t> owned_stream_;  ///< stream -> owned by this shard
+  std::vector<ShardOp> shard_ops_;          ///< commit log, execution order
 
   // Observability plumbing (resolved once in initObservability; hot paths
   // test obs_on_ / the individual pointers, never the registry map).

@@ -156,6 +156,7 @@ std::optional<Scenario> buildScenario(const ConfigFile& cfg, std::string* error)
   s.config.measure_us = cfg.getDouble("run.measure_us", 2'000'000.0);
   s.config.fixed_overhead_us = cfg.getDouble("run.v_us", 0.0);
   s.config.per_stream_stats = cfg.getBool("run.per_stream", false);
+  s.config.parallel_procs = static_cast<unsigned>(cfg.getInt("run.parallel", 0));
   s.run_until_confident = cfg.getBool("run.confident", false);
 
   if (s.config.adaptive_hybrid && s.config.policy.paradigm != Paradigm::kHybrid) {

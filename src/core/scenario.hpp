@@ -17,7 +17,9 @@
 //   [policy]   paradigm = locking | ips | hybrid; locking = fcfs | mru |
 //              stream-mru | wired-streams; ips = random | mru | wired;
 //              stacks, adaptive, hybrid_locking_streams = 0,1,2
-//   [run]      seed, warmup_us, measure_us, v_us, per_stream, confident
+//   [run]      seed, warmup_us, measure_us, v_us, per_stream, confident,
+//              parallel (conservative-parallel thread count, 0 = serial;
+//              bit-identical results either way — docs/PARALLEL_SIM.md)
 #pragma once
 
 #include <optional>

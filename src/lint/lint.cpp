@@ -166,8 +166,8 @@ std::string srcSubdir(const std::string& rel_path) {
 // ------------------------------------------------------------------- scopes
 
 const std::set<std::string>& metricDomains() {
-  static const std::set<std::string> kDomains = {"sim",   "sweep", "engine", "chaos",
-                                                 "bench", "net",   "sched"};
+  static const std::set<std::string> kDomains = {"sim", "sweep", "engine", "chaos",
+                                                 "bench", "net", "sched", "rt"};
   return kDomains;
 }
 
@@ -189,7 +189,8 @@ const std::map<std::string, std::set<std::string>>& layerDeps() {
       {"lint", {"obs", "util"}},
       {"runtime", {"net", "obs", "proto", "stats", "util", "workload"}},
       {"core",
-       {"cache", "cachesim", "net", "obs", "proto", "sched", "sim", "stats", "util", "workload"}},
+       {"analytic", "cache", "cachesim", "net", "obs", "proto", "sched", "sim", "stats", "util",
+        "workload"}},
   };
   return kDeps;
 }
@@ -374,6 +375,30 @@ void ruleRawMutex(const FileCtx& ctx) {
   }
 }
 
+/// src/runtime's steady-state frame path is zero-global-alloc by design
+/// (util/arena.hpp; tests/arena_test.cpp pins it). Direct malloc-family
+/// calls or raw byte-buffer `new` there reintroduce the global allocator
+/// behind the arena's back, so both are banned in the runtime tree.
+void ruleFrameArena(const FileCtx& ctx) {
+  if (srcSubdir(ctx.path) != "runtime") return;
+  static const std::regex kMalloc(R"((^|[^A-Za-z0-9_:.>])(malloc|calloc|realloc)\s*\()");
+  static const std::regex kRawByteNew(
+      R"(\bnew\s+(std\s*::\s*)?(uint8_t|std::uint8_t|byte|std::byte|unsigned\s+char|char)\s*\[)");
+  for (std::size_t i = 0; i < ctx.v.code.size(); ++i) {
+    const std::string& line = ctx.v.code[i];
+    if (std::regex_search(line, kMalloc)) {
+      ctx.report(i, "frame-arena",
+                 "malloc-family call in src/runtime bypasses the frame arena; allocate "
+                 "packet buffers through FrameArena/FrameBuf (util/arena.hpp)");
+    }
+    if (std::regex_search(line, kRawByteNew)) {
+      ctx.report(i, "frame-arena",
+                 "raw byte-buffer new[] in src/runtime bypasses the frame arena; use "
+                 "FrameBuf (util/arena.hpp) so the frame path stays zero-global-alloc");
+    }
+  }
+}
+
 void ruleGuardedMutex(const FileCtx& ctx) {
   if (srcSubdir(ctx.path).empty()) return;
   static const std::regex kDecl(
@@ -403,8 +428,10 @@ void ruleGuardedMutex(const FileCtx& ctx) {
 // ----------------------------------------------------------------- public
 
 const std::vector<std::string>& ruleNames() {
-  static const std::vector<std::string> kRules = {"metric-name", "nondeterminism", "proto-check",
-                                                  "layering",    "raw-mutex",      "guarded-mutex"};
+  static const std::vector<std::string> kRules = {"metric-name", "nondeterminism",
+                                                  "proto-check", "layering",
+                                                  "raw-mutex",   "guarded-mutex",
+                                                  "frame-arena"};
   return kRules;
 }
 
@@ -438,7 +465,7 @@ bool validMetricName(const std::string& literal, std::string* why) {
   }
   if (anchored && metricDomains().count(segments.front()) == 0) {
     return fail("unknown domain \"" + segments.front() +
-                "\" (expected sim/sweep/engine/chaos/bench/net/sched)");
+                "\" (expected sim/sweep/engine/chaos/bench/net/sched/rt)");
   }
   return true;
 }
@@ -453,6 +480,7 @@ std::vector<Finding> lintFile(const std::string& rel_path, const std::string& co
   ruleLayering(ctx);
   ruleRawMutex(ctx);
   ruleGuardedMutex(ctx);
+  ruleFrameArena(ctx);
   return out;
 }
 

@@ -27,6 +27,15 @@ class Packet {
   /// Creates a packet holding a received frame (cursor at byte 0).
   static Packet fromFrame(std::span<const std::uint8_t> frame);
 
+  /// Reloads this packet with a received frame, reusing the existing buffer
+  /// capacity (cursor back to byte 0). The stacks keep one scratch Packet
+  /// and assignFrame() each frame into it, so the receive path stops
+  /// allocating once the scratch has grown to the largest frame seen.
+  void assignFrame(std::span<const std::uint8_t> frame) {
+    data_.assign(frame.begin(), frame.end());
+    begin_ = 0;
+  }
+
   /// Bytes remaining from the cursor to the end (header + payload on
   /// receive; payload on send before pushes).
   [[nodiscard]] std::size_t size() const noexcept { return data_.size() - begin_; }

@@ -11,9 +11,9 @@ ProtocolStack::ProtocolStack(HostConfig config)
       fddi_(config.mac, &ip_) {}
 
 ReceiveContext ProtocolStack::receiveFrame(std::span<const std::uint8_t> frame) {
-  Packet pkt = Packet::fromFrame(frame);
+  rx_packet_.assignFrame(frame);
   ReceiveContext ctx;
-  fddi_.receive(pkt, ctx);
+  fddi_.receive(rx_packet_, ctx);
   return ctx;
 }
 
@@ -27,9 +27,9 @@ DualProtocolStack::DualProtocolStack(HostConfig config)
 }
 
 ReceiveContext DualProtocolStack::receiveFrame(std::span<const std::uint8_t> frame) {
-  Packet pkt = Packet::fromFrame(frame);
+  rx_packet_.assignFrame(frame);
   ReceiveContext ctx;
-  fddi_.receive(pkt, ctx);
+  fddi_.receive(rx_packet_, ctx);
   return ctx;
 }
 

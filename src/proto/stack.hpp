@@ -52,6 +52,11 @@ class ProtocolStack {
   UdpLayer udp_;
   Ipv4Layer ip_;
   FddiLayer fddi_;
+  // Scratch packet reloaded per frame (capacity persists across frames, so
+  // the steady-state receive path allocates nothing). Callers already
+  // serialize receiveFrame per stack instance — Locking under stack_mu_,
+  // IPS by stack-per-worker ownership — so one scratch is safe.
+  Packet rx_packet_;
 };
 
 /// A receive stack with both UDP and TCP above IP: FDDI → IPv4 → {UDP, TCP}.
@@ -76,6 +81,7 @@ class DualProtocolStack {
   TcpLayer tcp_;
   Ipv4Layer ip_;
   FddiLayer fddi_;
+  Packet rx_packet_;  // per-frame scratch; see ProtocolStack::rx_packet_
 };
 
 /// Parameters for constructing a valid UDP/IP/FDDI frame.

@@ -5,20 +5,25 @@
 namespace affinity {
 
 bool UdpSession::deliver(std::span<const std::uint8_t> payload) {
-  if (queue_.size() >= capacity_) {
+  if (count_ >= ring_.size()) {
     ++overflow_;
     return false;
   }
-  queue_.emplace_back(payload.begin(), payload.end());
+  // assign() into the slot reuses whatever capacity an earlier datagram
+  // left there — no allocation once the ring has warmed up.
+  ring_[(head_ + count_) % ring_.size()].assign(payload.begin(), payload.end());
+  ++count_;
   ++delivered_;
   bytes_ += payload.size();
   return true;
 }
 
 bool UdpSession::read(std::vector<std::uint8_t>& out) {
-  if (queue_.empty()) return false;
-  out = std::move(queue_.front());
-  queue_.pop_front();
+  if (count_ == 0) return false;
+  std::vector<std::uint8_t>& slot = ring_[head_];
+  out.assign(slot.begin(), slot.end());
+  head_ = (head_ + 1) % ring_.size();
+  --count_;
   return true;
 }
 

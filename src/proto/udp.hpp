@@ -2,7 +2,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -13,10 +12,15 @@ namespace affinity {
 
 /// One open UDP endpoint (the PCB + socket receive queue). This is the
 /// per-stream state whose cache affinity the paper's policies manage.
+///
+/// The socket buffer is a fixed ring of byte vectors allocated once at
+/// construction; a slot's vector keeps its capacity across reuse, so after
+/// the first lap around the ring deliver()/read() perform no allocation —
+/// part of the zero-alloc steady-state frame path (util/arena.hpp).
 class UdpSession {
  public:
   explicit UdpSession(std::uint16_t port, std::size_t queue_capacity = 64)
-      : port_(port), capacity_(queue_capacity) {}
+      : port_(port), ring_(queue_capacity > 0 ? queue_capacity : 1) {}
 
   /// Enqueues a received payload; false if the socket buffer is full.
   bool deliver(std::span<const std::uint8_t> payload);
@@ -25,15 +29,16 @@ class UdpSession {
   bool read(std::vector<std::uint8_t>& out);
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
-  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t queued() const noexcept { return count_; }
   [[nodiscard]] std::uint64_t deliveredCount() const noexcept { return delivered_; }
   [[nodiscard]] std::uint64_t overflowCount() const noexcept { return overflow_; }
   [[nodiscard]] std::uint64_t bytesDelivered() const noexcept { return bytes_; }
 
  private:
   std::uint16_t port_;
-  std::size_t capacity_;
-  std::deque<std::vector<std::uint8_t>> queue_;
+  std::vector<std::vector<std::uint8_t>> ring_;  // fixed slots; [head_, head_+count_)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t overflow_ = 0;
   std::uint64_t bytes_ = 0;

@@ -92,6 +92,7 @@ ChaosReport runWith(EngineKind kind, const ChaosConfig& cfg) {
     g("duplicates", rep.faults.duplicates);
     g("reordered", rep.faults.reordered);
     reg.gauge(prefix + ".run_conserved").set(rep.conserved ? 1.0 : 0.0);
+    exportArenaStats(reg);
   }
   return rep;
 }

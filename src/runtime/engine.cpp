@@ -85,6 +85,19 @@ void exportEngineStats(const EngineStats& s, obs::MetricsRegistry& reg,
   }
 }
 
+void exportArenaStats(obs::MetricsRegistry& reg, const std::string& prefix) {
+  const ArenaStats s = FrameArena::totalStats();
+  const auto g = [&](const char* leaf, std::uint64_t v) {
+    reg.gauge(prefix + "." + leaf).set(static_cast<double>(v));
+  };
+  g("allocs", s.allocs);
+  g("frees", s.frees);
+  g("cross_thread_returns", s.cross_thread_returns);
+  g("slab_refills", s.slab_refills);
+  g("oversize_allocs", s.oversize_allocs);
+  g("bytes_reserved", s.bytes_reserved);
+}
+
 // ---------------------------------------------------------------- Locking --
 
 LockingEngine::LockingEngine(unsigned workers, HostConfig host, const EngineOptions& options)

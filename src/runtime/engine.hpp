@@ -35,6 +35,7 @@
 #include "runtime/queues.hpp"
 #include "runtime/worker_pool.hpp"
 #include "stats/histogram.hpp"
+#include "util/arena.hpp"
 #include "util/mutex.hpp"
 
 namespace affinity {
@@ -120,9 +121,18 @@ struct EngineStats {
 void exportEngineStats(const EngineStats& s, obs::MetricsRegistry& reg,
                        const std::string& prefix);
 
-/// A frame plus its routing hint.
+/// Writes the process-wide FrameArena counters into `reg` under the
+/// rt.arena.* domain (docs/OBSERVABILITY.md) — e.g. "rt.arena.allocs",
+/// "rt.arena.cross_thread_returns". Gauge semantics, like exportEngineStats.
+void exportArenaStats(obs::MetricsRegistry& reg, const std::string& prefix = "rt.arena");
+
+/// A frame plus its routing hint. The frame lives in the submitting
+/// thread's FrameArena (util/arena.hpp): constructing a WorkItem from a
+/// std::vector copies the bytes into the arena once, and every queue hop
+/// after that is a pointer move — zero global-allocator traffic on the
+/// steady-state path (tests/arena_test.cpp pins this).
 struct WorkItem {
-  std::vector<std::uint8_t> frame;
+  FrameBuf frame;
   std::uint32_t stream = 0;
   /// Stamped by submit(); used for end-to-end latency.
   std::chrono::steady_clock::time_point enqueue_tp{};
@@ -177,6 +187,13 @@ class LockingEngine {
   void injectWorkerStall(unsigned w, std::chrono::milliseconds d) { pool_.injectStall(w, d); }
 
   [[nodiscard]] EngineStats stats() const;
+
+  /// Frames fully processed so far. Safe to poll while workers run —
+  /// stats() is not, because it merges the owner-written per-worker arrays
+  /// and is only coherent once the engine has quiesced (drained or stopped).
+  [[nodiscard]] std::uint64_t processedCount() const noexcept {
+    return processed_.load(std::memory_order_acquire);
+  }
 
   /// stats() snapshot into `reg` under `prefix` (see exportEngineStats).
   void exportMetrics(obs::MetricsRegistry& reg,

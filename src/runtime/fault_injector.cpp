@@ -9,14 +9,14 @@ FaultInjector::FaultInjector(std::uint64_t seed, FaultRates rates, std::size_t r
   AFF_CHECK(reorder_window >= 1);
 }
 
-void FaultInjector::corruptBit(std::vector<std::uint8_t>& frame) {
+void FaultInjector::corruptBit(FrameBuf& frame) {
   if (frame.empty()) return;
   const std::uint64_t bit = rng_.uniform_u64(frame.size() * 8);
   frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
   ++counts_.bitflips;
 }
 
-void FaultInjector::truncateTail(std::vector<std::uint8_t>& frame) {
+void FaultInjector::truncateTail(FrameBuf& frame) {
   if (frame.empty()) return;
   // Keep a uniform prefix in [0, size): always cuts at least one byte.
   frame.resize(rng_.uniform_u64(frame.size()));

@@ -67,8 +67,8 @@ class FaultInjector {
   [[nodiscard]] const FaultRates& rates() const noexcept { return rates_; }
 
  private:
-  void corruptBit(std::vector<std::uint8_t>& frame);
-  void truncateTail(std::vector<std::uint8_t>& frame);
+  void corruptBit(FrameBuf& frame);
+  void truncateTail(FrameBuf& frame);
 
   Rng rng_;
   FaultRates rates_;

@@ -2,7 +2,10 @@
 //
 // MpmcQueue: a bounded blocking multi-producer/multi-consumer queue
 // (mutex + condition variables) with close() semantics — simple, correct,
-// and fast enough for packet-at-a-time work items of ~100 µs.
+// and fast enough for packet-at-a-time work items of ~100 µs. Storage is a
+// ring preallocated at construction, so the steady-state frame path makes
+// no global-allocator calls (the deque it replaced allocated a node per
+// chunk; see util/arena.hpp for the rest of the zero-alloc story).
 //
 // SpscRing: a lock-free single-producer/single-consumer ring used on the
 // per-worker fast path of the IPS engine (one dispatcher, one worker).
@@ -11,7 +14,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -26,14 +28,17 @@ namespace affinity {
 template <typename T>
 class MpmcQueue {
  public:
-  explicit MpmcQueue(std::size_t capacity) : capacity_(capacity) { AFF_CHECK(capacity > 0); }
+  explicit MpmcQueue(std::size_t capacity) : ring_(capacity), capacity_(capacity) {
+    AFF_CHECK(capacity > 0);
+  }
 
   /// Blocking push; false if the queue was closed.
   bool push(T item) AFF_EXCLUDES(mu_) {
     MutexLock lock(mu_);
-    not_full_.wait(mu_, [&]() AFF_REQUIRES(mu_) { return closed_ || items_.size() < capacity_; });
+    not_full_.wait(mu_, [&]() AFF_REQUIRES(mu_) { return closed_ || count_ < capacity_; });
     if (closed_) return false;
-    items_.push_back(std::move(item));
+    ring_[(head_ + count_) % capacity_] = std::move(item);
+    ++count_;
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -44,8 +49,9 @@ class MpmcQueue {
   bool tryPush(T&& item) AFF_EXCLUDES(mu_) {
     {
       MutexLock lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(item));
+      if (closed_ || count_ >= capacity_) return false;
+      ring_[(head_ + count_) % capacity_] = std::move(item);
+      ++count_;
     }
     not_empty_.notify_one();
     return true;
@@ -54,10 +60,9 @@ class MpmcQueue {
   /// Blocking pop; nullopt once closed and drained.
   std::optional<T> pop() AFF_EXCLUDES(mu_) {
     MutexLock lock(mu_);
-    not_empty_.wait(mu_, [&]() AFF_REQUIRES(mu_) { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    not_empty_.wait(mu_, [&]() AFF_REQUIRES(mu_) { return closed_ || count_ != 0; });
+    if (count_ == 0) return std::nullopt;
+    T item = takeFront();
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -68,9 +73,8 @@ class MpmcQueue {
   bool tryPop(T& out) AFF_EXCLUDES(mu_) {
     {
       MutexLock lock(mu_);
-      if (items_.empty()) return false;
-      out = std::move(items_.front());
-      items_.pop_front();
+      if (count_ == 0) return false;
+      out = takeFront();
     }
     not_full_.notify_one();
     return true;
@@ -83,10 +87,9 @@ class MpmcQueue {
   std::optional<T> popFor(std::chrono::duration<Rep, Period> timeout) AFF_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     not_empty_.wait_for(mu_, timeout,
-                        [&]() AFF_REQUIRES(mu_) { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+                        [&]() AFF_REQUIRES(mu_) { return closed_ || count_ != 0; });
+    if (count_ == 0) return std::nullopt;
+    T item = takeFront();
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -104,20 +107,31 @@ class MpmcQueue {
 
   [[nodiscard]] std::size_t size() const AFF_EXCLUDES(mu_) {
     MutexLock lock(mu_);
-    return items_.size();
+    return count_;
   }
 
   /// True once the queue is closed and every item has been popped.
   [[nodiscard]] bool drained() const AFF_EXCLUDES(mu_) {
     MutexLock lock(mu_);
-    return closed_ && items_.empty();
+    return closed_ && count_ == 0;
   }
 
  private:
+  /// Moves the oldest item out; its ring slot keeps the moved-from shell
+  /// (and any capacity it owns) for reuse by a later push.
+  [[nodiscard]] T takeFront() AFF_REQUIRES(mu_) {
+    T item = std::move(ring_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    return item;
+  }
+
   mutable Mutex mu_;
   CondVar not_empty_;
   CondVar not_full_;
-  std::deque<T> items_ AFF_GUARDED_BY(mu_);
+  std::vector<T> ring_ AFF_GUARDED_BY(mu_);  // fixed slots; [head_, head_+count_)
+  std::size_t head_ AFF_GUARDED_BY(mu_) = 0;
+  std::size_t count_ AFF_GUARDED_BY(mu_) = 0;
   std::size_t capacity_;
   bool closed_ AFF_GUARDED_BY(mu_) = false;
 };

@@ -9,18 +9,21 @@ int Simulator::minQualifying(const Bucket& b) const noexcept {
   int best = -1;
   double best_at = std::numeric_limits<double>::infinity();
   std::uint64_t best_seq = ~std::uint64_t{0};
-  const Key* keys = b.keys.data();
-  const std::size_t n = b.keys.size();
+  // SoA scan: three dense arrays, 24 bytes per entry. The callbacks (a
+  // cache line each) and the slot ids are never touched here.
+  const double* at = b.at.data();
+  const std::uint64_t* seq = b.seq.data();
+  const std::uint64_t* assigned = b.assigned.data();
+  const std::size_t n = b.size();
   for (std::size_t i = 0; i < n; ++i) {
-    const Key& e = keys[i];
-    if (e.assigned != cursor_) continue;  // parked for a later pass of the ring
+    if (assigned[i] != cursor_) continue;  // parked for a later pass of the ring
     // Branchless best-update: which of two random timestamps is smaller is
     // a coin flip, so a branch here mispredicts ~half the time.
     const bool better =
-        (e.at < best_at) | ((e.at == best_at) & (e.seq < best_seq));
+        (at[i] < best_at) | ((at[i] == best_at) & (seq[i] < best_seq));
     best = better ? static_cast<int>(i) : best;
-    best_at = better ? e.at : best_at;
-    best_seq = better ? e.seq : best_seq;
+    best_at = better ? at[i] : best_at;
+    best_seq = better ? seq[i] : best_seq;
   }
   return best;
 }
@@ -28,8 +31,57 @@ int Simulator::minQualifying(const Bucket& b) const noexcept {
 std::uint64_t Simulator::minAssigned() const noexcept {
   std::uint64_t mn = ~std::uint64_t{0};
   for (const Bucket& b : buckets_)
-    for (const Key& e : b.keys) mn = std::min(mn, e.assigned);
+    for (std::uint64_t a : b.assigned) mn = std::min(mn, a);
   return mn;
+}
+
+void Simulator::flushAdmissions() {
+  const std::size_t n = staged_keys_.size();
+  if (n == 0) return;
+  if (n == 1) {
+    // Common interleaved schedule/step pattern: skip the grouping machinery.
+    const StagedKey& k = staged_keys_[0];
+    Bucket& b = buckets_[k.assigned & mask_];
+    b.growFor(1);
+    b.appendReserved(k.at, k.seq, k.assigned, k.slot, std::move(staged_fns_[0]));
+    slots_[k.slot] = Slot{k.seq, static_cast<std::uint32_t>(k.assigned & mask_),
+                          static_cast<std::uint32_t>(b.size() - 1)};
+  } else {
+    // Group the cohort by target bucket so each bucket pays one capacity
+    // check. Sorting a u32 index array of <= kAdmitBatch entries is cheap;
+    // intra-bucket order is irrelevant (dequeue order is exact on
+    // (at, seq)), but (bucket, index) makes the sort deterministic.
+    admit_order_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) admit_order_[i] = static_cast<std::uint32_t>(i);
+    std::sort(admit_order_.begin(), admit_order_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const std::uint64_t ba = staged_keys_[a].assigned & mask_;
+                const std::uint64_t bb = staged_keys_[b].assigned & mask_;
+                return ba != bb ? ba < bb : a < b;
+              });
+    // Pass 1: reserve every target bucket up front. A bad_alloc here leaves
+    // the calendar untouched and the cohort still staged.
+    for (std::size_t i = 0; i < n;) {
+      const std::uint64_t bucket = staged_keys_[admit_order_[i]].assigned & mask_;
+      std::size_t j = i;
+      while (j < n && (staged_keys_[admit_order_[j]].assigned & mask_) == bucket) ++j;
+      buckets_[bucket].growFor(j - i);
+      i = j;
+    }
+    // Pass 2: append (nothrow — capacity reserved, callback moves are
+    // noexcept) and point the slots at their admitted positions.
+    for (std::size_t i = 0; i < n; ++i) {
+      const StagedKey& k = staged_keys_[admit_order_[i]];
+      Bucket& b = buckets_[k.assigned & mask_];
+      b.appendReserved(k.at, k.seq, k.assigned, k.slot,
+                       std::move(staged_fns_[admit_order_[i]]));
+      slots_[k.slot] = Slot{k.seq, static_cast<std::uint32_t>(k.assigned & mask_),
+                            static_cast<std::uint32_t>(b.size() - 1)};
+    }
+  }
+  staged_keys_.clear();
+  staged_fns_.clear();
+  if (live_ > 4 * (mask_ + 1)) rebuild();
 }
 
 bool Simulator::cancel(EventHandle h) noexcept {
@@ -37,7 +89,19 @@ bool Simulator::cancel(EventHandle h) noexcept {
   if (h.slot_ >= slots_.size()) return false;
   const Slot s = slots_[h.slot_];
   if (s.seq != h.seq_) return false;  // already ran, cancelled, or slot reused
-  removeEntry(buckets_[s.bucket], s.bucket, s.index);
+  if (s.bucket == kStagedBucket) {
+    // Still in the admission staging buffer: swap-remove it there.
+    const auto last = static_cast<std::uint32_t>(staged_keys_.size() - 1);
+    if (s.index != last) {
+      staged_keys_[s.index] = staged_keys_[last];
+      staged_fns_[s.index] = std::move(staged_fns_[last]);
+      slots_[staged_keys_[s.index].slot].index = s.index;
+    }
+    staged_keys_.pop_back();
+    staged_fns_.pop_back();
+  } else {
+    removeEntry(buckets_[s.bucket], s.bucket, s.index);
+  }
   freeSlot(h.slot_);
   --live_;
   return true;
@@ -57,6 +121,7 @@ void Simulator::onEmptyRotation() {
 }
 
 bool Simulator::popNext(SimTime& at, EventCallback& fn) {
+  flushAdmissions();
   if (live_ == 0) return false;
   std::size_t scanned = 0;
   for (;;) {
@@ -66,12 +131,12 @@ bool Simulator::popNext(SimTime& at, EventCallback& fn) {
     __builtin_prefetch(b.fns.data());
     const int best = minQualifying(b);
     if (best >= 0) {
-      const Key e = b.keys[static_cast<std::size_t>(best)];
-      at = e.at;
+      const auto i = static_cast<std::size_t>(best);
+      at = b.at[i];
       // Move the callback out before unlinking: the callback may re-enter
       // schedule(), which can reuse the slot and rebuild the calendar.
-      fn = std::move(b.fns[static_cast<std::size_t>(best)]);
-      freeSlot(e.slot);
+      fn = std::move(b.fns[i]);
+      freeSlot(b.slot[i]);
       removeEntry(b, static_cast<std::uint32_t>(cursor_ & mask_),
                   static_cast<std::uint32_t>(best));
       --live_;
@@ -86,13 +151,14 @@ bool Simulator::popNext(SimTime& at, EventCallback& fn) {
 }
 
 bool Simulator::peekTime(SimTime& at) {
+  flushAdmissions();
   if (live_ == 0) return false;
   std::size_t scanned = 0;
   for (;;) {
     const Bucket& b = buckets_[cursor_ & mask_];
     const int best = minQualifying(b);
     if (best >= 0) {
-      at = b.keys[static_cast<std::size_t>(best)].at;
+      at = b.at[static_cast<std::size_t>(best)];
       return true;
     }
     ++cursor_;
@@ -142,17 +208,16 @@ void Simulator::initBuckets(std::size_t nbuckets, double width) {
 }
 
 void Simulator::rebuild() {
-  std::vector<Key> keys;
+  AFF_DCHECK(staged_keys_.empty());
+  std::vector<StagedKey> keys;
   std::vector<EventCallback> fns;
   keys.reserve(live_);
   fns.reserve(live_);
   for (Bucket& b : buckets_) {
-    for (std::size_t i = 0; i < b.keys.size(); ++i) {
-      keys.push_back(b.keys[i]);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      keys.push_back(StagedKey{b.at[i], b.seq[i], b.assigned[i], b.slot[i]});
       fns.push_back(std::move(b.fns[i]));
     }
-    b.keys.clear();
-    b.fns.clear();
   }
   // Width: ~2 events per window on average, so a dequeue scans O(1) entries
   // and an empty-window rotation is rare. Any value is *correct* (ordering
@@ -161,15 +226,16 @@ void Simulator::rebuild() {
   if (keys.size() > 1) {
     double lo = keys.front().at;
     double hi = lo;
-    for (const Key& e : keys) {
+    for (const StagedKey& e : keys) {
       lo = std::min(lo, e.at);
       hi = std::max(hi, e.at);
     }
     if (hi > lo) w = (hi - lo) * 2.0 / static_cast<double>(keys.size());
   }
   if (!(w > 1e-9)) w = 1e-9;  // all-simultaneous events: keep windows finite
-  // ~2 events per bucket: two 32-byte keys share a cache line, and half the
-  // bucket headers means half the header-array footprint on large calendars.
+  // ~2 events per bucket: a handful of 24-byte scan entries share cache
+  // lines, and half the bucket headers means half the header-array
+  // footprint on large calendars.
   const std::size_t nb = std::bit_ceil(std::max(keys.size() / 2, kMinBuckets));
   initBuckets(nb, w);
   if (keys.empty()) {
@@ -177,18 +243,19 @@ void Simulator::rebuild() {
     return;
   }
   std::uint64_t first = ~std::uint64_t{0};
-  for (Key& e : keys) {
+  for (StagedKey& e : keys) {
     e.assigned = windowOf(e.at);
     first = std::min(first, e.assigned);
   }
   cursor_ = first;
   for (std::size_t i = 0; i < keys.size(); ++i) {
     Bucket& b = buckets_[keys[i].assigned & mask_];
-    b.keys.push_back(keys[i]);
-    b.fns.push_back(std::move(fns[i]));
+    b.growFor(1);
+    b.appendReserved(keys[i].at, keys[i].seq, keys[i].assigned, keys[i].slot,
+                     std::move(fns[i]));
     Slot& s = slots_[keys[i].slot];
     s.bucket = static_cast<std::uint32_t>(keys[i].assigned & mask_);
-    s.index = static_cast<std::uint32_t>(b.keys.size() - 1);
+    s.index = static_cast<std::uint32_t>(b.size() - 1);
   }
 }
 

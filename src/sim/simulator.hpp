@@ -21,12 +21,22 @@
 //     the cursor bucket for the (time, seq)-minimum among entries whose
 //     assigned window has arrived. Bucket count and width retune from the
 //     live event population (on growth and on empty-year rotations), so
-//     both operations are O(1) amortized — measured ~2-4x faster than the
-//     binary/4-ary heaps it replaced, whose log-depth comparison sifts
-//     mispredict heavily on random keys.
-// Bucketing affects only performance, never order: the dequeue minimum is
-// computed exactly on (time, seq), so runs are bit-for-bit identical to the
-// seed kernel (locked in by tests/determinism_test.cpp).
+//     both operations are O(1) amortized.
+//   * Buckets are structure-of-arrays: the hot dequeue scan touches three
+//     dense parallel arrays (time, generation seq, assigned window — 24
+//     bytes per entry instead of a 32-byte key struct), while the cold
+//     fields (slot id, the cache-line-sized callback) sit in parallel
+//     arrays touched only on pop/cancel of that one entry.
+//   * Admission is batched: schedule() parks the event in a small staging
+//     buffer (the handle is live immediately; cancel of a staged event is
+//     O(1) via a sentinel bucket id) and the staged cohort is flushed to
+//     the calendar in bucket-grouped order right before any operation that
+//     needs the dequeue minimum. N same-epoch schedules thus amortize one
+//     capacity check + one bucket touch per target bucket instead of
+//     paying the full insert path N times.
+// Bucketing and staging affect only performance, never order: the dequeue
+// minimum is computed exactly on (time, seq), so runs are bit-for-bit
+// identical to the seed kernel (locked in by tests/determinism_test.cpp).
 //
 // Time is a double in *microseconds* throughout this codebase: the paper's
 // packet service times are hundreds of microseconds, so µs keeps the
@@ -64,8 +74,9 @@ class EventHandle {
 };
 
 /// The event calendar. Not thread-safe (the paper's model is a sequential
-/// simulation of a parallel machine; real parallelism lives in src/runtime
-/// and in core/sweep_runner, which runs independent calendars per thread).
+/// simulation of a parallel machine; real parallelism lives in src/runtime,
+/// in core/sweep_runner, and in core/parallel_sim — all of which run
+/// independent calendars per thread).
 class Simulator {
  public:
   Simulator() { initBuckets(kMinBuckets, 1.0); }
@@ -76,7 +87,9 @@ class Simulator {
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Schedules `fn` (any void() callable) to run at absolute time `at`
-  /// (>= now()). Returns a handle usable with cancel().
+  /// (>= now()). Returns a handle usable with cancel(). The event is
+  /// staged for batched admission; staging is invisible to callers
+  /// (handles are live immediately, ordering is exact).
   template <typename F>
   EventHandle schedule(SimTime at, F&& fn) {
     AFF_CHECK(at >= now_);
@@ -84,19 +97,18 @@ class Simulator {
     const std::uint32_t slot = allocSlot();
     std::uint64_t assigned = windowOf(at);
     if (assigned < cursor_) assigned = cursor_;  // competes in the current window
-    Bucket& b = buckets_[assigned & mask_];
-    if (b.keys.size() == b.keys.capacity()) b.grow();
+    if (staged_keys_.size() == staged_keys_.capacity()) growStaging();
     try {
-      b.fns.emplace_back(std::forward<F>(fn));  // constructed in place, no relocate
+      staged_fns_.emplace_back(std::forward<F>(fn));  // constructed in place
     } catch (...) {
       freeSlot(slot);
       throw;
     }
-    b.keys.push_back(Key{at, seq, assigned, slot});  // nothrow: capacity reserved
-    slots_[slot] = Slot{seq, static_cast<std::uint32_t>(assigned & mask_),
-                       static_cast<std::uint32_t>(b.keys.size() - 1)};
+    staged_keys_.push_back(StagedKey{at, seq, assigned, slot});  // nothrow: reserved
+    slots_[slot] = Slot{seq, kStagedBucket,
+                        static_cast<std::uint32_t>(staged_keys_.size() - 1)};
     ++live_;
-    if (live_ > 4 * (mask_ + 1)) rebuild();
+    if (staged_keys_.size() >= kAdmitBatch) flushAdmissions();
     return EventHandle(slot, seq);
   }
 
@@ -108,7 +120,8 @@ class Simulator {
 
   /// Cancels a pending event. Returns true if the event was pending (and is
   /// now guaranteed not to run), false if it already ran, was already
-  /// cancelled, or the handle is inert.
+  /// cancelled, or the handle is inert. Works identically on staged and
+  /// admitted events.
   bool cancel(EventHandle h) noexcept;
 
   /// Runs events with timestamp <= `until`; afterwards the clock reads
@@ -122,7 +135,7 @@ class Simulator {
   /// Executes at most one event. Returns false if none pending.
   bool step();
 
-  /// Number of pending (non-cancelled) events.
+  /// Number of pending (non-cancelled) events, staged or admitted.
   [[nodiscard]] std::size_t pendingCount() const noexcept { return live_; }
 
   /// Total events executed so far.
@@ -130,35 +143,72 @@ class Simulator {
 
  private:
   static constexpr std::size_t kMinBuckets = 16;
+  /// Staged-admission flush threshold: large enough that a burst of
+  /// same-epoch schedules (arrival batches, the run() setup loop) amortizes
+  /// the per-bucket capacity checks, small enough that the staging buffer
+  /// stays L1-resident.
+  static constexpr std::size_t kAdmitBatch = 64;
 
-  struct Key {
-    SimTime at;
-    std::uint64_t seq;       // FIFO tie-break
-    std::uint64_t assigned;  // global (un-masked) window index this entry waits in
-    std::uint32_t slot;
-  };
-  // Structure-of-arrays bucket: dequeue scans touch only the dense 32-byte
-  // keys; the cache-line-sized callbacks sit in a parallel array indexed the
-  // same way and are only touched on pop/cancel of that entry.
+  // Structure-of-arrays bucket. The dequeue scan walks at/seq/assigned only
+  // (24 dense bytes per entry); slot and the cache-line-sized callback are
+  // cold, touched only when an entry is popped, moved, or cancelled. All
+  // five arrays are kept in lockstep (grow() reserves them together so an
+  // enqueue can't be torn by a throwing callback move).
   struct Bucket {
-    std::vector<Key> keys;
+    std::vector<SimTime> at;
+    std::vector<std::uint64_t> seq;       // FIFO tie-break
+    std::vector<std::uint64_t> assigned;  // global (un-masked) window index
+    std::vector<std::uint32_t> slot;
     std::vector<EventCallback> fns;
 
-    // Grows both arrays together so an enqueue keeps keys/fns in lockstep
-    // even if a callback's move constructor throws mid-growth.
-    void grow() {
-      const std::size_t cap = std::max<std::size_t>(4, keys.capacity() * 2);
+    [[nodiscard]] std::size_t size() const noexcept { return at.size(); }
+
+    void reserveAll(std::size_t cap) {
       fns.reserve(cap);
-      keys.reserve(cap);
+      slot.reserve(cap);
+      assigned.reserve(cap);
+      seq.reserve(cap);
+      at.reserve(cap);
+    }
+
+    /// Ensures room for `extra` more entries (geometric growth).
+    void growFor(std::size_t extra) {
+      const std::size_t need = size() + extra;
+      if (need <= at.capacity() && need <= fns.capacity()) return;
+      reserveAll(std::max({need, std::size_t{4}, at.capacity() * 2}));
+    }
+
+    /// Appends one entry; all capacity must already be reserved except for
+    /// the callback, which is emplaced first so a throw leaves the arrays
+    /// in lockstep.
+    void appendReserved(SimTime t, std::uint64_t s, std::uint64_t asg, std::uint32_t sl,
+                        EventCallback&& fn) noexcept {
+      fns.push_back(std::move(fn));
+      slot.push_back(sl);
+      assigned.push_back(asg);
+      seq.push_back(s);
+      at.push_back(t);
     }
   };
   // Handle table entry: seq stamps the generation, (bucket, index) locates
-  // the event for O(1) eager cancellation. Maintained on every entry move.
+  // the event for O(1) eager cancellation. bucket == kStagedBucket means
+  // the event still sits in the admission staging buffer at `index`.
+  // Maintained on every entry move.
   struct Slot {
     std::uint64_t seq = 0;  // 0 = free
     std::uint32_t bucket = 0;
     std::uint32_t index = 0;
   };
+  // A staged (scheduled but not yet admitted) event's hot fields; the
+  // callback rides in the parallel staged_fns_ array.
+  struct StagedKey {
+    SimTime at;
+    std::uint64_t seq;
+    std::uint64_t assigned;
+    std::uint32_t slot;
+  };
+
+  static constexpr std::uint32_t kStagedBucket = ~std::uint32_t{0};
 
   [[nodiscard]] std::uint64_t windowOf(SimTime at) const noexcept {
     return static_cast<std::uint64_t>(at * inv_width_);
@@ -183,26 +233,46 @@ class Simulator {
     free_head_ = slot;
   }
 
-  /// Swap-removes bucket entry `index` (keys and callback), fixing the moved
+  void growStaging() {
+    const std::size_t cap = std::max<std::size_t>(16, staged_keys_.capacity() * 2);
+    staged_fns_.reserve(cap);
+    staged_keys_.reserve(cap);
+  }
+
+  /// Swap-removes bucket entry `index` (all five arrays), fixing the moved
   /// entry's slot.
   void removeEntry(Bucket& b, std::uint32_t bucket, std::uint32_t index) noexcept {
-    const std::uint32_t last = static_cast<std::uint32_t>(b.keys.size() - 1);
+    const std::uint32_t last = static_cast<std::uint32_t>(b.size() - 1);
     if (index != last) {
-      b.keys[index] = b.keys[last];
+      b.at[index] = b.at[last];
+      b.seq[index] = b.seq[last];
+      b.assigned[index] = b.assigned[last];
+      b.slot[index] = b.slot[last];
       b.fns[index] = std::move(b.fns[last]);
-      Slot& moved = slots_[b.keys[index].slot];
+      Slot& moved = slots_[b.slot[index]];
       moved.bucket = bucket;
       moved.index = index;
     }
-    b.keys.pop_back();
+    b.at.pop_back();
+    b.seq.pop_back();
+    b.assigned.pop_back();
+    b.slot.pop_back();
     b.fns.pop_back();
   }
+
+  /// Admits every staged event to the calendar, grouped by target bucket so
+  /// a cohort pays one capacity check per bucket. Called before any
+  /// operation that needs the dequeue minimum; a no-op when nothing is
+  /// staged. May trigger rebuild() when the live population outgrows the
+  /// ring.
+  void flushAdmissions();
 
   /// Index of the (at, seq)-minimum entry of `b` whose window has arrived
   /// (assigned == cursor_); -1 if none.
   [[nodiscard]] int minQualifying(const Bucket& b) const noexcept;
 
-  /// Smallest assigned window over all pending events (live_ must be > 0).
+  /// Smallest assigned window over all pending events (live_ must be > 0
+  /// and staging empty).
   [[nodiscard]] std::uint64_t minAssigned() const noexcept;
 
   /// Reacts to a full empty pass of the ring: jumps the cursor to the next
@@ -220,6 +290,7 @@ class Simulator {
   /// Re-buckets every pending event with a bucket count sized to the live
   /// population and a width retuned to its time span. Called on growth and
   /// on empty-year rotations (cheap and rare; amortized O(1) per event).
+  /// Requires an empty staging buffer.
   void rebuild();
 
   std::vector<Bucket> buckets_;
@@ -234,6 +305,11 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  // Batched-admission staging buffer (keys + parallel callbacks) and the
+  // scratch index array flushAdmissions() sorts to group by target bucket.
+  std::vector<StagedKey> staged_keys_;
+  std::vector<EventCallback> staged_fns_;
+  std::vector<std::uint32_t> admit_order_;
 };
 
 }  // namespace affinity

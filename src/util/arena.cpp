@@ -1,0 +1,155 @@
+#include "util/arena.hpp"
+
+#include <bit>
+#include <new>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace affinity {
+
+namespace {
+
+/// All arenas ever created, kept alive for the life of the process so that
+/// blocks can always reach their owner and totalStats() can sum counters.
+struct Registry {
+  Mutex mu;
+  std::vector<FrameArena*> arenas AFF_GUARDED_BY(mu);
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// The calling thread's arena, or null if this thread has never allocated.
+// A free-only thread (e.g. stop() reconciling a dead worker's frames) must
+// not mint an arena just to discover the block is not its own.
+thread_local FrameArena* tl_arena = nullptr;
+
+constexpr std::size_t kHeader = 16;
+
+}  // namespace
+
+FrameArena& FrameArena::local() {
+  if (tl_arena == nullptr) {
+    auto* arena = new FrameArena();
+    Registry& reg = registry();
+    MutexLock lock(reg.mu);
+    reg.arenas.push_back(arena);
+    tl_arena = arena;
+  }
+  return *tl_arena;
+}
+
+std::size_t FrameArena::classFor(std::size_t bytes) noexcept {
+  const std::size_t need = bytes < kMinClassBytes ? kMinClassBytes : bytes;
+  const auto cls = static_cast<std::size_t>(std::countr_zero(std::bit_ceil(need))) - 6;
+  AFF_CHECK(cls < kNumClasses);
+  return cls;
+}
+
+std::size_t FrameArena::capacityOf(const std::uint8_t* data) noexcept {
+  return static_cast<std::size_t>(
+      reinterpret_cast<const BlockHeader*>(data - kHeader)->capacity);
+}
+
+void FrameArena::pushFree(std::uint8_t* data, std::size_t cls) noexcept {
+  std::memcpy(data, &free_[cls], sizeof(std::uint8_t*));
+  free_[cls] = data;
+}
+
+void FrameArena::drainReturns() noexcept {
+  std::uint8_t* node = returns_.exchange(nullptr, std::memory_order_acquire);
+  while (node != nullptr) {
+    std::uint8_t* next = nullptr;
+    std::memcpy(&next, node, sizeof(next));
+    pushFree(node, classFor(capacityOf(node)));
+    node = next;
+  }
+}
+
+void FrameArena::refill(std::size_t cls) {
+  const std::size_t block_bytes = kMinClassBytes << cls;
+  const std::size_t stride = kHeader + block_bytes;
+  const std::size_t count = kSlabTargetBytes / stride != 0 ? kSlabTargetBytes / stride : 1;
+  auto* slab = static_cast<std::uint8_t*>(::operator new(count * stride));
+  slabs_.push_back(slab);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint8_t* data = slab + i * stride + kHeader;
+    *headerOf(data) = BlockHeader{this, block_bytes};
+    pushFree(data, cls);
+  }
+  slab_refills_.fetch_add(1, std::memory_order_relaxed);
+  bytes_reserved_.fetch_add(count * stride, std::memory_order_relaxed);
+}
+
+std::uint8_t* FrameArena::allocate(std::size_t bytes) {
+  AFF_CHECK(tl_arena == this);  // owner-thread-only (see class comment)
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  if (bytes > kMaxClassBytes) {
+    auto* raw = static_cast<std::uint8_t*>(::operator new(kHeader + bytes));
+    std::uint8_t* data = raw + kHeader;
+    *headerOf(data) = BlockHeader{this, bytes};
+    oversize_allocs_.fetch_add(1, std::memory_order_relaxed);
+    return data;
+  }
+  const std::size_t cls = classFor(bytes);
+  if (free_[cls] == nullptr) drainReturns();
+  if (free_[cls] == nullptr) refill(cls);
+  std::uint8_t* data = free_[cls];
+  std::memcpy(&free_[cls], data, sizeof(std::uint8_t*));
+  return data;
+}
+
+void FrameArena::deallocate(std::uint8_t* data) noexcept {
+  BlockHeader* h = headerOf(data);
+  FrameArena* owner = h->owner;
+  owner->frees_.fetch_add(1, std::memory_order_relaxed);
+  if (h->capacity > kMaxClassBytes) {
+    // Oversize blocks came straight from the global allocator; return them
+    // there from whichever thread holds them last.
+    ::operator delete(reinterpret_cast<std::uint8_t*>(h));
+    return;
+  }
+  if (owner == tl_arena) {
+    owner->pushFree(data, classFor(static_cast<std::size_t>(h->capacity)));
+    return;
+  }
+  // Remote free: push onto the owner's Treiber return stack.
+  owner->cross_thread_returns_.fetch_add(1, std::memory_order_relaxed);
+  std::uint8_t* head = owner->returns_.load(std::memory_order_relaxed);
+  do {
+    std::memcpy(data, &head, sizeof(head));
+  } while (!owner->returns_.compare_exchange_weak(head, data, std::memory_order_release,
+                                                 std::memory_order_relaxed));
+}
+
+ArenaStats FrameArena::stats() const noexcept {
+  ArenaStats s;
+  s.allocs = allocs_.load(std::memory_order_relaxed);
+  s.frees = frees_.load(std::memory_order_relaxed);
+  s.cross_thread_returns = cross_thread_returns_.load(std::memory_order_relaxed);
+  s.slab_refills = slab_refills_.load(std::memory_order_relaxed);
+  s.oversize_allocs = oversize_allocs_.load(std::memory_order_relaxed);
+  s.bytes_reserved = bytes_reserved_.load(std::memory_order_relaxed);
+  return s;
+}
+
+ArenaStats FrameArena::totalStats() {
+  Registry& reg = registry();
+  MutexLock lock(reg.mu);
+  ArenaStats total;
+  for (const FrameArena* arena : reg.arenas) {
+    const ArenaStats s = arena->stats();
+    total.allocs += s.allocs;
+    total.frees += s.frees;
+    total.cross_thread_returns += s.cross_thread_returns;
+    total.slab_refills += s.slab_refills;
+    total.oversize_allocs += s.oversize_allocs;
+    total.bytes_reserved += s.bytes_reserved;
+  }
+  return total;
+}
+
+}  // namespace affinity

@@ -1,0 +1,217 @@
+// arena.hpp — per-thread frame-buffer arena for the runtime fast path.
+//
+// The real-thread engines move one heap-allocated byte buffer per frame
+// (WorkItem::frame): submitter allocates, a worker frees — a cross-thread
+// producer/consumer pattern that global malloc serves with lock contention
+// and cache-line bouncing. FrameArena takes the allocator off that path
+// entirely (the llheap-style per-thread-heap argument): each thread owns an
+// arena with power-of-two size-class freelists (64 B .. 64 KiB), refilled
+// in slabs from ::operator new. Steady state, every allocation is a
+// freelist pop and every free a freelist push — zero global-allocator
+// calls (tests/arena_test.cpp pins this with a counting allocator).
+//
+// Cross-thread frees — the common case: a worker destroys a WorkItem whose
+// buffer the submitting thread allocated — are returned to the owning
+// arena through a lock-free Treiber stack and drained back into its
+// freelists on the owner's next allocation. Blocks above the largest size
+// class fall through to the global allocator (they never occur on the
+// frame path; real frames are ≤ 4 KiB).
+//
+// Arenas are heap-allocated on first use per thread and intentionally
+// never destroyed (a global registry keeps them reachable for stats): a
+// block may outlive its allocating thread — e.g. frames reconciled by
+// stop() after a worker was killed — so arena lifetime must exceed every
+// thread's. The cost is one arena-sized leak per thread at exit, bounded
+// and deliberate.
+//
+// FrameBuf is the owning handle the runtime uses in place of
+// std::vector<std::uint8_t>: same copy/compare/index surface where the
+// engines and tests need it, arena-backed storage underneath.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+/// Counter snapshot for one arena (or the sum over all of them). Exported
+/// as the rt.arena.* metric domain (docs/OBSERVABILITY.md).
+struct ArenaStats {
+  std::uint64_t allocs = 0;                ///< allocate() calls served
+  std::uint64_t frees = 0;                 ///< blocks returned (any thread)
+  std::uint64_t cross_thread_returns = 0;  ///< frees routed via the Treiber stack
+  std::uint64_t slab_refills = 0;          ///< freelist refills from ::operator new
+  std::uint64_t oversize_allocs = 0;       ///< > kMaxClassBytes, global fallback
+  std::uint64_t bytes_reserved = 0;        ///< total slab bytes held
+};
+
+/// A per-thread size-class allocator for frame buffers (see file comment).
+/// allocate() is owner-thread-only; deallocate() is safe from any thread.
+class FrameArena {
+ public:
+  static constexpr std::size_t kMinClassBytes = 64;
+  static constexpr std::size_t kMaxClassBytes = 64 * 1024;
+  static constexpr std::size_t kNumClasses = 11;  // 64 << 10 == 64 KiB
+  /// Target bytes fetched from the global allocator per freelist refill.
+  static constexpr std::size_t kSlabTargetBytes = 128 * 1024;
+
+  /// The calling thread's arena (created and registered on first use;
+  /// never destroyed — see file comment).
+  static FrameArena& local();
+
+  /// Returns a buffer of at least `bytes` capacity. Owner thread only.
+  [[nodiscard]] std::uint8_t* allocate(std::size_t bytes);
+
+  /// Returns `data` (from any arena's allocate, called on any thread) to
+  /// its owning arena — directly when the caller owns it, via the owner's
+  /// return stack otherwise. `data` must not be null.
+  static void deallocate(std::uint8_t* data) noexcept;
+
+  /// Usable capacity of a block returned by allocate().
+  [[nodiscard]] static std::size_t capacityOf(const std::uint8_t* data) noexcept;
+
+  /// This arena's counters.
+  [[nodiscard]] ArenaStats stats() const noexcept;
+
+  /// Sum over every arena ever created (any thread).
+  [[nodiscard]] static ArenaStats totalStats();
+
+ private:
+  // Block layout: [BlockHeader][data...]; the header is 16 bytes so data
+  // keeps max_align-compatible alignment for byte buffers. While free, the
+  // first pointer-size bytes of the data area hold the freelist link.
+  struct BlockHeader {
+    FrameArena* owner;      // allocating arena (valid forever; never destroyed)
+    std::uint64_t capacity; // usable bytes; > kMaxClassBytes marks oversize
+  };
+  static_assert(sizeof(BlockHeader) == 16);
+
+  FrameArena() = default;
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+
+  [[nodiscard]] static std::size_t classFor(std::size_t bytes) noexcept;
+  [[nodiscard]] static BlockHeader* headerOf(std::uint8_t* data) noexcept {
+    return reinterpret_cast<BlockHeader*>(data - sizeof(BlockHeader));
+  }
+  void drainReturns() noexcept;
+  void refill(std::size_t cls);
+  void pushFree(std::uint8_t* data, std::size_t cls) noexcept;
+
+  // Owner-thread-only state (no lock: one thread ever touches it).
+  std::uint8_t* free_[kNumClasses] = {};
+  std::vector<void*> slabs_;  // retained for the life of the process
+
+  // Any-thread state.
+  std::atomic<std::uint8_t*> returns_{nullptr};  // Treiber stack of remote frees
+  std::atomic<std::uint64_t> allocs_{0};
+  std::atomic<std::uint64_t> frees_{0};
+  std::atomic<std::uint64_t> cross_thread_returns_{0};
+  std::atomic<std::uint64_t> slab_refills_{0};
+  std::atomic<std::uint64_t> oversize_allocs_{0};
+  std::atomic<std::uint64_t> bytes_reserved_{0};
+};
+
+/// An arena-backed owning byte buffer — the runtime's frame type
+/// (WorkItem::frame). Mirrors the slice of the std::vector<std::uint8_t>
+/// surface the engines, fault injector, and tests use; copies allocate
+/// from the copying thread's arena.
+class FrameBuf {
+ public:
+  FrameBuf() = default;
+  // Implicit by design: frames originate as std::vector from the builders
+  // (buildUdpFrame et al.) and enter the arena at the WorkItem boundary.
+  FrameBuf(const std::vector<std::uint8_t>& bytes)  // NOLINT(google-explicit-constructor)
+      : FrameBuf(std::span<const std::uint8_t>{bytes}) {}
+  explicit FrameBuf(std::span<const std::uint8_t> bytes) { assign(bytes); }
+
+  FrameBuf(const FrameBuf& other) { assign(other.span()); }
+  FrameBuf& operator=(const FrameBuf& other) {
+    if (this != &other) assign(other.span());
+    return *this;
+  }
+  FrameBuf(FrameBuf&& other) noexcept : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  FrameBuf& operator=(FrameBuf&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ~FrameBuf() { release(); }
+
+  /// Replaces the contents (reuses the block when capacity suffices).
+  void assign(std::span<const std::uint8_t> bytes) {
+    reserve(bytes.size());
+    if (!bytes.empty()) std::memcpy(data_, bytes.data(), bytes.size());
+    size_ = bytes.size();
+  }
+  /// vector-compatible fill-assign (the chaos corpus uses it).
+  void assign(std::size_t n, std::uint8_t value) {
+    reserve(n);
+    if (n != 0) std::memset(data_, value, n);
+    size_ = n;
+  }
+
+  /// Shrinks or grows (new bytes zeroed); keeps the block when it fits.
+  void resize(std::size_t n) {
+    if (n <= size_) {
+      size_ = n;
+      return;
+    }
+    const std::size_t old = size_;
+    reserve(n);
+    std::memset(data_ + old, 0, n - old);
+    size_ = n;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] std::uint8_t* data() noexcept { return data_; }
+  [[nodiscard]] std::uint8_t& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const std::uint8_t& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  [[nodiscard]] std::span<const std::uint8_t> span() const noexcept { return {data_, size_}; }
+  // Implicit: lets FrameBuf flow into receiveFrame(span) unchanged.
+  operator std::span<const std::uint8_t>() const noexcept {  // NOLINT
+    return span();
+  }
+
+  friend bool operator==(const FrameBuf& a, const FrameBuf& b) noexcept {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+
+ private:
+  /// Ensures capacity ≥ n, preserving contents up to size_.
+  void reserve(std::size_t n) {
+    if (data_ != nullptr && FrameArena::capacityOf(data_) >= n) return;
+    std::uint8_t* grown = n != 0 ? FrameArena::local().allocate(n) : nullptr;
+    if (grown != nullptr && size_ != 0) std::memcpy(grown, data_, size_);
+    release();
+    data_ = grown;
+  }
+  void release() noexcept {
+    if (data_ != nullptr) FrameArena::deallocate(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace affinity

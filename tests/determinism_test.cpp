@@ -10,11 +10,18 @@
 // must reproduce them bit-for-bit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
 #include "core/experiment.hpp"
+#include "core/parallel_sim.hpp"
+#include "core/scenario.hpp"
 #include "core/sweep_runner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/chaos.hpp"
+#include "util/config.hpp"
 
 namespace affinity {
 namespace {
@@ -72,6 +79,110 @@ TEST(GoldenSeed, IpsWiredPoisson) {
                           601.90817884310445, 8.5590940190164808, 146.24273045090067, 0.0,
                           0.03032, 0.55425707780654576, 2.4887902646508961, 5153, 4548, 5,
                           false, 0});
+}
+
+// --------------------------------------- conservative-parallel identity ---
+//
+// SimConfig::parallel_procs shards the simulated processors across real
+// threads (core/parallel_sim, docs/PARALLEL_SIM.md). The contract is strict:
+// whatever the thread count, every RunMetrics field — floating-point stats
+// included — must be bit-identical to the serial run. Eligible IPS/wired
+// configurations exercise the real shard + commit-log-replay machinery;
+// everything else must take the serial fallback and trivially match.
+
+void expectIdenticalMetrics(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.mean_delay_us, b.mean_delay_us);
+  EXPECT_EQ(a.p50_delay_us, b.p50_delay_us);
+  EXPECT_EQ(a.p95_delay_us, b.p95_delay_us);
+  EXPECT_EQ(a.p99_delay_us, b.p99_delay_us);
+  EXPECT_EQ(a.ci95_delay_us, b.ci95_delay_us);
+  EXPECT_EQ(a.mean_service_us, b.mean_service_us);
+  EXPECT_EQ(a.mean_lock_wait_us, b.mean_lock_wait_us);
+  EXPECT_EQ(a.offered_rate_per_us, b.offered_rate_per_us);
+  EXPECT_EQ(a.throughput_per_us, b.throughput_per_us);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.mean_queue_len, b.mean_queue_len);
+  EXPECT_EQ(a.arrived, b.arrived);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.backlog_end, b.backlog_end);
+  EXPECT_EQ(a.saturated, b.saturated);
+  EXPECT_EQ(a.reclassifications, b.reclassifications);
+  EXPECT_EQ(a.steals, b.steals);
+  EXPECT_EQ(a.stolen_jobs, b.stolen_jobs);
+  EXPECT_EQ(a.flow_migrations, b.flow_migrations);
+  ASSERT_EQ(a.per_stream_mean_delay_us.size(), b.per_stream_mean_delay_us.size());
+  for (std::size_t s = 0; s < a.per_stream_mean_delay_us.size(); ++s) {
+    EXPECT_EQ(a.per_stream_mean_delay_us[s], b.per_stream_mean_delay_us[s]) << "stream " << s;
+  }
+}
+
+TEST(GoldenSeed, ParallelMatchesSerial) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(fs::path(AFF_SOURCE_ROOT) / "scenarios")) {
+    if (entry.path().extension() == ".ini") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    std::string error;
+    const auto cfg = ConfigFile::load(path.string(), &error);
+    ASSERT_TRUE(cfg.has_value()) << error;
+    auto sc = buildScenario(*cfg, &error);
+    ASSERT_TRUE(sc.has_value()) << error;
+    // Shrink long windows so the full scenario sweep stays test-sized; the
+    // identity must hold for any window.
+    sc->config.warmup_us = std::min(sc->config.warmup_us, 10'000.0);
+    sc->config.measure_us = std::min(sc->config.measure_us, 80'000.0);
+    sc->config.parallel_procs = 0;
+    const RunMetrics serial = runOnce(sc->config, sc->model, sc->streams);
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      SCOPED_TRACE(threads);
+      SimConfig pc = sc->config;
+      pc.parallel_procs = threads;
+      const RunMetrics par = runOnce(pc, sc->model, sc->streams);
+      expectIdenticalMetrics(serial, par);
+    }
+  }
+}
+
+// Guard against the gate passing vacuously: an eligible configuration must
+// actually shard onto threads, and a known-ineligible one must report why
+// it fell back.
+TEST(GoldenSeed, ParallelActuallyShards) {
+  SimConfig c = defaultSimConfig();
+  c.policy.paradigm = Paradigm::kIps;
+  c.policy.ips = IpsPolicy::kWired;
+  c.seed = 999;
+  c.warmup_us = 20'000.0;
+  c.measure_us = 150'000.0;
+  const RunMetrics serial = runOnce(c, ExecTimeModel::standard(), makePoissonStreams(16, 0.03));
+
+  c.parallel_procs = 4;
+  ParallelRunInfo pinfo;
+  const RunMetrics par =
+      runParallel(c, ExecTimeModel::standard(), makePoissonStreams(16, 0.03), &pinfo);
+  EXPECT_TRUE(pinfo.parallel) << pinfo.fallback_reason;
+  EXPECT_EQ(pinfo.shards, 4u);
+  EXPECT_GT(pinfo.epochs, 0u);
+  EXPECT_GT(pinfo.lookahead_us, 0.0);
+  expectIdenticalMetrics(serial, par);
+  // Same triple as IpsWiredPoisson above: the parallel path must reproduce
+  // the pinned golden constants too, not merely agree with today's serial.
+  EXPECT_EQ(par.mean_delay_us, 228.30822699308376);
+  EXPECT_EQ(par.utilization, 0.55425707780654576);
+
+  SimConfig locking = defaultSimConfig();
+  locking.seed = 12345;
+  locking.warmup_us = 10'000.0;
+  locking.measure_us = 50'000.0;
+  locking.parallel_procs = 4;
+  ParallelRunInfo linfo;
+  (void)runParallel(locking, ExecTimeModel::standard(), makePoissonStreams(16, 0.02), &linfo);
+  EXPECT_FALSE(linfo.parallel);
+  ASSERT_NE(linfo.fallback_reason, nullptr);
+  EXPECT_STREQ(linfo.fallback_reason, "paradigm is not ips");
 }
 
 // ------------------------------------------- steal-affinity determinism ---

@@ -1,0 +1,24 @@
+// afflint-corpus-expect: frame-arena
+#include <cstdlib>
+#include <cstdint>
+
+namespace affinity {
+
+void* grabFrameBuffer(std::size_t n) {
+  return malloc(n);  // direct malloc in the runtime tree
+}
+
+std::uint8_t* grabTypedBuffer(std::size_t n) {
+  return new std::uint8_t[n];  // raw byte-buffer new[]
+}
+
+unsigned char* grabCharBuffer(std::size_t n) {
+  return new unsigned char[n];
+}
+
+void regrow(void* p, std::size_t n) {
+  p = realloc(p, n);
+  static_cast<void>(p);
+}
+
+}  // namespace affinity

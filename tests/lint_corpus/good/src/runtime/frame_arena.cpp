@@ -1,0 +1,21 @@
+// afflint-corpus-rule: frame-arena
+#include <cstdint>
+#include <vector>
+
+#include "util/arena.hpp"
+
+namespace affinity {
+
+// Frame buffers come from the per-thread arena; identifiers merely
+// *containing* the banned words (reallocate, normalloc) must not trip.
+FrameBuf reallocateFrame(const std::vector<std::uint8_t>& bytes) {
+  FrameBuf copy = bytes;
+  return copy;
+}
+
+std::uint8_t* arenaBlock(std::size_t n) { return FrameArena::local().allocate(n); }
+
+// A non-byte new[] is fine (the rule targets packet buffers, not structs).
+double* scratchDoubles(std::size_t n) { return new double[n]; }
+
+}  // namespace affinity

@@ -232,6 +232,100 @@ TEST(Simulator, CancellationChurnStress) {
   EXPECT_LT(cancelled, recs.size());
 }
 
+// --- batched-admission edge cases -----------------------------------------
+//
+// schedule() stages events in a small buffer (flushed at 64, or before any
+// dequeue); these tests straddle that boundary on purpose: ties that span
+// staged and admitted cohorts, cancels that hit the staging buffer, and
+// calendar-year rollover with a cohort still staged.
+
+TEST(Simulator, SameTimestampOrderStableAcrossAdmissionBatches) {
+  // 200 events at one timestamp crosses the flush threshold (64) three
+  // times, so the tie cohort is split across staged and admitted storage;
+  // FIFO order must still be exactly schedule order.
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 200; ++i) sim.schedule(5.0, [&order, i] { order.push_back(i); });
+  sim.runAll();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, SameTimestampInterleavedWithEarlierEventStaysStable) {
+  // An earlier event forces a flush + dequeue while a same-time cohort is
+  // only partially staged; later same-time schedules (from inside a
+  // callback, admission-wise "fresh") must still run after earlier ones.
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.schedule(20.0, [&order, i] { order.push_back(i); });
+  sim.schedule(1.0, [&] {
+    for (int i = 10; i < 20; ++i) sim.schedule(20.0, [&order, i] { order.push_back(i); });
+  });
+  sim.runAll();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, CancelStagedEventBeforeAdmission) {
+  // Cancel fires while the event still sits in the staging buffer (no
+  // dequeue has happened since schedule), exercising the sentinel-bucket
+  // swap-remove path; the handle then stays dead.
+  Simulator sim;
+  bool ran_a = false;
+  bool ran_b = false;
+  bool ran_c = false;
+  sim.schedule(10.0, [&] { ran_a = true; });
+  EventHandle staged = sim.schedule(10.0, [&] { ran_b = true; });
+  sim.schedule(10.0, [&] { ran_c = true; });
+  EXPECT_TRUE(sim.cancel(staged));
+  EXPECT_FALSE(sim.cancel(staged));  // second cancel: already gone
+  EXPECT_EQ(sim.pendingCount(), 2u);
+  EXPECT_EQ(sim.runAll(), 2u);
+  EXPECT_TRUE(ran_a);
+  EXPECT_FALSE(ran_b);
+  EXPECT_TRUE(ran_c);
+}
+
+TEST(Simulator, CancelStagedMiddleOfBatchKeepsCohortOrder) {
+  // Swap-remove inside the staging buffer moves the *last* staged entry
+  // into the cancelled hole; execution order must still follow seq, not
+  // staging position.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 32; ++i)
+    handles.push_back(sim.schedule(5.0, [&order, i] { order.push_back(i); }));
+  for (int i = 1; i < 32; i += 2) EXPECT_TRUE(sim.cancel(handles[i]));
+  sim.runAll();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], 2 * i);
+}
+
+TEST(Simulator, EpochRolloverWithStagedCohort) {
+  // Events far enough apart that the calendar's year (bucket ring ×
+  // width) must roll over repeatedly, scheduled in bursts so whole cohorts
+  // are staged together while the cursor sits in a much earlier year.
+  Simulator sim;
+  double last = -1.0;
+  bool monotone = true;
+  std::uint64_t executed_in_order = 0;
+  const auto probe = [&] {
+    if (sim.now() < last) monotone = false;
+    last = sim.now();
+    ++executed_in_order;
+  };
+  // Burst 1: a dense cluster near t=0 (fills the initial 16-bucket ring).
+  for (int i = 0; i < 48; ++i) sim.schedule(0.5 * i, probe);
+  // Burst 2: same-size cohort many "years" out, staged in one batch.
+  for (int i = 0; i < 48; ++i) sim.schedule(100'000.0 + 0.25 * i, probe);
+  // Burst 3: between the two, scheduled after — admission order ≠ time order.
+  for (int i = 0; i < 48; ++i) sim.schedule(5'000.0 + 1.0 * i, probe);
+  sim.runAll();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(executed_in_order, 144u);
+  EXPECT_DOUBLE_EQ(sim.now(), 100'000.0 + 0.25 * 47);
+}
+
 TEST(Simulator, ManyEventsStressOrdering) {
   Simulator sim;
   Rng rng(21);

@@ -13,6 +13,7 @@
 
 #include "core/scenario.hpp"
 #include "core/experiment.hpp"
+#include "core/parallel_sim.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
@@ -61,10 +62,28 @@ int main(int argc, char** argv) {
               scenario->config.policy.describe().c_str(), scenario->config.num_procs,
               scenario->streams.count(), scenario->streams.totalRatePerUs() * 1e6);
 
+  // run.parallel scenarios go through runParallel directly so the tool can
+  // report how the run executed (sim.parallel.* gauges + a banner line);
+  // results are bit-identical either way (docs/PARALLEL_SIM.md).
+  ParallelRunInfo pinfo;
+  const bool want_parallel =
+      scenario->config.parallel_procs > 1 && !scenario->run_until_confident;
   const RunMetrics m =
       scenario->run_until_confident
           ? runUntilConfident(scenario->config, scenario->model, scenario->streams)
+      : want_parallel
+          ? runParallel(scenario->config, scenario->model, scenario->streams, &pinfo)
           : runOnce(scenario->config, scenario->model, scenario->streams);
+  if (want_parallel) {
+    if (!metrics_out.empty()) exportParallelRunInfo(pinfo, registry);
+    if (pinfo.parallel)
+      std::printf("# parallel: %u shards, %llu epochs, lookahead %.1f us%s\n", pinfo.shards,
+                  static_cast<unsigned long long>(pinfo.epochs), pinfo.lookahead_us,
+                  pinfo.replay_fallback ? " (replay fallback: serial rerun)" : "");
+    else
+      std::printf("# parallel requested but ran serial: %s\n",
+                  pinfo.fallback_reason != nullptr ? pinfo.fallback_reason : "ineligible");
+  }
 
   if (!metrics_out.empty() && !registry.writeJson(metrics_out))
     std::fprintf(stderr, "warning: could not write --metrics-out %s\n", metrics_out.c_str());

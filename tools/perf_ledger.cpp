@@ -14,13 +14,19 @@
 #include <cstdio>
 #include <ctime>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/kernel_workloads.hpp"
 #include "bench/legacy_simulator.hpp"
 #include "core/capacity.hpp"
 #include "core/experiment.hpp"
+#include "core/parallel_sim.hpp"
 #include "obs/ledger.hpp"
+#include "proto/stack.hpp"
+#include "runtime/engine.hpp"
 #include "sim/simulator.hpp"
+#include "util/arena.hpp"
 #include "util/cli.hpp"
 
 using namespace affinity;
@@ -69,6 +75,10 @@ int main(int argc, char** argv) {
   const KernelResult chain = measureKernelPair(
       "chain", reps, [&](std::uint64_t s) { return benchChain<Simulator>(n, s); },
       [&](std::uint64_t s) { return benchChain<legacy::Simulator>(n, s); });
+  const KernelResult batch = measureKernelPair(
+      "batch_admit", reps,
+      [&](std::uint64_t s) { return benchBatchAdmit<Simulator>(n, 64, s); },
+      [&](std::uint64_t s) { return benchBatchAdmit<legacy::Simulator>(n, 64, s); });
   const double guard_pct = benchGuardOverheadPct<Simulator>(n, 64, reps);
 
   // 2) Full protocol model: simulated packets per wall-second (Locking/MRU
@@ -85,6 +95,70 @@ int main(int argc, char** argv) {
   const auto sim_t0 = std::chrono::steady_clock::now();
   const RunMetrics sim_m = runOnce(sim_cfg, model, streams);
   const double sim_pkts_per_wall_s = static_cast<double>(sim_m.completed) / wallSecondsSince(sim_t0);
+
+  // 2b) Parallel sim: the exactly-decomposable IPS/Wired configuration,
+  // serial vs sharded, same seed and window. host_cores rides along because
+  // wall-clock speedup is bounded by *real* cores — on a 1-core host the
+  // parallel row honestly measures barrier/replay overhead, not a
+  // multiplier; the ≥3x target is a multi-core reading of the same row.
+  std::printf("perf_ledger: parallel sim throughput...\n");
+  const unsigned host_cores = std::max(1u, std::thread::hardware_concurrency());
+  SimConfig par_cfg = defaultSimConfig();
+  par_cfg.num_procs = 8;
+  par_cfg.policy.paradigm = Paradigm::kIps;
+  par_cfg.policy.ips = IpsPolicy::kWired;
+  par_cfg.seed = 1;
+  setAutoWindow(par_cfg, 0.03, full ? 80'000 : 15'000);
+  const auto ser_t0 = std::chrono::steady_clock::now();
+  const RunMetrics ser_m = runOnce(par_cfg, model, streams);
+  const double sim_serial_ips_pkts_per_wall_s =
+      static_cast<double>(ser_m.completed) / wallSecondsSince(ser_t0);
+  par_cfg.parallel_procs = 4;
+  ParallelRunInfo pinfo;
+  const auto par_t0 = std::chrono::steady_clock::now();
+  const RunMetrics par_m = runParallel(par_cfg, model, streams, &pinfo);
+  const double sim_parallel_pkts_per_wall_s =
+      static_cast<double>(par_m.completed) / wallSecondsSince(par_t0);
+  if (par_m.completed != ser_m.completed)
+    std::fprintf(stderr, "perf_ledger: parallel/serial completed-count mismatch!\n");
+
+  // 2c) Runtime frame path: arena allocations per frame through a
+  // steady-state LockingEngine window. The counting-allocator test
+  // (arena_test) pins the *global*-allocator count at zero; this row tracks
+  // the arena-side cost — ~1.0 means one pool hit per submitted frame.
+  std::printf("perf_ledger: arena frame path...\n");
+  double arena_alloc_calls_per_frame = 0.0;
+  {
+    EngineOptions eopts;
+    eopts.queue_capacity = 256;
+    LockingEngine eng(/*workers=*/1, HostConfig{}, eopts);
+    eng.openPort(7000, /*session_queue=*/64);
+    eng.start();
+    const std::vector<std::uint8_t> payload(64, 0x5A);
+    std::vector<std::vector<std::uint8_t>> frames;
+    for (std::uint32_t s = 0; s < 8; ++s) {
+      FrameSpec spec;
+      spec.src_port = static_cast<std::uint16_t>(3000 + s);
+      frames.push_back(buildUdpFrame(spec, payload));
+    }
+    const auto pump = [&](std::uint64_t count, std::uint64_t base) {
+      for (std::uint64_t i = 0; i < count; ++i)
+        while (!eng.submit(WorkItem{frames[i % frames.size()],
+                                    static_cast<std::uint32_t>(i % 8), {}, base + i}))
+          std::this_thread::yield();
+      while (eng.processedCount() < base + count)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    };
+    pump(4096, 0);  // warm: slabs, ring slots, scratch Packet, session ring
+    const ArenaStats arena_before = FrameArena::totalStats();
+    const std::uint64_t window = full ? 65'536 : 16'384;
+    pump(window, 4096);
+    const ArenaStats arena_after = FrameArena::totalStats();
+    eng.stop();
+    arena_alloc_calls_per_frame =
+        static_cast<double>(arena_after.allocs - arena_before.allocs) /
+        static_cast<double>(window);
+  }
 
   // 3) Fast Figure-9 capacity smoke: Locking vs IPS max sustainable rate.
   std::printf("perf_ledger: fig9 capacity smoke...\n");
@@ -103,31 +177,43 @@ int main(int argc, char** argv) {
   const CapacityResult cap_ips =
       findMaxRate(cap_cfg, model, factory, 0.002, 0.08, 1000.0, full ? 10 : 7);
 
-  char row[1024];
+  char row[2048];
   std::snprintf(
       row, sizeof row,
-      "{\"date\": \"%s\", \"mode\": \"%s\", "
+      "{\"date\": \"%s\", \"mode\": \"%s\", \"host_cores\": %u, "
       "\"kernel_hold64_eps\": %.0f, \"kernel_hold64_speedup\": %.3f, "
       "\"kernel_churn_ops\": %.0f, \"kernel_churn_speedup\": %.3f, "
       "\"kernel_chain_eps\": %.0f, \"kernel_chain_speedup\": %.3f, "
+      "\"kernel_batch_admit_eps\": %.0f, \"kernel_batch_admit_speedup\": %.3f, "
       "\"trace_guard_overhead_pct\": %.3f, "
       "\"sim_pkts_per_wall_s\": %.0f, "
+      "\"sim_serial_ips_pkts_per_wall_s\": %.0f, "
+      "\"sim_parallel_pkts_per_wall_s\": %.0f, "
+      "\"sim_parallel_threads\": %u, \"sim_parallel_engaged\": %s, "
+      "\"arena_alloc_calls_per_frame\": %.3f, "
       "\"capacity_locking_pkts_per_s\": %.0f, \"capacity_ips_pkts_per_s\": %.0f}",
-      day.c_str(), full ? "full" : "fast", hold.new_eps, hold.speedup(), churn.new_eps,
-      churn.speedup(), chain.new_eps, chain.speedup(), guard_pct, sim_pkts_per_wall_s,
-      cap_locking.max_rate_per_us * 1e6, cap_ips.max_rate_per_us * 1e6);
+      day.c_str(), full ? "full" : "fast", host_cores, hold.new_eps, hold.speedup(),
+      churn.new_eps, churn.speedup(), chain.new_eps, chain.speedup(), batch.new_eps,
+      batch.speedup(), guard_pct, sim_pkts_per_wall_s, sim_serial_ips_pkts_per_wall_s,
+      sim_parallel_pkts_per_wall_s, pinfo.shards, pinfo.parallel ? "true" : "false",
+      arena_alloc_calls_per_frame, cap_locking.max_rate_per_us * 1e6,
+      cap_ips.max_rate_per_us * 1e6);
 
   if (!obs::appendLedgerRow(path, row)) {
     std::fprintf(stderr, "perf_ledger: could not write %s\n", path.c_str());
     return 1;
   }
   std::printf("kernel hold64 %.2f Mev/s (%.2fx seed)  churn %.2f Mops/s (%.2fx)  "
-              "chain %.2f Mev/s (%.2fx)\n",
+              "chain %.2f Mev/s (%.2fx)  batch_admit %.2f Mev/s (%.2fx)\n",
               hold.new_eps / 1e6, hold.speedup(), churn.new_eps / 1e6, churn.speedup(),
-              chain.new_eps / 1e6, chain.speedup());
+              chain.new_eps / 1e6, chain.speedup(), batch.new_eps / 1e6, batch.speedup());
   std::printf("trace guard %.3f%%  sim %.0f pkts/wall-s  capacity locking %.0f / ips %.0f pkts/s\n",
               guard_pct, sim_pkts_per_wall_s, cap_locking.max_rate_per_us * 1e6,
               cap_ips.max_rate_per_us * 1e6);
+  std::printf("ips serial %.0f pkts/wall-s  parallel %.0f pkts/wall-s "
+              "(%u shards, engaged=%s, %u host cores)  arena %.3f allocs/frame\n",
+              sim_serial_ips_pkts_per_wall_s, sim_parallel_pkts_per_wall_s, pinfo.shards,
+              pinfo.parallel ? "true" : "false", host_cores, arena_alloc_calls_per_frame);
   std::printf("appended row %zu to %s\n", obs::ledgerRowCount(path), path.c_str());
   return 0;
 }
