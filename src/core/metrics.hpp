@@ -41,6 +41,16 @@ struct RunMetrics {
   /// NIC dispatch front-end (SimConfig::dispatch): FlowDirector pin moves.
   std::uint64_t flow_migrations = 0;
 
+  /// Bounded flow table (SimConfig::flow): admission ledger. Conservation
+  /// extends to arrived == completed_total + backlog + flow_shed; evictions
+  /// cost warm state (cold reload on the next packet), never packets.
+  std::uint64_t flow_inserts = 0;
+  std::uint64_t flow_hits = 0;
+  std::uint64_t flow_evictions = 0;
+  std::uint64_t flow_shed = 0;        ///< packets refused by load shedding
+  std::uint64_t flow_occupancy = 0;   ///< live entries at the end of the run
+  std::uint64_t flow_capacity = 0;    ///< fixed entry capacity (0 = disabled)
+
   /// Mean delay per stream (same order as the StreamSet), if requested.
   std::vector<double> per_stream_mean_delay_us;
 };

@@ -31,6 +31,8 @@ bool parallelEligible(const SimConfig& config, const char** reason) {
   if (config.bus_occupancy_fraction > 0.0) return fail("shared memory bus couples shards");
   if (config.observer != nullptr || config.metrics != nullptr || config.trace != nullptr)
     return fail("observation hooks see the global event order");
+  if (config.flow.enabled && config.flow.shed_enabled)
+    return fail("flow shedding reads global table occupancy");
   if (reason != nullptr) *reason = nullptr;
   return true;
 }
@@ -52,6 +54,18 @@ RunMetrics ParallelProtocolSim::run(const SimConfig& config, const ExecTimeModel
     out.fallback_reason = shards_wanted <= 1 ? "fewer than two shards" : reason;
     ProtocolSim serial(config, model, streams);
     return serial.run();
+  }
+  if (config.flow.enabled) {
+    // Each shard's flow table sees only its owned streams, which decomposes
+    // exactly only when the serial run could not have evicted either — a
+    // table smaller than the stream universe is guaranteed to evict, and
+    // eviction decisions depend on global admission order.
+    const flow::FlowTable probe(config.flow);
+    if (probe.capacity() < streams.count()) {
+      out.fallback_reason = "flow table smaller than stream universe";
+      ProtocolSim serial(config, model, streams);
+      return serial.run();
+    }
   }
   const unsigned num_shards = shards_wanted;
 
@@ -103,6 +117,20 @@ RunMetrics ParallelProtocolSim::run(const SimConfig& config, const ExecTimeModel
   std::vector<RunMetrics> sm;
   sm.reserve(num_shards);
   for (auto& s : shard) sm.push_back(s->finishRun());  // per-shard conservation
+
+  {
+    // Residual flow-table hazard: windows can overflow even below capacity
+    // (open addressing). A shard that evicted has cold-reset a stream the
+    // serial run may not have — not recoverable from the logs, so rerun.
+    std::uint64_t evictions = 0;
+    for (const auto& r : sm) evictions += r.flow_evictions;
+    if (evictions > 0) {
+      out.replay_fallback = true;
+      out.fallback_reason = "flow eviction in shard mode";
+      ProtocolSim serial(config, model, streams);
+      return serial.run();
+    }
+  }
 
   // --- replay the merged commit logs in virtual-time order ----------------
   // Shard logs are individually time-sorted (operations log at execution
@@ -199,6 +227,9 @@ RunMetrics ParallelProtocolSim::run(const SimConfig& config, const ExecTimeModel
   std::uint64_t stolen = 0;
   std::uint64_t migrations = 0;
   std::uint64_t reclass = 0;
+  std::uint64_t flow_inserts = 0;
+  std::uint64_t flow_hits = 0;
+  std::uint64_t flow_occupancy = 0;
   for (unsigned i = 0; i < num_shards; ++i) {
     hist.merge(shard[i]->delay_hist_);  // bin counts sum exactly
     arrived += sm[i].arrived;
@@ -209,6 +240,11 @@ RunMetrics ParallelProtocolSim::run(const SimConfig& config, const ExecTimeModel
     stolen += sm[i].stolen_jobs;
     migrations += sm[i].flow_migrations;
     reclass += sm[i].reclassifications;
+    // Streams partition across shards, so per-stream table state sums
+    // exactly; capacity is a config constant, not a sum.
+    flow_inserts += sm[i].flow_inserts;
+    flow_hits += sm[i].flow_hits;
+    flow_occupancy += sm[i].flow_occupancy;
   }
 
   RunMetrics m;
@@ -231,6 +267,10 @@ RunMetrics ParallelProtocolSim::run(const SimConfig& config, const ExecTimeModel
   m.steals = steals;
   m.stolen_jobs = stolen;
   m.flow_migrations = migrations;
+  m.flow_inserts = flow_inserts;
+  m.flow_hits = flow_hits;
+  m.flow_occupancy = flow_occupancy;
+  m.flow_capacity = sm.empty() ? 0 : sm[0].flow_capacity;
   const std::uint64_t floor = 6ull * config.num_procs;
   m.saturated = backlog_end > floor && backlog_mid > config.num_procs &&
                 2 * backlog_end > 3 * backlog_mid;

@@ -44,6 +44,7 @@ ProtocolSim::ProtocolSim(SimConfig config, const ExecTimeModel& model, const Str
     stacks_by_proc_[k % config_.num_procs].push_back(k);
 
   if (config_.per_stream_stats) per_stream_delay_.resize(num_streams);
+  if (config_.flow.enabled) flow_table_ = std::make_unique<flow::FlowTable>(config_.flow);
   initObservability();
 }
 
@@ -238,6 +239,25 @@ int ProtocolSim::chooseIdleForStack(std::uint32_t stack) {
 void ProtocolSim::arrivePacket(std::uint32_t stream) {
   ++arrived_;
   if (obs_on_) hooks_.arrived->inc();
+  if (flow_table_ != nullptr) {
+    // Charge the bounded flow table before any scheduling decision. The sim
+    // is single-threaded and consumes state synchronously, so the in-flight
+    // count is released immediately — the table here models *state*
+    // retention, not frame custody (the runtime engines do both).
+    const auto r = flow_table_->admit(stream);
+    if (r.status == flow::AdmitResult::Status::kShed) {
+      // Refused outright: the packet never enters a queue. Conservation
+      // extends to arrived == completed + backlog + flow_shed.
+      ++flow_shed_;
+      return;
+    }
+    flow_table_->release(stream, r.gen);
+    if (r.evicted && r.victim_key != flow::AdmitResult::kNoVictim) {
+      // The victim's per-flow state is gone: its next packet pays the full
+      // cold-reload transient wherever it lands.
+      affinity_.forgetStream(r.victim_key);
+    }
+  }
   const double now = sim_.now();
   if (usesLocking(stream)) {
     if (wiredLocking()) {
@@ -646,8 +666,9 @@ void ProtocolSim::beginRun() {
 }
 
 RunMetrics ProtocolSim::finishRun() {
-  // Conservation: every arrived packet is either done or still in the system.
-  AFF_CHECK(arrived_ == completed_total_ + backlogNow());
+  // Conservation: every arrived packet is done, still in the system, or was
+  // refused by the flow-table shedding layer (never silently lost).
+  AFF_CHECK(arrived_ == completed_total_ + backlogNow() + flow_shed_);
 
   RunMetrics m;
   m.mean_delay_us = delay_.mean();
@@ -668,6 +689,15 @@ RunMetrics ProtocolSim::finishRun() {
   m.steals = steals_;
   m.stolen_jobs = stolen_jobs_;
   m.flow_migrations = nic_wired_.stats().migrations + nic_stack_.stats().migrations;
+  if (flow_table_ != nullptr) {
+    const auto fs = flow_table_->stats();
+    m.flow_inserts = fs.inserts;
+    m.flow_hits = fs.hits;
+    m.flow_evictions = fs.evictions();
+    m.flow_shed = flow_shed_;
+    m.flow_occupancy = fs.occupancy;
+    m.flow_capacity = fs.capacity;
+  }
   // Saturated: the backlog kept growing through the second half of the
   // window (allowing for stochastic noise around a modest level).
   const std::uint64_t floor = 6ull * config_.num_procs;
@@ -698,6 +728,15 @@ void ProtocolSim::exportRunMetrics(const RunMetrics& m) {
   reg.counter("sim.hybrid.reclassifications").inc(reclassifications_);
   reg.counter("sim.net.dispatch.pins").inc(nic_wired_.stats().pins + nic_stack_.stats().pins);
   reg.counter("sim.net.dispatch.migrations").inc(m.flow_migrations);
+  if (flow_table_ != nullptr) {
+    // Bounded flow table (docs/OBSERVABILITY.md, sim.flow.*).
+    reg.counter("sim.flow.inserts").inc(m.flow_inserts);
+    reg.counter("sim.flow.hits").inc(m.flow_hits);
+    reg.counter("sim.flow.evicted").inc(m.flow_evictions);
+    reg.counter("sim.flow.shed").inc(m.flow_shed);
+    reg.meanStat("sim.flow.occupancy").add(static_cast<double>(m.flow_occupancy));
+    reg.meanStat("sim.flow.capacity").add(static_cast<double>(m.flow_capacity));
+  }
   for (unsigned p = 0; p < config_.num_procs; ++p) {
     const std::string base = "sim.proc." + std::to_string(p);
     reg.meanStat(base + ".queue_depth_avg").add(proc_queue_tw_[p].average(end_time_));

@@ -18,10 +18,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "cache/exec_time.hpp"
 #include "core/metrics.hpp"
+#include "flow/flow_table.hpp"
 #include "net/dispatch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -150,6 +152,18 @@ struct SimConfig {
   /// cold-reload transients for the migrated footprint.
   double steal_penalty_us = 5.0;
 
+  // --- bounded flow state (docs/ROBUSTNESS.md) -----------------------------
+  /// Per-flow state table: bounded replacement for the implicit "one state
+  /// record per stream forever" assumption. Admission is charged on every
+  /// arrival; an eviction cold-resets the victim stream's affinity state
+  /// (the performance cost of losing its footprint) and, when shedding is
+  /// armed (flow.shed_enabled), new-flow arrivals can be refused outright
+  /// under occupancy pressure — those packets extend the conservation
+  /// equation: arrived == completed + backlog + flow_shed. The default
+  /// budget is sized to never evict at paper-scale stream counts, so every
+  /// golden figure is unchanged with the table on.
+  flow::FlowTableConfig flow;
+
   /// Effective stack count under IPS/Hybrid (ips_stacks or one per proc).
   [[nodiscard]] unsigned effectiveStacks() const noexcept {
     return policy.ips_stacks != 0 ? policy.ips_stacks : num_procs;
@@ -277,6 +291,12 @@ class ProtocolSim {
   net::NicDispatcher nic_stack_;
   std::uint64_t steals_ = 0;
   std::uint64_t stolen_jobs_ = 0;
+  // Bounded flow state (null when config_.flow.enabled is false). Single
+  // writer (the event loop), so admissions are deterministic; in shard mode
+  // each shard's table sees only its owned streams, which decomposes
+  // exactly when no eviction or shedding can occur (parallel_sim gates).
+  std::unique_ptr<flow::FlowTable> flow_table_;
+  std::uint64_t flow_shed_ = 0;  ///< arrivals refused by the shedding layer
   Rng dispatch_rng_;
   std::vector<Rng> stream_rngs_;
   std::vector<std::uint8_t> uses_locking_;  ///< per stream (paradigm/hybrid)

@@ -120,6 +120,14 @@ bool parseWorkload(const ConfigFile& cfg, StreamSet& out, std::string* error) {
     if (hot == 0 || hot >= streams) return fail(error, "workload.hot must be in (0, streams)");
     out = makeHotColdStreams(hot, streams - hot, rate,
                              cfg.getDouble("workload.hot_share", 0.5));
+  } else if (type == "zipf") {
+    const double alpha = cfg.getDouble("workload.zipf_alpha", 1.0);
+    if (alpha < 0.0) return fail(error, "workload.zipf_alpha must be >= 0");
+    out = makeZipfStreams(streams, rate, alpha);
+  } else if (type == "churn") {
+    const double span = cfg.getDouble("workload.churn_span_us", 1'000'000.0);
+    if (span < 0.0) return fail(error, "workload.churn_span_us must be >= 0");
+    out = makeChurnStreams(streams, rate, span);
   } else if (type == "trace") {
     const std::string path = cfg.getString("workload.trace_file", "");
     if (path.empty()) return fail(error, "workload.type=trace requires workload.trace_file");
@@ -130,6 +138,26 @@ bool parseWorkload(const ConfigFile& cfg, StreamSet& out, std::string* error) {
   } else {
     return fail(error, "unknown workload.type '" + type + "'");
   }
+  return true;
+}
+
+bool parseFlow(const ConfigFile& cfg, SimConfig& out, std::string* error) {
+  out.flow.enabled = cfg.getBool("flow.enabled", out.flow.enabled);
+  out.flow.budget_bytes = static_cast<std::size_t>(
+      cfg.getInt("flow.budget_bytes", static_cast<std::int64_t>(out.flow.budget_bytes)));
+  out.flow.shards = static_cast<unsigned>(cfg.getInt("flow.shards", out.flow.shards));
+  const std::string policy = cfg.getString("flow.policy", "lru");
+  if (!flow::parseEvictPolicy(policy, &out.flow.policy))
+    return fail(error, "unknown flow.policy '" + policy + "'");
+  out.flow.shed_enabled = cfg.getBool("flow.shed", out.flow.shed_enabled);
+  out.flow.shed_high_water = cfg.getDouble("flow.high_water", out.flow.shed_high_water);
+  out.flow.shed_low_water = cfg.getDouble("flow.low_water", out.flow.shed_low_water);
+  out.flow.shed_admit_fraction =
+      cfg.getDouble("flow.admit_fraction", out.flow.shed_admit_fraction);
+  out.flow.seed = static_cast<std::uint64_t>(
+      cfg.getInt("flow.seed", static_cast<std::int64_t>(out.flow.seed)));
+  if (out.flow.shed_high_water < out.flow.shed_low_water)
+    return fail(error, "flow.high_water must be >= flow.low_water");
   return true;
 }
 
@@ -150,6 +178,7 @@ std::optional<Scenario> buildScenario(const ConfigFile& cfg, std::string* error)
   if (!parseModel(cfg, s.model, error)) return std::nullopt;
   if (!parseWorkload(cfg, s.streams, error)) return std::nullopt;
   if (!parsePolicy(cfg, s.config, error)) return std::nullopt;
+  if (!parseFlow(cfg, s.config, error)) return std::nullopt;
 
   s.config.seed = static_cast<std::uint64_t>(cfg.getInt("run.seed", 1));
   s.config.warmup_us = cfg.getDouble("run.warmup_us", 200'000.0);

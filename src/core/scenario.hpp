@@ -11,12 +11,16 @@
 //              bus_occupancy
 //   [model]    profile = udp-receive | udp-send | tcp-receive;
 //              t_warm_us / dl1_us / dl2_us overrides
-//   [workload] type = poisson | batch | train | hotcold | trace;
-//              streams, rate_pkts_per_s, batch, geometric, train_len,
-//              intercar_gap_us, hot, hot_share, trace_file
+//   [workload] type = poisson | batch | train | hotcold | zipf | churn |
+//              trace; streams, rate_pkts_per_s, batch, geometric, train_len,
+//              intercar_gap_us, hot, hot_share, zipf_alpha, churn_span_us,
+//              trace_file
 //   [policy]   paradigm = locking | ips | hybrid; locking = fcfs | mru |
 //              stream-mru | wired-streams; ips = random | mru | wired;
 //              stacks, adaptive, hybrid_locking_streams = 0,1,2
+//   [flow]     enabled, budget_bytes, shards, policy = lru | fifo | random |
+//              direct; shed, high_water, low_water, admit_fraction, seed
+//              (bounded flow-state table — docs/ROBUSTNESS.md)
 //   [run]      seed, warmup_us, measure_us, v_us, per_stream, confident,
 //              parallel (conservative-parallel thread count, 0 = serial;
 //              bit-identical results either way — docs/PARALLEL_SIM.md)

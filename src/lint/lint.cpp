@@ -182,15 +182,16 @@ const std::map<std::string, std::set<std::string>>& layerDeps() {
       {"sim", {"util"}},
       {"cache", {"util"}},
       {"proto", {"util"}},
+      {"flow", {"util"}},
       {"cachesim", {"cache", "util"}},
       {"sched", {"cache", "util"}},
-      {"workload", {"proto", "util"}},
+      {"workload", {"net", "proto", "util"}},
       {"analytic", {"cache", "sched", "stats", "util"}},
       {"lint", {"obs", "util"}},
-      {"runtime", {"net", "obs", "proto", "stats", "util", "workload"}},
+      {"runtime", {"flow", "net", "obs", "proto", "stats", "util", "workload"}},
       {"core",
-       {"analytic", "cache", "cachesim", "net", "obs", "proto", "sched", "sim", "stats", "util",
-        "workload"}},
+       {"analytic", "cache", "cachesim", "flow", "net", "obs", "proto", "sched", "sim", "stats",
+        "util", "workload"}},
   };
   return kDeps;
 }
@@ -200,13 +201,13 @@ const std::map<std::string, std::set<std::string>>& layerDeps() {
 const std::set<std::string>& simPathDirs() {
   static const std::set<std::string> kDirs = {"sim",      "cache", "cachesim", "proto",
                                               "workload", "sched", "analytic", "stats",
-                                              "util",     "net"};
+                                              "util",     "net",   "flow"};
   return kDirs;
 }
 
 /// Trees whose locking must go through the annotated aff primitives.
 const std::set<std::string>& annotatedDirs() {
-  static const std::set<std::string> kDirs = {"runtime", "obs", "core", "lint", "net"};
+  static const std::set<std::string> kDirs = {"runtime", "obs", "core", "lint", "net", "flow"};
   return kDirs;
 }
 
@@ -399,6 +400,29 @@ void ruleFrameArena(const FileCtx& ctx) {
   }
 }
 
+/// State held per flow on the frame path must live in bounded structures
+/// (src/flow's fixed-budget FlowTable) so adversarial flow churn cannot
+/// exhaust memory — the PR 7 invariant (docs/ROBUSTNESS.md). Node-based
+/// std:: maps grow without limit and allocate per insert, so they are
+/// banned in the runtime tree outright; control-plane uses (a map keyed
+/// by worker id, say) are bounded by construction and may state so with
+/// `afflint: allow(bounded-state)` plus a reason.
+void ruleBoundedState(const FileCtx& ctx) {
+  if (srcSubdir(ctx.path) != "runtime") return;
+  static const char* kBanned[] = {"std::unordered_map", "std::map", "std::multimap",
+                                  "std::unordered_multimap"};
+  for (std::size_t i = 0; i < ctx.v.code.size(); ++i) {
+    for (const char* token : kBanned) {
+      if (containsToken(ctx.v.code[i], token)) {
+        ctx.report(i, "bounded-state",
+                   std::string(token) + " in src/runtime grows without bound under flow churn; "
+                                        "keep per-flow state in the fixed-budget FlowTable "
+                                        "(flow/flow_table.hpp, docs/ROBUSTNESS.md)");
+      }
+    }
+  }
+}
+
 void ruleGuardedMutex(const FileCtx& ctx) {
   if (srcSubdir(ctx.path).empty()) return;
   static const std::regex kDecl(
@@ -428,10 +452,10 @@ void ruleGuardedMutex(const FileCtx& ctx) {
 // ----------------------------------------------------------------- public
 
 const std::vector<std::string>& ruleNames() {
-  static const std::vector<std::string> kRules = {"metric-name", "nondeterminism",
-                                                  "proto-check", "layering",
-                                                  "raw-mutex",   "guarded-mutex",
-                                                  "frame-arena"};
+  static const std::vector<std::string> kRules = {"metric-name",   "nondeterminism",
+                                                  "proto-check",   "layering",
+                                                  "raw-mutex",     "guarded-mutex",
+                                                  "frame-arena",   "bounded-state"};
   return kRules;
 }
 
@@ -481,6 +505,7 @@ std::vector<Finding> lintFile(const std::string& rel_path, const std::string& co
   ruleRawMutex(ctx);
   ruleGuardedMutex(ctx);
   ruleFrameArena(ctx);
+  ruleBoundedState(ctx);
   return out;
 }
 

@@ -1,7 +1,7 @@
 // lint.hpp — afflint: repo-specific invariant checks that generic static
 // analysis cannot express (docs/STATIC_ANALYSIS.md).
 //
-// Six rules, each scoped to the part of the tree where its invariant holds:
+// The rules, each scoped to the part of the tree where its invariant holds:
 //
 //   metric-name    — string literals registered with obs::MetricsRegistry
 //                    follow the docs/OBSERVABILITY.md naming scheme
@@ -25,6 +25,13 @@
 //                    least one AFF_GUARDED_BY / AFF_PT_GUARDED_BY /
 //                    AFF_REQUIRES in the same file: a mutex that guards
 //                    nothing on record guards nothing in review.
+//   frame-arena    — no malloc-family calls or raw byte-buffer new[] in
+//                    src/runtime: the steady-state frame path allocates
+//                    through FrameArena/FrameBuf only (util/arena.hpp).
+//   bounded-state  — no node-based std:: maps (unordered_map, map, ...)
+//                    in src/runtime: per-flow state on the frame path must
+//                    live in the fixed-budget FlowTable so adversarial flow
+//                    churn cannot exhaust memory (docs/ROBUSTNESS.md).
 //
 // Comments and string literals are stripped before token rules run, so
 // writing about a banned primitive is fine; using one is not. A line (or

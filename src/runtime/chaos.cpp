@@ -13,7 +13,9 @@ OverloadPolicy parseOverloadPolicy(const std::string& name) {
   if (name == "block") return OverloadPolicy::kBlock;
   if (name == "reject-newest") return OverloadPolicy::kRejectNewest;
   if (name == "drop-oldest") return OverloadPolicy::kDropOldest;
-  AFF_CHECK(false && "unknown overload policy (block|reject-newest|drop-oldest)");
+  if (name == "shed-new-flows") return OverloadPolicy::kShedNewFlows;
+  AFF_CHECK(false &&
+            "unknown overload policy (block|reject-newest|drop-oldest|shed-new-flows)");
   return OverloadPolicy::kBlock;
 }
 
@@ -32,6 +34,13 @@ ChaosReport runWith(EngineKind kind, const ChaosConfig& cfg) {
   // Independent randomness for faults so changing fault rates never
   // perturbs the generated traffic.
   FaultInjector injector(cfg.seed ^ 0x5DEECE66DULL, cfg.faults);
+  // Adversarial stream selection: a pure function of the submission index,
+  // so it perturbs neither fault randomness nor frame bytes.
+  AdversaryOptions adv_opts = cfg.adversary;
+  adv_opts.streams = cfg.streams;
+  adv_opts.seed = cfg.seed;
+  if (adv_opts.collision_buckets == 0) adv_opts.collision_buckets = cfg.workers;
+  const AdversaryPattern adversary(adv_opts);
 
   Engine engine(cfg.workers, HostConfig{}, cfg.engine);
   engine.openPort(corpus.dstPort(), /*session_queue=*/4096);
@@ -60,7 +69,7 @@ ChaosReport runWith(EngineKind kind, const ChaosConfig& cfg) {
                        cfg.stall_worker % cfg.workers);
     }
 
-    const auto stream = static_cast<std::uint32_t>(i % cfg.streams);
+    const std::uint32_t stream = adversary.streamAt(i);
     // seq = generation index: globally (hence per-stream) monotonic, so
     // the ordering tests can audit delivery order of chaos traffic too.
     WorkItem item{corpus.frame(stream, i), stream, {}, i};
@@ -81,6 +90,7 @@ ChaosReport runWith(EngineKind kind, const ChaosConfig& cfg) {
   if (cfg.metrics != nullptr) {
     const std::string prefix = std::string("chaos.") + engineKindName(kind);
     exportEngineStats(rep.stats, *cfg.metrics, prefix);
+    exportFlowStats(rep.stats, *cfg.metrics, prefix + ".flow");
     auto& reg = *cfg.metrics;
     const auto g = [&](const char* leaf, std::uint64_t v) {
       reg.gauge(prefix + ".faults." + leaf).set(static_cast<double>(v));
@@ -133,11 +143,23 @@ std::string ChaosReport::describe() const {
      << " duplicates=" << faults.duplicates << " reordered=" << faults.reordered << "\n"
      << "  submitted            " << stats.submitted << "\n"
      << "  rejected             " << stats.rejected << " (queue_full=" << stats.rejected_queue_full
-     << " stopped=" << stats.rejected_stopped << ")\n"
+     << " stopped=" << stats.rejected_stopped << " shed=" << stats.rejected_shed << ")\n"
      << "  delivered            " << stats.delivered << "\n"
      << "  dropped_oldest       " << stats.dropped_oldest << "\n"
      << "  worker_failures      " << stats.worker_failures << "\n"
      << "  rehomed              " << stats.rehomed << "\n";
+  if (stats.flow_capacity != 0) {
+    os << "  flow table           occupancy=" << stats.flow_occupancy << "/"
+       << stats.flow_capacity << " inserts=" << stats.flow_inserts
+       << " hits=" << stats.flow_hits << "\n"
+       << "  evicted_inflight     " << stats.evicted_inflight
+       << " (consumed=" << stats.evicted_consumed << ")\n";
+    for (std::size_t r = 0; r < stats.evicted_by_reason.size(); ++r) {
+      if (stats.evicted_by_reason[r] == 0) continue;
+      os << "  evicted[" << flow::evictReasonName(static_cast<flow::EvictReason>(r))
+         << "] = " << stats.evicted_by_reason[r] << "\n";
+    }
+  }
   if (stats.steals != 0 || stats.stolen != 0)
     os << "  steals               " << stats.steals << " (" << stats.stolen << " frames)\n";
   if (stats.nic_pins != 0 || stats.nic_migrations != 0)
@@ -170,6 +192,26 @@ ChaosConfig loadChaosConfig(const ConfigFile& file) {
   cfg.stall_duration =
       std::chrono::milliseconds(file.getInt("chaos.stall_ms", cfg.stall_duration.count()));
 
+  const std::string workload =
+      file.getString("chaos.workload", adversaryKindName(cfg.adversary.kind));
+  AFF_CHECK(parseAdversaryKind(workload, &cfg.adversary.kind) &&
+            "unknown chaos.workload (none|zipf|churn|flash|collision)");
+  cfg.adversary.zipf_alpha = file.getDouble("chaos.zipf_alpha", cfg.adversary.zipf_alpha);
+  cfg.adversary.churn_period = static_cast<std::uint64_t>(
+      file.getInt("chaos.churn_period", static_cast<std::int64_t>(cfg.adversary.churn_period)));
+  cfg.adversary.churn_active =
+      static_cast<std::uint32_t>(file.getInt("chaos.churn_active", cfg.adversary.churn_active));
+  cfg.adversary.flash_period = static_cast<std::uint64_t>(
+      file.getInt("chaos.flash_period", static_cast<std::int64_t>(cfg.adversary.flash_period)));
+  cfg.adversary.flash_len = static_cast<std::uint64_t>(
+      file.getInt("chaos.flash_len", static_cast<std::int64_t>(cfg.adversary.flash_len)));
+  cfg.adversary.flash_hot =
+      static_cast<std::uint32_t>(file.getInt("chaos.flash_hot", cfg.adversary.flash_hot));
+  cfg.adversary.collision_buckets = static_cast<unsigned>(
+      file.getInt("chaos.collision_buckets", cfg.adversary.collision_buckets));
+  cfg.adversary.collision_fraction =
+      file.getDouble("chaos.collision_fraction", cfg.adversary.collision_fraction);
+
   cfg.engine.queue_capacity =
       static_cast<std::size_t>(file.getInt("engine.queue_capacity",
                                            static_cast<std::int64_t>(cfg.engine.queue_capacity)));
@@ -189,6 +231,24 @@ ChaosConfig loadChaosConfig(const ConfigFile& file) {
   cfg.engine.steal = file.getBool("engine.steal", cfg.engine.steal);
   cfg.engine.steal_batch =
       static_cast<unsigned>(file.getInt("engine.steal_batch", cfg.engine.steal_batch));
+
+  cfg.engine.flow.enabled = file.getBool("engine.flow_enabled", cfg.engine.flow.enabled);
+  cfg.engine.flow.budget_bytes = static_cast<std::size_t>(file.getInt(
+      "engine.flow_budget_bytes", static_cast<std::int64_t>(cfg.engine.flow.budget_bytes)));
+  cfg.engine.flow.shards =
+      static_cast<unsigned>(file.getInt("engine.flow_shards", cfg.engine.flow.shards));
+  const std::string evict = file.getString("engine.flow_policy",
+                                           flow::evictPolicyName(cfg.engine.flow.policy));
+  AFF_CHECK(flow::parseEvictPolicy(evict, &cfg.engine.flow.policy) &&
+            "unknown engine.flow_policy (lru|fifo|random|direct)");
+  cfg.engine.flow.shed_high_water =
+      file.getDouble("engine.flow_high_water", cfg.engine.flow.shed_high_water);
+  cfg.engine.flow.shed_low_water =
+      file.getDouble("engine.flow_low_water", cfg.engine.flow.shed_low_water);
+  cfg.engine.flow.shed_admit_fraction =
+      file.getDouble("engine.flow_admit_fraction", cfg.engine.flow.shed_admit_fraction);
+  cfg.engine.flow.seed = static_cast<std::uint64_t>(
+      file.getInt("engine.flow_seed", static_cast<std::int64_t>(cfg.engine.flow.seed)));
   return cfg;
 }
 

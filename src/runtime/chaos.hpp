@@ -6,6 +6,11 @@
 //   generated == injector.emitted + injector.dropped - injector.duplicates
 //   injector.emitted == engine.submitted + engine.rejected
 //   engine.submitted == delivered + Σ dropped_by_reason + dropped_oldest
+//                       + Σ evicted_inflight
+//
+// (engine.rejected includes rejected_shed, the flow table's load-shedding
+// refusals; evicted_inflight are frames orphaned in-queue by a flow
+// eviction — see runtime/engine.hpp and docs/ROBUSTNESS.md.)
 //
 // A run "conserves" iff every link holds exactly at shutdown — no frame is
 // ever lost without a counter naming why. Used by tools/chaos_soak and the
@@ -18,6 +23,7 @@
 #include "obs/metrics.hpp"
 #include "runtime/fault_injector.hpp"
 #include "util/config.hpp"
+#include "workload/adversary.hpp"
 
 namespace affinity {
 
@@ -36,6 +42,12 @@ struct ChaosConfig {
   std::uint32_t streams = 16;
   FaultRates faults;
   EngineOptions engine;  ///< watchdog enabled by default for chaos runs
+
+  /// Adversarial stream-selection pattern (workload/adversary.hpp). The
+  /// harness overrides .streams and .seed from this config, and resolves
+  /// collision_buckets = workers when left 0; kNone keeps the historical
+  /// round-robin traffic bit-for-bit.
+  AdversaryOptions adversary;
 
   // Scheduled worker faults (submit-index triggers; 0 = disabled).
   std::uint64_t kill_at = 0;

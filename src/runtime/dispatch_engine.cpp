@@ -34,6 +34,8 @@ DispatchEngine::DispatchEngine(unsigned workers, DispatchPolicy policy, HostConf
 
 void DispatchEngine::openPort(std::uint16_t port, std::size_t session_queue) {
   AFF_CHECK(!started_);
+  // The flow table's memory budget is fixed here, before any traffic.
+  flow_.materialize(options_.flow, options_.overload == OverloadPolicy::kShedNewFlows);
   MutexLock lock(stack_mu_);  // uncontended pre-start; keeps the annotation exact
   stack_.open(port, session_queue);
 }
@@ -67,6 +69,9 @@ void DispatchEngine::start() {
 }
 
 void DispatchEngine::runFrame(unsigned w, const WorkItem& item) {
+  // Orphaned by a flow eviction while queued: already on the
+  // evicted_inflight ledger; consume without processing.
+  if (!flow_.release(item)) return;
   PerWorker& pw = per_worker_[w];
   const double t0 = trace_ != nullptr ? trace_->steadyNowUs() : 0.0;
   ReceiveContext ctx;
@@ -146,6 +151,10 @@ bool DispatchEngine::submit(WorkItem item) {
     rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  // Flow admission first: a shed frame must never touch a queue. Depth of
+  // the routed queue is only observable in steal mode (MPMC); occupancy is
+  // the shed-pressure signal otherwise.
+  if (!flow_.admit(item)) return false;
   item.enqueue_tp = std::chrono::steady_clock::now();
   unsigned w = route(item.stream);
   // MRU spill: if the preferred worker's ring is full, advance to the next
@@ -175,20 +184,26 @@ bool DispatchEngine::submit(WorkItem item) {
       return true;
     }
     if (!intake_open_.load(std::memory_order_acquire)) {
+      flow_.release(item);  // never entered a queue; take it off the flow ledger
       rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     const bool swept_all = wired || attempts >= workers_;
     if (swept_all && options_.overload == OverloadPolicy::kDropOldest && options_.steal) {
-      // MPMC queues (steal mode) do allow eviction by the submitter.
+      // MPMC queues (steal mode) do allow eviction by the submitter. A
+      // victim whose flow was already evicted stays on the evicted_inflight
+      // ledger instead of dropped_oldest (never both).
       WorkItem victim;
-      if (pw.queue->tryPop(victim)) dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
+      if (pw.queue->tryPop(victim) && flow_.release(victim))
+        dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
     } else if (swept_all && options_.overload != OverloadPolicy::kBlock) {
+      flow_.release(item);
       rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
       return false;
     } else if (swept_all &&
                (std::chrono::steady_clock::now() >= deadline || !queueDrainable(w, wired))) {
       // kBlock: wait only while a consumer can still reach this queue.
+      flow_.release(item);
       rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
@@ -258,6 +273,7 @@ EngineStats DispatchEngine::stats() const {
     s.latency_p50_us = merged.quantile(0.50);
     s.latency_p99_us = merged.quantile(0.99);
   }
+  flow_.mergeInto(s);
   return s;
 }
 

@@ -123,6 +123,7 @@ class DispatchEngine {
   // stack_mu_; the dispatch policies differ only in cache placement.
   Mutex stack_mu_;
   ProtocolStack stack_ AFF_GUARDED_BY(stack_mu_);
+  FlowFrontEnd flow_;
   std::vector<PerWorker> per_worker_;
   WorkerPool pool_;
   std::atomic<bool> intake_open_{false};

@@ -43,6 +43,8 @@ const char* overloadPolicyName(OverloadPolicy p) noexcept {
       return "reject-newest";
     case OverloadPolicy::kDropOldest:
       return "drop-oldest";
+    case OverloadPolicy::kShedNewFlows:
+      return "shed-new-flows";
   }
   return "?";
 }
@@ -61,6 +63,7 @@ void exportEngineStats(const EngineStats& s, obs::MetricsRegistry& reg,
   g("rejected", static_cast<double>(s.rejected));
   g("rejected_queue_full", static_cast<double>(s.rejected_queue_full));
   g("rejected_stopped", static_cast<double>(s.rejected_stopped));
+  g("rejected_shed", static_cast<double>(s.rejected_shed));
   g("dropped_oldest", static_cast<double>(s.dropped_oldest));
   g("processed", static_cast<double>(s.processed));
   g("delivered", static_cast<double>(s.delivered));
@@ -82,6 +85,26 @@ void exportEngineStats(const EngineStats& s, obs::MetricsRegistry& reg,
   for (std::size_t w = 0; w < s.per_worker_processed.size(); ++w) {
     reg.gauge(prefix + ".worker." + std::to_string(w) + ".processed")
         .set(static_cast<double>(s.per_worker_processed[w]));
+  }
+}
+
+void exportFlowStats(const EngineStats& s, obs::MetricsRegistry& reg,
+                     const std::string& prefix) {
+  const auto g = [&](const char* leaf, std::uint64_t v) {
+    reg.gauge(prefix + "." + leaf).set(static_cast<double>(v));
+  };
+  g("inserts", s.flow_inserts);
+  g("hits", s.flow_hits);
+  g("occupancy", s.flow_occupancy);
+  g("capacity", s.flow_capacity);
+  g("shed", s.rejected_shed);
+  g("shed_engaged", s.flow_shed_engaged);
+  g("evicted_inflight", s.evicted_inflight);
+  g("evicted_consumed", s.evicted_consumed);
+  for (std::size_t r = 0; r < s.evicted_by_reason.size(); ++r) {
+    if (s.evicted_by_reason[r] == 0) continue;  // keep the export sparse
+    reg.gauge(prefix + ".evicted." + flow::evictReasonName(static_cast<flow::EvictReason>(r)))
+        .set(static_cast<double>(s.evicted_by_reason[r]));
   }
 }
 
@@ -113,6 +136,8 @@ LockingEngine::LockingEngine(unsigned workers, HostConfig host, const EngineOpti
 
 void LockingEngine::openPort(std::uint16_t port, std::size_t session_queue) {
   AFF_CHECK(!started_);
+  // The flow table's memory budget is fixed here, before any traffic.
+  flow_.materialize(options_.flow, options_.overload == OverloadPolicy::kShedNewFlows);
   MutexLock lock(stack_mu_);  // uncontended pre-start; keeps the annotation exact
   stack_.open(port, session_queue);
 }
@@ -139,6 +164,11 @@ void LockingEngine::start() {
         if (queue_.drained()) return;
         continue;
       }
+      // A generation miss means the frame's flow was evicted while it sat
+      // in the queue: it is already on the evicted_inflight ledger, so
+      // consume it without processing (and without counting it anywhere
+      // else — that would double-book it).
+      if (!flow_.release(*item)) continue;
       const double t0 = trace_ != nullptr ? trace_->steadyNowUs() : 0.0;
       ReceiveContext ctx;
       {
@@ -169,6 +199,9 @@ bool LockingEngine::submit(WorkItem item) {
     rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  // Flow admission first: a shed frame must never touch the queue. The
+  // shared queue's depth doubles as the secondary shed-pressure signal.
+  if (!flow_.admit(item, queue_.size(), options_.queue_capacity)) return false;
   item.enqueue_tp = Clock::now();
   Backoff backoff;
   const auto deadline = submitDeadline(options_);
@@ -180,18 +213,25 @@ bool LockingEngine::submit(WorkItem item) {
     // tryPush failed without consuming `item`. Full (or closed) queue:
     // apply the overload policy.
     if (stopped_.load(std::memory_order_acquire)) {
+      flow_.release(item);  // never entered a queue; take it off the flow ledger
       rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     switch (options_.overload) {
       case OverloadPolicy::kRejectNewest:
+      case OverloadPolicy::kShedNewFlows:  // queue-full degrades to reject-newest
+        flow_.release(item);
         rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
         return false;
       case OverloadPolicy::kDropOldest: {
         // Evict the oldest queued frame to make room; it was already
-        // counted submitted, so the eviction is a dropped_oldest.
+        // counted submitted, so the eviction is a dropped_oldest — unless
+        // its flow was evicted in the meantime, in which case it already
+        // sits on the evicted_inflight ledger and counting it again here
+        // would double-book it.
         WorkItem victim;
-        if (queue_.tryPop(victim)) dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
+        if (queue_.tryPop(victim) && flow_.release(victim))
+          dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
         break;  // retry the push
       }
       case OverloadPolicy::kBlock:
@@ -199,6 +239,7 @@ bool LockingEngine::submit(WorkItem item) {
         // worker exits only when killed). With every worker gone an
         // unbounded block would never return: fail the submit instead.
         if (Clock::now() >= deadline || !anyWorkerAlive()) {
+          flow_.release(item);
           rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
           return false;
         }
@@ -258,6 +299,7 @@ void LockingEngine::stop() {
   // invariant holds exactly.
   WorkItem item;
   while (queue_.tryPop(item)) {
+    if (!flow_.release(item)) continue;  // orphaned by a flow eviction; already ledgered
     MutexLock lock(stack_mu_);  // workers are joined; uncontended by construction
     const ReceiveContext ctx = stack_.receiveFrame(item.frame);
     processed_.fetch_add(1, std::memory_order_relaxed);
@@ -289,6 +331,7 @@ EngineStats LockingEngine::stats() const {
   for (const auto& lat : per_worker_lat_) merged.merge(lat.histogram());
   merged.merge(drain_lat_.histogram());
   mergeLatency(s, merged);
+  flow_.mergeInto(s);
   return s;
 }
 
@@ -314,6 +357,8 @@ IpsEngine::IpsEngine(unsigned workers, HostConfig host, const EngineOptions& opt
 
 void IpsEngine::openPort(std::uint16_t port, std::size_t session_queue) {
   AFF_CHECK(!started_);
+  // The flow table's memory budget is fixed here, before any traffic.
+  flow_.materialize(options_.flow, options_.overload == OverloadPolicy::kShedNewFlows);
   for (auto& pw : per_worker_) pw.stack->open(port, session_queue);
 }
 
@@ -334,6 +379,9 @@ unsigned IpsEngine::workerOf(std::uint32_t stream) const noexcept {
 }
 
 void IpsEngine::processOn(PerWorker& pw, const WorkItem& item) {
+  // Orphaned by a flow eviction while queued: already on the
+  // evicted_inflight ledger; consume without processing.
+  if (!flow_.release(item)) return;
   const double t0 = trace_ != nullptr ? trace_->steadyNowUs() : 0.0;
   const ReceiveContext ctx = pw.stack->receiveFrame(item.frame);
   if (options_.nic_mode == net::NicDispatchMode::kFlowDirector) {
@@ -401,6 +449,10 @@ bool IpsEngine::submit(WorkItem item) {
     rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  // Flow admission first: a shed frame must never touch a ring. Ring depth
+  // is not observable from the producer seat, so occupancy is the only
+  // shed-pressure signal here.
+  if (!flow_.admit(item)) return false;
   item.enqueue_tp = Clock::now();
   Backoff backoff;
   const auto deadline = submitDeadline(options_);
@@ -414,15 +466,18 @@ bool IpsEngine::submit(WorkItem item) {
       return true;
     }
     if (!intake_open_.load(std::memory_order_acquire)) {
+      flow_.release(item);  // never entered a queue; take it off the flow ledger
       rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     switch (options_.overload) {
       case OverloadPolicy::kRejectNewest:
       case OverloadPolicy::kDropOldest:
+      case OverloadPolicy::kShedNewFlows:
         // The ring's consumer seat belongs to the worker, so the submitter
-        // cannot evict; drop-oldest degrades to reject-newest here (see
-        // docs/ROBUSTNESS.md).
+        // cannot evict; drop-oldest (and shed's queue-full case) degrades
+        // to reject-newest here (see docs/ROBUSTNESS.md).
+        flow_.release(item);
         rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
         return false;
       case OverloadPolicy::kBlock: {
@@ -433,6 +488,7 @@ bool IpsEngine::submit(WorkItem item) {
         const bool owner_gone = pool_.control(target).exited.load(std::memory_order_acquire);
         if (Clock::now() >= deadline ||
             (owner_gone && (!options_.watchdog || !anyWorkerAlive()))) {
+          flow_.release(item);
           rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
           return false;
         }
@@ -576,6 +632,7 @@ EngineStats IpsEngine::stats() const {
     merged.merge(pw.latency.histogram());
   }
   mergeLatency(s, merged);
+  flow_.mergeInto(s);
   return s;
 }
 

@@ -12,11 +12,15 @@
 //
 // Both engines are built to *degrade, not die* (docs/ROBUSTNESS.md):
 // malformed frames become per-cause drop counters, overload follows a
-// pluggable policy with an optional submit deadline, and an optional
-// watchdog detects killed/stalled workers and re-homes their work. At
-// stop() the conservation invariant holds exactly:
+// pluggable policy with an optional submit deadline, an optional watchdog
+// detects killed/stalled workers and re-homes their work, and per-flow
+// state lives in a bounded sharded FlowTable (src/flow) sized once at
+// openPort — under state exhaustion the table evicts per policy and the
+// kShedNewFlows overload policy sheds new-flow admissions. At stop() the
+// conservation invariant holds exactly:
 //
 //   submitted == delivered + Σ dropped_by_reason + dropped_oldest
+//              + Σ evicted_inflight
 #pragma once
 
 #include <array>
@@ -28,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "flow/flow_table.hpp"
 #include "net/dispatch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -49,6 +54,11 @@ enum class OverloadPolicy : std::uint8_t {
   kDropOldest,    ///< evict the oldest queued frame to admit the new one
                   ///< (shared-queue engines only; ring engines reject —
                   ///< the SPSC consumer seat belongs to the worker)
+  kShedNewFlows,  ///< adaptive load shedding: when flow-table occupancy
+                  ///< (or queue depth, where observable) crosses the
+                  ///< high-water mark, reject admissions for flows not
+                  ///< already in the table — established flows are never
+                  ///< shed. Queue-full still rejects the newest frame.
 };
 
 const char* overloadPolicyName(OverloadPolicy p) noexcept;
@@ -79,14 +89,20 @@ struct EngineOptions {
   /// thread (or from stop()'s reconcile drain). Used by the ordering tests
   /// to observe per-stream delivery order; leave empty for no overhead.
   std::function<void(const WorkItem&)> delivered_observer;
+  /// Bounded per-flow state (src/flow): budget, shard count, eviction
+  /// policy, and shed water marks. The table is materialized at openPort —
+  /// the memory budget is fixed before any traffic — and shedding is armed
+  /// only under OverloadPolicy::kShedNewFlows.
+  flow::FlowTableConfig flow;
 };
 
 /// Counters common to both engines.
 struct EngineStats {
   std::uint64_t submitted = 0;
-  std::uint64_t rejected = 0;             ///< aggregate: queue_full + stopped
+  std::uint64_t rejected = 0;             ///< aggregate: queue_full + stopped + shed
   std::uint64_t rejected_queue_full = 0;  ///< no room (or submit deadline hit)
   std::uint64_t rejected_stopped = 0;     ///< intake already closed
+  std::uint64_t rejected_shed = 0;        ///< new flows shed under kShedNewFlows
   std::uint64_t dropped_oldest = 0;       ///< evicted under kDropOldest
   std::uint64_t processed = 0;  ///< frames run through a stack
   std::uint64_t delivered = 0;  ///< frames that reached a session
@@ -98,6 +114,19 @@ struct EngineStats {
   std::uint64_t nic_migrations = 0;   ///< FlowDirector: pin moves
   /// Frames dropped by the protocol stack, by typed cause (DropReason).
   std::array<std::uint64_t, kNumDropReasons> dropped_by_reason{};
+  // Bounded flow-table ledger (zero everywhere when no table is attached).
+  std::uint64_t flow_inserts = 0;    ///< flow entries created
+  std::uint64_t flow_hits = 0;       ///< admissions to established flows
+  std::uint64_t flow_occupancy = 0;  ///< live entries at snapshot time
+  std::uint64_t flow_capacity = 0;   ///< fixed entry capacity
+  std::uint64_t flow_shed_engaged = 0;  ///< occupancy latch engagements
+  /// Entries evicted, by cause (flow::EvictReason).
+  std::array<std::uint64_t, flow::kNumEvictReasons> evicted_by_reason{};
+  /// Frames orphaned by evictions: submitted and queued, but their flow was
+  /// evicted before they were processed. Pre-counted at eviction time;
+  /// consumed (without processing) when they surface.
+  std::uint64_t evicted_inflight = 0;
+  std::uint64_t evicted_consumed = 0;  ///< orphaned frames actually surfaced so far
   std::vector<std::uint64_t> per_worker_processed;
   // End-to-end latency (submit to completed processing), µs. Zero when no
   // frame has completed.
@@ -108,9 +137,19 @@ struct EngineStats {
   /// Total stack drops across all causes.
   [[nodiscard]] std::uint64_t droppedByStack() const noexcept;
 
-  /// The conservation invariant; exact once the engine has stopped.
+  /// Total flow evictions across all causes.
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto v : evicted_by_reason) total += v;
+    return total;
+  }
+
+  /// The conservation invariant; exact once the engine has stopped. Every
+  /// submitted frame is delivered, dropped by the stack for a named cause,
+  /// evicted from a queue under kDropOldest, or orphaned by a flow eviction
+  /// (evicted_inflight) — nothing vanishes without a counter.
   [[nodiscard]] bool conserved() const noexcept {
-    return submitted == delivered + droppedByStack() + dropped_oldest;
+    return submitted == delivered + droppedByStack() + dropped_oldest + evicted_inflight;
   }
 };
 
@@ -120,6 +159,12 @@ struct EngineStats {
 /// at export time), so repeated exports overwrite rather than double-count.
 void exportEngineStats(const EngineStats& s, obs::MetricsRegistry& reg,
                        const std::string& prefix);
+
+/// Writes the flow-table slice of an EngineStats snapshot into `reg` under
+/// the rt.flow.* domain (docs/OBSERVABILITY.md) — e.g. "rt.flow.inserts",
+/// "rt.flow.evicted.capacity". Gauge semantics, like exportEngineStats.
+void exportFlowStats(const EngineStats& s, obs::MetricsRegistry& reg,
+                     const std::string& prefix = "rt.flow");
 
 /// Writes the process-wide FrameArena counters into `reg` under the
 /// rt.arena.* domain (docs/OBSERVABILITY.md) — e.g. "rt.arena.allocs",
@@ -139,6 +184,10 @@ struct WorkItem {
   /// Caller-stamped per-stream sequence number (the ordering tests use it
   /// to detect reordering at delivery; engines carry it, never read it).
   std::uint64_t seq = 0;
+  /// Flow-table generation stamped at admission: a frame whose flow was
+  /// evicted while it sat in a queue is recognized at process time by the
+  /// generation mismatch (already accounted under evicted_inflight).
+  std::uint64_t flow_gen = 0;
 };
 
 /// Per-worker latency recorder (owned by exactly one worker thread while
@@ -158,6 +207,79 @@ class LatencyRecorder {
 
  private:
   Histogram hist_;
+};
+
+/// Flow-admission front end shared by the engines: owns the bounded
+/// FlowTable (src/flow), materialized at openPort so the memory budget is
+/// fixed before any traffic. Admission stamps the WorkItem with the flow
+/// generation; release at process/drop time detects frames orphaned by an
+/// eviction. When no table is attached (openPort not called, or
+/// flow.enabled = false) every call degenerates to the pre-table behavior.
+class FlowFrontEnd {
+ public:
+  /// Builds the table once (idempotent). `shed_armed` wires the table's
+  /// shedding layer to OverloadPolicy::kShedNewFlows.
+  void materialize(flow::FlowTableConfig cfg, bool shed_armed) {
+    if (table_ != nullptr || !cfg.enabled) return;
+    cfg.shed_enabled = shed_armed;
+    table_ = std::make_unique<flow::FlowTable>(cfg);
+  }
+
+  /// Admits `item`'s flow and stamps item.flow_gen. False means the
+  /// shedding layer refused a new flow — the frame must be rejected before
+  /// it touches any queue. `queue_depth`/`queue_capacity` feed the optional
+  /// queue-depth pressure signal (pass 0/0 where depth is unobservable;
+  /// that signal is timing-dependent and stays out of determinism configs).
+  bool admit(WorkItem& item, std::size_t queue_depth = 0, std::size_t queue_capacity = 0) {
+    if (table_ == nullptr) return true;
+    bool pressure = false;
+    if (queue_capacity > 0 && table_->config().shed_enabled) {
+      const auto& c = table_->config();
+      const auto mark = [&](double frac) {
+        return static_cast<std::uint64_t>(frac * static_cast<double>(queue_capacity));
+      };
+      pressure = queue_latch_.update(queue_depth, mark(c.shed_high_water),
+                                     mark(c.shed_low_water));
+    }
+    const flow::AdmitResult r = table_->admit(item.stream, pressure);
+    if (r.status == flow::AdmitResult::Status::kShed) return false;
+    item.flow_gen = r.gen;
+    return true;
+  }
+
+  /// Releases one in-flight frame. True when the flow is still live (the
+  /// caller processes or drop-counts the frame as before); false when the
+  /// flow was evicted since admission — the frame was already accounted
+  /// under evicted_inflight and must be consumed silently.
+  bool release(const WorkItem& item) {
+    if (table_ == nullptr) return true;
+    if (table_->release(item.stream, item.flow_gen)) return true;
+    consumed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Folds the table's ledger into an EngineStats snapshot.
+  void mergeInto(EngineStats& s) const {
+    if (table_ == nullptr) return;
+    const flow::FlowTableStats f = table_->stats();
+    s.flow_inserts = f.inserts;
+    s.flow_hits = f.hits;
+    s.flow_occupancy = f.occupancy;
+    s.flow_capacity = f.capacity;
+    s.flow_shed_engaged = f.shed_engaged;
+    s.evicted_by_reason = f.evicted_by_reason;
+    s.evicted_inflight = f.evicted_inflight;
+    s.evicted_consumed = consumed_.load(std::memory_order_relaxed);
+    s.rejected_shed = f.shed;
+    s.rejected += f.shed;
+  }
+
+  [[nodiscard]] const flow::FlowTable* table() const noexcept { return table_.get(); }
+
+ private:
+  std::unique_ptr<flow::FlowTable> table_;
+  flow::ShedLatch queue_latch_;
+  std::atomic<std::uint64_t> consumed_{0};
 };
 
 /// Shared-stack (Locking) engine.
@@ -218,6 +340,7 @@ class LockingEngine {
   Mutex stack_mu_;
   ProtocolStack stack_ AFF_GUARDED_BY(stack_mu_);
   MpmcQueue<WorkItem> queue_;
+  FlowFrontEnd flow_;
   WorkerPool pool_;
   std::jthread watchdog_;
   std::atomic<std::uint64_t> submitted_{0};
@@ -319,6 +442,7 @@ class IpsEngine {
   // in spirit; the dispatcher's internal pin table self-synchronizes).
   mutable net::NicDispatcher nic_;
   std::vector<PerWorker> per_worker_;
+  FlowFrontEnd flow_;
   WorkerPool pool_;
   std::jthread watchdog_;
   std::atomic<bool> intake_open_{false};

@@ -55,6 +55,14 @@ class AffinityState {
   void onComplete(unsigned proc, std::uint32_t stream, std::uint32_t stack,
                   double now) noexcept;
 
+  /// Discards `stream`'s last-touch record: its state is cold everywhere,
+  /// as after a flow-table eviction threw the per-flow footprint away. The
+  /// next packet of the stream pays the full cold-reload transient and does
+  /// not count as a migration (there is no previous location any more).
+  void forgetStream(std::uint32_t stream) noexcept {
+    if (stream < stream_last_.size()) stream_last_[stream] = LastTouch{};
+  }
+
   static constexpr std::uint32_t kNoStack = 0xffffffff;
 
   [[nodiscard]] unsigned numProcs() const noexcept {

@@ -1,0 +1,135 @@
+#include "workload/adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/toeplitz.hpp"
+#include "util/check.hpp"
+
+namespace affinity {
+
+namespace {
+
+// splitmix64 finalizer: one avalanche step per submission index, so every
+// pattern is a pure function of (seed, i) with no sequential rng state.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* adversaryKindName(AdversaryKind k) noexcept {
+  switch (k) {
+    case AdversaryKind::kNone: return "none";
+    case AdversaryKind::kZipf: return "zipf";
+    case AdversaryKind::kChurn: return "churn";
+    case AdversaryKind::kFlash: return "flash";
+    case AdversaryKind::kCollision: return "collision";
+  }
+  return "?";
+}
+
+bool parseAdversaryKind(const std::string& s, AdversaryKind* out) {
+  if (s == "none") *out = AdversaryKind::kNone;
+  else if (s == "zipf") *out = AdversaryKind::kZipf;
+  else if (s == "churn") *out = AdversaryKind::kChurn;
+  else if (s == "flash") *out = AdversaryKind::kFlash;
+  else if (s == "collision") *out = AdversaryKind::kCollision;
+  else return false;
+  return true;
+}
+
+AdversaryPattern::AdversaryPattern(const AdversaryOptions& options) : options_(options) {
+  AFF_CHECK(options_.streams >= 1);
+  switch (options_.kind) {
+    case AdversaryKind::kNone:
+      break;
+    case AdversaryKind::kZipf: {
+      AFF_CHECK(options_.zipf_alpha >= 0.0);
+      zipf_cdf_.reserve(options_.streams);
+      double sum = 0.0;
+      for (std::uint32_t s = 0; s < options_.streams; ++s) {
+        sum += 1.0 / std::pow(static_cast<double>(s + 1), options_.zipf_alpha);
+        zipf_cdf_.push_back(sum);
+      }
+      for (auto& c : zipf_cdf_) c /= sum;
+      break;
+    }
+    case AdversaryKind::kChurn:
+      AFF_CHECK(options_.churn_period >= 1);
+      AFF_CHECK(options_.churn_active >= 1);
+      break;
+    case AdversaryKind::kFlash:
+      AFF_CHECK(options_.flash_period >= 1);
+      AFF_CHECK(options_.flash_len <= options_.flash_period);
+      AFF_CHECK(options_.flash_hot >= 1);
+      break;
+    case AdversaryKind::kCollision: {
+      AFF_CHECK(options_.collision_buckets >= 1);
+      // Streams whose RSS indirection entry maps to stream 0's receive
+      // queue: with the default round-robin table, entry e serves queue
+      // e % buckets (net/dispatch.cpp), so this set shares one worker.
+      const net::ToeplitzHash h;
+      constexpr std::uint32_t kEntries = 128;  // NicDispatcher::kIndirectionEntries
+      const unsigned target =
+          (net::rssHashForStream(h, 0) % kEntries) % options_.collision_buckets;
+      for (std::uint32_t s = 0; s < options_.streams; ++s) {
+        if ((net::rssHashForStream(h, s) % kEntries) % options_.collision_buckets == target)
+          collision_set_.push_back(s);
+      }
+      if (collision_set_.empty()) collision_set_.push_back(0);
+      const double f = std::clamp(options_.collision_fraction, 0.0, 1.0);
+      // f < 1 keeps f * 2^64 below 2^64, so the cast is exact; casting
+      // 2^64 itself would overflow, so 1.0 saturates to the max cut
+      // (streamAt compares r <= cut, so the whole hash space collides).
+      collision_cut_ = f >= 1.0 ? 0xffffffffffffffffULL
+                                : static_cast<std::uint64_t>(std::ldexp(f, 64));
+      break;
+    }
+  }
+}
+
+std::uint32_t AdversaryPattern::streamAt(std::uint64_t i) const noexcept {
+  const std::uint32_t n = options_.streams;
+  switch (options_.kind) {
+    case AdversaryKind::kNone:
+      // Bit-compatible with the historical harness map: pinned chaos
+      // ledgers depend on this exact sequence.
+      return static_cast<std::uint32_t>(i % n);
+    case AdversaryKind::kZipf: {
+      const double u = static_cast<double>(mix64(options_.seed ^ i) >> 11) *
+                       (1.0 / 9007199254740992.0);  // 53-bit uniform in [0,1)
+      const auto it = std::upper_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+      const auto rank = static_cast<std::uint32_t>(it - zipf_cdf_.begin());
+      return rank < n ? rank : n - 1;
+    }
+    case AdversaryKind::kChurn: {
+      // Each wave draws from a fresh window of the stream space, so new
+      // flows keep arriving for as long as the storm lasts.
+      const std::uint64_t wave = i / options_.churn_period;
+      const std::uint64_t idx = mix64(options_.seed ^ i) % options_.churn_active;
+      return static_cast<std::uint32_t>((wave * options_.churn_active + idx) % n);
+    }
+    case AdversaryKind::kFlash: {
+      const std::uint64_t r = mix64(options_.seed ^ i);
+      if (i % options_.flash_period < options_.flash_len) {
+        const std::uint32_t hot = std::min(options_.flash_hot, n);
+        return static_cast<std::uint32_t>(r % hot);
+      }
+      return static_cast<std::uint32_t>(r % n);
+    }
+    case AdversaryKind::kCollision: {
+      const std::uint64_t r = mix64(options_.seed ^ i);
+      if (r <= collision_cut_) {
+        return collision_set_[mix64(r) % collision_set_.size()];
+      }
+      return static_cast<std::uint32_t>(r % n);
+    }
+  }
+  return static_cast<std::uint32_t>(i % n);
+}
+
+}  // namespace affinity

@@ -1,0 +1,80 @@
+// adversary.hpp — adversarial stream-selection patterns for the chaos
+// harness: the traffic shapes an attacker (or an unlucky Internet) uses to
+// exhaust per-flow state (docs/ROBUSTNESS.md).
+//
+// An AdversaryPattern maps a submission index to a stream id. It is a pure
+// function of (options, index): no mutable state, no draws consumed from
+// any shared rng — so the chaos harness stays bit-deterministic regardless
+// of worker count, and kNone reproduces the historical `i % streams` map
+// exactly (the determinism tests pin that traffic byte-for-byte).
+//
+//   kNone       — round-robin over the stream space (seed behavior)
+//   kZipf       — Zipf(alpha) popularity: elephants over a long tail of
+//                 mice; the tail churns table entries while the head must
+//                 survive eviction
+//   kChurn      — flow-churn storm: each wave of submissions draws from a
+//                 fresh window of the stream space, so never-before-seen
+//                 flows arrive continuously
+//   kFlash      — flash crowd: most of each period is uniform background,
+//                 then a burst concentrates on a handful of hot streams
+//   kCollision  — Toeplitz-collision set: a fraction of traffic is packed
+//                 into streams whose RSS hash lands on one receive queue,
+//                 overloading a single worker and the flow shards behind it
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace affinity {
+
+enum class AdversaryKind : std::uint8_t { kNone, kZipf, kChurn, kFlash, kCollision };
+
+const char* adversaryKindName(AdversaryKind k) noexcept;
+/// Parses "none|zipf|churn|flash|collision"; true and sets `out` on success.
+bool parseAdversaryKind(const std::string& s, AdversaryKind* out);
+
+/// Shape of an adversarial pattern. `streams` and `seed` are normally
+/// overridden by the harness from its own config; the rest are per-kind.
+struct AdversaryOptions {
+  AdversaryKind kind = AdversaryKind::kNone;
+  std::uint32_t streams = 16;
+  std::uint64_t seed = 1;
+
+  double zipf_alpha = 1.0;            ///< kZipf: popularity skew (0 = uniform)
+  std::uint64_t churn_period = 4096;  ///< kChurn: submissions per wave
+  std::uint32_t churn_active = 64;    ///< kChurn: live streams per wave
+  std::uint64_t flash_period = 8192;  ///< kFlash: submissions per cycle
+  std::uint64_t flash_len = 1024;     ///< kFlash: crowd length at cycle head
+  std::uint32_t flash_hot = 4;        ///< kFlash: crowd stream count
+  /// kCollision: RSS bucket count to collide within — set to the worker
+  /// count so the set shares one receive queue (0 = resolved by the
+  /// harness to its worker count).
+  unsigned collision_buckets = 0;
+  double collision_fraction = 0.75;   ///< kCollision: traffic share on the set
+};
+
+/// Deterministic submission-index -> stream map. Thread-compatible: const
+/// after construction, usable from any number of readers.
+class AdversaryPattern {
+ public:
+  explicit AdversaryPattern(const AdversaryOptions& options);
+
+  /// Stream id for the `i`-th submitted frame.
+  [[nodiscard]] std::uint32_t streamAt(std::uint64_t i) const noexcept;
+
+  [[nodiscard]] const AdversaryOptions& options() const noexcept { return options_; }
+  /// kCollision: number of streams whose RSS hash shares the target queue
+  /// (>= 1; includes stream 0, the bucket anchor). Exposed for tests.
+  [[nodiscard]] std::size_t collisionSetSize() const noexcept {
+    return collision_set_.size();
+  }
+
+ private:
+  AdversaryOptions options_;
+  std::vector<double> zipf_cdf_;             ///< kZipf: cumulative popularity
+  std::vector<std::uint32_t> collision_set_; ///< kCollision: colliding streams
+  std::uint64_t collision_cut_ = 0;          ///< 64-bit threshold for the set share
+};
+
+}  // namespace affinity

@@ -72,6 +72,21 @@ ArrivalProcess::Arrival PacketTrainArrivals::next(Rng& rng) {
   return a;
 }
 
+DelayedPoissonArrivals::DelayedPoissonArrivals(double rate_per_us, double delay_us)
+    : rate_(rate_per_us), delay_us_(delay_us) {
+  AFF_CHECK(rate_ > 0.0);
+  AFF_CHECK(delay_us_ >= 0.0);
+}
+
+ArrivalProcess::Arrival DelayedPoissonArrivals::next(Rng& rng) {
+  Arrival a{rng.exponential(rate_), 1};
+  if (!started_) {
+    a.gap_us += delay_us_;
+    started_ = true;
+  }
+  return a;
+}
+
 PhaseSwitchArrivals::PhaseSwitchArrivals(std::unique_ptr<ArrivalProcess> before,
                                          std::unique_ptr<ArrivalProcess> after,
                                          double switch_time_us)

@@ -90,6 +90,28 @@ class PacketTrainArrivals final : public ArrivalProcess {
   std::uint32_t cars_left_ = 0; ///< cars remaining in the current train
 };
 
+/// Poisson arrivals that begin only after a fixed activation delay: the
+/// stream is silent, then turns on and stays on. Staggering the delays
+/// across a large population produces a flow-churn storm — a steady influx
+/// of never-before-seen flows, the state-exhaustion adversary for bounded
+/// flow tables (docs/ROBUSTNESS.md).
+class DelayedPoissonArrivals final : public ArrivalProcess {
+ public:
+  DelayedPoissonArrivals(double rate_per_us, double delay_us);
+
+  Arrival next(Rng& rng) override;
+  /// Long-run rate is the active phase's (the delay is a transient).
+  [[nodiscard]] double meanRatePerUs() const noexcept override { return rate_; }
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override {
+    return std::make_unique<DelayedPoissonArrivals>(*this);
+  }
+
+ private:
+  double rate_;
+  double delay_us_;
+  bool started_ = false;
+};
+
 /// Non-stationary wrapper: behaves like `before` until `switch_time_us` of
 /// cumulative arrival time has elapsed, then like `after`. Used to exercise
 /// adaptive policies (a stream that turns hot/bursty mid-run).

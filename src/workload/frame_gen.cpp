@@ -4,35 +4,51 @@
 
 namespace affinity {
 
-FrameCorpus::FrameCorpus(std::uint64_t seed, const Options& options) : options_(options) {
+FrameCorpus::FrameCorpus(std::uint64_t seed, const Options& options)
+    : options_(options), seed_(seed), lazy_(options.streams > kLazyStreamThreshold) {
   AFF_CHECK(options.streams >= 1);
   AFF_CHECK(options.variants_per_stream >= 1);
   AFF_CHECK(options.min_payload <= options.max_payload);
+  if (lazy_) return;  // frames materialize on demand in frame()
   Rng root(seed);
   variants_.resize(options.streams);
   for (std::uint32_t s = 0; s < options.streams; ++s) {
     Rng rng = root.split(s);
     variants_[s].reserve(options.variants_per_stream);
-    for (std::size_t v = 0; v < options.variants_per_stream; ++v) {
-      FrameSpec spec;
-      // One source host per stream, one source port per variant — the
-      // receive stack demuxes on dst_port, so all variants land in the
-      // same session.
-      spec.src_ip = 0x0a000000u + s;  // 10.0.x.x
-      spec.src_port = static_cast<std::uint16_t>(20000 + s * 16 + v);
-      spec.dst_port = options.dst_port;
-      spec.ip_id = static_cast<std::uint16_t>(s * 251 + v);
-      const std::size_t span = options.max_payload - options.min_payload + 1;
-      std::vector<std::uint8_t> payload(options.min_payload + rng.uniform_u64(span));
-      for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
-      variants_[s].push_back(buildUdpFrame(spec, payload));
-    }
+    for (std::size_t v = 0; v < options.variants_per_stream; ++v)
+      variants_[s].push_back(buildVariant(s, v, rng));
   }
 }
 
+std::vector<std::uint8_t> FrameCorpus::buildVariant(std::uint32_t stream, std::size_t v,
+                                                    Rng& rng) const {
+  FrameSpec spec;
+  // One source host per stream, one source port per variant — the
+  // receive stack demuxes on dst_port, so all variants land in the
+  // same session.
+  spec.src_ip = 0x0a000000u + stream;  // 10.0.x.x
+  spec.src_port = static_cast<std::uint16_t>(20000 + stream * 16 + v);
+  spec.dst_port = options_.dst_port;
+  spec.ip_id = static_cast<std::uint16_t>(stream * 251 + v);
+  const std::size_t span = options_.max_payload - options_.min_payload + 1;
+  std::vector<std::uint8_t> payload(options_.min_payload + rng.uniform_u64(span));
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  return buildUdpFrame(spec, payload);
+}
+
 std::vector<std::uint8_t> FrameCorpus::frame(std::uint32_t stream, std::uint64_t index) const {
-  const auto& per_stream = variants_[stream % options_.streams];
-  return per_stream[index % per_stream.size()];
+  const std::uint32_t s = stream % options_.streams;
+  const std::size_t v = index % options_.variants_per_stream;
+  if (!lazy_) return variants_[s][v];
+  // Lazy mode: replay the stream's draw sequence up to variant v. The draw
+  // order is identical to the prebuilt loop, so the bytes are too.
+  Rng rng = Rng(seed_).split(s);
+  for (std::size_t earlier = 0; earlier < v; ++earlier) {
+    const std::size_t span = options_.max_payload - options_.min_payload + 1;
+    const std::size_t len = options_.min_payload + rng.uniform_u64(span);
+    for (std::size_t b = 0; b < len; ++b) rng.uniform_u64(256);
+  }
+  return buildVariant(s, v, rng);
 }
 
 }  // namespace affinity

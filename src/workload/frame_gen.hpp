@@ -7,6 +7,13 @@
 // keeps the submit loop allocation-light and — more importantly — makes
 // the byte content of frame i of stream s a pure function of (seed, s, i),
 // which the chaos determinism guard depends on.
+//
+// Above kLazyStreamThreshold streams the prebuilt cache would dominate
+// memory (10^5 streams × 4 variants × ~300 B ≈ 140 MB), defeating the
+// point of a fixed-budget flow table — so the corpus switches to lazy
+// mode: frame() replays the per-stream rng draw sequence on demand. The
+// bytes are identical to prebuilt mode by construction (same split, same
+// draw order), which FrameGen.LazyModeMatchesPrebuilt pins.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +35,9 @@ class FrameCorpus {
     std::size_t max_payload = 512;
   };
 
+  /// Stream counts above this use lazy (on-demand) frame construction.
+  static constexpr std::uint32_t kLazyStreamThreshold = 4096;
+
   FrameCorpus(std::uint64_t seed, const Options& options);
 
   /// The `index`-th frame of `stream` (round-robin over the variants).
@@ -36,10 +46,19 @@ class FrameCorpus {
 
   [[nodiscard]] std::uint32_t streams() const noexcept { return options_.streams; }
   [[nodiscard]] std::uint16_t dstPort() const noexcept { return options_.dst_port; }
+  [[nodiscard]] bool lazy() const noexcept { return lazy_; }
 
  private:
+  /// Builds variant `v` of `stream` by advancing `rng` through the exact
+  /// draw sequence of all earlier variants of the stream (lazy mode replays
+  /// this; prebuilt mode runs it once per variant in order).
+  [[nodiscard]] std::vector<std::uint8_t> buildVariant(std::uint32_t stream, std::size_t v,
+                                                       Rng& rng) const;
+
   Options options_;
-  // variants_[stream][variant] — complete wire frames.
+  std::uint64_t seed_ = 0;
+  bool lazy_ = false;
+  // variants_[stream][variant] — complete wire frames (prebuilt mode only).
   std::vector<std::vector<std::vector<std::uint8_t>>> variants_;
 };
 

@@ -1,5 +1,7 @@
 #include "workload/stream_set.hpp"
 
+#include <cmath>
+
 #include "util/check.hpp"
 
 namespace affinity {
@@ -59,6 +61,32 @@ StreamSet makeHotColdStreams(std::size_t hot_count, std::size_t cold_count,
     set.streams.push_back(std::make_unique<PoissonArrivals>(hot_per));
   for (std::size_t i = 0; i < cold_count; ++i)
     set.streams.push_back(std::make_unique<PoissonArrivals>(cold_per));
+  return set;
+}
+
+StreamSet makeZipfStreams(std::size_t count, double total_rate_per_us, double alpha) {
+  AFF_CHECK(count > 0);
+  AFF_CHECK(alpha >= 0.0);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < count; ++i)
+    norm += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+  StreamSet set;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double share = (1.0 / std::pow(static_cast<double>(i + 1), alpha)) / norm;
+    set.streams.push_back(std::make_unique<PoissonArrivals>(total_rate_per_us * share));
+  }
+  return set;
+}
+
+StreamSet makeChurnStreams(std::size_t count, double total_rate_per_us, double span_us) {
+  AFF_CHECK(count > 0);
+  AFF_CHECK(span_us >= 0.0);
+  StreamSet set;
+  const double per = total_rate_per_us / static_cast<double>(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double delay = span_us * static_cast<double>(i) / static_cast<double>(count);
+    set.streams.push_back(std::make_unique<DelayedPoissonArrivals>(per, delay));
+  }
   return set;
 }
 

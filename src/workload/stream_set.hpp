@@ -41,4 +41,17 @@ StreamSet makeTrainStreams(std::size_t count, double total_rate_per_us, double t
 StreamSet makeHotColdStreams(std::size_t hot_count, std::size_t cold_count,
                              double total_rate_per_us, double hot_share);
 
+/// Zipf-popularity mix: stream i's rate is proportional to 1/(i+1)^alpha,
+/// normalized to `total_rate_per_us`. alpha = 0 degenerates to uniform;
+/// alpha ~ 1 is the classic web/flow popularity curve — a few elephants
+/// over a long tail of mice, the workload that stresses a bounded flow
+/// table's eviction policy (the tail keeps inserting, the head must stay).
+StreamSet makeZipfStreams(std::size_t count, double total_rate_per_us, double alpha);
+
+/// Flow-churn storm: `count` Poisson streams whose activation times are
+/// staggered uniformly across `span_us`, so never-before-seen flows keep
+/// arriving for the whole span — the state-exhaustion adversary. Rates are
+/// equal; the long-run aggregate is `total_rate_per_us`.
+StreamSet makeChurnStreams(std::size_t count, double total_rate_per_us, double span_us);
+
 }  // namespace affinity

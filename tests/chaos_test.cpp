@@ -320,5 +320,162 @@ TEST(ChaosConfigFile, LoadsRatesAndEngineKnobs) {
   EXPECT_EQ(cfg.engine.steal_batch, 7u);
 }
 
+TEST(ChaosConfigFile, LoadsFlowTableAndAdversaryKnobs) {
+  const char* ini =
+      "[chaos]\n"
+      "workload = collision\n"
+      "zipf_alpha = 1.5\n"
+      "churn_period = 512\n"
+      "churn_active = 32\n"
+      "flash_period = 2048\n"
+      "flash_len = 256\n"
+      "flash_hot = 2\n"
+      "collision_buckets = 8\n"
+      "collision_fraction = 0.5\n"
+      "[engine]\n"
+      "overload = shed-new-flows\n"
+      "flow_enabled = true\n"
+      "flow_budget_bytes = 98304\n"
+      "flow_shards = 4\n"
+      "flow_policy = fifo\n"
+      "flow_high_water = 0.8\n"
+      "flow_low_water = 0.6\n"
+      "flow_admit_fraction = 0.25\n"
+      "flow_seed = 99\n";
+  std::string error;
+  const auto file = ConfigFile::parse(ini, &error);
+  ASSERT_TRUE(file.has_value()) << error;
+  const ChaosConfig cfg = loadChaosConfig(*file);
+  EXPECT_EQ(cfg.adversary.kind, AdversaryKind::kCollision);
+  EXPECT_DOUBLE_EQ(cfg.adversary.zipf_alpha, 1.5);
+  EXPECT_EQ(cfg.adversary.churn_period, 512u);
+  EXPECT_EQ(cfg.adversary.churn_active, 32u);
+  EXPECT_EQ(cfg.adversary.flash_period, 2048u);
+  EXPECT_EQ(cfg.adversary.flash_len, 256u);
+  EXPECT_EQ(cfg.adversary.flash_hot, 2u);
+  EXPECT_EQ(cfg.adversary.collision_buckets, 8u);
+  EXPECT_DOUBLE_EQ(cfg.adversary.collision_fraction, 0.5);
+  EXPECT_EQ(cfg.engine.overload, OverloadPolicy::kShedNewFlows);
+  EXPECT_TRUE(cfg.engine.flow.enabled);
+  EXPECT_EQ(cfg.engine.flow.budget_bytes, 98304u);
+  EXPECT_EQ(cfg.engine.flow.shards, 4u);
+  EXPECT_EQ(cfg.engine.flow.policy, flow::EvictPolicy::kFifo);
+  EXPECT_DOUBLE_EQ(cfg.engine.flow.shed_high_water, 0.8);
+  EXPECT_DOUBLE_EQ(cfg.engine.flow.shed_low_water, 0.6);
+  EXPECT_DOUBLE_EQ(cfg.engine.flow.shed_admit_fraction, 0.25);
+  EXPECT_EQ(cfg.engine.flow.seed, 99u);
+}
+
+// --------------------------------------------- flow-table exhaustion ----
+
+/// Chaos shape that actually exhausts the table: far more streams than
+/// flow entries, combined with the usual frame faults + kill + stall.
+ChaosConfig exhaustionChaos(std::size_t flow_entries) {
+  ChaosConfig cfg = smallChaos();
+  cfg.frames = 40'000;
+  cfg.streams = 4'096;
+  cfg.engine.flow.budget_bytes = flow_entries * 24;
+  cfg.engine.flow.shards = 2;
+  cfg.kill_at = 8'000;
+  cfg.kill_worker = 1;
+  cfg.stall_at = 20'000;
+  cfg.stall_worker = 2;
+  cfg.stall_duration = std::chrono::milliseconds(30);
+  return cfg;
+}
+
+TEST(FlowChaos, EvictionUnderCombinedFaultsConservesOnAllEngines) {
+  const ChaosConfig cfg = exhaustionChaos(256);
+  for (EngineKind kind : {EngineKind::kLocking, EngineKind::kIps, EngineKind::kDispatch}) {
+    const ChaosReport rep = runChaos(kind, cfg);
+    EXPECT_TRUE(rep.intake_balanced) << engineKindName(kind) << "\n" << rep.describe();
+    EXPECT_TRUE(rep.conserved) << engineKindName(kind) << "\n" << rep.describe();
+    EXPECT_GT(rep.stats.evictions(), 0u) << engineKindName(kind);
+    EXPECT_GT(rep.stats.delivered, 0u) << engineKindName(kind);
+    EXPECT_LE(rep.stats.flow_occupancy, rep.stats.flow_capacity) << engineKindName(kind);
+  }
+}
+
+TEST(FlowChaos, ShedNewFlowsRefusesNewButNeverEstablishedFlows) {
+  ChaosConfig cfg = exhaustionChaos(256);
+  cfg.engine.overload = OverloadPolicy::kShedNewFlows;
+  for (EngineKind kind : {EngineKind::kLocking, EngineKind::kIps, EngineKind::kDispatch}) {
+    const ChaosReport rep = runChaos(kind, cfg);
+    EXPECT_TRUE(rep.conserved) << engineKindName(kind) << "\n" << rep.describe();
+    EXPECT_GT(rep.stats.rejected_shed, 0u) << engineKindName(kind);
+    EXPECT_GE(rep.stats.flow_shed_engaged, 1u) << engineKindName(kind);
+    // Established flows keep flowing: hits continue after the latch engages.
+    EXPECT_GT(rep.stats.flow_hits, 0u) << engineKindName(kind);
+    EXPECT_GT(rep.stats.delivered, 0u) << engineKindName(kind);
+  }
+}
+
+TEST(FlowChaos, DropOldestComposesWithFlowEvictionAccounting) {
+  // Both degradation mechanisms at once: queue eviction (dropped_oldest)
+  // and flow-table eviction (evicted_inflight) must each count their own
+  // frames, with no double counting — conservation is the proof.
+  ChaosConfig cfg = exhaustionChaos(256);
+  cfg.engine.queue_capacity = 16;
+  cfg.engine.overload = OverloadPolicy::kDropOldest;
+  const ChaosReport rep = runChaos(EngineKind::kLocking, cfg);
+  EXPECT_TRUE(rep.conserved) << rep.describe();
+  EXPECT_GT(rep.stats.dropped_oldest, 0u);
+  EXPECT_GT(rep.stats.evictions(), 0u);
+}
+
+TEST(FlowChaos, AdmissionLedgerIsIdenticalAcrossWorkerCounts) {
+  // The determinism doctrine (flow/flow_table.hpp): every mutation victim
+  // selection or shedding can observe happens on the single-threaded admit
+  // path, so the admission-side ledger — inserts, hits, evictions by
+  // reason, sheds — is a pure function of the seed, whatever the worker
+  // count. (evicted_inflight is excluded: how many of a victim's frames
+  // are still queued at eviction time is genuinely timing-dependent.)
+  ChaosConfig base = exhaustionChaos(256);
+  base.adversary.kind = AdversaryKind::kZipf;
+  base.adversary.zipf_alpha = 1.1;
+  base.engine.overload = OverloadPolicy::kShedNewFlows;
+  base.kill_at = 0;  // worker faults off: they gate delivery, not admission
+  base.stall_at = 0;
+  auto ledger = [&](unsigned workers) {
+    ChaosConfig cfg = base;
+    cfg.workers = workers;
+    const ChaosReport rep = runChaos(EngineKind::kIps, cfg);
+    EXPECT_TRUE(rep.conserved) << rep.describe();
+    return rep.stats;
+  };
+  const EngineStats two = ledger(2);
+  const EngineStats four = ledger(4);
+  EXPECT_EQ(two.flow_inserts, four.flow_inserts);
+  EXPECT_EQ(two.flow_hits, four.flow_hits);
+  EXPECT_EQ(two.rejected_shed, four.rejected_shed);
+  for (std::size_t r = 0; r < two.evicted_by_reason.size(); ++r)
+    EXPECT_EQ(two.evicted_by_reason[r], four.evicted_by_reason[r]) << r;
+  EXPECT_GT(two.evictions() + two.rejected_shed, 0u);  // not vacuous
+}
+
+TEST(FlowChaos, HundredThousandStreamsRunWithinFixedBudget) {
+  // The 10^5-stream acceptance scenario, test-sized: the stream universe
+  // dwarfs the table, the corpus runs in lazy mode (no 140 MB prebuild),
+  // and the extended invariant balances exactly on every engine while
+  // kill + stall + continuous table exhaustion are all active.
+  ChaosConfig cfg = smallChaos();
+  cfg.frames = 60'000;
+  cfg.streams = 100'000;
+  cfg.workers = 4;
+  cfg.engine.flow.budget_bytes = 1u << 16;  // 2'048 entries << 10^5 streams
+  cfg.kill_at = 15'000;
+  cfg.kill_worker = 1;
+  cfg.stall_at = 30'000;
+  cfg.stall_worker = 2;
+  cfg.stall_duration = std::chrono::milliseconds(30);
+  for (EngineKind kind : {EngineKind::kLocking, EngineKind::kIps, EngineKind::kDispatch}) {
+    const ChaosReport rep = runChaos(kind, cfg);
+    EXPECT_TRUE(rep.intake_balanced) << engineKindName(kind) << "\n" << rep.describe();
+    EXPECT_TRUE(rep.conserved) << engineKindName(kind) << "\n" << rep.describe();
+    EXPECT_GT(rep.stats.evictions(), 0u) << engineKindName(kind);
+    EXPECT_LE(rep.stats.flow_occupancy, rep.stats.flow_capacity);
+  }
+}
+
 }  // namespace
 }  // namespace affinity

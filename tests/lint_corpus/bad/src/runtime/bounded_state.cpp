@@ -1,0 +1,25 @@
+// afflint-corpus-expect: bounded-state
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace affinity {
+
+struct SessionState {
+  std::uint64_t bytes = 0;
+};
+
+// Unbounded per-flow state: one map node per distinct source — an
+// adversary minting fresh flows grows this until the host swaps.
+class LeakySessionTracker {
+ public:
+  void touch(std::uint32_t flow, std::uint64_t bytes) { sessions_[flow].bytes += bytes; }
+
+ private:
+  std::unordered_map<std::uint32_t, SessionState> sessions_;
+};
+
+// An ordered map leaks the same way, just slower per insert.
+std::map<std::uint32_t, SessionState> g_by_flow;
+
+}  // namespace affinity

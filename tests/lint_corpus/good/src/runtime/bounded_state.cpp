@@ -1,0 +1,37 @@
+// afflint-corpus-rule: bounded-state
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "flow/flow_table.hpp"
+
+namespace affinity {
+
+// Per-flow state belongs in the fixed-budget FlowTable: admission either
+// finds a slot within the budget or names a victim/shed — never grows.
+class BoundedSessionTracker {
+ public:
+  explicit BoundedSessionTracker(const flow::FlowTableConfig& cfg) : table_(cfg) {}
+  bool touch(std::uint32_t key) {
+    return table_.admit(key).status == flow::AdmitResult::Status::kAdmitted;
+  }
+
+ private:
+  flow::FlowTable table_;
+};
+
+// Identifiers merely containing the banned names must not trip the rule.
+struct map_reduce_plan {
+  int std_map_lookalike = 0;
+};
+
+// Fixed-size indexed storage is the bounded alternative for small keys.
+std::vector<std::uint64_t> perWorkerTotals(unsigned workers) {
+  return std::vector<std::uint64_t>(workers, 0);
+}
+
+// Control-plane maps bounded by construction may opt out with a reason.
+// afflint: allow(bounded-state) — keyed by worker id, bounded by core count
+std::map<unsigned, std::uint64_t> g_stall_counts_by_worker;
+
+}  // namespace affinity

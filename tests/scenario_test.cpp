@@ -1,6 +1,10 @@
 // Tests for the INI config parser and the scenario builder.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
 #include "core/experiment.hpp"
 #include "core/scenario.hpp"
 #include "util/config.hpp"
@@ -141,6 +145,47 @@ TEST(ScenarioTest, RejectsMissingTraceFile) {
   EXPECT_FALSE(scenarioFrom("[workload]\ntype = trace\n", &error).has_value());
   EXPECT_FALSE(
       scenarioFrom("[workload]\ntype = trace\ntrace_file = /nonexistent\n", &error).has_value());
+}
+
+// Quick-tier determinism sweep over every shipped scenario: each INI in
+// scenarios/ must load, build, and reproduce itself bit-exactly on a
+// re-run with the same seed — including the adversarial flow-churn
+// scenarios (flood_collision.ini is chaos-harness-shaped and builds a
+// default sim scenario here; churn_storm.ini exercises the bounded flow
+// table end to end). The soak tier extends the same sweep to serial vs
+// parallel shards (determinism_test.cpp, GoldenSeed.ParallelMatchesSerial);
+// this one stays sub-second so it rides the inner loop.
+TEST(ScenarioTest, ShippedScenariosRerunBitIdentically) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(fs::path(AFF_SOURCE_ROOT) / "scenarios")) {
+    if (entry.path().extension() == ".ini") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    std::string error;
+    const auto cfg = ConfigFile::load(path.string(), &error);
+    ASSERT_TRUE(cfg.has_value()) << error;
+    auto sc = buildScenario(*cfg, &error);
+    ASSERT_TRUE(sc.has_value()) << error;
+    // Tiny windows keep the whole sweep quick-tier; determinism must hold
+    // for any window.
+    sc->config.warmup_us = std::min(sc->config.warmup_us, 2'000.0);
+    sc->config.measure_us = std::min(sc->config.measure_us, 20'000.0);
+    sc->config.parallel_procs = 0;
+    const RunMetrics a = runOnce(sc->config, sc->model, sc->streams);
+    const RunMetrics b = runOnce(sc->config, sc->model, sc->streams);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.arrived, b.arrived);
+    EXPECT_EQ(a.mean_delay_us, b.mean_delay_us);
+    EXPECT_EQ(a.p99_delay_us, b.p99_delay_us);
+    EXPECT_EQ(a.throughput_per_us, b.throughput_per_us);
+    EXPECT_EQ(a.flow_inserts, b.flow_inserts);
+    EXPECT_EQ(a.flow_evictions, b.flow_evictions);
+    EXPECT_EQ(a.flow_shed, b.flow_shed);
+  }
 }
 
 TEST(ScenarioTest, BuiltScenarioRunsEndToEnd) {

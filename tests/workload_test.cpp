@@ -3,11 +3,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <string>
+#include <vector>
 
+#include "net/dispatch.hpp"
+#include "workload/adversary.hpp"
 #include "workload/arrivals.hpp"
+#include "workload/frame_gen.hpp"
 #include "workload/stream_set.hpp"
 #include "workload/trace_io.hpp"
 
@@ -235,6 +241,160 @@ TEST(TraceIo, ReplayedStreamsMatchRecordingRate) {
   const StreamSet replay = makeTraceStreams(recorded, duration);
   EXPECT_EQ(replay.count(), 3u);
   EXPECT_NEAR(replay.totalRatePerUs() * duration, static_cast<double>(recorded.size()), 1e-6);
+}
+
+// ------------------------------------------------ adversarial workloads ---
+
+TEST(ZipfStreams, RatesFollowThePowerLawAndSumToTotal) {
+  const StreamSet set = makeZipfStreams(8, 0.08, 1.0);
+  ASSERT_EQ(set.count(), 8u);
+  EXPECT_NEAR(set.totalRatePerUs(), 0.08, 1e-9);
+  // rate_i ~ 1/(i+1): stream 0 carries twice stream 1, eight times stream 7.
+  const auto rate = [&](std::size_t s) { return set.streams[s]->meanRatePerUs(); };
+  EXPECT_NEAR(rate(0) / rate(1), 2.0, 1e-9);
+  EXPECT_NEAR(rate(0) / rate(7), 8.0, 1e-9);
+}
+
+TEST(ZipfStreams, AlphaZeroIsUniform) {
+  const StreamSet set = makeZipfStreams(4, 0.04, 0.0);
+  for (std::size_t s = 0; s < 4; ++s)
+    EXPECT_NEAR(set.streams[s]->meanRatePerUs(), 0.01, 1e-12) << s;
+}
+
+TEST(ChurnStreams, ArrivalsAreStaggeredAcrossTheSpan) {
+  const StreamSet set = makeChurnStreams(4, 0.04, 100'000.0);
+  ASSERT_EQ(set.count(), 4u);
+  Rng rng(5);
+  // First arrival of stream s comes no earlier than its onset delay.
+  for (std::size_t s = 0; s < 4; ++s) {
+    auto proc = set.streams[s]->clone();
+    const double first_gap = proc->next(rng).gap_us;
+    EXPECT_GE(first_gap, 100'000.0 * static_cast<double>(s) / 4.0) << s;
+  }
+}
+
+TEST(Adversary, NoneReproducesRoundRobinExactly) {
+  AdversaryOptions opt;
+  opt.kind = AdversaryKind::kNone;
+  opt.streams = 16;
+  const AdversaryPattern p(opt);
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    ASSERT_EQ(p.streamAt(i), static_cast<std::uint32_t>(i % 16)) << i;
+}
+
+TEST(Adversary, PatternsArePureFunctionsOfOptionsAndIndex) {
+  for (const auto kind : {AdversaryKind::kZipf, AdversaryKind::kChurn, AdversaryKind::kFlash,
+                          AdversaryKind::kCollision}) {
+    AdversaryOptions opt;
+    opt.kind = kind;
+    opt.streams = 64;
+    opt.seed = 9;
+    opt.collision_buckets = 4;
+    const AdversaryPattern a(opt), b(opt);
+    // Two identically configured patterns agree at every index, and
+    // evaluation order is irrelevant (streamAt holds no mutable state).
+    for (std::uint64_t i = 0; i < 2000; ++i)
+      ASSERT_EQ(a.streamAt(i), b.streamAt(i)) << i;
+    for (std::uint64_t i = 2000; i-- > 0;)
+      ASSERT_EQ(a.streamAt(i), b.streamAt(i)) << i;
+    for (std::uint64_t i = 0; i < 2000; ++i) ASSERT_LT(a.streamAt(i), opt.streams) << i;
+  }
+}
+
+TEST(Adversary, ZipfConcentratesOnTheHead) {
+  AdversaryOptions opt;
+  opt.kind = AdversaryKind::kZipf;
+  opt.streams = 64;
+  opt.zipf_alpha = 1.2;
+  const AdversaryPattern p(opt);
+  std::vector<std::uint64_t> counts(64, 0);
+  for (std::uint64_t i = 0; i < 50'000; ++i) ++counts[p.streamAt(i)];
+  EXPECT_GT(counts[0], counts[32] * 4);  // elephants vs the tail
+  EXPECT_GT(counts[63], 0u);             // but the tail still churns
+}
+
+TEST(Adversary, ChurnWavesDrawFromFreshWindows) {
+  AdversaryOptions opt;
+  opt.kind = AdversaryKind::kChurn;
+  opt.streams = 1024;
+  opt.churn_period = 100;
+  opt.churn_active = 8;
+  const AdversaryPattern p(opt);
+  // Within one wave at most churn_active distinct streams appear; the next
+  // wave's window is disjoint until the stream space wraps.
+  std::set<std::uint32_t> wave0, wave1;
+  for (std::uint64_t i = 0; i < 100; ++i) wave0.insert(p.streamAt(i));
+  for (std::uint64_t i = 100; i < 200; ++i) wave1.insert(p.streamAt(i));
+  EXPECT_LE(wave0.size(), 8u);
+  EXPECT_LE(wave1.size(), 8u);
+  for (const auto s : wave1) EXPECT_EQ(wave0.count(s), 0u) << s;
+}
+
+TEST(Adversary, FlashCrowdConcentratesOnlyDuringTheBurst) {
+  AdversaryOptions opt;
+  opt.kind = AdversaryKind::kFlash;
+  opt.streams = 256;
+  opt.flash_period = 1000;
+  opt.flash_len = 100;
+  opt.flash_hot = 4;
+  const AdversaryPattern p(opt);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_LT(p.streamAt(i), 4u) << i;
+  std::set<std::uint32_t> background;
+  for (std::uint64_t i = 100; i < 1000; ++i) background.insert(p.streamAt(i));
+  EXPECT_GT(background.size(), 64u);  // uniform over the full space
+}
+
+TEST(Adversary, CollisionSetSharesOneRssQueue) {
+  AdversaryOptions opt;
+  opt.kind = AdversaryKind::kCollision;
+  opt.streams = 4096;
+  opt.collision_buckets = 4;
+  opt.collision_fraction = 1.0;  // every frame comes from the colliding set
+  const AdversaryPattern p(opt);
+  EXPECT_GT(p.collisionSetSize(), 1u);
+  net::NicDispatcher nic(net::NicDispatchMode::kRss, 4);
+  const unsigned target = nic.queueOf(p.streamAt(0));
+  for (std::uint64_t i = 1; i < 5000; ++i)
+    ASSERT_EQ(nic.queueOf(p.streamAt(i)), target) << i;
+}
+
+TEST(Adversary, KindNamesRoundTrip) {
+  for (const auto k : {AdversaryKind::kNone, AdversaryKind::kZipf, AdversaryKind::kChurn,
+                       AdversaryKind::kFlash, AdversaryKind::kCollision}) {
+    AdversaryKind parsed;
+    ASSERT_TRUE(parseAdversaryKind(adversaryKindName(k), &parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  AdversaryKind out;
+  EXPECT_FALSE(parseAdversaryKind("ddos", &out));
+}
+
+// --------------------------------------------------- lazy frame corpus ---
+
+TEST(FrameGen, LazyModeMatchesPrebuilt) {
+  // Same seed + options, one corpus forced eager and one lazy (stream count
+  // above the threshold): every frame must match byte-for-byte.
+  FrameCorpus::Options small;
+  small.streams = 64;
+  const FrameCorpus eager(321, small);
+  ASSERT_FALSE(eager.lazy());
+
+  FrameCorpus::Options big = small;
+  big.streams = FrameCorpus::kLazyStreamThreshold + 1;
+  const FrameCorpus lazy(321, big);
+  ASSERT_TRUE(lazy.lazy());
+
+  // Streams below `small.streams` exist in both corpora with identical
+  // per-stream rng splits, so the frames agree exactly.
+  for (std::uint32_t s : {0u, 1u, 7u, 63u}) {
+    for (std::uint64_t v = 0; v < 8; ++v) {
+      ASSERT_EQ(eager.frame(s, v), lazy.frame(s, v)) << "stream " << s << " variant " << v;
+    }
+  }
+  // Lazy frames are themselves replay-stable (pure function, no cache).
+  for (std::uint32_t s : {5000u, 100'000u % big.streams}) {
+    ASSERT_EQ(lazy.frame(s, 3), lazy.frame(s, 3));
+  }
 }
 
 }  // namespace

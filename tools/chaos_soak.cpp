@@ -3,11 +3,14 @@
 // kill/stall) and audit the conservation ledger at shutdown:
 //
 //   submitted == delivered + Σ dropped_by_cause + dropped_oldest
+//                + Σ evicted_inflight
 //
 //   $ ./chaos_soak --config scenarios/chaos_mixed_faults.ini
 //   $ ./chaos_soak --frames 1000000 --engine all
+//   $ ./chaos_soak --streams 100000 --frames 400000   # flow-table eviction
 //
-// Exits 0 iff every run conserves exactly. Flags override the config file.
+// Exits 0 iff every run conserves exactly (greppable "CHAOS SOAK PASS" /
+// "CHAOS SOAK FAIL" status line). Flags override the config file.
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -24,6 +27,8 @@ int main(int argc, char** argv) {
   const std::string& path = cli.flag<std::string>("config", "", "chaos scenario file (optional)");
   const std::string& engine = cli.flag<std::string>("engine", "all", "locking|ips|dispatch|all");
   const std::int64_t& frames = cli.flag<std::int64_t>("frames", 0, "override frame count");
+  const std::int64_t& streams = cli.flag<std::int64_t>(
+      "streams", 0, "override stream count (10^5 exercises flow-table eviction)");
   const std::int64_t& seed = cli.flag<std::int64_t>("seed", -1, "override seed");
   const std::string& metrics_out = cli.flag<std::string>(
       "metrics-out", "", "write the chaos ledger as a metrics-registry JSON snapshot here");
@@ -67,6 +72,7 @@ int main(int argc, char** argv) {
     cfg.stall_at = static_cast<std::uint64_t>(static_cast<double>(cfg.stall_at) * scale);
     cfg.frames = static_cast<std::uint64_t>(frames);
   }
+  if (streams > 0) cfg.streams = static_cast<std::uint32_t>(streams);
   if (seed >= 0) cfg.seed = static_cast<std::uint64_t>(seed);
   if (!metrics_out.empty()) cfg.metrics = &registry;
 
@@ -89,8 +95,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("%s\n", ok ? "CONSERVED: every frame accounted for"
-                         : "VIOLATION: conservation ledger does not balance");
+  // Greppable status line, same convention as scripts/run_perf_smoke.sh.
+  std::printf("%s\n", ok ? "CHAOS SOAK PASS: every frame accounted for"
+                         : "CHAOS SOAK FAIL: conservation ledger does not balance");
 
   if (trace != nullptr) {
     obs::TraceSession::deactivate();

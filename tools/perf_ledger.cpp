@@ -57,44 +57,52 @@ int main(int argc, char** argv) {
   const std::string& date = cli.flag<std::string>("date", "", "row date (default today)");
   const bool& full = cli.flag<bool>("full", false, "full event counts (slower, steadier numbers)");
   const int& reps = cli.flag<int>("reps", 3, "repetitions per kernel workload (best kept)");
+  const bool& parallel_only = cli.flag<bool>(
+      "parallel-only", false,
+      "run only the parallel-sim section (the multi-core CI datapoint; reduced row)");
   cli.parse(argc, argv);
 
   const std::string day = date.empty() ? todayIso() : date;
   const std::string path = out.empty() ? "BENCH_" + day + ".json" : out;
   const std::uint64_t n = full ? 3'000'000 : 300'000;
+  const auto model = ExecTimeModel::standard();
+  const auto streams = makePoissonStreams(16, 0.03);
 
   // 1) Event-kernel hot path, current vs frozen seed kernel.
-  std::printf("perf_ledger: kernel workloads (%llu events, best of %d)...\n",
-              static_cast<unsigned long long>(n), reps);
-  const KernelResult hold = measureKernelPair(
-      "hold64", reps, [&](std::uint64_t s) { return benchHold<Simulator>(n, 64, s); },
-      [&](std::uint64_t s) { return benchHold<legacy::Simulator>(n, 64, s); });
-  const KernelResult churn = measureKernelPair(
-      "churn", reps, [&](std::uint64_t s) { return benchChurn<Simulator>(n, 256, s); },
-      [&](std::uint64_t s) { return benchChurn<legacy::Simulator>(n, 256, s); });
-  const KernelResult chain = measureKernelPair(
-      "chain", reps, [&](std::uint64_t s) { return benchChain<Simulator>(n, s); },
-      [&](std::uint64_t s) { return benchChain<legacy::Simulator>(n, s); });
-  const KernelResult batch = measureKernelPair(
-      "batch_admit", reps,
-      [&](std::uint64_t s) { return benchBatchAdmit<Simulator>(n, 64, s); },
-      [&](std::uint64_t s) { return benchBatchAdmit<legacy::Simulator>(n, 64, s); });
-  const double guard_pct = benchGuardOverheadPct<Simulator>(n, 64, reps);
+  KernelResult hold, churn, chain, batch;
+  double guard_pct = 0.0;
+  double sim_pkts_per_wall_s = 0.0;
+  if (!parallel_only) {
+    std::printf("perf_ledger: kernel workloads (%llu events, best of %d)...\n",
+                static_cast<unsigned long long>(n), reps);
+    hold = measureKernelPair(
+        "hold64", reps, [&](std::uint64_t s) { return benchHold<Simulator>(n, 64, s); },
+        [&](std::uint64_t s) { return benchHold<legacy::Simulator>(n, 64, s); });
+    churn = measureKernelPair(
+        "churn", reps, [&](std::uint64_t s) { return benchChurn<Simulator>(n, 256, s); },
+        [&](std::uint64_t s) { return benchChurn<legacy::Simulator>(n, 256, s); });
+    chain = measureKernelPair(
+        "chain", reps, [&](std::uint64_t s) { return benchChain<Simulator>(n, s); },
+        [&](std::uint64_t s) { return benchChain<legacy::Simulator>(n, s); });
+    batch = measureKernelPair(
+        "batch_admit", reps,
+        [&](std::uint64_t s) { return benchBatchAdmit<Simulator>(n, 64, s); },
+        [&](std::uint64_t s) { return benchBatchAdmit<legacy::Simulator>(n, 64, s); });
+    guard_pct = benchGuardOverheadPct<Simulator>(n, 64, reps);
 
-  // 2) Full protocol model: simulated packets per wall-second (Locking/MRU
-  // at moderate load — the simulator's own speed, not the modeled system's).
-  std::printf("perf_ledger: protocol-model throughput...\n");
-  const auto model = ExecTimeModel::standard();
-  SimConfig sim_cfg = defaultSimConfig();
-  sim_cfg.num_procs = 8;
-  sim_cfg.policy.paradigm = Paradigm::kLocking;
-  sim_cfg.policy.locking = LockingPolicy::kMru;
-  sim_cfg.seed = 1;
-  setAutoWindow(sim_cfg, 0.03, full ? 80'000 : 15'000);
-  const auto streams = makePoissonStreams(16, 0.03);
-  const auto sim_t0 = std::chrono::steady_clock::now();
-  const RunMetrics sim_m = runOnce(sim_cfg, model, streams);
-  const double sim_pkts_per_wall_s = static_cast<double>(sim_m.completed) / wallSecondsSince(sim_t0);
+    // 2) Full protocol model: simulated packets per wall-second (Locking/MRU
+    // at moderate load — the simulator's own speed, not the modeled system's).
+    std::printf("perf_ledger: protocol-model throughput...\n");
+    SimConfig sim_cfg = defaultSimConfig();
+    sim_cfg.num_procs = 8;
+    sim_cfg.policy.paradigm = Paradigm::kLocking;
+    sim_cfg.policy.locking = LockingPolicy::kMru;
+    sim_cfg.seed = 1;
+    setAutoWindow(sim_cfg, 0.03, full ? 80'000 : 15'000);
+    const auto sim_t0 = std::chrono::steady_clock::now();
+    const RunMetrics sim_m = runOnce(sim_cfg, model, streams);
+    sim_pkts_per_wall_s = static_cast<double>(sim_m.completed) / wallSecondsSince(sim_t0);
+  }
 
   // 2b) Parallel sim: the exactly-decomposable IPS/Wired configuration,
   // serial vs sharded, same seed and window. host_cores rides along because
@@ -126,9 +134,9 @@ int main(int argc, char** argv) {
   // steady-state LockingEngine window. The counting-allocator test
   // (arena_test) pins the *global*-allocator count at zero; this row tracks
   // the arena-side cost — ~1.0 means one pool hit per submitted frame.
-  std::printf("perf_ledger: arena frame path...\n");
   double arena_alloc_calls_per_frame = 0.0;
-  {
+  if (!parallel_only) {
+    std::printf("perf_ledger: arena frame path...\n");
     EngineOptions eopts;
     eopts.queue_capacity = 256;
     LockingEngine eng(/*workers=*/1, HostConfig{}, eopts);
@@ -161,55 +169,76 @@ int main(int argc, char** argv) {
   }
 
   // 3) Fast Figure-9 capacity smoke: Locking vs IPS max sustainable rate.
-  std::printf("perf_ledger: fig9 capacity smoke...\n");
-  SimConfig cap_cfg = defaultSimConfig();
-  cap_cfg.num_procs = 8;
-  cap_cfg.seed = 1;
-  cap_cfg.warmup_us = 50'000.0;
-  cap_cfg.measure_us = full ? 800'000.0 : 200'000.0;
-  const auto factory = [](double rate) { return makePoissonStreams(16, rate); };
-  cap_cfg.policy.paradigm = Paradigm::kLocking;
-  cap_cfg.policy.locking = LockingPolicy::kMru;
-  const CapacityResult cap_locking =
-      findMaxRate(cap_cfg, model, factory, 0.002, 0.08, 1000.0, full ? 10 : 7);
-  cap_cfg.policy.paradigm = Paradigm::kIps;
-  cap_cfg.policy.ips = IpsPolicy::kMru;
-  const CapacityResult cap_ips =
-      findMaxRate(cap_cfg, model, factory, 0.002, 0.08, 1000.0, full ? 10 : 7);
+  CapacityResult cap_locking, cap_ips;
+  if (!parallel_only) {
+    std::printf("perf_ledger: fig9 capacity smoke...\n");
+    SimConfig cap_cfg = defaultSimConfig();
+    cap_cfg.num_procs = 8;
+    cap_cfg.seed = 1;
+    cap_cfg.warmup_us = 50'000.0;
+    cap_cfg.measure_us = full ? 800'000.0 : 200'000.0;
+    const auto factory = [](double rate) { return makePoissonStreams(16, rate); };
+    cap_cfg.policy.paradigm = Paradigm::kLocking;
+    cap_cfg.policy.locking = LockingPolicy::kMru;
+    cap_locking = findMaxRate(cap_cfg, model, factory, 0.002, 0.08, 1000.0, full ? 10 : 7);
+    cap_cfg.policy.paradigm = Paradigm::kIps;
+    cap_cfg.policy.ips = IpsPolicy::kMru;
+    cap_ips = findMaxRate(cap_cfg, model, factory, 0.002, 0.08, 1000.0, full ? 10 : 7);
+  }
 
   char row[2048];
-  std::snprintf(
-      row, sizeof row,
-      "{\"date\": \"%s\", \"mode\": \"%s\", \"host_cores\": %u, "
-      "\"kernel_hold64_eps\": %.0f, \"kernel_hold64_speedup\": %.3f, "
-      "\"kernel_churn_ops\": %.0f, \"kernel_churn_speedup\": %.3f, "
-      "\"kernel_chain_eps\": %.0f, \"kernel_chain_speedup\": %.3f, "
-      "\"kernel_batch_admit_eps\": %.0f, \"kernel_batch_admit_speedup\": %.3f, "
-      "\"trace_guard_overhead_pct\": %.3f, "
-      "\"sim_pkts_per_wall_s\": %.0f, "
-      "\"sim_serial_ips_pkts_per_wall_s\": %.0f, "
-      "\"sim_parallel_pkts_per_wall_s\": %.0f, "
-      "\"sim_parallel_threads\": %u, \"sim_parallel_engaged\": %s, "
-      "\"arena_alloc_calls_per_frame\": %.3f, "
-      "\"capacity_locking_pkts_per_s\": %.0f, \"capacity_ips_pkts_per_s\": %.0f}",
-      day.c_str(), full ? "full" : "fast", host_cores, hold.new_eps, hold.speedup(),
-      churn.new_eps, churn.speedup(), chain.new_eps, chain.speedup(), batch.new_eps,
-      batch.speedup(), guard_pct, sim_pkts_per_wall_s, sim_serial_ips_pkts_per_wall_s,
-      sim_parallel_pkts_per_wall_s, pinfo.shards, pinfo.parallel ? "true" : "false",
-      arena_alloc_calls_per_frame, cap_locking.max_rate_per_us * 1e6,
-      cap_ips.max_rate_per_us * 1e6);
+  if (parallel_only) {
+    // Reduced row: just the parallel-sim datapoint ROADMAP item 2 wants
+    // from a multi-core host (CI job perf-ledger-multicore). Same keys as
+    // the full row where they overlap, so trajectory queries compose.
+    std::snprintf(
+        row, sizeof row,
+        "{\"date\": \"%s\", \"mode\": \"parallel-only\", \"host_cores\": %u, "
+        "\"sim_serial_ips_pkts_per_wall_s\": %.0f, "
+        "\"sim_parallel_pkts_per_wall_s\": %.0f, "
+        "\"sim_parallel_threads\": %u, \"sim_parallel_engaged\": %s, "
+        "\"sim_parallel_speedup\": %.3f}",
+        day.c_str(), host_cores, sim_serial_ips_pkts_per_wall_s,
+        sim_parallel_pkts_per_wall_s, pinfo.shards, pinfo.parallel ? "true" : "false",
+        sim_serial_ips_pkts_per_wall_s > 0.0
+            ? sim_parallel_pkts_per_wall_s / sim_serial_ips_pkts_per_wall_s
+            : 0.0);
+  } else {
+    std::snprintf(
+        row, sizeof row,
+        "{\"date\": \"%s\", \"mode\": \"%s\", \"host_cores\": %u, "
+        "\"kernel_hold64_eps\": %.0f, \"kernel_hold64_speedup\": %.3f, "
+        "\"kernel_churn_ops\": %.0f, \"kernel_churn_speedup\": %.3f, "
+        "\"kernel_chain_eps\": %.0f, \"kernel_chain_speedup\": %.3f, "
+        "\"kernel_batch_admit_eps\": %.0f, \"kernel_batch_admit_speedup\": %.3f, "
+        "\"trace_guard_overhead_pct\": %.3f, "
+        "\"sim_pkts_per_wall_s\": %.0f, "
+        "\"sim_serial_ips_pkts_per_wall_s\": %.0f, "
+        "\"sim_parallel_pkts_per_wall_s\": %.0f, "
+        "\"sim_parallel_threads\": %u, \"sim_parallel_engaged\": %s, "
+        "\"arena_alloc_calls_per_frame\": %.3f, "
+        "\"capacity_locking_pkts_per_s\": %.0f, \"capacity_ips_pkts_per_s\": %.0f}",
+        day.c_str(), full ? "full" : "fast", host_cores, hold.new_eps, hold.speedup(),
+        churn.new_eps, churn.speedup(), chain.new_eps, chain.speedup(), batch.new_eps,
+        batch.speedup(), guard_pct, sim_pkts_per_wall_s, sim_serial_ips_pkts_per_wall_s,
+        sim_parallel_pkts_per_wall_s, pinfo.shards, pinfo.parallel ? "true" : "false",
+        arena_alloc_calls_per_frame, cap_locking.max_rate_per_us * 1e6,
+        cap_ips.max_rate_per_us * 1e6);
+  }
 
   if (!obs::appendLedgerRow(path, row)) {
     std::fprintf(stderr, "perf_ledger: could not write %s\n", path.c_str());
     return 1;
   }
-  std::printf("kernel hold64 %.2f Mev/s (%.2fx seed)  churn %.2f Mops/s (%.2fx)  "
-              "chain %.2f Mev/s (%.2fx)  batch_admit %.2f Mev/s (%.2fx)\n",
-              hold.new_eps / 1e6, hold.speedup(), churn.new_eps / 1e6, churn.speedup(),
-              chain.new_eps / 1e6, chain.speedup(), batch.new_eps / 1e6, batch.speedup());
-  std::printf("trace guard %.3f%%  sim %.0f pkts/wall-s  capacity locking %.0f / ips %.0f pkts/s\n",
-              guard_pct, sim_pkts_per_wall_s, cap_locking.max_rate_per_us * 1e6,
-              cap_ips.max_rate_per_us * 1e6);
+  if (!parallel_only) {
+    std::printf("kernel hold64 %.2f Mev/s (%.2fx seed)  churn %.2f Mops/s (%.2fx)  "
+                "chain %.2f Mev/s (%.2fx)  batch_admit %.2f Mev/s (%.2fx)\n",
+                hold.new_eps / 1e6, hold.speedup(), churn.new_eps / 1e6, churn.speedup(),
+                chain.new_eps / 1e6, chain.speedup(), batch.new_eps / 1e6, batch.speedup());
+    std::printf("trace guard %.3f%%  sim %.0f pkts/wall-s  capacity locking %.0f / ips %.0f pkts/s\n",
+                guard_pct, sim_pkts_per_wall_s, cap_locking.max_rate_per_us * 1e6,
+                cap_ips.max_rate_per_us * 1e6);
+  }
   std::printf("ips serial %.0f pkts/wall-s  parallel %.0f pkts/wall-s "
               "(%u shards, engaged=%s, %u host cores)  arena %.3f allocs/frame\n",
               sim_serial_ips_pkts_per_wall_s, sim_parallel_pkts_per_wall_s, pinfo.shards,
