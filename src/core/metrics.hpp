@@ -38,8 +38,16 @@ struct RunMetrics {
   /// total jobs migrated by them (jobs >= steals when batches > 1).
   std::uint64_t steals = 0;
   std::uint64_t stolen_jobs = 0;
-  /// NIC dispatch front-end (SimConfig::dispatch): FlowDirector pin moves.
+  /// NIC dispatch front-end (SimConfig::dispatch): FDir/TFN pin moves.
   std::uint64_t flow_migrations = 0;
+  /// TransportFriendly dispatch ledger (all zero for the other modes):
+  /// consumer feedback accepted, repin proposals parked behind in-flight
+  /// frames, parked proposals applied after drain, and proposals dropped as
+  /// stale past the feedback window.
+  std::uint64_t tfn_feedback = 0;
+  std::uint64_t tfn_deferred = 0;
+  std::uint64_t tfn_applied = 0;
+  std::uint64_t tfn_stale = 0;
 
   /// Bounded flow table (SimConfig::flow): admission ledger. Conservation
   /// extends to arrived == completed_total + backlog + flow_shed; evictions

@@ -27,6 +27,8 @@ bool parallelEligible(const SimConfig& config, const char** reason) {
     return fail("non-wired IPS placement reads global idle state");
   if (config.dispatch == net::NicDispatchMode::kFlowDirector)
     return fail("flow-director pins are shared mutable state");
+  if (config.dispatch == net::NicDispatchMode::kTransportFriendly)
+    return fail("transport-friendly feedback pins are shared mutable state");
   if (config.adaptive_hybrid) return fail("adaptive hybrid reclassifies globally");
   if (config.bus_occupancy_fraction > 0.0) return fail("shared memory bus couples shards");
   if (config.observer != nullptr || config.metrics != nullptr || config.trace != nullptr)

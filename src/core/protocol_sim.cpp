@@ -9,8 +9,8 @@ ProtocolSim::ProtocolSim(SimConfig config, const ExecTimeModel& model, const Str
       model_(model),
       streams_(streams.clone()),
       affinity_(config.num_procs, streams.count(), config.effectiveStacks()),
-      nic_wired_(config.dispatch, config.num_procs),
-      nic_stack_(config.dispatch, config.effectiveStacks()),
+      nic_wired_(config.dispatch, config.num_procs, config.tfn_window),
+      nic_stack_(config.dispatch, config.effectiveStacks(), config.tfn_window),
       dispatch_rng_(Rng(config.seed).split(0xd15c)),
       proc_idle_(config.num_procs, 1),
       idle_count_(config.num_procs),
@@ -262,6 +262,9 @@ void ProtocolSim::arrivePacket(std::uint32_t stream) {
   if (usesLocking(stream)) {
     if (wiredLocking()) {
       const unsigned p = nic_wired_.queueOf(stream);
+      // TransportFriendly: the frame enters the old home's in-flight prefix
+      // the moment it is routed; a deferred repin waits for it to complete.
+      nic_wired_.noteDispatched(stream);
       const Job job{stream, now, p};
       if (proc_idle_[p]) {
         startService(p, job);
@@ -296,6 +299,7 @@ void ProtocolSim::arrivePacket(std::uint32_t stream) {
     return;
   }
   const std::uint32_t k = nic_stack_.queueOf(stream);
+  nic_stack_.noteDispatched(stream);
   const Job job{stream, now, k};
   stack_queues_[k].push_back(job);
   ++queued_count_;
@@ -515,15 +519,20 @@ bool ProtocolSim::trySteal(unsigned thief) {
     hooks_.steal_count->inc();
     hooks_.steal_jobs->inc(take);
   }
+  // FlowDirector's pin follows the theft immediately (packet-triggered
+  // update — the pathology). TransportFriendly learns only from the thief's
+  // *completions* (onComplete feedback), so the steal itself must not touch
+  // the pin here: doing so would also double-drain the in-flight window.
+  const bool fdir = config_.dispatch == net::NicDispatchMode::kFlowDirector;
   Job first = vq.front();
   vq.pop_front();
   first.queue = thief;
-  nic_wired_.noteRun(first.stream, thief);  // FlowDirector pin follows the theft
+  if (fdir) nic_wired_.noteRun(first.stream, thief);
   for (std::size_t i = 1; i < take; ++i) {
     Job j = vq.front();
     vq.pop_front();
     j.queue = thief;
-    nic_wired_.noteRun(j.stream, thief);
+    if (fdir) nic_wired_.noteRun(j.stream, thief);
     wired_queues_[thief].push_back(j);
   }
   noteProcQueue(static_cast<unsigned>(victim), -static_cast<int>(take));
@@ -540,9 +549,17 @@ void ProtocolSim::onComplete(unsigned proc, const Job& job, double lock_wait, do
   const std::uint32_t stack = locking ? AffinityState::kNoStack : job.queue;
   affinity_.onComplete(proc, job.stream, stack, now);
   if (locking) {
-    if (wiredLocking()) nic_wired_.noteRun(job.stream, proc);
+    if (wiredLocking() && nic_wired_.noteRun(job.stream, proc)) {
+      // A deferred transport-friendly repin just applied: the stream's warm
+      // footprint at the old home is forfeited, so its next packet pays the
+      // cold-reload transient at the new one — the deliberate migration's
+      // cost, charged through the same cache model as every other one.
+      affinity_.forgetStream(job.stream);
+    }
   } else {
-    nic_stack_.noteRun(job.stream, job.queue);
+    // Stack pins never move (a stream's stack is fixed), so TFN feedback
+    // here only closes the in-flight window; no repin can apply.
+    (void)nic_stack_.noteRun(job.stream, job.queue);
   }
   if (config_.observer != nullptr) config_.observer->onServiceEnd(proc, job.stream, stack, now);
   ++completed_total_;
@@ -688,7 +705,13 @@ RunMetrics ProtocolSim::finishRun() {
   m.reclassifications = reclassifications_;
   m.steals = steals_;
   m.stolen_jobs = stolen_jobs_;
-  m.flow_migrations = nic_wired_.stats().migrations + nic_stack_.stats().migrations;
+  const net::NicDispatchStats wired_ns = nic_wired_.stats();
+  const net::NicDispatchStats stack_ns = nic_stack_.stats();
+  m.flow_migrations = wired_ns.migrations + stack_ns.migrations;
+  m.tfn_feedback = wired_ns.tfn_feedback + stack_ns.tfn_feedback;
+  m.tfn_deferred = wired_ns.tfn_deferred + stack_ns.tfn_deferred;
+  m.tfn_applied = wired_ns.tfn_applied + stack_ns.tfn_applied;
+  m.tfn_stale = wired_ns.tfn_stale + stack_ns.tfn_stale;
   if (flow_table_ != nullptr) {
     const auto fs = flow_table_->stats();
     m.flow_inserts = fs.inserts;
@@ -728,6 +751,14 @@ void ProtocolSim::exportRunMetrics(const RunMetrics& m) {
   reg.counter("sim.hybrid.reclassifications").inc(reclassifications_);
   reg.counter("sim.net.dispatch.pins").inc(nic_wired_.stats().pins + nic_stack_.stats().pins);
   reg.counter("sim.net.dispatch.migrations").inc(m.flow_migrations);
+  if (config_.dispatch == net::NicDispatchMode::kTransportFriendly) {
+    // TransportFriendly ledger (docs/OBSERVABILITY.md, sim.net.dispatch.tfn.*);
+    // gated on the mode so every other configuration's export is unchanged.
+    reg.counter("sim.net.dispatch.tfn.feedback").inc(m.tfn_feedback);
+    reg.counter("sim.net.dispatch.tfn.deferred").inc(m.tfn_deferred);
+    reg.counter("sim.net.dispatch.tfn.applied").inc(m.tfn_applied);
+    reg.counter("sim.net.dispatch.tfn.stale").inc(m.tfn_stale);
+  }
   if (flow_table_ != nullptr) {
     // Bounded flow table (docs/OBSERVABILITY.md, sim.flow.*).
     reg.counter("sim.flow.inserts").inc(m.flow_inserts);

@@ -138,8 +138,15 @@ struct SimConfig {
   /// kRss routes by Toeplitz hash; kFlowDirector pins streams to their
   /// last-used queue and migrates the pin when a steal re-homes a stream —
   /// Wu et al.'s reordering pathology (arXiv:1106.0443), reproduced
-  /// deterministically here.
+  /// deterministically here. kTransportFriendly is the companion paper's
+  /// fix (arXiv:1106.0445): the pin moves only on consumer feedback, and
+  /// only after the old home's in-flight prefix for the stream has drained
+  /// — completions drive the move, and the deliberate repins that do occur
+  /// cold-reset the stream's affinity footprint (the migration transient).
   net::NicDispatchMode dispatch = net::NicDispatchMode::kDirect;
+  /// kTransportFriendly staleness window: a deferred repin proposal that is
+  /// outlived by this many completions at the current pin is dropped.
+  unsigned tfn_window = net::NicDispatcher::kDefaultTfnWindow;
   /// Work stealing (policy.locking == kStealAffinity): at most this many
   /// jobs move per steal (head-of-queue prefix, order preserved in flight).
   unsigned steal_batch = 4;

@@ -56,9 +56,16 @@ bool parsePolicy(const ConfigFile& cfg, SimConfig& out, std::string* error) {
   out.policy.ips_stacks = static_cast<unsigned>(cfg.getInt("policy.stacks", 0));
   out.adaptive_hybrid = cfg.getBool("policy.adaptive", false);
 
-  const std::string dispatch = cfg.getString("policy.dispatch", "direct");
+  // The NIC front-end reads from its own [net] section, with the historical
+  // [policy] spelling kept as a fallback (every shipped scenario predating
+  // the section still parses identically).
+  const std::string dispatch =
+      cfg.getString("net.dispatch", cfg.getString("policy.dispatch", "direct"));
   if (!net::parseNicMode(dispatch, &out.dispatch))
-    return fail(error, "unknown policy.dispatch '" + dispatch + "'");
+    return fail(error, "unknown net.dispatch '" + dispatch + "'");
+  out.tfn_window = static_cast<unsigned>(cfg.getInt(
+      "net.tfn_window", static_cast<int>(net::NicDispatcher::kDefaultTfnWindow)));
+  if (out.tfn_window == 0) return fail(error, "net.tfn_window must be positive");
   out.steal_batch = static_cast<unsigned>(cfg.getInt("policy.steal_batch", 4));
   out.steal_min_queue = static_cast<unsigned>(cfg.getInt("policy.steal_min_queue", 2));
   out.steal_penalty_us = cfg.getDouble("policy.steal_penalty_us", 5.0);

@@ -9,6 +9,7 @@ const char* nicModeName(NicDispatchMode mode) noexcept {
     case NicDispatchMode::kDirect: return "direct";
     case NicDispatchMode::kRss: return "rss";
     case NicDispatchMode::kFlowDirector: return "flow-director";
+    case NicDispatchMode::kTransportFriendly: return "tfn";
   }
   return "?";
 }
@@ -20,14 +21,16 @@ bool parseNicMode(const std::string& text, NicDispatchMode* out) noexcept {
     *out = NicDispatchMode::kRss;
   } else if (text == "flow-director" || text == "fdir") {
     *out = NicDispatchMode::kFlowDirector;
+  } else if (text == "tfn" || text == "transport-friendly") {
+    *out = NicDispatchMode::kTransportFriendly;
   } else {
     return false;
   }
   return true;
 }
 
-NicDispatcher::NicDispatcher(NicDispatchMode mode, unsigned num_queues)
-    : mode_(mode), num_queues_(num_queues) {
+NicDispatcher::NicDispatcher(NicDispatchMode mode, unsigned num_queues, unsigned tfn_window)
+    : mode_(mode), num_queues_(num_queues), tfn_window_(tfn_window) {
   AFF_CHECK(num_queues >= 1);
   indirection_.resize(kIndirectionEntries);
   // Default round-robin table population, as RSS drivers program at init.
@@ -38,6 +41,28 @@ NicDispatcher::NicDispatcher(NicDispatchMode mode, unsigned num_queues)
 unsigned NicDispatcher::hashQueue(std::uint32_t stream) const noexcept {
   const std::uint32_t h = rssHashForStream(hash_, stream);
   return indirection_[h % kIndirectionEntries];
+}
+
+void NicDispatcher::ensureStream(std::uint32_t stream) {
+  if (stream >= pin_.size()) pin_.resize(stream + 1, 0);
+  if (mode_ == NicDispatchMode::kTransportFriendly && stream >= inflight_.size()) {
+    pending_.resize(stream + 1, 0);
+    inflight_.resize(stream + 1, 0);
+    pending_age_.resize(stream + 1, 0);
+  }
+}
+
+// Applies a parked repin proposal iff the old home has fully drained.
+// Returns true when the pin actually moved — the caller's cue to charge a
+// cold transient for the deliberate migration.
+bool NicDispatcher::applyPendingLocked(std::uint32_t stream) {
+  if (pending_[stream] == 0 || inflight_[stream] != 0) return false;
+  pin_[stream] = pending_[stream];
+  pending_[stream] = 0;
+  pending_age_[stream] = 0;
+  ++stats_.migrations;
+  ++stats_.tfn_applied;
+  return true;
 }
 
 unsigned NicDispatcher::queueOf(std::uint32_t stream) {
@@ -52,11 +77,14 @@ unsigned NicDispatcher::queueOf(std::uint32_t stream) {
       ++stats_.routed;
       return hashQueue(stream);
     }
-    case NicDispatchMode::kFlowDirector: {
+    case NicDispatchMode::kFlowDirector:
+    case NicDispatchMode::kTransportFriendly: {
       MutexLock lock(mu_);
       ++stats_.routed;
-      if (stream >= pin_.size()) pin_.resize(stream + 1, 0);
+      ensureStream(stream);
       if (pin_[stream] == 0) {
+        // Toeplitz seed placement for first-seen streams keeps RSS-level
+        // load spread; only subsequent state updates diverge by mode.
         pin_[stream] = hashQueue(stream) + 1;
         ++stats_.pins;
       }
@@ -66,28 +94,101 @@ unsigned NicDispatcher::queueOf(std::uint32_t stream) {
   return 0;  // unreachable
 }
 
-void NicDispatcher::noteRun(std::uint32_t stream, unsigned queue) {
-  if (mode_ != NicDispatchMode::kFlowDirector) return;
+void NicDispatcher::noteDispatched(std::uint32_t stream) {
+  if (mode_ != NicDispatchMode::kTransportFriendly) return;
   MutexLock lock(mu_);
-  if (stream >= pin_.size()) pin_.resize(stream + 1, 0);
-  const unsigned entry = queue + 1;
-  if (pin_[stream] == entry) return;
-  if (pin_[stream] == 0) {
-    ++stats_.pins;
-  } else {
-    ++stats_.migrations;
+  ensureStream(stream);
+  ++inflight_[stream];
+}
+
+bool NicDispatcher::noteRun(std::uint32_t stream, unsigned queue) {
+  if (mode_ == NicDispatchMode::kFlowDirector) {
+    MutexLock lock(mu_);
+    ensureStream(stream);
+    const unsigned entry = queue + 1;
+    if (pin_[stream] == entry) return false;
+    if (pin_[stream] == 0) {
+      ++stats_.pins;
+    } else {
+      ++stats_.migrations;
+    }
+    pin_[stream] = entry;
+    return false;
   }
-  pin_[stream] = entry;
+  if (mode_ != NicDispatchMode::kTransportFriendly) return false;
+  MutexLock lock(mu_);
+  ensureStream(stream);
+  if (inflight_[stream] > 0) --inflight_[stream];
+  ++stats_.tfn_feedback;
+  const unsigned entry = queue + 1;
+  if (pin_[stream] == 0) {
+    // Feedback ahead of any routed arrival: take it as the first placement.
+    pin_[stream] = entry;
+    ++stats_.pins;
+  } else if (entry != pin_[stream]) {
+    // The consumer moved (a steal, a failover): park the proposal; it
+    // applies only once the old home's in-flight prefix drains. Repeated
+    // feedback from the same new consumer reinforces without re-arming.
+    if (pending_[stream] != entry) {
+      pending_[stream] = entry;
+      pending_age_[stream] = 0;
+      ++stats_.tfn_deferred;
+    }
+  } else if (pending_[stream] != 0) {
+    // The current pin is still consuming: the parked proposal ages, and a
+    // proposal that loses the race past the window was a transient — drop
+    // it rather than migrate on stale evidence.
+    if (++pending_age_[stream] > tfn_window_) {
+      pending_[stream] = 0;
+      pending_age_[stream] = 0;
+      ++stats_.tfn_stale;
+    }
+  }
+  return applyPendingLocked(stream);
+}
+
+void NicDispatcher::noteDrained(std::uint32_t stream, bool stale_feedback) {
+  if (mode_ != NicDispatchMode::kTransportFriendly) return;
+  MutexLock lock(mu_);
+  ensureStream(stream);
+  if (inflight_[stream] > 0) --inflight_[stream];
+  if (stale_feedback) ++stats_.tfn_stale;
+  (void)applyPendingLocked(stream);
 }
 
 void NicDispatcher::repin(std::uint32_t stream, unsigned queue) {
-  if (mode_ != NicDispatchMode::kFlowDirector) return;
+  if (mode_ == NicDispatchMode::kFlowDirector) {
+    MutexLock lock(mu_);
+    ensureStream(stream);
+    const unsigned entry = queue + 1;
+    if (pin_[stream] == entry) return;
+    pin_[stream] = entry;
+    ++stats_.migrations;
+    return;
+  }
+  if (mode_ != NicDispatchMode::kTransportFriendly) return;
   MutexLock lock(mu_);
-  if (stream >= pin_.size()) pin_.resize(stream + 1, 0);
+  ensureStream(stream);
   const unsigned entry = queue + 1;
-  if (pin_[stream] == entry) return;
-  pin_[stream] = entry;
-  ++stats_.migrations;
+  if (pin_[stream] == entry) {
+    // Re-pinned back to the current home: cancel any parked proposal.
+    pending_[stream] = 0;
+    pending_age_[stream] = 0;
+    return;
+  }
+  if (inflight_[stream] == 0) {
+    // Old home already drained — the move is safe immediately.
+    pin_[stream] = entry;
+    pending_[stream] = 0;
+    pending_age_[stream] = 0;
+    ++stats_.migrations;
+    return;
+  }
+  if (pending_[stream] != entry) {
+    pending_[stream] = entry;
+    pending_age_[stream] = 0;
+    ++stats_.tfn_deferred;
+  }
 }
 
 NicDispatchStats NicDispatcher::stats() const {

@@ -1,7 +1,7 @@
 // dispatch.hpp — the NIC receive-side dispatch front-end.
 //
-// Models the two hardware stream→queue classifiers modern NICs offer ahead
-// of whatever software scheduling policy runs behind them:
+// Models the stream→queue classifiers modern NICs offer ahead of whatever
+// software scheduling policy runs behind them:
 //
 //   kDirect       — the repo's historical `stream % queues` map (the paper's
 //                   idealized classifier). Bit-identical to pre-front-end
@@ -19,6 +19,19 @@
 //                   pathology is exactly Wu et al., "Why Does Flow Director
 //                   Cause Packet Reordering?" (arXiv:1106.0443), and
 //                   tests/ordering_test.cpp reproduces it on purpose.
+//   kTransportFriendly — the companion paper's fix ("A Transport-Friendly
+//                   NIC for Multicore/Multiprocessor Systems",
+//                   arXiv:1106.0445): first-seen streams take RSS placement,
+//                   and thereafter the pin moves only on consumer-side
+//                   feedback (noteRun reporting who actually consumed the
+//                   flow) — and the move is *deferred* until every frame
+//                   already dispatched to the old home has drained
+//                   (noteDispatched/noteRun/noteDrained bracket the in-flight
+//                   window). New arrivals therefore never overtake a stranded
+//                   prefix: per-stream order is preserved by construction
+//                   while load still follows the consumer. A proposal that
+//                   keeps losing to fresh old-home consumption for more than
+//                   the staleness window is dropped as stale.
 //
 // Thread-safe: the flow table is Mutex-guarded because runtime engines call
 // queueOf() from submitters while workers call noteRun() concurrently. The
@@ -36,14 +49,16 @@
 namespace affinity::net {
 
 enum class NicDispatchMode : std::uint8_t {
-  kDirect,        ///< stream % queues (seed behavior; the default)
-  kRss,           ///< Toeplitz hash -> indirection table
-  kFlowDirector,  ///< pin to last-used queue; migrates with the consumer
+  kDirect,             ///< stream % queues (seed behavior; the default)
+  kRss,                ///< Toeplitz hash -> indirection table
+  kFlowDirector,       ///< pin to last-used queue; migrates with the consumer
+  kTransportFriendly,  ///< feedback-driven pin; repin deferred until drained
 };
 
 [[nodiscard]] const char* nicModeName(NicDispatchMode mode) noexcept;
 
-/// Parses "direct" / "rss" / "flow-director" (scenario INI spelling).
+/// Parses "direct" / "rss" / "flow-director" / "tfn" (scenario INI
+/// spelling; "fdir" and "transport-friendly" are accepted aliases).
 /// Returns true and sets `out` on success.
 [[nodiscard]] bool parseNicMode(const std::string& text, NicDispatchMode* out) noexcept;
 
@@ -51,8 +66,13 @@ enum class NicDispatchMode : std::uint8_t {
 /// whichever runner owns the dispatcher.
 struct NicDispatchStats {
   std::uint64_t routed = 0;      ///< queueOf() calls
-  std::uint64_t pins = 0;        ///< FlowDirector: first-seen streams pinned
-  std::uint64_t migrations = 0;  ///< FlowDirector: pins moved to a new queue
+  std::uint64_t pins = 0;        ///< FDir/TFN: first-seen streams pinned
+  std::uint64_t migrations = 0;  ///< FDir/TFN: pins moved to a new queue
+  // TransportFriendly only:
+  std::uint64_t tfn_feedback = 0;  ///< consumer feedback events accepted
+  std::uint64_t tfn_deferred = 0;  ///< repin proposals parked behind in-flight
+  std::uint64_t tfn_applied = 0;   ///< deferred proposals applied after drain
+  std::uint64_t tfn_stale = 0;     ///< proposals/feedback dropped as stale
 };
 
 /// One receive-side classifier instance. `num_queues` is the fan-out (worker
@@ -60,24 +80,53 @@ struct NicDispatchStats {
 class NicDispatcher {
  public:
   static constexpr std::size_t kIndirectionEntries = 128;  // RSS spec size
+  /// Default TransportFriendly staleness window: a repin proposal that is
+  /// outlived by this many consumptions at the *current* pin is dropped.
+  static constexpr unsigned kDefaultTfnWindow = 32;
 
-  NicDispatcher(NicDispatchMode mode, unsigned num_queues);
+  NicDispatcher(NicDispatchMode mode, unsigned num_queues,
+                unsigned tfn_window = kDefaultTfnWindow);
 
   [[nodiscard]] NicDispatchMode mode() const noexcept { return mode_; }
   [[nodiscard]] unsigned numQueues() const noexcept { return num_queues_; }
+  [[nodiscard]] unsigned tfnWindow() const noexcept { return tfn_window_; }
 
   /// Routes a stream to a queue. FlowDirector pins first-seen streams via
-  /// the RSS hash and then follows noteRun()/repin() updates.
+  /// the RSS hash and then follows noteRun()/repin() updates;
+  /// TransportFriendly pins the same way but only feedback moves the pin.
+  /// Pure routing: no in-flight accounting (see noteDispatched()).
   [[nodiscard]] unsigned queueOf(std::uint32_t stream) AFF_EXCLUDES(mu_);
 
-  /// FlowDirector learns placement: the consumer on `queue` just ran
-  /// `stream`, so future arrivals route there. Counts a migration when the
-  /// pin actually moves. No-op for stateless modes.
-  void noteRun(std::uint32_t stream, unsigned queue) AFF_EXCLUDES(mu_);
+  /// TransportFriendly: a frame for `stream` is about to be enqueued at the
+  /// routed queue — opens one slot of the in-flight window that gates
+  /// deferred repins. Callers invoke it *before* the push and cancel with
+  /// noteDrained() if the push fails, so the window over-counts rather than
+  /// under-counts (a pending repin can never apply ahead of a frame that is
+  /// physically queued). No-op for the other modes.
+  void noteDispatched(std::uint32_t stream) AFF_EXCLUDES(mu_);
 
-  /// Forced re-pin (watchdog failover, explicit rebalance): same table
-  /// update as noteRun but counted as a migration even for a first pin,
-  /// since the stream was evicted rather than observed.
+  /// Consumer feedback: the consumer on `queue` just ran `stream`.
+  /// FlowDirector moves the pin immediately (counts a migration when it
+  /// actually moves). TransportFriendly closes one in-flight slot and
+  /// treats a mismatched queue as a *deferred* repin proposal, applied only
+  /// once the old home drains; returns true exactly when a deferred repin
+  /// was applied by this call (so cache models can charge the cold
+  /// transient). Stateless modes no-op and return false.
+  bool noteRun(std::uint32_t stream, unsigned queue) AFF_EXCLUDES(mu_);
+
+  /// TransportFriendly: closes one in-flight slot *without* trusting the
+  /// consumer's placement feedback — the frame drained, but via a dead
+  /// worker's reconcile, a stale flow generation, or a cancelled push.
+  /// `stale_feedback` counts the event under tfn_stale (pass false for pure
+  /// push-failure cancellation). May apply a pending repin once the stream
+  /// fully drains. No-op for the other modes.
+  void noteDrained(std::uint32_t stream, bool stale_feedback = false) AFF_EXCLUDES(mu_);
+
+  /// Forced re-pin (watchdog failover, explicit rebalance). FlowDirector
+  /// moves the pin immediately and counts a migration even for a first pin,
+  /// since the stream was evicted rather than observed. TransportFriendly
+  /// defers exactly like feedback would: the move waits for the old home's
+  /// in-flight prefix to drain.
   void repin(std::uint32_t stream, unsigned queue) AFF_EXCLUDES(mu_);
 
   [[nodiscard]] NicDispatchStats stats() const AFF_EXCLUDES(mu_);
@@ -85,6 +134,7 @@ class NicDispatcher {
  private:
   const NicDispatchMode mode_;
   const unsigned num_queues_;
+  const unsigned tfn_window_;
   const ToeplitzHash hash_;
   std::vector<unsigned> indirection_;  // immutable after construction
 
@@ -92,9 +142,18 @@ class NicDispatcher {
   // Flow table: stream -> pinned queue + 1 (0 = unpinned). Grows on demand;
   // stream ids in this repo are dense small integers.
   std::vector<unsigned> pin_ AFF_GUARDED_BY(mu_);
+  // TransportFriendly per-stream state, same indexing as pin_:
+  //   pending_[s]     — proposed queue + 1 (0 = no proposal pending)
+  //   inflight_[s]    — frames dispatched to the current pin, not yet drained
+  //   pending_age_[s] — consumptions at the current pin since the proposal
+  std::vector<unsigned> pending_ AFF_GUARDED_BY(mu_);
+  std::vector<std::uint32_t> inflight_ AFF_GUARDED_BY(mu_);
+  std::vector<std::uint32_t> pending_age_ AFF_GUARDED_BY(mu_);
   NicDispatchStats stats_ AFF_GUARDED_BY(mu_);
 
   [[nodiscard]] unsigned hashQueue(std::uint32_t stream) const noexcept;
+  void ensureStream(std::uint32_t stream) AFF_REQUIRES(mu_);
+  bool applyPendingLocked(std::uint32_t stream) AFF_REQUIRES(mu_);
 };
 
 }  // namespace affinity::net

@@ -2,18 +2,38 @@
 
 namespace affinity::net {
 
+std::string OrderingReport::describeFaults() const {
+  std::string out;
+  for (const OrderingFault& f : faults) {
+    out += "stream " + std::to_string(f.stream) + ": seq " + std::to_string(f.seq) +
+           " arrived behind watermark " + std::to_string(f.watermark) + "\n";
+  }
+  const std::uint64_t faulted_streams = static_cast<std::uint64_t>(faults.size());
+  if (reordered + duplicated > 0 && faulted_streams == kMaxFaults)
+    out += "(first " + std::to_string(kMaxFaults) + " faulted streams shown)\n";
+  return out;
+}
+
 void OrderingChecker::record(std::uint32_t stream, std::uint64_t seq) {
   MutexLock lock(mu_);
   ++report_.observed;
-  if (stream >= last_.size()) last_.resize(stream + 1, 0);
+  if (stream >= last_.size()) {
+    last_.resize(stream + 1, 0);
+    faulted_.resize(stream + 1, 0);
+  }
   const std::uint64_t entry = seq + 1;
   if (last_[stream] == 0) {
     ++report_.streams;
-  } else if (entry == last_[stream]) {
-    ++report_.duplicated;
-    return;  // keep the watermark
-  } else if (entry < last_[stream]) {
-    ++report_.reordered;
+  } else if (entry <= last_[stream]) {
+    if (entry == last_[stream]) {
+      ++report_.duplicated;
+    } else {
+      ++report_.reordered;
+    }
+    if (!faulted_[stream] && report_.faults.size() < OrderingReport::kMaxFaults) {
+      faulted_[stream] = 1;
+      report_.faults.push_back(OrderingFault{stream, seq, last_[stream] - 1});
+    }
     return;  // keep the high watermark so one stall counts every late frame
   }
   last_[stream] = entry;

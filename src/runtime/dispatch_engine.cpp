@@ -20,7 +20,7 @@ DispatchEngine::DispatchEngine(unsigned workers, DispatchPolicy policy, HostConf
     : workers_(workers),
       policy_(policy),
       options_(options),
-      nic_(options.nic_mode, workers),
+      nic_(options.nic_mode, workers, options.tfn_window),
       stack_(host),
       per_worker_(workers) {
   AFF_CHECK(workers >= 1);
@@ -68,10 +68,16 @@ void DispatchEngine::start() {
   });
 }
 
-void DispatchEngine::runFrame(unsigned w, const WorkItem& item) {
+void DispatchEngine::runFrame(unsigned w, const WorkItem& item, bool live) {
+  const bool tfn = options_.nic_mode == net::NicDispatchMode::kTransportFriendly;
   // Orphaned by a flow eviction while queued: already on the
-  // evicted_inflight ledger; consume without processing.
-  if (!flow_.release(item)) return;
+  // evicted_inflight ledger; consume without processing. The frame still
+  // drains the TransportFriendly in-flight window, with its (stale-
+  // generation) placement evidence discarded.
+  if (!flow_.release(item)) {
+    if (tfn) nic_.noteDrained(item.stream, /*stale_feedback=*/true);
+    return;
+  }
   PerWorker& pw = per_worker_[w];
   const double t0 = trace_ != nullptr ? trace_->steadyNowUs() : 0.0;
   ReceiveContext ctx;
@@ -85,6 +91,16 @@ void DispatchEngine::runFrame(unsigned w, const WorkItem& item) {
     // The pin follows whoever ran the stream — after a steal, new arrivals
     // chase the thief while older frames drain at the victim (Wu et al.).
     nic_.noteRun(item.stream, w);
+  } else if (tfn) {
+    // Consumer feedback proposes the move; the dispatcher applies it only
+    // after the old home's in-flight prefix drains. A reconcile drain
+    // (live == false: the worker is a corpse) drains the window without
+    // the placement claim — a dead consumer must not attract the pin.
+    if (live) {
+      nic_.noteRun(item.stream, w);
+    } else {
+      nic_.noteDrained(item.stream, /*stale_feedback=*/true);
+    }
   }
   pw.processed.fetch_add(1, std::memory_order_relaxed);
   if (!ctx.dropped()) pw.delivered.fetch_add(1, std::memory_order_relaxed);
@@ -174,8 +190,15 @@ bool DispatchEngine::submit(WorkItem item) {
   // move while we wait on a full queue).
   const bool wired = policy_ == DispatchPolicy::kStreamHash ||
                      options_.nic_mode != net::NicDispatchMode::kDirect;
+  const bool tfn = options_.nic_mode == net::NicDispatchMode::kTransportFriendly;
+  const std::uint32_t stream = item.stream;
   for (unsigned attempts = 0;; ++attempts) {
     PerWorker& pw = per_worker_[w];
+    // Open the TransportFriendly in-flight slot *before* the push (cancel
+    // below on failure): a pending repin must never apply in the window
+    // between routing and enqueue, or this frame would strand at the old
+    // home behind a moved pin.
+    if (tfn) nic_.noteDispatched(stream);
     const bool pushed = options_.steal ? pw.queue->tryPush(std::move(item))
                                        : pw.ring->tryPush(item);
     if (pushed) {
@@ -183,6 +206,7 @@ bool DispatchEngine::submit(WorkItem item) {
       submitted_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
+    if (tfn) nic_.noteDrained(stream);
     if (!intake_open_.load(std::memory_order_acquire)) {
       flow_.release(item);  // never entered a queue; take it off the flow ledger
       rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
@@ -194,8 +218,13 @@ bool DispatchEngine::submit(WorkItem item) {
       // victim whose flow was already evicted stays on the evicted_inflight
       // ledger instead of dropped_oldest (never both).
       WorkItem victim;
-      if (pw.queue->tryPop(victim) && flow_.release(victim))
-        dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
+      if (pw.queue->tryPop(victim)) {
+        // The victim leaves the queue unprocessed: close its
+        // TransportFriendly in-flight slot too, or the stream's pending
+        // repin could wait forever on a frame that no longer exists.
+        if (tfn) nic_.noteDrained(victim.stream);
+        if (flow_.release(victim)) dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
+      }
     } else if (swept_all && options_.overload != OverloadPolicy::kBlock) {
       flow_.release(item);
       rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
@@ -242,7 +271,8 @@ void DispatchEngine::stop() {
   for (unsigned w = 0; w < workers_; ++w) {
     PerWorker& pw = per_worker_[w];
     WorkItem item;
-    while (options_.steal ? pw.queue->tryPop(item) : pw.ring->tryPop(item)) runFrame(w, item);
+    while (options_.steal ? pw.queue->tryPop(item) : pw.ring->tryPop(item))
+      runFrame(w, item, /*live=*/false);
   }
 }
 
@@ -258,6 +288,10 @@ EngineStats DispatchEngine::stats() const {
   const net::NicDispatchStats ns = nic_.stats();
   s.nic_pins = ns.pins;
   s.nic_migrations = ns.migrations;
+  s.nic_tfn_feedback = ns.tfn_feedback;
+  s.nic_tfn_deferred = ns.tfn_deferred;
+  s.nic_tfn_applied = ns.tfn_applied;
+  s.nic_tfn_stale = ns.tfn_stale;
   s.per_worker_processed.reserve(workers_);
   Histogram merged(0.05, 8, 32);
   for (const auto& pw : per_worker_) {

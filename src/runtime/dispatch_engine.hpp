@@ -17,9 +17,13 @@
 //
 // Two front-end extensions ride on top of the software policy:
 //
-//  * EngineOptions::nic_mode — a NIC hardware classifier (RSS or Flow
-//    Director) that overrides the software route: the NIC picked the queue
-//    before the scheduler ever saw the frame.
+//  * EngineOptions::nic_mode — a NIC hardware classifier (RSS, Flow
+//    Director, or the transport-friendly consumer-feedback mode) that
+//    overrides the software route: the NIC picked the queue before the
+//    scheduler ever saw the frame. kTransportFriendly defers every pin move
+//    until the old queue's in-flight prefix for the stream has drained, so
+//    the steal/failover repins that reorder under Flow Director stay
+//    in-order by construction (arXiv:1106.0445).
 //  * EngineOptions::steal — affinity-aware work stealing: per-worker queues
 //    become MPMC, and an idle worker takes a bounded batch from the head of
 //    the longest peer queue (order preserved within the batch). Under Flow
@@ -72,9 +76,10 @@ class DispatchEngine {
   void injectWorkerKill(unsigned w) { pool_.injectKill(w); }
   void injectWorkerStall(unsigned w, std::chrono::milliseconds d) { pool_.injectStall(w, d); }
 
-  /// Forces the NIC flow table to re-pin `stream` to `queue` (FlowDirector
-  /// only; no-op otherwise). Exposed so tests can trigger the pin-migration
-  /// reordering deterministically.
+  /// Forces the NIC flow table to re-pin `stream` to `queue` (FlowDirector:
+  /// immediately; TransportFriendly: deferred until the old home drains;
+  /// no-op otherwise). Exposed so tests can trigger the pin-migration
+  /// reordering — and its TFN fix — deterministically.
   void repinStream(std::uint32_t stream, unsigned queue) { nic_.repin(stream, queue % workers_); }
 
   [[nodiscard]] EngineStats stats() const;
@@ -107,7 +112,10 @@ class DispatchEngine {
     o.queue_capacity = capacity;
     return o;
   }
-  void runFrame(unsigned w, const WorkItem& item);
+  /// `live` is false only for stop()'s inline reconcile of leftovers — a
+  /// drain on behalf of a worker that is no longer consuming, whose
+  /// placement feedback must not move a TransportFriendly pin.
+  void runFrame(unsigned w, const WorkItem& item, bool live = true);
   bool trySteal(unsigned thief);
   bool anyWorkerAlive() const noexcept;
   /// True while some consumer can still pop queue `w` (a blocked submit to

@@ -73,6 +73,14 @@ void exportEngineStats(const EngineStats& s, obs::MetricsRegistry& reg,
   g("sched.steal.jobs", static_cast<double>(s.stolen));
   g("net.dispatch.pins", static_cast<double>(s.nic_pins));
   g("net.dispatch.migrations", static_cast<double>(s.nic_migrations));
+  // TransportFriendly counters stay out of the export unless the mode ran,
+  // keeping direct/RSS/FDir snapshots byte-identical to before.
+  if (s.nic_tfn_feedback + s.nic_tfn_deferred + s.nic_tfn_applied + s.nic_tfn_stale > 0) {
+    g("net.dispatch.tfn.feedback", static_cast<double>(s.nic_tfn_feedback));
+    g("net.dispatch.tfn.deferred", static_cast<double>(s.nic_tfn_deferred));
+    g("net.dispatch.tfn.applied", static_cast<double>(s.nic_tfn_applied));
+    g("net.dispatch.tfn.stale", static_cast<double>(s.nic_tfn_stale));
+  }
   g("latency_mean_us", s.latency_mean_us);
   g("latency_p50_us", s.latency_p50_us);
   g("latency_p99_us", s.latency_p99_us);
@@ -106,6 +114,19 @@ void exportFlowStats(const EngineStats& s, obs::MetricsRegistry& reg,
     reg.gauge(prefix + ".evicted." + flow::evictReasonName(static_cast<flow::EvictReason>(r)))
         .set(static_cast<double>(s.evicted_by_reason[r]));
   }
+}
+
+void exportTfnStats(const EngineStats& s, obs::MetricsRegistry& reg,
+                    const std::string& prefix) {
+  const auto g = [&](const char* leaf, std::uint64_t v) {
+    reg.gauge(prefix + "." + leaf).set(static_cast<double>(v));
+  };
+  g("pins", s.nic_pins);
+  g("migrations", s.nic_migrations);
+  g("feedback", s.nic_tfn_feedback);
+  g("deferred", s.nic_tfn_deferred);
+  g("applied", s.nic_tfn_applied);
+  g("stale", s.nic_tfn_stale);
 }
 
 void exportArenaStats(obs::MetricsRegistry& reg, const std::string& prefix) {
@@ -340,7 +361,7 @@ EngineStats LockingEngine::stats() const {
 IpsEngine::IpsEngine(unsigned workers, HostConfig host, const EngineOptions& options)
     : workers_(workers),
       options_(options),
-      nic_(options.nic_mode, workers),
+      nic_(options.nic_mode, workers, options.tfn_window),
       per_worker_(workers) {
   AFF_CHECK(workers >= 1);
   for (unsigned w = 0; w < workers_; ++w) {
@@ -379,16 +400,35 @@ unsigned IpsEngine::workerOf(std::uint32_t stream) const noexcept {
 }
 
 void IpsEngine::processOn(PerWorker& pw, const WorkItem& item) {
+  const unsigned self = static_cast<unsigned>(&pw - per_worker_.data());
+  const bool tfn = options_.nic_mode == net::NicDispatchMode::kTransportFriendly;
   // Orphaned by a flow eviction while queued: already on the
-  // evicted_inflight ledger; consume without processing.
-  if (!flow_.release(item)) return;
+  // evicted_inflight ledger; consume without processing. The frame still
+  // drains the TransportFriendly in-flight window — but with its flow
+  // generation stale, its placement evidence is not trusted.
+  if (!flow_.release(item)) {
+    if (tfn) nic_.noteDrained(item.stream, /*stale_feedback=*/true);
+    return;
+  }
   const double t0 = trace_ != nullptr ? trace_->steadyNowUs() : 0.0;
   const ReceiveContext ctx = pw.stack->receiveFrame(item.frame);
   if (options_.nic_mode == net::NicDispatchMode::kFlowDirector) {
     // FlowDirector learns placement from completions: the pin follows the
     // worker that actually ran the stream (failover re-homes thus repin).
-    nic_.noteRun(item.stream,
-                 static_cast<unsigned>(&pw - per_worker_.data()));
+    nic_.noteRun(item.stream, self);
+  } else if (tfn) {
+    // Consumer feedback — unless this drain runs on behalf of a corpse
+    // (watchdog-declared dead, or stop()'s inline reconcile of an exited
+    // worker's leftovers): a dead consumer's feedback must not pin flows
+    // to it, so those frames drain the window without the placement claim.
+    const bool corpse = pw.dead.load(std::memory_order_acquire) ||
+                        (pool_.size() > 0 &&
+                         pool_.control(self).exited.load(std::memory_order_acquire));
+    if (corpse) {
+      nic_.noteDrained(item.stream, /*stale_feedback=*/true);
+    } else {
+      nic_.noteRun(item.stream, self);
+    }
   }
   pw.processed.fetch_add(1, std::memory_order_relaxed);
   if (!ctx.dropped()) {
@@ -456,15 +496,22 @@ bool IpsEngine::submit(WorkItem item) {
   item.enqueue_tp = Clock::now();
   Backoff backoff;
   const auto deadline = submitDeadline(options_);
+  const bool tfn = options_.nic_mode == net::NicDispatchMode::kTransportFriendly;
   for (;;) {
     // Re-resolve each attempt: the watchdog may re-home the stream while
     // we wait on a (dead) worker's full ring.
     const unsigned target = workerOf(item.stream);
     PerWorker& pw = per_worker_[target];
+    // Open the TransportFriendly in-flight slot *before* the push (cancel
+    // below on failure): a pending repin must never apply in the window
+    // between routing and enqueue, or the frame would strand at the old
+    // home behind a moved pin.
+    if (tfn) nic_.noteDispatched(item.stream);
     if (pw.ring->tryPush(item)) {
       submitted_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
+    if (tfn) nic_.noteDrained(item.stream);
     if (!intake_open_.load(std::memory_order_acquire)) {
       flow_.release(item);  // never entered a queue; take it off the flow ledger
       rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
@@ -621,6 +668,10 @@ EngineStats IpsEngine::stats() const {
   const net::NicDispatchStats ns = nic_.stats();
   s.nic_pins = ns.pins;
   s.nic_migrations = ns.migrations;
+  s.nic_tfn_feedback = ns.tfn_feedback;
+  s.nic_tfn_deferred = ns.tfn_deferred;
+  s.nic_tfn_applied = ns.tfn_applied;
+  s.nic_tfn_stale = ns.tfn_stale;
   s.per_worker_processed.reserve(workers_);
   Histogram merged(0.05, 8, 32);
   for (const auto& pw : per_worker_) {

@@ -80,6 +80,9 @@ struct EngineOptions {
   /// (ring engines only — the Locking engine has one shared queue). kDirect
   /// preserves the historical `stream % workers` routing bit-for-bit.
   net::NicDispatchMode nic_mode = net::NicDispatchMode::kDirect;
+  /// kTransportFriendly staleness window (consumptions at the current pin a
+  /// parked repin proposal survives before it is dropped as stale).
+  unsigned tfn_window = net::NicDispatcher::kDefaultTfnWindow;
   /// Affinity-aware work stealing (DispatchEngine only): idle workers take a
   /// bounded batch from the head of the longest peer queue. Requires MPMC
   /// per-worker queues, so it is opt-in.
@@ -110,8 +113,12 @@ struct EngineStats {
   std::uint64_t rehomed = 0;          ///< frames flushed from failed workers
   std::uint64_t steals = 0;           ///< steal events (batches taken)
   std::uint64_t stolen = 0;           ///< frames moved by stealing
-  std::uint64_t nic_pins = 0;         ///< FlowDirector: streams pinned
-  std::uint64_t nic_migrations = 0;   ///< FlowDirector: pin moves
+  std::uint64_t nic_pins = 0;         ///< FDir/TFN: streams pinned
+  std::uint64_t nic_migrations = 0;   ///< FDir/TFN: pin moves
+  std::uint64_t nic_tfn_feedback = 0;  ///< TFN: consumer feedback accepted
+  std::uint64_t nic_tfn_deferred = 0;  ///< TFN: repins parked behind in-flight
+  std::uint64_t nic_tfn_applied = 0;   ///< TFN: parked repins applied on drain
+  std::uint64_t nic_tfn_stale = 0;     ///< TFN: stale proposals/feedback dropped
   /// Frames dropped by the protocol stack, by typed cause (DropReason).
   std::array<std::uint64_t, kNumDropReasons> dropped_by_reason{};
   // Bounded flow-table ledger (zero everywhere when no table is attached).
@@ -165,6 +172,12 @@ void exportEngineStats(const EngineStats& s, obs::MetricsRegistry& reg,
 /// "rt.flow.evicted.capacity". Gauge semantics, like exportEngineStats.
 void exportFlowStats(const EngineStats& s, obs::MetricsRegistry& reg,
                      const std::string& prefix = "rt.flow");
+
+/// Writes the TransportFriendly dispatch slice of an EngineStats snapshot
+/// into `reg` under the rt.net.tfn.* domain (docs/OBSERVABILITY.md) — e.g.
+/// "rt.net.tfn.applied". Gauge semantics, like exportEngineStats.
+void exportTfnStats(const EngineStats& s, obs::MetricsRegistry& reg,
+                    const std::string& prefix = "rt.net.tfn");
 
 /// Writes the process-wide FrameArena counters into `reg` under the
 /// rt.arena.* domain (docs/OBSERVABILITY.md) — e.g. "rt.arena.allocs",

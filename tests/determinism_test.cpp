@@ -110,6 +110,10 @@ void expectIdenticalMetrics(const RunMetrics& a, const RunMetrics& b) {
   EXPECT_EQ(a.steals, b.steals);
   EXPECT_EQ(a.stolen_jobs, b.stolen_jobs);
   EXPECT_EQ(a.flow_migrations, b.flow_migrations);
+  EXPECT_EQ(a.tfn_feedback, b.tfn_feedback);
+  EXPECT_EQ(a.tfn_deferred, b.tfn_deferred);
+  EXPECT_EQ(a.tfn_applied, b.tfn_applied);
+  EXPECT_EQ(a.tfn_stale, b.tfn_stale);
   ASSERT_EQ(a.per_stream_mean_delay_us.size(), b.per_stream_mean_delay_us.size());
   for (std::size_t s = 0; s < a.per_stream_mean_delay_us.size(); ++s) {
     EXPECT_EQ(a.per_stream_mean_delay_us[s], b.per_stream_mean_delay_us[s]) << "stream " << s;
@@ -213,6 +217,10 @@ void expectSameRun(const RunMetrics& a, const RunMetrics& b) {
   EXPECT_EQ(a.steals, b.steals);
   EXPECT_EQ(a.stolen_jobs, b.stolen_jobs);
   EXPECT_EQ(a.flow_migrations, b.flow_migrations);
+  EXPECT_EQ(a.tfn_feedback, b.tfn_feedback);
+  EXPECT_EQ(a.tfn_deferred, b.tfn_deferred);
+  EXPECT_EQ(a.tfn_applied, b.tfn_applied);
+  EXPECT_EQ(a.tfn_stale, b.tfn_stale);
 }
 
 TEST(StealDeterminism, RepeatedSeedsAreBitIdentical) {
@@ -228,6 +236,23 @@ TEST(StealDeterminism, RepeatedSeedsAreBitIdentical) {
     // otherwise this guard pins nothing.
     EXPECT_GT(a.steals, 0u);
     EXPECT_GT(a.flow_migrations, 0u);
+  }
+}
+
+TEST(StealDeterminism, TransportFriendlyRepeatedSeedsAreBitIdentical) {
+  // Same discipline for the transport-friendly dispatcher: its feedback,
+  // deferral, apply and staleness decisions are all event-time functions of
+  // the seed, so the whole deferred-repin ledger must reproduce exactly.
+  for (std::uint64_t seed : {1ULL, 42ULL, 20260806ULL}) {
+    SimConfig c = stealAffinityConfig(seed);
+    c.dispatch = net::NicDispatchMode::kTransportFriendly;
+    const RunMetrics a =
+        runOnce(c, ExecTimeModel::standard(), makeBatchStreams(16, 0.03, 8.0));
+    const RunMetrics b =
+        runOnce(c, ExecTimeModel::standard(), makeBatchStreams(16, 0.03, 8.0));
+    expectSameRun(a, b);
+    EXPECT_GT(a.steals, 0u);
+    EXPECT_GT(a.tfn_feedback, 0u) << "completions must reach the dispatcher";
   }
 }
 

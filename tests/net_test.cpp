@@ -1,10 +1,15 @@
 // Tests for src/net: the Toeplitz hash against the Microsoft RSS
 // specification's published verification vectors, the NIC dispatch
-// front-end (direct / RSS / Flow Director), and the per-stream ordering
-// checker the ordering battery builds on.
+// front-end (direct / RSS / Flow Director / transport-friendly), the
+// per-stream ordering checker the ordering battery builds on, and a
+// model-based fuzz over the transport-friendly dispatcher's deferred-repin
+// protocol.
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <random>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "net/dispatch.hpp"
@@ -134,7 +139,8 @@ TEST(NicDispatcher, RepinAlwaysCountsAMigration) {
 
 TEST(NicModeNames, RoundTrip) {
   for (NicDispatchMode m : {NicDispatchMode::kDirect, NicDispatchMode::kRss,
-                            NicDispatchMode::kFlowDirector}) {
+                            NicDispatchMode::kFlowDirector,
+                            NicDispatchMode::kTransportFriendly}) {
     NicDispatchMode parsed = NicDispatchMode::kDirect;
     EXPECT_TRUE(parseNicMode(nicModeName(m), &parsed));
     EXPECT_EQ(parsed, m);
@@ -142,7 +148,80 @@ TEST(NicModeNames, RoundTrip) {
   NicDispatchMode parsed = NicDispatchMode::kDirect;
   EXPECT_TRUE(parseNicMode("fdir", &parsed));
   EXPECT_EQ(parsed, NicDispatchMode::kFlowDirector);
+  EXPECT_TRUE(parseNicMode("transport-friendly", &parsed));
+  EXPECT_EQ(parsed, NicDispatchMode::kTransportFriendly);
   EXPECT_FALSE(parseNicMode("toeplitz", &parsed));
+}
+
+// -------------------------------------------- transport-friendly mode ---
+
+TEST(NicDispatcher, TransportFriendlySeedsPlacementLikeRss) {
+  NicDispatcher tfn(NicDispatchMode::kTransportFriendly, 4);
+  NicDispatcher rss(NicDispatchMode::kRss, 4);
+  for (std::uint32_t s = 0; s < 32; ++s)
+    EXPECT_EQ(tfn.queueOf(s), rss.queueOf(s)) << "first sight must hash like RSS";
+  EXPECT_EQ(tfn.stats().pins, 32u);
+  EXPECT_EQ(tfn.stats().migrations, 0u);
+}
+
+TEST(NicDispatcher, TransportFriendlyDefersRepinUntilOldHomeDrains) {
+  NicDispatcher d(NicDispatchMode::kTransportFriendly, 4);
+  const unsigned home = d.queueOf(3);
+  const unsigned elsewhere = (home + 1) % 4;
+  d.noteDispatched(3);
+  d.noteDispatched(3);  // two frames in flight at the home queue
+  // A thief consumed the first frame elsewhere: the proposal parks.
+  EXPECT_FALSE(d.noteRun(3, elsewhere));
+  EXPECT_EQ(d.queueOf(3), home) << "the pin must not move over an in-flight frame";
+  EXPECT_EQ(d.stats().migrations, 0u);
+  EXPECT_EQ(d.stats().tfn_deferred, 1u);
+  // The last in-flight frame drains at the home: now the move applies.
+  EXPECT_TRUE(d.noteRun(3, home)) << "apply must be signalled for the cold transient";
+  EXPECT_EQ(d.queueOf(3), elsewhere);
+  EXPECT_EQ(d.stats().migrations, 1u);
+  EXPECT_EQ(d.stats().tfn_applied, 1u);
+  EXPECT_EQ(d.stats().tfn_feedback, 2u);
+}
+
+TEST(NicDispatcher, TransportFriendlyDropsProposalsPastTheStalenessWindow) {
+  NicDispatcher d(NicDispatchMode::kTransportFriendly, 4, /*tfn_window=*/2);
+  const unsigned home = d.queueOf(5);
+  const unsigned elsewhere = (home + 1) % 4;
+  for (int i = 0; i < 5; ++i) d.noteDispatched(5);
+  EXPECT_FALSE(d.noteRun(5, elsewhere));  // parks the proposal
+  // The home keeps consuming: the parked proposal ages past the window.
+  EXPECT_FALSE(d.noteRun(5, home));  // age 1
+  EXPECT_FALSE(d.noteRun(5, home));  // age 2
+  EXPECT_FALSE(d.noteRun(5, home));  // age 3 > window: dropped as stale
+  EXPECT_EQ(d.stats().tfn_stale, 1u);
+  EXPECT_FALSE(d.noteRun(5, home));  // fully drained — nothing left to apply
+  EXPECT_EQ(d.queueOf(5), home) << "a stale transient must not migrate the pin";
+  EXPECT_EQ(d.stats().migrations, 0u);
+  EXPECT_EQ(d.stats().tfn_applied, 0u);
+}
+
+TEST(NicDispatcher, TransportFriendlyRepinIsImmediateOnceDrained) {
+  NicDispatcher d(NicDispatchMode::kTransportFriendly, 8);
+  const unsigned home = d.queueOf(7);
+  const unsigned target = (home + 3) % 8;
+  d.repin(7, target);  // nothing in flight: the forced move is safe now
+  EXPECT_EQ(d.queueOf(7), target);
+  EXPECT_EQ(d.stats().migrations, 1u);
+  EXPECT_EQ(d.stats().tfn_deferred, 0u);
+}
+
+TEST(NicDispatcher, TransportFriendlyPushFailureCancellationUnblocksRepin) {
+  NicDispatcher d(NicDispatchMode::kTransportFriendly, 4);
+  const unsigned home = d.queueOf(9);
+  const unsigned target = (home + 1) % 4;
+  d.noteDispatched(9);  // routed, about to enqueue…
+  d.repin(9, target);   // forced move parks behind the in-flight slot
+  EXPECT_EQ(d.queueOf(9), home);
+  EXPECT_EQ(d.stats().tfn_deferred, 1u);
+  d.noteDrained(9);  // …but the push failed: the slot closes, the move lands
+  EXPECT_EQ(d.queueOf(9), target);
+  EXPECT_EQ(d.stats().tfn_applied, 1u);
+  EXPECT_EQ(d.stats().migrations, 1u);
 }
 
 // ------------------------------------------------------ ordering checker ---
@@ -190,6 +269,188 @@ TEST(OrderingChecker, SequenceZeroOnFirstSightIsInOrder) {
   EXPECT_TRUE(c.report().inOrder());
   c.record(9, 0);  // but repeating it is a duplicate
   EXPECT_EQ(c.report().duplicated, 1u);
+}
+
+TEST(OrderingChecker, FaultsCaptureFirstOffensePerStream) {
+  OrderingChecker c;
+  c.record(0, 5);
+  c.record(0, 3);  // first offense on stream 0: seq 3 behind watermark 5
+  c.record(0, 1);  // later offenses are counted but not re-captured
+  c.record(1, 7);
+  c.record(1, 7);  // a duplicate is a fault too
+  const OrderingReport r = c.report();
+  EXPECT_EQ(r.reordered, 2u);
+  EXPECT_EQ(r.duplicated, 1u);
+  ASSERT_EQ(r.faults.size(), 2u);
+  EXPECT_EQ(r.faults[0].stream, 0u);
+  EXPECT_EQ(r.faults[0].seq, 3u);
+  EXPECT_EQ(r.faults[0].watermark, 5u);
+  EXPECT_EQ(r.faults[1].stream, 1u);
+  EXPECT_EQ(r.faults[1].seq, 7u);
+  EXPECT_EQ(r.faults[1].watermark, 7u);
+  const std::string text = r.describeFaults();
+  EXPECT_NE(text.find("stream 0: seq 3 arrived behind watermark 5"), std::string::npos);
+  EXPECT_NE(text.find("stream 1: seq 7 arrived behind watermark 7"), std::string::npos);
+}
+
+TEST(OrderingChecker, InOrderReportDescribesNoFaults) {
+  OrderingChecker c;
+  c.record(0, 1);
+  c.record(0, 2);
+  EXPECT_TRUE(c.report().faults.empty());
+  EXPECT_TRUE(c.report().describeFaults().empty());
+}
+
+TEST(OrderingChecker, FaultCaptureIsBoundedUnderAPathology) {
+  OrderingChecker c;
+  for (std::uint32_t s = 0; s < 24; ++s) {
+    c.record(s, 4);
+    c.record(s, 0);  // every stream regresses once
+  }
+  const OrderingReport r = c.report();
+  EXPECT_EQ(r.reordered, 24u);
+  EXPECT_EQ(r.faults.size(), OrderingReport::kMaxFaults);
+  EXPECT_NE(r.describeFaults().find("faulted streams shown"), std::string::npos);
+}
+
+// --------------------------------------- TFN repin-safety fuzz property ---
+//
+// Model-based fuzz over the transport-friendly dispatcher: a world of
+// per-queue FIFOs driven by seeded schedules of dispatches, consumptions,
+// head-first steals, forced repins, queue kills, push failures, and
+// dead-queue reconcile drains. Two invariants must survive every schedule:
+//
+//   1. No out-of-order delivery. Every pop — consume, steal, or reconcile —
+//      observes the stream's next undelivered sequence number. This holds
+//      exactly because a deferred repin never applies while any dispatched
+//      frame of the stream is still queued, so at any instant all of a
+//      stream's queued frames sit in a single FIFO.
+//   2. No stranded frame or leaked in-flight slot. After the final drain
+//      every submitted sequence was delivered, and a forced repin takes
+//      effect immediately for every stream (a leaked slot would park it
+//      forever).
+
+TEST(TfnRepinSafetyProperty, FuzzedFeedbackSchedulesNeverReorderOrStrand) {
+  constexpr unsigned kQueues = 4;
+  constexpr std::uint32_t kFuzzStreams = 6;
+  constexpr int kOpsPerSchedule = 300;
+  struct Frame {
+    std::uint32_t stream;
+    std::uint64_t seq;
+  };
+
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::mt19937_64 rng(seed);
+    NicDispatcher d(NicDispatchMode::kTransportFriendly, kQueues, /*tfn_window=*/4);
+    std::vector<std::deque<Frame>> fifo(kQueues);
+    std::vector<bool> dead(kQueues, false);
+    std::vector<std::uint64_t> submitted(kFuzzStreams, 0);
+    std::vector<std::uint64_t> delivered(kFuzzStreams, 0);
+
+    const auto liveQueue = [&](unsigned start) {
+      for (unsigned i = 0; i < kQueues; ++i)
+        if (!dead[(start + i) % kQueues]) return (start + i) % kQueues;
+      return 0u;  // unreachable: at least one queue stays live
+    };
+    const auto pop = [&](unsigned q) {
+      const Frame f = fifo[q].front();
+      fifo[q].pop_front();
+      EXPECT_EQ(f.seq, delivered[f.stream])
+          << "stream " << f.stream << " delivered out of order from queue " << q;
+      ++delivered[f.stream];
+      return f;
+    };
+
+    for (int op = 0; op < kOpsPerSchedule; ++op) {
+      switch (rng() % 8) {
+        case 0:
+        case 1:
+        case 2: {  // dispatch (arrivals dominate the schedule)
+          const auto s = static_cast<std::uint32_t>(rng() % kFuzzStreams);
+          const unsigned q = d.queueOf(s);
+          d.noteDispatched(s);
+          if (rng() % 16 == 0) {
+            d.noteDrained(s);  // the push failed: cancel the in-flight slot
+          } else {
+            fifo[q].push_back(Frame{s, submitted[s]++});
+          }
+          break;
+        }
+        case 3:
+        case 4: {  // a live queue consumes its own head
+          const unsigned start = static_cast<unsigned>(rng() % kQueues);
+          for (unsigned i = 0; i < kQueues; ++i) {
+            const unsigned q = (start + i) % kQueues;
+            if (dead[q] || fifo[q].empty()) continue;
+            const Frame f = pop(q);
+            (void)d.noteRun(f.stream, q);
+            break;
+          }
+          break;
+        }
+        case 5: {  // steal: a live thief takes the head of any other queue
+          const unsigned start = static_cast<unsigned>(rng() % kQueues);
+          for (unsigned i = 0; i < kQueues; ++i) {
+            const unsigned victim = (start + i) % kQueues;
+            if (fifo[victim].empty()) continue;
+            const unsigned thief = liveQueue(static_cast<unsigned>(rng() % kQueues));
+            if (thief == victim) break;
+            const Frame f = pop(victim);
+            (void)d.noteRun(f.stream, thief);
+            break;
+          }
+          break;
+        }
+        case 6: {  // forced repin toward a live queue (failover, rebalance)
+          d.repin(static_cast<std::uint32_t>(rng() % kFuzzStreams),
+                  liveQueue(static_cast<unsigned>(rng() % kQueues)));
+          break;
+        }
+        case 7: {  // kill a queue, or reconcile one frame off a dead queue
+          bool reconciled = false;
+          for (unsigned q = 0; q < kQueues && !reconciled; ++q) {
+            if (dead[q] && !fifo[q].empty() && rng() % 2 == 0) {
+              const Frame f = pop(q);
+              d.noteDrained(f.stream, /*stale_feedback=*/true);
+              reconciled = true;
+            }
+          }
+          if (!reconciled) {
+            const unsigned q = static_cast<unsigned>(rng() % kQueues);
+            unsigned live = 0;
+            for (unsigned i = 0; i < kQueues; ++i) live += dead[i] ? 0u : 1u;
+            if (!dead[q] && live > 1) dead[q] = true;
+          }
+          break;
+        }
+      }
+    }
+
+    // Final drain: live queues consume, dead queues reconcile. Per-stream
+    // order is queue-local (invariant 1), so queue iteration order is free.
+    for (unsigned q = 0; q < kQueues; ++q) {
+      while (!fifo[q].empty()) {
+        const Frame f = pop(q);
+        if (dead[q]) {
+          d.noteDrained(f.stream, /*stale_feedback=*/true);
+        } else {
+          (void)d.noteRun(f.stream, q);
+        }
+      }
+    }
+
+    for (std::uint32_t s = 0; s < kFuzzStreams; ++s)
+      EXPECT_EQ(delivered[s], submitted[s]) << "stream " << s << " stranded frames";
+    // Every in-flight slot must be closed: two forced repins (at least one
+    // changes the pin) must both take effect immediately.
+    for (std::uint32_t s = 0; s < kFuzzStreams; ++s) {
+      d.repin(s, 1);
+      EXPECT_EQ(d.queueOf(s), 1u) << "leaked in-flight slot parked the repin";
+      d.repin(s, 2);
+      EXPECT_EQ(d.queueOf(s), 2u) << "leaked in-flight slot parked the repin";
+    }
+  }
 }
 
 }  // namespace

@@ -1,7 +1,8 @@
 // Per-stream delivery-order battery for the real-thread engines under every
 // NIC dispatch mode and overload policy, plus a deterministic reproduction
 // of the Flow-Director pin-migration reordering pathology (Wu et al.,
-// "Why Does Flow Director Cause Packet Reordering?", arXiv:1106.0443).
+// "Why Does Flow Director Cause Packet Reordering?", arXiv:1106.0443) and
+// its transport-friendly fix (arXiv:1106.0445) as an A-B pair.
 //
 // The ordering contract this battery pins:
 //
@@ -17,11 +18,21 @@
 //   * Flow Director + a pin migration — provably reorders: new arrivals
 //                       chase the new home while old frames drain at the
 //                       old one. The checker must flag it.
+//   * TransportFriendly + the same migration — provably does NOT reorder:
+//                       the repin parks until the old home's in-flight
+//                       prefix drains, so nothing ever overtakes it.
+//
+// The CrossStackDifferential suite at the bottom runs the same
+// consumer-re-home experiment through the discrete-event simulator and the
+// real-thread engines and requires the two independent implementations to
+// return the same verdict for every dispatch mode.
 #include <gtest/gtest.h>
 
 #include <thread>
 #include <vector>
 
+#include "core/experiment.hpp"
+#include "core/protocol_sim.hpp"
 #include "net/ordering.hpp"
 #include "proto/stack.hpp"
 #include "runtime/dispatch_engine.hpp"
@@ -70,7 +81,8 @@ struct Battery {
 
 const net::NicDispatchMode kAllModes[] = {net::NicDispatchMode::kDirect,
                                           net::NicDispatchMode::kRss,
-                                          net::NicDispatchMode::kFlowDirector};
+                                          net::NicDispatchMode::kFlowDirector,
+                                          net::NicDispatchMode::kTransportFriendly};
 const OverloadPolicy kAllOverloads[] = {OverloadPolicy::kBlock, OverloadPolicy::kRejectNewest,
                                         OverloadPolicy::kDropOldest};
 
@@ -169,6 +181,12 @@ TEST(FlowDirectorReordering, PinMigrationReordersAStream) {
   const net::OrderingReport r = b.checker.report();
   EXPECT_EQ(r.observed, 10u);
   EXPECT_EQ(r.reordered, 5u) << "every pre-migration frame must arrive late";
+  // The first-offense capture names the exact stranded prefix: seq 0 arrived
+  // behind the last post-migration frame.
+  ASSERT_FALSE(r.faults.empty());
+  EXPECT_EQ(r.faults[0].stream, s);
+  EXPECT_EQ(r.faults[0].seq, 0u);
+  EXPECT_EQ(r.faults[0].watermark, 9u) << r.describeFaults();
   EXPECT_TRUE(engine.stats().conserved());
   EXPECT_GE(engine.stats().nic_migrations, 1u);
 }
@@ -190,6 +208,60 @@ TEST(FlowDirectorReordering, WithoutMigrationTheSameTrafficStaysInOrder) {
   EXPECT_EQ(r.observed, 10u);
   EXPECT_TRUE(r.inOrder());
   EXPECT_EQ(engine.stats().nic_migrations, 0u);
+}
+
+// --------------------------------------- transport-friendly A-B twins ---
+
+// A-B twin of PinMigrationReordersAStream: same worker kill, same traffic,
+// same forced migration — but the transport-friendly dispatcher parks the
+// repin behind the stranded in-flight prefix. Every frame keeps routing to
+// the old home, stop() drains that one queue in submit order, and the
+// checker sees a perfectly ordered stream where Flow Director produced five
+// regressions. This pair is the paper pathology and its fix, end to end.
+TEST(TransportFriendlyOrdering, DeferredRepinClosesTheMigrationPathology) {
+  Battery b(net::NicDispatchMode::kTransportFriendly, OverloadPolicy::kBlock);
+  DispatchEngine engine(2, DispatchPolicy::kStreamHash, HostConfig{}, b.options);
+  engine.openPort(kPort, 1024);
+  engine.start();
+  std::uint32_t s = 0;
+  while (engine.route(s) != 0) ++s;
+  engine.injectWorkerKill(0);  // old home: frames strand until stop()
+  for (std::uint64_t seq = 0; seq < 5; ++seq)
+    ASSERT_TRUE(engine.submit(WorkItem{frameFor(s), s, {}, seq}));
+  engine.repinStream(s, 1);  // the migration — parked: five frames in flight
+  EXPECT_EQ(engine.route(s), 0u) << "the pin must not move over a stranded prefix";
+  for (std::uint64_t seq = 5; seq < 10; ++seq)
+    ASSERT_TRUE(engine.submit(WorkItem{frameFor(s), s, {}, seq}));
+  engine.stop();  // reconciles the whole queue — in submit order
+
+  const net::OrderingReport r = b.checker.report();
+  EXPECT_EQ(r.observed, 10u);
+  EXPECT_TRUE(r.inOrder()) << r.describeFaults();
+  EXPECT_TRUE(engine.stats().conserved());
+  EXPECT_GE(engine.stats().nic_tfn_deferred, 1u) << "the repin must have parked";
+  // The parked move may still apply once stop()'s reconcile fully drains the
+  // stream — that is safe (nothing is queued anywhere) and at most one move.
+  EXPECT_LE(engine.stats().nic_migrations, 1u);
+}
+
+// Control twin of WithoutMigrationTheSameTrafficStaysInOrder: no repin, and
+// the transport-friendly ledger stays quiet (no deferral, no migration).
+TEST(TransportFriendlyOrdering, WithoutMigrationTheLedgerStaysQuiet) {
+  Battery b(net::NicDispatchMode::kTransportFriendly, OverloadPolicy::kBlock);
+  DispatchEngine engine(2, DispatchPolicy::kStreamHash, HostConfig{}, b.options);
+  engine.openPort(kPort, 1024);
+  engine.start();
+  std::uint32_t s = 0;
+  while (engine.route(s) != 0) ++s;
+  engine.injectWorkerKill(0);
+  for (std::uint64_t seq = 0; seq < 10; ++seq)
+    ASSERT_TRUE(engine.submit(WorkItem{frameFor(s), s, {}, seq}));
+  engine.stop();
+  const net::OrderingReport r = b.checker.report();
+  EXPECT_EQ(r.observed, 10u);
+  EXPECT_TRUE(r.inOrder()) << r.describeFaults();
+  EXPECT_EQ(engine.stats().nic_migrations, 0u);
+  EXPECT_EQ(engine.stats().nic_tfn_deferred, 0u);
 }
 
 // --------------------------------------------------- work stealing ---
@@ -239,6 +311,200 @@ TEST(StealAffinity, StealingUnderFlowDirectorMovesThePin) {
   const EngineStats st = engine.stats();
   EXPECT_TRUE(st.conserved());
   EXPECT_GE(st.nic_migrations, 1u);
+}
+
+TEST(StealAffinity, StealingUnderTransportFriendlyMovesThePinOnlyAfterDrain) {
+  // Same stranded-queue setup under the transport-friendly dispatcher: the
+  // thief's consumption *proposes* the move, but the pin holds until every
+  // frame dispatched to the old home has drained — so, unlike Flow Director,
+  // delivery stays in order while the pin still ends up at the thief.
+  Battery b(net::NicDispatchMode::kTransportFriendly, OverloadPolicy::kBlock,
+            /*steal=*/true);
+  b.options.steal_batch = 4;
+  DispatchEngine engine(2, DispatchPolicy::kStreamHash, HostConfig{}, b.options);
+  engine.openPort(kPort, 1024);
+  engine.start();
+  std::uint32_t s = 0;
+  while (engine.route(s) != 0) ++s;
+  engine.injectWorkerKill(0);
+  for (std::uint64_t seq = 0; seq < 50; ++seq)
+    ASSERT_TRUE(engine.submit(WorkItem{frameFor(s), s, {}, seq}));
+  while (engine.stats().delivered < 49) std::this_thread::yield();
+  engine.stop();
+
+  const EngineStats st = engine.stats();
+  EXPECT_TRUE(st.conserved());
+  const net::OrderingReport r = b.checker.report();
+  EXPECT_EQ(r.observed, 50u);
+  EXPECT_TRUE(r.inOrder()) << r.describeFaults();
+  EXPECT_GE(st.nic_tfn_feedback, 1u) << "the thief's consumption must be heard";
+  EXPECT_GE(st.nic_migrations, 1u) << "the pin must eventually follow the thief";
+  EXPECT_GE(st.nic_tfn_applied, 1u) << "and the move must be a deferred apply";
+  EXPECT_EQ(engine.route(s), 1u) << "after the drain the pin is at the thief";
+}
+
+TEST(TransportFriendlyOrdering, ComposesWithIpsWatchdogFailover) {
+  // The IPS engine's watchdog declares a killed worker failed, re-homes its
+  // streams, and flushes its ring to the survivor. Under the
+  // transport-friendly dispatcher the corpse's drains are stale feedback
+  // (they must not re-arm the pin toward the dead worker) while the
+  // survivor's consumptions are live. Whatever the interleaving:
+  // conservation holds and every frame is delivered.
+  Battery b(net::NicDispatchMode::kTransportFriendly, OverloadPolicy::kBlock);
+  b.options.watchdog = true;
+  b.options.watchdog_interval = std::chrono::milliseconds(1);
+  IpsEngine engine(2, HostConfig{}, b.options);
+  engine.openPort(kPort, 4096);
+  engine.start();
+  std::uint32_t s = 0;
+  while (engine.workerOf(s) != 0) ++s;
+  for (std::uint64_t seq = 0; seq < 50; ++seq)
+    ASSERT_TRUE(engine.submit(WorkItem{frameFor(s), s, {}, seq}));
+  engine.injectWorkerKill(0);
+  // Wait for the watchdog to declare the failure and re-home the stream.
+  while (engine.stats().worker_failures < 1) std::this_thread::yield();
+  for (std::uint64_t seq = 50; seq < 100; ++seq)
+    ASSERT_TRUE(engine.submit(WorkItem{frameFor(s), s, {}, seq}));
+  engine.stop();
+
+  const EngineStats st = engine.stats();
+  EXPECT_TRUE(st.conserved());
+  EXPECT_EQ(st.delivered, 100u);
+  EXPECT_EQ(b.checker.report().observed, 100u);
+  EXPECT_GE(st.worker_failures, 1u);
+  EXPECT_GE(st.nic_tfn_feedback, 1u);
+}
+
+// ----------------------------------------- cross-stack differential ---
+//
+// The same experiment — a consumer re-home while a stream has frames in
+// flight — run through both independent implementations in this repo: the
+// discrete-event simulator (src/core, steal-affinity migrates a burst) and
+// the real-thread DispatchEngine (worker kill + forced repin). Each run is
+// reduced to a verdict; the two stacks must agree on it for every NIC
+// dispatch mode, and the expected pattern is exactly the paper pair:
+// Flow Director reorders the stranded prefix, everything else stays in
+// order. The shared-queue Locking paradigm promises conservation only, so
+// its verdict never claims order in either stack.
+
+enum class Verdict { kInOrder, kReordersStrandedPrefix, kConservationOnly };
+
+const char* verdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kInOrder: return "in-order";
+    case Verdict::kReordersStrandedPrefix: return "reorders-stranded-prefix";
+    case Verdict::kConservationOnly: return "conservation-only";
+  }
+  return "?";
+}
+
+/// Real-thread side: kill the home worker, strand a prefix, force the
+/// migration, let the new home (if any) deliver first. Deterministic: the
+/// only waiting is for deliveries that provably must happen.
+Verdict runtimeVerdict(net::NicDispatchMode mode) {
+  Battery b(mode, OverloadPolicy::kBlock);
+  DispatchEngine engine(2, DispatchPolicy::kStreamHash, HostConfig{}, b.options);
+  engine.openPort(kPort, 1024);
+  engine.start();
+  std::uint32_t s = 0;
+  while (engine.route(s) != 0) ++s;
+  engine.injectWorkerKill(0);
+  for (std::uint64_t seq = 0; seq < 5; ++seq)
+    EXPECT_TRUE(engine.submit(WorkItem{frameFor(s), s, {}, seq}));
+  engine.repinStream(s, 1);
+  for (std::uint64_t seq = 5; seq < 10; ++seq)
+    EXPECT_TRUE(engine.submit(WorkItem{frameFor(s), s, {}, seq}));
+  // Only Flow Director moves the pin immediately — there the new home must
+  // deliver the post-migration frames before stop() reconciles the prefix.
+  if (mode == net::NicDispatchMode::kFlowDirector)
+    while (engine.stats().delivered < 5) std::this_thread::yield();
+  engine.stop();
+
+  EXPECT_TRUE(engine.stats().conserved());
+  const net::OrderingReport r = b.checker.report();
+  EXPECT_EQ(r.observed, 10u);
+  if (r.inOrder()) return Verdict::kInOrder;
+  // "Reorders exactly the stranded prefix": every pre-migration frame is
+  // late and the first offense is the head of the prefix.
+  EXPECT_EQ(r.reordered, 5u) << r.describeFaults();
+  EXPECT_FALSE(r.faults.empty());
+  if (!r.faults.empty()) {
+    EXPECT_EQ(r.faults[0].seq, 0u) << r.describeFaults();
+  }
+  return Verdict::kReordersStrandedPrefix;
+}
+
+/// Records per-stream service-start order in the simulator: a stream whose
+/// service starts have nondecreasing arrival times was processed in order.
+class ServiceOrderObserver : public SimObserver {
+ public:
+  void onServiceStart(unsigned, std::uint32_t stream, std::uint32_t, double arrival_us,
+                      double, double) override {
+    if (stream >= last_.size()) last_.resize(stream + 1, -1.0);
+    if (arrival_us < last_[stream]) {
+      ++regressions_;
+    } else {
+      last_[stream] = arrival_us;
+    }
+  }
+  void onServiceEnd(unsigned, std::uint32_t, std::uint32_t, double) override {}
+  [[nodiscard]] std::uint64_t regressions() const noexcept { return regressions_; }
+
+ private:
+  std::vector<double> last_;
+  std::uint64_t regressions_ = 0;
+};
+
+/// Simulator side: two processors under steal-affinity with steal_batch = 1
+/// (a stolen job starts synchronously at the steal, so the scheduling layer
+/// itself never inverts a stream — any regression is the dispatcher's).
+/// Bursty traffic makes thieves re-home streams constantly; under Flow
+/// Director the pin chases the thief and new arrivals overtake the victim's
+/// queued prefix.
+Verdict simVerdict(net::NicDispatchMode mode, ServiceOrderObserver& obs) {
+  SimConfig c = defaultSimConfig();
+  c.num_procs = 2;
+  c.policy.locking = LockingPolicy::kStealAffinity;
+  c.dispatch = mode;
+  c.steal_batch = 1;
+  c.steal_min_queue = 2;
+  c.seed = 7;
+  c.warmup_us = 10'000.0;
+  c.measure_us = 120'000.0;
+  c.observer = &obs;
+  const RunMetrics m = runOnce(c, ExecTimeModel::standard(), makeBatchStreams(4, 0.008, 8.0));
+  EXPECT_GT(m.steals, 0u) << "the experiment must actually re-home streams";
+  return obs.regressions() == 0 ? Verdict::kInOrder : Verdict::kReordersStrandedPrefix;
+}
+
+TEST(CrossStackDifferential, SimulatorAndEnginesAgreeOnEveryDispatchMode) {
+  for (net::NicDispatchMode mode : kAllModes) {
+    SCOPED_TRACE(net::nicModeName(mode));
+    ServiceOrderObserver obs;
+    const Verdict sim = simVerdict(mode, obs);
+    const Verdict rt = runtimeVerdict(mode);
+    EXPECT_EQ(sim, rt) << "sim says " << verdictName(sim) << ", engines say "
+                       << verdictName(rt);
+    const Verdict expected = mode == net::NicDispatchMode::kFlowDirector
+                                 ? Verdict::kReordersStrandedPrefix
+                                 : Verdict::kInOrder;
+    EXPECT_EQ(rt, expected) << verdictName(rt);
+  }
+}
+
+TEST(CrossStackDifferential, SharedQueueLockingIsConservationOnly) {
+  // The Locking paradigm's shared queue hands consecutive frames of one
+  // stream to whichever worker wins the lock — order is explicitly not part
+  // of its contract (that is why the paper's wired policies exist), so its
+  // verdict is conservation-only in both stacks by construction. What *is*
+  // checked: nothing vanishes.
+  Battery b(net::NicDispatchMode::kDirect, OverloadPolicy::kBlock);
+  LockingEngine engine(4, HostConfig{}, b.options);
+  engine.openPort(kPort, 4096);
+  engine.start();
+  driveAndStop(engine);
+  EXPECT_TRUE(engine.stats().conserved());
+  EXPECT_EQ(b.checker.report().observed, kStreams * kFramesPerStream);
 }
 
 }  // namespace

@@ -133,6 +133,30 @@ TEST(ScenarioTest, RejectsUnknownEnumValues) {
   EXPECT_FALSE(scenarioFrom("[model]\nprofile = carrier-pigeon\n", &error).has_value());
 }
 
+TEST(ScenarioTest, NetDispatchSectionParsed) {
+  // The NIC front-end reads [net]; the historical [policy] spelling remains
+  // a fallback so every pre-section scenario parses identically.
+  const auto s = scenarioFrom("[net]\ndispatch = tfn\ntfn_window = 8\n");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->config.dispatch, net::NicDispatchMode::kTransportFriendly);
+  EXPECT_EQ(s->config.tfn_window, 8u);
+
+  const auto alias = scenarioFrom("[net]\ndispatch = transport-friendly\n");
+  ASSERT_TRUE(alias.has_value());
+  EXPECT_EQ(alias->config.dispatch, net::NicDispatchMode::kTransportFriendly);
+  EXPECT_EQ(alias->config.tfn_window, net::NicDispatcher::kDefaultTfnWindow);
+
+  const auto legacy = scenarioFrom("[policy]\ndispatch = fdir\n");
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->config.dispatch, net::NicDispatchMode::kFlowDirector);
+
+  std::string error;
+  EXPECT_FALSE(scenarioFrom("[net]\ndispatch = quantum\n", &error).has_value());
+  EXPECT_NE(error.find("net.dispatch"), std::string::npos);
+  EXPECT_FALSE(scenarioFrom("[net]\ndispatch = tfn\ntfn_window = 0\n", &error).has_value());
+  EXPECT_NE(error.find("tfn_window"), std::string::npos);
+}
+
 TEST(ScenarioTest, RejectsAdaptiveWithoutHybrid) {
   std::string error;
   EXPECT_FALSE(

@@ -130,6 +130,26 @@ int main(int argc, char** argv) {
   if (par_m.completed != ser_m.completed)
     std::fprintf(stderr, "perf_ledger: parallel/serial completed-count mismatch!\n");
 
+  // 2d) Figure-12 solved-pair datapoint: the bursty steal-affinity workload
+  // that makes Flow Director migrate pins, run A-B against the
+  // transport-friendly dispatcher (same seed, same window). The ratio tracks
+  // the delay cost/saving of closing the reordering pathology over time;
+  // ordering correctness itself is pinned by tests/ordering_test.cpp.
+  std::printf("perf_ledger: fig12 tfn vs fdir burst point...\n");
+  SimConfig ab_cfg = defaultSimConfig();
+  ab_cfg.num_procs = 8;
+  ab_cfg.policy.locking = LockingPolicy::kStealAffinity;
+  ab_cfg.seed = 1;
+  ab_cfg.warmup_us = 20'000.0;
+  ab_cfg.measure_us = full ? 400'000.0 : 120'000.0;
+  const auto ab_streams = makeBatchStreams(16, 0.03, 8.0);
+  ab_cfg.dispatch = net::NicDispatchMode::kFlowDirector;
+  const RunMetrics fdir_m = runOnce(ab_cfg, model, ab_streams);
+  ab_cfg.dispatch = net::NicDispatchMode::kTransportFriendly;
+  const RunMetrics tfn_m = runOnce(ab_cfg, model, ab_streams);
+  const double fig12_tfn_vs_fdir_delay_ratio =
+      fdir_m.mean_delay_us > 0.0 ? tfn_m.mean_delay_us / fdir_m.mean_delay_us : 0.0;
+
   // 2c) Runtime frame path: arena allocations per frame through a
   // steady-state LockingEngine window. The counting-allocator test
   // (arena_test) pins the *global*-allocator count at zero; this row tracks
@@ -197,12 +217,14 @@ int main(int argc, char** argv) {
         "\"sim_serial_ips_pkts_per_wall_s\": %.0f, "
         "\"sim_parallel_pkts_per_wall_s\": %.0f, "
         "\"sim_parallel_threads\": %u, \"sim_parallel_engaged\": %s, "
-        "\"sim_parallel_speedup\": %.3f}",
+        "\"sim_parallel_speedup\": %.3f, "
+        "\"fig12_tfn_vs_fdir_delay_ratio\": %.3f}",
         day.c_str(), host_cores, sim_serial_ips_pkts_per_wall_s,
         sim_parallel_pkts_per_wall_s, pinfo.shards, pinfo.parallel ? "true" : "false",
         sim_serial_ips_pkts_per_wall_s > 0.0
             ? sim_parallel_pkts_per_wall_s / sim_serial_ips_pkts_per_wall_s
-            : 0.0);
+            : 0.0,
+        fig12_tfn_vs_fdir_delay_ratio);
   } else {
     std::snprintf(
         row, sizeof row,
@@ -217,13 +239,14 @@ int main(int argc, char** argv) {
         "\"sim_parallel_pkts_per_wall_s\": %.0f, "
         "\"sim_parallel_threads\": %u, \"sim_parallel_engaged\": %s, "
         "\"arena_alloc_calls_per_frame\": %.3f, "
-        "\"capacity_locking_pkts_per_s\": %.0f, \"capacity_ips_pkts_per_s\": %.0f}",
+        "\"capacity_locking_pkts_per_s\": %.0f, \"capacity_ips_pkts_per_s\": %.0f, "
+        "\"fig12_tfn_vs_fdir_delay_ratio\": %.3f}",
         day.c_str(), full ? "full" : "fast", host_cores, hold.new_eps, hold.speedup(),
         churn.new_eps, churn.speedup(), chain.new_eps, chain.speedup(), batch.new_eps,
         batch.speedup(), guard_pct, sim_pkts_per_wall_s, sim_serial_ips_pkts_per_wall_s,
         sim_parallel_pkts_per_wall_s, pinfo.shards, pinfo.parallel ? "true" : "false",
         arena_alloc_calls_per_frame, cap_locking.max_rate_per_us * 1e6,
-        cap_ips.max_rate_per_us * 1e6);
+        cap_ips.max_rate_per_us * 1e6, fig12_tfn_vs_fdir_delay_ratio);
   }
 
   if (!obs::appendLedgerRow(path, row)) {
@@ -243,6 +266,11 @@ int main(int argc, char** argv) {
               "(%u shards, engaged=%s, %u host cores)  arena %.3f allocs/frame\n",
               sim_serial_ips_pkts_per_wall_s, sim_parallel_pkts_per_wall_s, pinfo.shards,
               pinfo.parallel ? "true" : "false", host_cores, arena_alloc_calls_per_frame);
+  std::printf("fig12 tfn/fdir delay ratio %.3f (tfn %.1f us, fdir %.1f us, "
+              "fdir migrations %llu, tfn applied %llu)\n",
+              fig12_tfn_vs_fdir_delay_ratio, tfn_m.mean_delay_us, fdir_m.mean_delay_us,
+              static_cast<unsigned long long>(fdir_m.flow_migrations),
+              static_cast<unsigned long long>(tfn_m.tfn_applied));
   std::printf("appended row %zu to %s\n", obs::ledgerRowCount(path), path.c_str());
   return 0;
 }
