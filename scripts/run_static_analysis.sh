@@ -2,8 +2,13 @@
 # Static-analysis sweep (docs/STATIC_ANALYSIS.md), three passes:
 #
 #   1. afflint            — repo-specific invariants (metric names,
-#                           determinism, layering, lock discipline). Always
-#                           runs; builds with any compiler.
+#                           determinism, layering, lock discipline incl. the
+#                           lock-order acquisition graph). Always runs;
+#                           builds with any compiler. Also exports the
+#                           merged lock graph (DOT + JSON) as build
+#                           artifacts — the dynamic lockdep graph
+#                           (build-lockdep, scripts/run_sanitizers.sh) is
+#                           cross-checked against it in tests/lockdep_test.
 #   2. thread-safety      — full build under clang with
 #                           -Wthread-safety -Werror=thread-safety, checking
 #                           the aff::Mutex annotations.
@@ -13,7 +18,10 @@
 # Passes 2 and 3 need clang; where it is missing they are reported as
 # SKIPPED rather than failed (gcc compiles the annotations away, so there is
 # nothing to check locally). The CI static-analysis job installs clang and
-# runs all three — SKIPPED here never means "green there".
+# runs all three — SKIPPED here never means "green there", and the final
+# status line names every skipped pass so a partial run can't read as full.
+# Any failing sub-step (including the lock-graph export) makes the script
+# exit non-zero.
 # Usage: scripts/run_static_analysis.sh
 # Honors CTEST_PARALLEL_LEVEL for build parallelism; defaults to all cores.
 set -euo pipefail
@@ -22,6 +30,7 @@ jobs="${CTEST_PARALLEL_LEVEL:-$(nproc)}"
 cd "$(dirname "$0")/.."
 
 status=0
+skipped=()
 note() { printf '== %s ==\n' "$*"; }
 
 # -- 1. afflint --------------------------------------------------------------
@@ -32,6 +41,11 @@ fi
 cmake --build build -j "$jobs" --target afflint >/dev/null
 note "afflint: src tools bench"
 if ! build/tools/afflint --root .; then
+  status=1
+fi
+note "afflint: lock-graph export (build/lock_graph.{dot,json})"
+if ! build/tools/afflint --root . --lock-graph-dot >build/lock_graph.dot ||
+  ! build/tools/afflint --root . --lock-graph-json >build/lock_graph.json; then
   status=1
 fi
 
@@ -46,6 +60,7 @@ if command -v clang++ >/dev/null; then
   fi
 else
   note "thread-safety: SKIPPED (no clang++; annotations are no-ops under $(${CXX:-c++} --version | head -1))"
+  skipped+=(thread-safety)
 fi
 
 # -- 3. clang-tidy -----------------------------------------------------------
@@ -67,10 +82,15 @@ if command -v clang-tidy >/dev/null; then
   fi
 else
   note "clang-tidy: SKIPPED (not installed)"
+  skipped+=(clang-tidy)
 fi
 
 if [[ "$status" -eq 0 ]]; then
-  echo "static analysis clean (skipped passes noted above)"
+  if [[ "${#skipped[@]}" -eq 0 ]]; then
+    echo "static analysis clean (all passes ran)"
+  else
+    echo "static analysis clean, but SKIPPED: ${skipped[*]} — not green there, just unchecked"
+  fi
 else
   echo "static analysis FAILED"
 fi

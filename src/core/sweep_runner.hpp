@@ -97,7 +97,7 @@ class SweepRunner {
       std::atomic<std::size_t> next{0};
       // Locals, so GUARDED_BY cannot name them; the MutexLock below is the
       // whole discipline.  afflint: allow(guarded-mutex)
-      Mutex err_mu;
+      Mutex err_mu{"SweepRunner::err_mu"};
       std::exception_ptr first_error;
       auto worker = [&](std::size_t wid) {
         for (;;) {

@@ -182,7 +182,11 @@ class FlowTable {
   static constexpr std::uint32_t kEmptyKey = 0xffffffffu;
 
   struct alignas(64) Shard {
-    Mutex mu;
+    // One lockdep node for every shard: the discipline is per-class (shards
+    // are locked one at a time, inside any engine stack mutex), so two
+    // shards nested would surface as a self-edge — exactly the report we
+    // want for that bug.
+    Mutex mu{"FlowTable::Shard::mu"};
     std::vector<Entry> slots AFF_GUARDED_BY(mu);
     std::uint64_t tick AFF_GUARDED_BY(mu) = 0;      ///< admission clock
     std::uint64_t next_gen AFF_GUARDED_BY(mu) = 1;  ///< insertion sequence

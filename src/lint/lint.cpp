@@ -1,6 +1,7 @@
 #include "lint/lint.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -425,26 +426,406 @@ void ruleBoundedState(const FileCtx& ctx) {
 
 void ruleGuardedMutex(const FileCtx& ctx) {
   if (srcSubdir(ctx.path).empty()) return;
+  // Declarations may carry a lockdep name ("Mutex mu_{\"Class::mu_\"}" —
+  // the literal is stripped from the code view, leaving "{}") and trailing
+  // AFF_ACQUIRED_BEFORE/AFTER ordering declarations, which often wrap onto
+  // following lines — so the scan runs on the joined code view, not per line.
   static const std::regex kDecl(
-      R"(^\s*(?:mutable\s+)?(?:aff\s*::\s*|affinity\s*::\s*)?Mutex\s+([A-Za-z_][A-Za-z0-9_]*)\s*;)");
+      R"((^|\n)[ \t]*(?:mutable\s+)?(?:aff\s*::\s*|affinity\s*::\s*)?Mutex\s+([A-Za-z_][A-Za-z0-9_]*)\s*(?:\{[^}]*\})?\s*(?:AFF_ACQUIRED_(?:BEFORE|AFTER)\s*\([^)]*\)\s*)*;)");
   std::string whole;
   for (const auto& line : ctx.v.text) {
     whole += line;
     whole += '\n';
   }
-  for (std::size_t i = 0; i < ctx.v.code.size(); ++i) {
-    std::smatch m;
-    if (!std::regex_search(ctx.v.code[i], m, kDecl)) continue;
-    const std::string name = m[1].str();
+  std::string code;
+  for (const auto& line : ctx.v.code) {
+    code += line;
+    code += '\n';
+  }
+  for (std::sregex_iterator it(code.begin(), code.end(), kDecl), end; it != end; ++it) {
+    const std::string name = (*it)[2].str();
+    const std::size_t line0 = static_cast<std::size_t>(
+        std::count(code.begin(), code.begin() + it->position(2), '\n'));
     const std::regex kRef("AFF_(PT_)?GUARDED_BY\\s*\\([^)]*\\b" + name +
                           "\\b[^)]*\\)|AFF_REQUIRES(_SHARED)?\\s*\\([^)]*\\b" + name +
                           "\\b[^)]*\\)");
     if (!std::regex_search(whole, kRef)) {
-      ctx.report(i, "guarded-mutex",
+      ctx.report(line0, "guarded-mutex",
                  "Mutex '" + name + "' has no AFF_GUARDED_BY / AFF_PT_GUARDED_BY / AFF_REQUIRES "
                                     "reference in this file; say what it protects");
     }
   }
+}
+
+// ------------------------------------------- lock-order / blocking-under-lock
+//
+// The static half of the lock-discipline layer (util/lockdep.hpp is the
+// dynamic half). A lexical brace-depth scan tracks which Mutexes are held at
+// each point of a file — RAII MutexLocks until their scope closes, direct
+// .lock() until the matching .unlock() or scope end, AFF_REQUIRES locks for
+// the annotated function's body — and every acquisition made while something
+// is held becomes an edge of the acquisition graph. AFF_ACQUIRED_BEFORE /
+// AFTER declarations contribute intended-order edges. checkLockOrder then
+// fails on any cycle, reporting the full witness chain.
+//
+// Nodes are canonical mutex names: the `Mutex mu_{"Class::mu_"}` constructor
+// literal where one exists (resolved file-locally, then via the same-stem
+// header partner, then by tree-wide uniqueness), else `<file-stem>::<id>`.
+// Known limits, chosen over false positives: acquisitions through function
+// calls are invisible (declare those orders with AFF_ACQUIRED_BEFORE), and
+// try_lock is not treated as an acquisition.
+
+/// "engine" for "src/runtime/engine.cpp".
+std::string fileStem(const std::string& rel_path) {
+  const std::size_t slash = rel_path.find_last_of('/');
+  std::string base = slash == std::string::npos ? rel_path : rel_path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+struct NamedMutexDecl {
+  std::string canonical;
+  std::string rel_path;
+};
+/// identifier -> every `Mutex id{"Name"}` declaration seen (tree-wide when
+/// built by buildLockGraph/lintTree, file-local in standalone lintFile).
+using NameTable = std::map<std::string, std::vector<NamedMutexDecl>>;
+
+void collectNamedMutexes(const std::string& rel_path, const Views& v, NameTable* table) {
+  static const std::regex kNamed(
+      R"re((^|[^A-Za-z0-9_])Mutex\s+([A-Za-z_][A-Za-z0-9_]*)\s*\{\s*"([^"]+)"\s*\})re");
+  for (const auto& line : v.text) {
+    for (std::sregex_iterator it(line.begin(), line.end(), kNamed), end; it != end; ++it)
+      (*table)[(*it)[2].str()].push_back(NamedMutexDecl{(*it)[3].str(), rel_path});
+  }
+}
+
+/// Trailing identifier of a lock expression: "mu" for "sh->mu", "mu_" for
+/// "stacks_[i].mu_", the whole thing for "stack_mu_".
+std::string lockExprId(const std::string& expr) {
+  std::size_t end = expr.size();
+  while (end > 0 && !isWordChar(expr[end - 1])) --end;
+  std::size_t begin = end;
+  while (begin > 0 && isWordChar(expr[begin - 1])) --begin;
+  return expr.substr(begin, end - begin);
+}
+
+std::string canonicalLockName(const std::string& expr, const std::string& rel_path,
+                              const NameTable& table) {
+  const std::string id = lockExprId(expr);
+  if (id.empty()) return expr;
+  const auto it = table.find(id);
+  if (it != table.end()) {
+    for (const auto& d : it->second)
+      if (d.rel_path == rel_path) return d.canonical;
+    const std::string stem = fileStem(rel_path);
+    for (const auto& d : it->second)
+      if (fileStem(d.rel_path) == stem) return d.canonical;
+    if (it->second.size() == 1) return it->second.front().canonical;
+  }
+  return fileStem(rel_path) + "::" + id;
+}
+
+/// One lock the scan believes held at the current point.
+struct HeldLock {
+  std::string expr;       ///< source expression as written
+  std::string canonical;  ///< graph node name
+  std::string site;       ///< "file:line" of the acquisition
+  int release_depth;      ///< popped once brace depth drops below this
+  std::string raii_var;   ///< MutexLock variable name; "" for direct/REQUIRES
+  bool direct = false;    ///< explicit .lock(), releasable by .unlock()
+};
+
+void scanLockDiscipline(const FileCtx& ctx, const NameTable& table, LockGraph* g) {
+  static const std::regex kMutexLockDecl(
+      R"(MutexLock\s+([A-Za-z_][A-Za-z0-9_]*)\s*[({]\s*([^(){};]+?)\s*[)}])");
+  static const std::regex kNamedDeclSkip(R"(Mutex\s+[A-Za-z_][A-Za-z0-9_]*\s*\{[^}]*\})");
+  static const std::regex kDirectLock(
+      R"(([A-Za-z_][A-Za-z0-9_]*(?:(?:\.|->)[A-Za-z_][A-Za-z0-9_]*)*)\s*\.\s*lock\s*\(\s*\))");
+  static const std::regex kUnlock(
+      R"(([A-Za-z_][A-Za-z0-9_]*(?:(?:\.|->)[A-Za-z_][A-Za-z0-9_]*)*)\s*\.\s*unlock\s*\(\s*\))");
+  static const std::regex kRequires(R"(AFF_REQUIRES(?:_SHARED)?\s*\(([^)]*)\))");
+  static const std::regex kWait(R"(\.\s*wait(?:_for|_until)?\s*\()");
+  static const std::regex kSleep(R"(this_thread\s*::\s*sleep_(?:for|until)|\.\s*pause\s*\()");
+
+  enum Kind { kSkip, kAcqRaii, kAcqDirect, kRelease, kRequiresEv, kWaitEv, kSleepEv };
+  struct Event {
+    std::size_t begin, end;
+    Kind kind;
+    std::string a, b;  // kAcqRaii: var, expr; others: expression/args
+  };
+
+  int depth = 0;
+  std::vector<HeldLock> held;
+  std::vector<std::pair<std::string, std::size_t>> pending;  // REQUIRES expr, line
+
+  const auto canonical = [&](const std::string& expr) {
+    return canonicalLockName(expr, ctx.path, table);
+  };
+  const auto site = [&](std::size_t line0) {
+    return ctx.path + ":" + std::to_string(line0 + 1);
+  };
+  const auto acquire = [&](const std::string& expr, std::size_t line0,
+                           const std::string& raii_var, bool direct) {
+    HeldLock acq{expr, canonical(expr), site(line0), depth, raii_var, direct};
+    if (!ctx.supp.allows(static_cast<int>(line0), "lock-order")) {
+      for (const HeldLock& h : held)
+        g->edges.push_back(LockEdge{h.canonical, acq.canonical, h.site, acq.site, false});
+    }
+    held.push_back(std::move(acq));
+  };
+
+  for (std::size_t i = 0; i < ctx.v.code.size(); ++i) {
+    const std::string& line = ctx.v.code[i];
+
+    std::vector<Event> events;
+    const auto collect = [&](const std::regex& re, Kind kind) {
+      for (std::sregex_iterator it(line.begin(), line.end(), re), end; it != end; ++it) {
+        Event e{static_cast<std::size_t>(it->position(0)),
+                static_cast<std::size_t>(it->position(0) + it->length(0)), kind, "", ""};
+        if (kind == kAcqRaii) {
+          e.a = (*it)[1].str();
+          e.b = (*it)[2].str();
+        } else if (kind == kAcqDirect || kind == kRelease || kind == kRequiresEv) {
+          e.a = (*it)[1].str();
+        } else if (kind == kWaitEv) {
+          // First argument: up to the first top-level ',' or ')' after the
+          // '(' the match ends on; "" (lenient: no check) if it spans lines.
+          std::size_t c = e.end;
+          int nest = 0;
+          while (c < line.size() && !(nest == 0 && (line[c] == ',' || line[c] == ')'))) {
+            if (line[c] == '(') ++nest;
+            if (line[c] == ')') --nest;
+            ++c;
+          }
+          if (c < line.size()) {
+            std::string arg = line.substr(e.end, c - e.end);
+            const std::size_t b = arg.find_first_not_of(" \t");
+            const std::size_t f = arg.find_last_not_of(" \t");
+            e.a = b == std::string::npos ? "" : arg.substr(b, f - b + 1);
+          }
+        }
+        events.push_back(std::move(e));
+      }
+    };
+    collect(kNamedDeclSkip, kSkip);
+    collect(kMutexLockDecl, kAcqRaii);
+    collect(kDirectLock, kAcqDirect);
+    collect(kUnlock, kRelease);
+    collect(kRequires, kRequiresEv);
+    collect(kWait, kWaitEv);
+    collect(kSleep, kSleepEv);
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) { return a.begin < b.begin; });
+
+    std::size_t ev = 0;
+    for (std::size_t c = 0; c <= line.size();) {
+      if (ev < events.size() && events[ev].begin == c) {
+        const Event& e = events[ev++];
+        switch (e.kind) {
+          case kSkip:
+            break;
+          case kAcqRaii:
+            acquire(e.b, i, e.a, false);
+            break;
+          case kAcqDirect:
+            acquire(e.a, i, "", true);
+            break;
+          case kRelease:
+            for (auto it = held.rbegin(); it != held.rend(); ++it) {
+              if (it->raii_var == e.a || ((it->direct || it->raii_var.empty()) && it->expr == e.a)) {
+                held.erase(std::next(it).base());
+                break;
+              }
+            }
+            break;
+          case kRequiresEv: {
+            std::istringstream in(e.a);
+            std::string arg;
+            while (std::getline(in, arg, ',')) {
+              const std::size_t b = arg.find_first_not_of(" \t");
+              if (b == std::string::npos) continue;
+              const std::size_t f = arg.find_last_not_of(" \t");
+              arg = arg.substr(b, f - b + 1);
+              if (!arg.empty() && arg.front() != '!') pending.emplace_back(arg, i);
+            }
+            break;
+          }
+          case kWaitEv:
+            if (!e.a.empty()) {
+              const std::string target = canonical(e.a);
+              for (const HeldLock& h : held) {
+                if (h.canonical == target) continue;
+                ctx.report(i, "blocking-under-lock",
+                           "CondVar wait on '" + target + "' while also holding '" + h.canonical +
+                               "' (acquired at " + h.site +
+                               "); a waiter may hold only the condvar's own mutex — anything "
+                               "else stays locked for the whole wait");
+              }
+            }
+            break;
+          case kSleepEv:
+            if (!held.empty()) {
+              const HeldLock& h = held.back();
+              ctx.report(i, "blocking-under-lock",
+                         "blocking sleep/backoff while holding '" + h.canonical +
+                             "' (acquired at " + h.site +
+                             "); release the lock before blocking — a sleeping holder stalls "
+                             "every thread behind it");
+            }
+            break;
+        }
+        // Events with brace-bearing spans (initializer braces, MutexLock's
+        // brace form) are skipped whole so those braces don't count as
+        // scopes; call-shaped events just resume after the match.
+        c = e.kind == kSkip || e.kind == kAcqRaii ? e.end : std::max(e.end, c + 1);
+        while (ev < events.size() && events[ev].begin < c) ++ev;
+        continue;
+      }
+      if (c == line.size()) break;
+      const char ch = line[c];
+      if (ch == '{') {
+        ++depth;
+        for (const auto& [expr, line0] : pending)
+          held.push_back(HeldLock{expr, canonical(expr), site(line0), depth, "", false});
+        pending.clear();
+      } else if (ch == '}') {
+        if (depth > 0) --depth;
+        while (!held.empty() && held.back().release_depth > depth) held.pop_back();
+      } else if (ch == ';') {
+        pending.clear();  // AFF_REQUIRES on a declaration without a body
+      }
+      ++c;
+    }
+  }
+}
+
+/// AFF_ACQUIRED_BEFORE/AFTER declarations -> intended-order edges. Runs over
+/// the joined code view so a declaration's argument list may wrap lines; the
+/// subject is the `Mutex <id>` declared in the same statement.
+void extractDeclaredOrders(const FileCtx& ctx, const NameTable& table, LockGraph* g) {
+  std::string joined;
+  for (const auto& l : ctx.v.code) {
+    joined += l;
+    joined += '\n';
+  }
+  static const std::regex kMacro(R"(AFF_ACQUIRED_(BEFORE|AFTER)\s*\()");
+  static const std::regex kSubject(R"((^|[^A-Za-z0-9_])Mutex\s+([A-Za-z_][A-Za-z0-9_]*))");
+  for (std::sregex_iterator it(joined.begin(), joined.end(), kMacro), end; it != end; ++it) {
+    const bool before = (*it)[1].str() == "BEFORE";
+    const std::size_t open = static_cast<std::size_t>(it->position(0) + it->length(0));
+    const std::size_t close = joined.find(')', open);
+    if (close == std::string::npos) continue;
+    const auto line0 = static_cast<std::size_t>(
+        std::count(joined.begin(), joined.begin() + it->position(0), '\n'));
+    if (ctx.supp.allows(static_cast<int>(line0), "lock-order")) continue;
+    std::size_t stmt = joined.rfind(';', static_cast<std::size_t>(it->position(0)));
+    stmt = stmt == std::string::npos ? 0 : stmt + 1;
+    const std::string head = joined.substr(stmt, static_cast<std::size_t>(it->position(0)) - stmt);
+    std::string subject_id;
+    for (std::sregex_iterator s(head.begin(), head.end(), kSubject), e2; s != e2; ++s)
+      subject_id = (*s)[2].str();
+    if (subject_id.empty()) continue;
+    const std::string subject = canonicalLockName(subject_id, ctx.path, table);
+    const std::string site = ctx.path + ":" + std::to_string(line0 + 1);
+    std::istringstream in(joined.substr(open, close - open));
+    std::string arg;
+    while (std::getline(in, arg, ',')) {
+      std::string t;
+      for (const char c : arg)
+        if (c != ' ' && c != '\t' && c != '\n') t += c;
+      if (t.empty()) continue;
+      if (before) {
+        g->edges.push_back(LockEdge{subject, t, site, site, true});
+      } else {
+        g->edges.push_back(LockEdge{t, subject, site, site, true});
+      }
+    }
+  }
+}
+
+bool lockRulesApply(const std::string& rel_path) {
+  return startsWith(rel_path, "src/") || startsWith(rel_path, "tools/") ||
+         startsWith(rel_path, "bench/");
+}
+
+/// Shared by lintFile (standalone: per-file name table, per-file cycle
+/// check) and lintTree/buildLockGraph (tree-wide table, merged graph checked
+/// once by the caller).
+void runLockRules(const FileCtx& ctx, const NameTable* tree_table, LockGraph* graph_out) {
+  if (!lockRulesApply(ctx.path)) return;
+  NameTable local;
+  if (tree_table == nullptr) collectNamedMutexes(ctx.path, ctx.v, &local);
+  const NameTable& table = tree_table != nullptr ? *tree_table : local;
+  LockGraph g;
+  scanLockDiscipline(ctx, table, &g);
+  extractDeclaredOrders(ctx, table, &g);
+  if (graph_out != nullptr) {
+    mergeLockGraph(graph_out, g);
+  } else {
+    auto findings = checkLockOrder(g);
+    ctx.out->insert(ctx.out->end(), std::make_move_iterator(findings.begin()),
+                    std::make_move_iterator(findings.end()));
+  }
+}
+
+// ----------------------------------------------------------- tree reading
+
+/// Reads every lintable file under root/rel_roots, sorted by rel path.
+/// Unreadable entries become io-error findings.
+std::vector<std::pair<std::string, std::string>> readTree(
+    const std::string& root, const std::vector<std::string>& rel_roots,
+    std::vector<Finding>* io_errors) {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const auto& rel : rel_roots) {
+    const fs::path base = fs::path(root) / rel;
+    if (!fs::exists(base)) {
+      io_errors->push_back(Finding{rel, 0, "io-error", "no such directory under lint root"});
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
+      const std::string rel_path = fs::relative(entry.path(), fs::path(root)).generic_string();
+      std::ifstream in(entry.path(), std::ios::binary);
+      if (!in) {
+        io_errors->push_back(Finding{rel_path, 0, "io-error", "unreadable file"});
+        continue;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      files.emplace_back(rel_path, buf.str());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<Finding> lintFileImpl(const std::string& rel_path, const std::string& content,
+                                  const NameTable* tree_table, LockGraph* graph_out) {
+  std::vector<Finding> out;
+  const Views v = preprocess(content);
+  FileCtx ctx{rel_path, v, scanSuppressions(v.raw), &out};
+  ruleMetricName(ctx);
+  ruleNondeterminism(ctx);
+  ruleProtoCheck(ctx);
+  ruleLayering(ctx);
+  ruleRawMutex(ctx);
+  ruleGuardedMutex(ctx);
+  ruleFrameArena(ctx);
+  ruleBoundedState(ctx);
+  runLockRules(ctx, tree_table, graph_out);
+  return out;
+}
+
+void sortFindings(std::vector<Finding>* out) {
+  std::sort(out->begin(), out->end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
 }
 
 }  // namespace
@@ -452,10 +833,10 @@ void ruleGuardedMutex(const FileCtx& ctx) {
 // ----------------------------------------------------------------- public
 
 const std::vector<std::string>& ruleNames() {
-  static const std::vector<std::string> kRules = {"metric-name",   "nondeterminism",
-                                                  "proto-check",   "layering",
-                                                  "raw-mutex",     "guarded-mutex",
-                                                  "frame-arena",   "bounded-state"};
+  static const std::vector<std::string> kRules = {
+      "metric-name", "nondeterminism", "proto-check",   "layering",
+      "raw-mutex",   "guarded-mutex",  "frame-arena",   "bounded-state",
+      "lock-order",  "blocking-under-lock"};
   return kRules;
 }
 
@@ -495,53 +876,301 @@ bool validMetricName(const std::string& literal, std::string* why) {
 }
 
 std::vector<Finding> lintFile(const std::string& rel_path, const std::string& content) {
-  std::vector<Finding> out;
-  const Views v = preprocess(content);
-  FileCtx ctx{rel_path, v, scanSuppressions(v.raw), &out};
-  ruleMetricName(ctx);
-  ruleNondeterminism(ctx);
-  ruleProtoCheck(ctx);
-  ruleLayering(ctx);
-  ruleRawMutex(ctx);
-  ruleGuardedMutex(ctx);
-  ruleFrameArena(ctx);
-  ruleBoundedState(ctx);
-  return out;
+  return lintFileImpl(rel_path, content, nullptr, nullptr);
 }
 
 std::vector<Finding> lintTree(const std::string& root,
                               const std::vector<std::string>& rel_roots) {
-  namespace fs = std::filesystem;
   std::vector<Finding> out;
-  for (const auto& rel : rel_roots) {
-    const fs::path base = fs::path(root) / rel;
-    if (!fs::exists(base)) {
-      out.push_back(Finding{rel, 0, "io-error", "no such directory under lint root"});
-      continue;
-    }
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
-      const std::string rel_path =
-          fs::relative(entry.path(), fs::path(root)).generic_string();
-      std::ifstream in(entry.path(), std::ios::binary);
-      if (!in) {
-        out.push_back(Finding{rel_path, 0, "io-error", "unreadable file"});
-        continue;
-      }
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      auto findings = lintFile(rel_path, buf.str());
-      out.insert(out.end(), std::make_move_iterator(findings.begin()),
-                 std::make_move_iterator(findings.end()));
+  const auto files = readTree(root, rel_roots, &out);
+
+  // Pass 1: tree-wide named-mutex table, so a .cpp acquiring a lock its
+  // header declares resolves to the declared canonical name.
+  NameTable table;
+  for (const auto& [rel_path, content] : files)
+    collectNamedMutexes(rel_path, preprocess(content), &table);
+
+  // Pass 2: per-file rules; lock edges accumulate into one global graph,
+  // checked once so a cross-file inversion is a single finding with the
+  // full witness chain.
+  LockGraph graph;
+  for (const auto& [rel_path, content] : files) {
+    auto findings = lintFileImpl(rel_path, content, &table, &graph);
+    out.insert(out.end(), std::make_move_iterator(findings.begin()),
+               std::make_move_iterator(findings.end()));
+  }
+  auto order = checkLockOrder(graph);
+  out.insert(out.end(), std::make_move_iterator(order.begin()),
+             std::make_move_iterator(order.end()));
+
+  // Satellite direction of metric-name: documented names must still exist.
+  const std::filesystem::path doc = std::filesystem::path(root) / "docs" / "OBSERVABILITY.md";
+  std::ifstream doc_in(doc, std::ios::binary);
+  if (doc_in) {
+    std::ostringstream buf;
+    buf << doc_in.rdbuf();
+    std::set<std::string> vocab;
+    for (const auto& [rel_path, content] : files) addMetricVocabulary(content, &vocab);
+    auto stale = checkMetricDocs("docs/OBSERVABILITY.md", buf.str(), vocab);
+    out.insert(out.end(), std::make_move_iterator(stale.begin()),
+               std::make_move_iterator(stale.end()));
+  }
+
+  sortFindings(&out);
+  return out;
+}
+
+LockGraph extractLockEdges(const std::string& rel_path, const std::string& content) {
+  LockGraph g;
+  if (!lockRulesApply(rel_path)) return g;
+  std::vector<Finding> sink;  // blocking-under-lock findings, not this API's output
+  const Views v = preprocess(content);
+  FileCtx ctx{rel_path, v, scanSuppressions(v.raw), &sink};
+  NameTable local;
+  collectNamedMutexes(rel_path, v, &local);
+  scanLockDiscipline(ctx, local, &g);
+  extractDeclaredOrders(ctx, local, &g);
+  return g;
+}
+
+void mergeLockGraph(LockGraph* a, const LockGraph& b) {
+  std::set<std::pair<std::string, std::string>> have;
+  for (const auto& e : a->edges) have.emplace(e.from, e.to);
+  for (const auto& e : b.edges)
+    if (have.emplace(e.from, e.to).second) a->edges.push_back(e);
+}
+
+std::vector<Finding> checkLockOrder(const LockGraph& graph) {
+  std::vector<Finding> out;
+  const auto findingAt = [&](const std::string& site, std::string message) {
+    const std::size_t colon = site.find_last_of(':');
+    Finding f;
+    f.file = site.substr(0, colon);
+    f.line = colon == std::string::npos ? 0 : std::atoi(site.c_str() + colon + 1);
+    f.rule = "lock-order";
+    f.message = std::move(message);
+    out.push_back(std::move(f));
+  };
+  const auto describe = [](const LockEdge& e) {
+    if (e.declared)
+      return e.from + " before " + e.to + " declared at " + e.to_site;
+    return e.to + " acquired at " + e.to_site + " while holding " + e.from + " (acquired at " +
+           e.from_site + ")";
+  };
+
+  std::map<std::string, std::vector<const LockEdge*>> adj;
+  for (const auto& e : graph.edges) {
+    if (e.from == e.to) {
+      findingAt(e.to_site, "nested acquisition of '" + e.from +
+                               "': an instance is already held (acquired at " + e.from_site +
+                               ") — two instances of one lock class have no defined order; "
+                               "restructure or declare the order explicitly");
+    } else {
+      adj[e.from].push_back(&e);
     }
   }
-  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
-    if (a.file != b.file) return a.file < b.file;
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
+
+  // BFS edge path from->to; empty when unreachable.
+  const auto path = [&](const std::string& from,
+                        const std::string& to) -> std::vector<const LockEdge*> {
+    std::map<std::string, const LockEdge*> via;
+    std::vector<std::string> queue{from};
+    via[from] = nullptr;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      const auto it = adj.find(queue[i]);
+      if (it == adj.end()) continue;
+      for (const LockEdge* e : it->second) {
+        if (via.emplace(e->to, e).second) queue.push_back(e->to);
+      }
+    }
+    std::vector<const LockEdge*> chain;
+    if (via.find(to) == via.end()) return chain;
+    for (std::string cur = to; cur != from; cur = via[cur]->from) chain.push_back(via[cur]);
+    std::reverse(chain.begin(), chain.end());
+    return chain;
+  };
+
+  // Each cycle is reported once (keyed by its node set), witnessed by the
+  // edge that closes it plus the return path — every hop file:line'd.
+  std::set<std::string> reported;
+  for (const auto& e : graph.edges) {
+    if (e.from == e.to) continue;
+    const auto back = path(e.to, e.from);
+    if (back.empty()) continue;
+    std::set<std::string> nodes{e.from, e.to};
+    for (const LockEdge* b : back) nodes.insert(b->to);
+    std::string key;
+    for (const auto& n : nodes) key += n + "|";
+    if (!reported.insert(key).second) continue;
+    std::string cycle = e.from + " -> " + e.to;
+    for (const LockEdge* b : back) cycle += " -> " + b->to;
+    std::string message = "lock-order cycle (" + cycle + "); witness: " + describe(e);
+    for (const LockEdge* b : back) message += "; " + describe(*b);
+    findingAt(e.to_site, std::move(message));
+  }
+  sortFindings(&out);
+  return out;
+}
+
+LockGraph buildLockGraph(const std::string& root, const std::vector<std::string>& rel_roots) {
+  std::vector<Finding> sink;
+  const auto files = readTree(root, rel_roots, &sink);
+  NameTable table;
+  for (const auto& [rel_path, content] : files)
+    collectNamedMutexes(rel_path, preprocess(content), &table);
+  LockGraph graph;
+  for (const auto& [rel_path, content] : files) {
+    std::vector<Finding> per_file_sink;
+    const Views v = preprocess(content);
+    FileCtx ctx{rel_path, v, scanSuppressions(v.raw), &per_file_sink};
+    if (!lockRulesApply(rel_path)) continue;
+    LockGraph g;
+    scanLockDiscipline(ctx, table, &g);
+    extractDeclaredOrders(ctx, table, &g);
+    mergeLockGraph(&graph, g);
+  }
+  return graph;
+}
+
+void writeLockGraphDot(std::FILE* out, const LockGraph& graph) {
+  std::fprintf(out, "digraph lock_order {\n  rankdir=LR;\n");
+  for (const auto& e : graph.edges) {
+    std::fprintf(out, "  \"%s\" -> \"%s\" [label=\"%s\"%s];\n", e.from.c_str(), e.to.c_str(),
+                 e.to_site.c_str(), e.declared ? ", style=dashed" : "");
+  }
+  std::fprintf(out, "}\n");
+}
+
+void writeLockGraphJson(std::FILE* out, const LockGraph& graph) {
+  std::fprintf(out, "{\n  \"edges\": [\n");
+  for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+    const auto& e = graph.edges[i];
+    std::fprintf(out,
+                 "    {\"from\": \"%s\", \"to\": \"%s\", \"from_site\": \"%s\", "
+                 "\"to_site\": \"%s\", \"declared\": %s}%s\n",
+                 obs::jsonEscape(e.from).c_str(), obs::jsonEscape(e.to).c_str(),
+                 obs::jsonEscape(e.from_site).c_str(), obs::jsonEscape(e.to_site).c_str(),
+                 e.declared ? "true" : "false", i + 1 < graph.edges.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+void addMetricVocabulary(const std::string& content, std::set<std::string>* vocab) {
+  static const std::regex kLiteral(R"re("([^"]*)")re");
+  const Views v = preprocess(content);
+  for (const auto& line : v.text) {
+    for (std::sregex_iterator it(line.begin(), line.end(), kLiteral), end; it != end; ++it) {
+      const std::string literal = (*it)[1].str();
+      if (literal.empty()) continue;
+      vocab->insert(literal);
+      std::istringstream in(literal);
+      std::string seg;
+      while (std::getline(in, seg, '.'))
+        if (!seg.empty()) vocab->insert(seg);
+    }
+  }
+}
+
+std::vector<Finding> checkMetricDocs(const std::string& doc_rel_path,
+                                     const std::string& doc_content,
+                                     const std::set<std::string>& vocab) {
+  std::vector<Finding> out;
+  std::vector<std::string> lines;
+  {
+    std::string line;
+    std::istringstream in(doc_content);
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  const Suppressions supp = scanSuppressions(lines);
+
+  const auto isNameChar = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+           c == '<' || c == '>' || c == '*';
+  };
+  // Expand "{a,b}" alternation groups into concrete names.
+  const auto expand = [](const std::string& name) {
+    std::vector<std::string> done{""};
+    for (std::size_t i = 0; i < name.size();) {
+      if (name[i] == '{') {
+        const std::size_t close = name.find('}', i);
+        if (close == std::string::npos) return std::vector<std::string>{};
+        std::vector<std::string> alts;
+        std::istringstream in(name.substr(i + 1, close - i - 1));
+        std::string alt;
+        while (std::getline(in, alt, ',')) alts.push_back(alt);
+        std::vector<std::string> next;
+        for (const auto& prefix : done)
+          for (const auto& alt : alts) next.push_back(prefix + alt);
+        done = std::move(next);
+        i = close + 1;
+      } else {
+        for (auto& prefix : done) prefix += name[i];
+        ++i;
+      }
+    }
+    return done;
+  };
+  const auto segmentKnown = [&](const std::string& seg) {
+    if (seg.empty()) return true;  // ".." artifacts of prose — not a name issue
+    if (seg.front() == '<' || seg.find('*') != std::string::npos) return true;  // placeholder
+    if (seg.find_first_not_of("0123456789") == std::string::npos) return true;  // index
+    return vocab.count(seg) != 0;
+  };
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    for (std::size_t c = 0; c < line.size();) {
+      if (!((line[c] >= 'a' && line[c] <= 'z'))) {
+        ++c;
+        continue;
+      }
+      if (c > 0 && (isWordChar(line[c - 1]) || line[c - 1] == '.')) {
+        while (c < line.size() && isNameChar(line[c])) ++c;
+        continue;
+      }
+      // Candidate token: name chars, with {...} groups consumed whole.
+      std::size_t e = c;
+      while (e < line.size()) {
+        if (isNameChar(line[e])) {
+          ++e;
+        } else if (line[e] == '{') {
+          const std::size_t close = line.find('}', e);
+          if (close == std::string::npos) break;
+          e = close + 1;
+        } else {
+          break;
+        }
+      }
+      std::string token = line.substr(c, e - c);
+      c = e;
+      while (!token.empty() && (token.back() == '.' || token.back() == '*')) {
+        if (token.back() == '*' && token.size() >= 2 && token[token.size() - 2] == '.') break;
+        token.pop_back();  // sentence-final "." / stray "*"
+      }
+      const std::size_t dot = token.find('.');
+      if (dot == std::string::npos) continue;
+      if (metricDomains().count(token.substr(0, dot)) == 0) continue;
+      for (const std::string& name : expand(token)) {
+        std::string bad;
+        std::istringstream in(name);
+        std::string seg;
+        while (std::getline(in, seg, '.')) {
+          if (!segmentKnown(seg)) {
+            bad = seg;
+            break;
+          }
+        }
+        if (bad.empty()) continue;
+        if (supp.allows(static_cast<int>(i), "metric-name")) continue;
+        out.push_back(Finding{
+            doc_rel_path, static_cast<int>(i) + 1, "metric-name",
+            "documented metric \"" + name + "\" looks stale: segment \"" + bad +
+                "\" appears in no string literal anywhere in the tree — either the metric was "
+                "renamed/removed (update the doc) or it is documented ahead of registration"});
+      }
+    }
+  }
+  sortFindings(&out);
   return out;
 }
 

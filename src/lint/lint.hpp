@@ -32,6 +32,26 @@
 //                    in src/runtime: per-flow state on the frame path must
 //                    live in the fixed-budget FlowTable so adversarial flow
 //                    churn cannot exhaust memory (docs/ROBUSTNESS.md).
+//   lock-order     — nested Mutex acquisitions (a MutexLock/lock() in a
+//                    scope already holding a lock, including AFF_REQUIRES
+//                    held-on-entry locks) become edges of an acquisition
+//                    graph; AFF_ACQUIRED_BEFORE/AFTER declarations add
+//                    intended-order edges. Any cycle — two sites that nest
+//                    the same pair of locks in opposite orders, or an
+//                    acquisition contradicting a declaration — fails with
+//                    a file:line-by-file:line witness chain. Per-file in
+//                    lintFile; repo-global (edges merged across files) in
+//                    lintTree. Scope: src/, tools/, bench/.
+//   blocking-under-lock
+//                  — no CondVar::wait*/Backoff::pause/sleep_for/sleep_until
+//                    while holding a Mutex (for waits: other than the one
+//                    the wait itself releases). A blocked holder stalls
+//                    every thread behind that lock — the dead-consumer
+//                    kBlock hang class. Scope: src/, tools/, bench/.
+//
+// The lock-order pass is the static half of the lock-discipline layer;
+// util/lockdep.hpp (AFF_LOCKDEP builds) observes the same graph at run time
+// and tests/lockdep_test.cpp cross-checks the two.
 //
 // Comments and string literals are stripped before token rules run, so
 // writing about a banned primitive is fine; using one is not. A line (or
@@ -41,6 +61,7 @@
 #pragma once
 
 #include <cstdio>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -75,5 +96,66 @@ bool validMetricName(const std::string& literal, std::string* why);
 
 /// Machine-readable export: a JSON array of {file, line, rule, message}.
 void writeFindingsJson(std::FILE* out, const std::vector<Finding>& findings);
+
+// ------------------------------------------------------------- lock-order
+
+/// One edge of the static acquisition graph: `from` is held (or declared
+/// earlier) when `to` is acquired (or declared later). Nodes are canonical
+/// mutex names — the `Mutex mu_{"Class::mu_"}` constructor literal where one
+/// exists, else `<file-stem>::<identifier>` — the same names util/lockdep.hpp
+/// keys its dynamic graph by.
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string from_site;  ///< "file:line" where `from` was acquired/declared
+  std::string to_site;    ///< "file:line" of the acquisition/declaration
+  bool declared = false;  ///< from AFF_ACQUIRED_BEFORE/AFTER, not observed code
+};
+
+struct LockGraph {
+  std::vector<LockEdge> edges;
+};
+
+/// Extracts one file's acquisition + declaration edges. Standalone files
+/// resolve mutex expressions against their own named declarations only;
+/// buildLockGraph resolves across the whole tree.
+LockGraph extractLockEdges(const std::string& rel_path, const std::string& content);
+
+/// Appends b's edges to a, dropping (from, to) pairs a already has (first
+/// witness wins; files are visited in sorted order, so this is stable).
+void mergeLockGraph(LockGraph* a, const LockGraph& b);
+
+/// Cycle / contradiction findings over a (merged) graph: every self-edge and
+/// every distinct cycle, each with the full witness chain. Rule: lock-order.
+std::vector<Finding> checkLockOrder(const LockGraph& graph);
+
+/// Walks rel_roots like lintTree and returns the repo-global merged graph
+/// (mutex names resolved tree-wide: file-local declaration, then same-stem
+/// header partner, then globally unique, else `<file-stem>::<id>`).
+LockGraph buildLockGraph(const std::string& root, const std::vector<std::string>& rel_roots);
+
+/// Graphviz DOT export (observed edges solid, declared edges dashed) — the
+/// source of docs/STATIC_ANALYSIS.md's lock-hierarchy table.
+void writeLockGraphDot(std::FILE* out, const LockGraph& graph);
+
+/// JSON export: {"edges": [{from, to, from_site, to_site, declared}, ...]}.
+void writeLockGraphJson(std::FILE* out, const LockGraph& graph);
+
+// ---------------------------------------------------- metric-doc (satellite)
+
+/// Adds every string literal of `content` (and each dot-split segment of it)
+/// to `vocab` — the registered-name vocabulary checkMetricDocs matches
+/// documented metric names against.
+void addMetricVocabulary(const std::string& content, std::set<std::string>* vocab);
+
+/// The reverse direction of the metric-name rule: parses documentation text
+/// for metric names (dotted tokens whose first segment is a known domain),
+/// expands `{a,b}` alternations, treats `<x>` / `*` / numeric segments as
+/// wildcards, and flags names with a concrete segment that appears in no
+/// tree string literal — a documented-but-never-registered (stale) name.
+/// Findings carry rule "metric-name" at `doc_rel_path`:line.
+std::vector<Finding> checkMetricDocs(const std::string& doc_rel_path,
+                                     const std::string& doc_content,
+                                     const std::set<std::string>& vocab);
 
 }  // namespace affinity::lint

@@ -138,7 +138,9 @@ class NicDispatcher {
   const ToeplitzHash hash_;
   std::vector<unsigned> indirection_;  // immutable after construction
 
-  mutable Mutex mu_;
+  // Pin state is an inner lock domain: consumer-feedback calls (noteRun,
+  // noteDelivered) may arrive from code holding an engine stack mutex.
+  mutable Mutex mu_{"NicDispatcher::mu_"};
   // Flow table: stream -> pinned queue + 1 (0 = unpinned). Grows on demand;
   // stream ids in this repo are dense small integers.
   std::vector<unsigned> pin_ AFF_GUARDED_BY(mu_);

@@ -59,7 +59,13 @@ class OrderingChecker {
   [[nodiscard]] OrderingReport report() const AFF_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  // Taken inside the engines' delivered-observer callback, i.e. while an
+  // engine stack mutex is held — the one real cross-class nesting in the
+  // tree, so the order is declared from both sides (the AFTER here is the
+  // redundant mirror of the engines' BEFORE; flipping it is the lint
+  // mutation demo in tests/lint_test.cpp).
+  mutable Mutex mu_{"OrderingChecker::mu_"}
+      AFF_ACQUIRED_AFTER(LockingEngine::stack_mu_, DispatchEngine::stack_mu_);
   // last_[stream] = last seq + 1 (0 = stream unseen); dense small ids.
   std::vector<std::uint64_t> last_ AFF_GUARDED_BY(mu_);
   // faulted_[stream] = 1 once the stream's first offense is captured.

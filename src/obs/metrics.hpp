@@ -201,7 +201,9 @@ class MetricsRegistry {
   Entry& find_or_create_locked(const std::string& name,
                                MetricSample::Kind kind) AFF_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  // Innermost-tier lock: registration/snapshot may run under an engine
+  // stack mutex; nothing is acquired while it is held.
+  mutable Mutex mu_{"MetricsRegistry::mu_"};
   // std::map keeps names sorted for snapshot(); entries are pointer-stable.
   std::map<std::string, Entry> entries_ AFF_GUARDED_BY(mu_);
 };

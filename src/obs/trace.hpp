@@ -111,7 +111,8 @@ class TraceSession {
   const std::size_t track_capacity_;
   const std::chrono::steady_clock::time_point epoch_;
 
-  mutable Mutex mu_;  // guards tracks_ vector growth (not record writes)
+  // Innermost-tier lock; guards tracks_ vector growth (not record writes).
+  mutable Mutex mu_{"TraceSession::mu_"};
   std::vector<std::unique_ptr<Track>> tracks_ AFF_GUARDED_BY(mu_);
 
   std::atomic<std::uint64_t> recorded_{0};

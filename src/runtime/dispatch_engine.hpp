@@ -129,7 +129,13 @@ class DispatchEngine {
   net::NicDispatcher nic_;
   // Shared stack (Locking paradigm): receiveFrame always runs under
   // stack_mu_; the dispatch policies differ only in cache placement.
-  Mutex stack_mu_;
+  // Outermost in the lock hierarchy, like LockingEngine::stack_mu_ (the
+  // delivered observer and stack-layer metrics/trace run under it; NIC pin
+  // state is its own inner domain touched by consumer feedback).
+  Mutex stack_mu_{"DispatchEngine::stack_mu_"}
+      AFF_ACQUIRED_BEFORE(OrderingChecker::mu_, NicDispatcher::mu_,
+                          MetricsRegistry::mu_, TraceSession::mu_,
+                          FlowTable::Shard::mu);
   ProtocolStack stack_ AFF_GUARDED_BY(stack_mu_);
   FlowFrontEnd flow_;
   std::vector<PerWorker> per_worker_;

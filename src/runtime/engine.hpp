@@ -162,7 +162,7 @@ struct EngineStats {
 
 /// Writes an EngineStats snapshot into `reg` under `prefix` — e.g.
 /// "engine.ips.submitted", "engine.ips.worker.3.processed",
-/// "engine.ips.dropped.bad_ip_checksum". Gauge semantics (absolute values
+/// "engine.ips.dropped.ip-bad-checksum". Gauge semantics (absolute values
 /// at export time), so repeated exports overwrite rather than double-count.
 void exportEngineStats(const EngineStats& s, obs::MetricsRegistry& reg,
                        const std::string& prefix);
@@ -349,8 +349,14 @@ class LockingEngine {
   EngineOptions options_;
   // The Locking paradigm's one shared stack: every receiveFrame holds
   // stack_mu_ (that serialization is the paradigm under study, not a
-  // bottleneck to engineer away).
-  Mutex stack_mu_;
+  // bottleneck to engineer away). Outermost in the lock hierarchy: the
+  // worker loop runs the delivered observer (which may take
+  // OrderingChecker::mu_) and stack layers may record metrics/trace events
+  // while it is held. The declared order below is enforced by afflint's
+  // lock-order rule and, in AFF_LOCKDEP builds, by util/lockdep.hpp.
+  Mutex stack_mu_{"LockingEngine::stack_mu_"}
+      AFF_ACQUIRED_BEFORE(OrderingChecker::mu_, MetricsRegistry::mu_,
+                          TraceSession::mu_, FlowTable::Shard::mu);
   ProtocolStack stack_ AFF_GUARDED_BY(stack_mu_);
   MpmcQueue<WorkItem> queue_;
   FlowFrontEnd flow_;

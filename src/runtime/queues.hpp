@@ -126,7 +126,9 @@ class MpmcQueue {
     return item;
   }
 
-  mutable Mutex mu_;
+  // Leaf lock: nothing is ever acquired while a queue is locked (push/pop
+  // release before notifying), so it may sit under either engine's stack_mu_.
+  mutable Mutex mu_{"MpmcQueue::mu_"};
   CondVar not_empty_;
   CondVar not_full_;
   std::vector<T> ring_ AFF_GUARDED_BY(mu_);  // fixed slots; [head_, head_+count_)

@@ -13,7 +13,7 @@ namespace {
 /// All arenas ever created, kept alive for the life of the process so that
 /// blocks can always reach their owner and totalStats() can sum counters.
 struct Registry {
-  Mutex mu;
+  Mutex mu{"FrameArena::Registry::mu"};
   std::vector<FrameArena*> arenas AFF_GUARDED_BY(mu);
 };
 

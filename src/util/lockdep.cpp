@@ -1,0 +1,232 @@
+#include "util/lockdep.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+namespace affinity::lockdep {
+
+namespace {
+
+// One lock currently held by the calling thread.
+struct Held {
+  const void* obj;
+  const char* name;  // nullptr for unnamed
+  std::string site;  // "file:line"
+};
+
+// The tracker's own lock is a raw std::mutex on purpose: it is the innermost
+// lock in the process by construction (nothing is acquired under it), and
+// routing it through aff::Mutex would recurse into these hooks.
+struct Graph {
+  std::mutex mu;
+  // (from, to) -> first-witness sites.
+  std::map<std::pair<std::string, std::string>, std::pair<std::string, std::string>> edges;
+  std::vector<std::string> cycle_reports;
+  std::size_t cycle_count = 0;
+};
+
+Graph& graph() {
+  static Graph g;
+  return g;
+}
+
+thread_local std::vector<Held> tl_held;
+
+std::string siteOf(const char* file, unsigned line) {
+  std::ostringstream out;
+  out << (file != nullptr ? file : "?") << ":" << line;
+  return out.str();
+}
+
+// Is `to` reachable from `from` over the current edge set? (Called with
+// graph().mu held; the graph is small — tens of nodes — so a plain DFS is
+// fine.)
+bool reachable(const Graph& g, const std::string& from, const std::string& to) {
+  std::vector<const std::string*> stack{&from};
+  std::set<std::string> seen{from};
+  while (!stack.empty()) {
+    const std::string* cur = stack.back();
+    stack.pop_back();
+    if (*cur == to) return true;
+    for (const auto& [key, sites] : g.edges) {
+      if (key.first == *cur && seen.insert(key.second).second) stack.push_back(&key.second);
+    }
+  }
+  return false;
+}
+
+// Shortest textual path from→to for the witness chain (BFS over edges).
+std::vector<std::string> pathBetween(const Graph& g, const std::string& from,
+                                     const std::string& to) {
+  std::map<std::string, std::string> parent;
+  std::vector<std::string> queue{from};
+  parent[from] = from;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const std::string cur = queue[i];
+    if (cur == to) break;
+    for (const auto& [key, sites] : g.edges) {
+      if (key.first == cur && parent.find(key.second) == parent.end()) {
+        parent[key.second] = cur;
+        queue.push_back(key.second);
+      }
+    }
+  }
+  std::vector<std::string> path;
+  if (parent.find(to) == parent.end()) return path;
+  for (std::string cur = to; cur != from; cur = parent[cur]) path.push_back(cur);
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string jsonEscaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+#if defined(AFF_LOCKDEP)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void onAcquire(const void* mu, const char* name, const char* file, unsigned line) {
+  const std::string site = siteOf(file, line);
+
+  // Self-deadlock: this thread already holds this very object. Detected by
+  // identity, so it works for unnamed mutexes too.
+  for (const Held& h : tl_held) {
+    if (h.obj == mu) {
+      Graph& g = graph();
+      std::lock_guard<std::mutex> lock(g.mu);
+      ++g.cycle_count;
+      if (g.cycle_reports.size() < 32) {
+        std::ostringstream out;
+        out << "lockdep: self-deadlock on "
+            << (name != nullptr ? name : "<unnamed mutex>") << " — first acquired at "
+            << h.site << ", re-acquired at " << site;
+        g.cycle_reports.push_back(out.str());
+      }
+      break;
+    }
+  }
+
+  if (name != nullptr) {
+    Graph& g = graph();
+    std::lock_guard<std::mutex> lock(g.mu);
+    for (const Held& h : tl_held) {
+      if (h.name == nullptr || std::string(h.name) == name) continue;
+      const auto key = std::make_pair(std::string(h.name), std::string(name));
+      if (g.edges.find(key) != g.edges.end()) continue;  // order already known
+      // New edge h.name -> name. If name already reaches h.name, this
+      // acquire closes a cycle: report it with both sites of the closing
+      // edge, then record the edge anyway so the report is emitted once.
+      if (reachable(g, key.second, key.first)) {
+        ++g.cycle_count;
+        if (g.cycle_reports.size() < 32) {
+          std::ostringstream out;
+          out << "lockdep: lock-order cycle — acquiring " << name << " at " << site
+              << " while holding " << h.name << " (acquired at " << h.site
+              << "), but the observed order already has";
+          for (const auto& node : pathBetween(g, key.second, key.first))
+            out << " " << node << " ->";
+          out << " " << name;
+          g.cycle_reports.push_back(out.str());
+        }
+      }
+      g.edges.emplace(key, std::make_pair(h.site, site));
+    }
+  }
+
+  tl_held.push_back(Held{mu, name, site});
+}
+
+void onRelease(const void* mu) {
+  // Out-of-order release is legal (MutexLock::unlock before scope end);
+  // erase the most recent matching entry.
+  for (auto it = tl_held.rbegin(); it != tl_held.rend(); ++it) {
+    if (it->obj == mu) {
+      tl_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::vector<Edge> edges() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  std::vector<Edge> out;
+  out.reserve(g.edges.size());
+  for (const auto& [key, sites] : g.edges)
+    out.push_back(Edge{key.first, key.second, sites.first, sites.second});
+  return out;
+}
+
+std::size_t cycleCount() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.cycle_count;
+}
+
+std::vector<std::string> reports() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.cycle_reports;
+}
+
+void writeJson(std::FILE* out) {
+  const auto es = edges();
+  const auto rs = reports();
+  std::fprintf(out, "{\n  \"enabled\": %s,\n  \"edges\": [\n", enabled() ? "true" : "false");
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"from\": \"%s\", \"to\": \"%s\", \"from_site\": \"%s\", "
+                 "\"to_site\": \"%s\"}%s\n",
+                 jsonEscaped(es[i].from).c_str(), jsonEscaped(es[i].to).c_str(),
+                 jsonEscaped(es[i].from_site).c_str(), jsonEscaped(es[i].to_site).c_str(),
+                 i + 1 < es.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"cycle_count\": %zu,\n  \"cycles\": [\n", cycleCount());
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    std::fprintf(out, "    \"%s\"%s\n", jsonEscaped(rs[i]).c_str(),
+                 i + 1 < rs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+void writeDot(std::FILE* out) {
+  std::fprintf(out, "digraph lock_order {\n  rankdir=LR;\n");
+  for (const Edge& e : edges()) {
+    std::fprintf(out, "  \"%s\" -> \"%s\" [label=\"%s\"];\n", e.from.c_str(), e.to.c_str(),
+                 e.to_site.c_str());
+  }
+  std::fprintf(out, "}\n");
+}
+
+void reset() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.edges.clear();
+  g.cycle_reports.clear();
+  g.cycle_count = 0;
+}
+
+}  // namespace affinity::lockdep

@@ -1,0 +1,84 @@
+// lockdep.hpp — debug-build lock-order tracking (the dynamic half of the
+// lock-discipline layer; src/lint has the static half, and the two
+// cross-check each other in tests/lockdep_test.cpp).
+//
+// When the tree is configured with -DAFF_LOCKDEP=ON, every aff::Mutex
+// acquire/release (util/mutex.hpp) reports here. The tracker keeps a
+// per-thread held-set and a global acquisition-order graph keyed by the
+// mutex *name* (the `Mutex mu_{"Class::mu_"}` constructor argument — the
+// same canonical node names the static pass derives). At each acquire it
+// adds name edges held→new, and if a new edge closes a cycle it records a
+// first-witness report carrying both acquisition sites (where the held lock
+// was taken and where the conflicting one is being taken) — the ordering
+// violation is caught the first time the *order* is exercised, not the
+// first time two threads actually interleave into the deadlock.
+//
+// Deliberate properties:
+//   * Names, not objects. Every FlowTable shard maps to one node
+//     ("FlowTable::Shard::mu"), every MpmcQueue to "MpmcQueue::mu_" — the
+//     graph states the *rule*, exactly like the static graph. (Two shards
+//     locked together therefore show as a self-edge; the flow table never
+//     does that, and lockdep is the proof.)
+//   * Unnamed mutexes (default-constructed, e.g. test-local locks) stay in
+//     the held-set for self-deadlock detection but add no graph edges —
+//     name any mutex that participates in a multi-lock pattern.
+//   * Reports are recorded, never thrown: the soak or test inspects
+//     cycleCount() / reports() at a quiescent point and fails there.
+//   * No clocks, no randomness (util is a simulation-path dir); the graph
+//     is a pure function of the acquisition history.
+//
+// The inspection API below is compiled unconditionally (so the cycle
+// detector is unit-testable in any tree); only the hooks inside
+// util/mutex.hpp are gated on the AFF_LOCKDEP macro. enabled() says whether
+// those hooks are live in this build.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace affinity::lockdep {
+
+/// True iff this tree was configured with -DAFF_LOCKDEP=ON (the mutex hooks
+/// are live and the graph observes real acquisitions).
+bool enabled() noexcept;
+
+/// Acquisition hook: `mu` identifies the lock object, `name` its canonical
+/// node (nullptr for unnamed), `file`/`line` the acquisition site. Called by
+/// Mutex::lock()/try_lock() under AFF_LOCKDEP; tests may call it directly.
+void onAcquire(const void* mu, const char* name, const char* file, unsigned line);
+
+/// Release hook (order-independent: releasing out of acquisition order is
+/// legal and handled).
+void onRelease(const void* mu);
+
+/// One observed name→name edge with its first witness sites.
+struct Edge {
+  std::string from;       ///< held lock's node name
+  std::string to;         ///< acquired lock's node name
+  std::string from_site;  ///< "file:line" where the held lock was acquired
+  std::string to_site;    ///< "file:line" of the acquisition that made the edge
+};
+
+/// Snapshot of the observed order graph (stable order: from, then to).
+std::vector<Edge> edges();
+
+/// Number of distinct ordering violations recorded (cycles closed by an
+/// acquire, plus self-deadlocks: re-acquiring an object already held).
+std::size_t cycleCount();
+
+/// Human-readable first-witness reports, one per violation, each naming the
+/// full cycle and both acquisition sites of the closing edge.
+std::vector<std::string> reports();
+
+/// Observed graph as JSON: {"enabled":…, "edges":[…], "cycles":[…]}.
+void writeJson(std::FILE* out);
+
+/// Observed graph as Graphviz DOT (digraph lock_order).
+void writeDot(std::FILE* out);
+
+/// Clears the graph and reports. Call only at a quiescent point (no locks
+/// held anywhere); per-thread held-sets of live threads are not touched.
+void reset();
+
+}  // namespace affinity::lockdep

@@ -16,6 +16,15 @@
 // they compile to exactly the std calls they wrap (the perf-smoke guard in
 // scripts/run_perf_smoke.sh pins this). Off clang the annotations vanish
 // and these are plain aliases-with-ceremony.
+//
+// Lockdep (debug builds): configuring with -DAFF_LOCKDEP=ON makes every
+// acquire/release report to util/lockdep.hpp, which maintains a per-thread
+// held-set and a global acquisition-order graph with immediate cycle
+// detection. Mutexes that participate in multi-lock patterns take a name —
+// `Mutex mu_{"Class::mu_"}` — matching the canonical node the static
+// lock-order pass (src/lint) derives, so the two graphs cross-check. When
+// AFF_LOCKDEP is off (every release/perf tree), the name is discarded at
+// compile time and the hooks do not exist: zero state, zero calls.
 #pragma once
 
 #include <chrono>
@@ -25,22 +34,66 @@
 
 #include "util/thread_annotations.hpp"
 
+#if defined(AFF_LOCKDEP)
+#include "util/lockdep.hpp"
+// Acquisition sites come from the compiler builtins (gcc and clang both
+// have them) so the hot signatures stay free of <source_location> types.
+// BARE is a full parameter list, TAIL appends to an existing one, FWD
+// forwards the captured site one call deeper.
+#define AFF_LOCKDEP_SITE_BARE \
+  const char* ld_file = __builtin_FILE(), unsigned ld_line = __builtin_LINE()
+#define AFF_LOCKDEP_SITE_TAIL , AFF_LOCKDEP_SITE_BARE
+#define AFF_LOCKDEP_SITE_FWD ld_file, ld_line
+#else
+#define AFF_LOCKDEP_SITE_BARE
+#define AFF_LOCKDEP_SITE_TAIL
+#define AFF_LOCKDEP_SITE_FWD
+#endif
+
 namespace affinity {
 
-/// Annotated exclusive mutex (see file comment).
+/// Annotated exclusive mutex (see file comment). The optional name is the
+/// lockdep graph node ("Class::member", matching the static pass); unnamed
+/// mutexes are tracked for self-deadlock only.
 class AFF_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+#if defined(AFF_LOCKDEP)
+  explicit Mutex(const char* lockdep_name) : name_(lockdep_name) {}
+#else
+  explicit Mutex(const char* /*lockdep_name*/) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() AFF_ACQUIRE() { mu_.lock(); }
-  void unlock() AFF_RELEASE() { mu_.unlock(); }
-  [[nodiscard]] bool try_lock() AFF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock(AFF_LOCKDEP_SITE_BARE) AFF_ACQUIRE() {
+#if defined(AFF_LOCKDEP)
+    lockdep::onAcquire(this, name_, ld_file, ld_line);
+#endif
+    mu_.lock();
+  }
+  void unlock() AFF_RELEASE() {
+#if defined(AFF_LOCKDEP)
+    lockdep::onRelease(this);
+#endif
+    mu_.unlock();
+  }
+  [[nodiscard]] bool try_lock(AFF_LOCKDEP_SITE_BARE) AFF_TRY_ACQUIRE(true) {
+#if defined(AFF_LOCKDEP)
+    if (!mu_.try_lock()) return false;
+    lockdep::onAcquire(this, name_, ld_file, ld_line);
+    return true;
+#else
+    return mu_.try_lock();
+#endif
+  }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+#if defined(AFF_LOCKDEP)
+  const char* name_ = nullptr;
+#endif
 };
 
 /// RAII lock for Mutex; the scoped analogue of std::lock_guard with an
@@ -48,7 +101,9 @@ class AFF_CAPABILITY("mutex") Mutex {
 /// no-op. Not copyable or movable — it mirrors the scope it guards.
 class AFF_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) AFF_ACQUIRE(mu) : mu_(&mu) { mu_->lock(); }
+  explicit MutexLock(Mutex& mu AFF_LOCKDEP_SITE_TAIL) AFF_ACQUIRE(mu) : mu_(&mu) {
+    mu_->lock(AFF_LOCKDEP_SITE_FWD);
+  }
   ~MutexLock() AFF_RELEASE() {
     if (mu_ != nullptr) mu_->unlock();
   }
@@ -83,6 +138,7 @@ class CondVar {
   template <typename Pred>
   void wait(Mutex& mu, Pred pred) AFF_REQUIRES(mu) {
     Waiter w{mu};
+    // afflint: allow(blocking-under-lock): w wraps mu itself — condvar contract
     cv_.wait(w, std::move(pred));
   }
 
@@ -91,6 +147,7 @@ class CondVar {
   bool wait_for(Mutex& mu, std::chrono::duration<Rep, Period> timeout,
                 Pred pred) AFF_REQUIRES(mu) {
     Waiter w{mu};
+    // afflint: allow(blocking-under-lock): w wraps mu itself (see wait()).
     return cv_.wait_for(w, timeout, std::move(pred));
   }
 
@@ -98,7 +155,9 @@ class CondVar {
   // BasicLockable view of a Mutex handed to condition_variable_any, which
   // unlocks/relocks it around the actual wait. Exempt from analysis: the
   // transient release inside a wait is the condvar contract that the
-  // REQUIRES annotation on wait()/wait_for() already expresses.
+  // REQUIRES annotation on wait()/wait_for() already expresses. (Under
+  // lockdep the relock reports through Mutex::lock like any other acquire,
+  // so the held-set stays exact across the wait.)
   struct Waiter {
     Mutex& mu;
     void lock() AFF_NO_THREAD_SAFETY_ANALYSIS { mu.lock(); }

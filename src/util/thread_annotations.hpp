@@ -33,9 +33,20 @@
 /// may be read freely).
 #define AFF_PT_GUARDED_BY(x) AFF_THREAD_ANNOTATION__(pt_guarded_by(x))
 
-/// Lock-ordering hints (deadlock detection).
-#define AFF_ACQUIRED_BEFORE(...) AFF_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
-#define AFF_ACQUIRED_AFTER(...) AFF_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+/// Lock-ordering declarations (deadlock prevention). Deliberately NOT the
+/// clang acquired_before/acquired_after attributes: those only exist under
+/// -Wthread-safety-beta and cannot name locks across classes, while the
+/// repo's multi-lock pairs are exactly cross-class (engine stack_mu_ before
+/// FlowTable::Shard::mu, ...). Instead these expand to nothing and are read
+/// lexically by two checkers that CAN handle cross-class names:
+///   * tools/afflint's lock-order rule folds them into the static
+///     acquisition graph (a contradicting or cyclic declaration fails lint);
+///   * the AFF_LOCKDEP runtime (util/lockdep.hpp) cross-checks observed
+///     acquisition order against them in tests/lockdep_test.cpp.
+/// Arguments are canonical node names ("Class::member"), matching the name
+/// the Mutex is constructed with: `Mutex mu_{"NicDispatcher::mu_"}`.
+#define AFF_ACQUIRED_BEFORE(...)  // linter-checked, see above
+#define AFF_ACQUIRED_AFTER(...)   // linter-checked, see above
 
 /// Caller must hold the capability (exclusively / shared) across the call.
 #define AFF_REQUIRES(...) AFF_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))

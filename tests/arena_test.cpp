@@ -17,6 +17,7 @@
 #include "proto/stack.hpp"
 #include "proto/udp.hpp"
 #include "runtime/engine.hpp"
+#include "util/lockdep.hpp"
 
 // ------------------------------------------------- counting global new --
 //
@@ -163,6 +164,11 @@ TEST(FrameArena, SessionRingSteadyStateIsAllocFree) {
 }
 
 TEST(FrameArena, EngineSteadyStateFramePathIsGlobalAllocFree) {
+  // The lockdep tree instruments every Mutex acquisition (site strings,
+  // held-set growth) — heap traffic by design, so the zero-allocation claim
+  // only holds for trees without the diagnostic.
+  if (affinity::lockdep::enabled())
+    GTEST_SKIP() << "AFF_LOCKDEP hooks allocate on the lock path";
   // End-to-end: submit → MpmcQueue ring hop → worker pops → shared-stack
   // parse (FDDI/IP/UDP on the scratch Packet) → session → WorkItem freed
   // cross-thread. After warm-up, a window of 4096 frames must hit the
@@ -209,6 +215,8 @@ TEST(FrameArena, EngineSteadyStateFramePathIsGlobalAllocFree) {
 }
 
 TEST(FrameArena, ExhaustionWithWorkerKillStaysGlobalAllocFreeAndConserves) {
+  if (affinity::lockdep::enabled())
+    GTEST_SKIP() << "AFF_LOCKDEP hooks allocate on the lock path";
   // The robustness composition: a deliberately tiny flow table (so flow
   // eviction runs continuously), kDropOldest queue overload, and a worker
   // killed in the middle of the measured window. The degraded path — shed

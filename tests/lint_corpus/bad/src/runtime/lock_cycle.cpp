@@ -1,0 +1,32 @@
+// afflint-corpus-expect: lock-order
+//
+// Two sites nest the same pair of locks in opposite orders: forward() takes
+// a_ then b_, backward() takes b_ then a_ — the classic AB/BA deadlock. The
+// lock-order rule merges both nestings into the acquisition graph and
+// reports the cycle with both witness sites.
+#include "util/mutex.hpp"
+
+namespace affinity {
+
+struct TwoLocks {
+  Mutex a_{"TwoLocks::a_"};
+  Mutex b_{"TwoLocks::b_"};
+  int under_a_ AFF_GUARDED_BY(a_) = 0;
+  int under_b_ AFF_GUARDED_BY(b_) = 0;
+
+  void forward() {
+    MutexLock la(a_);
+    MutexLock lb(b_);
+    ++under_a_;
+    ++under_b_;
+  }
+
+  void backward() {
+    MutexLock lb(b_);
+    MutexLock la(a_);
+    ++under_b_;
+    ++under_a_;
+  }
+};
+
+}  // namespace affinity

@@ -1,0 +1,24 @@
+// afflint-corpus-expect: blocking-under-lock
+//
+// Sleeping while holding a Mutex: every other thread that needs mu_ stalls
+// for the whole sleep — the dead-consumer hang class the rule exists for.
+#include <chrono>
+#include <thread>
+
+#include "util/mutex.hpp"
+
+namespace affinity {
+
+struct Sleeper {
+  Mutex mu_{"Sleeper::mu_"};
+  int state_ AFF_GUARDED_BY(mu_) = 0;
+
+  void slowPoll() {
+    MutexLock lock(mu_);
+    while (state_ == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+};
+
+}  // namespace affinity

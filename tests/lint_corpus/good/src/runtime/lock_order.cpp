@@ -1,0 +1,29 @@
+// afflint-corpus-rule: lock-order
+//
+// Consistent nesting: every site takes a_ before b_ (directly, or with a_
+// held on entry via AFF_REQUIRES), and the declared ordering agrees — an
+// acyclic acquisition graph, so the rule stays silent.
+#include "util/mutex.hpp"
+
+namespace affinity {
+
+struct TwoLocks {
+  Mutex a_{"TwoLocks::a_"} AFF_ACQUIRED_BEFORE(TwoLocks::b_);
+  Mutex b_{"TwoLocks::b_"};
+  int under_a_ AFF_GUARDED_BY(a_) = 0;
+  int under_b_ AFF_GUARDED_BY(b_) = 0;
+
+  void both() {
+    MutexLock la(a_);
+    MutexLock lb(b_);
+    ++under_a_;
+    ++under_b_;
+  }
+
+  void innerWhileHoldingOuter() AFF_REQUIRES(a_) {
+    MutexLock lb(b_);
+    under_b_ = under_a_;
+  }
+};
+
+}  // namespace affinity

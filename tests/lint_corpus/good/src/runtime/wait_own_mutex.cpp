@@ -1,0 +1,28 @@
+// afflint-corpus-rule: blocking-under-lock
+//
+// Waiting on a condvar while holding exactly the mutex the wait releases is
+// the condvar contract, not a blocking-under-lock violation.
+#include "util/mutex.hpp"
+
+namespace affinity {
+
+struct Gate {
+  Mutex mu_{"Gate::mu_"};
+  CondVar cv_;
+  int ready_ AFF_GUARDED_BY(mu_) = 0;
+
+  void block() {
+    MutexLock lock(mu_);
+    cv_.wait(mu_, [this]() AFF_REQUIRES(mu_) { return ready_ != 0; });
+  }
+
+  void open() {
+    {
+      MutexLock lock(mu_);
+      ready_ = 1;
+    }
+    cv_.notify_all();
+  }
+};
+
+}  // namespace affinity

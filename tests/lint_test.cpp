@@ -22,9 +22,16 @@
 #include <vector>
 
 namespace fs = std::filesystem;
+using affinity::lint::buildLockGraph;
+using affinity::lint::checkLockOrder;
+using affinity::lint::checkMetricDocs;
+using affinity::lint::extractLockEdges;
 using affinity::lint::Finding;
 using affinity::lint::lintFile;
 using affinity::lint::lintTree;
+using affinity::lint::LockEdge;
+using affinity::lint::LockGraph;
+using affinity::lint::mergeLockGraph;
 using affinity::lint::ruleNames;
 using affinity::lint::validMetricName;
 
@@ -171,6 +178,137 @@ TEST(LiveTree, RemovingAGuardedByAnnotationIsCaught) {
   const auto findings = lintFile("src/runtime/engine.hpp", content);
   EXPECT_EQ(rulesIn(findings), std::set<std::string>{"guarded-mutex"})
       << describe(findings);
+}
+
+// ---------------------------------------------------------------------------
+// Lock-order: acquisition-graph units + the declared-ordering mutation demo.
+// ---------------------------------------------------------------------------
+
+TEST(LockOrder, SelfEdgeIsReportedAsNestedAcquisition) {
+  LockGraph g;
+  g.edges.push_back(LockEdge{"FlowTable::Shard::mu", "FlowTable::Shard::mu",
+                             "src/flow/x.cpp:10", "src/flow/x.cpp:12", false});
+  const auto findings = checkLockOrder(g);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-order");
+  EXPECT_NE(findings[0].message.find("nested acquisition"), std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(findings[0].message.find("FlowTable::Shard::mu"), std::string::npos);
+}
+
+TEST(LockOrder, ContradictoryDeclarationsAreACycleWithBothSites) {
+  LockGraph g;
+  g.edges.push_back(LockEdge{"A::mu", "B::mu", "src/a.hpp:3", "src/a.hpp:3", true});
+  g.edges.push_back(LockEdge{"B::mu", "A::mu", "src/b.hpp:7", "src/b.hpp:7", true});
+  const auto findings = checkLockOrder(g);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-order");
+  EXPECT_NE(findings[0].message.find("cycle"), std::string::npos) << findings[0].message;
+  EXPECT_NE(findings[0].message.find("src/a.hpp:3"), std::string::npos) << findings[0].message;
+  EXPECT_NE(findings[0].message.find("src/b.hpp:7"), std::string::npos) << findings[0].message;
+}
+
+TEST(LockOrder, ObservedNestingContradictingADeclarationIsACycle) {
+  LockGraph g;
+  g.edges.push_back(LockEdge{"A::mu", "B::mu", "src/a.hpp:3", "src/a.hpp:3", true});
+  // Real code then nests the other way round.
+  g.edges.push_back(LockEdge{"B::mu", "A::mu", "src/c.cpp:40", "src/c.cpp:41", false});
+  const auto findings = checkLockOrder(g);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("while holding"), std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(findings[0].message.find("declared at"), std::string::npos) << findings[0].message;
+}
+
+TEST(LockOrder, ExtractSeesRaiiNestingRequiresAndDeclarations) {
+  const std::string content =
+      "Mutex a_{\"T::a_\"} AFF_ACQUIRED_BEFORE(T::b_);\n"
+      "Mutex b_{\"T::b_\"};\n"
+      "void f() {\n"
+      "  MutexLock la(a_);\n"
+      "  MutexLock lb(b_);\n"
+      "}\n"
+      "void g() AFF_REQUIRES(a_) {\n"
+      "  MutexLock lb(b_);\n"
+      "}\n";
+  const LockGraph g = extractLockEdges("src/runtime/two.cpp", content);
+  std::size_t declared = 0, observed = 0;
+  for (const auto& e : g.edges) {
+    EXPECT_EQ(e.from, "T::a_");
+    EXPECT_EQ(e.to, "T::b_");
+    (e.declared ? declared : observed) += 1;
+  }
+  EXPECT_EQ(declared, 1u);  // the AFF_ACQUIRED_BEFORE edge
+  EXPECT_EQ(observed, 2u);  // direct nesting in f(), held-on-entry in g()
+  EXPECT_TRUE(checkLockOrder(g).empty());
+}
+
+// The second acceptance demo, automated: inverting one declared ordering on
+// a real runtime header must produce a lock-order cycle whose witness chain
+// names both declaration sites (the flipped one in engine.hpp and the
+// still-correct counterpart in net/ordering.hpp).
+TEST(LiveTree, InvertingADeclaredOrderingIsCaught) {
+  LockGraph graph = buildLockGraph(AFF_SOURCE_ROOT, {"src", "tools", "bench"});
+  ASSERT_FALSE(graph.edges.empty());
+  ASSERT_TRUE(checkLockOrder(graph).empty());
+
+  const fs::path engine = fs::path(AFF_SOURCE_ROOT) / "src" / "runtime" / "engine.hpp";
+  std::string content = readFile(engine);
+  const std::string decl = "AFF_ACQUIRED_BEFORE(OrderingChecker::mu_";
+  const std::size_t at = content.find(decl);
+  ASSERT_NE(at, std::string::npos) << "engine.hpp no longer declares stack_mu_'s ordering";
+  content.replace(at, decl.size(), "AFF_ACQUIRED_AFTER(OrderingChecker::mu_");
+
+  LockGraph mutated = extractLockEdges("src/runtime/engine.hpp", content);
+  mergeLockGraph(&graph, mutated);
+  const auto findings = checkLockOrder(graph);
+  ASSERT_FALSE(findings.empty());
+  bool two_site_witness = false;
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.rule, "lock-order");
+    two_site_witness =
+        two_site_witness || (f.message.find("src/runtime/engine.hpp") != std::string::npos &&
+                             f.message.find("src/net/ordering.hpp") != std::string::npos);
+  }
+  EXPECT_TRUE(two_site_witness) << describe(findings);
+}
+
+// ---------------------------------------------------------------------------
+// Metric docs: the reverse direction of the metric-name rule.
+// ---------------------------------------------------------------------------
+
+TEST(MetricDocs, StaleDocumentedNameIsFlaggedAndRegisteredOnesPass) {
+  std::set<std::string> vocab;
+  affinity::lint::addMetricVocabulary(
+      "counter(\"engine.rx.batches\"); counter(\"engine.tx.batches\");\n"
+      "gauge(prefix + \".dropped.\" + reason);\n",
+      &vocab);
+  const std::string doc =
+      "`engine.rx.batches` counts per-worker rx batches.\n"          // registered: ok
+      "`engine.{rx,tx}.batches` both directions.\n"                  // brace expansion: ok
+      "`engine.rx.dropped.<reason>` per-cause drops.\n"              // wildcard segment: ok
+      "`engine.rx.queue_overruns` was renamed and never updated.\n"  // stale
+      "plain prose with engine words but no dotted name.\n";
+  const auto findings = checkMetricDocs("docs/OBSERVABILITY.md", doc, vocab);
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "metric-name");
+  EXPECT_EQ(findings[0].file, "docs/OBSERVABILITY.md");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("queue_overruns"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(MetricDocs, SuppressionCommentSilencesADocumentedName) {
+  std::set<std::string> vocab;
+  affinity::lint::addMetricVocabulary("counter(\"engine.rx.batches\");\n", &vocab);
+  const std::string doc =
+      "<!-- afflint: allow(metric-name) -->\n"
+      "`engine.rx.planned_future_counter` ships next quarter.\n";
+  EXPECT_TRUE(checkMetricDocs("docs/OBSERVABILITY.md", doc, vocab).empty());
+  EXPECT_FALSE(
+      checkMetricDocs("docs/OBSERVABILITY.md",
+                      "`engine.rx.planned_future_counter` ships next quarter.\n", vocab)
+          .empty());
 }
 
 }  // namespace

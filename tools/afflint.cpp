@@ -17,6 +17,11 @@ int main(int argc, char** argv) {
       cli.flag<std::string>("dirs", "src,tools,bench", "comma-separated dirs under root");
   const bool& json = cli.flag<bool>("json", false, "emit findings as a JSON array on stdout");
   const bool& list_rules = cli.flag<bool>("list-rules", false, "print rule names and exit");
+  const bool& graph_dot = cli.flag<bool>(
+      "lock-graph-dot", false, "print the static acquisition graph as Graphviz DOT and exit "
+                               "(observed edges solid, declared orderings dashed)");
+  const bool& graph_json = cli.flag<bool>(
+      "lock-graph-json", false, "print the static acquisition graph as JSON and exit");
   cli.parse(argc, argv);
 
   if (list_rules) {
@@ -35,6 +40,13 @@ int main(int argc, char** argv) {
   if (rel_roots.empty()) {
     std::fprintf(stderr, "afflint: --dirs is empty\n");
     return 2;
+  }
+
+  if (graph_dot || graph_json) {
+    const auto graph = affinity::lint::buildLockGraph(root, rel_roots);
+    if (graph_dot) affinity::lint::writeLockGraphDot(stdout, graph);
+    if (graph_json) affinity::lint::writeLockGraphJson(stdout, graph);
+    return 0;
   }
 
   const auto findings = affinity::lint::lintTree(root, rel_roots);

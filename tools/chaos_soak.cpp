@@ -19,6 +19,7 @@
 #include "obs/trace.hpp"
 #include "runtime/chaos.hpp"
 #include "util/cli.hpp"
+#include "util/lockdep.hpp"
 
 using namespace affinity;
 
@@ -34,6 +35,9 @@ int main(int argc, char** argv) {
       "metrics-out", "", "write the chaos ledger as a metrics-registry JSON snapshot here");
   const std::string& trace_out = cli.flag<std::string>(
       "trace-out", "", "write worker frame spans + fault instants as Chrome trace JSON here");
+  const std::string& lockdep_out = cli.flag<std::string>(
+      "lockdep-out", "", "write the observed lock-order graph as JSON here (AFF_LOCKDEP builds; "
+                         "empty graph otherwise)");
   cli.parse(argc, argv);
 
   obs::MetricsRegistry registry;
@@ -93,6 +97,25 @@ int main(int argc, char** argv) {
   if (engine != "locking" && engine != "ips" && engine != "dispatch" && !all) {
     std::fprintf(stderr, "chaos_soak: unknown --engine %s\n", engine.c_str());
     return 2;
+  }
+
+  // In AFF_LOCKDEP builds the soak doubles as a lock-discipline gate: any
+  // ordering violation observed while the engines ran fails the run even
+  // though no deadlock happened to materialize.
+  if (lockdep::enabled() && lockdep::cycleCount() > 0) {
+    for (const auto& report : lockdep::reports()) std::fprintf(stderr, "%s\n", report.c_str());
+    std::fprintf(stderr, "chaos_soak: lockdep recorded %zu lock-order violation%s\n",
+                 lockdep::cycleCount(), lockdep::cycleCount() == 1 ? "" : "s");
+    ok = false;
+  }
+  if (!lockdep_out.empty()) {
+    std::FILE* f = std::fopen(lockdep_out.c_str(), "w");
+    if (f != nullptr) {
+      lockdep::writeJson(f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "warning: could not write --lockdep-out %s\n", lockdep_out.c_str());
+    }
   }
 
   // Greppable status line, same convention as scripts/run_perf_smoke.sh.
