@@ -22,8 +22,10 @@ struct ComponentProfile {
 /// E[F(age)] under the two-point approximation: migrated => fully flushed;
 /// resident => flushed according to the mean gap. (F is concave, so using
 /// the mean gap is slightly optimistic; the validation bench quantifies it.)
-double expectedFlush(const FlushModel& fm, bool l2, const ComponentProfile& c) {
-  const double f = l2 ? fm.f2(c.gap_us) : fm.f1(c.gap_us);
+/// Dispatches through the model's f1At/f2At so it works under either
+/// displacement model (`cache.model = sst | reuse`).
+double expectedFlush(const ExecTimeModel& model, bool l2, const ComponentProfile& c) {
+  const double f = l2 ? model.f2At(c.gap_us) : model.f1At(c.gap_us);
   return c.p_cold + (1.0 - c.p_cold) * f;
 }
 
@@ -31,14 +33,24 @@ double expectedFlush(const FlushModel& fm, bool l2, const ComponentProfile& c) {
 double meanService(const ExecTimeModel& model, const ComponentProfile& code,
                    const ComponentProfile& shared, const ComponentProfile& stream) {
   const FootprintShares& g = model.shares();
-  const FlushModel& fm = model.flush();
-  const double l1 = g.l1_code * expectedFlush(fm, false, code) +
-                    g.l1_shared * expectedFlush(fm, false, shared) +
-                    g.l1_stream * expectedFlush(fm, false, stream);
-  const double l2 = g.l2_code * expectedFlush(fm, true, code) +
-                    g.l2_shared * expectedFlush(fm, true, shared) +
-                    g.l2_stream * expectedFlush(fm, true, stream);
-  return model.tWarm() + l1 * model.reloadParams().dl1_us + l2 * model.reloadParams().dl2_us;
+  const double l1 = g.l1_code * expectedFlush(model, false, code) +
+                    g.l1_shared * expectedFlush(model, false, shared) +
+                    g.l1_stream * expectedFlush(model, false, stream);
+  const double l2 = g.l2_code * expectedFlush(model, true, code) +
+                    g.l2_shared * expectedFlush(model, true, shared) +
+                    g.l2_stream * expectedFlush(model, true, stream);
+  double t = model.tWarm() + l1 * model.reloadParams().dl1_us + l2 * model.reloadParams().dl2_us;
+  // Shared LLC: location-independent, so a migration does NOT cold the L3
+  // footprint — p_cold never applies and only background decay at the mean
+  // gap matters. This is the mechanism that shrinks the 1995 migration
+  // penalty on modern topologies (EXPERIMENTS.md shared-LLC rerun).
+  if (model.reloadParams().dl3_us > 0.0) {
+    const double l3 = g.l2_code * model.f3At(code.gap_us) +
+                      g.l2_shared * model.f3At(shared.gap_us) +
+                      g.l2_stream * model.f3At(stream.gap_us);
+    t += l3 * model.reloadParams().dl3_us;
+  }
+  return t;
 }
 
 /// Squared coefficient of variation of service from the dominant variance

@@ -19,19 +19,42 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 
 #include "cache/flush.hpp"
+#include "cache/reuse.hpp"
 
 namespace affinity {
+
+/// Which displacement model drives the reload transients: the paper's
+/// fitted SST power law or the measured reuse-distance profiles
+/// (`cache.model = sst | reuse` in scenario files).
+enum class CacheModelKind { kSst, kReuse };
 
 /// Measured reload-transient scalars (microseconds).
 struct ReloadParams {
   double t_warm_us = 135.7;  ///< everything cached on this processor
   double dl1_us = 48.6;      ///< full L1 reload transient (L1 cold, L2 warm)
-  double dl2_us = 100.0;     ///< full L2 reload transient
+  double dl2_us = 100.0;     ///< full private-L2 reload transient
+  /// Full shared-LLC reload transient. 0 (the 1995 default) means the
+  /// hierarchy has no shared level and every formula reduces exactly to the
+  /// paper's two-level t(x) = t_warm + F1·ΔL1 + F2·ΔL2.
+  double dl3_us = 0.0;
 
   /// Fully-cold packet time; the paper's measured value is 284.3 µs.
-  [[nodiscard]] double tCold() const noexcept { return t_warm_us + dl1_us + dl2_us; }
+  [[nodiscard]] double tCold() const noexcept { return t_warm_us + dl1_us + dl2_us + dl3_us; }
+
+  /// Re-expresses a two-level parameter set on a shared-LLC hierarchy by
+  /// splitting the memory-refill transient ΔL2 into a private-L2 part and a
+  /// shared-LLC part, preserving tCold. `llc_share` is the fraction of the
+  /// old ΔL2 that becomes ΔL3 (an LLC hit refetches from the LLC instead of
+  /// memory, so the LLC inherits the bulk of the old memory transient).
+  [[nodiscard]] ReloadParams splitForSharedLlc(double llc_share = 0.6) const noexcept {
+    ReloadParams r = *this;
+    r.dl3_us = dl2_us * llc_share;
+    r.dl2_us = dl2_us * (1.0 - llc_share);
+    return r;
+  }
 
   /// Defaults for the receive-side UDP/IP/FDDI fast path, chosen to match
   /// the paper's quoted t_cold = 284.3 µs; regenerate from the cache
@@ -76,16 +99,26 @@ struct FootprintShares {
   }
 };
 
+/// Sentinel age for a component whose last use was on another processor.
+inline constexpr double kColdAge = std::numeric_limits<double>::infinity();
+
 /// Ages (µs since last resident on the executing processor) of the three
 /// footprint components. kColdAge means "never / last used elsewhere".
+///
+/// The `*_any` fields are the shared-LLC counterparts: time since the
+/// component was last touched on *any* processor — a migrated footprint is
+/// cold in the private levels but still warm in the shared LLC. They
+/// default to kColdAge ("no better information"), so the effective L3 age
+/// min(local, any) degrades to the local age and two-level behavior is
+/// unchanged when callers don't populate them.
 struct CacheStateAges {
   double code = 0.0;
   double shared = 0.0;
   double stream = 0.0;
+  double code_any = kColdAge;
+  double shared_any = kColdAge;
+  double stream_any = kColdAge;
 };
-
-/// Sentinel age for a component whose last use was on another processor.
-inline constexpr double kColdAge = std::numeric_limits<double>::infinity();
 
 /// Combines the flush model, measured reload scalars and footprint shares
 /// into the per-packet service-time function used by the simulator.
@@ -93,30 +126,54 @@ class ExecTimeModel {
  public:
   ExecTimeModel(FlushModel flush, ReloadParams reload, FootprintShares shares);
 
-  /// Reload cost F1(x)·ΔL1 + F2(x)·ΔL2 for one fully-aged footprint;
-  /// reload(0) = 0, reload(kColdAge) = ΔL1 + ΔL2.
+  /// Reuse-distance variant: the same service-time structure with the SST
+  /// power-law displacement replaced by the measured RdCacheModel curves
+  /// (and, when the machine has a shared LLC, a third reload level).
+  ExecTimeModel(std::shared_ptr<const RdCacheModel> rd, ReloadParams reload,
+                FootprintShares shares);
+
+  /// Reload cost F1(x)·ΔL1 + F2(x)·ΔL2 (+ F3(x)·ΔL3) for one fully-aged
+  /// footprint; reload(0) = 0, reload(kColdAge) = ΔL1 + ΔL2 + ΔL3.
   [[nodiscard]] double reload(double age_us) const noexcept;
 
   /// Packet execution time given per-component ages (no fixed overheads).
   [[nodiscard]] double serviceTime(const CacheStateAges& ages) const noexcept;
 
-  /// Breakdown of serviceTime(): warm base plus the L1- and L2-reload
-  /// portions (µs). `base + l1 + l2 == serviceTime(ages)`. The L2 portion is
-  /// the memory-bus traffic a packet generates — used by the bus-contention
-  /// model.
+  /// Breakdown of serviceTime(): warm base plus the per-level reload
+  /// portions (µs). `base + l1 + l2 + l3 == serviceTime(ages)`. The L2+L3
+  /// portion is the memory-bus traffic a packet generates — used by the
+  /// bus-contention model. `l3` is 0 unless ΔL3 > 0 (shared-LLC topology).
   struct ServiceParts {
     double base = 0.0;
     double l1 = 0.0;
     double l2 = 0.0;
-    [[nodiscard]] double total() const noexcept { return base + l1 + l2; }
+    double l3 = 0.0;
+    [[nodiscard]] double total() const noexcept { return base + l1 + l2 + l3; }
   };
   [[nodiscard]] ServiceParts serviceParts(const CacheStateAges& ages) const noexcept;
+
+  /// Kind-dispatched per-level flush fractions (0 at age 0, 1 at kColdAge).
+  /// The predictor uses these instead of reaching into flush() so it works
+  /// under either displacement model.
+  [[nodiscard]] double f1At(double age_us) const noexcept;
+  [[nodiscard]] double f2At(double age_us) const noexcept;
+  /// Shared-LLC flush fraction; 0 whenever ΔL3 == 0. Unlike f1/f2 this is
+  /// NOT forced to 1 at kColdAge: a footprint cold on this processor can
+  /// still be warm in the shared LLC, so the caller passes the *anywhere*
+  /// age here.
+  [[nodiscard]] double f3At(double age_us) const noexcept;
 
   [[nodiscard]] double tWarm() const noexcept { return reload_.t_warm_us; }
   [[nodiscard]] double tCold() const noexcept { return reload_.tCold(); }
   [[nodiscard]] const FootprintShares& shares() const noexcept { return shares_; }
   [[nodiscard]] const FlushModel& flush() const noexcept { return flush_; }
   [[nodiscard]] const ReloadParams& reloadParams() const noexcept { return reload_; }
+  [[nodiscard]] CacheModelKind kind() const noexcept { return kind_; }
+  /// Non-null iff kind() == kReuse.
+  [[nodiscard]] const RdCacheModel* reuseModel() const noexcept { return rd_.get(); }
+  [[nodiscard]] const MachineParams& machineParams() const noexcept {
+    return rd_ ? rd_->machine() : flush_.machine();
+  }
 
   /// Standard model of the paper's platform and measured parameters.
   static ExecTimeModel standard() {
@@ -126,6 +183,8 @@ class ExecTimeModel {
 
  private:
   FlushModel flush_;
+  std::shared_ptr<const RdCacheModel> rd_;  ///< set iff kind_ == kReuse
+  CacheModelKind kind_ = CacheModelKind::kSst;
   ReloadParams reload_;
   FootprintShares shares_;
 };

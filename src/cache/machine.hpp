@@ -30,12 +30,20 @@ struct MachineParams {
   CacheLevelParams l1i{16 * 1024, 32, 1};
   CacheLevelParams l1d{16 * 1024, 32, 1};
   CacheLevelParams l2{1024 * 1024, 128, 1};
+  /// Shared last-level cache behind the private L2s. size_bytes == 0 (the
+  /// 1995 default) means the hierarchy stops at the private L2 and
+  /// `l2_miss_cycles` is the full memory penalty.
+  CacheLevelParams llc{0, 64, 16};
   /// Fraction of the reference stream that is instruction fetches; the paper
   /// assumes an approximately even I/D split (citing Hill & Smith).
   double ifetch_fraction = 0.5;
   /// Miss penalties used by the trace-driven simulator (cycles per line).
   double l1_miss_cycles = 12.0;  ///< L1 miss filled from L2
-  double l2_miss_cycles = 85.0;  ///< L2 miss filled from memory (Challenge bus)
+  double l2_miss_cycles = 85.0;  ///< L2 miss filled from next level (memory when no LLC)
+  /// Additional cycles for an LLC miss filled from memory; only meaningful
+  /// when `llc.size_bytes > 0` (an L2 miss then costs l2_miss_cycles to
+  /// reach the LLC plus llc_miss_cycles when the LLC also misses).
+  double llc_miss_cycles = 0.0;
   /// Extra cycles to fetch a line dirty in another processor's cache
   /// (cache-to-cache intervention on the Challenge's POWERpath-2 bus).
   double intervention_cycles = 140.0;
@@ -47,6 +55,26 @@ struct MachineParams {
 
   /// The paper's platform (SGI Challenge XL, MIPS R4400 @ 100 MHz).
   static MachineParams sgiChallenge() noexcept { return MachineParams{}; }
+
+  /// "2020s topology": server-class private 32 KB 8-way L1 I/D (64 B lines)
+  /// and 1 MB 16-way L2 per core, behind a shared 32 MiB 16-way LLC. The
+  /// clock and cycles-per-ref are deliberately kept at the paper's values so
+  /// the reran figures differ only in hierarchy *shape*, not time scale —
+  /// the EXPERIMENTS.md shared-LLC section compares conclusions, not
+  /// absolute microseconds. The 1995 memory penalty (85 cycles) is split
+  /// into an L2→LLC hop (40) and an LLC→memory hop (45) so a worst-case
+  /// full miss costs the same as before and warm-LLC reloads are the new
+  /// middle ground.
+  static MachineParams modern2020() noexcept {
+    MachineParams m;
+    m.l1i = CacheLevelParams{32 * 1024, 64, 8};
+    m.l1d = CacheLevelParams{32 * 1024, 64, 8};
+    m.l2 = CacheLevelParams{1024 * 1024, 64, 16};
+    m.llc = CacheLevelParams{32ull * 1024 * 1024, 64, 16};
+    m.l2_miss_cycles = 40.0;
+    m.llc_miss_cycles = 45.0;
+    return m;
+  }
 };
 
 }  // namespace affinity

@@ -1,0 +1,37 @@
+#include "cache/steal_bound.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+double stealColdMissCyclesBound(const MachineParams& machine,
+                                const StealFootprintLines& footprint) noexcept {
+  AFF_DCHECK(footprint.l1 >= 0.0 && footprint.l2 >= 0.0 && footprint.llc >= 0.0);
+  // A migration can cold-miss at most the smaller of (what the job touches,
+  // what the level can hold). Both L1s move together, so their capacities
+  // add.
+  const double l1_cap =
+      static_cast<double>(machine.l1i.lines()) + static_cast<double>(machine.l1d.lines());
+  double cycles = std::min(footprint.l1, l1_cap) * machine.l1_miss_cycles +
+                  std::min(footprint.l2, static_cast<double>(machine.l2.lines())) *
+                      machine.l2_miss_cycles;
+  if (machine.llc.size_bytes > 0) {
+    cycles += std::min(footprint.llc, static_cast<double>(machine.llc.lines())) *
+              machine.llc_miss_cycles;
+  }
+  return cycles;
+}
+
+double stealCacheComplexityEnvelopeUs(const MachineParams& machine,
+                                      const StealFootprintLines& footprint,
+                                      std::uint64_t steals, std::uint64_t stolen_jobs,
+                                      double steal_penalty_us) noexcept {
+  const double per_steal_cycles = stealColdMissCyclesBound(machine, footprint);
+  const double miss_us =
+      static_cast<double>(stolen_jobs) * per_steal_cycles / machine.clock_hz * 1e6;
+  return miss_us + static_cast<double>(steals) * steal_penalty_us;
+}
+
+}  // namespace affinity

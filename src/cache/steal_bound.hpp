@@ -1,0 +1,49 @@
+// steal_bound.hpp — theoretical envelope on work-stealing cache cost.
+//
+// Gu, Fineman et al. ("Analysis of Work Stealing with latency", and the
+// randomized-work-stealing cache-complexity line culminating in
+// arXiv:2111.04994) bound the *extra* cache misses a work-stealing
+// execution incurs over the serial one: each steal can force at most one
+// reload of the stolen task's footprint per private cache level, and a
+// level of C lines can never lose more than C lines to a migration —
+//
+//     extra_misses(level) <= steals · min(footprint_lines, capacity_lines)
+//
+// This file turns that bound into a microsecond envelope the simulator's
+// measured migrated-footprint reload cost must stay under
+// (tests/steal_bound_test.cpp). The envelope is computed purely from cache
+// geometry + per-level footprint line counts supplied by the caller — an
+// independent cross-check on the simulator's reload accounting, not a
+// restatement of it.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/machine.hpp"
+
+namespace affinity {
+
+/// Per-level line counts of the footprint a stolen job drags with it.
+struct StealFootprintLines {
+  double l1 = 0.0;   ///< lines the job re-references in an L1 (I + D)
+  double l2 = 0.0;   ///< lines at private-L2 granularity
+  double llc = 0.0;  ///< lines at LLC granularity (ignored when no LLC)
+};
+
+/// Worst-case extra cache-miss cycles one steal can cost across the private
+/// levels (plus the shared LLC when present): per level,
+/// min(footprint, capacity) line fills at that level's miss penalty.
+double stealColdMissCyclesBound(const MachineParams& machine,
+                                const StealFootprintLines& footprint) noexcept;
+
+/// Total envelope, in microseconds, for an execution with `stolen_jobs`
+/// stolen jobs: stolen_jobs · (per-steal miss-cycle bound) / clock, plus the
+/// scheduler's own fixed per-steal overhead (`steals` steal operations at
+/// `steal_penalty_us` each — the simulator folds that overhead into the same
+/// measured counter the envelope gates).
+double stealCacheComplexityEnvelopeUs(const MachineParams& machine,
+                                      const StealFootprintLines& footprint,
+                                      std::uint64_t steals, std::uint64_t stolen_jobs,
+                                      double steal_penalty_us) noexcept;
+
+}  // namespace affinity

@@ -1,0 +1,193 @@
+#include "cachesim/rd_capture.hpp"
+
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/mutex.hpp"
+
+namespace affinity {
+
+// ---------------------------------------------------------------------------
+// RdMonitor
+
+RdMonitor::RdMonitor(std::uint32_t line_bytes, RdHistogram* hist, FootprintCurve* curve)
+    : line_bytes_(line_bytes), hist_(hist), curve_(curve) {
+  AFF_CHECK(line_bytes_ > 0);
+  fenwick_.reserve(1024);
+}
+
+void RdMonitor::setMark(std::uint64_t pos, int delta) noexcept {
+  for (std::uint64_t i = pos + 1; i <= fenwick_.size(); i += i & (~i + 1)) {
+    fenwick_[i - 1] += delta;
+  }
+}
+
+std::uint64_t RdMonitor::marksAfter(std::uint64_t pos) const noexcept {
+  // prefix(pos+1) counts marks at indices <= pos; the rest are after it.
+  std::int64_t prefix = 0;
+  for (std::uint64_t i = pos + 1; i > 0; i -= i & (~i + 1)) prefix += fenwick_[i - 1];
+  return marks_ - static_cast<std::uint64_t>(prefix);
+}
+
+void RdMonitor::observe(std::uint64_t addr) {
+  const std::uint64_t line = addr / line_bytes_;
+  if (hist_ == nullptr) {
+    // Footprint-only monitor: no stack-distance bookkeeping needed.
+    last_pos_.try_emplace(line, time_);
+    ++time_;
+    maybeCheckpoint();
+    return;
+  }
+  if (fenwick_.size() <= time_) {
+    // A Fenwick node at index i summarizes (i - lowbit(i), i]; nodes past
+    // the old size must include older marks, so zero-growing the array
+    // would corrupt prefix sums. Rebuild from the live marks instead (one
+    // mark per tracked line — O(lines · log n) per doubling, amortized
+    // negligible).
+    fenwick_.assign(fenwick_.empty() ? 1024 : fenwick_.size() * 2, 0);
+    for (const auto& [l, pos] : last_pos_) setMark(pos, +1);
+  }
+  const auto [it, inserted] = last_pos_.try_emplace(line, time_);
+  if (inserted) {
+    hist_->addCold();
+  } else {
+    // Marks strictly after the previous access are lines touched since —
+    // each marked exactly once at its own last access: the stack distance.
+    hist_->add(marksAfter(it->second));
+    setMark(it->second, -1);
+    --marks_;
+    it->second = time_;
+  }
+  setMark(time_, +1);
+  ++marks_;
+  ++time_;
+  maybeCheckpoint();
+}
+
+void RdMonitor::maybeCheckpoint() {
+  if (curve_ == nullptr || time_ < next_checkpoint_) return;
+  curve_->addSample(time_, distinctLines());
+  // Geometric spacing, ~8 checkpoints per octave (matches the histogram's
+  // resolution).
+  next_checkpoint_ += std::max<std::uint64_t>(1, next_checkpoint_ / 8);
+}
+
+void RdMonitor::finish() {
+  if (curve_ == nullptr) return;
+  if (curve_->empty() ||
+      curve_->samples().back().first < time_) {
+    if (time_ > 0) curve_->addSample(time_, distinctLines());
+  }
+  curve_->setCap(distinctLines());
+}
+
+// ---------------------------------------------------------------------------
+// RdProfileBuilder
+
+RdProfileBuilder::RdProfileBuilder(std::string name, const MachineParams& machine)
+    : ifetch_(machine.l1i.line_bytes, &profile_.ifetch, nullptr),
+      data_(machine.l1d.line_bytes, &profile_.data, nullptr),
+      unified_(machine.l2.line_bytes, &profile_.unified, &profile_.fp_l2),
+      l1_all_(machine.l1d.line_bytes, nullptr, &profile_.fp_l1) {
+  profile_.name = std::move(name);
+  profile_.l1_line_bytes = machine.l1d.line_bytes;
+  profile_.l2_line_bytes = machine.l2.line_bytes;
+}
+
+void RdProfileBuilder::feed(const MemRef& ref) {
+  ++profile_.total_refs;
+  if (ref.kind == RefKind::kIFetch) {
+    ++profile_.ifetch_refs;
+    ifetch_.observe(ref.addr);
+  } else {
+    data_.observe(ref.addr);
+  }
+  unified_.observe(ref.addr);
+  l1_all_.observe(ref.addr);
+}
+
+RdProfile RdProfileBuilder::finish() {
+  ifetch_.finish();
+  data_.finish();
+  unified_.finish();
+  l1_all_.finish();
+  return std::move(profile_);
+}
+
+// ---------------------------------------------------------------------------
+// capture entry points
+
+RdProfile captureFromTrace(const MachineParams& machine, const std::string& name,
+                           const std::vector<MemRef>& refs) {
+  RdProfileBuilder b(name, machine);
+  b.feed(refs);
+  return b.finish();
+}
+
+RdProfile captureProtocolRdProfile(const MachineParams& machine, const ProtocolLayout& layout,
+                                   const ProtocolTraceParams& params, unsigned streams,
+                                   unsigned packets, std::uint64_t seed) {
+  AFF_CHECK(streams > 0);
+  ProtocolTraceGenerator gen(layout, params);
+  RdProfileBuilder b("protocol", machine);
+  Rng rng(seed);
+  std::vector<MemRef> pkt;
+  pkt.reserve(gen.refsPerPacket() + 16);
+  for (unsigned p = 0; p < packets; ++p) {
+    pkt.clear();
+    gen.receivePacket(p % streams, p, rng, pkt);
+    b.feed(pkt);
+  }
+  return b.finish();
+}
+
+RdProfile captureBackgroundRdProfile(const MachineParams& machine, std::uint64_t refs,
+                                     std::uint64_t seed) {
+  BackgroundTraceGenerator gen;
+  RdProfileBuilder b("background", machine);
+  Rng rng(seed);
+  std::vector<MemRef> chunk;
+  constexpr std::uint64_t kChunk = 16 * 1024;
+  for (std::uint64_t done = 0; done < refs; done += kChunk) {
+    chunk.clear();
+    gen.generate(std::min(kChunk, refs - done), rng, chunk);
+    b.feed(chunk);
+  }
+  return b.finish();
+}
+
+std::shared_ptr<const RdCacheModel> cachedDefaultRdModel(const MachineParams& machine,
+                                                         const RdCaptureParams& capture) {
+  using Key = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t, unsigned,
+                         unsigned, std::uint64_t, std::uint64_t, unsigned, std::uint64_t>;
+  const Key key{machine.l1i.size_bytes, machine.l1d.size_bytes, machine.l2.size_bytes,
+                machine.llc.size_bytes, capture.profile_streams, capture.profile_packets,
+                capture.profile_bg_refs, capture.profile_seed, capture.co_runners,
+                static_cast<std::uint64_t>(capture.protocol_duty * 1e6)};
+  static Mutex mu;
+  static std::map<Key, std::shared_ptr<const RdCacheModel>>* cache =
+      new std::map<Key, std::shared_ptr<const RdCacheModel>>();
+  {
+    MutexLock lock(mu);
+    const auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+  }
+  // Capture outside the lock (the pass takes tens of milliseconds); racing
+  // duplicate captures are deterministic and identical, and first-insert
+  // wins below, so every concurrent caller converges on one instance
+  // (pinned by rd_model_test's memoization test).
+  RdProfile proto = captureProtocolRdProfile(
+      machine, ProtocolLayout::standard(), ProtocolTraceParams{}, capture.profile_streams,
+      capture.profile_packets, capture.profile_seed);
+  std::uint64_t bg_seed_state = capture.profile_seed + 1;
+  RdProfile bg = captureBackgroundRdProfile(machine, capture.profile_bg_refs,
+                                            splitmix64(bg_seed_state));
+  auto model = std::make_shared<const RdCacheModel>(machine, std::move(proto), std::move(bg),
+                                                    capture.co_runners, capture.protocol_duty);
+  MutexLock lock(mu);
+  return cache->emplace(key, std::move(model)).first->second;
+}
+
+}  // namespace affinity

@@ -1,0 +1,119 @@
+// rd_capture.hpp — profiling pass: reference traces → RdProfile.
+//
+// The reuse-distance model (cache/reuse.hpp) is only as good as its
+// profiles, and the profiles are captured here — from the *same* trace
+// generators the differential cachesim replays, so the two sides of
+// tests/rd_model_test.cpp disagree only where the model approximates, never
+// because they saw different traces.
+//
+// Stack distances are exact (Bennett–Kruskal): a Fenwick tree over access
+// indices holds one mark per currently-tracked line at its last access
+// position; the reuse distance of a re-access is the number of marks after
+// that position. O(log n) per reference, deterministic, and independent of
+// any capture parallelism — profiles serialize byte-identically however
+// many SweepRunner jobs produced them (pinned by rd_model_test).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/reuse.hpp"
+#include "cachesim/trace.hpp"
+
+namespace affinity {
+
+/// Exact LRU stack-distance monitor for one line-granularity view of a
+/// reference stream.
+class RdMonitor {
+ public:
+  /// Either sink may be null (footprint-only or histogram-only monitors).
+  explicit RdMonitor(std::uint32_t line_bytes, RdHistogram* hist, FootprintCurve* curve);
+
+  /// Observes one reference; records its stack distance into the histogram
+  /// and advances the footprint checkpoints.
+  void observe(std::uint64_t addr);
+
+  /// Seals the footprint curve: emits a final checkpoint and sets the cap
+  /// to the number of distinct lines seen.
+  void finish();
+
+  [[nodiscard]] std::uint64_t refs() const noexcept { return time_; }
+  [[nodiscard]] std::uint64_t distinctLines() const noexcept {
+    return static_cast<std::uint64_t>(last_pos_.size());
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t marksAfter(std::uint64_t pos) const noexcept;
+  void setMark(std::uint64_t pos, int delta) noexcept;
+  void maybeCheckpoint();
+
+  std::uint32_t line_bytes_;
+  RdHistogram* hist_;
+  FootprintCurve* curve_;                                   // may be null
+  std::unordered_map<std::uint64_t, std::uint64_t> last_pos_;  // line -> last access index
+  std::vector<std::int32_t> fenwick_;                       // marks over access indices
+  std::uint64_t time_ = 0;
+  std::uint64_t marks_ = 0;
+  std::uint64_t next_checkpoint_ = 64;
+};
+
+/// Feeds a reference stream through the three profile views (I and D at L1
+/// line granularity, unified at L2 granularity) and both footprint curves.
+class RdProfileBuilder {
+ public:
+  RdProfileBuilder(std::string name, const MachineParams& machine);
+
+  void feed(const MemRef& ref);
+  void feed(const std::vector<MemRef>& refs) {
+    for (const MemRef& r : refs) feed(r);
+  }
+
+  /// Seals and returns the profile. The builder is spent afterwards.
+  [[nodiscard]] RdProfile finish();
+
+ private:
+  RdProfile profile_;
+  RdMonitor ifetch_;
+  RdMonitor data_;
+  RdMonitor unified_;
+  RdMonitor l1_all_;  ///< footprint-only: whole stream at L1 line granularity
+};
+
+/// One-shot capture of an arbitrary trace.
+[[nodiscard]] RdProfile captureFromTrace(const MachineParams& machine, const std::string& name,
+                                         const std::vector<MemRef>& refs);
+
+/// Captures the protocol workload: `packets` packet executions round-robin
+/// across `streams` streams (arrival interleaving is the differential
+/// battery's job; round-robin is the steady symmetric mix the analytic
+/// model assumes). Deterministic in `seed`.
+[[nodiscard]] RdProfile captureProtocolRdProfile(const MachineParams& machine,
+                                                 const ProtocolLayout& layout,
+                                                 const ProtocolTraceParams& params,
+                                                 unsigned streams, unsigned packets,
+                                                 std::uint64_t seed);
+
+/// Captures the displacing background workload over `refs` references.
+[[nodiscard]] RdProfile captureBackgroundRdProfile(const MachineParams& machine,
+                                                   std::uint64_t refs, std::uint64_t seed);
+
+/// Parameters of a default (scenario-path) RD model capture.
+struct RdCaptureParams {
+  unsigned profile_streams = 8;
+  unsigned profile_packets = 64;
+  std::uint64_t profile_bg_refs = 300'000;
+  std::uint64_t profile_seed = 42;
+  unsigned co_runners = 1;
+  double protocol_duty = 0.5;
+};
+
+/// Builds (and memoizes, keyed by machine geometry + capture parameters)
+/// the RD model the scenario path uses for `cache.model = reuse`. The cache
+/// keeps repeated buildScenario calls from re-running the profiling pass.
+[[nodiscard]] std::shared_ptr<const RdCacheModel> cachedDefaultRdModel(
+    const MachineParams& machine, const RdCaptureParams& capture);
+
+}  // namespace affinity

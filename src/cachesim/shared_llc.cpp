@@ -1,0 +1,43 @@
+#include "cachesim/shared_llc.hpp"
+
+#include "util/check.hpp"
+
+namespace affinity {
+
+SharedLlcSystem::SharedLlcSystem(const MachineParams& machine, unsigned procs)
+    : machine_(machine),
+      llc_(machine.llc),
+      llc_accesses_(procs, 0),
+      llc_misses_(procs, 0) {
+  AFF_CHECK(machine.llc.size_bytes > 0 && procs > 0);
+  priv_.reserve(procs);
+  for (unsigned p = 0; p < procs; ++p) priv_.push_back(std::make_unique<Hierarchy>(machine));
+}
+
+SharedLlcSystem::Outcome SharedLlcSystem::access(unsigned proc, std::uint64_t addr,
+                                                 RefKind kind) {
+  AFF_DCHECK(proc < priv_.size());
+  const Hierarchy::Outcome o = priv_[proc]->access(addr, kind);
+  Outcome out{o.cycles, o.l1_miss, o.l2_miss, false};
+  if (o.l2_miss) {
+    // The private hierarchy charged l2_miss_cycles for the L2→LLC hop;
+    // an LLC miss additionally pays the LLC→memory fill.
+    ++llc_accesses_[proc];
+    const CacheLevel::Result r = llc_.access(addr, kind == RefKind::kStore);
+    if (!r.hit) {
+      ++llc_misses_[proc];
+      out.llc_miss = true;
+      out.cycles += machine_.llc_miss_cycles;
+    }
+  }
+  return out;
+}
+
+void SharedLlcSystem::resetStats() noexcept {
+  for (auto& h : priv_) h->resetStats();
+  llc_.resetStats();
+  for (auto& c : llc_accesses_) c = 0;
+  for (auto& c : llc_misses_) c = 0;
+}
+
+}  // namespace affinity

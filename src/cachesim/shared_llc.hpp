@@ -1,0 +1,68 @@
+// shared_llc.hpp — N private hierarchies over one shared last-level cache.
+//
+// The trace-driven ground truth for the "2020s topology": each processor
+// keeps its private L1I/L1D/L2 (cachesim/hierarchy.hpp, inclusion enforced
+// within the private levels), and private-L2 misses fall through to a
+// single shared CacheLevel. The LLC is non-inclusive of the private levels
+// (the common modern arrangement), so no back-invalidation crosses the
+// shared boundary and per-processor occupancy is purely LRU competition —
+// exactly the regime the reuse-distance occupancy solver
+// (RdCacheModel::solveOccupancy) models analytically. rd_model_test pins
+// the two against each other.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cachesim/hierarchy.hpp"
+
+namespace affinity {
+
+/// N-processor shared-LLC system. Not thread-safe (trace replay is serial).
+class SharedLlcSystem {
+ public:
+  /// `machine.llc.size_bytes` must be > 0.
+  SharedLlcSystem(const MachineParams& machine, unsigned procs);
+
+  struct Outcome {
+    double cycles = 0.0;
+    bool l1_miss = false;
+    bool l2_miss = false;
+    bool llc_miss = false;
+  };
+
+  /// One reference by processor `proc`.
+  Outcome access(unsigned proc, std::uint64_t addr, RefKind kind);
+
+  [[nodiscard]] unsigned procs() const noexcept { return static_cast<unsigned>(priv_.size()); }
+  [[nodiscard]] const Hierarchy& hierarchy(unsigned proc) const noexcept { return *priv_[proc]; }
+  [[nodiscard]] const CacheLevel& llc() const noexcept { return llc_; }
+  [[nodiscard]] const MachineParams& machine() const noexcept { return machine_; }
+
+  /// Per-processor LLC accesses/misses (the LLC level's own Stats aggregate
+  /// all processors; occupancy validation needs the split).
+  [[nodiscard]] std::uint64_t llcAccesses(unsigned proc) const noexcept {
+    return llc_accesses_[proc];
+  }
+  [[nodiscard]] std::uint64_t llcMisses(unsigned proc) const noexcept {
+    return llc_misses_[proc];
+  }
+
+  /// Lines currently resident in the LLC within [lo, hi) — occupancy probe
+  /// for the partitioning differential.
+  [[nodiscard]] std::uint64_t llcResidentWithin(std::uint64_t lo, std::uint64_t hi) const {
+    return llc_.residentWithin(lo, hi);
+  }
+
+  void resetStats() noexcept;
+
+ private:
+  MachineParams machine_;
+  std::vector<std::unique_ptr<Hierarchy>> priv_;
+  CacheLevel llc_;
+  std::vector<std::uint64_t> llc_accesses_;
+  std::vector<std::uint64_t> llc_misses_;
+};
+
+}  // namespace affinity

@@ -38,6 +38,11 @@ struct RunMetrics {
   /// total jobs migrated by them (jobs >= steals when batches > 1).
   std::uint64_t steals = 0;
   std::uint64_t stolen_jobs = 0;
+  /// Measured reload cost charged to stolen jobs inside the window (µs):
+  /// their per-level reload transients plus the flat steal penalty. An
+  /// upper bound on the migration's extra cache cost, asserted against the
+  /// Gu et al. steal-cache-complexity envelope (cache/steal_bound.hpp).
+  double steal_reload_us = 0.0;
   /// NIC dispatch front-end (SimConfig::dispatch): FDir/TFN pin moves.
   std::uint64_t flow_migrations = 0;
   /// TransportFriendly dispatch ledger (all zero for the other modes):

@@ -65,6 +65,17 @@ void ProtocolSim::initObservability() {
   hooks_.lock_wait = &reg.meanStat("sim.lock_wait_us");
   hooks_.l1_warm = &reg.meanStat("sim.affinity.l1_warm_fraction");
   hooks_.l2_warm = &reg.meanStat("sim.affinity.l2_warm_fraction");
+  if (model_.reloadParams().dl3_us > 0.0) {
+    hooks_.l3_warm = &reg.meanStat("sim.cache.rd.l3_warm_fraction");
+  }
+  if (model_.kind() == CacheModelKind::kReuse && model_.reuseModel() != nullptr) {
+    // Reuse-distance model parameters (docs/OBSERVABILITY.md, sim.cache.rd.*):
+    // static per-run gauges describing the profile the run used.
+    const RdCacheModel& rd = *model_.reuseModel();
+    reg.gauge("sim.cache.rd.proto_lines").set(rd.protoLinesL2());
+    reg.gauge("sim.cache.rd.llc_share_lines").set(rd.llcShareLines());
+    reg.gauge("sim.cache.rd.co_runners").set(static_cast<double>(rd.coRunners()));
+  }
   hooks_.stream_mru_hit = &reg.counter("sim.sched.stream_mru.hit");
   hooks_.stream_mru_fallback = &reg.counter("sim.sched.stream_mru.fallback");
   hooks_.ips_mru_hit = &reg.counter("sim.sched.ips_mru.hit");
@@ -358,6 +369,21 @@ void ProtocolSim::startService(unsigned proc, const Job& job, double extra_us) {
     ages.stream = a;
     stack_busy_[stack] = 1;
   }
+  if (model_.reloadParams().dl3_us > 0.0) {
+    // Shared-LLC topology: the L3 term keys on where the footprint was last
+    // touched *anywhere* — a migrated component is cold in the private
+    // levels but usually still LLC-warm. Skipped entirely on two-level
+    // machines, where the ages above reproduce the paper bit-for-bit.
+    ages.code_any = affinity_.codeAgeAnywhere(now);
+    if (locking) {
+      ages.shared_any = affinity_.sharedAgeAnywhere(now);
+      ages.stream_any = affinity_.streamAgeAnywhere(job.stream, now);
+    } else {
+      const double a_any = affinity_.stackAgeAnywhere(stack, now);
+      ages.shared_any = a_any;
+      ages.stream_any = a_any;
+    }
+  }
   const auto parts = model_.serviceParts(ages);
   if (obs_on_) {
     // Warm fraction per level: how much of the full reload transient this
@@ -365,7 +391,11 @@ void ProtocolSim::startService(unsigned proc, const Job& job, double extra_us) {
     const auto& rp = model_.reloadParams();
     hooks_.l1_warm->add(1.0 - parts.l1 / rp.dl1_us);
     hooks_.l2_warm->add(1.0 - parts.l2 / rp.dl2_us);
+    if (hooks_.l3_warm != nullptr) hooks_.l3_warm->add(1.0 - parts.l3 / rp.dl3_us);
     proc_busy_tw_[proc].set(now, 1.0);
+  }
+  if (job.stolen && inMeasureWindow()) {
+    steal_reload_us_ += parts.l1 + parts.l2 + parts.l3 + extra_us;
   }
   double exec = parts.total() + config_.fixed_overhead_us + extra_us;
   double lock_wait = 0.0;
@@ -527,11 +557,13 @@ bool ProtocolSim::trySteal(unsigned thief) {
   Job first = vq.front();
   vq.pop_front();
   first.queue = thief;
+  first.stolen = true;
   if (fdir) nic_wired_.noteRun(first.stream, thief);
   for (std::size_t i = 1; i < take; ++i) {
     Job j = vq.front();
     vq.pop_front();
     j.queue = thief;
+    j.stolen = true;
     if (fdir) nic_wired_.noteRun(j.stream, thief);
     wired_queues_[thief].push_back(j);
   }
@@ -705,6 +737,7 @@ RunMetrics ProtocolSim::finishRun() {
   m.reclassifications = reclassifications_;
   m.steals = steals_;
   m.stolen_jobs = stolen_jobs_;
+  m.steal_reload_us = steal_reload_us_;
   const net::NicDispatchStats wired_ns = nic_wired_.stats();
   const net::NicDispatchStats stack_ns = nic_stack_.stats();
   m.flow_migrations = wired_ns.migrations + stack_ns.migrations;
@@ -744,6 +777,9 @@ void ProtocolSim::exportRunMetrics(const RunMetrics& m) {
   reg.meanStat("sim.run.mean_queue_len").add(m.mean_queue_len);
   reg.meanStat("sim.kernel.events_executed").add(static_cast<double>(sim_.executedCount()));
   reg.meanStat("sim.kernel.events_pending_end").add(static_cast<double>(sim_.pendingCount()));
+  if (config_.policy.locking == LockingPolicy::kStealAffinity) {
+    reg.gauge("sim.cache.rd.steal_reload_us").set(m.steal_reload_us);
+  }
   reg.counter("sim.affinity.stream_migrations").inc(affinity_.streamMigrations());
   reg.counter("sim.affinity.stream_revisits").inc(affinity_.streamRevisits());
   reg.counter("sim.affinity.stack_migrations").inc(affinity_.stackMigrations());

@@ -236,6 +236,11 @@ class ProtocolSim {
     /// wired processor queue (Locking wired/steal) or the IPS stack. Kept
     /// on the job because FlowDirector pins can move while it waits.
     std::uint32_t queue = 0;
+    /// Set when the job reached its queue by a steal (kStealAffinity) —
+    /// batch followers start later with no extra_us, so the flag, not the
+    /// penalty argument, drives the migrated-footprint cost accounting
+    /// (RunMetrics::steal_reload_us, bounded by cache/steal_bound.hpp).
+    bool stolen = false;
   };
 
   /// Wired-family Locking policies route through per-processor queues.
@@ -298,6 +303,11 @@ class ProtocolSim {
   net::NicDispatcher nic_stack_;
   std::uint64_t steals_ = 0;
   std::uint64_t stolen_jobs_ = 0;
+  /// Measured reload cost of stolen jobs inside the window (µs): their full
+  /// per-level reload transients plus the flat steal penalty — an upper
+  /// bound on the migration's *extra* misses, gated against the Gu et al.
+  /// steal-cache-complexity envelope in tests/steal_bound_test.cpp.
+  double steal_reload_us_ = 0.0;
   // Bounded flow state (null when config_.flow.enabled is false). Single
   // writer (the event loop), so admissions are deterministic; in shard mode
   // each shard's table sees only its owned streams, which decomposes
@@ -369,6 +379,7 @@ class ProtocolSim {
     obs::MeanStat* lock_wait = nullptr;
     obs::MeanStat* l1_warm = nullptr;
     obs::MeanStat* l2_warm = nullptr;
+    obs::MeanStat* l3_warm = nullptr;  ///< shared-LLC topologies only (ΔL3 > 0)
     obs::Counter* stream_mru_hit = nullptr;
     obs::Counter* stream_mru_fallback = nullptr;
     obs::Counter* ips_mru_hit = nullptr;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "cachesim/rd_capture.hpp"
 #include "core/experiment.hpp"
 
 #include "workload/trace_io.hpp"
@@ -107,6 +108,65 @@ bool parseModel(const ConfigFile& cfg, ExecTimeModel& out, std::string* error) {
   return true;
 }
 
+// [cache] — displacement-model plugin seam (DESIGN.md). Runs after
+// parseModel so the reuse/LLC variants inherit whatever reload profile and
+// overrides [model] selected; with the default `model = sst` on the
+// `sgi-challenge` topology this is a no-op and the scenario is bit-identical
+// to the pre-[cache] schema.
+bool parseCache(const ConfigFile& cfg, unsigned num_procs, ExecTimeModel& model,
+                std::string* error) {
+  const std::string kind = cfg.getString("cache.model", "sst");
+  const std::string topology = cfg.getString("cache.topology", "sgi-challenge");
+
+  MachineParams machine;
+  if (topology == "sgi-challenge") {
+    machine = MachineParams::sgiChallenge();
+  } else if (topology == "modern-llc") {
+    machine = MachineParams::modern2020();
+  } else {
+    return fail(error, "unknown cache.topology '" + topology + "'");
+  }
+  const bool has_llc = machine.llc.size_bytes > 0;
+
+  ReloadParams reload = model.reloadParams();
+  const FootprintShares shares = model.shares();
+  if (has_llc) reload = reload.splitForSharedLlc(cfg.getDouble("cache.llc_split", 0.6));
+
+  if (kind == "sst") {
+    // Default model + default topology: keep the model parseModel built.
+    if (topology == "sgi-challenge") return true;
+    model = ExecTimeModel(FlushModel(machine, SstParams::mvsWorkload()), reload, shares);
+    return true;
+  }
+  if (kind != "reuse") return fail(error, "unknown cache.model '" + kind + "'");
+
+  RdCaptureParams capture;
+  capture.profile_streams =
+      static_cast<unsigned>(cfg.getInt("cache.profile_streams",
+                                       static_cast<int>(capture.profile_streams)));
+  capture.profile_packets =
+      static_cast<unsigned>(cfg.getInt("cache.profile_packets",
+                                       static_cast<int>(capture.profile_packets)));
+  capture.profile_bg_refs = static_cast<std::uint64_t>(
+      cfg.getInt("cache.profile_bg_refs", static_cast<int>(capture.profile_bg_refs)));
+  capture.profile_seed =
+      static_cast<std::uint64_t>(cfg.getInt("cache.profile_seed", 42));
+  // Co-runners share the LLC; on the shared-LLC topology every processor's
+  // packet stream competes for it, so default to the machine size there.
+  capture.co_runners = static_cast<unsigned>(
+      cfg.getInt("cache.co_runners", has_llc ? static_cast<int>(num_procs) : 1));
+  capture.protocol_duty = cfg.getDouble("cache.duty", capture.protocol_duty);
+  if (capture.profile_streams == 0 || capture.profile_packets == 0 ||
+      capture.profile_bg_refs == 0)
+    return fail(error, "cache profile parameters must be positive");
+  if (capture.co_runners == 0) return fail(error, "cache.co_runners must be positive");
+  if (capture.protocol_duty < 0.0 || capture.protocol_duty > 1.0)
+    return fail(error, "cache.duty must be in [0, 1]");
+
+  model = ExecTimeModel(cachedDefaultRdModel(machine, capture), reload, shares);
+  return true;
+}
+
 bool parseWorkload(const ConfigFile& cfg, StreamSet& out, std::string* error) {
   const std::string type = cfg.getString("workload.type", "poisson");
   const auto streams = static_cast<std::size_t>(cfg.getInt("workload.streams", 16));
@@ -183,6 +243,7 @@ std::optional<Scenario> buildScenario(const ConfigFile& cfg, std::string* error)
   s.config.bus_occupancy_fraction = cfg.getDouble("machine.bus_occupancy", 0.0);
 
   if (!parseModel(cfg, s.model, error)) return std::nullopt;
+  if (!parseCache(cfg, s.config.num_procs, s.model, error)) return std::nullopt;
   if (!parseWorkload(cfg, s.streams, error)) return std::nullopt;
   if (!parsePolicy(cfg, s.config, error)) return std::nullopt;
   if (!parseFlow(cfg, s.config, error)) return std::nullopt;

@@ -11,6 +11,12 @@
 //              bus_occupancy
 //   [model]    profile = udp-receive | udp-send | tcp-receive;
 //              t_warm_us / dl1_us / dl2_us overrides
+//   [cache]    model = sst | reuse (displacement model behind the reload
+//              transients); topology = sgi-challenge | modern-llc (shared
+//              32 MiB LLC; splits the memory transient, llc_split);
+//              profile_streams, profile_packets, profile_bg_refs,
+//              profile_seed, co_runners, duty (reuse-distance capture knobs
+//              — docs/DESIGN.md cache-model seam)
 //   [workload] type = poisson | batch | train | hotcold | zipf | churn |
 //              trace; streams, rate_pkts_per_s, batch, geometric, train_len,
 //              intercar_gap_us, hot, hot_share, zipf_alpha, churn_span_us,

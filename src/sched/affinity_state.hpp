@@ -39,6 +39,32 @@ class AffinityState {
   /// Age of IPS `stack`'s private data on `proc`.
   [[nodiscard]] double stackAge(unsigned proc, std::uint32_t stack, double now) const noexcept;
 
+  // --- location-independent ages (shared-LLC model) -------------------------
+  // "Time since the component was last touched on *any* processor": the
+  // shared LLC keeps a migrated footprint warm even though coherence makes
+  // it cold in the private levels. kColdAge only when never touched.
+
+  /// Age of the protocol code since it last ran anywhere.
+  [[nodiscard]] double codeAgeAnywhere(double now) const noexcept {
+    double latest = -kColdAge;
+    for (const double t : code_last_) latest = t > latest ? t : latest;
+    if (latest == -kColdAge) return kColdAge;
+    const double age = now - latest;
+    return age > 0.0 ? age : 0.0;
+  }
+  /// Age of the Locking shared data since its last touch anywhere.
+  [[nodiscard]] double sharedAgeAnywhere(double now) const noexcept {
+    return ageAnywhere(shared_last_, now);
+  }
+  /// Age of `stream`'s state since its last touch anywhere.
+  [[nodiscard]] double streamAgeAnywhere(std::uint32_t stream, double now) const noexcept {
+    return stream < stream_last_.size() ? ageAnywhere(stream_last_[stream], now) : kColdAge;
+  }
+  /// Age of IPS `stack`'s data since its last touch anywhere.
+  [[nodiscard]] double stackAgeAnywhere(std::uint32_t stack, double now) const noexcept {
+    return stack < stack_last_.size() ? ageAnywhere(stack_last_[stack], now) : kColdAge;
+  }
+
   // --- last-location queries used by the policies ---------------------------
 
   /// Processor `stream` last completed on, or -1.
@@ -92,6 +118,12 @@ class AffinityState {
 
   static double ageOf(const LastTouch& lt, unsigned proc, double now) noexcept {
     if (lt.proc != static_cast<int>(proc)) return kColdAge;
+    const double age = now - lt.time;
+    return age > 0.0 ? age : 0.0;
+  }
+
+  static double ageAnywhere(const LastTouch& lt, double now) noexcept {
+    if (lt.proc < 0) return kColdAge;
     const double age = now - lt.time;
     return age > 0.0 ? age : 0.0;
   }

@@ -5,14 +5,17 @@
 // Each test replicates its bench driver's exact configuration (16 streams,
 // derivePointSeed(seed=1, point index), the full-run auto windows), so the
 // pinned values are the same numbers the driver prints. The simulation is
-// deterministic; the ±2 % tolerance on pinned values only absorbs benign
-// floating-point reassociation from compiler/library changes, while shape
-// assertions (orderings, crossovers, scaling ratios) encode the paper's
-// conclusions themselves. docs/OBSERVABILITY.md explains the policy.
+// deterministic; the per-figure tolerances (named in golden_tolerance.hpp)
+// only absorb benign floating-point reassociation from compiler/library
+// changes, while shape assertions (orderings, crossovers, scaling ratios)
+// encode the paper's conclusions themselves. docs/OBSERVABILITY.md explains
+// the policy.
 //
 // Paper: Salehi, Kurose, Towsley, "The Performance Impact of Scheduling for
 // Cache Affinity in Parallel Network Processing" (HPDC 1995): Figures 6-13.
 #include <gtest/gtest.h>
+
+#include "golden_tolerance.hpp"
 
 #include "core/capacity.hpp"
 #include "core/experiment.hpp"
@@ -20,8 +23,6 @@
 
 namespace affinity {
 namespace {
-
-constexpr double kPinTol = 0.02;  // relative tolerance on pinned values
 
 // The bench drivers' full-run configuration (bench/common.hpp makeConfig
 // with default flags).
@@ -46,10 +47,6 @@ SimConfig goldenConfigFor(double rate_per_us) {
 // The sweep-point seed the drivers use (splitmix of --seed=1 and the index).
 std::uint64_t goldenSeed(std::uint64_t point_index) { return derivePointSeed(1, point_index); }
 
-void expectNear(double value, double pinned, const char* what) {
-  EXPECT_NEAR(value, pinned, std::abs(pinned) * kPinTol) << what;
-}
-
 // Figure 6 (Locking): MRU beats Wired-Streams at 38k pkts/s, but Wired is
 // the only policy still stable at 42k — the crossover the paper puts just
 // above 40k pkts/s.
@@ -70,8 +67,8 @@ TEST(GoldenFigures, Fig6MruWiredCrossoverAbove40k) {
     EXPECT_FALSE(mru.saturated);
     EXPECT_FALSE(wired.saturated);
     EXPECT_LT(mru.mean_delay_us, wired.mean_delay_us) << "MRU must win below the crossover";
-    expectNear(mru.mean_delay_us, 360.8368, "fig6 MRU delay at 38k");
-    expectNear(wired.mean_delay_us, 482.8502, "fig6 Wired delay at 38k");
+    golden::expectPinned("fig6", mru.mean_delay_us, 360.8368, "MRU delay at 38k");
+    golden::expectPinned("fig6", wired.mean_delay_us, 482.8502, "Wired delay at 38k");
   }
 
   // rate 0.042 pkts/us = sweep index 11: MRU has saturated, Wired has not.
@@ -87,7 +84,7 @@ TEST(GoldenFigures, Fig6MruWiredCrossoverAbove40k) {
 
     EXPECT_TRUE(mru.saturated) << "MRU must be past saturation at 42k";
     EXPECT_FALSE(wired.saturated) << "Wired must still be stable at 42k";
-    expectNear(wired.mean_delay_us, 699.8590, "fig6 Wired delay at 42k");
+    golden::expectPinned("fig6", wired.mean_delay_us, 699.8590, "Wired delay at 42k");
     EXPECT_GT(mru.mean_delay_us, 10.0 * wired.mean_delay_us);
   }
 }
@@ -109,9 +106,9 @@ TEST(GoldenFigures, Fig8LowRateMruWin) {
     c.policy.ips = policies[i];
     delay[i] = runOnce(c, model, streams).mean_delay_us;
   }
-  expectNear(delay[0], 226.9830, "fig8 Random delay at 1k");
-  expectNear(delay[1], 197.1524, "fig8 MRU delay at 1k");
-  expectNear(delay[2], 200.1067, "fig8 Wired delay at 1k");
+  golden::expectPinned("fig8", delay[0], 226.9830, "Random delay at 1k");
+  golden::expectPinned("fig8", delay[1], 197.1524, "MRU delay at 1k");
+  golden::expectPinned("fig8", delay[2], 200.1067, "Wired delay at 1k");
   EXPECT_LT(delay[1], delay[2]) << "MRU must beat Wired at light load";
   EXPECT_LT(delay[2], delay[0]) << "Wired must beat Random at light load";
 }
@@ -135,9 +132,9 @@ TEST(GoldenFigures, Fig9CapacityLockingVsIps) {
   const double locking_pkts_s = cl.max_rate_per_us * 1e6;
   const double ips_pkts_s = ci.max_rate_per_us * 1e6;
 
-  // Pin against EXPERIMENTS.md's reported 40.6k / 54.9k within ±2 %.
-  EXPECT_NEAR(locking_pkts_s, 40'600.0, 40'600.0 * kPinTol);
-  EXPECT_NEAR(ips_pkts_s, 54'900.0, 54'900.0 * kPinTol);
+  // Pin against EXPERIMENTS.md's reported 40.6k / 54.9k.
+  golden::expectPinned("fig9-capacity", locking_pkts_s, 40'600.0, "Locking capacity");
+  golden::expectPinned("fig9-capacity", ips_pkts_s, 54'900.0, "IPS capacity");
   EXPECT_GT(ips_pkts_s / locking_pkts_s, 1.25) << "IPS must out-scale Locking by a wide margin";
 }
 
@@ -159,8 +156,8 @@ TEST(GoldenFigures, Fig10StreamMruReductionAtLeast40Pct) {
 
   EXPECT_FALSE(base.saturated);
   EXPECT_FALSE(aff.saturated);
-  expectNear(base.mean_delay_us, 584.72, "fig10 FCFS delay at 40k");
-  expectNear(aff.mean_delay_us, 271.50, "fig10 Stream-MRU delay at 40k");
+  golden::expectPinned("fig10", base.mean_delay_us, 584.72, "FCFS delay at 40k");
+  golden::expectPinned("fig10", aff.mean_delay_us, 271.50, "Stream-MRU delay at 40k");
   const double reduction = (base.mean_delay_us - aff.mean_delay_us) / base.mean_delay_us * 100.0;
   EXPECT_GE(reduction, 40.0) << "affinity must cut delay by >= 40% (paper: ~50%)";
 }
@@ -186,13 +183,13 @@ TEST(GoldenFigures, Fig12BurstinessCrossover) {
   };
 
   const auto [l1, i1] = run_pair(1.0, 0);  // batch 1 = sweep index 0
-  expectNear(l1, 215.70, "fig12 Locking delay at batch 1");
-  expectNear(i1, 186.79, "fig12 IPS delay at batch 1");
+  golden::expectPinned("fig12", l1, 215.70, "Locking delay at batch 1");
+  golden::expectPinned("fig12", i1, 186.79, "IPS delay at batch 1");
   EXPECT_LT(i1, l1) << "IPS must win at batch size 1";
 
   const auto [l8, i8] = run_pair(8.0, 3);  // batch 8 = sweep index 3
-  expectNear(l8, 295.62, "fig12 Locking delay at batch 8");
-  expectNear(i8, 808.11, "fig12 IPS delay at batch 8");
+  golden::expectPinned("fig12", l8, 295.62, "Locking delay at batch 8");
+  golden::expectPinned("fig12", i8, 808.11, "IPS delay at batch 8");
   EXPECT_GT(i8 / l8, 2.0) << "IPS must be >= 2x worse at batch size 8";
 }
 
@@ -219,12 +216,12 @@ TEST(GoldenFigures, Fig13IpsSingleStreamPinned) {
   };
 
   const auto [l1, i1] = capacities(1, 0);  // procs=1 = sweep index 0
-  expectNear(l1, 6127.9, "fig13 Locking capacity at 1 proc");
-  expectNear(i1, 7257.8, "fig13 IPS capacity at 1 proc");
+  golden::expectPinned("fig13-capacity", l1, 6127.9, "Locking capacity at 1 proc");
+  golden::expectPinned("fig13-capacity", i1, 7257.8, "IPS capacity at 1 proc");
 
   const auto [l8, i8] = capacities(8, 2);  // procs=8 = sweep index 2
-  expectNear(l8, 51410.2, "fig13 Locking capacity at 8 procs");
-  expectNear(i8, 7170.9, "fig13 IPS capacity at 8 procs");
+  golden::expectPinned("fig13-capacity", l8, 51410.2, "Locking capacity at 8 procs");
+  golden::expectPinned("fig13-capacity", i8, 7170.9, "IPS capacity at 8 procs");
 
   EXPECT_GT(l8 / l1, 4.0) << "Locking must scale with processors";
   EXPECT_NEAR(i8 / i1, 1.0, 0.1) << "IPS single-stream capacity must stay pinned";

@@ -1,0 +1,10 @@
+// afflint-corpus-expect: metric-name
+#include "obs/metrics.hpp"
+
+// Near-miss spellings of the sim.cache.rd.* leaves that the metric-name
+// rule must reject (see the good twin for the real names).
+void exportRdStats(affinity::obs::MetricsRegistry& reg) {
+  reg.gauge("cache.rd.proto_lines").set(412.0);            // unknown domain
+  reg.meanStat("sim.cache.RD.l3_warm_fraction").add(0.9);  // uppercase segment
+  reg.gauge("sim.cache.rd..steal_reload_us").set(1.0);     // empty segment
+}

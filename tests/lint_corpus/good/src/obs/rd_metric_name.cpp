@@ -1,0 +1,13 @@
+// afflint-corpus-rule: metric-name
+#include "obs/metrics.hpp"
+
+// The reuse-distance cache-model domain (docs/OBSERVABILITY.md,
+// sim.cache.rd.*): the exact leaves ProtocolSim exports, so the lint
+// corpus breaks if the naming scheme and the code drift apart.
+void exportRdStats(affinity::obs::MetricsRegistry& reg) {
+  reg.gauge("sim.cache.rd.proto_lines").set(412.0);
+  reg.gauge("sim.cache.rd.llc_share_lines").set(65536.0);
+  reg.gauge("sim.cache.rd.co_runners").set(8.0);
+  reg.meanStat("sim.cache.rd.l3_warm_fraction").add(0.93);
+  reg.gauge("sim.cache.rd.steal_reload_us").set(1520.0);
+}
